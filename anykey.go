@@ -1,0 +1,333 @@
+// Package anykey is a simulator of the AnyKey key-value SSD (Park et al.,
+// ASPLOS 2025) and of the PinK baseline it improves upon. It reproduces the
+// full device stack in pure Go: a virtual-time NAND flash array with the
+// paper's TLC latencies, the PinK LSM-tree FTL (meta segments + pinned level
+// lists), and the AnyKey FTL (data segment groups, DRAM-resident level
+// lists and hash lists, a value log, and the AnyKey+ compaction policy).
+//
+// Open a simulated device, issue Put/Get/Delete/Scan, and read back both the
+// results and the device's behaviour: simulated latencies, flash-operation
+// counts by cause, metadata sizes and placement, garbage-collection and
+// compaction activity.
+//
+//	dev, err := anykey.Open(anykey.Options{Design: anykey.DesignAnyKeyPlus})
+//	...
+//	lat, err := dev.Put([]byte("user:42"), profile)
+//	val, lat, err := dev.Get([]byte("user:42"))
+//
+// Time is simulated: a full benchmark that would take hours on hardware
+// completes in seconds, with latency arithmetic driven by the published
+// flash timings rather than the host's wall clock.
+package anykey
+
+import (
+	"fmt"
+
+	"anykey/internal/core"
+	"anykey/internal/device"
+	"anykey/internal/kv"
+	"anykey/internal/nand"
+	"anykey/internal/pink"
+	"anykey/internal/sim"
+)
+
+// Re-exported simulation and data types.
+type (
+	// Time is an instant on the simulated clock (nanoseconds from epoch).
+	Time = sim.Time
+	// Duration is a span of simulated time.
+	Duration = sim.Duration
+	// Pair is one key-value pair returned by Scan.
+	Pair = kv.Pair
+	// Stats is the live statistics view of a device.
+	Stats = device.Stats
+	// MetaStructure is one row of a device's metadata-size report.
+	MetaStructure = device.MetaStructure
+	// FlashCounters is the per-cause flash operation accounting.
+	FlashCounters = nand.Counters
+)
+
+// Errors returned by device operations.
+var (
+	ErrNotFound   = kv.ErrNotFound
+	ErrDeviceFull = kv.ErrDeviceFull
+	ErrEmptyKey   = kv.ErrEmptyKey
+)
+
+// Design selects which KV-SSD firmware the device runs.
+type Design int
+
+// The four designs evaluated in the paper.
+const (
+	// DesignAnyKeyPlus is AnyKey with the modified log-triggered compaction
+	// (§4.6) — the paper's best performer on all workload types.
+	DesignAnyKeyPlus Design = iota
+	// DesignAnyKey is the base contribution (§4.1–4.5).
+	DesignAnyKey
+	// DesignAnyKeyMinus is AnyKey without the value log (§6.7 ablation).
+	DesignAnyKeyMinus
+	// DesignPinK is the state-of-the-art baseline (Fig. 4).
+	DesignPinK
+)
+
+var designNames = map[Design]string{
+	DesignAnyKeyPlus:  "AnyKey+",
+	DesignAnyKey:      "AnyKey",
+	DesignAnyKeyMinus: "AnyKey-",
+	DesignPinK:        "PinK",
+}
+
+// String returns the paper's name for the design.
+func (d Design) String() string {
+	if n, ok := designNames[d]; ok {
+		return n
+	}
+	return fmt.Sprintf("Design(%d)", int(d))
+}
+
+// Options configures a simulated device. The zero value is a valid
+// 128 MiB AnyKey+ device with the paper's proportions (see DESIGN.md §2 for
+// the scaling argument).
+type Options struct {
+	Design Design
+
+	// CapacityMB is the raw flash capacity in MiB (default 128). The
+	// geometry keeps the paper's 8 channels × 8 chips and 64-page blocks.
+	CapacityMB int
+
+	// DRAMBytes is the device DRAM for metadata; default capacity/1000,
+	// the paper's 0.1 % ratio.
+	DRAMBytes int64
+
+	// PageSize is the flash page size in bytes (default 8192; Fig. 16
+	// sweeps 4–16 KiB).
+	PageSize int
+
+	// GroupPages is AnyKey's data segment group size in pages (default 32).
+	GroupPages int
+
+	// LogFraction is the value log's share of the device (default 0.50,
+	// the paper's "half of the remaining capacity"; Fig. 19 sweeps
+	// undersized logs of 0.05–0.15). Ignored by PinK and AnyKey−.
+	LogFraction float64
+
+	// MemtableBytes is the write-buffer flush threshold (default 32 pages).
+	MemtableBytes int64
+
+	// GrowthFactor is the LSM fanout (default 4).
+	GrowthFactor int
+
+	// Channels and ChipsPerChannel override the flash parallelism (8×8).
+	Channels, ChipsPerChannel int
+
+	// Seed fixes all internal randomness (default 1).
+	Seed int64
+
+	// NoHashLists disables AnyKey's per-group hash lists (ablation).
+	NoHashLists bool
+}
+
+// geometry derives the NAND geometry from the friendly options.
+func (o Options) geometry() (nand.Geometry, error) {
+	capMB := o.CapacityMB
+	if capMB == 0 {
+		capMB = 128
+	}
+	pageSize := o.PageSize
+	if pageSize == 0 {
+		pageSize = 8192
+	}
+	channels := o.Channels
+	if channels == 0 {
+		channels = 8
+	}
+	chips := o.ChipsPerChannel
+	if chips == 0 {
+		chips = 8
+	}
+	// Keep the erase-block byte size constant (512 KiB) across page sizes,
+	// as flash generations do; otherwise large-page sweeps starve the
+	// device of blocks.
+	pagesPerBlock := (512 << 10) / pageSize
+	if pagesPerBlock < 8 {
+		pagesPerBlock = 8
+	}
+	blockBytes := int64(pageSize) * int64(pagesPerBlock)
+	totalBlocks := int64(capMB) << 20 / blockBytes
+	perChip := totalBlocks / int64(channels*chips)
+	if perChip < 1 {
+		return nand.Geometry{}, fmt.Errorf("anykey: capacity %d MB too small for %d×%d chips with %d B pages",
+			capMB, channels, chips, pageSize)
+	}
+	return nand.Geometry{
+		Channels:        channels,
+		ChipsPerChannel: chips,
+		BlocksPerChip:   int(perChip),
+		PagesPerBlock:   pagesPerBlock,
+		PageSize:        pageSize,
+	}, nil
+}
+
+// Device is an open simulated KV-SSD. It keeps its own virtual clock: each
+// operation is issued when the previous one completed (a queue-depth-1
+// closed loop). Benchmarks that need concurrency drive the At variants with
+// their own worker clocks instead.
+type Device struct {
+	impl device.KVSSD
+	opts Options
+	now  Time
+}
+
+// Open builds a device running the selected design.
+func Open(opts Options) (*Device, error) {
+	geo, err := opts.geometry()
+	if err != nil {
+		return nil, err
+	}
+	var impl device.KVSSD
+	switch opts.Design {
+	case DesignPinK:
+		impl, err = pink.New(pink.Config{
+			Geometry:      geo,
+			DRAMBytes:     opts.DRAMBytes,
+			MemtableBytes: opts.MemtableBytes,
+			GrowthFactor:  opts.GrowthFactor,
+			Seed:          opts.Seed,
+		})
+	case DesignAnyKey, DesignAnyKeyPlus, DesignAnyKeyMinus:
+		impl, err = core.New(core.Config{
+			Geometry:      geo,
+			DRAMBytes:     opts.DRAMBytes,
+			MemtableBytes: opts.MemtableBytes,
+			GrowthFactor:  opts.GrowthFactor,
+			GroupPages:    opts.GroupPages,
+			LogFraction:   opts.LogFraction,
+			Plus:          opts.Design == DesignAnyKeyPlus,
+			NoValueLog:    opts.Design == DesignAnyKeyMinus,
+			NoHashLists:   opts.NoHashLists,
+			Seed:          opts.Seed,
+		})
+	default:
+		return nil, fmt.Errorf("anykey: unknown design %v", opts.Design)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Device{impl: impl, opts: opts}, nil
+}
+
+// Design returns the firmware the device runs.
+func (d *Device) Design() Design { return d.opts.Design }
+
+// Now returns the device's virtual clock.
+func (d *Device) Now() Time { return d.now }
+
+// Put stores a pair and returns its simulated latency.
+func (d *Device) Put(key, value []byte) (Duration, error) {
+	done, err := d.impl.Put(d.now, key, value)
+	return d.advance(done), err
+}
+
+// Get returns the newest value for key and the simulated latency. The
+// returned slice is owned by the device and valid until the next operation.
+func (d *Device) Get(key []byte) ([]byte, Duration, error) {
+	v, done, err := d.impl.Get(d.now, key)
+	return v, d.advance(done), err
+}
+
+// Delete removes key and returns the simulated latency.
+func (d *Device) Delete(key []byte) (Duration, error) {
+	done, err := d.impl.Delete(d.now, key)
+	return d.advance(done), err
+}
+
+// Scan returns up to n pairs with key ≥ start in key order, and the
+// simulated latency of the range query.
+func (d *Device) Scan(start []byte, n int) ([]Pair, Duration, error) {
+	ps, done, err := d.impl.Scan(d.now, start, n)
+	return ps, d.advance(done), err
+}
+
+// Sync makes every acknowledged write durable, like an NVMe FLUSH.
+func (d *Device) Sync() (Duration, error) {
+	done, err := d.impl.Sync(d.now)
+	return d.advance(done), err
+}
+
+// PowerCycle simulates a power loss and remount: the device's volatile state
+// is discarded and rebuilt from flash. AnyKey's entire metadata is derivable
+// from the persistent group headers and log pages (see internal/core's
+// recovery); writes not covered by a preceding Sync are lost, as on any
+// device without a write journal. PinK power-cycling is not modelled.
+func (d *Device) PowerCycle() error {
+	c, ok := d.impl.(*core.Device)
+	if !ok {
+		return fmt.Errorf("anykey: power-cycle recovery is only modelled for AnyKey designs")
+	}
+	geo, err := d.opts.geometry()
+	if err != nil {
+		return err
+	}
+	reopened, err := core.Reopen(core.Config{
+		Geometry:      geo,
+		DRAMBytes:     d.opts.DRAMBytes,
+		MemtableBytes: d.opts.MemtableBytes,
+		GrowthFactor:  d.opts.GrowthFactor,
+		GroupPages:    d.opts.GroupPages,
+		LogFraction:   d.opts.LogFraction,
+		Plus:          d.opts.Design == DesignAnyKeyPlus,
+		NoValueLog:    d.opts.Design == DesignAnyKeyMinus,
+		NoHashLists:   d.opts.NoHashLists,
+		Seed:          d.opts.Seed,
+	}, c.Array())
+	if err != nil {
+		return err
+	}
+	d.impl = reopened
+	return nil
+}
+
+func (d *Device) advance(done Time) Duration {
+	if done.Before(d.now) {
+		done = d.now
+	}
+	lat := done.Sub(d.now)
+	d.now = done
+	return lat
+}
+
+// PutAt, GetAt, DeleteAt and ScanAt issue operations at an explicit virtual
+// time, for drivers that model their own concurrency (queue depth > 1).
+// Calls must use non-decreasing times across the whole device.
+func (d *Device) PutAt(at Time, key, value []byte) (Time, error) {
+	return d.impl.Put(at, key, value)
+}
+
+// GetAt is the explicit-time variant of Get.
+func (d *Device) GetAt(at Time, key []byte) ([]byte, Time, error) {
+	return d.impl.Get(at, key)
+}
+
+// DeleteAt is the explicit-time variant of Delete.
+func (d *Device) DeleteAt(at Time, key []byte) (Time, error) {
+	return d.impl.Delete(at, key)
+}
+
+// ScanAt is the explicit-time variant of Scan.
+func (d *Device) ScanAt(at Time, start []byte, n int) ([]Pair, Time, error) {
+	return d.impl.Scan(at, start, n)
+}
+
+// Stats returns the device's live statistics.
+func (d *Device) Stats() *Stats { return d.impl.Stats() }
+
+// Metadata reports every metadata structure's size and placement.
+func (d *Device) Metadata() []MetaStructure { return d.impl.Metadata() }
+
+// Flash returns the flash operation counters (reads/writes by cause,
+// erases).
+func (d *Device) Flash() FlashCounters { return d.impl.Stats().Flash() }
+
+// Internal returns the underlying simulator device for the benchmark
+// harness; the interface is internal and not part of the stable API.
+func (d *Device) Internal() device.KVSSD { return d.impl }

@@ -1,0 +1,233 @@
+package anykey
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestOpenAllDesigns(t *testing.T) {
+	for _, design := range []Design{DesignPinK, DesignAnyKey, DesignAnyKeyPlus, DesignAnyKeyMinus} {
+		t.Run(design.String(), func(t *testing.T) {
+			dev, err := Open(Options{Design: design, CapacityMB: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dev.Design() != design {
+				t.Fatalf("Design() = %v", dev.Design())
+			}
+			lat, err := dev.Put([]byte("alpha"), []byte("one"))
+			if err != nil || lat <= 0 {
+				t.Fatalf("Put: lat=%v err=%v", lat, err)
+			}
+			v, lat, err := dev.Get([]byte("alpha"))
+			if err != nil || string(v) != "one" || lat <= 0 {
+				t.Fatalf("Get = %q, %v, %v", v, lat, err)
+			}
+			if _, _, err := dev.Get([]byte("beta")); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("missing key: %v", err)
+			}
+			if _, err := dev.Delete([]byte("alpha")); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := dev.Get([]byte("alpha")); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("deleted key: %v", err)
+			}
+		})
+	}
+}
+
+func TestClockAdvancesMonotonically(t *testing.T) {
+	dev, err := Open(Options{CapacityMB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := dev.Now()
+	for i := 0; i < 500; i++ {
+		k := []byte(fmt.Sprintf("key-%05d", i))
+		if _, err := dev.Put(k, bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+		if dev.Now().Before(prev) {
+			t.Fatal("clock went backwards")
+		}
+		prev = dev.Now()
+	}
+	if prev <= 0 {
+		t.Fatal("clock never advanced")
+	}
+}
+
+func TestScanThroughFacade(t *testing.T) {
+	dev, err := Open(Options{Design: DesignAnyKeyPlus, CapacityMB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		k := []byte(fmt.Sprintf("user:%04d", i))
+		if _, err := dev.Put(k, []byte(fmt.Sprintf("profile-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pairs, _, err := dev.Scan([]byte("user:0100"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 5 || string(pairs[0].Key) != "user:0100" || string(pairs[4].Key) != "user:0104" {
+		t.Fatalf("Scan = %v", pairs)
+	}
+}
+
+func TestStatsAndMetadataExposed(t *testing.T) {
+	dev, err := Open(Options{Design: DesignAnyKey, CapacityMB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		k := []byte(fmt.Sprintf("key-%06d", i))
+		if _, err := dev.Put(k, bytes.Repeat([]byte{1}, 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flash := dev.Flash()
+	if flash.TotalWrites() == 0 {
+		t.Fatal("no flash writes recorded")
+	}
+	ms := dev.Metadata()
+	if len(ms) == 0 {
+		t.Fatal("no metadata report")
+	}
+	st := dev.Stats()
+	if st.LiveKeys != 4000 {
+		t.Fatalf("LiveKeys = %d", st.LiveKeys)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := Open(Options{CapacityMB: 8, Channels: 8, ChipsPerChannel: 8}); err == nil {
+		t.Fatal("impossible geometry accepted")
+	}
+	if _, err := Open(Options{Design: Design(99)}); err == nil {
+		t.Fatal("unknown design accepted")
+	}
+}
+
+func TestDesignString(t *testing.T) {
+	if DesignAnyKeyPlus.String() != "AnyKey+" || DesignPinK.String() != "PinK" {
+		t.Fatal("design names wrong")
+	}
+}
+
+// All four designs must be observationally equivalent key-value stores:
+// the same operation sequence produces identical results everywhere.
+func TestDesignsAgree(t *testing.T) {
+	designs := []Design{DesignPinK, DesignAnyKey, DesignAnyKeyPlus, DesignAnyKeyMinus}
+	devs := make([]*Device, len(designs))
+	for i, d := range designs {
+		dev, err := Open(Options{Design: d, CapacityMB: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i] = dev
+	}
+	rng := rand.New(rand.NewSource(99))
+	key := func(i int) []byte { return []byte(fmt.Sprintf("agree-%05d", i)) }
+	for op := 0; op < 6000; op++ {
+		i := rng.Intn(700)
+		switch r := rng.Float64(); {
+		case r < 0.5:
+			v := []byte(fmt.Sprintf("val-%d-%d-%s", i, op, bytes.Repeat([]byte{'x'}, rng.Intn(150))))
+			for _, dev := range devs {
+				if _, err := dev.Put(key(i), v); err != nil {
+					t.Fatalf("op %d: %v: %v", op, dev.Design(), err)
+				}
+			}
+		case r < 0.6:
+			for _, dev := range devs {
+				if _, err := dev.Delete(key(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case r < 0.9:
+			var ref []byte
+			var refErr error
+			for j, dev := range devs {
+				v, _, err := dev.Get(key(i))
+				if j == 0 {
+					ref, refErr = v, err
+					continue
+				}
+				if (err == nil) != (refErr == nil) || !bytes.Equal(v, ref) {
+					t.Fatalf("op %d: %v disagrees with %v on Get(%s): %q/%v vs %q/%v",
+						op, dev.Design(), devs[0].Design(), key(i), v, err, ref, refErr)
+				}
+			}
+		default:
+			n := 1 + rng.Intn(20)
+			var ref []Pair
+			for j, dev := range devs {
+				ps, _, err := dev.Scan(key(i), n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if j == 0 {
+					ref = make([]Pair, len(ps))
+					for k, p := range ps {
+						ref[k] = Pair{Key: append([]byte(nil), p.Key...), Value: append([]byte(nil), p.Value...)}
+					}
+					continue
+				}
+				if len(ps) != len(ref) {
+					t.Fatalf("op %d: %v scan returned %d pairs, %v returned %d",
+						op, dev.Design(), len(ps), devs[0].Design(), len(ref))
+				}
+				for k := range ps {
+					if !bytes.Equal(ps[k].Key, ref[k].Key) || !bytes.Equal(ps[k].Value, ref[k].Value) {
+						t.Fatalf("op %d: scan pair %d disagrees between %v and %v",
+							op, k, dev.Design(), devs[0].Design())
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSyncAndPowerCycle(t *testing.T) {
+	dev, err := Open(Options{Design: DesignAnyKeyPlus, CapacityMB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		k := []byte(fmt.Sprintf("pc-%05d", i))
+		if _, err := dev.Put(k, []byte(fmt.Sprintf("v-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := dev.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.PowerCycle(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i += 17 {
+		k := []byte(fmt.Sprintf("pc-%05d", i))
+		v, _, err := dev.Get(k)
+		if err != nil || string(v) != fmt.Sprintf("v-%d", i) {
+			t.Fatalf("after power cycle: Get(%s) = %q, %v", k, v, err)
+		}
+	}
+	// The recovered device keeps working.
+	if _, err := dev.Put([]byte("pc-after"), []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, err := dev.Get([]byte("pc-after")); err != nil || string(v) != "alive" {
+		t.Fatalf("post-recovery write: %q, %v", v, err)
+	}
+	// PinK power-cycling is not modelled.
+	pk, _ := Open(Options{Design: DesignPinK, CapacityMB: 64})
+	if err := pk.PowerCycle(); err == nil {
+		t.Fatal("PinK power cycle should be rejected")
+	}
+}

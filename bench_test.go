@@ -1,0 +1,51 @@
+package anykey_test
+
+// One testing.B benchmark per table/figure of the paper's evaluation
+// section. Each runs the corresponding harness experiment in its quick
+// configuration (a 32 MiB device with capped op counts); `cmd/anykeybench`
+// runs the same experiments at full scale. The reported metric is wall time
+// to regenerate the table/figure; the tables themselves are validated for
+// non-emptiness so a silently broken experiment fails the benchmark.
+
+import (
+	"testing"
+
+	"anykey/internal/harness"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := harness.RunExperiment(id, harness.ExpOptions{Quick: true, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Tables) == 0 {
+			b.Fatalf("%s: empty report", id)
+		}
+		for _, t := range rep.Tables {
+			if len(t.Rows) == 0 {
+				b.Fatalf("%s: empty table %q", id, t.Name)
+			}
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B)             { benchExperiment(b, "fig2") }
+func BenchmarkTable1(b *testing.B)           { benchExperiment(b, "table1") }
+func BenchmarkFig10(b *testing.B)            { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)            { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)            { benchExperiment(b, "fig12") }
+func BenchmarkTable3(b *testing.B)           { benchExperiment(b, "table3") }
+func BenchmarkFig13(b *testing.B)            { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)            { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)            { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)            { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B)            { benchExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B)            { benchExperiment(b, "fig18") }
+func BenchmarkFig19(b *testing.B)            { benchExperiment(b, "fig19") }
+func BenchmarkScale(b *testing.B)            { benchExperiment(b, "scale") }
+func BenchmarkMulti(b *testing.B)            { benchExperiment(b, "multi") }
+func BenchmarkAblationMinus(b *testing.B)    { benchExperiment(b, "ablation-minus") }
+func BenchmarkAblationGroup(b *testing.B)    { benchExperiment(b, "ablation-group") }
+func BenchmarkAblationHashlist(b *testing.B) { benchExperiment(b, "ablation-hashlist") }

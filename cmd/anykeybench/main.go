@@ -1,0 +1,77 @@
+// Command anykeybench regenerates the tables and figures of the AnyKey
+// paper's evaluation section (ASPLOS 2025) on the simulated device stack.
+//
+// Usage:
+//
+//	anykeybench -list
+//	anykeybench -exp fig12              # one experiment
+//	anykeybench -exp all                # everything, in paper order
+//	anykeybench -exp fig10 -capacity 128 -quick=false
+//
+// Each experiment prints the rows/series of the corresponding paper table
+// or figure; EXPERIMENTS.md records the measured-vs-paper comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"anykey/internal/harness"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		capacity = flag.Int("capacity", 0, "device capacity in MiB (default 64; paper ratios preserved)")
+		quick    = flag.Bool("quick", false, "shrink runs for a fast pass")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		maxOps   = flag.Int64("maxops", 0, "cap measured ops per run (0 = the paper's full 2× capacity)")
+		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
+		outDir   = flag.String("out", "", "also save each report as .txt and per-table .csv under this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "anykeybench: -exp required (or -list)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := harness.ExpOptions{CapacityMB: *capacity, Quick: *quick, Seed: *seed, MaxOps: *maxOps}
+	if !*quiet {
+		opt.Progress = os.Stderr
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = ids[:0]
+		for _, e := range harness.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := harness.RunExperiment(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "anykeybench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+		if *outDir != "" {
+			if err := rep.WriteFiles(*outDir); err != nil {
+				fmt.Fprintf(os.Stderr, "anykeybench: saving %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("(%s completed in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

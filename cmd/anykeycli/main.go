@@ -1,0 +1,169 @@
+// Command anykeycli is an interactive shell over a simulated KV-SSD: open a
+// device with any of the paper's designs and issue put/get/delete/scan
+// while watching simulated latencies and device internals.
+//
+// Usage:
+//
+//	anykeycli -design anykey+ -capacity 64
+//
+// Commands:
+//
+//	put <key> <value>      store a pair
+//	get <key>              read the newest value
+//	del <key>              delete a key
+//	scan <start> <n>       range query
+//	fill <n> <valuesize>   bulk-load n synthetic pairs
+//	stats                  flash counters, compaction/GC activity
+//	meta                   metadata structures and placement
+//	quit
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	gofmt "fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"anykey"
+)
+
+var designs = map[string]anykey.Design{
+	"pink":    anykey.DesignPinK,
+	"anykey":  anykey.DesignAnyKey,
+	"anykey+": anykey.DesignAnyKeyPlus,
+	"anykey-": anykey.DesignAnyKeyMinus,
+}
+
+func main() {
+	var (
+		design   = flag.String("design", "anykey+", "pink | anykey | anykey+ | anykey-")
+		capacity = flag.Int("capacity", 64, "device capacity in MiB")
+	)
+	flag.Parse()
+
+	d, ok := designs[strings.ToLower(*design)]
+	if !ok {
+		gofmt.Fprintf(os.Stderr, "anykeycli: unknown design %q\n", *design)
+		os.Exit(2)
+	}
+	dev, err := anykey.Open(anykey.Options{Design: d, CapacityMB: *capacity})
+	if err != nil {
+		gofmt.Fprintln(os.Stderr, "anykeycli:", err)
+		os.Exit(1)
+	}
+	gofmt.Printf("opened %s device, %d MiB; type 'help' for commands\n", d, *capacity)
+	repl(dev, os.Stdin, os.Stdout)
+}
+
+// repl runs the command loop; split from main so tests can drive it with a
+// scripted reader.
+func repl(dev *anykey.Device, in io.Reader, out io.Writer) {
+	fmt := &printer{w: out}
+	sc := bufio.NewScanner(in)
+	for fmt.Print("> "); sc.Scan(); fmt.Print("> ") {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch cmd := fields[0]; cmd {
+		case "quit", "exit":
+			return
+		case "help":
+			fmt.Println("put <k> <v> | get <k> | del <k> | scan <start> <n> | fill <n> <valsize> | stats | meta | quit")
+		case "put":
+			if len(fields) != 3 {
+				fmt.Println("usage: put <key> <value>")
+				continue
+			}
+			lat, err := dev.Put([]byte(fields[1]), []byte(fields[2]))
+			report(fmt, lat, err)
+		case "get":
+			if len(fields) != 2 {
+				fmt.Println("usage: get <key>")
+				continue
+			}
+			v, lat, err := dev.Get([]byte(fields[1]))
+			if err == nil {
+				fmt.Printf("%q  ", v)
+			}
+			report(fmt, lat, err)
+		case "del":
+			if len(fields) != 2 {
+				fmt.Println("usage: del <key>")
+				continue
+			}
+			lat, err := dev.Delete([]byte(fields[1]))
+			report(fmt, lat, err)
+		case "scan":
+			if len(fields) != 3 {
+				fmt.Println("usage: scan <start> <n>")
+				continue
+			}
+			n, _ := strconv.Atoi(fields[2])
+			pairs, lat, err := dev.Scan([]byte(fields[1]), n)
+			for _, p := range pairs {
+				fmt.Printf("  %q = %q\n", p.Key, p.Value)
+			}
+			report(fmt, lat, err)
+		case "fill":
+			if len(fields) != 3 {
+				fmt.Println("usage: fill <n> <valuesize>")
+				continue
+			}
+			n, _ := strconv.Atoi(fields[1])
+			vs, _ := strconv.Atoi(fields[2])
+			val := strings.Repeat("v", vs)
+			var failed error
+			for i := 0; i < n; i++ {
+				if _, err := dev.Put([]byte(gofmt.Sprintf("fill-%09d", i)), []byte(val)); err != nil {
+					failed = err
+					break
+				}
+			}
+			if failed != nil {
+				fmt.Println("stopped:", failed)
+			}
+			fmt.Printf("device clock now %v\n", dev.Now())
+		case "stats":
+			st := dev.Stats()
+			c := dev.Flash()
+			fmt.Printf("live keys: %d (%d bytes)\n", st.LiveKeys, st.LiveBytes)
+			fmt.Printf("flash: %d reads, %d writes, %d erases\n", c.TotalReads(), c.TotalWrites(), c.Erases)
+			fmt.Printf("compactions: %d tree, %d log, %d chained; GC: %d runs, %d relocations\n",
+				st.TreeCompactions, st.LogCompactions, st.ChainedCompactions, st.GCRuns, st.GCRelocations)
+			fmt.Printf("DRAM: %d / %d bytes\n", st.DRAMUsed(), st.DRAMCapacity())
+		case "meta":
+			for _, m := range dev.Metadata() {
+				place := "DRAM"
+				if !m.InDRAM {
+					place = "flash"
+				}
+				fmt.Printf("  %-24s %10d B  %s\n", m.Name, m.Bytes, place)
+			}
+		default:
+			fmt.Printf("unknown command %q (try 'help')\n", cmd)
+		}
+	}
+}
+
+// printer writes REPL output to the configured writer with fmt semantics.
+type printer struct{ w io.Writer }
+
+func (p *printer) Print(a ...any)                 { gofmt.Fprint(p.w, a...) }
+func (p *printer) Println(a ...any)               { gofmt.Fprintln(p.w, a...) }
+func (p *printer) Printf(format string, a ...any) { gofmt.Fprintf(p.w, format, a...) }
+
+func report(fmt *printer, lat anykey.Duration, err error) {
+	switch {
+	case err == nil:
+		fmt.Printf("ok (%v simulated)\n", lat)
+	case errors.Is(err, anykey.ErrNotFound):
+		fmt.Printf("not found (%v simulated)\n", lat)
+	default:
+		fmt.Println("error:", err)
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"anykey"
+)
+
+// Drive the REPL with a script and check its transcript.
+func TestREPLScript(t *testing.T) {
+	dev, err := anykey.Open(anykey.Options{Design: anykey.DesignAnyKeyPlus, CapacityMB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := strings.Join([]string{
+		"help",
+		"put alpha one",
+		"get alpha",
+		"get missing",
+		"put beta two",
+		"scan a 5",
+		"del alpha",
+		"get alpha",
+		"fill 100 64",
+		"stats",
+		"meta",
+		"bogus-cmd",
+		"put tooFewArgs",
+		"quit",
+	}, "\n")
+	var out strings.Builder
+	repl(dev, strings.NewReader(script), &out)
+	got := out.String()
+	for _, want := range []string{
+		`"one"`,            // get alpha
+		"not found",        // get missing / deleted alpha
+		`"beta" = "two"`,   // scan output
+		"live keys:",       // stats
+		"level lists",      // meta
+		`unknown command`,  // bogus
+		"usage: put",       // arg validation
+		"device clock now", // fill
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("transcript missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Socialgraph models the paper's UDB workload (Facebook's social-graph
+// storage layer: 27-byte keys, 127-byte values — a low-v/k workload): an
+// edge store mapping "graph:<user>:<seq>" keys to small association
+// records, with range scans reading a user's adjacency list.
+//
+// It loads and churns a synthetic graph on three devices and compares
+// point-read tails with adjacency-scan latencies — the trade the paper's
+// §6.6/Fig. 18 analyse. PinK and AnyKey+ keep values away from the
+// key-ordered structures (write-optimised; scans gather scattered pages),
+// while AnyKey− inlines values into the key-ordered data segment groups, so
+// a whole adjacency list comes out of one or two neighbouring flash pages —
+// the co-location effect behind Fig. 18's long-scan wins.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"anykey"
+)
+
+const (
+	numUsers     = 150
+	edgesPerUser = 96
+	valueSize    = 127
+)
+
+func edgeKey(user, seq int) []byte {
+	// 27-byte keys like the paper's UDB profile.
+	return []byte(fmt.Sprintf("graph:%08d:%010d", user, seq))
+}
+
+func edgeValue(user, seq int) []byte {
+	v := fmt.Sprintf(`{"to":%d,"w":%d,"t":172}`, seq*7919%100000, user%97)
+	for len(v) < valueSize {
+		v += "."
+	}
+	return []byte(v[:valueSize])
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	for _, design := range []anykey.Design{anykey.DesignPinK, anykey.DesignAnyKeyPlus, anykey.DesignAnyKeyMinus} {
+		dev, err := anykey.Open(anykey.Options{
+			Design:     design,
+			CapacityMB: 64,
+			// Scan-centric deployment: a small value log keeps values folded
+			// into the key-ordered data segment groups (see EXPERIMENTS.md
+			// fig18).
+			LogFraction: 0.08,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Load the graph: every user's edges are key-adjacent.
+		for u := 0; u < numUsers; u++ {
+			for e := 0; e < edgesPerUser; e++ {
+				if _, err := dev.Put(edgeKey(u, e), edgeValue(u, e)); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		// Live churn: edges update continuously, so physical placement
+		// diverges from load order (as on any aged store).
+		for i := 0; i < numUsers*edgesPerUser*3; i++ {
+			u, e := rng.Intn(numUsers), rng.Intn(edgesPerUser)
+			if _, err := dev.Put(edgeKey(u, e), edgeValue(u, e+i)); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		// Point reads: fetch one edge per user, track the worst latency.
+		var worst, sum anykey.Duration
+		for u := 0; u < numUsers; u++ {
+			_, lat, err := dev.Get(edgeKey(u, rng.Intn(edgesPerUser)))
+			if err != nil {
+				log.Fatal(err)
+			}
+			sum += lat
+			if lat > worst {
+				worst = lat
+			}
+		}
+
+		// Adjacency scans: read each 10th user's full edge list.
+		var scanSum anykey.Duration
+		scans := 0
+		for u := 0; u < numUsers; u += 10 {
+			pairs, lat, err := dev.Scan(edgeKey(u, 0), edgesPerUser)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(pairs) != edgesPerUser {
+				log.Fatalf("scan returned %d edges, want %d", len(pairs), edgesPerUser)
+			}
+			scanSum += lat
+			scans++
+		}
+
+		flash := dev.Flash()
+		fmt.Printf("%-8s point reads: mean %v, worst %v | %d-edge scans: mean %v | flash reads %d\n",
+			design, sum/anykey.Duration(numUsers), worst,
+			edgesPerUser, scanSum/anykey.Duration(scans), flash.TotalReads())
+	}
+	fmt.Println("\nAnyKey- (inline values) keeps each adjacency list co-located inside one data")
+	fmt.Println("segment group, so full-list scans touch the fewest flash pages; the value-log")
+	fmt.Println("variants trade that for cheaper writes (see EXPERIMENTS.md, fig18/fig19).")
+}

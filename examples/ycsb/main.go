@@ -1,0 +1,91 @@
+// YCSB runs the six standard YCSB core workload mixes (A–F) against a
+// simulated PinK device and a simulated AnyKey+ device and prints throughput
+// and read/scan latency percentiles for each — the cross-mix comparison a
+// storage team would run before adopting a KV-SSD.
+//
+// YCSB's default profile (20-byte keys, 1,000-byte values) is one of the
+// paper's high-v/k workloads, so the two designs land close together here;
+// swap the spec for a Table 2 low-v/k profile (e.g. ZippyDB) to watch the
+// gap open.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"anykey"
+
+	"anykey/internal/workload"
+)
+
+const (
+	capacityMB = 64
+	population = 30000
+	operations = 60000
+)
+
+func pct(lats []anykey.Duration, p float64) anykey.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats[int(p*float64(len(lats)-1))]
+}
+
+func main() {
+	spec, _ := workload.ByName("YCSB")
+	fmt.Printf("YCSB core mixes on %d MiB devices (%d keys, %d ops per mix)\n\n",
+		capacityMB, population, operations)
+	fmt.Printf("%-3s  %-8s %-10s %-12s %-12s %-12s\n", "mix", "system", "ops/s(sim)", "p50", "p95", "p99")
+
+	for _, mix := range workload.YCSBMixes {
+		cfg, _ := workload.YCSBConfig(mix.Name, population)
+		for _, design := range []anykey.Design{anykey.DesignPinK, anykey.DesignAnyKeyPlus} {
+			dev, err := anykey.Open(anykey.Options{Design: design, CapacityMB: capacityMB,
+				DRAMBytes: capacityMB << 20 / 100})
+			if err != nil {
+				log.Fatal(err)
+			}
+			gen, err := workload.NewGenerator(spec, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Load phase.
+			for i := uint64(0); i < population; i++ {
+				id := gen.LoadID(i)
+				if _, err := dev.Put(gen.Key(id), gen.Value(id, 0)); err != nil {
+					log.Fatal(err)
+				}
+			}
+			// Run phase.
+			start := dev.Now()
+			var lats []anykey.Duration
+			for op := 0; op < operations; op++ {
+				o := gen.Next()
+				switch o.Kind {
+				case workload.OpPut:
+					if _, err := dev.Put(o.Key, o.Value); err != nil {
+						log.Fatal(err)
+					}
+				case workload.OpGet:
+					_, lat, err := dev.Get(o.Key)
+					if err != nil {
+						log.Fatal(err)
+					}
+					lats = append(lats, lat)
+				case workload.OpScan:
+					_, lat, err := dev.Scan(o.Key, o.ScanLen)
+					if err != nil {
+						log.Fatal(err)
+					}
+					lats = append(lats, lat)
+				}
+			}
+			elapsed := dev.Now().Sub(start)
+			fmt.Printf("%-3s  %-8v %-10.0f %-12v %-12v %-12v\n",
+				mix.Name, design, float64(operations)/elapsed.Seconds(),
+				pct(lats, 0.50), pct(lats, 0.95), pct(lats, 0.99))
+		}
+	}
+}

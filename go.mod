@@ -1,0 +1,3 @@
+module anykey
+
+go 1.22

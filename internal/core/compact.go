@@ -1,0 +1,576 @@
+package core
+
+import (
+	"anykey/internal/kv"
+	"anykey/internal/nand"
+	"anykey/internal/sim"
+	"anykey/internal/xxhash"
+)
+
+// Compaction (paper §4.4, Fig. 8). Two triggers exist:
+//
+//   - Tree-triggered: a level exceeds its size threshold after a merge; the
+//     whole level is merged into the next one. Values living in the value
+//     log are carried as pointers with no I/O.
+//   - Log-triggered: the value log reaches its size trigger; a source level
+//     is chosen and merged into the next level while its (and the
+//     destination's) log-resident values are folded into the new groups,
+//     freeing log blocks. Base AnyKey folds everything — which can push the
+//     destination over its threshold and chain straight into a
+//     tree-triggered compaction (the §4.6 problem). AnyKey+ stops folding at
+//     α × threshold and writes the remainder back to fresh log space, and
+//     picks its source by invalid-log-bytes rather than valid-log-bytes.
+//
+// Garbage collection of the group area is safe at any moment (it relocates
+// whole groups by PPA and consults no records), so unlike PinK there is no
+// reentrancy protocol here — allocation helpers GC on demand.
+
+// compactOpts parameterises one compaction run.
+type compactOpts struct {
+	inlineLog bool  // fold log-resident values into the new groups
+	alphaCut  int64 // >0: stop folding once the destination holds this many bytes
+	fromLog   bool  // this run was triggered by the value log filling
+}
+
+// flush drains the memtable: values are appended to the value log (the
+// paper's write path — "all values from new writes are written into the
+// value log first") and the resulting key/pointer entities are merged into
+// L1, cascading as needed.
+func (d *Device) flush(at sim.Time) (sim.Time, error) {
+	entries := d.mt.All()
+	d.mt.Reset()
+	// On any failure (typically ErrDeviceFull) the accepted-but-unflushed
+	// pairs must survive: put the drained entries back so the buffer still
+	// holds them when the caller surfaces the error.
+	restore := func() {
+		for i := range entries {
+			if entries[i].Tombstone {
+				d.mt.Delete(entries[i].Key)
+			} else {
+				d.mt.Put(entries[i].Key, entries[i].Value)
+			}
+		}
+	}
+
+	now := at
+	var valueBytes int64
+	for i := range entries {
+		if !entries[i].Tombstone {
+			valueBytes += int64(len(entries[i].Value))
+		}
+	}
+	useLog := d.vlog != nil
+	if useLog {
+		t, err := d.ensureLogRoom(now, valueBytes)
+		if err != nil {
+			restore()
+			return t, err
+		}
+		now = t
+		// If compaction could not make room (the log is pinned by live
+		// values and stragglers), this flush inlines its values into the
+		// groups instead of overshooting the log area — the degraded mode
+		// base AnyKey exhibits under value-heavy workloads.
+		useLog = d.vlog.roomFor(valueBytes)
+	}
+	t, err := d.ensureFree(now, 1)
+	if err != nil {
+		restore()
+		return t, err
+	}
+	now = t
+
+	// Log appends are dispatched as one batch at the flush instant: each
+	// page program queues on its own chip (the flash model handles per-die
+	// contention), and the flush completes when the slowest lands.
+	appendAt := now
+	ents := make([]kv.Entity, 0, len(entries))
+	for i := range entries {
+		ent := &entries[i]
+		e := kv.Entity{Key: ent.Key, Hash: xxhash.Sum32(ent.Key)}
+		switch {
+		case ent.Tombstone:
+			e.Tombstone = true
+		case useLog:
+			ptr, t, err := d.vlog.append(appendAt, ent.Value, nand.CauseFlush)
+			if err != nil {
+				restore()
+				return t, err
+			}
+			now = sim.Max(now, t)
+			e.InLog = true
+			e.LogPtr = ptr
+			e.ValueLen = len(ent.Value)
+		default: // AnyKey−: inline
+			e.Value = ent.Value
+			e.ValueLen = len(ent.Value)
+		}
+		ents = append(ents, e)
+	}
+	var physUnit int64
+	for i := range ents {
+		physUnit += int64(ents[i].EncodedSize() + 6)
+	}
+	if physUnit > d.flushUnit {
+		d.flushUnit = physUnit
+	}
+	done, err := d.compactInto(now, 1, ents, compactOpts{})
+	if err != nil {
+		restore()
+	}
+	return done, err
+}
+
+// compactInto merges pending (key-sorted, newer than level dst) into level
+// dst, then cascades tree-triggered compactions while levels overflow.
+func (d *Device) compactInto(at sim.Time, dst int, pending []kv.Entity, opts compactOpts) (sim.Time, error) {
+	now := at
+	for {
+		for len(d.levels) < dst {
+			d.levels = append(d.levels, &level{})
+		}
+		if !opts.fromLog {
+			d.st.TreeCompactions++
+		}
+		old, t := d.collectLevelEntities(now, dst-1, nand.CauseCompaction)
+		now = t
+		merged := d.mergeEntities(pending, old, dst, d.deepestBelow(dst))
+		now = d.cpu.Occupy(now, sim.Duration(len(merged))*mergeCPUCost)
+		if opts.inlineLog {
+			merged, now = d.foldLogValues(now, merged, opts.alphaCut, d.foldSpaceBudget())
+		}
+		var err error
+		now, err = d.writeLevel(now, dst, merged)
+		if err != nil {
+			return now, err
+		}
+		if d.levels[dst-1].bytes <= d.threshold(dst) {
+			return now, nil
+		}
+		if opts.fromLog {
+			// A log-triggered compaction just overflowed its destination:
+			// this cascade is the compaction chain AnyKey+ exists to avoid.
+			d.st.ChainedCompactions++
+		}
+		opts = compactOpts{} // cascades are plain tree compactions
+		pending, now = d.collectLevelEntities(now, dst-1, nand.CauseCompaction)
+		dst++
+	}
+}
+
+// collectLevelEntities reads every page of every group in level index i
+// (reads issued in parallel at `at`), decodes the entities in key order via
+// the location tables, and dismantles the level.
+func (d *Device) collectLevelEntities(at sim.Time, i int, cause nand.Cause) ([]kv.Entity, sim.Time) {
+	lv := d.levels[i]
+	var ents []kv.Entity
+	now := at
+	for _, g := range lv.groups {
+		imgs := make([][]byte, g.numPages)
+		for p := 0; p < g.numPages; p++ {
+			ppa := g.firstPPA + nand.PPA(p)
+			now = sim.Max(now, d.arr.Read(at, ppa, cause))
+			imgs[p] = d.arr.PageData(ppa)
+		}
+		table := readLocationTable(imgs[:g.tablePages], g.count)
+		for _, loc := range table {
+			pr := kv.OpenPage(imgs[g.tablePages+int(loc.Page)])
+			e, err := pr.Entity(int(loc.Rec))
+			if err != nil {
+				panic(err)
+			}
+			ents = append(ents, e)
+		}
+		d.releaseGroup(g)
+	}
+	lv.groups = nil
+	lv.bytes = 0
+	lv.logInvalid = 0
+	return ents, now
+}
+
+// releaseGroup drops a group: DRAM charges returned, flash pages
+// invalidated, block index updated. The page payloads stay readable (Go
+// keeps the buffers alive) until the block is erased, mirroring real flash.
+func (d *Device) releaseGroup(g *group) {
+	d.mem.Release(dramLevelLabel, g.entryBytes())
+	if g.hashes != nil {
+		d.mem.Release(dramHashLabel, g.hashListBytes())
+		g.hashes = nil
+	}
+	for p := 0; p < g.numPages; p++ {
+		d.pool.MarkInvalid(g.firstPPA + nand.PPA(p))
+	}
+	b := d.arr.BlockOf(g.firstPPA)
+	gs := d.groupsAt[b]
+	for i, og := range gs {
+		if og == g {
+			d.groupsAt[b] = append(gs[:i], gs[i+1:]...)
+			break
+		}
+	}
+	if len(d.groupsAt[b]) == 0 {
+		delete(d.groupsAt, b)
+	}
+}
+
+// mergeEntities merges two key-sorted runs (newer wins). Superseded
+// log-resident values die immediately in the log, and their bytes are
+// attributed to the destination level's invalid counter — the AnyKey+
+// source-selection signal. Tombstones are dropped at the bottom level.
+func (d *Device) mergeEntities(newer, older []kv.Entity, dst int, atBottom bool) []kv.Entity {
+	out := make([]kv.Entity, 0, len(newer)+len(older))
+	emit := func(e kv.Entity) {
+		if e.Tombstone && atBottom {
+			if e.InLog {
+				panic("core: tombstone with log value")
+			}
+			return
+		}
+		out = append(out, e)
+	}
+	drop := func(e *kv.Entity) {
+		if e.InLog {
+			d.vlog.invalidate(e.LogPtr, e.ValueLen)
+			d.levels[dst-1].logInvalid += int64(e.ValueLen)
+		}
+	}
+	i, j := 0, 0
+	for i < len(newer) && j < len(older) {
+		switch kv.Compare(newer[i].Key, older[j].Key) {
+		case -1:
+			emit(newer[i])
+			i++
+		case 1:
+			emit(older[j])
+			j++
+		default:
+			drop(&older[j])
+			emit(newer[i])
+			i++
+			j++
+		}
+	}
+	for ; i < len(newer); i++ {
+		emit(newer[i])
+	}
+	for ; j < len(older); j++ {
+		emit(older[j])
+	}
+	return out
+}
+
+// foldLogValues is the log-triggered value movement: walking the merged
+// run in key order, log-resident values are read (each log page once) and
+// inlined into the entities until the α cutoff, after which AnyKey+
+// relocates the remainder to fresh log space instead (Fig. 9b). alphaCut=0
+// folds everything (base AnyKey).
+// foldSpaceBudget bounds how many value bytes a fold may inline into the
+// group area: the free pool minus the GC reserve. Folding beyond free space
+// would wedge the device; values over budget simply stay in the log.
+func (d *Device) foldSpaceBudget() int64 {
+	free := int64(d.pool.FreeBlocks()-d.cfg.FreeBlockReserve-4) *
+		int64(d.cfg.Geometry.PagesPerBlock) * int64(pagePayload(d.cfg.Geometry.PageSize))
+	if free < 0 {
+		free = 0
+	}
+	return free / 2 // headroom for the entities themselves and churn
+}
+
+func (d *Device) foldLogValues(at sim.Time, ents []kv.Entity, alphaCut, spaceBudget int64) ([]kv.Entity, sim.Time) {
+	now := at
+	// Batch phase: every needed log page (including fragment-chain
+	// continuations) is read once, all dispatched at the fold instant
+	// (per-die queueing handled by the flash model).
+	pagesRead := make(map[nand.PPA]bool)
+	for i := range ents {
+		if !ents[i].InLog {
+			continue
+		}
+		for _, ppa := range d.vlog.fragPages(ents[i].LogPtr) {
+			if ppa != d.vlog.curPPA && !pagesRead[ppa] {
+				now = sim.Max(now, d.arr.Read(at, ppa, nand.CauseCompaction))
+				pagesRead[ppa] = true
+			}
+		}
+	}
+	readVal := func(ptr uint64) []byte { return d.vlog.peek(ptr) }
+	appendAt := now
+	// builtBytes tracks the destination level's physical growth; the α
+	// cutoff is against the level's physical threshold (Fig. 9b).
+	var builtBytes, inlinedBytes int64
+	for i := range ents {
+		e := &ents[i]
+		if !e.InLog {
+			builtBytes += int64(e.EncodedSize() + 6)
+			continue
+		}
+		inlined := kv.Entity{Key: e.Key, Hash: e.Hash, Value: make([]byte, e.ValueLen)}
+		candidate := builtBytes + int64(inlined.EncodedSize()+6)
+		overAlpha := alphaCut > 0 && candidate > alphaCut
+		overSpace := inlinedBytes+int64(e.ValueLen) > spaceBudget
+		if overAlpha || overSpace {
+			// Written back into fresh log space instead of the groups:
+			// AnyKey+'s early termination (Fig. 9b), and — for either
+			// variant — the consolidation path when the group area lacks
+			// room to inline. Write-back defragments the log: the old,
+			// mostly dead blocks lose their last live bytes and erase.
+			valCopy := append([]byte(nil), readVal(e.LogPtr)...)
+			d.vlog.invalidate(e.LogPtr, e.ValueLen)
+			ptr, t, err := d.vlog.append(appendAt, valCopy, nand.CauseCompaction)
+			if err == nil {
+				now = sim.Max(now, t)
+				e.LogPtr = ptr
+				builtBytes += int64(e.EncodedSize() + 6)
+			} else {
+				// No log space at all: inline as a last resort.
+				e.InLog = false
+				e.Value = valCopy
+				builtBytes = candidate
+			}
+			continue
+		}
+		e.Value = append([]byte(nil), readVal(e.LogPtr)...)
+		d.vlog.invalidate(e.LogPtr, e.ValueLen)
+		e.InLog = false
+		e.LogPtr = 0
+		builtBytes = candidate
+		inlinedBytes += int64(e.ValueLen)
+	}
+	return ents, now
+}
+
+// writeLevel partitions the merged key-sorted entities into data segment
+// groups, writes them to contiguous page runs, and installs level dst.
+func (d *Device) writeLevel(at sim.Time, dst int, ents []kv.Entity) (sim.Time, error) {
+	lv := d.levels[dst-1]
+	if len(lv.groups) != 0 {
+		panic("core: writeLevel into non-empty level")
+	}
+	d.epoch++ // stamp this rebuild's groups
+	// All group programs are dispatched at the same instant — the level
+	// rebuild runs across every die in parallel and completes when the
+	// slowest page lands (the flash model serialises per-die contention).
+	now := at
+	remaining := ents
+	for len(remaining) > 0 {
+		cut := takeGroup(remaining, d.cfg.Geometry.PageSize, d.cfg.GroupPages)
+		bg := buildGroup(remaining[:cut], d.cfg.Geometry.PageSize)
+		// takeGroup sizes the prefix in key order, but pages fill in hash
+		// order, whose bin packing can differ by a page; shrink until the
+		// built group honours the block-bounded run size.
+		for bg.g.numPages > d.cfg.GroupPages && cut > 1 {
+			cut -= (cut + 15) / 16
+			if cut < 1 {
+				cut = 1
+			}
+			bg = buildGroup(remaining[:cut], d.cfg.Geometry.PageSize)
+		}
+		remaining = remaining[cut:]
+		t, err := d.installGroup(at, dst, bg, nand.CauseCompaction)
+		if err != nil {
+			return t, err
+		}
+		now = sim.Max(now, t)
+	}
+	return now, nil
+}
+
+// installGroup writes a built group's pages to a fresh contiguous run and
+// adds it to level dst.
+func (d *Device) installGroup(at sim.Time, dst int, bg *builtGroup, cause nand.Cause) (sim.Time, error) {
+	g := bg.g
+	// Patch the destination level and epoch into the persistent headers,
+	// then seal every page (the simulated controller's ECC footer).
+	for p := 0; p < g.tablePages; p++ {
+		extra := kv.OpenPage(bg.pages[p]).Extra()
+		put16(extra[2:], uint16(dst))
+		put32(extra[12:], d.epoch)
+	}
+	for _, img := range bg.pages {
+		kv.SealPage(img)
+	}
+	ppa, err := d.nextRun(at, dst, g.numPages)
+	if err != nil {
+		return at, err
+	}
+	now := at
+	for p, img := range bg.pages {
+		now = sim.Max(now, d.arr.Program(at, ppa+nand.PPA(p), img, cause))
+		d.pool.MarkValid(ppa + nand.PPA(p))
+	}
+	g.firstPPA = ppa
+	g.physBytes = int64(g.numPages) * int64(d.cfg.Geometry.PageSize)
+	b := d.arr.BlockOf(ppa)
+	d.groupsAt[b] = append(d.groupsAt[b], g)
+
+	lv := d.levels[dst-1]
+	lv.groups = append(lv.groups, g)
+	lv.bytes += g.physBytes
+	d.mem.MustReserve(dramLevelLabel, g.entryBytes())
+	d.attachHashList(dst, g, bg.entityHashes)
+	return now, nil
+}
+
+// nextRun allocates a contiguous page run from the level's stream,
+// garbage-collecting on demand.
+func (d *Device) nextRun(at sim.Time, level, n int) (nand.PPA, error) {
+	s := d.groupStream(level)
+	if ppa, ok := s.NextRun(n); ok {
+		return ppa, nil
+	}
+	if _, err := d.ensureFree(at, 1); err != nil {
+		return 0, err
+	}
+	ppa, ok := s.NextRun(n)
+	if !ok {
+		return 0, kv.ErrDeviceFull
+	}
+	return ppa, nil
+}
+
+// attachHashList gives the freshly built group a hash list if DRAM allows,
+// evicting hash lists from deeper levels first (the paper keeps hash lists
+// for top levels, §4.2).
+func (d *Device) attachHashList(dst int, g *group, hashes []uint32) {
+	if d.cfg.NoHashLists {
+		return
+	}
+	need := int64(4 * len(hashes))
+	for !d.mem.Reserve(dramHashLabel, need) {
+		if !d.dropDeepestHashList(dst) {
+			return // nothing lower-priority to drop: go without
+		}
+	}
+	g.hashes = hashes
+}
+
+// dropDeepestHashList removes one hash list from the deepest level below
+// dst holding one. It reports false when none exists.
+func (d *Device) dropDeepestHashList(dst int) bool {
+	for i := len(d.levels) - 1; i >= dst; i-- {
+		for _, g := range d.levels[i].groups {
+			if g.hashes != nil {
+				d.mem.Release(dramHashLabel, g.hashListBytes())
+				g.hashes = nil
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DRAM ledger labels.
+const (
+	dramLevelLabel = "levellist"
+	dramHashLabel  = "hashlist"
+)
+
+// deepestBelow reports whether every level deeper than dst is empty.
+func (d *Device) deepestBelow(dst int) bool {
+	for i := dst; i < len(d.levels); i++ {
+		if len(d.levels[i].groups) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ensureLogRoom keeps the value log under its trigger threshold before a
+// flush appends valueBytes more, running log-triggered compactions as
+// needed (§4.4 "Log-triggered Compaction").
+func (d *Device) ensureLogRoom(at sim.Time, valueBytes int64) (sim.Time, error) {
+	// Fully dead log blocks (hot keys overwrite their old values quickly)
+	// are erased in place first — reclamation, not compaction, is the
+	// common case for skewed writes.
+	now, _ := d.vlog.reclaim(at)
+	for tries := 0; tries < 4 && !d.vlog.roomFor(valueBytes); tries++ {
+		t, ok, err := d.logCompact(now)
+		now = t
+		if err != nil {
+			return now, err
+		}
+		if !ok {
+			break // nothing left to fold; proceed and let the cap stretch
+		}
+	}
+	return now, nil
+}
+
+// logCompact runs one log-triggered compaction: pick the source level, merge
+// it into the next one folding log values into groups, then erase fully
+// dead log blocks.
+func (d *Device) logCompact(at sim.Time) (sim.Time, bool, error) {
+	// When the log is full of *live* bytes, defragmentation cannot create
+	// room: values must be disposed into the tree. Fold into the deepest
+	// value-owning level (rarely rewritten). Otherwise the log is full of
+	// garbage and the policy picks the cheapest reclaim source.
+	var liveLog int64
+	for _, lv := range d.levels {
+		liveLog += lv.logValid()
+	}
+	disposal := liveLog > d.vlog.capacityBytes()*3/4
+
+	var src int
+	if disposal {
+		src = -1
+		var best int64
+		for i, lv := range d.levels {
+			if v := lv.logValid(); v > best {
+				best, src = v, i+1
+			}
+		}
+	} else {
+		src = d.pickLogCompactSource()
+	}
+	if src < 0 {
+		return at, false, nil
+	}
+	d.st.LogCompactions++
+	opts := compactOpts{inlineLog: true, fromLog: true}
+	if d.cfg.Plus && !disposal {
+		opts.alphaCut = int64(d.cfg.Alpha * float64(d.threshold(src+1)))
+	}
+	pending, now := d.collectLevelEntities(at, src-1, nand.CauseCompaction)
+	now, err := d.compactInto(now, src+1, pending, opts)
+	if err != nil {
+		return now, false, err
+	}
+	now, _ = d.vlog.reclaim(now)
+	return now, true, nil
+}
+
+// pickLogCompactSource chooses the level whose compaction frees the most
+// log space: base AnyKey takes the level with the most *valid* log bytes;
+// AnyKey+ the level with the most *invalid* log bytes (falling back to the
+// base rule when no invalidations have been seen). Returns -1 when the tree
+// holds no log-resident values.
+func (d *Device) pickLogCompactSource() int {
+	pick := func(metric func(*level) int64) int {
+		best, bestScore := -1, int64(0)
+		for i, lv := range d.levels {
+			if len(lv.groups) == 0 {
+				continue
+			}
+			if s := metric(lv); s > bestScore {
+				best, bestScore = i+1, s
+			}
+		}
+		return best
+	}
+	if d.cfg.Plus {
+		// AnyKey+ scores levels by invalid log bytes normalised by the
+		// physical compaction cost, so reclaiming churn-heavy levels never
+		// costs more than it frees; ties and cold starts fall back to the
+		// base rule.
+		if b := pick(func(lv *level) int64 {
+			if lv.logInvalid == 0 {
+				return 0
+			}
+			return lv.logInvalid - lv.bytes
+		}); b > 0 {
+			return b
+		}
+	}
+	return pick(func(lv *level) int64 { return lv.logValid() })
+}

@@ -1,0 +1,578 @@
+// Package core implements AnyKey, the paper's contribution: a KV-SSD whose
+// metadata stays DRAM-resident for every workload type (§4).
+//
+// AnyKey groups KV pairs into data segment groups — runs of neighbouring
+// flash pages within one block — and keeps metadata per *group* rather than
+// per pair: each DRAM level-list entry holds only the group's smallest key,
+// the PPA of its first page, and the truncated 16-bit hashes of the first
+// entity on each page. Entities inside a group are sorted by the 32-bit
+// xxHash of their keys, so a lookup binary-searches the per-page hash
+// prefixes, reads exactly one page, and resolves rare prefix/hash ties with
+// the per-page collision bits (Fig. 7). Per-group hash lists — sorted arrays
+// of every hash in the group — fill the remaining DRAM top level first and
+// eliminate fruitless flash reads from overlapping level ranges.
+//
+// Values are detached into a value log at flush time, so tree compaction
+// moves only small key/pointer entities; a log-triggered compaction folds
+// log values back into groups when the log fills. The Plus variant
+// (AnyKey+) bounds that folding at α × the destination level's threshold and
+// picks its source level by invalid log bytes, eliminating the compaction
+// chains of §4.6. The NoValueLog variant (AnyKey−) is the §6.7 ablation.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"anykey/internal/device"
+	"anykey/internal/dram"
+	"anykey/internal/ftl"
+	"anykey/internal/kv"
+	"anykey/internal/memtable"
+	"anykey/internal/nand"
+	"anykey/internal/sim"
+	"anykey/internal/xxhash"
+)
+
+// Config parameterises an AnyKey device.
+type Config struct {
+	Geometry nand.Geometry
+	Timing   nand.Timing
+
+	// DRAMBytes is the device-internal DRAM budget shared by level lists
+	// (pinned), the write buffer (pinned) and hash lists (best effort).
+	DRAMBytes int64
+
+	// MemtableBytes is the L0 flush threshold.
+	MemtableBytes int64
+
+	// GrowthFactor is the LSM level size ratio.
+	GrowthFactor int
+
+	// GroupPages is the number of neighbouring flash pages combined into one
+	// data segment group (paper default: 32 pages).
+	GroupPages int
+
+	// LogFraction is the share of the device's blocks reserved as the value
+	// log area. The paper reserves half of the remaining SSD capacity
+	// (§4.3), so the default is 0.5 — in steady state values live in the
+	// log and tree compaction moves only key/pointer entities. Fig. 19
+	// sweeps small logs (5–15 %) to show the cost of undersizing.
+	LogFraction float64
+
+	// Plus enables the AnyKey+ modified log-triggered compaction (§4.6).
+	Plus bool
+
+	// Alpha is AnyKey+'s early-termination point as a fraction of the
+	// destination level's threshold.
+	Alpha float64
+
+	// NoValueLog disables the value log entirely (the AnyKey− ablation of
+	// §6.7): values are always inlined into data segment groups.
+	NoValueLog bool
+
+	// NoHashLists disables the per-group hash lists (§4.2 ablation): level
+	// walks then read candidate groups even when the key is absent, like
+	// other LSM designs without filters.
+	NoHashLists bool
+
+	// RequestOverhead, FreeBlockReserve and Seed are as in pink.Config.
+	RequestOverhead  sim.Duration
+	FreeBlockReserve int
+	Seed             int64
+
+	// BackgroundLag bounds how far background work (flush + compaction
+	// completion) may run behind the host clock before writes stall — the
+	// depth of the device's internal write queue in time units. Writes wait
+	// only for the excess beyond this lag.
+	BackgroundLag sim.Duration
+}
+
+// Defaults fills zero fields with the repository defaults.
+func (c *Config) Defaults() {
+	if c.Geometry == (nand.Geometry{}) {
+		c.Geometry = nand.Geometry{Channels: 8, ChipsPerChannel: 8, BlocksPerChip: 4, PagesPerBlock: 64, PageSize: 8192}
+	}
+	if c.Timing == (nand.Timing{}) {
+		c.Timing = nand.TLCTiming()
+	}
+	if c.DRAMBytes == 0 {
+		c.DRAMBytes = c.Geometry.Capacity() / 1000
+	}
+	if c.MemtableBytes == 0 {
+		c.MemtableBytes = int64(32 * c.Geometry.PageSize)
+	}
+	if c.GrowthFactor == 0 {
+		c.GrowthFactor = 4
+	}
+	if c.GroupPages == 0 {
+		c.GroupPages = 32
+	}
+	if c.GroupPages > c.Geometry.PagesPerBlock {
+		c.GroupPages = c.Geometry.PagesPerBlock
+	}
+	if c.GroupPages < 4 {
+		c.GroupPages = 4
+	}
+	if c.LogFraction == 0 {
+		c.LogFraction = 0.50
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.9
+	}
+	if c.RequestOverhead == 0 {
+		c.RequestOverhead = 3 * sim.Microsecond
+	}
+	if c.FreeBlockReserve == 0 {
+		c.FreeBlockReserve = 6
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.BackgroundLag == 0 {
+		c.BackgroundLag = 50 * sim.Millisecond
+	}
+}
+
+// hashCost and mergeCPUCost are the paper's measured controller-CPU
+// overheads (§4.5): 79 ns to hash a key, ≈7.2 ns per entity merged.
+const (
+	hashCost     = 79 * sim.Nanosecond
+	mergeCPUCost = 7 * sim.Nanosecond
+)
+
+// Device is a simulated AnyKey / AnyKey+ / AnyKey− KV-SSD.
+type Device struct {
+	cfg  Config
+	arr  *nand.Array
+	pool *ftl.Pool
+	mem  *dram.Budget
+	cpu  sim.Resource
+
+	mt     *memtable.Table
+	levels []*level
+	// groupStreams allocates group page runs per level, so a level's
+	// compaction invalidates whole blocks at once — the property behind
+	// AnyKey's (near) zero-relocation GC (§4.4). Stream 0 is used by GC
+	// relocation, which mixes levels by nature.
+	groupStreams map[int]*ftl.RunStream
+	vlog         *vlog
+
+	// groupsAt indexes the groups stored in each block, for group-granular
+	// GC relocation (§4.4).
+	groupsAt map[nand.BlockID][]*group
+
+	// epoch stamps each writeLevel invocation; persisted in group headers
+	// so recovery can tell a level's current groups from superseded ones.
+	epoch uint32
+
+	// flushUnit is the physical byte size of one flushed memtable's
+	// entities (running max): the base unit of the level thresholds. With
+	// values detached into the log, the tree is sized by its key/pointer
+	// entities — a deep but tiny tree, which is exactly why compaction
+	// stays cheap (§4.3).
+	flushUnit int64
+
+	bgDoneAt sim.Time
+	st       *device.Stats
+	opReads  int
+}
+
+var _ device.KVSSD = (*Device)(nil)
+
+// New builds an empty AnyKey device.
+func New(cfg Config) (*Device, error) {
+	cfg.Defaults()
+	arr, err := nand.New(cfg.Geometry, cfg.Timing)
+	if err != nil {
+		return nil, err
+	}
+	pool := ftl.NewPool(arr)
+	d := &Device{
+		cfg:          cfg,
+		arr:          arr,
+		pool:         pool,
+		mem:          dram.New(cfg.DRAMBytes),
+		mt:           memtable.New(cfg.Seed),
+		groupStreams: make(map[int]*ftl.RunStream),
+		groupsAt:     make(map[nand.BlockID][]*group),
+		st:           device.NewStats(),
+	}
+	if !cfg.NoValueLog {
+		maxLogBlocks := int(float64(pool.TotalBlocks()) * cfg.LogFraction)
+		if maxLogBlocks < 2 {
+			maxLogBlocks = 2
+		}
+		d.vlog = newVlog(d, maxLogBlocks)
+	}
+	d.mem.MustReserve("memtable", cfg.MemtableBytes)
+	d.st.Flash = func() nand.Counters { return arr.Counters() }
+	d.st.DRAMCapacity = func() int64 { return d.mem.Capacity() }
+	d.st.DRAMUsed = func() int64 { return d.mem.Used() }
+	return d, nil
+}
+
+// Stats implements device.KVSSD.
+func (d *Device) Stats() *device.Stats { return d.st }
+
+// Array exposes the flash array for tests and the harness.
+func (d *Device) Array() *nand.Array { return d.arr }
+
+// Plus reports whether the device runs the AnyKey+ compaction policy.
+func (d *Device) Plus() bool { return d.cfg.Plus }
+
+// threshold returns the physical size bound of level i (1-based), in units
+// of the physical flush size.
+func (d *Device) threshold(i int) int64 {
+	t := d.flushUnit
+	if t == 0 {
+		t = int64(d.cfg.Geometry.PageSize)
+	}
+	for ; i > 0; i-- {
+		t *= int64(d.cfg.GrowthFactor)
+	}
+	return t
+}
+
+func (d *Device) checkKV(key, value []byte) error {
+	switch {
+	case len(key) == 0:
+		return kv.ErrEmptyKey
+	case len(key) > kv.MaxKeyLen:
+		return kv.ErrKeyTooLarge
+	case len(value) > kv.MaxValueLen:
+		return kv.ErrValueTooLarge
+	case len(value) > d.cfg.Geometry.PageSize/2:
+		return fmt.Errorf("%w: value %d exceeds half page size %d",
+			kv.ErrValueTooLarge, len(value), d.cfg.Geometry.PageSize/2)
+	}
+	return nil
+}
+
+// Put implements device.KVSSD.
+func (d *Device) Put(at sim.Time, key, value []byte) (sim.Time, error) {
+	if err := d.checkKV(key, value); err != nil {
+		return at, err
+	}
+	done := d.cpu.Occupy(at.Add(d.cfg.RequestOverhead), hashCost)
+	d.accountPut(key, value)
+	d.mt.Put(append([]byte(nil), key...), append([]byte(nil), value...))
+	return d.maybeFlush(at, done)
+}
+
+// Delete implements device.KVSSD.
+func (d *Device) Delete(at sim.Time, key []byte) (sim.Time, error) {
+	if len(key) == 0 {
+		return at, kv.ErrEmptyKey
+	}
+	done := d.cpu.Occupy(at.Add(d.cfg.RequestOverhead), hashCost)
+	d.accountDelete(key)
+	d.mt.Delete(append([]byte(nil), key...))
+	return d.maybeFlush(at, done)
+}
+
+func (d *Device) maybeFlush(at, done sim.Time) (sim.Time, error) {
+	if d.mt.Bytes() < d.cfg.MemtableBytes {
+		return done, nil
+	}
+	// Flushes pipeline with in-flight compaction up to the device's write
+	// queue depth: the host stalls only when background work runs more than
+	// BackgroundLag behind (the chip timelines already enforce bandwidth).
+	start := at
+	if gate := d.bgDoneAt.Add(-d.cfg.BackgroundLag); gate.After(start) {
+		start = gate
+	}
+	end, err := d.flush(start)
+	if err != nil {
+		return at, err
+	}
+	d.bgDoneAt = end
+	return sim.Max(done, start), nil
+}
+
+func (d *Device) accountPut(key, value []byte) {
+	if e, ok := d.mt.Get(key); ok {
+		if e.Tombstone {
+			d.st.LiveKeys++
+			d.st.LiveBytes += int64(len(key) + len(value))
+		} else {
+			d.st.LiveBytes += int64(len(value)) - int64(len(e.Value))
+		}
+		return
+	}
+	if ent, _, found := d.lookupEntity(key); found {
+		d.st.LiveBytes += int64(len(value)) - int64(ent.Len())
+		return
+	}
+	d.st.LiveKeys++
+	d.st.LiveBytes += int64(len(key) + len(value))
+}
+
+func (d *Device) accountDelete(key []byte) {
+	if e, ok := d.mt.Get(key); ok {
+		if !e.Tombstone {
+			d.st.LiveKeys--
+			d.st.LiveBytes -= int64(len(key) + len(e.Value))
+		}
+		return
+	}
+	if ent, _, found := d.lookupEntity(key); found {
+		d.st.LiveKeys--
+		d.st.LiveBytes -= int64(len(key)) + int64(ent.Len())
+	}
+}
+
+// Sync flushes the write buffer to flash unconditionally (the device-level
+// FLUSH command): after Sync returns, every acknowledged write is
+// persistent and Reopen recovers it.
+func (d *Device) Sync(at sim.Time) (sim.Time, error) {
+	end := at
+	if d.mt.Len() > 0 {
+		start := sim.Max(at, d.bgDoneAt)
+		var err error
+		end, err = d.flush(start)
+		if err != nil {
+			return at, err
+		}
+		d.bgDoneAt = end
+	}
+	// The value log's open page buffers the tail values in DRAM; a durable
+	// sync programs it even partially filled.
+	if d.vlog != nil && d.vlog.curPPA != nand.InvalidPPA {
+		end = sim.Max(end, d.vlog.programOpen(end, nand.CauseFlush))
+		d.bgDoneAt = sim.Max(d.bgDoneAt, end)
+	}
+	return end, nil
+}
+
+// Get implements device.KVSSD: the read path of §4.4 — level-list walk,
+// hash-list check, page pick via per-page hash prefixes, entity read, and a
+// possible second flash access into the value log.
+func (d *Device) Get(at sim.Time, key []byte) ([]byte, sim.Time, error) {
+	if len(key) == 0 {
+		return nil, at, kv.ErrEmptyKey
+	}
+	d.opReads = 0
+	now := d.cpu.Occupy(at.Add(d.cfg.RequestOverhead), hashCost)
+	defer func() { d.st.ReadAccesses.Record(d.opReads) }()
+
+	if e, ok := d.mt.Get(key); ok {
+		if e.Tombstone {
+			return nil, now, kv.ErrNotFound
+		}
+		return e.Value, now, nil
+	}
+	hash := xxhash.Sum32(key)
+	for _, lv := range d.levels {
+		g := lv.findGroup(key)
+		if g == nil {
+			continue
+		}
+		if g.hashes != nil && !g.hashContains(hash) {
+			continue // hash list proves absence: no flash access
+		}
+		ent, t, found := d.searchGroup(now, g, key, hash, nand.CauseUser)
+		now = t
+		if !found {
+			continue
+		}
+		if ent.Tombstone {
+			return nil, now, kv.ErrNotFound
+		}
+		if !ent.InLog {
+			return ent.Value, now, nil
+		}
+		v, t2, charged := d.vlog.read(now, ent.LogPtr, nand.CauseUser)
+		if charged {
+			d.opReads++
+		}
+		return v, t2, nil
+	}
+	return nil, now, kv.ErrNotFound
+}
+
+// searchGroup locates key within a data segment group: binary search the
+// per-page first-entity hash prefixes, read the candidate page, and resolve
+// prefix ambiguity (walk back) and hash-collision continuation (collision
+// bits, Fig. 7) with at most a couple of extra reads.
+func (d *Device) searchGroup(at sim.Time, g *group, key []byte, hash uint32, cause nand.Cause) (kv.Entity, sim.Time, bool) {
+	h16 := xxhash.Prefix16(hash)
+	// Candidate page: last page whose first-entity prefix ≤ h16.
+	p := sort.Search(len(g.firstHash16), func(i int) bool { return g.firstHash16[i] > h16 }) - 1
+	if p < 0 {
+		return kv.Entity{}, at, false
+	}
+	now := at
+	for {
+		ppa := g.entityPPA(p)
+		now = d.arr.Read(now, ppa, cause)
+		d.opReads++
+		pr := kv.OpenPage(d.arr.PageData(ppa))
+		ent, stat := searchPageByHash(pr, key, hash)
+		switch stat {
+		case pageHit:
+			return ent, now, true
+		case pageBefore:
+			// Every entity on this page hashes above the target: the match,
+			// if any, is on an earlier page — possible only when that page
+			// shares the 16-bit prefix.
+			if p == 0 || g.firstHash16[p] != h16 {
+				return kv.Entity{}, now, false
+			}
+			p--
+			continue
+		case pageContinues:
+			// The target hash runs past the page boundary (collision bits
+			// say the run continues on the next page).
+			if p+1 >= g.entityPages() {
+				return kv.Entity{}, now, false
+			}
+			p++
+			continue
+		default:
+			return kv.Entity{}, now, false
+		}
+	}
+}
+
+type pageSearchStatus int
+
+const (
+	pageMiss pageSearchStatus = iota
+	pageHit
+	pageBefore
+	pageContinues
+)
+
+// Collision bits stored in each page's aux field (paper Fig. 7): bit 0 set
+// when the last hash run continues onto the next page, bit 1 set when the
+// first hash run continues from the previous page.
+const (
+	auxContinuesNext = 1 << 0
+	auxContinuesPrev = 1 << 1
+)
+
+// searchPageByHash binary-searches one page's hash-sorted entities.
+func searchPageByHash(pr kv.PageReader, key []byte, hash uint32) (kv.Entity, pageSearchStatus) {
+	n := pr.Count()
+	if n == 0 {
+		return kv.Entity{}, pageMiss
+	}
+	lo := sort.Search(n, func(i int) bool {
+		e, err := pr.Entity(i)
+		if err != nil {
+			panic(err)
+		}
+		return e.Hash >= hash
+	})
+	if lo == n {
+		// All hashes below target; the hash-prefix pick was right, so the
+		// key is simply absent (its hash would sort into this page's tail).
+		return kv.Entity{}, pageMiss
+	}
+	first, err := pr.Entity(lo)
+	if err != nil {
+		panic(err)
+	}
+	if first.Hash != hash {
+		if lo == 0 {
+			// Target hash sorts before every entity here: could live on the
+			// previous page when prefixes tie.
+			return kv.Entity{}, pageBefore
+		}
+		return kv.Entity{}, pageMiss
+	}
+	for i := lo; i < n; i++ {
+		e, err := pr.Entity(i)
+		if err != nil {
+			panic(err)
+		}
+		if e.Hash != hash {
+			return kv.Entity{}, pageMiss
+		}
+		if kv.Compare(e.Key, key) == 0 {
+			return e, pageHit
+		}
+	}
+	// The colliding run reaches the end of the page; consult the collision
+	// bits to decide whether it spills onto the next page.
+	if pr.Aux()&auxContinuesNext != 0 {
+		return kv.Entity{}, pageContinues
+	}
+	return kv.Entity{}, pageMiss
+}
+
+// lookupEntity finds the newest on-flash entity for key without charging any
+// simulated time (statistics bookkeeping only).
+func (d *Device) lookupEntity(key []byte) (kv.Entity, *group, bool) {
+	hash := xxhash.Sum32(key)
+	for _, lv := range d.levels {
+		g := lv.findGroup(key)
+		if g == nil {
+			continue
+		}
+		if g.hashes != nil && !g.hashContains(hash) {
+			continue
+		}
+		if ent, ok := d.searchGroupFree(g, key, hash); ok {
+			if ent.Tombstone {
+				return kv.Entity{}, nil, false
+			}
+			return ent, g, true
+		}
+	}
+	return kv.Entity{}, nil, false
+}
+
+// searchGroupFree is searchGroup without timing charges.
+func (d *Device) searchGroupFree(g *group, key []byte, hash uint32) (kv.Entity, bool) {
+	h16 := xxhash.Prefix16(hash)
+	p := sort.Search(len(g.firstHash16), func(i int) bool { return g.firstHash16[i] > h16 }) - 1
+	for p >= 0 && p < g.entityPages() {
+		pr := kv.OpenPage(d.arr.PageData(g.entityPPA(p)))
+		ent, stat := searchPageByHash(pr, key, hash)
+		switch stat {
+		case pageHit:
+			return ent, true
+		case pageBefore:
+			if p == 0 || g.firstHash16[p] != h16 {
+				return kv.Entity{}, false
+			}
+			p--
+		case pageContinues:
+			p++
+		default:
+			return kv.Entity{}, false
+		}
+	}
+	return kv.Entity{}, false
+}
+
+// Metadata implements device.KVSSD: level lists and hash lists, all
+// DRAM-resident by construction (Table 1, Fig. 11a).
+func (d *Device) Metadata() []device.MetaStructure {
+	var levelList, hashLists int64
+	for _, lv := range d.levels {
+		for _, g := range lv.groups {
+			levelList += g.entryBytes()
+			if g.hashes != nil {
+				hashLists += int64(4 * len(g.hashes))
+			}
+		}
+	}
+	return []device.MetaStructure{
+		{Name: "level lists", Bytes: levelList, InDRAM: true},
+		{Name: "hash lists", Bytes: hashLists, InDRAM: true},
+	}
+}
+
+// groupStream returns (creating on demand) the run allocator for one
+// level's groups; level 0 is the GC relocation stream.
+func (d *Device) groupStream(level int) *ftl.RunStream {
+	s, ok := d.groupStreams[level]
+	if !ok {
+		s = ftl.NewRunStream(d.pool, ftl.RegionData)
+		d.groupStreams[level] = s
+	}
+	return s
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"anykey/internal/ftl"
+	"anykey/internal/kv"
+	"anykey/internal/nand"
+	"anykey/internal/sim"
+)
+
+// AnyKey garbage collection (§4.4): victims are relocated at data-segment-
+// group granularity — the whole run of pages moves and only the group's
+// first-page PPA in its level-list entry changes. Because a compaction
+// invalidates its input groups together, and groups written together share
+// blocks, most victims hold no valid data at all and are erased in place;
+// the paper's Table 3 shows AnyKey's GC traffic at (or near) zero.
+//
+// Unlike PinK, this GC never consults records, so it is safe to run at any
+// point, including in the middle of a compaction's writes.
+
+// ensureFree brings the free-block count to the reserve plus extra. Each
+// round must grow the pool: relocating groups out of nearly full victims
+// consumes destination blocks, and on a truly full device that treadmill
+// makes no net progress — a few stalled rounds mean the device is full.
+func (d *Device) ensureFree(at sim.Time, extra int) (sim.Time, error) {
+	need := d.cfg.FreeBlockReserve + extra
+	now := at
+	stalls := 0
+	for d.pool.FreeBlocks() < need {
+		before := d.pool.FreeBlocks()
+		t, reclaimed := d.reclaimEmpty(now)
+		now = t
+		if d.pool.FreeBlocks() >= need {
+			break
+		}
+		t, progress, err := d.gcOnce(now)
+		now = t
+		if err != nil {
+			return now, err
+		}
+		if !progress && !reclaimed {
+			return now, kv.ErrDeviceFull
+		}
+		if d.pool.FreeBlocks() <= before {
+			stalls++
+			if stalls >= 8 {
+				return now, kv.ErrDeviceFull
+			}
+		} else {
+			stalls = 0
+		}
+	}
+	return now, nil
+}
+
+// reclaimEmpty erases every fully dead block in the group area and the
+// value log.
+func (d *Device) reclaimEmpty(at sim.Time) (sim.Time, bool) {
+	now := at
+	reclaimed := false
+	for {
+		b, ok := d.pool.VictimBelow(ftl.RegionData, 0)
+		if !ok {
+			break
+		}
+		now = d.pool.Release(now, b, nand.CauseGC)
+		reclaimed = true
+	}
+	if d.vlog != nil {
+		t, freed := d.vlog.reclaim(now)
+		now = t
+		reclaimed = reclaimed || freed
+	}
+	return now, reclaimed
+}
+
+// gcOnce relocates the group-area victim with the fewest valid pages.
+func (d *Device) gcOnce(at sim.Time) (sim.Time, bool, error) {
+	b, ok := d.pool.Victim(ftl.RegionData)
+	if !ok {
+		return at, false, nil
+	}
+	if d.pool.ValidPages(b) >= d.cfg.Geometry.PagesPerBlock {
+		return at, false, nil // nothing to gain
+	}
+	d.st.GCRuns++
+	now := at
+	// Relocate every group resident in the victim block, whole-group moves.
+	groups := append([]*group(nil), d.groupsAt[b]...)
+	for _, g := range groups {
+		t, err := d.relocateGroup(now, g)
+		if err != nil {
+			return t, false, err
+		}
+		now = t
+	}
+	if len(d.groupsAt[b]) != 0 {
+		panic("core: victim block still hosts groups after relocation")
+	}
+	if d.pool.ValidPages(b) != 0 {
+		panic("core: victim block still has valid pages after relocation")
+	}
+	return d.pool.Release(now, b, nand.CauseGC), true, nil
+}
+
+// relocateGroup copies one group to a fresh contiguous run and updates its
+// level-list entry's PPA.
+func (d *Device) relocateGroup(at sim.Time, g *group) (sim.Time, error) {
+	now := at
+	imgs := make([][]byte, g.numPages)
+	for p := 0; p < g.numPages; p++ {
+		ppa := g.firstPPA + nand.PPA(p)
+		now = sim.Max(now, d.arr.Read(at, ppa, nand.CauseGC))
+		imgs[p] = d.arr.PageData(ppa)
+	}
+	// Allocate the new run directly from the GC stream; GC must not recurse
+	// into itself, so a failure here (the reserve exists precisely to
+	// prevent it) ends the operation.
+	dst, ok := d.groupStream(0).NextRun(g.numPages)
+	if !ok {
+		return now, kv.ErrDeviceFull
+	}
+	writeDone := now
+	for p, img := range imgs {
+		// Page images are immutable once programmed; the same buffers are
+		// programmed at the new location.
+		writeDone = sim.Max(writeDone, d.arr.Program(now, dst+nand.PPA(p), img, nand.CauseGC))
+		d.pool.MarkValid(dst + nand.PPA(p))
+	}
+	d.st.GCRelocations += int64(g.numPages)
+
+	// Detach from the old block.
+	oldBlock := d.arr.BlockOf(g.firstPPA)
+	for p := 0; p < g.numPages; p++ {
+		d.pool.MarkInvalid(g.firstPPA + nand.PPA(p))
+	}
+	gs := d.groupsAt[oldBlock]
+	for i, og := range gs {
+		if og == g {
+			d.groupsAt[oldBlock] = append(gs[:i], gs[i+1:]...)
+			break
+		}
+	}
+	if len(d.groupsAt[oldBlock]) == 0 {
+		delete(d.groupsAt, oldBlock)
+	}
+
+	g.firstPPA = dst
+	newBlock := d.arr.BlockOf(dst)
+	d.groupsAt[newBlock] = append(d.groupsAt[newBlock], g)
+	return writeDone, nil
+}

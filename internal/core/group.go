@@ -1,0 +1,415 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"anykey/internal/kv"
+	"anykey/internal/nand"
+	"anykey/internal/xxhash"
+)
+
+// group is the in-DRAM descriptor of one data segment group: exactly the
+// level-list entry of §4.1 — the group's smallest key, the PPA of its first
+// page, and the truncated hashes of the first entity on each page — plus the
+// optional hash list and accounting fields.
+//
+// On flash the group occupies numPages consecutive pages of one block: the
+// first tablePages hold the key-sorted {page, record} location table used by
+// range queries (§4.4); the rest hold the KV entities sorted by key hash.
+type group struct {
+	smallest    []byte
+	firstPPA    nand.PPA
+	numPages    int
+	tablePages  int
+	firstHash16 []uint16 // one per entity page
+
+	count    int
+	bytes    int64 // logical key+value bytes of the group's entities
+	logBytes int64 // bytes of this group's values currently in the value log
+	// physBytes is the flash footprint (numPages × page size). Level
+	// thresholds compare physical group bytes: values parked in the value
+	// log do not count against the tree, which is what lets log-triggered
+	// compaction (folding values INTO groups) push a level over its
+	// threshold — the chain mechanism of Fig. 9.
+	physBytes int64
+
+	// hashes is the group's hash list: the sorted hashes of every entity,
+	// maintained in leftover DRAM for top levels (§4.2). nil when dropped.
+	hashes []uint32
+}
+
+// entryBytes is the DRAM footprint of the group's level-list entry: smallest
+// key + first-page PPA (8 B) + per-page hash prefixes + bookkeeping (16 B).
+func (g *group) entryBytes() int64 {
+	return int64(len(g.smallest)) + 8 + int64(2*len(g.firstHash16)) + 16
+}
+
+// hashListBytes is the DRAM footprint of the hash list when present.
+func (g *group) hashListBytes() int64 { return int64(4 * len(g.hashes)) }
+
+// hashContains binary-searches the hash list.
+func (g *group) hashContains(h uint32) bool {
+	i := sort.Search(len(g.hashes), func(i int) bool { return g.hashes[i] >= h })
+	return i < len(g.hashes) && g.hashes[i] == h
+}
+
+// entityPages returns the number of pages holding entities.
+func (g *group) entityPages() int { return g.numPages - g.tablePages }
+
+// entityPPA returns the PPA of entity page p (0-based among entity pages).
+func (g *group) entityPPA(p int) nand.PPA {
+	return g.firstPPA + nand.PPA(g.tablePages+p)
+}
+
+// level is one LSM level of the AnyKey tree. bytes is the *physical* flash
+// footprint of its groups (see group.physBytes).
+type level struct {
+	groups []*group
+	bytes  int64
+
+	// logInvalid accumulates the bytes of value-log data invalidated while
+	// referenced from this level — the AnyKey+ source-selection signal
+	// (§4.6). It resets when the level is rebuilt.
+	logInvalid int64
+}
+
+// findGroup returns the unique group whose key range may contain key.
+func (lv *level) findGroup(key []byte) *group {
+	i := sort.Search(len(lv.groups), func(i int) bool {
+		return kv.Compare(lv.groups[i].smallest, key) > 0
+	})
+	if i == 0 {
+		return nil
+	}
+	return lv.groups[i-1]
+}
+
+// logValid sums the level's live value-log bytes (the base AnyKey
+// source-selection signal).
+func (lv *level) logValid() int64 {
+	var t int64
+	for _, g := range lv.groups {
+		t += g.logBytes
+	}
+	return t
+}
+
+// --- group construction -------------------------------------------------
+
+// builtGroup is the output of the pure layout step: the descriptor (without
+// a PPA) and the page images to program.
+type builtGroup struct {
+	g        *group
+	pages    [][]byte
+	logBytes int64
+	// entityHashes feeds the hash-list budget decision after installation.
+	entityHashes []uint32
+}
+
+// locEntrySize is the byte cost of one location-table entry: {entity page
+// u16, record index u16}.
+const locEntrySize = 4
+
+// On-flash group header, stored at the start of every table page's extra
+// region. It makes the whole DRAM metadata derivable from flash: a recovery
+// scan finds group first pages by magic, reads the persisted level and
+// shape, and rebuilds level lists, hash prefixes and hash lists (see
+// recover.go).
+const (
+	groupMagic     uint16 = 0xA11E // first table page of a group
+	groupContMagic uint16 = 0xA11F // continuation table page
+	groupHdrSize          = 16     // magic u16, level u16, pages u16, tablePages u16, count u32, epoch u32
+)
+
+// putGroupHeader writes the header into a table page's extra prefix. The
+// epoch stamps which writeLevel produced the group: recovery keeps, per
+// level, only the groups of the newest epoch (a level rebuild supersedes
+// all of the level's earlier groups).
+func putGroupHeader(extra []byte, magic uint16, level, pages, tablePages, count int, epoch uint32) {
+	put16(extra[0:], magic)
+	put16(extra[2:], uint16(level))
+	put16(extra[4:], uint16(pages))
+	put16(extra[6:], uint16(tablePages))
+	put32(extra[8:], uint32(count))
+	put32(extra[12:], epoch)
+}
+
+// groupHeader decodes a table page's header; ok is false when the page does
+// not start a group (wrong or continuation magic).
+type groupHeader struct {
+	level, pages, tablePages int
+	count                    int
+	epoch                    uint32
+}
+
+func readGroupHeader(extra []byte) (groupHeader, bool) {
+	if len(extra) < groupHdrSize || get16(extra[0:]) != groupMagic {
+		return groupHeader{}, false
+	}
+	return groupHeader{
+		level:      int(get16(extra[2:])),
+		pages:      int(get16(extra[4:])),
+		tablePages: int(get16(extra[6:])),
+		count:      int(get32(extra[8:])),
+		epoch:      get32(extra[12:]),
+	}, true
+}
+
+func put16(b []byte, v uint16) { b[0] = byte(v); b[1] = byte(v >> 8) }
+func get16(b []byte) uint16    { return uint16(b[0]) | uint16(b[1])<<8 }
+func put32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+func get32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// pagePayload is the usable byte capacity of one page (header + CRC footer
+// excluded).
+func pagePayload(pageSize int) int { return pageSize - 10 }
+
+// tableChunk is the location-table capacity of one page — the payload minus
+// the persistent group header, aligned down to a whole number of entries so
+// no entry straddles a page boundary.
+func tableChunk(pageSize int) int {
+	return (pagePayload(pageSize) - groupHdrSize) / locEntrySize * locEntrySize
+}
+
+// groupLayout computes, without building anything, whether the first count
+// entities fit in at most maxPages pages, and how many pages they use.
+func groupLayout(ents []kv.Entity, count, pageSize, maxPages int) (pages int, ok bool) {
+	payload := pagePayload(pageSize)
+	chunk := tableChunk(pageSize)
+	tablePages := (count*locEntrySize + chunk - 1) / chunk
+	entityPages := 0
+	free := 0
+	for i := 0; i < count; i++ {
+		need := ents[i].EncodedSize() + 2
+		if need > free {
+			entityPages++
+			free = payload
+			if need > free {
+				return 0, false // single entity larger than a page
+			}
+		}
+		free -= need
+	}
+	total := tablePages + entityPages
+	return total, total <= maxPages && entityPages > 0
+}
+
+// takeGroup selects the longest prefix of ents that fits one group and
+// returns the cut index. ents must be non-empty and key-sorted.
+func takeGroup(ents []kv.Entity, pageSize, maxPages int) int {
+	// Exponential + binary search for the largest fitting count.
+	lo := 1
+	if _, ok := groupLayout(ents, 1, pageSize, maxPages); !ok {
+		panic(fmt.Sprintf("core: entity of %d bytes does not fit a group", ents[0].EncodedSize()))
+	}
+	hi := 2
+	for hi <= len(ents) {
+		if _, ok := groupLayout(ents, hi, pageSize, maxPages); !ok {
+			break
+		}
+		lo = hi
+		hi *= 2
+	}
+	if hi > len(ents) {
+		hi = len(ents)
+		if _, ok := groupLayout(ents, hi, pageSize, maxPages); ok {
+			return hi
+		}
+	}
+	// Invariant: lo fits, hi does not.
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if _, ok := groupLayout(ents, mid, pageSize, maxPages); ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// buildGroup lays out one data segment group from key-sorted entities:
+// entities are re-sorted by hash, packed into pages behind the key-sorted
+// location table, and the per-page hash prefixes and collision bits are
+// derived (§4.1, Fig. 7).
+func buildGroup(ents []kv.Entity, pageSize int) *builtGroup {
+	count := len(ents)
+	payload := pagePayload(pageSize)
+
+	// Hash order, ties broken by key for determinism.
+	order := make([]int, count)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ea, eb := &ents[order[a]], &ents[order[b]]
+		if ea.Hash != eb.Hash {
+			return ea.Hash < eb.Hash
+		}
+		return kv.Compare(ea.Key, eb.Key) < 0
+	})
+
+	// Assign entities to pages (same arithmetic as groupLayout).
+	type pos struct{ page, rec uint16 }
+	positions := make([]pos, count) // indexed by key order
+	pageOf := make([]int, count)    // indexed by hash order
+	entityPages := 0
+	free := 0
+	rec := 0
+	for hi, ki := range order {
+		need := ents[ki].EncodedSize() + 2
+		if need > free {
+			entityPages++
+			free = payload
+			rec = 0
+		}
+		free -= need
+		pageOf[hi] = entityPages - 1
+		positions[ki] = pos{page: uint16(entityPages - 1), rec: uint16(rec)}
+		rec++
+	}
+
+	// Location table bytes, key order.
+	table := make([]byte, 0, count*locEntrySize)
+	for ki := 0; ki < count; ki++ {
+		p := positions[ki]
+		table = append(table, byte(p.page), byte(p.page>>8), byte(p.rec), byte(p.rec>>8))
+	}
+	chunk := tableChunk(pageSize)
+	tablePages := (len(table) + chunk - 1) / chunk
+	if count == 0 {
+		panic("core: buildGroup with no entities")
+	}
+
+	g := &group{
+		smallest:    append([]byte(nil), ents[0].Key...),
+		numPages:    tablePages + entityPages,
+		tablePages:  tablePages,
+		firstHash16: make([]uint16, entityPages),
+	}
+	bg := &builtGroup{g: g, entityHashes: make([]uint32, 0, count)}
+
+	// Table pages, each carrying the persistent group header (the level
+	// field is patched at install time, when the destination is known).
+	pages := make([][]byte, 0, g.numPages)
+	for off := 0; off < len(table); off += chunk {
+		end := off + chunk
+		if end > len(table) {
+			end = len(table)
+		}
+		img := make([]byte, pageSize)
+		extra := make([]byte, groupHdrSize+end-off)
+		magic := groupContMagic
+		if off == 0 {
+			magic = groupMagic
+		}
+		putGroupHeader(extra, magic, 0, tablePages+entityPages, tablePages, count, 0)
+		copy(extra[groupHdrSize:], table[off:end])
+		kv.NewPageWriter(img, extra)
+		pages = append(pages, img)
+	}
+
+	// Entity pages.
+	var w *kv.PageWriter
+	var img []byte
+	var pageFirst, pageLast uint32 // first/last hash on current page
+	var prevLast uint32
+	havePrev := false
+	curPage := -1
+	finishPage := func() {
+		if curPage < 0 {
+			return
+		}
+		var aux uint16
+		if havePrev && pageFirst == prevLast {
+			aux |= auxContinuesPrev
+		}
+		w.SetAux(aux)
+		pages = append(pages, img)
+		prevLast = pageLast
+		havePrev = true
+	}
+	for hi, ki := range order {
+		e := &ents[ki]
+		if pageOf[hi] != curPage {
+			finishPage()
+			curPage = pageOf[hi]
+			img = make([]byte, pageSize)
+			w = kv.NewPageWriter(img, nil)
+			pageFirst = e.Hash
+			g.firstHash16[curPage] = xxhash.Prefix16(e.Hash)
+		}
+		if !w.AppendEntity(e) {
+			panic("core: layout mismatch: entity does not fit its assigned page")
+		}
+		pageLast = e.Hash
+		g.count++
+		g.bytes += int64(len(e.Key)) + int64(e.Len())
+		if e.InLog {
+			bg.logBytes += int64(e.ValueLen)
+		}
+		bg.entityHashes = append(bg.entityHashes, e.Hash)
+	}
+	finishPage()
+	g.logBytes = bg.logBytes
+
+	// Second pass for the continues-next bits: page p's last hash equals
+	// page p+1's first hash.
+	for p := 0; p+1 < entityPages; p++ {
+		next := kv.OpenPage(pages[tablePages+p+1])
+		cur := kv.OpenPage(pages[tablePages+p])
+		lastEnt, err := cur.Entity(cur.Count() - 1)
+		if err != nil {
+			panic(err)
+		}
+		firstEnt, err := next.Entity(0)
+		if err != nil {
+			panic(err)
+		}
+		if lastEnt.Hash == firstEnt.Hash {
+			rewriteAux(pages[tablePages+p], cur.Aux()|auxContinuesNext)
+		}
+	}
+
+	sort.Slice(bg.entityHashes, func(a, b int) bool { return bg.entityHashes[a] < bg.entityHashes[b] })
+	bg.pages = pages
+	if len(pages) != g.numPages {
+		panic(fmt.Sprintf("core: built %d pages, expected %d", len(pages), g.numPages))
+	}
+	return bg
+}
+
+// rewriteAux patches a finished page image's aux field in place (pages are
+// sealed at install time, after all patches, so the CRC covers the final
+// bits).
+func rewriteAux(img []byte, v uint16) {
+	img[2] = byte(v)
+	img[3] = byte(v >> 8)
+}
+
+// readLocationTable decodes a group's location table from its table pages
+// (already read by the caller), skipping each page's persistent header.
+func readLocationTable(imgs [][]byte, count int) []struct{ Page, Rec uint16 } {
+	out := make([]struct{ Page, Rec uint16 }, 0, count)
+	for _, img := range imgs {
+		extra := kv.OpenPage(img).Extra()[groupHdrSize:]
+		for off := 0; off+locEntrySize <= len(extra); off += locEntrySize {
+			out = append(out, struct{ Page, Rec uint16 }{
+				Page: uint16(extra[off]) | uint16(extra[off+1])<<8,
+				Rec:  uint16(extra[off+2]) | uint16(extra[off+3])<<8,
+			})
+		}
+	}
+	if len(out) != count {
+		panic(fmt.Sprintf("core: location table has %d entries, group has %d", len(out), count))
+	}
+	return out
+}

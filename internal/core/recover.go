@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"anykey/internal/device"
+	"anykey/internal/dram"
+	"anykey/internal/ftl"
+	"anykey/internal/kv"
+	"anykey/internal/memtable"
+	"anykey/internal/nand"
+)
+
+// Reopen mounts an AnyKey device over an existing flash array — the
+// power-cycle recovery path. Everything the design keeps in DRAM is
+// *derived* state: level lists and per-page hash prefixes rebuild from the
+// persistent group headers and pages, hash lists from the entities, the
+// value log's fragment chains and liveness from the log pages' sequence
+// headers plus the recovered entities' pointers. Buffered (memtable) writes
+// are volatile and lost unless Sync ran before the power cut, exactly as on
+// a real device without a write journal; per-block wear counters are also
+// reset (real devices persist them out of band).
+//
+// Recovery assumes a quiesced device (no compaction was mid-flight at the
+// cut); the harness and tests Sync before power-cycling.
+func Reopen(cfg Config, arr *nand.Array) (*Device, error) {
+	cfg.Defaults()
+	if arr.Geometry() != cfg.Geometry {
+		return nil, fmt.Errorf("core: reopen geometry %+v does not match config %+v",
+			arr.Geometry(), cfg.Geometry)
+	}
+	pool := ftl.NewPool(arr)
+	d := &Device{
+		cfg:          cfg,
+		arr:          arr,
+		pool:         pool,
+		mem:          dram.New(cfg.DRAMBytes),
+		mt:           memtable.New(cfg.Seed),
+		groupStreams: make(map[int]*ftl.RunStream),
+		groupsAt:     make(map[nand.BlockID][]*group),
+		st:           device.NewStats(),
+	}
+	if !cfg.NoValueLog {
+		maxLogBlocks := int(float64(pool.TotalBlocks()) * cfg.LogFraction)
+		if maxLogBlocks < 2 {
+			maxLogBlocks = 2
+		}
+		d.vlog = newVlog(d, maxLogBlocks)
+	}
+	d.mem.MustReserve("memtable", cfg.MemtableBytes)
+	d.st.Flash = func() nand.Counters { return arr.Counters() }
+	d.st.DRAMCapacity = func() int64 { return d.mem.Capacity() }
+	d.st.DRAMUsed = func() int64 { return d.mem.Used() }
+	if err := d.recover(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// recover scans the flash array and rebuilds the DRAM state.
+func (d *Device) recover() error {
+	geo := d.cfg.Geometry
+	type foundGroup struct {
+		hdr      groupHeader
+		firstPPA nand.PPA
+	}
+	var groups []foundGroup
+	var logPages []logPageRef
+	blockRegion := make([]ftl.Region, geo.Blocks())
+
+	// Pass 1: identify every written page by its persistent header. The
+	// scan charges one read per written page at the mount instant (the
+	// device is offline; only the counters matter).
+	for b := 0; b < geo.Blocks(); b++ {
+		for p := 0; p < geo.PagesPerBlock; p++ {
+			ppa := d.arr.PageOf(nand.BlockID(b), p)
+			if !d.arr.Written(ppa) {
+				break // blocks program in order; the tail is unwritten
+			}
+			d.arr.Read(0, ppa, nand.CauseMeta)
+			if !kv.OpenPage(d.arr.PageData(ppa)).Verify() {
+				return fmt.Errorf("core: recover: page %d fails its integrity check", ppa)
+			}
+			extra := kv.OpenPage(d.arr.PageData(ppa)).Extra()
+			if hdr, ok := readGroupHeader(extra); ok {
+				groups = append(groups, foundGroup{hdr: hdr, firstPPA: ppa})
+				blockRegion[b] = ftl.RegionData
+			} else if seq, ok := readLogPageHeader(extra); ok {
+				logPages = append(logPages, logPageRef{seq: seq, ppa: ppa})
+				if blockRegion[b] == ftl.RegionNone {
+					blockRegion[b] = ftl.RegionLog
+				}
+			} else if blockRegion[b] == ftl.RegionNone {
+				// Entity or continuation page: data region.
+				blockRegion[b] = ftl.RegionData
+			}
+		}
+	}
+
+	// Keep, per level, only the newest epoch's groups; earlier epochs were
+	// superseded by a later rebuild of that level.
+	newest := map[int]uint32{}
+	for _, fg := range groups {
+		if fg.hdr.epoch > newest[fg.hdr.level] {
+			newest[fg.hdr.level] = fg.hdr.epoch
+		}
+		if fg.hdr.epoch >= d.epoch {
+			d.epoch = fg.hdr.epoch + 1
+		}
+	}
+
+	// Adopt block ownership before marking pages valid.
+	for b, r := range blockRegion {
+		if r != ftl.RegionNone {
+			d.pool.Adopt(nand.BlockID(b), r)
+		}
+	}
+
+	// Rebuild the value-log stream state first (fragment chains), so group
+	// adoption can account value liveness.
+	if d.vlog != nil {
+		d.recoverLog(logPages)
+	}
+
+	// Pass 2: reconstruct surviving groups and install them into levels.
+	maxLevel := 0
+	for _, fg := range groups {
+		if fg.hdr.level > maxLevel {
+			maxLevel = fg.hdr.level
+		}
+	}
+	for len(d.levels) < maxLevel {
+		d.levels = append(d.levels, &level{})
+	}
+	for _, fg := range groups {
+		if fg.hdr.epoch != newest[fg.hdr.level] {
+			continue // superseded
+		}
+		g, err := d.adoptGroup(fg.hdr, fg.firstPPA)
+		if err != nil {
+			return err
+		}
+		lv := d.levels[fg.hdr.level-1]
+		lv.groups = append(lv.groups, g)
+		lv.bytes += g.physBytes
+	}
+	for _, lv := range d.levels {
+		sort.Slice(lv.groups, func(i, j int) bool {
+			return kv.Compare(lv.groups[i].smallest, lv.groups[j].smallest) < 0
+		})
+	}
+	return nil
+}
+
+// logPageRef locates one recovered log page in the append stream.
+type logPageRef struct {
+	seq uint64
+	ppa nand.PPA
+}
+
+// recoverLog replays the log pages in sequence order, rebuilding fragment
+// chains. Liveness starts at zero; adoptGroup adds back the bytes that
+// surviving entities reference.
+func (d *Device) recoverLog(pages []logPageRef) {
+	sort.Slice(pages, func(i, j int) bool { return pages[i].seq < pages[j].seq })
+	var pendingPtr uint64 // fragment awaiting its continuation
+	var remaining uint64  // bytes still owed to the value being assembled
+	for _, lp := range pages {
+		pr := kv.OpenPage(d.arr.PageData(lp.ppa))
+		for slot := 0; slot < pr.Count(); slot++ {
+			ptr := uint64(lp.ppa)<<16 | uint64(slot)
+			first, total, chunk := d.vlog.fragChunk(ptr)
+			switch {
+			case first:
+				// A dead value's chain may dangle when its later pages were
+				// erased; a fresh first fragment simply abandons it.
+				remaining = total
+			case remaining > 0:
+				d.vlog.contMap[pendingPtr] = ptr
+			default:
+				// Orphan continuation: its head page was erased, so the
+				// value is dead; skip.
+				continue
+			}
+			if uint64(len(chunk)) > remaining {
+				remaining = 0 // defensive: never underflow on torn chains
+			} else {
+				remaining -= uint64(len(chunk))
+			}
+			pendingPtr = ptr
+		}
+		if lp.seq >= d.vlog.seq {
+			d.vlog.seq = lp.seq + 1
+		}
+	}
+}
+
+// adoptGroup rebuilds one group's descriptor from its flash pages.
+func (d *Device) adoptGroup(hdr groupHeader, firstPPA nand.PPA) (*group, error) {
+	g := &group{
+		firstPPA:    firstPPA,
+		numPages:    hdr.pages,
+		tablePages:  hdr.tablePages,
+		count:       hdr.count,
+		physBytes:   int64(hdr.pages) * int64(d.cfg.Geometry.PageSize),
+		firstHash16: make([]uint16, hdr.pages-hdr.tablePages),
+	}
+	imgs := make([][]byte, hdr.pages)
+	for p := 0; p < hdr.pages; p++ {
+		ppa := firstPPA + nand.PPA(p)
+		if !d.arr.Written(ppa) {
+			return nil, fmt.Errorf("core: recover: group at %d truncated at page %d", firstPPA, p)
+		}
+		imgs[p] = d.arr.PageData(ppa)
+		d.pool.MarkValid(ppa)
+	}
+	hashes := make([]uint32, 0, hdr.count)
+	for p := 0; p < g.entityPages(); p++ {
+		pr := kv.OpenPage(imgs[hdr.tablePages+p])
+		for i := 0; i < pr.Count(); i++ {
+			e, err := pr.Entity(i)
+			if err != nil {
+				return nil, fmt.Errorf("core: recover: corrupt entity in group %d: %w", firstPPA, err)
+			}
+			if i == 0 {
+				g.firstHash16[p] = uint16(e.Hash >> 16)
+			}
+			hashes = append(hashes, e.Hash)
+			g.bytes += int64(len(e.Key)) + int64(e.Len())
+			if e.InLog {
+				g.logBytes += int64(e.ValueLen)
+				d.recoverLogLiveness(e.LogPtr, e.ValueLen)
+			}
+		}
+	}
+	// The smallest key is the location table's first entry.
+	table := readLocationTable(imgs[:hdr.tablePages], hdr.count)
+	if len(table) > 0 {
+		pr := kv.OpenPage(imgs[hdr.tablePages+int(table[0].Page)])
+		e, err := pr.Entity(int(table[0].Rec))
+		if err != nil {
+			return nil, err
+		}
+		g.smallest = append([]byte(nil), e.Key...)
+	}
+	sort.Slice(hashes, func(a, b int) bool { return hashes[a] < hashes[b] })
+	b := d.arr.BlockOf(firstPPA)
+	d.groupsAt[b] = append(d.groupsAt[b], g)
+	d.mem.MustReserve(dramLevelLabel, g.entryBytes())
+	if !d.cfg.NoHashLists && d.mem.Reserve(dramHashLabel, int64(4*len(hashes))) {
+		g.hashes = hashes
+	}
+	return g, nil
+}
+
+// recoverLogLiveness restores the valid-byte accounting of a value's
+// fragment chain.
+func (d *Device) recoverLogLiveness(ptr uint64, valLen int) {
+	cur := ptr
+	remaining := uint64(valLen)
+	for {
+		ppa := nand.PPA(cur >> 16)
+		_, _, chunk := d.vlog.fragChunk(cur)
+		if d.vlog.pageValid[ppa] == 0 {
+			d.pool.MarkValid(ppa)
+		}
+		d.vlog.pageValid[ppa] += int64(len(chunk))
+		remaining -= uint64(len(chunk))
+		if remaining == 0 {
+			return
+		}
+		next, ok := d.vlog.contMap[cur]
+		if !ok {
+			panic("core: recover: broken fragment chain")
+		}
+		cur = next
+	}
+}

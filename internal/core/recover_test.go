@@ -1,0 +1,206 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"anykey/internal/kv"
+	"anykey/internal/nand"
+	"anykey/internal/sim"
+)
+
+// The central recovery property: after churn + Sync + power cycle, the
+// reopened device serves exactly the same data, and keeps working through
+// further flushes, compactions and GC.
+func TestReopenRecoversEverything(t *testing.T) {
+	variants(t, func(t *testing.T, cfg Config) {
+		a := newSmall(t, cfg)
+		rng := rand.New(rand.NewSource(21))
+		oracle := map[string][]byte{}
+		var now sim.Time
+		for op := 0; op < 9000; op++ {
+			i := rng.Intn(500)
+			k := key(i)
+			if rng.Float64() < 0.12 {
+				n, err := a.Delete(now, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				now = n
+				delete(oracle, string(k))
+				continue
+			}
+			v := val(i, op)
+			n, err := a.Put(now, k, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			now = n
+			oracle[string(k)] = v
+		}
+		now, err := a.Sync(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Power cycle: a brand new device over the same flash array.
+		b, err := Reopen(cfg, a.Array())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, want := range oracle {
+			v, n, err := b.Get(now, []byte(k))
+			now = n
+			if err != nil || !bytes.Equal(v, want) {
+				t.Fatalf("after reopen: Get(%s) = %q, %v; want %q", k, v, err, want)
+			}
+		}
+		// Deleted and never-written keys must stay absent.
+		for i := 500; i < 520; i++ {
+			if _, _, err := b.Get(now, key(i)); !errors.Is(err, kv.ErrNotFound) {
+				t.Fatalf("phantom key after reopen: %v", err)
+			}
+		}
+
+		// The reopened device must keep functioning under further churn.
+		for op := 0; op < 4000; op++ {
+			i := rng.Intn(500)
+			v := val(i, 100000+op)
+			n, err := b.Put(now, key(i), v)
+			if err != nil {
+				t.Fatalf("post-reopen put %d: %v", op, err)
+			}
+			now = n
+			oracle[string(key(i))] = v
+		}
+		for k, want := range oracle {
+			v, n, err := b.Get(now, []byte(k))
+			now = n
+			if err != nil || !bytes.Equal(v, want) {
+				t.Fatalf("post-reopen churn: Get(%s) = %q, %v; want %q", k, v, err, want)
+			}
+		}
+	})
+}
+
+// Scans must also survive a power cycle (the location tables are persistent).
+func TestReopenScan(t *testing.T) {
+	cfg := smallConfig()
+	a := newSmall(t, cfg)
+	var now sim.Time
+	var err error
+	for i := 0; i < 400; i++ {
+		now, err = a.Put(now, key(i), val(i, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	now, err = a.Sync(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Reopen(cfg, a.Array())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, _, err := b.Scan(now, key(100), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 20 || !bytes.Equal(pairs[0].Key, key(100)) || !bytes.Equal(pairs[19].Key, key(119)) {
+		t.Fatalf("scan after reopen wrong: %d pairs", len(pairs))
+	}
+	for i, p := range pairs {
+		if !bytes.Equal(p.Value, val(100+i, 0)) {
+			t.Fatalf("scan value %d mismatch", i)
+		}
+	}
+}
+
+// Unsynced buffered writes are volatile: Reopen serves the last *flushed*
+// version, like any device without a journal.
+func TestReopenLosesUnsyncedBuffer(t *testing.T) {
+	cfg := smallConfig()
+	a := newSmall(t, cfg)
+	var now sim.Time
+	var err error
+	for i := 0; i < 300; i++ {
+		now, err = a.Put(now, key(i), val(i, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	now, err = a.Sync(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One more write, NOT synced.
+	now, err = a.Put(now, key(7), val(7, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Reopen(cfg, a.Array())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := b.Get(now, key(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v, val(7, 1)) {
+		t.Fatalf("expected the synced version, got %q", v)
+	}
+}
+
+func TestReopenGeometryMismatch(t *testing.T) {
+	a := newSmall(t, smallConfig())
+	other := smallConfig()
+	other.Geometry.PageSize = 2048
+	if _, err := Reopen(other, a.Array()); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}
+
+func TestSyncEmptyBufferIsFree(t *testing.T) {
+	d := newSmall(t, smallConfig())
+	before := d.Array().Counters()
+	now, err := d.Sync(1000)
+	if err != nil || now != 1000 {
+		t.Fatalf("Sync on empty buffer: %v %v", now, err)
+	}
+	c := d.Array().Counters()
+	if c.TotalWrites() != before.TotalWrites() {
+		t.Fatal("empty Sync wrote pages")
+	}
+}
+
+// A disturbed flash page must fail recovery's integrity scan rather than
+// decode garbage (the Seal/Verify CRC standing in for controller ECC).
+func TestReopenDetectsCorruption(t *testing.T) {
+	cfg := smallConfig()
+	a := newSmall(t, cfg)
+	var now sim.Time
+	var err error
+	for i := 0; i < 300; i++ {
+		now, err = a.Put(now, key(i), val(i, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err = a.Sync(now); err != nil {
+		t.Fatal(err)
+	}
+	// Disturb one bit of the first written page we can find.
+	arr := a.Array()
+	for ppa := 0; ; ppa++ {
+		if arr.Written(nand.PPA(ppa)) {
+			arr.PageData(nand.PPA(ppa))[100] ^= 0x04
+			break
+		}
+	}
+	if _, err := Reopen(cfg, arr); err == nil {
+		t.Fatal("corrupted flash accepted by recovery")
+	}
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"sort"
+
+	"anykey/internal/kv"
+	"anykey/internal/memtable"
+	"anykey/internal/nand"
+	"anykey/internal/sim"
+)
+
+// Scan implements device.KVSSD: a range query returning up to n pairs with
+// key ≥ start (§4.4 "Range Query"). Each group's first pages hold a
+// key-sorted {page, record} location table, so results come out in key
+// order without any on-the-fly sort; and because a group stores a run of
+// *consecutive* keys in a handful of neighbouring pages, long scans touch
+// far fewer flash pages than PinK's scattered data segments (Fig. 18). Every
+// flash page is read at most once per scan.
+func (d *Device) Scan(at sim.Time, start []byte, n int) ([]kv.Pair, sim.Time, error) {
+	if n <= 0 {
+		return nil, at, nil
+	}
+	now := d.cpu.Occupy(at.Add(d.cfg.RequestOverhead), hashCost)
+
+	pagesRead := make(map[nand.PPA]bool) // scan-global single-read guarantee
+
+	iters := make([]*scanCursor, 0, len(d.levels)+1)
+	iters = append(iters, newMemCursor(d.mt, start))
+	for _, lv := range d.levels {
+		c := &scanCursor{d: d, lv: lv, pagesRead: pagesRead}
+		now = c.seek(now, start)
+		iters = append(iters, c)
+	}
+
+	out := make([]kv.Pair, 0, n)
+	for len(out) < n {
+		best := -1
+		for i, it := range iters {
+			if !it.valid() {
+				continue
+			}
+			k, t := it.key(now)
+			now = t
+			if best < 0 {
+				best = i
+				continue
+			}
+			bk, t2 := iters[best].key(now)
+			now = t2
+			if kv.Compare(k, bk) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		winKey, t := iters[best].key(now)
+		now = t
+		ent, t2 := iters[best].entity(now)
+		now = t2
+		// Advance every cursor sitting on this key.
+		for _, it := range iters {
+			for it.valid() {
+				k, t := it.key(now)
+				now = t
+				if kv.Compare(k, winKey) != 0 {
+					break
+				}
+				it.next()
+			}
+		}
+		if ent.Tombstone {
+			continue
+		}
+		var value []byte
+		if ent.InLog {
+			v, t, charged := d.vlog.read(now, ent.LogPtr, nand.CauseUser)
+			if charged {
+				now = t
+			}
+			value = v
+		} else {
+			value = ent.Value
+		}
+		out = append(out, kv.Pair{Key: winKey, Value: value})
+	}
+	return out, now, nil
+}
+
+// scanCursor iterates one source (memtable or one level) in key order.
+type scanCursor struct {
+	// memtable source
+	mem []memtable.Entry
+	mi  int
+
+	// level source
+	d         *Device
+	lv        *level
+	gi        int // current group index
+	ki        int // key index within group (location-table order)
+	table     []struct{ Page, Rec uint16 }
+	pagesRead map[nand.PPA]bool
+}
+
+func newMemCursor(mt *memtable.Table, start []byte) *scanCursor {
+	c := &scanCursor{}
+	mt.AscendFrom(start, func(e memtable.Entry) bool {
+		c.mem = append(c.mem, e)
+		return true
+	})
+	return c
+}
+
+// seek positions the cursor at the first key ≥ start.
+func (c *scanCursor) seek(at sim.Time, start []byte) sim.Time {
+	now := at
+	c.gi = sort.Search(len(c.lv.groups), func(i int) bool {
+		return kv.Compare(c.lv.groups[i].smallest, start) > 0
+	})
+	if c.gi > 0 {
+		c.gi--
+	}
+	for c.gi < len(c.lv.groups) {
+		now = c.loadGroup(now)
+		g := c.lv.groups[c.gi]
+		// Binary search the location table by key.
+		lo, hi := 0, g.count
+		for lo < hi {
+			mid := (lo + hi) / 2
+			e, t := c.entityAt(now, mid)
+			now = t
+			if kv.Compare(e.Key, start) < 0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < g.count {
+			c.ki = lo
+			return now
+		}
+		c.gi++ // every key in this group is below start
+	}
+	return now
+}
+
+// loadGroup reads the current group's location-table pages.
+func (c *scanCursor) loadGroup(at sim.Time) sim.Time {
+	g := c.lv.groups[c.gi]
+	now := at
+	imgs := make([][]byte, g.tablePages)
+	for p := 0; p < g.tablePages; p++ {
+		ppa := g.firstPPA + nand.PPA(p)
+		now = c.read(now, ppa)
+		imgs[p] = c.d.arr.PageData(ppa)
+	}
+	c.table = readLocationTable(imgs, g.count)
+	c.ki = 0
+	return now
+}
+
+// read charges a flash read once per page per scan.
+func (c *scanCursor) read(at sim.Time, ppa nand.PPA) sim.Time {
+	if c.pagesRead[ppa] {
+		return at
+	}
+	c.pagesRead[ppa] = true
+	return c.d.arr.Read(at, ppa, nand.CauseUser)
+}
+
+// entityAt fetches the group's i-th entity in key order, lazily loading the
+// group's location table after a group crossing.
+func (c *scanCursor) entityAt(at sim.Time, i int) (kv.Entity, sim.Time) {
+	if c.table == nil {
+		at = c.loadGroup(at)
+	}
+	g := c.lv.groups[c.gi]
+	loc := c.table[i]
+	ppa := g.entityPPA(int(loc.Page))
+	now := c.read(at, ppa)
+	pr := kv.OpenPage(c.d.arr.PageData(ppa))
+	e, err := pr.Entity(int(loc.Rec))
+	if err != nil {
+		panic(err)
+	}
+	return e, now
+}
+
+func (c *scanCursor) valid() bool {
+	if c.d == nil {
+		return c.mi < len(c.mem)
+	}
+	return c.gi < len(c.lv.groups)
+}
+
+func (c *scanCursor) key(at sim.Time) ([]byte, sim.Time) {
+	if c.d == nil {
+		return c.mem[c.mi].Key, at
+	}
+	e, t := c.entityAt(at, c.ki)
+	return e.Key, t
+}
+
+// entity returns the full entity at the cursor (memtable entries are
+// converted to the entity shape).
+func (c *scanCursor) entity(at sim.Time) (kv.Entity, sim.Time) {
+	if c.d == nil {
+		m := c.mem[c.mi]
+		return kv.Entity{Key: m.Key, Value: m.Value, Tombstone: m.Tombstone}, at
+	}
+	return c.entityAt(at, c.ki)
+}
+
+func (c *scanCursor) next() {
+	if c.d == nil {
+		c.mi++
+		return
+	}
+	c.ki++
+	if c.ki >= len(c.table) {
+		c.gi++
+		c.table = nil // next group's table loads lazily on first access
+		c.ki = 0
+	}
+}

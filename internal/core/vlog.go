@@ -1,0 +1,413 @@
+package core
+
+import (
+	"fmt"
+
+	"anykey/internal/ftl"
+	"anykey/internal/kv"
+	"anykey/internal/nand"
+	"anykey/internal/sim"
+)
+
+// vlog is AnyKey's value log (§4.3): an append-only flash area holding the
+// values detached from data segment groups. Entities in groups carry a
+// packed pointer (page PPA << 16 | record index) instead of the bytes, so
+// tree compaction moves only key/pointer entities.
+//
+// Values pack byte-continuously: a record that does not fit the current
+// page's remainder spans into following pages as a fragment chain (the
+// continuation map is controller bookkeeping, like OOB metadata), so large
+// values waste no space — a 4 KiB value consumes 4 KiB of log, not a page.
+//
+// The log never garbage-collects by relocation: space returns either when a
+// block's values all die (it is erased in place) or when a log-triggered
+// compaction folds a level's values back into its groups (§4.4). The
+// maxBlocks limit is the *trigger* for log-triggered compaction, not a hard
+// cap — AnyKey+'s write-back path may transiently overshoot it.
+type vlog struct {
+	d         *Device
+	maxBlocks int
+
+	cur  nand.BlockID
+	next int // next page index to reserve in cur
+	open bool
+
+	// The open page: values accumulate in the device's DRAM write buffer
+	// and the page programs when full, like any real flash write path.
+	img    []byte
+	w      *kv.PageWriter
+	curPPA nand.PPA
+
+	// pageValid tracks the live value bytes per log page, driving erase-in-
+	// place reclamation of fully dead blocks.
+	pageValid map[nand.PPA]int64
+
+	// contMap chains a fragment's pointer to its continuation fragment.
+	contMap map[uint64]uint64
+
+	// seq numbers log pages in append order; persisted in each page's extra
+	// so recovery can replay the stream and rebuild fragment chains.
+	seq uint64
+}
+
+func newVlog(d *Device, maxBlocks int) *vlog {
+	return &vlog{
+		d:         d,
+		maxBlocks: maxBlocks,
+		pageValid: make(map[nand.PPA]int64),
+		contMap:   make(map[uint64]uint64),
+		curPPA:    nand.InvalidPPA,
+	}
+}
+
+// blocksUsed returns the log's current block footprint.
+func (v *vlog) blocksUsed() int { return v.d.pool.BlocksIn(ftl.RegionLog) }
+
+// capacityBytes returns the log's trigger capacity in payload bytes.
+func (v *vlog) capacityBytes() int64 {
+	return int64(v.maxBlocks) * int64(v.d.cfg.Geometry.PagesPerBlock) *
+		int64(pagePayload(v.d.cfg.Geometry.PageSize))
+}
+
+// roomFor reports whether appending n more value bytes stays within the
+// log-triggered-compaction threshold.
+func (v *vlog) roomFor(n int64) bool {
+	payload := int64(pagePayload(v.d.cfg.Geometry.PageSize))
+	ppb := int64(v.d.cfg.Geometry.PagesPerBlock)
+	var free int64
+	if v.open {
+		free += int64(v.w.Free())
+		free += (ppb - int64(v.next)) * payload
+	}
+	free += int64(v.maxBlocks-v.blocksUsed()) * ppb * payload
+	return free >= n+n/8 // keep a small slack so the trigger leads the wall
+}
+
+// Fragment records are self-describing: a marker byte distinguishes a
+// value's first fragment (which also carries the total length) from a
+// continuation, letting the recovery replay resynchronise across erased
+// pages.
+const (
+	fragFirst byte = 0xF1
+	fragCont  byte = 0xF2
+)
+
+// fragMinSpace: rotate rather than leave slivers.
+const fragMinSpace = 64
+
+// append stores one value, spanning pages as needed, and returns the packed
+// pointer of its first fragment. The caller has checked roomFor; append
+// only fails when the whole pool is exhausted.
+func (v *vlog) append(at sim.Time, val []byte, cause nand.Cause) (uint64, sim.Time, error) {
+	now := at
+	remaining := val
+	first := uint64(0)
+	prev := uint64(0)
+	scratch := make([]byte, 0, 16)
+	for i := 0; ; i++ {
+		if v.curPPA == nand.InvalidPPA || v.w.Free() < fragMinSpace {
+			t, err := v.rotatePage(now, cause)
+			if err != nil {
+				return 0, t, err
+			}
+			now = t
+		}
+		// Headroom in this page for the fragment body.
+		scratch = scratch[:0]
+		if i == 0 {
+			scratch = append(scratch, fragFirst)
+			scratch = appendUvarint(scratch, uint64(len(val)))
+		} else {
+			scratch = append(scratch, fragCont)
+		}
+		avail := v.w.Free() - 2 - len(scratch) - 3 // offset slot + headers
+		if avail <= 0 {
+			panic("core: vlog page headroom accounting")
+		}
+		chunk := remaining
+		if len(chunk) > avail {
+			chunk = chunk[:avail]
+		}
+		rec := append(scratch, appendUvarint(nil, uint64(len(chunk)))...)
+		rec = append(rec, chunk...)
+		if !v.w.AppendRaw(rec) {
+			panic("core: vlog fragment append failed after sizing")
+		}
+		ptr := uint64(v.curPPA)<<16 | uint64(v.w.Count()-1)
+		v.pageValid[v.curPPA] += int64(len(chunk))
+		if i == 0 {
+			first = ptr
+		} else {
+			v.contMap[prev] = ptr
+		}
+		prev = ptr
+		remaining = remaining[len(chunk):]
+		if len(remaining) == 0 {
+			return first, now, nil
+		}
+	}
+}
+
+// rotatePage programs the open page (if any) and reserves the next one.
+func (v *vlog) rotatePage(at sim.Time, cause nand.Cause) (sim.Time, error) {
+	now := at
+	if v.curPPA != nand.InvalidPPA {
+		now = v.programOpen(now, cause)
+	}
+	if !v.open || v.next >= v.d.cfg.Geometry.PagesPerBlock {
+		if v.open {
+			v.d.pool.SetActive(v.cur, false)
+			v.open = false
+		}
+		b, ok := v.d.pool.Alloc(ftl.RegionLog)
+		if !ok {
+			// The global pool is dry; let the device GC the group area and
+			// retry once.
+			t, err := v.d.ensureFree(now, 1)
+			now = t
+			if err != nil {
+				return now, err
+			}
+			b, ok = v.d.pool.Alloc(ftl.RegionLog)
+			if !ok {
+				return now, kv.ErrDeviceFull
+			}
+		}
+		v.cur = b
+		v.next = 0
+		v.open = true
+		v.d.pool.SetActive(b, true)
+	}
+	v.curPPA = v.d.arr.PageOf(v.cur, v.next)
+	v.next++
+	v.img = make([]byte, v.d.cfg.Geometry.PageSize)
+	extra := make([]byte, logPageHdrSize)
+	putLogPageHeader(extra, v.seq)
+	v.seq++
+	v.w = kv.NewPageWriter(v.img, extra)
+	return now, nil
+}
+
+// On-flash log page header: magic plus the page's position in the append
+// stream, which recovery uses to re-order pages and rebuild fragment chains.
+const (
+	logPageMagic   uint16 = 0x106A
+	logPageHdrSize        = 10
+)
+
+func putLogPageHeader(extra []byte, seq uint64) {
+	put16(extra[0:], logPageMagic)
+	for i := 0; i < 8; i++ {
+		extra[2+i] = byte(seq >> (8 * i))
+	}
+}
+
+// readLogPageHeader decodes a log page's header; ok is false for non-log
+// pages.
+func readLogPageHeader(extra []byte) (seq uint64, ok bool) {
+	if len(extra) < logPageHdrSize || get16(extra[0:]) != logPageMagic {
+		return 0, false
+	}
+	for i := 0; i < 8; i++ {
+		seq |= uint64(extra[2+i]) << (8 * i)
+	}
+	return seq, true
+}
+
+// programOpen writes the open page to flash; pages whose values all died
+// while buffered are still programmed (the transfer was already committed)
+// but arrive dead.
+func (v *vlog) programOpen(at sim.Time, cause nand.Cause) sim.Time {
+	kv.SealPage(v.img)
+	done := v.d.arr.Program(at, v.curPPA, v.img, cause)
+	if v.pageValid[v.curPPA] > 0 {
+		v.d.pool.MarkValid(v.curPPA)
+	} else {
+		delete(v.pageValid, v.curPPA)
+	}
+	v.curPPA = nand.InvalidPPA
+	v.img = nil
+	v.w = nil
+	return done
+}
+
+// pageImage returns the page holding ppa without charging time.
+func (v *vlog) pageImage(ppa nand.PPA) []byte {
+	if ppa == v.curPPA {
+		return v.img
+	}
+	return v.d.arr.PageData(ppa)
+}
+
+// fragChunk decodes the self-describing fragment at ptr: whether it starts
+// a value, the declared total length (first fragments only), and its chunk.
+func (v *vlog) fragChunk(ptr uint64) (first bool, total uint64, chunk []byte) {
+	ppa := nand.PPA(ptr >> 16)
+	slot := int(ptr & 0xffff)
+	rec := kv.OpenPage(v.pageImage(ppa)).Record(slot)
+	if len(rec) == 0 || (rec[0] != fragFirst && rec[0] != fragCont) {
+		panic(fmt.Sprintf("core: corrupt log fragment marker at %d/%d", ppa, slot))
+	}
+	first = rec[0] == fragFirst
+	used := 1
+	if first {
+		var n int
+		total, n = uvarint(rec[used:])
+		if n <= 0 {
+			panic(fmt.Sprintf("core: corrupt log fragment header at %d/%d", ppa, slot))
+		}
+		used += n
+	}
+	fragLen, n := uvarint(rec[used:])
+	if n <= 0 || int(fragLen) > len(rec)-used-n {
+		panic(fmt.Sprintf("core: corrupt log fragment at %d/%d", ppa, slot))
+	}
+	used += n
+	return first, total, rec[used : used+int(fragLen)]
+}
+
+// read returns the value at ptr, charging one flash read per touched page
+// (dispatched in parallel); reads of the still-buffered open page are DRAM
+// hits. charged reports whether any flash read happened.
+func (v *vlog) read(at sim.Time, ptr uint64, cause nand.Cause) (val []byte, done sim.Time, charged bool) {
+	now := at
+	chargePage := func(ppa nand.PPA) {
+		if ppa == v.curPPA {
+			return
+		}
+		now = sim.Max(now, v.d.arr.Read(at, ppa, cause))
+		charged = true
+	}
+	chargePage(nand.PPA(ptr >> 16))
+	_, total, chunk := v.fragChunk(ptr)
+	if uint64(len(chunk)) == total {
+		return chunk, now, charged
+	}
+	out := make([]byte, 0, total)
+	out = append(out, chunk...)
+	cur := ptr
+	for uint64(len(out)) < total {
+		next, ok := v.contMap[cur]
+		if !ok {
+			panic("core: broken log fragment chain")
+		}
+		chargePage(nand.PPA(next >> 16))
+		_, _, chunk := v.fragChunk(next)
+		out = append(out, chunk...)
+		cur = next
+	}
+	return out, now, charged
+}
+
+// peek assembles the value at ptr without timing (bookkeeping and
+// batch-read paths that charged the pages already).
+func (v *vlog) peek(ptr uint64) []byte {
+	_, total, chunk := v.fragChunk(ptr)
+	if uint64(len(chunk)) == total {
+		return chunk
+	}
+	out := make([]byte, 0, total)
+	out = append(out, chunk...)
+	cur := ptr
+	for uint64(len(out)) < total {
+		next := v.contMap[cur]
+		_, _, c := v.fragChunk(next)
+		out = append(out, c...)
+		cur = next
+	}
+	return out
+}
+
+// fragPages lists every page a record at ptr touches (for batch reads).
+func (v *vlog) fragPages(ptr uint64) []nand.PPA {
+	pages := []nand.PPA{nand.PPA(ptr >> 16)}
+	_, total, chunk := v.fragChunk(ptr)
+	got := uint64(len(chunk))
+	cur := ptr
+	for got < total {
+		next, ok := v.contMap[cur]
+		if !ok {
+			panic("core: broken log fragment chain")
+		}
+		pages = append(pages, nand.PPA(next>>16))
+		_, _, c := v.fragChunk(next)
+		got += uint64(len(c))
+		cur = next
+	}
+	return pages
+}
+
+// invalidate records the death of the value at ptr across all its
+// fragments. Pages whose last value bytes die are marked invalid; fully
+// dead blocks are erased by reclaim.
+func (v *vlog) invalidate(ptr uint64, valLen int) {
+	cur := ptr
+	remaining := uint64(valLen)
+	for {
+		ppa := nand.PPA(cur >> 16)
+		_, _, chunk := v.fragChunk(cur)
+		v.dropBytes(ppa, int64(len(chunk)))
+		remaining -= uint64(len(chunk))
+		if remaining == 0 {
+			break
+		}
+		next, ok := v.contMap[cur]
+		if !ok {
+			panic("core: broken log fragment chain in invalidate")
+		}
+		delete(v.contMap, cur)
+		cur = next
+	}
+}
+
+func (v *vlog) dropBytes(ppa nand.PPA, n int64) {
+	rem, ok := v.pageValid[ppa]
+	if !ok || rem < n {
+		panic(fmt.Sprintf("core: log invalidate underflow at page %d: %d - %d", ppa, rem, n))
+	}
+	rem -= n
+	if rem == 0 {
+		delete(v.pageValid, ppa)
+		if ppa != v.curPPA {
+			v.d.pool.MarkInvalid(ppa)
+		}
+	} else {
+		v.pageValid[ppa] = rem
+	}
+}
+
+// reclaim erases every fully dead log block.
+func (v *vlog) reclaim(at sim.Time) (sim.Time, bool) {
+	now := at
+	freed := false
+	for {
+		b, ok := v.d.pool.VictimBelow(ftl.RegionLog, 0)
+		if !ok {
+			break
+		}
+		now = v.d.pool.Release(now, b, nand.CauseLog)
+		freed = true
+	}
+	return now, freed
+}
+
+// --- local varint helpers -------------------------------------------------
+
+func appendUvarint(b []byte, x uint64) []byte {
+	for x >= 0x80 {
+		b = append(b, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(b, byte(x))
+}
+
+func uvarint(b []byte) (uint64, int) {
+	var x uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		x |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return x, i + 1
+		}
+	}
+	return 0, 0
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"anykey/internal/nand"
+	"anykey/internal/sim"
+)
+
+// vlogDevice builds a device whose value log we drive directly.
+func vlogDevice(t *testing.T) *Device {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.LogFraction = 0.5
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestVlogAppendReadSmall(t *testing.T) {
+	d := vlogDevice(t)
+	v := d.vlog
+	var now sim.Time
+	vals := [][]byte{[]byte("alpha"), []byte("beta"), bytes.Repeat([]byte{7}, 100)}
+	var ptrs []uint64
+	for _, val := range vals {
+		ptr, t2, err := v.append(now, val, nand.CauseFlush)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = t2
+		ptrs = append(ptrs, ptr)
+	}
+	for i, ptr := range ptrs {
+		got, _, _ := v.read(now, ptr, nand.CauseUser)
+		if !bytes.Equal(got, vals[i]) {
+			t.Fatalf("value %d: got %q", i, got)
+		}
+		if !bytes.Equal(v.peek(ptr), vals[i]) {
+			t.Fatalf("peek %d mismatch", i)
+		}
+	}
+}
+
+// Values larger than a page must span pages via the fragment chain, with no
+// page-granularity waste.
+func TestVlogSpanningRecords(t *testing.T) {
+	d := vlogDevice(t) // 1 KiB pages
+	v := d.vlog
+	rng := rand.New(rand.NewSource(3))
+	var now sim.Time
+	type stored struct {
+		ptr uint64
+		val []byte
+	}
+	var all []stored
+	for i := 0; i < 40; i++ {
+		val := make([]byte, 200+rng.Intn(3000)) // up to 3× the page size
+		rng.Read(val)
+		ptr, t2, err := v.append(now, val, nand.CauseFlush)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = t2
+		all = append(all, stored{ptr, val})
+	}
+	for i, s := range all {
+		got, t2, _ := v.read(now, s.ptr, nand.CauseUser)
+		now = t2
+		if !bytes.Equal(got, s.val) {
+			t.Fatalf("spanning value %d corrupted (len %d vs %d)", i, len(got), len(s.val))
+		}
+	}
+	// fragPages of a >page value must list multiple pages.
+	big := all[0]
+	for _, s := range all {
+		if len(s.val) > 1200 {
+			big = s
+			break
+		}
+	}
+	if pages := v.fragPages(big.ptr); len(pages) < 2 {
+		t.Fatalf("a %d-byte value spans %d pages on 1 KiB pages", len(big.val), len(pages))
+	}
+}
+
+func TestVlogInvalidateFreesBlocks(t *testing.T) {
+	d := vlogDevice(t)
+	v := d.vlog
+	var now sim.Time
+	var ptrs []uint64
+	var lens []int
+	// Fill several blocks.
+	for i := 0; i < 100; i++ {
+		val := bytes.Repeat([]byte{byte(i)}, 700)
+		ptr, t2, err := v.append(now, val, nand.CauseFlush)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = t2
+		ptrs = append(ptrs, ptr)
+		lens = append(lens, len(val))
+	}
+	used := v.blocksUsed()
+	if used < 2 {
+		t.Fatalf("expected multiple log blocks, got %d", used)
+	}
+	for i, ptr := range ptrs {
+		v.invalidate(ptr, lens[i])
+	}
+	now, freed := v.reclaim(now)
+	if !freed {
+		t.Fatal("reclaim freed nothing after full invalidation")
+	}
+	// Only the still-open block may remain.
+	if v.blocksUsed() > 1 {
+		t.Fatalf("blocks used after reclaim: %d", v.blocksUsed())
+	}
+	// Accounting must be clean: no page-valid residue beyond the open page.
+	for ppa := range v.pageValid {
+		if ppa != v.curPPA {
+			t.Fatalf("stale pageValid entry for %d", ppa)
+		}
+	}
+	if len(v.contMap) != 0 {
+		t.Fatalf("contMap has %d stale entries", len(v.contMap))
+	}
+}
+
+func TestVlogOpenPageReadsAreFree(t *testing.T) {
+	d := vlogDevice(t)
+	v := d.vlog
+	ptr, now, err := v.append(0, []byte("buffered"), nand.CauseFlush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, t2, charged := v.read(now, ptr, nand.CauseUser)
+	if charged {
+		t.Fatal("read of open (DRAM-buffered) page charged a flash read")
+	}
+	if t2 != now || string(val) != "buffered" {
+		t.Fatalf("open-page read: %q at %v", val, t2)
+	}
+}
+
+func TestVlogRoomForAccounting(t *testing.T) {
+	d := vlogDevice(t)
+	v := d.vlog
+	if !v.roomFor(1000) {
+		t.Fatal("fresh log reports no room")
+	}
+	if v.roomFor(1 << 40) {
+		t.Fatal("log reports room for more than the device")
+	}
+}

@@ -1,0 +1,113 @@
+// Package device defines the interface every simulated KV-SSD design
+// implements (PinK, AnyKey, AnyKey+, AnyKey−) together with the common
+// statistics the benchmark harness collects from them. All operations are
+// expressed in virtual time: a request enters the device at an instant and
+// the device returns the instant it completes, having occupied the simulated
+// flash chips, channels and controller CPU in between.
+package device
+
+import (
+	"anykey/internal/kv"
+	"anykey/internal/nand"
+	"anykey/internal/sim"
+	"anykey/internal/stats"
+)
+
+// KVSSD is the key-value interface the host drives (the KV counterpart of
+// an NVMe command set). Implementations are single-goroutine virtual-time
+// simulations: calls must be issued with non-decreasing `at`.
+type KVSSD interface {
+	// Put stores or overwrites a key-value pair. It returns kv.ErrDeviceFull
+	// when flash is exhausted even after garbage collection.
+	Put(at sim.Time, key, value []byte) (sim.Time, error)
+
+	// Delete removes the key by writing a tombstone. Deleting an absent key
+	// succeeds (the tombstone is simply dropped during compaction).
+	Delete(at sim.Time, key []byte) (sim.Time, error)
+
+	// Get returns the newest value of key, or kv.ErrNotFound. The returned
+	// slice must not be modified by the caller.
+	Get(at sim.Time, key []byte) ([]byte, sim.Time, error)
+
+	// Scan returns up to n pairs with key ≥ start in ascending key order
+	// (a range query in the paper's terms).
+	Scan(at sim.Time, start []byte, n int) ([]kv.Pair, sim.Time, error)
+
+	// Sync makes every acknowledged write durable (the FLUSH command):
+	// buffered pairs flush through the LSM path and any partially filled
+	// write buffers are programmed.
+	Sync(at sim.Time) (sim.Time, error)
+
+	// Stats returns the device's live statistics. The pointer stays valid
+	// and updates as the simulation advances.
+	Stats() *Stats
+
+	// Metadata reports the current size and placement of every metadata
+	// structure, for Table 1 and Fig. 11a.
+	Metadata() []MetaStructure
+}
+
+// Stats aggregates the observable behaviour the evaluation section reports.
+type Stats struct {
+	// Flash counts page reads/writes by cause and erases (Table 3, Fig. 13).
+	Flash func() nand.Counters
+
+	// ReadAccesses histograms flash accesses per Get (Fig. 11b).
+	ReadAccesses *stats.IntHist
+
+	// TreeCompactions and LogCompactions count compaction invocations;
+	// ChainedCompactions counts tree compactions triggered directly by a
+	// log-triggered compaction overflowing its destination level — the
+	// "compaction chains" AnyKey+ eliminates (§4.6).
+	TreeCompactions    int64
+	LogCompactions     int64
+	ChainedCompactions int64
+
+	// GCRuns counts garbage-collection victim selections; GCRelocations the
+	// pages relocated by them (AnyKey's design goal is ≈0, §4.4).
+	GCRuns        int64
+	GCRelocations int64
+
+	// LiveKeys and LiveBytes track the unique pairs resident (Fig. 14).
+	LiveKeys  int64
+	LiveBytes int64
+
+	// DRAMCapacity and DRAMUsed snapshot the metadata budget.
+	DRAMCapacity func() int64
+	DRAMUsed     func() int64
+}
+
+// NewStats returns a Stats with its histograms allocated.
+func NewStats() *Stats {
+	return &Stats{ReadAccesses: stats.NewIntHist(8)}
+}
+
+// MetaStructure is one row of the metadata-size report: a named structure,
+// its byte footprint, and whether it currently resides in DRAM or flash.
+type MetaStructure struct {
+	Name   string
+	Bytes  int64
+	InDRAM bool
+}
+
+// TotalDRAM sums the DRAM-resident structures of a metadata report.
+func TotalDRAM(ms []MetaStructure) int64 {
+	var t int64
+	for _, m := range ms {
+		if m.InDRAM {
+			t += m.Bytes
+		}
+	}
+	return t
+}
+
+// TotalFlash sums the flash-resident structures of a metadata report.
+func TotalFlash(ms []MetaStructure) int64 {
+	var t int64
+	for _, m := range ms {
+		if !m.InDRAM {
+			t += m.Bytes
+		}
+	}
+	return t
+}

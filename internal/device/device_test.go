@@ -1,0 +1,31 @@
+package device
+
+import "testing"
+
+func TestMetaStructureTotals(t *testing.T) {
+	ms := []MetaStructure{
+		{Name: "level lists", Bytes: 100, InDRAM: true},
+		{Name: "hash lists", Bytes: 50, InDRAM: true},
+		{Name: "meta segments", Bytes: 1000, InDRAM: false},
+	}
+	if got := TotalDRAM(ms); got != 150 {
+		t.Fatalf("TotalDRAM = %d", got)
+	}
+	if got := TotalFlash(ms); got != 1000 {
+		t.Fatalf("TotalFlash = %d", got)
+	}
+	if TotalDRAM(nil) != 0 || TotalFlash(nil) != 0 {
+		t.Fatal("empty report totals nonzero")
+	}
+}
+
+func TestNewStats(t *testing.T) {
+	st := NewStats()
+	if st.ReadAccesses == nil {
+		t.Fatal("ReadAccesses not allocated")
+	}
+	st.ReadAccesses.Record(3)
+	if st.ReadAccesses.Count() != 1 {
+		t.Fatal("histogram not functional")
+	}
+}

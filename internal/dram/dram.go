@@ -1,0 +1,100 @@
+// Package dram implements the device-internal DRAM budget ledger. Every
+// metadata structure a KV-SSD design keeps resident (level lists, meta
+// segments, hash lists, write buffer) charges its byte footprint against one
+// shared budget; whatever does not fit must live in flash and pay flash
+// latency on access. The whole argument of the paper is about who wins this
+// accounting fight, so the ledger is explicit and queryable by client label.
+package dram
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Budget tracks allocations of a fixed DRAM capacity by labelled client.
+// The zero Budget has zero capacity; use New.
+type Budget struct {
+	capacity int64
+	used     int64
+	byClient map[string]int64
+}
+
+// New returns a ledger for capacity bytes of device DRAM.
+func New(capacity int64) *Budget {
+	return &Budget{capacity: capacity, byClient: make(map[string]int64)}
+}
+
+// Capacity returns the total DRAM size in bytes.
+func (b *Budget) Capacity() int64 { return b.capacity }
+
+// Used returns the bytes currently charged.
+func (b *Budget) Used() int64 { return b.used }
+
+// Free returns the uncharged remainder. It can be queried before deciding
+// whether to pin a structure in DRAM or leave it in flash.
+func (b *Budget) Free() int64 { return b.capacity - b.used }
+
+// ClientUsed returns the bytes charged under a label.
+func (b *Budget) ClientUsed(label string) int64 { return b.byClient[label] }
+
+// Reserve charges n bytes under label, reporting false without charging when
+// the budget cannot hold them. n must be non-negative.
+func (b *Budget) Reserve(label string, n int64) bool {
+	if n < 0 {
+		panic("dram: negative reservation")
+	}
+	if b.used+n > b.capacity {
+		return false
+	}
+	b.used += n
+	b.byClient[label] += n
+	return true
+}
+
+// MustReserve charges n bytes under label even if it overflows capacity.
+// Designs use it for structures that are architecturally pinned (e.g. PinK's
+// level lists); Overcommitted reports whether that has happened.
+func (b *Budget) MustReserve(label string, n int64) {
+	if n < 0 {
+		panic("dram: negative reservation")
+	}
+	b.used += n
+	b.byClient[label] += n
+}
+
+// Release returns n bytes charged under label to the pool.
+func (b *Budget) Release(label string, n int64) {
+	if n < 0 {
+		panic("dram: negative release")
+	}
+	if b.byClient[label] < n {
+		panic(fmt.Sprintf("dram: release of %d exceeds %q charge %d", n, label, b.byClient[label]))
+	}
+	b.byClient[label] -= n
+	b.used -= n
+}
+
+// ReleaseAll returns every byte charged under label.
+func (b *Budget) ReleaseAll(label string) {
+	b.used -= b.byClient[label]
+	delete(b.byClient, label)
+}
+
+// Overcommitted reports whether MustReserve pushed usage past capacity.
+func (b *Budget) Overcommitted() bool { return b.used > b.capacity }
+
+// String renders the ledger for diagnostics, clients sorted by label.
+func (b *Budget) String() string {
+	labels := make([]string, 0, len(b.byClient))
+	for l := range b.byClient {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "dram %d/%d bytes", b.used, b.capacity)
+	for _, l := range labels {
+		fmt.Fprintf(&sb, " %s=%d", l, b.byClient[l])
+	}
+	return sb.String()
+}

@@ -1,0 +1,103 @@
+package dram
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReserveRelease(t *testing.T) {
+	b := New(100)
+	if !b.Reserve("a", 60) {
+		t.Fatal("reserve 60/100 failed")
+	}
+	if b.Reserve("b", 50) {
+		t.Fatal("reserve beyond capacity succeeded")
+	}
+	if !b.Reserve("b", 40) {
+		t.Fatal("reserve exactly to capacity failed")
+	}
+	if b.Free() != 0 || b.Used() != 100 {
+		t.Fatalf("used=%d free=%d", b.Used(), b.Free())
+	}
+	b.Release("a", 10)
+	if b.Free() != 10 || b.ClientUsed("a") != 50 {
+		t.Fatalf("after release: free=%d a=%d", b.Free(), b.ClientUsed("a"))
+	}
+	b.ReleaseAll("b")
+	if b.ClientUsed("b") != 0 || b.Used() != 50 {
+		t.Fatalf("after release all: used=%d", b.Used())
+	}
+}
+
+func TestMustReserveOvercommit(t *testing.T) {
+	b := New(10)
+	b.MustReserve("pinned", 25)
+	if !b.Overcommitted() {
+		t.Fatal("not overcommitted")
+	}
+	if b.Free() >= 0 {
+		t.Fatalf("free = %d, want negative", b.Free())
+	}
+}
+
+func TestReleaseTooMuchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	b := New(10)
+	b.Reserve("x", 5)
+	b.Release("x", 6)
+}
+
+// Property: used always equals the sum of per-client charges and never
+// exceeds capacity when only Reserve is used.
+func TestLedgerInvariantProperty(t *testing.T) {
+	f := func(ops []struct {
+		Label byte
+		N     uint16
+		Rel   bool
+	}) bool {
+		b := New(1 << 15)
+		charge := map[string]int64{}
+		for _, op := range ops {
+			l := string('a' + op.Label%4)
+			if op.Rel {
+				n := int64(op.N)
+				if n > charge[l] {
+					n = charge[l]
+				}
+				b.Release(l, n)
+				charge[l] -= n
+			} else if b.Reserve(l, int64(op.N)) {
+				charge[l] += int64(op.N)
+			}
+			var sum int64
+			for k, v := range charge {
+				if b.ClientUsed(k) != v {
+					return false
+				}
+				sum += v
+			}
+			if b.Used() != sum || b.Used() > b.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	b := New(64)
+	b.Reserve("levels", 8)
+	b.Reserve("hash", 16)
+	s := b.String()
+	if !strings.Contains(s, "24/64") || !strings.Contains(s, "hash=16") || !strings.Contains(s, "levels=8") {
+		t.Fatalf("String = %q", s)
+	}
+}

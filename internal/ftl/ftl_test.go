@@ -1,0 +1,287 @@
+package ftl
+
+import (
+	"testing"
+
+	"anykey/internal/nand"
+	"anykey/internal/sim"
+)
+
+func testPool(t *testing.T) (*Pool, *nand.Array) {
+	t.Helper()
+	geo := nand.Geometry{Channels: 2, ChipsPerChannel: 2, BlocksPerChip: 3, PagesPerBlock: 4, PageSize: 32}
+	arr, err := nand.New(geo, nand.TLCTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPool(arr), arr
+}
+
+func pg(arr *nand.Array) []byte { return make([]byte, arr.Geometry().PageSize) }
+
+func TestAllocExhaustion(t *testing.T) {
+	p, _ := testPool(t)
+	total := p.TotalBlocks()
+	for i := 0; i < total; i++ {
+		if _, ok := p.Alloc(RegionData); !ok {
+			t.Fatalf("alloc %d/%d failed", i, total)
+		}
+	}
+	if _, ok := p.Alloc(RegionData); ok {
+		t.Fatal("alloc succeeded on empty pool")
+	}
+	if p.FreeBlocks() != 0 || p.BlocksIn(RegionData) != total {
+		t.Fatalf("free=%d data=%d", p.FreeBlocks(), p.BlocksIn(RegionData))
+	}
+}
+
+func TestStreamFillsBlocksSequentially(t *testing.T) {
+	p, arr := testPool(t)
+	s := NewStream(p, RegionData)
+	var at sim.Time
+	seen := map[nand.BlockID]int{}
+	for i := 0; i < 9; i++ { // 2 full blocks + 1 page
+		ppa, ok := s.NextPage()
+		if !ok {
+			t.Fatal("stream exhausted unexpectedly")
+		}
+		at = arr.Program(at, ppa, pg(arr), nand.CauseFlush)
+		p.MarkValid(ppa)
+		seen[arr.BlockOf(ppa)]++
+	}
+	if len(seen) != 3 {
+		t.Fatalf("9 pages spread over %d blocks, want 3", len(seen))
+	}
+	if b, open := s.CurrentBlock(); !open || p.ValidPages(b) != 1 {
+		t.Fatal("current block state wrong")
+	}
+}
+
+func TestStreamActiveBlocksExemptFromGC(t *testing.T) {
+	p, arr := testPool(t)
+	s := NewStream(p, RegionData)
+	ppa, _ := s.NextPage()
+	arr.Program(0, ppa, pg(arr), nand.CauseFlush)
+	// Block has 0 valid pages but is stream-active: not a victim.
+	if _, ok := p.Victim(RegionData); ok {
+		t.Fatal("stream-active block selected as victim")
+	}
+	s.Close()
+	if b, ok := p.Victim(RegionData); !ok || b != arr.BlockOf(ppa) {
+		t.Fatal("closed block not selected as victim")
+	}
+}
+
+func TestVictimPrefersFewestValid(t *testing.T) {
+	p, arr := testPool(t)
+	s := NewStream(p, RegionData)
+	var at sim.Time
+	var ppas []nand.PPA
+	for i := 0; i < 8; i++ { // fill 2 blocks
+		ppa, _ := s.NextPage()
+		at = arr.Program(at, ppa, pg(arr), nand.CauseFlush)
+		p.MarkValid(ppa)
+		ppas = append(ppas, ppa)
+	}
+	s.Close()
+	// Invalidate 3 of 4 pages in the second block, 1 of 4 in the first.
+	p.MarkInvalid(ppas[0])
+	for _, ppa := range ppas[4:7] {
+		p.MarkInvalid(ppa)
+	}
+	v, ok := p.Victim(RegionData)
+	if !ok || v != arr.BlockOf(ppas[4]) {
+		t.Fatalf("victim = %v/%v, want block of ppas[4]", v, ok)
+	}
+	if _, ok := p.VictimBelow(RegionData, 0); ok {
+		t.Fatal("VictimBelow(0) found a block with valid pages")
+	}
+	if _, ok := p.VictimBelow(RegionData, 1); !ok {
+		t.Fatal("VictimBelow(1) missed the 1-valid block")
+	}
+}
+
+func TestMarkValidIdempotent(t *testing.T) {
+	p, arr := testPool(t)
+	s := NewStream(p, RegionData)
+	ppa, _ := s.NextPage()
+	arr.Program(0, ppa, pg(arr), nand.CauseFlush)
+	p.MarkValid(ppa)
+	p.MarkValid(ppa)
+	if p.ValidPages(arr.BlockOf(ppa)) != 1 {
+		t.Fatal("double MarkValid double-counted")
+	}
+	p.MarkInvalid(ppa)
+	p.MarkInvalid(ppa)
+	if p.ValidPages(arr.BlockOf(ppa)) != 0 {
+		t.Fatal("double MarkInvalid double-counted")
+	}
+	if p.Valid(ppa) {
+		t.Fatal("page still valid")
+	}
+}
+
+func TestReleaseRecyclesBlock(t *testing.T) {
+	p, arr := testPool(t)
+	s := NewStream(p, RegionData)
+	ppa, _ := s.NextPage()
+	at := arr.Program(0, ppa, pg(arr), nand.CauseFlush)
+	p.MarkValid(ppa)
+	s.Close()
+	b := arr.BlockOf(ppa)
+	p.MarkInvalid(ppa)
+	free := p.FreeBlocks()
+	p.Release(at, b, nand.CauseGC)
+	if p.FreeBlocks() != free+1 || p.Owner(b) != RegionNone {
+		t.Fatal("release did not recycle block")
+	}
+	// Block must be programmable from page 0 again.
+	b2, ok := p.Alloc(RegionLog)
+	for ok && b2 != b {
+		b2, ok = p.Alloc(RegionLog)
+	}
+	if !ok {
+		t.Fatal("released block not allocatable")
+	}
+	arr.Program(at, arr.PageOf(b, 0), pg(arr), nand.CauseLog)
+}
+
+func TestReleaseWithValidPagesPanics(t *testing.T) {
+	p, arr := testPool(t)
+	s := NewStream(p, RegionData)
+	ppa, _ := s.NextPage()
+	arr.Program(0, ppa, pg(arr), nand.CauseFlush)
+	p.MarkValid(ppa)
+	s.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Release(0, arr.BlockOf(ppa), nand.CauseGC)
+}
+
+func TestVictimScopedByRegion(t *testing.T) {
+	p, arr := testPool(t)
+	ds := NewStream(p, RegionData)
+	ls := NewStream(p, RegionLog)
+	dp, _ := ds.NextPage()
+	lp, _ := ls.NextPage()
+	arr.Program(0, dp, pg(arr), nand.CauseFlush)
+	arr.Program(0, lp, pg(arr), nand.CauseLog)
+	ds.Close()
+	ls.Close()
+	v, ok := p.Victim(RegionLog)
+	if !ok || p.Owner(v) != RegionLog {
+		t.Fatalf("log victim = %v owner %v", v, p.Owner(v))
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	if RegionLog.String() != "log" || RegionData.String() != "data" || Region(9).String() == "" {
+		t.Fatal("region names wrong")
+	}
+}
+
+func TestRunStreamContiguityWithinBlock(t *testing.T) {
+	p, arr := testPool(t)
+	s := NewRunStream(p, RegionData)
+	ppb := arr.Geometry().PagesPerBlock // 4
+	// Two runs of 2 pages fill one block; third run opens a new block.
+	r1, ok := s.NextRun(2)
+	if !ok {
+		t.Fatal("run 1 failed")
+	}
+	r2, ok := s.NextRun(2)
+	if !ok {
+		t.Fatal("run 2 failed")
+	}
+	if arr.BlockOf(r1) != arr.BlockOf(r2) || int(r2-r1) != 2 {
+		t.Fatalf("runs not consecutive in one block: %d %d", r1, r2)
+	}
+	r3, ok := s.NextRun(3)
+	if !ok {
+		t.Fatal("run 3 failed")
+	}
+	if arr.BlockOf(r3) == arr.BlockOf(r1) {
+		t.Fatal("3-page run crammed into full block")
+	}
+	if arr.PageInBlock(r3) != 0 {
+		t.Fatal("new block run does not start at page 0")
+	}
+	_ = ppb
+}
+
+func TestRunStreamAbandonsShortRemainder(t *testing.T) {
+	p, arr := testPool(t)
+	s := NewRunStream(p, RegionData)
+	r1, _ := s.NextRun(3) // leaves 1 page in the 4-page block
+	r2, _ := s.NextRun(2) // cannot fit: new block
+	if arr.BlockOf(r1) == arr.BlockOf(r2) {
+		t.Fatal("run crossed into abandoned remainder")
+	}
+	// The abandoned block is GC-eligible once closed (it was auto-closed by
+	// the new allocation).
+	if _, ok := p.Victim(RegionData); !ok {
+		t.Fatal("abandoned block not visible to GC")
+	}
+}
+
+func TestRunStreamRejectsImpossibleRun(t *testing.T) {
+	p, arr := testPool(t)
+	s := NewRunStream(p, RegionData)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.NextRun(arr.Geometry().PagesPerBlock + 1)
+}
+
+func TestRunStreamExhaustion(t *testing.T) {
+	p, arr := testPool(t)
+	s := NewRunStream(p, RegionData)
+	n := 0
+	for {
+		if _, ok := s.NextRun(arr.Geometry().PagesPerBlock); !ok {
+			break
+		}
+		n++
+	}
+	if n != p.TotalBlocks() {
+		t.Fatalf("allocated %d full-block runs, want %d", n, p.TotalBlocks())
+	}
+}
+
+func TestWearTrackingAndLevelling(t *testing.T) {
+	p, arr := testPool(t)
+	// Churn one block repeatedly through alloc/release.
+	for i := 0; i < 5; i++ {
+		b, ok := p.Alloc(RegionData)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		arr.Program(0, arr.PageOf(b, 0), pg(arr), nand.CauseFlush)
+		p.Release(0, b, nand.CauseGC)
+	}
+	st := p.WearStats()
+	if st.Total != 5 {
+		t.Fatalf("total wear = %d, want 5", st.Total)
+	}
+	// Wear-aware allocation spreads erases: after churning, the max wear
+	// must stay low because Alloc prefers least-worn blocks.
+	if st.Max > 1 {
+		t.Fatalf("wear concentrated: max=%d (levelling failed)", st.Max)
+	}
+	if st.Spread != st.Max-st.Min {
+		t.Fatal("spread inconsistent")
+	}
+}
+
+func TestWearStatsEmpty(t *testing.T) {
+	p, _ := testPool(t)
+	st := p.WearStats()
+	if st.Total != 0 || st.Min != 0 || st.Max != 0 || st.Mean != 0 {
+		t.Fatalf("fresh pool wear: %+v", st)
+	}
+}

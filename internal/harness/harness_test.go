@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"testing"
+
+	"anykey"
+	"anykey/internal/workload"
+)
+
+// smallRun is a fast end-to-end configuration: a 32 MiB device, capped ops.
+func smallRun(design anykey.Design, wl string) RunConfig {
+	spec, ok := workload.ByName(wl)
+	if !ok {
+		panic("unknown workload " + wl)
+	}
+	return RunConfig{
+		Device:   anykey.Options{Design: design, CapacityMB: 32},
+		Workload: spec,
+		FillFrac: 0.35,
+		MaxOps:   20000,
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	for _, design := range []anykey.Design{anykey.DesignPinK, anykey.DesignAnyKey, anykey.DesignAnyKeyPlus} {
+		t.Run(design.String(), func(t *testing.T) {
+			res, err := Run(smallRun(design, "ZippyDB"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops != 20000 {
+				t.Fatalf("Ops = %d", res.Ops)
+			}
+			if res.IOPS <= 0 || res.SimSeconds <= 0 {
+				t.Fatalf("IOPS=%v sim=%vs", res.IOPS, res.SimSeconds)
+			}
+			if res.ReadLat.Count() == 0 || res.WriteLat.Count() == 0 {
+				t.Fatal("latency histograms empty")
+			}
+			if res.Verified == 0 {
+				t.Fatal("no reads verified")
+			}
+			if res.Total.TotalWrites() <= res.Exec.TotalWrites() {
+				t.Fatal("warm-up writes missing from totals")
+			}
+			if res.ReadLat.Percentile(95) <= 0 {
+				t.Fatal("p95 not measurable")
+			}
+		})
+	}
+}
+
+func TestRunWithScans(t *testing.T) {
+	cfg := smallRun(anykey.DesignAnyKeyPlus, "UDB")
+	cfg.WriteRatio = 0.1
+	cfg.ScanRatio = 0.2
+	cfg.ScanLen = 50
+	cfg.MaxOps = 5000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScanLat.Count() == 0 {
+		t.Fatal("no scans recorded")
+	}
+}
+
+func TestFillToFull(t *testing.T) {
+	spec, _ := workload.ByName("ZippyDB")
+	fr, err := FillToFull(anykey.Options{Design: anykey.DesignAnyKeyPlus, CapacityMB: 32}, spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Utilization <= 0.2 || fr.Utilization > 1.0 {
+		t.Fatalf("utilization = %.3f", fr.Utilization)
+	}
+	if fr.Pairs == 0 {
+		t.Fatal("no pairs inserted")
+	}
+}
+
+func TestWorkerPoolOrdering(t *testing.T) {
+	p := newWorkerPool(4)
+	p.ws[0].now = 10
+	p.ws[1].now = 3
+	p.ws[2].now = 7
+	p.ws[3].now = 3
+	if w := p.next(); w != &p.ws[1] {
+		t.Fatal("next did not pick the earliest worker")
+	}
+	if p.maxTime() != 10 {
+		t.Fatalf("maxTime = %v", p.maxTime())
+	}
+	p.sync()
+	if p.ws[1].now != 10 || p.ws[3].now != 10 {
+		t.Fatal("sync did not align clocks")
+	}
+}

@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"anykey/internal/sim"
+	"anykey/internal/stats"
+)
+
+// Table is one formatted result table of a report.
+type Table struct {
+	Name   string
+	Header []string
+	Rows   [][]string
+}
+
+// Report is the output of one experiment: the rows/series the paper's
+// corresponding table or figure shows.
+type Report struct {
+	ID     string
+	Title  string
+	Notes  []string
+	Tables []Table
+}
+
+// String renders the report with aligned columns.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s — %s ==\n", r.ID, r.Title)
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "   %s\n", n)
+	}
+	for ti := range r.Tables {
+		t := &r.Tables[ti]
+		sb.WriteByte('\n')
+		if t.Name != "" {
+			fmt.Fprintf(&sb, "-- %s --\n", t.Name)
+		}
+		widths := make([]int, len(t.Header))
+		for i, h := range t.Header {
+			widths[i] = len(h)
+		}
+		for _, row := range t.Rows {
+			for i, c := range row {
+				if i < len(widths) && len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+		writeRow := func(cells []string) {
+			for i, c := range cells {
+				if i > 0 {
+					sb.WriteString("  ")
+				}
+				fmt.Fprintf(&sb, "%-*s", widths[i], c)
+			}
+			sb.WriteByte('\n')
+		}
+		writeRow(t.Header)
+		sep := make([]string, len(t.Header))
+		for i := range sep {
+			sep[i] = strings.Repeat("-", widths[i])
+		}
+		writeRow(sep)
+		for _, row := range t.Rows {
+			writeRow(row)
+		}
+	}
+	return sb.String()
+}
+
+// --- formatting helpers ---------------------------------------------------
+
+func fdur(d sim.Duration) string { return d.String() }
+
+func fcount(n int64) string {
+	switch {
+	case n >= 10_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.1fK", float64(n)/1e3)
+	default:
+		return fmt.Sprint(n)
+	}
+}
+
+func fbytes(n int64) string {
+	switch {
+	case n >= 10<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 10<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func fiops(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func fratio(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+func fpct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// latRow renders the canonical percentile row for a latency histogram.
+func latRow(h *stats.Histogram) []string {
+	return []string{
+		fdur(h.Percentile(50)),
+		fdur(h.Percentile(90)),
+		fdur(h.Percentile(95)),
+		fdur(h.Percentile(99)),
+		fdur(h.Percentile(99.9)),
+		fdur(h.Max()),
+	}
+}
+
+// latHeader matches latRow.
+var latHeader = []string{"p50", "p90", "p95", "p99", "p99.9", "max"}
+
+// cdfTable renders the inverse CDF (latency at each cumulative fraction) of
+// several systems side by side — the series the paper's CDF figures plot.
+func cdfTable(name string, labels []string, hs []*stats.Histogram) Table {
+	fracs := []float64{10, 25, 50, 75, 90, 95, 99, 99.9, 99.99, 100}
+	t := Table{Name: name, Header: append([]string{"cumulative"}, labels...)}
+	for _, p := range fracs {
+		row := []string{fmt.Sprintf("%.2f%%", p)}
+		for _, h := range hs {
+			row = append(row, fdur(h.Percentile(p)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// WriteFiles saves the report under dir: a formatted text file plus one CSV
+// per table, named <id>.txt and <id>[-<n>-<slug>].csv, for plotting
+// pipelines.
+func (r *Report) WriteFiles(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, r.ID+".txt"), []byte(r.String()), 0o644); err != nil {
+		return err
+	}
+	for i, t := range r.Tables {
+		name := r.ID
+		if len(r.Tables) > 1 {
+			name = fmt.Sprintf("%s-%d-%s", r.ID, i+1, slug(t.Name))
+		}
+		var sb strings.Builder
+		w := csv.NewWriter(&sb)
+		if err := w.Write(t.Header); err != nil {
+			return err
+		}
+		if err := w.WriteAll(t.Rows); err != nil {
+			return err
+		}
+		w.Flush()
+		if err := os.WriteFile(filepath.Join(dir, name+".csv"), []byte(sb.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// slug reduces a table name to a filesystem-safe fragment.
+func slug(s string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		case sb.Len() > 0 && sb.String()[sb.Len()-1] != '-':
+			sb.WriteByte('-')
+		}
+	}
+	return strings.Trim(sb.String(), "-")
+}

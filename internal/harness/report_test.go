@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"anykey/internal/sim"
+	"anykey/internal/stats"
+)
+
+func TestReportFormatting(t *testing.T) {
+	r := &Report{
+		ID:    "figX",
+		Title: "A demonstration",
+		Notes: []string{"one note"},
+		Tables: []Table{{
+			Name:   "t1",
+			Header: []string{"col", "value"},
+			Rows:   [][]string{{"a", "1"}, {"longer-cell", "2"}},
+		}},
+	}
+	out := r.String()
+	for _, want := range []string{"figX", "A demonstration", "one note", "t1", "longer-cell"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Columns must align: the header's second column starts where the
+	// longest cell dictates.
+	lines := strings.Split(out, "\n")
+	var headerLine, rowLine string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "col") {
+			headerLine = l
+			rowLine = lines[i+2]
+		}
+	}
+	if strings.Index(headerLine, "value") != strings.Index(rowLine, "1") {
+		t.Fatalf("columns misaligned:\n%q\n%q", headerLine, rowLine)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{fcount(42), "42"},
+		{fcount(42_000), "42.0K"},
+		{fcount(42_000_000), "42.0M"},
+		{fbytes(512), "512B"},
+		{fbytes(64 << 10), "64.0KB"},
+		{fbytes(64 << 20), "64.0MB"},
+		{fiops(512), "512"},
+		{fiops(5_200), "5.2K"},
+		{fiops(5_200_000), "5.20M"},
+		{fratio(1.5), "1.50x"},
+		{fpct(0.123), "12.3%"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Fatalf("format helper: got %q want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestLatRowShape(t *testing.T) {
+	var h stats.Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(sim.Duration(1000 * (i + 1)))
+	}
+	row := latRow(&h)
+	if len(row) != len(latHeader) {
+		t.Fatalf("latRow has %d cells for %d headers", len(row), len(latHeader))
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Paper == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment: %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	ids := SortedExperimentIDs()
+	if len(ids) != len(exps) {
+		t.Fatal("SortedExperimentIDs incomplete")
+	}
+	if _, err := RunExperiment("no-such-exp", ExpOptions{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// The two analytic experiments are cheap enough to run in tests outright.
+func TestAnalyticExperiments(t *testing.T) {
+	for _, id := range []string{"table1", "scale"} {
+		rep, err := RunExperiment(id, ExpOptions{Quick: true})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) == 0 {
+			t.Fatalf("%s: empty report", id)
+		}
+	}
+}
+
+func TestWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	r := &Report{ID: "demo", Title: "T", Tables: []Table{
+		{Name: "first table!", Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}},
+		{Name: "second", Header: []string{"x"}, Rows: [][]string{{"y"}}},
+	}}
+	if err := r.WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"demo.txt", "demo-1-first-table.csv", "demo-2-second.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+	csvBytes, _ := os.ReadFile(filepath.Join(dir, "demo-1-first-table.csv"))
+	if string(csvBytes) != "a,b\n1,2\n" {
+		t.Fatalf("csv content: %q", csvBytes)
+	}
+}
+
+func TestSlug(t *testing.T) {
+	if slug("(a) metadata structures, Crypto1") != "a-metadata-structures-crypto1" {
+		t.Fatalf("slug = %q", slug("(a) metadata structures, Crypto1"))
+	}
+}

@@ -1,0 +1,252 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntityRoundTripInline(t *testing.T) {
+	e := Entity{Key: []byte("user:42"), Hash: 0xdeadbeef, Value: []byte("v1")}
+	buf := AppendEntity(nil, &e)
+	if len(buf) != e.EncodedSize() {
+		t.Fatalf("EncodedSize = %d, wrote %d", e.EncodedSize(), len(buf))
+	}
+	got, n, err := DecodeEntity(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if !bytes.Equal(got.Key, e.Key) || got.Hash != e.Hash || !bytes.Equal(got.Value, e.Value) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.InLog || got.Tombstone {
+		t.Fatalf("unexpected flags: %+v", got)
+	}
+}
+
+func TestEntityRoundTripLogPointer(t *testing.T) {
+	e := Entity{Key: []byte("k"), Hash: 7, InLog: true, LogPtr: 0x0123456789abcdef, ValueLen: 358}
+	buf := AppendEntity(nil, &e)
+	got, _, err := DecodeEntity(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.InLog || got.LogPtr != e.LogPtr || got.ValueLen != 358 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Len() != 358 {
+		t.Fatalf("Len() = %d, want 358", got.Len())
+	}
+}
+
+func TestEntityRoundTripTombstone(t *testing.T) {
+	e := Entity{Key: []byte("gone"), Hash: 1, Tombstone: true}
+	buf := AppendEntity(nil, &e)
+	got, _, err := DecodeEntity(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Tombstone || got.Len() != 0 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+// Property: every generated entity round-trips bit-exactly and EncodedSize
+// is exact.
+func TestEntityRoundTripProperty(t *testing.T) {
+	f := func(key, val []byte, hash uint32, inLog, tomb bool, ptr uint64, vlen uint16) bool {
+		if len(key) == 0 {
+			key = []byte{0}
+		}
+		e := Entity{Key: key, Hash: hash, Tombstone: tomb}
+		if !tomb {
+			if inLog {
+				e.InLog = true
+				e.LogPtr = ptr
+				e.ValueLen = int(vlen)
+			} else {
+				e.Value = val
+				e.ValueLen = len(val)
+			}
+		}
+		buf := AppendEntity(nil, &e)
+		if len(buf) != e.EncodedSize() {
+			return false
+		}
+		got, n, err := DecodeEntity(buf)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		if !bytes.Equal(got.Key, e.Key) || got.Hash != e.Hash ||
+			got.InLog != e.InLog || got.Tombstone != e.Tombstone {
+			return false
+		}
+		if e.InLog && (got.LogPtr != e.LogPtr || got.ValueLen != e.ValueLen) {
+			return false
+		}
+		if !e.InLog && !e.Tombstone && !bytes.Equal(got.Value, e.Value) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeEntityCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{},                                    // empty
+		{0xff},                                // truncated varint
+		{0x05, 'a'},                           // key shorter than declared
+		{0x01, 'a', 1, 2},                     // truncated hash+flags
+		{0x01, 'a', 1, 2, 3, 4, flagInLog, 9}, // truncated log pointer
+	}
+	for i, c := range cases {
+		if _, _, err := DecodeEntity(c); err == nil {
+			t.Errorf("case %d: expected corruption error", i)
+		}
+	}
+}
+
+func TestCloneDoesNotAlias(t *testing.T) {
+	buf := AppendEntity(nil, &Entity{Key: []byte("abc"), Value: []byte("xyz")})
+	e, _, err := DecodeEntity(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.Clone()
+	buf[1] ^= 0xff // clobber the shared buffer
+	if string(c.Key) != "abc" || string(c.Value) != "xyz" {
+		t.Fatalf("clone aliases page buffer: %q %q", c.Key, c.Value)
+	}
+}
+
+func TestPageWriterRoundTrip(t *testing.T) {
+	page := make([]byte, 512)
+	extra := []byte("location-table")
+	w := NewPageWriter(page, extra)
+	var want []Entity
+	for i := 0; ; i++ {
+		e := Entity{Key: []byte{byte('a' + i%26), byte(i)}, Hash: uint32(i), Value: bytes.Repeat([]byte{byte(i)}, i%30)}
+		if !w.AppendEntity(&e) {
+			break
+		}
+		want = append(want, e.Clone())
+	}
+	if len(want) == 0 {
+		t.Fatal("no entities fit in page")
+	}
+	w.SetAux(0b10)
+
+	r := OpenPage(page)
+	if r.Count() != len(want) {
+		t.Fatalf("Count = %d, want %d", r.Count(), len(want))
+	}
+	if r.Aux() != 0b10 {
+		t.Fatalf("Aux = %b", r.Aux())
+	}
+	if string(r.Extra()) != string(extra) {
+		t.Fatalf("Extra = %q", r.Extra())
+	}
+	for i, e := range want {
+		got, err := r.Entity(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Key, e.Key) || !bytes.Equal(got.Value, e.Value) || got.Hash != e.Hash {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestPageWriterRejectsOversized(t *testing.T) {
+	page := make([]byte, 64)
+	w := NewPageWriter(page, nil)
+	big := Entity{Key: []byte("k"), Value: bytes.Repeat([]byte{1}, 100)}
+	if w.AppendEntity(&big) {
+		t.Fatal("oversized record accepted")
+	}
+	if w.Count() != 0 {
+		t.Fatal("failed append mutated count")
+	}
+	small := Entity{Key: []byte("k"), Value: []byte("v")}
+	if !w.AppendEntity(&small) {
+		t.Fatal("small record rejected after failed append")
+	}
+}
+
+func TestPageWriterFreeAccounting(t *testing.T) {
+	page := make([]byte, 256)
+	w := NewPageWriter(page, nil)
+	free0 := w.Free()
+	e := Entity{Key: []byte("abc"), Value: []byte("def")}
+	if !w.AppendEntity(&e) {
+		t.Fatal("append failed")
+	}
+	if got, want := free0-w.Free(), e.EncodedSize()+2; got != want {
+		t.Fatalf("append consumed %d bytes, want %d", got, want)
+	}
+}
+
+func TestVarintRoundTripProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		b := appendUvarint(nil, v)
+		if len(b) != uvarintLen(v) {
+			return false
+		}
+		got, n := uvarint(b)
+		return got == v && n == len(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if Compare([]byte("a"), []byte("b")) >= 0 {
+		t.Fatal("a !< b")
+	}
+	if Compare([]byte("ab"), []byte("a")) <= 0 {
+		t.Fatal("ab !> a")
+	}
+	if Compare([]byte("same"), []byte("same")) != 0 {
+		t.Fatal("same != same")
+	}
+}
+
+func TestPageSealVerify(t *testing.T) {
+	page := make([]byte, 512)
+	w := NewPageWriter(page, []byte("extra"))
+	e := Entity{Key: []byte("k"), Value: []byte("v")}
+	if !w.AppendEntity(&e) {
+		t.Fatal("append failed")
+	}
+	if OpenPage(page).Verify() {
+		t.Fatal("unsealed page verified")
+	}
+	w.Seal()
+	if !OpenPage(page).Verify() {
+		t.Fatal("sealed page failed verification")
+	}
+	// Any single-bit disturbance must be detected.
+	for _, pos := range []int{0, 7, 100, 300, 508} {
+		page[pos] ^= 0x40
+		if OpenPage(page).Verify() {
+			t.Fatalf("bit flip at %d not detected", pos)
+		}
+		page[pos] ^= 0x40
+	}
+	if !OpenPage(page).Verify() {
+		t.Fatal("restored page no longer verifies")
+	}
+	// SealPage (the package-level form used after patches) agrees.
+	page[2] = 0xAA // patch aux
+	SealPage(page)
+	if !OpenPage(page).Verify() {
+		t.Fatal("re-sealed page failed verification")
+	}
+}

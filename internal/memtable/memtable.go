@@ -1,0 +1,138 @@
+// Package memtable implements the device-internal DRAM write buffer (the
+// LSM-tree's L0): a skiplist ordered by key holding the most recent version
+// of each buffered pair. Both KV-SSD designs buffer incoming writes here and
+// flush the whole table into L1 when it reaches its size threshold
+// (paper §4.2 "Write").
+package memtable
+
+import (
+	"math/rand"
+
+	"anykey/internal/kv"
+)
+
+const maxHeight = 12
+
+// Entry is one buffered write: the newest version of a key, or a tombstone.
+type Entry struct {
+	Key       []byte
+	Value     []byte
+	Tombstone bool
+}
+
+// Bytes returns the DRAM footprint charged for the entry.
+func (e *Entry) Bytes() int64 { return int64(len(e.Key) + len(e.Value)) }
+
+type node struct {
+	entry Entry
+	next  [maxHeight]*node
+}
+
+// Table is the skiplist write buffer. Not safe for concurrent use (the
+// simulation is single-goroutine).
+type Table struct {
+	head   node
+	height int
+	rng    *rand.Rand
+	count  int
+	bytes  int64
+}
+
+// New returns an empty table. The seed makes tower heights — and therefore
+// iteration performance — deterministic across runs.
+func New(seed int64) *Table {
+	return &Table{height: 1, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Len returns the number of distinct buffered keys.
+func (t *Table) Len() int { return t.count }
+
+// Bytes returns the total key+value bytes buffered, the size compared
+// against the flush threshold.
+func (t *Table) Bytes() int64 { return t.bytes }
+
+// findPath fills prev with the rightmost node at each level whose key is
+// strictly less than key, and returns the candidate node (≥ key) at level 0.
+func (t *Table) findPath(key []byte, prev *[maxHeight]*node) *node {
+	x := &t.head
+	for lvl := t.height - 1; lvl >= 0; lvl-- {
+		for x.next[lvl] != nil && kv.Compare(x.next[lvl].entry.Key, key) < 0 {
+			x = x.next[lvl]
+		}
+		if prev != nil {
+			prev[lvl] = x
+		}
+	}
+	return x.next[0]
+}
+
+// Put buffers a write, replacing any previous version of the key.
+func (t *Table) Put(key, value []byte) { t.insert(key, value, false) }
+
+// Delete buffers a tombstone for the key.
+func (t *Table) Delete(key []byte) { t.insert(key, nil, true) }
+
+func (t *Table) insert(key, value []byte, tomb bool) {
+	var prev [maxHeight]*node
+	if n := t.findPath(key, &prev); n != nil && kv.Compare(n.entry.Key, key) == 0 {
+		t.bytes += int64(len(value)) - int64(len(n.entry.Value))
+		n.entry.Value = value
+		n.entry.Tombstone = tomb
+		return
+	}
+	h := 1
+	for h < maxHeight && t.rng.Intn(4) == 0 {
+		h++
+	}
+	for lvl := t.height; lvl < h; lvl++ {
+		prev[lvl] = &t.head
+	}
+	if h > t.height {
+		t.height = h
+	}
+	n := &node{entry: Entry{Key: key, Value: value, Tombstone: tomb}}
+	for lvl := 0; lvl < h; lvl++ {
+		n.next[lvl] = prev[lvl].next[lvl]
+		prev[lvl].next[lvl] = n
+	}
+	t.count++
+	t.bytes += n.entry.Bytes()
+}
+
+// Get returns the buffered entry for key. The second result reports whether
+// the key is present (a tombstone is present with Tombstone set).
+func (t *Table) Get(key []byte) (Entry, bool) {
+	n := t.findPath(key, nil)
+	if n != nil && kv.Compare(n.entry.Key, key) == 0 {
+		return n.entry, true
+	}
+	return Entry{}, false
+}
+
+// All returns every buffered entry in ascending key order.
+func (t *Table) All() []Entry {
+	out := make([]Entry, 0, t.count)
+	for n := t.head.next[0]; n != nil; n = n.next[0] {
+		out = append(out, n.entry)
+	}
+	return out
+}
+
+// AscendFrom calls fn for each entry with key ≥ start, in order, until fn
+// returns false.
+func (t *Table) AscendFrom(start []byte, fn func(Entry) bool) {
+	n := t.findPath(start, nil)
+	for ; n != nil; n = n.next[0] {
+		if !fn(n.entry) {
+			return
+		}
+	}
+}
+
+// Reset empties the table, retaining its RNG state.
+func (t *Table) Reset() {
+	t.head = node{}
+	t.height = 1
+	t.count = 0
+	t.bytes = 0
+}

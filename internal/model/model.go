@@ -1,0 +1,87 @@
+// Package model computes the analytic metadata-size estimates the paper
+// reports in Table 1 (64 GB SSD, 64 MB DRAM, varying low value-to-key
+// ratios) and §6.8 (design scalability at 4 TB). The formulas mirror the
+// structures the simulator actually builds — per-record meta segments and
+// per-segment level lists for PinK; per-group level-list entries and
+// best-effort hash lists for AnyKey — so the analytic and simulated numbers
+// are two views of the same cost model.
+package model
+
+// DeviceSpec describes the device the estimate is for.
+type DeviceSpec struct {
+	CapacityBytes int64
+	DRAMBytes     int64
+	PageSize      int
+	GroupPages    int
+}
+
+// WorkloadSpec is the key/value size profile.
+type WorkloadSpec struct {
+	KeySize   int
+	ValueSize int
+}
+
+// Pairs returns how many KV pairs fill the device.
+func (d DeviceSpec) Pairs(w WorkloadSpec) int64 {
+	return d.CapacityBytes / int64(w.KeySize+w.ValueSize)
+}
+
+// PinKSizes is the Table 1 breakdown for PinK.
+type PinKSizes struct {
+	LevelLists   int64
+	MetaSegments int64
+}
+
+// Sum returns the total PinK metadata footprint.
+func (s PinKSizes) Sum() int64 { return s.LevelLists + s.MetaSegments }
+
+// PinK estimates PinK's metadata sizes when the device is full of pairs.
+//
+// Each pair needs a meta segment record: key + location (8 B) + offset-table
+// slot (2 B). Meta segments are page-sized; each needs a level-list entry of
+// key + locator (16 B).
+func PinK(d DeviceSpec, w WorkloadSpec) PinKSizes {
+	pairs := d.Pairs(w)
+	recordBytes := int64(w.KeySize + 10)
+	metaBytes := pairs * recordBytes
+	segments := (metaBytes + int64(d.PageSize) - 1) / int64(d.PageSize)
+	// Level lists: one entry per meta segment.
+	levelLists := segments * int64(w.KeySize+16)
+	// Meta segments occupy whole pages.
+	return PinKSizes{LevelLists: levelLists, MetaSegments: segments * int64(d.PageSize)}
+}
+
+// AnyKeySizes is the Table 1 breakdown for AnyKey.
+type AnyKeySizes struct {
+	LevelLists int64
+	HashLists  int64 // clipped to the DRAM remainder, as the design does
+	// HashListsWanted is the unclipped demand (4 B per pair).
+	HashListsWanted int64
+}
+
+// Sum returns the DRAM-resident AnyKey metadata footprint.
+func (s AnyKeySizes) Sum() int64 { return s.LevelLists + s.HashLists }
+
+// AnyKey estimates AnyKey's metadata sizes when the device is full of pairs.
+//
+// One level-list entry per data segment group: smallest key + PPA (8 B) +
+// 2 B hash prefix per page + 16 B bookkeeping. Hash lists want 4 B per pair
+// and take whatever DRAM remains (§4.2) — by construction the total never
+// exceeds the DRAM budget.
+func AnyKey(d DeviceSpec, w WorkloadSpec) AnyKeySizes {
+	pairs := d.Pairs(w)
+	groupBytes := int64(d.GroupPages * d.PageSize)
+	groups := (d.CapacityBytes + groupBytes - 1) / groupBytes
+	entry := int64(w.KeySize) + 8 + int64(2*d.GroupPages) + 16
+	levelLists := groups * entry
+	wanted := pairs * 4
+	remaining := d.DRAMBytes - levelLists
+	if remaining < 0 {
+		remaining = 0
+	}
+	clipped := wanted
+	if clipped > remaining {
+		clipped = remaining
+	}
+	return AnyKeySizes{LevelLists: levelLists, HashLists: clipped, HashListsWanted: wanted}
+}

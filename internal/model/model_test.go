@@ -1,0 +1,97 @@
+package model
+
+import "testing"
+
+// paperDevice is Table 1's device: 64 GB SSD, 64 MB DRAM, 8 KiB pages,
+// 32-page groups.
+func paperDevice() DeviceSpec {
+	return DeviceSpec{
+		CapacityBytes: 64 << 30,
+		DRAMBytes:     64 << 20,
+		PageSize:      8192,
+		GroupPages:    32,
+	}
+}
+
+// Table 1's rows: v/k = 4.0 (160/40), 2.0 (120/60), 1.0 (80/80). The paper
+// reports PinK sums of 372/531/703 MB versus AnyKey pinned at the 64 MB
+// DRAM. Our formulas differ in constants (we count a 10-byte location
+// per record where PinK's exact layout differs), so we assert the *shape*:
+// PinK far exceeds DRAM and grows as v/k falls; AnyKey always fits.
+func TestTable1Shape(t *testing.T) {
+	d := paperDevice()
+	rows := []WorkloadSpec{
+		{KeySize: 40, ValueSize: 160},
+		{KeySize: 60, ValueSize: 120},
+		{KeySize: 80, ValueSize: 80},
+	}
+	var prevPinK int64
+	for i, w := range rows {
+		p := PinK(d, w)
+		a := AnyKey(d, w)
+		if p.Sum() <= d.DRAMBytes {
+			t.Errorf("row %d: PinK metadata %d fits DRAM %d; paper shows gross overflow", i, p.Sum(), d.DRAMBytes)
+		}
+		if p.Sum() < 4*d.DRAMBytes {
+			t.Errorf("row %d: PinK metadata %dMB not ≫ 64MB DRAM", i, p.Sum()>>20)
+		}
+		if p.Sum() <= prevPinK {
+			t.Errorf("row %d: PinK metadata did not grow as v/k fell", i)
+		}
+		prevPinK = p.Sum()
+		if a.Sum() > d.DRAMBytes {
+			t.Errorf("row %d: AnyKey metadata %d exceeds DRAM %d", i, a.Sum(), d.DRAMBytes)
+		}
+		if a.LevelLists <= 0 || a.HashLists <= 0 {
+			t.Errorf("row %d: AnyKey breakdown degenerate: %+v", i, a)
+		}
+	}
+}
+
+// Table 1's headline: at v/k = 1.0 PinK's metadata dwarfs the DRAM (the
+// paper's 703 MB vs 64 MB becomes an even larger factor at our exact
+// full-device pair count; see EXPERIMENTS.md on the discrepancy in the
+// summary text's absolute numbers), while AnyKey is pinned at the budget.
+func TestTable1Magnitudes(t *testing.T) {
+	d := paperDevice()
+	p := PinK(d, WorkloadSpec{KeySize: 80, ValueSize: 80})
+	if p.Sum() < 10*d.DRAMBytes {
+		t.Fatalf("PinK @ 80/80 = %d MB; expected ≥ 10× the 64 MB DRAM", p.Sum()>>20)
+	}
+	a := AnyKey(d, WorkloadSpec{KeySize: 80, ValueSize: 80})
+	if a.Sum() > d.DRAMBytes {
+		t.Fatalf("AnyKey @ 80/80 = %d exceeds DRAM", a.Sum())
+	}
+	if a.Sum() != d.DRAMBytes && a.HashLists != a.HashListsWanted {
+		// Either hash lists are clipped exactly to DRAM, or demand was lower.
+		t.Fatalf("AnyKey sizes inconsistent: %+v", a)
+	}
+}
+
+// §6.8: at 4 TB with Crypto1 (76/50), PinK's metadata swells to the tens of
+// GB (paper: 25.2 GB) while AnyKey stays in the single-GB class (3.65 GB)
+// and fits a 4 GB DRAM.
+func TestScalability4TB(t *testing.T) {
+	d := DeviceSpec{CapacityBytes: 4 << 40, DRAMBytes: 4 << 30, PageSize: 8192, GroupPages: 32}
+	w := WorkloadSpec{KeySize: 76, ValueSize: 50}
+	p := PinK(d, w)
+	a := AnyKey(d, w)
+	if p.Sum()>>30 < 10 {
+		t.Fatalf("PinK @ 4TB Crypto1 = %d GB; paper class is ~25 GB", p.Sum()>>30)
+	}
+	if a.Sum() > d.DRAMBytes {
+		t.Fatalf("AnyKey @ 4TB = %d bytes exceeds 4 GB DRAM", a.Sum())
+	}
+	// The paper's §6.8 quotes ≈3.65 GB for AnyKey at 4 TB; our level lists
+	// land in the same single-digit-GB class.
+	if gb := a.LevelLists >> 30; gb < 1 || gb > 8 {
+		t.Fatalf("AnyKey level lists %d GB out of the paper's single-GB class", gb)
+	}
+}
+
+func TestPairsArithmetic(t *testing.T) {
+	d := DeviceSpec{CapacityBytes: 1000, DRAMBytes: 10, PageSize: 100, GroupPages: 2}
+	if got := d.Pairs(WorkloadSpec{KeySize: 4, ValueSize: 6}); got != 100 {
+		t.Fatalf("Pairs = %d", got)
+	}
+}

@@ -1,0 +1,356 @@
+// Package nand models the NAND flash hardware of the emulated SSD: its
+// geometry (channels × chips × blocks × pages), its TLC operation latencies,
+// and the two resources every operation contends on — the chip (cell array
+// busy time) and the channel (page transfer time). It is the substitute for
+// the FEMU flash emulator used by the paper (DESIGN.md §2): same geometry,
+// same published latencies, virtual time instead of QEMU.
+//
+// The package stores page payloads so the FTL layers above can decode what
+// they wrote, enforces NAND programming rules (erase-before-program,
+// in-order programming within a block), and counts every operation by cause
+// so the harness can regenerate Table 3 and Fig. 13. Background causes
+// (everything except user and user-path metadata reads) are throttled to a
+// duty cycle; foreground reads gap-fill the idle slack (sim.Timeline).
+package nand
+
+import (
+	"fmt"
+
+	"anykey/internal/sim"
+)
+
+// Geometry describes the physical shape of the flash array.
+type Geometry struct {
+	Channels        int // independent data buses
+	ChipsPerChannel int // flash dies per bus
+	BlocksPerChip   int // erase blocks per die
+	PagesPerBlock   int // pages per erase block
+	PageSize        int // bytes per page
+}
+
+// Chips returns the total number of flash dies.
+func (g Geometry) Chips() int { return g.Channels * g.ChipsPerChannel }
+
+// Blocks returns the total number of erase blocks.
+func (g Geometry) Blocks() int { return g.Chips() * g.BlocksPerChip }
+
+// Pages returns the total number of flash pages.
+func (g Geometry) Pages() int { return g.Blocks() * g.PagesPerBlock }
+
+// Capacity returns the raw capacity in bytes.
+func (g Geometry) Capacity() int64 { return int64(g.Pages()) * int64(g.PageSize) }
+
+// Validate reports a descriptive error for impossible geometries.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Channels <= 0, g.ChipsPerChannel <= 0, g.BlocksPerChip <= 0,
+		g.PagesPerBlock <= 0, g.PageSize <= 0:
+		return fmt.Errorf("nand: geometry fields must be positive: %+v", g)
+	case g.Pages() > 1<<30:
+		return fmt.Errorf("nand: geometry too large to simulate: %d pages", g.Pages())
+	}
+	return nil
+}
+
+// Timing holds the flash operation latencies. The defaults mirror the
+// paper's TLC numbers (§5.1): reads (56.5, 77.5, 106) µs and programs
+// (0.8, 2.2, 5.7) ms for the three page types, 3 ms erase.
+type Timing struct {
+	Read    [3]sim.Duration // LSB, CSB, MSB page reads
+	Program [3]sim.Duration // LSB, CSB, MSB page programs
+	Erase   sim.Duration
+	// TransferNsPerByte is the channel occupancy per transferred byte
+	// (≈0.833 ns/B for a 1.2 GB/s ONFI bus).
+	TransferNsPerByte float64
+	// BackgroundDuty caps the share of die/channel time background
+	// operations (flush, compaction, GC, log) may occupy; foreground host
+	// reads gap-fill the remainder. 0.5 mirrors a controller that reserves
+	// half the die time for host I/O under load.
+	BackgroundDuty float64
+}
+
+// TLCTiming returns the paper's TLC latencies.
+func TLCTiming() Timing {
+	return Timing{
+		Read:              [3]sim.Duration{56500, 77500, 106000},
+		Program:           [3]sim.Duration{800 * sim.Microsecond, 2200 * sim.Microsecond, 5700 * sim.Microsecond},
+		Erase:             3 * sim.Millisecond,
+		TransferNsPerByte: 0.833,
+		BackgroundDuty:    0.5,
+	}
+}
+
+// bgIdle returns the throttle gap appended after a background operation of
+// duration d.
+func (t Timing) bgIdle(d sim.Duration) sim.Duration {
+	duty := t.BackgroundDuty
+	if duty <= 0 || duty >= 1 {
+		return 0
+	}
+	return sim.Duration(float64(d) * (1 - duty) / duty)
+}
+
+// foreground reports whether a cause rides the host-latency path: user data
+// reads and the user-path metadata reads that precede them.
+func foreground(c Cause) bool { return c == CauseUser || c == CauseMeta }
+
+func (t Timing) transfer(bytes int) sim.Duration {
+	return sim.Duration(t.TransferNsPerByte * float64(bytes))
+}
+
+// PPA is a physical page address: block-major, ppa = block*PagesPerBlock +
+// pageInBlock.
+type PPA int64
+
+// InvalidPPA marks an unset address.
+const InvalidPPA PPA = -1
+
+// BlockID identifies one erase block.
+type BlockID int32
+
+// Cause classifies why a flash operation was issued, for the accounting in
+// Table 3 and Fig. 13.
+type Cause int
+
+// Operation causes. User covers foreground reads/writes on the request
+// path; Flush is the L0→L1 write of buffered pairs; Compaction and GC are
+// the background operations; Meta covers metadata (meta segment) I/O on any
+// path; Log covers value-log I/O.
+const (
+	CauseUser Cause = iota
+	CauseFlush
+	CauseCompaction
+	CauseGC
+	CauseMeta
+	CauseLog
+	numCauses
+)
+
+var causeNames = [...]string{"user", "flush", "compaction", "gc", "meta", "log"}
+
+// String returns the cause's lowercase name.
+func (c Cause) String() string {
+	if c < 0 || int(c) >= len(causeNames) {
+		return fmt.Sprintf("cause(%d)", int(c))
+	}
+	return causeNames[c]
+}
+
+// Counters accumulates operation counts by cause.
+type Counters struct {
+	Reads  [numCauses]int64
+	Writes [numCauses]int64
+	Erases int64
+}
+
+// TotalReads returns page reads across all causes.
+func (c *Counters) TotalReads() int64 { return sum(&c.Reads) }
+
+// TotalWrites returns page writes across all causes; this is the device
+// lifetime metric of Fig. 13.
+func (c *Counters) TotalWrites() int64 { return sum(&c.Writes) }
+
+func sum(a *[numCauses]int64) int64 {
+	var t int64
+	for _, v := range a {
+		t += v
+	}
+	return t
+}
+
+// Sub returns the counter delta c - o.
+func (c Counters) Sub(o Counters) Counters {
+	var d Counters
+	for i := range c.Reads {
+		d.Reads[i] = c.Reads[i] - o.Reads[i]
+		d.Writes[i] = c.Writes[i] - o.Writes[i]
+	}
+	d.Erases = c.Erases - o.Erases
+	return d
+}
+
+// Array is the simulated flash array. It is not safe for concurrent use;
+// the simulation is single-goroutine virtual time by design.
+type Array struct {
+	geo    Geometry
+	timing Timing
+
+	chips    []sim.Timeline
+	channels []sim.Timeline
+	// watermark is the latest foreground issue time; no future operation is
+	// ever scheduled before it (see sim.Timeline), enabling exact pruning.
+	watermark sim.Time
+
+	pages    [][]byte // payloads by global page index; nil = unwritten
+	nextPage []int32  // per block: next programmable page index
+
+	counters Counters
+}
+
+// New builds an erased flash array.
+func New(geo Geometry, timing Timing) (*Array, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Array{
+		geo:      geo,
+		timing:   timing,
+		chips:    make([]sim.Timeline, geo.Chips()),
+		channels: make([]sim.Timeline, geo.Channels),
+		pages:    make([][]byte, geo.Pages()),
+		nextPage: make([]int32, geo.Blocks()),
+	}
+	return a, nil
+}
+
+// Geometry returns the array's shape.
+func (a *Array) Geometry() Geometry { return a.geo }
+
+// Counters returns a snapshot of the operation counters.
+func (a *Array) Counters() Counters { return a.counters }
+
+// BlockOf returns the erase block containing ppa.
+func (a *Array) BlockOf(ppa PPA) BlockID { return BlockID(int(ppa) / a.geo.PagesPerBlock) }
+
+// PageInBlock returns ppa's index within its block.
+func (a *Array) PageInBlock(ppa PPA) int { return int(ppa) % a.geo.PagesPerBlock }
+
+// PageOf returns the PPA of page idx within block b.
+func (a *Array) PageOf(b BlockID, idx int) PPA {
+	return PPA(int(b)*a.geo.PagesPerBlock + idx)
+}
+
+// chipOf stripes consecutive pages across dies (superblock layout): page i
+// of a block lands on a different chip than page i+1, so the sequential
+// writes of a flush or compaction run on all dies in parallel, as real FTLs
+// arrange.
+func (a *Array) chipOf(ppa PPA) int { return int(ppa) % a.geo.Chips() }
+
+// eraseChipOf spreads erases by block id (an erase hits the whole
+// superblock; charging one die keeps the model simple and erases are rare).
+func (a *Array) eraseChipOf(b BlockID) int { return int(b) % a.geo.Chips() }
+
+func (a *Array) channelOf(chip int) int { return chip % a.geo.Channels }
+
+func (a *Array) pageType(ppa PPA) int { return a.PageInBlock(ppa) % 3 }
+
+// Read performs a page read issued at time at: the chip is busy for the cell
+// read, then the channel transfers the page out. It returns the completion
+// time. Reading a never-programmed page is an FTL bug and panics.
+func (a *Array) Read(at sim.Time, ppa PPA, cause Cause) sim.Time {
+	a.checkPPA(ppa)
+	if a.pages[ppa] == nil {
+		panic(fmt.Sprintf("nand: read of unwritten page %d", ppa))
+	}
+	chip := a.chipOf(ppa)
+	cell := a.timing.Read[a.pageType(ppa)]
+	xfer := a.timing.transfer(a.geo.PageSize)
+	var done sim.Time
+	if foreground(cause) {
+		a.advanceWatermark(at, chip)
+		cellDone := a.chips[chip].Schedule(at, cell)
+		done = a.channels[a.channelOf(chip)].Schedule(cellDone, xfer)
+	} else {
+		cellDone := a.chips[chip].ScheduleBG(at, cell, a.timing.bgIdle(cell))
+		done = a.channels[a.channelOf(chip)].ScheduleBG(cellDone, xfer, a.timing.bgIdle(xfer))
+	}
+	a.counters.Reads[cause]++
+	return done
+}
+
+// advanceWatermark records a foreground issue time and prunes the touched
+// resources' stale intervals.
+func (a *Array) advanceWatermark(at sim.Time, chip int) {
+	if at > a.watermark {
+		a.watermark = at
+	}
+	a.chips[chip].Prune(a.watermark)
+	a.channels[a.channelOf(chip)].Prune(a.watermark)
+}
+
+// Program writes data into ppa at time at: the channel transfers the page
+// in, then the chip is busy for the cell program. The array takes ownership
+// of data (it must be exactly PageSize bytes). Programming out of order
+// within a block, or into a non-erased block, panics: both are FTL bugs.
+func (a *Array) Program(at sim.Time, ppa PPA, data []byte, cause Cause) sim.Time {
+	a.checkPPA(ppa)
+	if len(data) != a.geo.PageSize {
+		panic(fmt.Sprintf("nand: program of %d bytes into %d-byte page", len(data), a.geo.PageSize))
+	}
+	b := a.BlockOf(ppa)
+	if idx := int32(a.PageInBlock(ppa)); idx != a.nextPage[b] {
+		panic(fmt.Sprintf("nand: out-of-order program: block %d page %d, expected %d", b, idx, a.nextPage[b]))
+	}
+	a.nextPage[b]++
+	a.pages[ppa] = data
+
+	chip := a.chipOf(ppa)
+	xfer := a.timing.transfer(a.geo.PageSize)
+	prog := a.timing.Program[a.pageType(ppa)]
+	var done sim.Time
+	if foreground(cause) {
+		a.advanceWatermark(at, chip)
+		xferDone := a.channels[a.channelOf(chip)].Schedule(at, xfer)
+		done = a.chips[chip].Schedule(xferDone, prog)
+	} else {
+		xferDone := a.channels[a.channelOf(chip)].ScheduleBG(at, xfer, a.timing.bgIdle(xfer))
+		done = a.chips[chip].ScheduleBG(xferDone, prog, a.timing.bgIdle(prog))
+	}
+	a.counters.Writes[cause]++
+	return done
+}
+
+// Erase erases block b at time at and returns the completion time.
+func (a *Array) Erase(at sim.Time, b BlockID, cause Cause) sim.Time {
+	if int(b) < 0 || int(b) >= a.geo.Blocks() {
+		panic(fmt.Sprintf("nand: erase of invalid block %d", b))
+	}
+	first := int(b) * a.geo.PagesPerBlock
+	for i := 0; i < a.geo.PagesPerBlock; i++ {
+		a.pages[first+i] = nil
+	}
+	a.nextPage[b] = 0
+	a.counters.Erases++
+	return a.chips[a.eraseChipOf(b)].ScheduleBG(at, a.timing.Erase, a.timing.bgIdle(a.timing.Erase))
+}
+
+// PageData returns the payload programmed into ppa. Callers must have paid
+// for a Read (or hold the data in a DRAM cache); the accessor itself charges
+// nothing, keeping data access and timing orthogonal.
+func (a *Array) PageData(ppa PPA) []byte {
+	a.checkPPA(ppa)
+	d := a.pages[ppa]
+	if d == nil {
+		panic(fmt.Sprintf("nand: data access to unwritten page %d", ppa))
+	}
+	return d
+}
+
+// Written reports whether ppa has been programmed since its last erase.
+func (a *Array) Written(ppa PPA) bool {
+	a.checkPPA(ppa)
+	return a.pages[ppa] != nil
+}
+
+// FreePagesIn returns how many pages remain programmable in block b.
+func (a *Array) FreePagesIn(b BlockID) int {
+	return a.geo.PagesPerBlock - int(a.nextPage[b])
+}
+
+// ChipUtilization returns the mean busy fraction of all chips over [0, now].
+func (a *Array) ChipUtilization(now sim.Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	var total sim.Duration
+	for i := range a.chips {
+		total += a.chips[i].BusyTotal()
+	}
+	return float64(total) / (float64(now) * float64(len(a.chips)))
+}
+
+func (a *Array) checkPPA(ppa PPA) {
+	if ppa < 0 || int64(ppa) >= int64(a.geo.Pages()) {
+		panic(fmt.Sprintf("nand: invalid ppa %d", ppa))
+	}
+}

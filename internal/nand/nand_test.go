@@ -1,0 +1,201 @@
+package nand
+
+import (
+	"strings"
+	"testing"
+
+	"anykey/internal/sim"
+)
+
+func testGeo() Geometry {
+	return Geometry{Channels: 2, ChipsPerChannel: 2, BlocksPerChip: 4, PagesPerBlock: 6, PageSize: 64}
+}
+
+func testArray(t *testing.T) *Array {
+	t.Helper()
+	a, err := New(testGeo(), TLCTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func page(a *Array, fill byte) []byte {
+	b := make([]byte, a.Geometry().PageSize)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestGeometryArithmetic(t *testing.T) {
+	g := testGeo()
+	if g.Chips() != 4 || g.Blocks() != 16 || g.Pages() != 96 || g.Capacity() != 96*64 {
+		t.Fatalf("geometry arithmetic wrong: %+v", g)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := g
+	bad.PageSize = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero page size validated")
+	}
+}
+
+func TestProgramReadRoundTrip(t *testing.T) {
+	a := testArray(t)
+	data := page(a, 0xAB)
+	done := a.Program(0, 0, data, CauseFlush)
+	if done <= 0 {
+		t.Fatal("program took no time")
+	}
+	rdone := a.Read(done, 0, CauseUser)
+	if !rdone.After(done) {
+		t.Fatal("read took no time")
+	}
+	got := a.PageData(0)
+	if &got[0] != &data[0] {
+		t.Fatal("PageData did not return the programmed buffer")
+	}
+	c := a.Counters()
+	if c.Writes[CauseFlush] != 1 || c.Reads[CauseUser] != 1 || c.TotalWrites() != 1 {
+		t.Fatalf("counters: %+v", c)
+	}
+}
+
+func TestPageTypeLatencies(t *testing.T) {
+	a := testArray(t)
+	tm := TLCTiming()
+	// Pages 0,1,2 of one block are LSB,CSB,MSB. Program them and check each
+	// read's cell latency by issuing when chip and channel are long idle.
+	var at sim.Time
+	for i := 0; i < 3; i++ {
+		at = a.Program(at, PPA(i), page(a, byte(i)), CauseFlush)
+	}
+	idle := at.Add(sim.Second)
+	for i := 0; i < 3; i++ {
+		done := a.Read(idle, PPA(i), CauseUser)
+		want := tm.Read[i] + tm.transfer(a.Geometry().PageSize)
+		if done.Sub(idle) != want {
+			t.Errorf("page %d read latency %v, want %v", i, done.Sub(idle), want)
+		}
+		idle = done.Add(sim.Second)
+	}
+}
+
+func TestChipQueueing(t *testing.T) {
+	a := testArray(t)
+	// Blocks 0 and 4 share chip 0 (16 blocks, 4 chips, block%4==chip... with
+	// chipOf = block % chips). Blocks 0 and 1 are on different chips.
+	a.Program(0, a.PageOf(0, 0), page(a, 1), CauseFlush)
+	a.Program(0, a.PageOf(1, 0), page(a, 2), CauseFlush)
+	sameChip := a.PageOf(4, 0)
+	a.Program(0, sameChip, page(a, 3), CauseFlush)
+
+	// The two different-chip programs overlap; the same-chip one queues.
+	r0 := a.Read(sim.Time(sim.Second), a.PageOf(0, 0), CauseUser)
+	r1 := a.Read(sim.Time(sim.Second), a.PageOf(1, 0), CauseUser)
+	// Issue two reads on chip 0 at the same instant: the second must queue
+	// behind the first's cell time.
+	q0 := a.Read(sim.Time(2*sim.Second), a.PageOf(0, 0), CauseUser)
+	q1 := a.Read(sim.Time(2*sim.Second), sameChip, CauseUser)
+	if q1.Sub(q0) < TLCTiming().Read[0] {
+		t.Fatalf("same-chip reads did not queue: %v then %v", q0, q1)
+	}
+	_ = r0
+	_ = r1
+}
+
+func TestOutOfOrderProgramPanics(t *testing.T) {
+	a := testArray(t)
+	a.Program(0, 0, page(a, 1), CauseFlush)
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(r.(string), "out-of-order") {
+			t.Fatalf("expected out-of-order panic, got %v", r)
+		}
+	}()
+	a.Program(0, 2, page(a, 2), CauseFlush) // skips page 1
+}
+
+func TestReuseWithoutErasePanics(t *testing.T) {
+	a := testArray(t)
+	g := a.Geometry()
+	var at sim.Time
+	for i := 0; i < g.PagesPerBlock; i++ {
+		at = a.Program(at, PPA(i), page(a, byte(i)), CauseFlush)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on reuse without erase")
+		}
+	}()
+	a.Program(at, 0, page(a, 9), CauseFlush)
+}
+
+func TestEraseResetsBlock(t *testing.T) {
+	a := testArray(t)
+	g := a.Geometry()
+	var at sim.Time
+	for i := 0; i < g.PagesPerBlock; i++ {
+		at = a.Program(at, PPA(i), page(a, byte(i)), CauseFlush)
+	}
+	if a.FreePagesIn(0) != 0 {
+		t.Fatalf("free pages = %d, want 0", a.FreePagesIn(0))
+	}
+	at = a.Erase(at, 0, CauseGC)
+	if a.FreePagesIn(0) != g.PagesPerBlock {
+		t.Fatal("erase did not reset block")
+	}
+	if a.Written(0) {
+		t.Fatal("page still written after erase")
+	}
+	// Programming page 0 again must now succeed.
+	a.Program(at, 0, page(a, 7), CauseGC)
+	if a.Counters().Erases != 1 {
+		t.Fatalf("erases = %d", a.Counters().Erases)
+	}
+}
+
+func TestReadUnwrittenPanics(t *testing.T) {
+	a := testArray(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic reading unwritten page")
+		}
+	}()
+	a.Read(0, 5, CauseUser)
+}
+
+func TestCountersSub(t *testing.T) {
+	a := testArray(t)
+	a.Program(0, 0, page(a, 1), CauseFlush)
+	before := a.Counters()
+	a.Program(0, 1, page(a, 2), CauseCompaction)
+	a.Read(0, 0, CauseUser)
+	d := a.Counters().Sub(before)
+	if d.Writes[CauseCompaction] != 1 || d.Writes[CauseFlush] != 0 || d.Reads[CauseUser] != 1 {
+		t.Fatalf("delta: %+v", d)
+	}
+}
+
+func TestCauseString(t *testing.T) {
+	if CauseGC.String() != "gc" || CauseCompaction.String() != "compaction" {
+		t.Fatal("cause names wrong")
+	}
+	if !strings.Contains(Cause(99).String(), "99") {
+		t.Fatal("out-of-range cause name wrong")
+	}
+}
+
+func TestChipUtilization(t *testing.T) {
+	a := testArray(t)
+	done := a.Program(0, 0, page(a, 1), CauseFlush)
+	u := a.ChipUtilization(done)
+	if u <= 0 || u > 1 {
+		t.Fatalf("utilization = %v", u)
+	}
+	if a.ChipUtilization(0) != 0 {
+		t.Fatal("utilization at epoch not 0")
+	}
+}

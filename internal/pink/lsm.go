@@ -1,0 +1,179 @@
+package pink
+
+import (
+	"fmt"
+	"sort"
+
+	"anykey/internal/kv"
+	"anykey/internal/nand"
+)
+
+// levelEntryOverhead is the fixed portion of one level-list entry: the meta
+// segment locator (8 B) plus list bookkeeping (8 B), matching the per-entry
+// cost model used for Table 1.
+const levelEntryOverhead = 16
+
+// dramSegLabel is the DRAM ledger label for meta segments.
+const dramSegLabel = "metaseg"
+
+// dataLoc packs a *logical* data page number and a record slot into one
+// word: seq<<16 | slot. Logical page numbers are never reused; the device's
+// L2P table maps them to physical pages (a conventional FTL indirection),
+// so a stale record left dangling by GC can never alias a rewritten page.
+// The all-ones value marks a tombstone record.
+type dataLoc uint64
+
+const tombstoneLoc = ^dataLoc(0)
+
+func makeLoc(seq uint64, slot int) dataLoc {
+	return dataLoc(seq<<16 | uint64(slot)&0xffff)
+}
+
+func (l dataLoc) seq() uint64 { return uint64(l >> 16) }
+func (l dataLoc) slot() int   { return int(l & 0xffff) }
+
+// record is one meta segment entry: a key and where its pair lives.
+type record struct {
+	key  []byte
+	loc  dataLoc
+	vlen int // logical value length, for level-size accounting
+}
+
+func (r *record) tombstone() bool { return r.loc == tombstoneLoc }
+
+// bytes returns the logical KV bytes the record represents.
+func (r *record) bytes() int64 {
+	if r.tombstone() {
+		return int64(len(r.key))
+	}
+	return int64(len(r.key) + r.vlen)
+}
+
+// encodedSize mirrors encodeRecord.
+func (r *record) encodedSize() int {
+	return uvarintLen(uint64(len(r.key))) + len(r.key) + 8 + uvarintLen(uint64(r.vlen))
+}
+
+func encodeRecord(buf []byte, r *record) []byte {
+	buf = appendUvarint(buf, uint64(len(r.key)))
+	buf = append(buf, r.key...)
+	buf = appendU64(buf, uint64(r.loc))
+	return appendUvarint(buf, uint64(r.vlen))
+}
+
+func decodeRecord(buf []byte) record {
+	klen, n := uvarint(buf)
+	key := buf[n : n+int(klen)]
+	off := n + int(klen)
+	loc := dataLoc(u64(buf[off:]))
+	off += 8
+	vlen, _ := uvarint(buf[off:])
+	return record{key: key, loc: loc, vlen: int(vlen)}
+}
+
+// metaSegment is one flash page worth of sorted records plus its level-list
+// entry data (first key and location). Meta segments always live in flash
+// (the device's metadata must be persistent); the DRAM budget holds a cache
+// of the top levels' segments, which is what makes their lookups and merges
+// free of flash reads.
+type metaSegment struct {
+	firstKey []byte
+	count    int
+	ppa      nand.PPA
+	cached   bool // present in the DRAM meta-segment cache
+}
+
+// level is one LSM level: meta segments sorted by disjoint key ranges.
+type level struct {
+	segs  []*metaSegment
+	bytes int64 // logical KV bytes referenced by this level
+}
+
+// findSegment returns the unique segment whose range may contain key: the
+// last segment with firstKey ≤ key.
+func (lv *level) findSegment(key []byte) *metaSegment {
+	i := sort.Search(len(lv.segs), func(i int) bool {
+		return kv.Compare(lv.segs[i].firstKey, key) > 0
+	})
+	if i == 0 {
+		return nil
+	}
+	return lv.segs[i-1]
+}
+
+// findRecord binary-searches a meta segment page image for key.
+func findRecord(data []byte, key []byte) (record, bool) {
+	pr := kv.OpenPage(data)
+	n := pr.Count()
+	i := sort.Search(n, func(i int) bool {
+		r := decodeRecord(pr.Record(i))
+		return kv.Compare(r.key, key) >= 0
+	})
+	if i >= n {
+		return record{}, false
+	}
+	r := decodeRecord(pr.Record(i))
+	if kv.Compare(r.key, key) != 0 {
+		return record{}, false
+	}
+	return r, true
+}
+
+// decodeAllRecords returns every record of a meta segment page image in key
+// order. Returned records alias data.
+func decodeAllRecords(data []byte) []record {
+	pr := kv.OpenPage(data)
+	out := make([]record, pr.Count())
+	for i := range out {
+		out[i] = decodeRecord(pr.Record(i))
+	}
+	return out
+}
+
+// --- encoding primitives (identical to kv's, local to avoid exporting) ---
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func u64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	panic(fmt.Sprintf("pink: bad varint % x", b[:min(len(b), 10)]))
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

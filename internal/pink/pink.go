@@ -1,0 +1,398 @@
+// Package pink implements the PinK baseline: the state-of-the-art
+// LSM-tree-based KV-SSD design the paper compares against (§2.2, Fig. 4).
+//
+// PinK keeps pinned level lists in DRAM; each level-list entry points at a
+// meta segment — one flash page worth of sorted (key → data location)
+// records. Meta segments live in DRAM while the budget lasts (top levels
+// first) and spill to flash otherwise, which is exactly the behaviour that
+// collapses under low-v/k workloads: large keys inflate the meta segments
+// past the DRAM budget, every lookup then pays extra flash reads, and
+// compaction must re-read and re-write flash-resident meta segments.
+//
+// KV pairs themselves are stored in data segment pages written once at
+// flush (L0→L1) time; compaction merges metadata only, so overwritten
+// values linger in data blocks until garbage collection relocates the
+// still-live neighbours — the paper's Table 3 shows this GC dominating
+// PinK's flash traffic.
+package pink
+
+import (
+	"fmt"
+
+	"anykey/internal/device"
+	"anykey/internal/dram"
+	"anykey/internal/ftl"
+	"anykey/internal/kv"
+	"anykey/internal/memtable"
+	"anykey/internal/nand"
+	"anykey/internal/sim"
+)
+
+// Config parameterises a PinK device.
+type Config struct {
+	Geometry nand.Geometry
+	Timing   nand.Timing
+
+	// DRAMBytes is the device-internal DRAM budget shared by the level
+	// lists (pinned), the write buffer (pinned) and meta segments.
+	DRAMBytes int64
+
+	// MemtableBytes is the L0 flush threshold.
+	MemtableBytes int64
+
+	// GrowthFactor is the LSM level size ratio (threshold of Li+1 /
+	// threshold of Li).
+	GrowthFactor int
+
+	// RequestOverhead models the host-interface and firmware handling cost
+	// added to every request.
+	RequestOverhead sim.Duration
+
+	// FreeBlockReserve is the number of free blocks below which GC runs.
+	FreeBlockReserve int
+
+	// Seed fixes the memtable's skiplist randomness.
+	Seed int64
+
+	// BackgroundLag bounds how far flush/compaction completion may run
+	// behind the host clock before writes stall (the device's internal
+	// write-queue depth in time units).
+	BackgroundLag sim.Duration
+}
+
+// Defaults fills zero fields with the repository defaults (a scaled version
+// of the paper's 64 GB / 64 MB device; see DESIGN.md §2).
+func (c *Config) Defaults() {
+	if c.Geometry == (nand.Geometry{}) {
+		c.Geometry = nand.Geometry{Channels: 8, ChipsPerChannel: 8, BlocksPerChip: 4, PagesPerBlock: 64, PageSize: 8192}
+	}
+	if c.Timing == (nand.Timing{}) {
+		c.Timing = nand.TLCTiming()
+	}
+	if c.DRAMBytes == 0 {
+		c.DRAMBytes = c.Geometry.Capacity() / 1000 // the paper's ≈0.1 % ratio
+	}
+	if c.MemtableBytes == 0 {
+		c.MemtableBytes = int64(32 * c.Geometry.PageSize)
+	}
+	if c.GrowthFactor == 0 {
+		c.GrowthFactor = 4
+	}
+	if c.RequestOverhead == 0 {
+		c.RequestOverhead = 3 * sim.Microsecond
+	}
+	if c.FreeBlockReserve == 0 {
+		c.FreeBlockReserve = 6
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.BackgroundLag == 0 {
+		c.BackgroundLag = 50 * sim.Millisecond
+	}
+}
+
+// hashCost is the measured xxHash cost for a key on the controller CPU
+// (paper §4.5: 79 ns for a 40-byte key on a Cortex-A53); PinK does not hash
+// but pays comparable per-request firmware CPU time, charged identically so
+// the designs differ only where the paper says they do.
+const hashCost = 79 * sim.Nanosecond
+
+// Device is a simulated PinK KV-SSD.
+type Device struct {
+	cfg  Config
+	arr  *nand.Array
+	pool *ftl.Pool
+	mem  *dram.Budget
+	cpu  sim.Resource
+
+	mt         *memtable.Table
+	levels     []*level
+	dataStream *ftl.Stream
+	// metaStreams allocates meta segment pages per level, so a level rebuild
+	// leaves whole blocks dead and reclaimable without relocation.
+	metaStreams map[int]*ftl.Stream
+
+	// The data-page L2P indirection and per-page slot liveness, keyed by
+	// the never-reused logical page number. This is conventional FTL
+	// bookkeeping (page map + OOB validity), not charged against the KV
+	// metadata DRAM budget.
+	nextSeq   uint64
+	l2p       map[uint64]nand.PPA
+	p2l       map[nand.PPA]uint64
+	liveSlots map[uint64][]bool
+	// slotStats tracks per data block how many record slots exist and how
+	// many are still live, steering GC toward slot-level garbage that page
+	// validity cannot see.
+	slotStats map[nand.BlockID]*blockSlots
+
+	// segAt maps a flash-resident meta segment's page to the segment, for
+	// GC relocation of meta blocks.
+	segAt map[nand.PPA]*metaSegment
+
+	bgDoneAt sim.Time // completion time of the last background chain
+	st       *device.Stats
+	opReads  int // flash reads charged to the Get in flight
+}
+
+var _ device.KVSSD = (*Device)(nil)
+
+// New builds an empty PinK device.
+func New(cfg Config) (*Device, error) {
+	cfg.Defaults()
+	arr, err := nand.New(cfg.Geometry, cfg.Timing)
+	if err != nil {
+		return nil, err
+	}
+	pool := ftl.NewPool(arr)
+	d := &Device{
+		cfg:         cfg,
+		arr:         arr,
+		pool:        pool,
+		mem:         dram.New(cfg.DRAMBytes),
+		mt:          memtable.New(cfg.Seed),
+		dataStream:  ftl.NewStream(pool, ftl.RegionData),
+		metaStreams: make(map[int]*ftl.Stream),
+		l2p:         make(map[uint64]nand.PPA),
+		p2l:         make(map[nand.PPA]uint64),
+		liveSlots:   make(map[uint64][]bool),
+		slotStats:   make(map[nand.BlockID]*blockSlots),
+		segAt:       make(map[nand.PPA]*metaSegment),
+		st:          device.NewStats(),
+	}
+	d.mem.MustReserve("memtable", cfg.MemtableBytes)
+	d.st.Flash = func() nand.Counters { return arr.Counters() }
+	d.st.DRAMCapacity = func() int64 { return d.mem.Capacity() }
+	d.st.DRAMUsed = func() int64 { return d.mem.Used() }
+	return d, nil
+}
+
+// Stats implements device.KVSSD.
+func (d *Device) Stats() *device.Stats { return d.st }
+
+// Array exposes the underlying flash array for test instrumentation.
+func (d *Device) Array() *nand.Array { return d.arr }
+
+// threshold returns the byte-size threshold of level i (1-based).
+func (d *Device) threshold(i int) int64 {
+	t := d.cfg.MemtableBytes
+	for ; i > 0; i-- {
+		t *= int64(d.cfg.GrowthFactor)
+	}
+	return t
+}
+
+func (d *Device) checkKV(key, value []byte) error {
+	switch {
+	case len(key) == 0:
+		return kv.ErrEmptyKey
+	case len(key) > kv.MaxKeyLen:
+		return kv.ErrKeyTooLarge
+	case len(value) > kv.MaxValueLen:
+		return kv.ErrValueTooLarge
+	case len(value) > d.cfg.Geometry.PageSize/2:
+		return fmt.Errorf("%w: value %d exceeds half page size %d",
+			kv.ErrValueTooLarge, len(value), d.cfg.Geometry.PageSize/2)
+	}
+	return nil
+}
+
+// Put implements device.KVSSD.
+func (d *Device) Put(at sim.Time, key, value []byte) (sim.Time, error) {
+	if err := d.checkKV(key, value); err != nil {
+		return at, err
+	}
+	done := d.cpu.Occupy(at.Add(d.cfg.RequestOverhead), hashCost)
+	_, existed := d.mt.Get(key)
+	if !existed {
+		if _, dup := d.lookupLoc(key); !dup {
+			d.st.LiveKeys++
+			d.st.LiveBytes += int64(len(key) + len(value))
+		} else {
+			d.st.LiveBytes += int64(len(value)) - d.liveValueLen(key)
+		}
+	} else {
+		old, _ := d.mt.Get(key)
+		d.st.LiveBytes += int64(len(value)) - int64(len(old.Value))
+	}
+	d.mt.Put(append([]byte(nil), key...), append([]byte(nil), value...))
+	return d.maybeFlush(at, done)
+}
+
+// maybeFlush starts an L0→L1 compaction when the write buffer is full.
+// Flushes pipeline with in-flight background work up to BackgroundLag of
+// queued time; the host stalls only for the excess.
+func (d *Device) maybeFlush(at, done sim.Time) (sim.Time, error) {
+	if d.mt.Bytes() < d.cfg.MemtableBytes {
+		return done, nil
+	}
+	start := at
+	if gate := d.bgDoneAt.Add(-d.cfg.BackgroundLag); gate.After(start) {
+		start = gate
+	}
+	end, err := d.flush(start)
+	if err != nil {
+		return at, err
+	}
+	d.bgDoneAt = end
+	return sim.Max(done, start), nil
+}
+
+// liveValueLen returns the length of the key's current on-flash value, 0 if
+// absent; used only for LiveBytes accounting.
+func (d *Device) liveValueLen(key []byte) int64 {
+	loc, ok := d.lookupLoc(key)
+	if !ok {
+		return 0
+	}
+	ppa, ok := d.l2p[loc.seq()]
+	if !ok {
+		panic("pink: newest record dangles")
+	}
+	pr := kv.OpenPage(d.arr.PageData(ppa))
+	e, err := pr.Entity(loc.slot())
+	if err != nil {
+		panic(err)
+	}
+	return int64(e.Len())
+}
+
+// Delete implements device.KVSSD.
+func (d *Device) Delete(at sim.Time, key []byte) (sim.Time, error) {
+	if len(key) == 0 {
+		return at, kv.ErrEmptyKey
+	}
+	done := d.cpu.Occupy(at.Add(d.cfg.RequestOverhead), hashCost)
+	if e, ok := d.mt.Get(key); ok && !e.Tombstone {
+		d.st.LiveKeys--
+		d.st.LiveBytes -= int64(len(key) + len(e.Value))
+	} else if !ok {
+		if _, found := d.lookupLoc(key); found {
+			d.st.LiveKeys--
+			d.st.LiveBytes -= int64(len(key)) + d.liveValueLen(key)
+		}
+	}
+	d.mt.Delete(append([]byte(nil), key...))
+	return d.maybeFlush(at, done)
+}
+
+// Sync implements device.KVSSD: flushes the write buffer so every
+// acknowledged write is persistent (PinK's meta segments and data pages are
+// already flash-resident; only the buffer is volatile).
+func (d *Device) Sync(at sim.Time) (sim.Time, error) {
+	if d.mt.Len() == 0 {
+		return at, nil
+	}
+	start := sim.Max(at, d.bgDoneAt)
+	end, err := d.flush(start)
+	if err != nil {
+		return at, err
+	}
+	d.bgDoneAt = end
+	return end, nil
+}
+
+// Get implements device.KVSSD.
+func (d *Device) Get(at sim.Time, key []byte) ([]byte, sim.Time, error) {
+	if len(key) == 0 {
+		return nil, at, kv.ErrEmptyKey
+	}
+	d.opReads = 0
+	now := d.cpu.Occupy(at.Add(d.cfg.RequestOverhead), hashCost)
+	defer func() { d.st.ReadAccesses.Record(d.opReads) }()
+
+	if e, ok := d.mt.Get(key); ok {
+		if e.Tombstone {
+			return nil, now, kv.ErrNotFound
+		}
+		return e.Value, now, nil
+	}
+	for _, lv := range d.levels {
+		seg := lv.findSegment(key)
+		if seg == nil {
+			continue
+		}
+		data, t := d.segmentData(now, seg, nand.CauseMeta)
+		now = t
+		rec, ok := findRecord(data, key)
+		if !ok {
+			continue // overlapping range miss: search the next level
+		}
+		if rec.tombstone() {
+			return nil, now, kv.ErrNotFound
+		}
+		ppa, mapped := d.l2p[rec.loc.seq()]
+		if !mapped {
+			panic("pink: newest record dangles")
+		}
+		now = d.arr.Read(now, ppa, nand.CauseUser)
+		d.opReads++
+		pr := kv.OpenPage(d.arr.PageData(ppa))
+		e, err := pr.Entity(rec.loc.slot())
+		if err != nil {
+			panic(fmt.Sprintf("pink: corrupt data page %d: %v", ppa, err))
+		}
+		if kv.Compare(e.Key, key) != 0 {
+			panic("pink: meta record points at wrong key")
+		}
+		return e.Value, now, nil
+	}
+	return nil, now, kv.ErrNotFound
+}
+
+// segmentData returns the page image of a meta segment, charging a flash
+// read when it is not in the DRAM cache, and bumps the per-op access
+// counter.
+func (d *Device) segmentData(at sim.Time, seg *metaSegment, cause nand.Cause) ([]byte, sim.Time) {
+	if seg.cached {
+		return d.arr.PageData(seg.ppa), at
+	}
+	done := d.arr.Read(at, seg.ppa, cause)
+	d.opReads++
+	return d.arr.PageData(seg.ppa), done
+}
+
+// lookupLoc finds the key's current data location across all levels without
+// charging any time; it is used only for statistics bookkeeping.
+func (d *Device) lookupLoc(key []byte) (dataLoc, bool) {
+	for _, lv := range d.levels {
+		seg := lv.findSegment(key)
+		if seg == nil {
+			continue
+		}
+		if rec, ok := findRecord(d.arr.PageData(seg.ppa), key); ok {
+			if rec.tombstone() {
+				return 0, false
+			}
+			return rec.loc, true
+		}
+	}
+	return 0, false
+}
+
+// Metadata implements device.KVSSD: level lists (DRAM), the persistent meta
+// segments (always flash), and the DRAM cache covering their top levels
+// (Fig. 11a, Table 1).
+func (d *Device) Metadata() []device.MetaStructure {
+	var levelList, segCache, segFlash int64
+	for _, lv := range d.levels {
+		for _, seg := range lv.segs {
+			levelList += int64(len(seg.firstKey)) + levelEntryOverhead
+			segFlash += int64(d.cfg.Geometry.PageSize)
+			if seg.cached {
+				segCache += int64(d.cfg.Geometry.PageSize)
+			}
+		}
+	}
+	return []device.MetaStructure{
+		{Name: "level lists", Bytes: levelList, InDRAM: true},
+		{Name: "meta segment cache (DRAM)", Bytes: segCache, InDRAM: true},
+		{Name: "meta segments (flash)", Bytes: segFlash, InDRAM: false},
+	}
+}
+
+// Pool exposes the block pool for diagnostics and tests.
+func (d *Device) Pool() *ftl.Pool { return d.pool }
+
+// blockSlots is the live/total record-slot census of one data block.
+type blockSlots struct{ live, total int32 }

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestOccupyQueues(t *testing.T) {
+	var r Resource
+	d1 := r.Occupy(0, 100)
+	if d1 != 100 {
+		t.Fatalf("first op done at %d, want 100", d1)
+	}
+	// Issued at t=10 while busy until 100: queues behind.
+	d2 := r.Occupy(10, 50)
+	if d2 != 150 {
+		t.Fatalf("queued op done at %d, want 150", d2)
+	}
+	// Issued after idle: starts immediately.
+	d3 := r.Occupy(1000, 5)
+	if d3 != 1005 {
+		t.Fatalf("idle op done at %d, want 1005", d3)
+	}
+	if r.BusyTotal() != 155 {
+		t.Fatalf("busy total %d, want 155", r.BusyTotal())
+	}
+}
+
+func TestOccupyAtReturnsStart(t *testing.T) {
+	var r Resource
+	r.Occupy(0, 100)
+	start, done := r.OccupyAt(20, 30)
+	if start != 100 || done != 130 {
+		t.Fatalf("start=%d done=%d, want 100,130", start, done)
+	}
+}
+
+// Property: completion times are monotone in issue order and never precede
+// issue time + duration.
+func TestOccupyMonotoneProperty(t *testing.T) {
+	f := func(durs []uint16) bool {
+		var r Resource
+		var at Time
+		var prev Time
+		for _, du := range durs {
+			d := Duration(du)
+			done := r.Occupy(at, d)
+			if done < at.Add(d) || done < prev {
+				return false
+			}
+			prev = done
+			at = at.Add(Duration(du % 97)) // advance issue clock irregularly
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	var r Resource
+	r.Occupy(0, 250)
+	if got := r.Utilization(1000); got != 0.25 {
+		t.Fatalf("utilization = %v, want 0.25", got)
+	}
+	if got := r.Utilization(0); got != 0 {
+		t.Fatalf("utilization at epoch = %v, want 0", got)
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	if D(56500*time.Nanosecond) != 56500 {
+		t.Fatal("D(ns) wrong")
+	}
+	if (3 * Millisecond).Seconds() != 0.003 {
+		t.Fatal("Seconds wrong")
+	}
+	if Max(Time(3), Time(9)) != 9 || Max(Time(9), Time(3)) != 9 {
+		t.Fatal("Max wrong")
+	}
+	if got := (77500 * Nanosecond).String(); got != "77.500µs" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (3 * Millisecond).String(); got != "3.000ms" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestTimelineForegroundGapFill(t *testing.T) {
+	var tl Timeline
+	// Background op of 100 at t=0 with idle 100: busy [0,100), gate 200.
+	if done := tl.ScheduleBG(0, 100, 100); done != 100 {
+		t.Fatalf("bg1 done = %v", done)
+	}
+	if done := tl.ScheduleBG(0, 100, 100); done != 300 {
+		t.Fatalf("bg2 done = %v (throttle gate should defer to 200)", done)
+	}
+	// Foreground of 50 at t=10 fits the [100,200) hole... actually the
+	// earliest gap ≥ its issue: [0,100) is busy, so it starts at 100.
+	if done := tl.Schedule(10, 50); done != 150 {
+		t.Fatalf("fg done = %v, want 150 (gap-filled the throttle hole)", done)
+	}
+	// Another foreground of 50 fills the rest of the hole.
+	if done := tl.Schedule(10, 50); done != 200 {
+		t.Fatalf("fg2 done = %v, want 200", done)
+	}
+	// A third must wait past the second background op.
+	if done := tl.Schedule(10, 50); done != 350 {
+		t.Fatalf("fg3 done = %v, want 350", done)
+	}
+}
+
+func TestTimelineMergeAndPrune(t *testing.T) {
+	var tl Timeline
+	tl.Schedule(0, 10)
+	tl.Schedule(10, 10) // touching: should merge
+	tl.Schedule(100, 10)
+	if tl.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2 after merge", tl.Pending())
+	}
+	tl.Prune(50)
+	if tl.Pending() != 1 {
+		t.Fatalf("pending = %d after prune", tl.Pending())
+	}
+	if tl.BusyTotal() != 30 {
+		t.Fatalf("busy = %v", tl.BusyTotal())
+	}
+}
+
+func TestTimelineNoOverlapProperty(t *testing.T) {
+	f := func(ops []struct {
+		At uint16
+		D  uint8
+		BG bool
+	}) bool {
+		var tl Timeline
+		type booked struct{ s, e Time }
+		var all []booked
+		var lastFG Time
+		for _, op := range ops {
+			d := Duration(op.D%50 + 1)
+			at := Time(op.At)
+			if at < lastFG {
+				at = lastFG // preserve the monotonicity contract
+			}
+			var done Time
+			if op.BG {
+				done = tl.ScheduleBG(at, d, d)
+			} else {
+				done = tl.Schedule(at, d)
+				lastFG = at
+			}
+			all = append(all, booked{done.Add(-d), done})
+			if done.Add(-d) < at {
+				return false
+			}
+		}
+		for i := range all {
+			for j := i + 1; j < len(all); j++ {
+				if all[i].s < all[j].e && all[j].s < all[i].e {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

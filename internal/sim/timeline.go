@@ -1,0 +1,104 @@
+package sim
+
+import "sort"
+
+// Timeline models a resource (flash die, channel) that distinguishes
+// foreground work (host reads) from background work (flush, compaction and
+// GC I/O). Background operations are throttled to a duty cycle, leaving
+// idle gaps on the resource, and foreground operations gap-fill: they take
+// the earliest hole long enough to run. This mirrors how SSD controllers
+// prioritise host I/O over background traffic; without it, a compaction
+// burst issued at one instant would serialise every later read behind the
+// whole batch and p50 latencies would be compaction-sized.
+//
+// Correctness of pruning relies on the caller's guarantee that once a
+// foreground operation has been scheduled at time W, no future operation
+// (foreground or background) is scheduled before W. The virtual-time
+// drivers in this repository issue foreground work in non-decreasing order
+// and trigger background work from foreground instants, satisfying this.
+type Timeline struct {
+	ivls   []interval // sorted, non-overlapping busy intervals ≥ watermark
+	bgGate Time       // earliest start for the next background op
+	busy   Duration
+}
+
+type interval struct{ start, end Time }
+
+// Schedule books a foreground operation of duration d issued at `at` into
+// the earliest available gap and returns its completion time.
+func (t *Timeline) Schedule(at Time, d Duration) Time {
+	start := t.place(at, d)
+	t.insert(start, d)
+	return start.Add(d)
+}
+
+// ScheduleBG books a background operation issued at `at`. Consecutive
+// background operations are separated by idle time `idle` (the throttle
+// gap), which foreground operations may gap-fill.
+func (t *Timeline) ScheduleBG(at Time, d Duration, idle Duration) Time {
+	if at < t.bgGate {
+		at = t.bgGate
+	}
+	start := t.place(at, d)
+	t.insert(start, d)
+	done := start.Add(d)
+	t.bgGate = done.Add(idle)
+	return done
+}
+
+// place finds the earliest start ≥ at where d fits.
+func (t *Timeline) place(at Time, d Duration) Time {
+	start := at
+	// Skip intervals that end before the candidate start.
+	i := sort.Search(len(t.ivls), func(i int) bool { return t.ivls[i].end > start })
+	for ; i < len(t.ivls); i++ {
+		iv := t.ivls[i]
+		if start.Add(d) <= iv.start {
+			return start
+		}
+		start = iv.end
+	}
+	return start
+}
+
+// insert adds [start, start+d) to the busy set, merging with touching
+// neighbours to keep the list compact.
+func (t *Timeline) insert(start Time, d Duration) {
+	t.busy += d
+	end := start.Add(d)
+	// Find insertion index: first interval with start ≥ our start.
+	i := sort.Search(len(t.ivls), func(i int) bool { return t.ivls[i].start >= start })
+	t.ivls = append(t.ivls, interval{})
+	copy(t.ivls[i+1:], t.ivls[i:])
+	t.ivls[i] = interval{start, end}
+	// Merge with the previous interval if touching.
+	if i > 0 && t.ivls[i-1].end >= t.ivls[i].start {
+		t.ivls[i-1].end = Max(t.ivls[i-1].end, t.ivls[i].end)
+		t.ivls = append(t.ivls[:i], t.ivls[i+1:]...)
+		i--
+	}
+	// Merge with the next interval if touching.
+	if i+1 < len(t.ivls) && t.ivls[i].end >= t.ivls[i+1].start {
+		t.ivls[i].end = Max(t.ivls[i].end, t.ivls[i+1].end)
+		t.ivls = append(t.ivls[:i+1], t.ivls[i+2:]...)
+	}
+}
+
+// Prune discards busy intervals that end before `before`. Callers pass
+// their monotone watermark (see the type comment).
+func (t *Timeline) Prune(before Time) {
+	n := 0
+	for _, iv := range t.ivls {
+		if iv.end >= before {
+			t.ivls[n] = iv
+			n++
+		}
+	}
+	t.ivls = t.ivls[:n]
+}
+
+// BusyTotal returns cumulative scheduled time.
+func (t *Timeline) BusyTotal() Duration { return t.busy }
+
+// Pending returns the number of tracked busy intervals (diagnostics).
+func (t *Timeline) Pending() int { return len(t.ivls) }

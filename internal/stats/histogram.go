@@ -1,0 +1,273 @@
+// Package stats provides the measurement machinery the benchmark harness
+// uses to regenerate the paper's figures: a log-bucketed latency histogram
+// with percentile queries and CDF export (Figs. 2, 10, 15–18), and a small
+// dense histogram for per-request flash-access counts (Fig. 11b).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"anykey/internal/sim"
+)
+
+// subBucketBits controls histogram resolution: each power-of-two range is
+// split into 2^subBucketBits linear sub-buckets, bounding relative error per
+// recorded value to under 1/2^subBucketBits (≈1.6 % at 6 bits).
+const subBucketBits = 6
+
+const numBuckets = 64 * (1 << subBucketBits)
+
+// Histogram records simulated durations with bounded relative error. The
+// zero Histogram is ready to use.
+type Histogram struct {
+	counts [numBuckets]int64
+	total  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < 1<<subBucketBits {
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v)) // position of top bit, ≥ subBucketBits
+	sub := (v >> (uint(exp) - subBucketBits)) & ((1 << subBucketBits) - 1)
+	return ((exp - subBucketBits + 1) << subBucketBits) + int(sub)
+}
+
+// bucketLow returns the smallest value mapping to bucket i, used to report
+// representative values back out.
+func bucketLow(i int) int64 {
+	if i < 1<<subBucketBits {
+		return int64(i)
+	}
+	exp := i>>subBucketBits + subBucketBits - 1
+	sub := int64(i & ((1 << subBucketBits) - 1))
+	return 1<<uint(exp) | sub<<(uint(exp)-subBucketBits)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d sim.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)]++
+	h.total++
+	h.sum += v
+	if h.total == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean returns the average of all observations, 0 when empty.
+func (h *Histogram) Mean() sim.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return sim.Duration(h.sum / h.total)
+}
+
+// Min and Max return the observed extremes (0 when empty).
+func (h *Histogram) Min() sim.Duration { return sim.Duration(h.min) }
+func (h *Histogram) Max() sim.Duration { return sim.Duration(h.max) }
+
+// Percentile returns the value at the p-th percentile (0 < p ≤ 100). The
+// result is exact to within one sub-bucket; the true max is returned for the
+// tail bucket so that Percentile(100) == Max().
+func (h *Histogram) Percentile(p float64) sim.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank >= h.total {
+		return sim.Duration(h.max)
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketLow(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return sim.Duration(v)
+		}
+	}
+	return sim.Duration(h.max)
+}
+
+// Merge adds every observation of o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.total == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.total += o.total
+	h.sum += o.sum
+}
+
+// CDFPoint is one point of a cumulative distribution: Frac of observations
+// were ≤ Value.
+type CDFPoint struct {
+	Value sim.Duration
+	Frac  float64
+}
+
+// CDF returns the distribution as at most points entries suitable for
+// plotting, always ending at (max, 1).
+func (h *Histogram) CDF(points int) []CDFPoint {
+	if h.total == 0 || points < 2 {
+		return nil
+	}
+	var raw []CDFPoint
+	var seen int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		v := bucketLow(i)
+		if v > h.max {
+			v = h.max
+		}
+		raw = append(raw, CDFPoint{sim.Duration(v), float64(seen) / float64(h.total)})
+	}
+	if len(raw) <= points {
+		return raw
+	}
+	// Thin evenly, keeping the first and last point.
+	out := make([]CDFPoint, 0, points)
+	for i := 0; i < points-1; i++ {
+		out = append(out, raw[i*len(raw)/(points-1)])
+	}
+	return append(out, raw[len(raw)-1])
+}
+
+// Summary renders the canonical latency row used in reports.
+func (h *Histogram) Summary() string {
+	if h.total == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.total, h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Max())
+}
+
+// IntHist is a dense histogram over small non-negative integers, used for
+// "flash accesses per read" (Fig. 11b). Values beyond the fixed range are
+// clamped into the final overflow bin.
+type IntHist struct {
+	bins  []int64
+	total int64
+}
+
+// NewIntHist returns a histogram over [0, maxValue]; larger observations
+// land in the maxValue bin.
+func NewIntHist(maxValue int) *IntHist {
+	return &IntHist{bins: make([]int64, maxValue+1)}
+}
+
+// Record adds one observation.
+func (h *IntHist) Record(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.bins) {
+		v = len(h.bins) - 1
+	}
+	h.bins[v]++
+	h.total++
+}
+
+// Count returns the number of observations.
+func (h *IntHist) Count() int64 { return h.total }
+
+// Frac returns the fraction of observations equal to v (with the final bin
+// meaning ≥ maxValue).
+func (h *IntHist) Frac(v int) float64 {
+	if h.total == 0 || v < 0 || v >= len(h.bins) {
+		return 0
+	}
+	return float64(h.bins[v]) / float64(h.total)
+}
+
+// Mean returns the average observation.
+func (h *IntHist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var s int64
+	for v, c := range h.bins {
+		s += int64(v) * c
+	}
+	return float64(s) / float64(h.total)
+}
+
+// String renders non-empty bins as "v:frac" pairs.
+func (h *IntHist) String() string {
+	var sb strings.Builder
+	for v, c := range h.bins {
+		if c == 0 {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		label := fmt.Sprint(v)
+		if v == len(h.bins)-1 && len(h.bins) > 1 {
+			label += "+"
+		}
+		fmt.Fprintf(&sb, "%s:%.3f", label, h.Frac(v))
+	}
+	if sb.Len() == 0 {
+		return "empty"
+	}
+	return sb.String()
+}
+
+// Percentiles computes exact percentiles of a small sample slice; used by
+// tests to validate the histogram's approximation.
+func Percentiles(sample []int64, ps ...float64) []int64 {
+	if len(sample) == 0 {
+		return make([]int64, len(ps))
+	}
+	s := append([]int64(nil), sample...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	out := make([]int64, len(ps))
+	for i, p := range ps {
+		rank := int(math.Ceil(p / 100 * float64(len(s))))
+		if rank < 1 {
+			rank = 1
+		}
+		out[i] = s[rank-1]
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"anykey/internal/sim"
+)
+
+func TestBucketLowInvertsBucketOf(t *testing.T) {
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 1000, 56500, 3e6, 1 << 40} {
+		b := bucketOf(v)
+		lo := bucketLow(b)
+		if lo > v {
+			t.Fatalf("bucketLow(%d)=%d > value %d", b, lo, v)
+		}
+		if bucketOf(lo) != b {
+			t.Fatalf("bucketOf(bucketLow(%d))=%d, want %d", b, bucketOf(lo), b)
+		}
+	}
+}
+
+// Property: the bucket's representative value underestimates by at most the
+// sub-bucket width (relative error < 2^-subBucketBits for large values).
+func TestBucketRelativeErrorProperty(t *testing.T) {
+	f := func(raw uint64) bool {
+		v := int64(raw % (1 << 50))
+		lo := bucketLow(bucketOf(v))
+		if lo > v {
+			return false
+		}
+		if v >= 1<<subBucketBits {
+			return float64(v-lo)/float64(v) < 1.0/float64(int64(1)<<subBucketBits)+1e-12
+		}
+		return lo == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h Histogram
+	sample := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Mixture: mostly ~100µs reads plus a heavy tail.
+		v := int64(56500 + rng.Intn(50000))
+		if rng.Intn(20) == 0 {
+			v += int64(rng.Intn(5_000_000))
+		}
+		sample = append(sample, v)
+		h.Record(sim.Duration(v))
+	}
+	exact := Percentiles(sample, 50, 95, 99)
+	for i, p := range []float64{50, 95, 99} {
+		got := int64(h.Percentile(p))
+		want := exact[i]
+		rel := float64(got-want) / float64(want)
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > 0.03 {
+			t.Errorf("p%.0f = %d, exact %d (rel err %.4f)", p, got, want, rel)
+		}
+	}
+	if h.Percentile(100) != h.Max() {
+		t.Errorf("p100 = %v, max %v", h.Percentile(100), h.Max())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Percentile(95) != 0 || h.Mean() != 0 || h.CDF(10) != nil {
+		t.Fatal("empty histogram not zero-valued")
+	}
+	if h.Summary() != "n=0" {
+		t.Fatalf("Summary = %q", h.Summary())
+	}
+}
+
+func TestHistogramMinMaxMean(t *testing.T) {
+	var h Histogram
+	for _, v := range []sim.Duration{10, 20, 30} {
+		h.Record(v)
+	}
+	if h.Min() != 10 || h.Max() != 30 || h.Mean() != 20 {
+		t.Fatalf("min=%v max=%v mean=%v", h.Min(), h.Max(), h.Mean())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Record(sim.Duration(1000 + i))
+		b.Record(sim.Duration(9000 + i))
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if a.Min() != 1000 || a.Max() != 9099 {
+		t.Fatalf("min=%v max=%v", a.Min(), a.Max())
+	}
+	if p := a.Percentile(25); p > 1200 {
+		t.Fatalf("p25 = %v, expected from low half", p)
+	}
+	if p := a.Percentile(75); p < 8500 {
+		t.Fatalf("p75 = %v, expected from high half", p)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	for i := 0; i < 5000; i++ {
+		h.Record(sim.Duration(rng.Intn(1_000_000)))
+	}
+	cdf := h.CDF(50)
+	if len(cdf) == 0 || len(cdf) > 50 {
+		t.Fatalf("len(cdf) = %d", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Frac < cdf[i-1].Frac || cdf[i].Value < cdf[i-1].Value {
+			t.Fatalf("CDF not monotone at %d: %+v %+v", i, cdf[i-1], cdf[i])
+		}
+	}
+	if last := cdf[len(cdf)-1]; last.Frac != 1 {
+		t.Fatalf("CDF does not end at 1: %+v", last)
+	}
+}
+
+func TestIntHist(t *testing.T) {
+	h := NewIntHist(4)
+	for _, v := range []int{0, 1, 1, 2, 9, -3} {
+		h.Record(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Frac(1) != 2.0/6 {
+		t.Fatalf("Frac(1) = %v", h.Frac(1))
+	}
+	if h.Frac(4) != 1.0/6 { // the 9 clamps into the 4+ bin
+		t.Fatalf("Frac(4) = %v", h.Frac(4))
+	}
+	if h.Frac(0) != 2.0/6 { // 0 and clamped -3
+		t.Fatalf("Frac(0) = %v", h.Frac(0))
+	}
+	if h.String() == "empty" {
+		t.Fatal("String reported empty")
+	}
+}

@@ -1,0 +1,296 @@
+// Package workload implements the paper's evaluation workloads: the 14
+// real-life key/value size profiles of Table 2 and the request generator
+// that drives them (§5.1 — KV generator with configurable key/value sizes,
+// a 20 % write ratio, scrambled-Zipfian key popularity, queue depth handled
+// by the harness, plus the scan-centric variant of §6.6 / Fig. 18).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"anykey/internal/zipfian"
+)
+
+// Spec describes one workload profile from Table 2. Sizes are bytes.
+type Spec struct {
+	Name        string
+	Description string
+	KeySize     int
+	ValueSize   int
+}
+
+// VK returns the value-to-key ratio that classifies the workload.
+func (s Spec) VK() float64 { return float64(s.ValueSize) / float64(s.KeySize) }
+
+// LowVK reports whether the paper treats this as a low-v/k workload (the
+// paper's split: KVSSD, YCSB, W-PinK and Xbox are high-v/k, the rest low).
+func (s Spec) LowVK() bool { return s.VK() < 10 }
+
+// PairSize returns the logical bytes of one KV pair.
+func (s Spec) PairSize() int { return s.KeySize + s.ValueSize }
+
+// Table2 is the paper's workload suite in its printed order.
+var Table2 = []Spec{
+	{"KVSSD", "The workload used in Samsung's KV-SSD", 16, 4096},
+	{"YCSB", "Default key and value sizes of YCSB", 20, 1000},
+	{"W-PinK", "The workload used in PinK", 32, 1024},
+	{"Xbox", "Xbox LIVE Primetime online game", 94, 1200},
+	{"ETC", "General-purpose KV store of Facebook", 41, 358},
+	{"UDB", "Facebook storage layer for social graph", 27, 127},
+	{"Cache", "Twitter's cache cluster", 42, 188},
+	{"VAR", "Server-side browser info. of Facebook", 35, 115},
+	{"Crypto2", "Trezor's KV store for Bitcoin wallet", 37, 110},
+	{"Dedup", "DB of Microsoft's storage dedup. engine", 20, 44},
+	{"Cache15", "15% of the 153 cache clusters at Twitter", 38, 38},
+	{"ZippyDB", "Object metadata of Facebook store", 48, 43},
+	{"Crypto1", "BlockStream's store for Bitcoin explorer", 76, 50},
+	{"RTDATA", "IBM's real-time data analytics workloads", 24, 10},
+}
+
+// ByName looks a Table 2 workload up by its (case-sensitive) name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Table2 {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Custom builds an ad-hoc spec, used by the Fig. 2 value-size sweep.
+func Custom(name string, keySize, valueSize int) Spec {
+	return Spec{Name: name, Description: "custom", KeySize: keySize, ValueSize: valueSize}
+}
+
+// OpKind distinguishes generated requests.
+type OpKind int
+
+// Request kinds produced by the generator.
+const (
+	OpGet OpKind = iota
+	OpPut
+	OpScan
+)
+
+// Op is one generated request. For OpScan, ScanLen is the number of
+// consecutive keys to retrieve starting at Key.
+type Op struct {
+	Kind    OpKind
+	ID      uint64
+	Key     []byte
+	Value   []byte // set for OpPut
+	ScanLen int    // set for OpScan
+}
+
+// Bytes returns the logical request size used to meter execution length
+// (the paper runs until issued requests total 2× the SSD capacity).
+func (o Op) Bytes() int64 {
+	switch o.Kind {
+	case OpPut:
+		return int64(len(o.Key) + len(o.Value))
+	case OpScan:
+		return int64(len(o.Key)) * int64(o.ScanLen)
+	default:
+		return int64(len(o.Key))
+	}
+}
+
+// Config parameterises a Generator.
+type Config struct {
+	Population uint64  // number of distinct keys
+	Theta      float64 // Zipfian skew (paper default 0.99)
+	WriteRatio float64 // fraction of operations that are writes (paper: 0.2)
+	ScanRatio  float64 // fraction of operations that are scans (Fig. 18 only)
+	ScanLen    int     // keys per scan
+	Seed       int64
+}
+
+// DefaultConfig returns the paper's default request mix for population n.
+func DefaultConfig(n uint64) Config {
+	return Config{Population: n, Theta: 0.99, WriteRatio: 0.2, Seed: 1}
+}
+
+// Generator produces the request stream for one workload. It tracks the
+// latest written version of every key so the harness can verify reads.
+type Generator struct {
+	spec     Spec
+	cfg      Config
+	rng      *rand.Rand
+	zipf     *zipfian.Generator
+	loadBits uint64 // even bit-width of the warm-up Feistel domain
+
+	versions []uint32 // latest version per id; 0 = only the loaded version
+}
+
+// NewGenerator builds a generator; population and sizes must be positive.
+func NewGenerator(spec Spec, cfg Config) (*Generator, error) {
+	if cfg.Population == 0 {
+		return nil, fmt.Errorf("workload: zero population")
+	}
+	if spec.KeySize < 9 {
+		return nil, fmt.Errorf("workload %s: key size %d below 9-byte minimum", spec.Name, spec.KeySize)
+	}
+	if cfg.WriteRatio < 0 || cfg.WriteRatio > 1 || cfg.ScanRatio < 0 || cfg.WriteRatio+cfg.ScanRatio > 1 {
+		return nil, fmt.Errorf("workload: bad op mix w=%v s=%v", cfg.WriteRatio, cfg.ScanRatio)
+	}
+	z, err := zipfian.New(cfg.Population, cfg.Theta)
+	if err != nil {
+		return nil, err
+	}
+	bits := uint64(2)
+	for uint64(1)<<bits < cfg.Population {
+		bits += 2
+	}
+	return &Generator{
+		spec:     spec,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		zipf:     z,
+		loadBits: bits,
+		versions: make([]uint32, cfg.Population),
+	}, nil
+}
+
+// Spec returns the workload profile being generated.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// Population returns the number of distinct keys.
+func (g *Generator) Population() uint64 { return g.cfg.Population }
+
+// Key materialises the id's key: an 8-byte big-endian id prefix (preserving
+// id order, so scans over consecutive ids are scans over consecutive keys)
+// followed by deterministic filler, exactly KeySize bytes.
+func (g *Generator) Key(id uint64) []byte { return Key(g.spec, id) }
+
+// Value materialises the value for (id, version): deterministic bytes with
+// the id and version embedded so reads are verifiable.
+func (g *Generator) Value(id uint64, version uint32) []byte {
+	return Value(g.spec, id, version)
+}
+
+// Key materialises a key for spec without a Generator (used by fill-to-full
+// runs over an unbounded id space).
+func Key(spec Spec, id uint64) []byte {
+	k := make([]byte, spec.KeySize)
+	for i := 0; i < 8; i++ {
+		k[i] = byte(id >> (56 - 8*i))
+	}
+	fillDeterministic(k[8:], id^0xA5A5A5A5)
+	return k
+}
+
+// Value materialises a value for spec without a Generator.
+func Value(spec Spec, id uint64, version uint32) []byte {
+	v := make([]byte, spec.ValueSize)
+	seed := id*0x9E3779B97F4A7C15 + uint64(version)
+	fillDeterministic(v, seed)
+	return v
+}
+
+func fillDeterministic(dst []byte, seed uint64) {
+	x := seed | 1
+	for i := range dst {
+		// xorshift64*
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		dst[i] = byte((x * 0x2545F4914F6CDD1D) >> 56)
+	}
+}
+
+// ExpectedValue returns the value a correct device must return for id now.
+func (g *Generator) ExpectedValue(id uint64) []byte {
+	return g.Value(id, g.versions[id])
+}
+
+// LoadID returns the id loaded at warm-up position i. LoadID is a bijection
+// on [0, Population): warm-up inserts key LoadID(i) for i = 0..Population-1,
+// inserting every key exactly once in shuffled order so the LSM tree reaches
+// a realistic overlapping-levels state instead of one perfectly sorted run.
+func (g *Generator) LoadID(i uint64) uint64 {
+	x := g.feistel(i)
+	// Cycle-walk: feistel permutes [0, 2^bits) with 2^bits < 4·Population,
+	// so the expected walk length is below 4 steps.
+	for x >= g.cfg.Population {
+		x = g.feistel(x)
+	}
+	return x
+}
+
+// feistel is a 4-round balanced Feistel permutation over [0, 2^loadBits).
+func (g *Generator) feistel(x uint64) uint64 {
+	half := g.loadBits / 2
+	mask := uint64(1)<<half - 1
+	l, r := (x>>half)&mask, x&mask
+	for round := uint64(0); round < 4; round++ {
+		l, r = r, l^(mixRound(r, round, uint64(g.cfg.Seed))&mask)
+	}
+	return l<<half | r
+}
+
+func mixRound(r, round, seed uint64) uint64 {
+	return zipfian.Scramble(r*0x100000001b3 + round*0x9E3779B9 + seed)
+}
+
+// Next draws the next request after warm-up: a Get, Put or Scan on a
+// Zipfian-popular key.
+func (g *Generator) Next() Op {
+	id := g.zipf.NextScrambled(g.rng)
+	r := g.rng.Float64()
+	switch {
+	case r < g.cfg.WriteRatio:
+		g.versions[id]++
+		return Op{Kind: OpPut, ID: id, Key: g.Key(id), Value: g.Value(id, g.versions[id])}
+	case r < g.cfg.WriteRatio+g.cfg.ScanRatio:
+		ln := g.cfg.ScanLen
+		if ln <= 0 {
+			ln = 1
+		}
+		if id+uint64(ln) > g.cfg.Population {
+			id = g.cfg.Population - uint64(ln)
+		}
+		return Op{Kind: OpScan, ID: id, Key: g.Key(id), ScanLen: ln}
+	default:
+		return Op{Kind: OpGet, ID: id, Key: g.Key(id)}
+	}
+}
+
+// YCSBMix identifies one of the standard YCSB core workload mixes, mapped
+// onto this generator's operations. Inserts and read-modify-writes are
+// modelled as updates (the device-side work is identical: a Put).
+type YCSBMix struct {
+	Name        string
+	Description string
+	WriteRatio  float64
+	ScanRatio   float64
+	ScanLen     int
+}
+
+// YCSBMixes are the YCSB core workloads A–F.
+var YCSBMixes = []YCSBMix{
+	{"A", "update heavy: 50% reads, 50% updates", 0.5, 0, 0},
+	{"B", "read mostly: 95% reads, 5% updates", 0.05, 0, 0},
+	{"C", "read only", 0, 0, 0},
+	{"D", "read latest: 95% reads, 5% inserts (as updates)", 0.05, 0, 0},
+	{"E", "short ranges: 95% scans, 5% inserts (as updates)", 0.05, 0.95, 50},
+	{"F", "read-modify-write: 50% reads, 50% RMW (as updates)", 0.5, 0, 0},
+}
+
+// YCSBConfig builds a generator Config for the named mix over n keys.
+func YCSBConfig(mix string, n uint64) (Config, bool) {
+	for _, m := range YCSBMixes {
+		if m.Name == mix {
+			cfg := Config{
+				Population: n,
+				Theta:      0.99,
+				WriteRatio: m.WriteRatio,
+				ScanRatio:  m.ScanRatio,
+				ScanLen:    m.ScanLen,
+				Seed:       1,
+			}
+			return cfg, true
+		}
+	}
+	return Config{}, false
+}

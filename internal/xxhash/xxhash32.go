@@ -1,0 +1,81 @@
+// Package xxhash implements the 32-bit variant of the xxHash fast
+// non-cryptographic hash algorithm (https://xxhash.com, XXH32).
+//
+// AnyKey sorts the KV entities of a data segment group by the 32-bit xxHash
+// of their keys and indexes pages by truncated 16-bit prefixes of the same
+// hashes (paper §4.1), so a spec-conformant implementation is part of the
+// reproduction: collision behaviour — and therefore the frequency with which
+// the hash-collision bits fire — depends on the real hash.
+package xxhash
+
+import "math/bits"
+
+const (
+	prime1 uint32 = 2654435761
+	prime2 uint32 = 2246822519
+	prime3 uint32 = 3266489917
+	prime4 uint32 = 668265263
+	prime5 uint32 = 374761393
+)
+
+// Sum32 returns the XXH32 digest of b with seed 0.
+func Sum32(b []byte) uint32 { return Sum32Seed(b, 0) }
+
+// Sum32Seed returns the XXH32 digest of b with the given seed.
+func Sum32Seed(b []byte, seed uint32) uint32 {
+	n := uint32(len(b))
+	var h uint32
+
+	if len(b) >= 16 {
+		v1 := seed + prime1 + prime2
+		v2 := seed + prime2
+		v3 := seed
+		v4 := seed - prime1
+		for len(b) >= 16 {
+			v1 = round(v1, le32(b[0:4]))
+			v2 = round(v2, le32(b[4:8]))
+			v3 = round(v3, le32(b[8:12]))
+			v4 = round(v4, le32(b[12:16]))
+			b = b[16:]
+		}
+		h = bits.RotateLeft32(v1, 1) + bits.RotateLeft32(v2, 7) +
+			bits.RotateLeft32(v3, 12) + bits.RotateLeft32(v4, 18)
+	} else {
+		h = seed + prime5
+	}
+
+	h += n
+	for len(b) >= 4 {
+		h += le32(b[0:4]) * prime3
+		h = bits.RotateLeft32(h, 17) * prime4
+		b = b[4:]
+	}
+	for _, c := range b {
+		h += uint32(c) * prime5
+		h = bits.RotateLeft32(h, 11) * prime1
+	}
+
+	h ^= h >> 15
+	h *= prime2
+	h ^= h >> 13
+	h *= prime3
+	h ^= h >> 16
+	return h
+}
+
+// Sum16 returns the truncated 16-bit prefix of the XXH32 digest, the form
+// stored in AnyKey level-list entries for the first entity of each page.
+func Sum16(b []byte) uint16 { return uint16(Sum32(b) >> 16) }
+
+// Prefix16 truncates a full 32-bit digest to the 16-bit prefix form.
+func Prefix16(h uint32) uint16 { return uint16(h >> 16) }
+
+func round(acc, lane uint32) uint32 {
+	acc += lane * prime2
+	return bits.RotateLeft32(acc, 13) * prime1
+}
+
+func le32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

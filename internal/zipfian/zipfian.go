@@ -1,0 +1,89 @@
+// Package zipfian implements the YCSB-style Zipfian item generator used to
+// draw keys for every experiment (paper §5.1: "Zipfian distribution" over
+// the key population; Fig. 17 varies its θ). The scrambled variant spreads
+// the popular ranks uniformly across the key space, as YCSB does, so that
+// hot keys are not clustered at one end of the sorted order.
+package zipfian
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Generator draws ranks in [0, N) with P(rank=i) ∝ 1/(i+1)^θ.
+type Generator struct {
+	n          uint64
+	theta      float64
+	alpha      float64
+	zetan      float64
+	eta        float64
+	zeta2theta float64
+}
+
+// New builds a generator over n items with skew theta in (0, 1). The
+// construction computes ζ(n, θ) in O(n); generators are built once per
+// experiment and reused.
+func New(n uint64, theta float64) (*Generator, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("zipfian: empty population")
+	}
+	if theta <= 0 || theta >= 1 {
+		return nil, fmt.Errorf("zipfian: theta %v out of (0,1)", theta)
+	}
+	g := &Generator{n: n, theta: theta}
+	g.zetan = zeta(n, theta)
+	g.zeta2theta = zeta(2, theta)
+	g.alpha = 1 / (1 - theta)
+	g.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - g.zeta2theta/g.zetan)
+	return g, nil
+}
+
+func zeta(n uint64, theta float64) float64 {
+	var s float64
+	for i := uint64(1); i <= n; i++ {
+		s += 1 / math.Pow(float64(i), theta)
+	}
+	return s
+}
+
+// N returns the population size.
+func (g *Generator) N() uint64 { return g.n }
+
+// Next draws the next rank using rng; rank 0 is the most popular item.
+func (g *Generator) Next(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	uz := u * g.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, g.theta) {
+		return 1
+	}
+	r := uint64(float64(g.n) * math.Pow(g.eta*u-g.eta+1, g.alpha))
+	if r >= g.n {
+		r = g.n - 1
+	}
+	return r
+}
+
+// NextScrambled draws a rank and scrambles it over [0, N) with a fixed
+// 64-bit mix, so popularity is Zipfian but the popular items are scattered
+// across the whole id space.
+func (g *Generator) NextScrambled(rng *rand.Rand) uint64 {
+	return Scramble(g.Next(rng)) % g.n
+}
+
+// Scramble applies the 64-bit finalizer mix (SplitMix64) used to scatter
+// ranks; exported so tests and the workload generator agree on the mapping.
+func Scramble(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Uniform draws uniformly from [0, n); it is the θ→0 limit used by tests.
+func Uniform(rng *rand.Rand, n uint64) uint64 {
+	return uint64(rng.Int63n(int64(n)))
+}

@@ -1,0 +1,139 @@
+package zipfian
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0.99); err == nil {
+		t.Fatal("empty population accepted")
+	}
+	for _, th := range []float64{0, 1, -0.5, 2} {
+		if _, err := New(10, th); err == nil {
+			t.Fatalf("theta %v accepted", th)
+		}
+	}
+}
+
+func TestRanksInRange(t *testing.T) {
+	g, err := New(1000, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		if r := g.Next(rng); r >= 1000 {
+			t.Fatalf("rank %d out of range", r)
+		}
+		if r := g.NextScrambled(rng); r >= 1000 {
+			t.Fatalf("scrambled rank %d out of range", r)
+		}
+	}
+}
+
+// The defining Zipfian property: P(rank 0)/P(rank k) ≈ (k+1)^θ.
+func TestFrequencyRatios(t *testing.T) {
+	const n = 10000
+	g, err := New(n, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, n)
+	const draws = 2_000_000
+	for i := 0; i < draws; i++ {
+		counts[g.Next(rng)]++
+	}
+	for i := 1; i < n; i++ {
+		if counts[i] > counts[0] {
+			t.Fatalf("rank %d drawn more often (%d) than rank 0 (%d)", i, counts[i], counts[0])
+		}
+	}
+	// Compare observed P(0)/P(9) against theory (10^0.99 ≈ 9.77).
+	ratio := float64(counts[0]) / float64(counts[9])
+	want := math.Pow(10, 0.99)
+	if ratio < want*0.8 || ratio > want*1.2 {
+		t.Fatalf("P(0)/P(9) = %.2f, theory %.2f", ratio, want)
+	}
+}
+
+func TestLowerThetaIsFlatter(t *testing.T) {
+	const n = 1000
+	rng := rand.New(rand.NewSource(3))
+	top := func(theta float64) float64 {
+		g, err := New(n, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits := 0
+		const draws = 200000
+		for i := 0; i < draws; i++ {
+			if g.Next(rng) < 10 {
+				hits++
+			}
+		}
+		return float64(hits) / draws
+	}
+	hot99, hot60 := top(0.99), top(0.60)
+	if hot99 <= hot60 {
+		t.Fatalf("θ=0.99 top-10 mass %.3f not above θ=0.60 %.3f", hot99, hot60)
+	}
+}
+
+func TestScrambleSpreadsHotKeys(t *testing.T) {
+	const n = 100000
+	g, err := New(n, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	// Draw scrambled ids; the hottest ids must not all be in the low range.
+	low := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if g.NextScrambled(rng) < n/2 {
+			low++
+		}
+	}
+	frac := float64(low) / draws
+	if frac < 0.3 || frac > 0.7 {
+		t.Fatalf("scrambled mass in lower half = %.3f, want ≈0.5", frac)
+	}
+}
+
+func TestScrambleDeterministic(t *testing.T) {
+	if Scramble(42) != Scramble(42) {
+		t.Fatal("Scramble not deterministic")
+	}
+	if Scramble(1) == Scramble(2) {
+		t.Fatal("Scramble(1) == Scramble(2)")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var lo int
+	for i := 0; i < 100000; i++ {
+		v := Uniform(rng, 100)
+		if v >= 100 {
+			t.Fatalf("uniform value %d out of range", v)
+		}
+		if v < 50 {
+			lo++
+		}
+	}
+	if lo < 45000 || lo > 55000 {
+		t.Fatalf("uniform lower-half mass %d/100000", lo)
+	}
+}
+
+func BenchmarkNext(b *testing.B) {
+	g, _ := New(1_000_000, 0.99)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next(rng)
+	}
+}
