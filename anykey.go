@@ -21,10 +21,12 @@
 package anykey
 
 import (
+	"errors"
 	"fmt"
 
 	"anykey/internal/core"
 	"anykey/internal/device"
+	"anykey/internal/host"
 	"anykey/internal/kv"
 	"anykey/internal/nand"
 	"anykey/internal/pink"
@@ -45,6 +47,12 @@ type (
 	MetaStructure = device.MetaStructure
 	// FlashCounters is the per-cause flash operation accounting.
 	FlashCounters = nand.Counters
+	// Engine is a host submission/completion engine driving a device at a
+	// configurable queue depth; see Device.NewEngine.
+	Engine = host.Engine
+	// Completion is the outcome of one engine request: arrival, issue and
+	// completion instants plus any returned data.
+	Completion = host.Completion
 )
 
 // Errors returned by device operations.
@@ -52,6 +60,13 @@ var (
 	ErrNotFound   = kv.ErrNotFound
 	ErrDeviceFull = kv.ErrDeviceFull
 	ErrEmptyKey   = kv.ErrEmptyKey
+
+	// ErrClosed is returned by operations on a device after Close.
+	ErrClosed = errors.New("anykey: device closed")
+
+	// ErrInvalidOptions tags Open failures caused by out-of-range Options;
+	// test with errors.Is.
+	ErrInvalidOptions = errors.New("anykey: invalid options")
 )
 
 // Design selects which KV-SSD firmware the device runs.
@@ -127,6 +142,38 @@ type Options struct {
 	NoHashLists bool
 }
 
+// validate rejects out-of-range option values before any construction, so
+// misconfiguration surfaces as a descriptive Open error instead of silent
+// misbehaviour downstream. Zero values are never rejected — they mean "use
+// the default".
+func (o Options) validate() error {
+	if o.CapacityMB < 0 {
+		return fmt.Errorf("%w: CapacityMB %d is negative", ErrInvalidOptions, o.CapacityMB)
+	}
+	if o.DRAMBytes < 0 {
+		return fmt.Errorf("%w: DRAMBytes %d is negative", ErrInvalidOptions, o.DRAMBytes)
+	}
+	if o.PageSize < 0 {
+		return fmt.Errorf("%w: PageSize %d is negative", ErrInvalidOptions, o.PageSize)
+	}
+	if o.GroupPages < 0 {
+		return fmt.Errorf("%w: GroupPages %d is negative", ErrInvalidOptions, o.GroupPages)
+	}
+	if o.LogFraction != 0 && (o.LogFraction <= 0 || o.LogFraction >= 1) {
+		return fmt.Errorf("%w: LogFraction %v outside (0,1)", ErrInvalidOptions, o.LogFraction)
+	}
+	if o.MemtableBytes < 0 {
+		return fmt.Errorf("%w: MemtableBytes %d is negative", ErrInvalidOptions, o.MemtableBytes)
+	}
+	if o.GrowthFactor < 0 {
+		return fmt.Errorf("%w: GrowthFactor %d is negative", ErrInvalidOptions, o.GrowthFactor)
+	}
+	if o.Channels < 0 || o.ChipsPerChannel < 0 {
+		return fmt.Errorf("%w: Channels %d × ChipsPerChannel %d is negative", ErrInvalidOptions, o.Channels, o.ChipsPerChannel)
+	}
+	return nil
+}
+
 // geometry derives the NAND geometry from the friendly options.
 func (o Options) geometry() (nand.Geometry, error) {
 	capMB := o.CapacityMB
@@ -168,21 +215,29 @@ func (o Options) geometry() (nand.Geometry, error) {
 	}, nil
 }
 
-// Device is an open simulated KV-SSD. It keeps its own virtual clock: each
-// operation is issued when the previous one completed (a queue-depth-1
-// closed loop). Benchmarks that need concurrency drive the At variants with
-// their own worker clocks instead.
+// Device is an open simulated KV-SSD. Its Put/Get/Delete/Scan methods run
+// a queue-depth-1 closed loop — each operation is issued when the previous
+// one completed — backed by an internal host engine. Drivers that need
+// concurrency build their own engine with NewEngine.
 type Device struct {
-	impl device.KVSSD
-	opts Options
-	now  Time
+	impl   device.KVSSD
+	eng    *host.Engine // depth-1 engine backing the facade operations
+	opts   Options
+	closed bool
 }
 
 // Open builds a device running the selected design.
 func Open(opts Options) (*Device, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	geo, err := opts.geometry()
 	if err != nil {
 		return nil, err
+	}
+	if opts.GroupPages > geo.PagesPerBlock {
+		return nil, fmt.Errorf("%w: GroupPages %d does not fit a %d-page erase block",
+			ErrInvalidOptions, opts.GroupPages, geo.PagesPerBlock)
 	}
 	var impl device.KVSSD
 	switch opts.Design {
@@ -213,45 +268,85 @@ func Open(opts Options) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Device{impl: impl, opts: opts}, nil
+	eng, err := host.New(impl, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{impl: impl, eng: eng, opts: opts}, nil
 }
 
 // Design returns the firmware the device runs.
 func (d *Device) Design() Design { return d.opts.Design }
 
 // Now returns the device's virtual clock.
-func (d *Device) Now() Time { return d.now }
+func (d *Device) Now() Time { return d.eng.Now() }
+
+// NewEngine returns a host submission/completion engine driving this
+// device at the given queue depth (≥ 1). The engine owns its own slot
+// clocks, starting at the device's current time; interleaving engine
+// requests with the device's own Put/Get/Delete/Scan is not supported, as
+// each would advance time behind the other's back.
+func (d *Device) NewEngine(depth int) (*Engine, error) {
+	if d.closed {
+		return nil, ErrClosed
+	}
+	return host.NewAt(d.impl, depth, d.eng.Now())
+}
+
+// Close marks the device closed; further operations return ErrClosed. It
+// is idempotent. The simulation holds no external resources, so Close
+// never fails — it exists so callers have a lifecycle hook and misuse
+// after shutdown is caught.
+func (d *Device) Close() error {
+	d.closed = true
+	return nil
+}
 
 // Put stores a pair and returns its simulated latency.
 func (d *Device) Put(key, value []byte) (Duration, error) {
-	done, err := d.impl.Put(d.now, key, value)
-	return d.advance(done), err
+	if d.closed {
+		return 0, ErrClosed
+	}
+	c, err := d.eng.Put(key, value)
+	return c.Latency(), err
 }
 
 // Get returns the newest value for key and the simulated latency. The
 // returned slice is owned by the device and valid until the next operation.
 func (d *Device) Get(key []byte) ([]byte, Duration, error) {
-	v, done, err := d.impl.Get(d.now, key)
-	return v, d.advance(done), err
+	if d.closed {
+		return nil, 0, ErrClosed
+	}
+	c, err := d.eng.Get(key)
+	return c.Value, c.Latency(), err
 }
 
 // Delete removes key and returns the simulated latency.
 func (d *Device) Delete(key []byte) (Duration, error) {
-	done, err := d.impl.Delete(d.now, key)
-	return d.advance(done), err
+	if d.closed {
+		return 0, ErrClosed
+	}
+	c, err := d.eng.Delete(key)
+	return c.Latency(), err
 }
 
 // Scan returns up to n pairs with key ≥ start in key order, and the
 // simulated latency of the range query.
 func (d *Device) Scan(start []byte, n int) ([]Pair, Duration, error) {
-	ps, done, err := d.impl.Scan(d.now, start, n)
-	return ps, d.advance(done), err
+	if d.closed {
+		return nil, 0, ErrClosed
+	}
+	c, err := d.eng.Scan(start, n)
+	return c.Pairs, c.Latency(), err
 }
 
 // Sync makes every acknowledged write durable, like an NVMe FLUSH.
 func (d *Device) Sync() (Duration, error) {
-	done, err := d.impl.Sync(d.now)
-	return d.advance(done), err
+	if d.closed {
+		return 0, ErrClosed
+	}
+	c, err := d.eng.Sync()
+	return c.Latency(), err
 }
 
 // PowerCycle simulates a power loss and remount: the device's volatile state
@@ -260,6 +355,9 @@ func (d *Device) Sync() (Duration, error) {
 // recovery); writes not covered by a preceding Sync are lost, as on any
 // device without a write journal. PinK power-cycling is not modelled.
 func (d *Device) PowerCycle() error {
+	if d.closed {
+		return ErrClosed
+	}
 	c, ok := d.impl.(*core.Device)
 	if !ok {
 		return fmt.Errorf("anykey: power-cycle recovery is only modelled for AnyKey designs")
@@ -283,37 +381,43 @@ func (d *Device) PowerCycle() error {
 	if err != nil {
 		return err
 	}
+	// The remounted firmware starts fresh, but time keeps flowing: the new
+	// engine's clocks resume where the old device's left off.
+	eng, err := host.NewAt(reopened, 1, d.eng.Now())
+	if err != nil {
+		return err
+	}
 	d.impl = reopened
+	d.eng = eng
 	return nil
 }
 
-func (d *Device) advance(done Time) Duration {
-	if done.Before(d.now) {
-		done = d.now
-	}
-	lat := done.Sub(d.now)
-	d.now = done
-	return lat
-}
-
-// PutAt, GetAt, DeleteAt and ScanAt issue operations at an explicit virtual
-// time, for drivers that model their own concurrency (queue depth > 1).
-// Calls must use non-decreasing times across the whole device.
+// PutAt issues a Put at an explicit virtual time.
+//
+// Deprecated: the At quartet required every caller to uphold the device's
+// non-decreasing-time contract by hand. Use NewEngine, which owns the slot
+// clocks and enforces the contract in one place.
 func (d *Device) PutAt(at Time, key, value []byte) (Time, error) {
 	return d.impl.Put(at, key, value)
 }
 
 // GetAt is the explicit-time variant of Get.
+//
+// Deprecated: use NewEngine (see PutAt).
 func (d *Device) GetAt(at Time, key []byte) ([]byte, Time, error) {
 	return d.impl.Get(at, key)
 }
 
 // DeleteAt is the explicit-time variant of Delete.
+//
+// Deprecated: use NewEngine (see PutAt).
 func (d *Device) DeleteAt(at Time, key []byte) (Time, error) {
 	return d.impl.Delete(at, key)
 }
 
 // ScanAt is the explicit-time variant of Scan.
+//
+// Deprecated: use NewEngine (see PutAt).
 func (d *Device) ScanAt(at Time, start []byte, n int) ([]Pair, Time, error) {
 	return d.impl.Scan(at, start, n)
 }
@@ -328,6 +432,9 @@ func (d *Device) Metadata() []MetaStructure { return d.impl.Metadata() }
 // erases).
 func (d *Device) Flash() FlashCounters { return d.impl.Stats().Flash() }
 
-// Internal returns the underlying simulator device for the benchmark
-// harness; the interface is internal and not part of the stable API.
+// Internal returns the underlying simulator device.
+//
+// Deprecated: everything the harness used this for is now on the public
+// surface — Stats, Metadata, Flash, and NewEngine for explicit-time
+// drivers. The interface it leaks is internal and will change.
 func (d *Device) Internal() device.KVSSD { return d.impl }

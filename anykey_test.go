@@ -112,6 +112,106 @@ func TestOptionsValidation(t *testing.T) {
 	if _, err := Open(Options{Design: Design(99)}); err == nil {
 		t.Fatal("unknown design accepted")
 	}
+	bad := []Options{
+		{CapacityMB: -1},
+		{DRAMBytes: -4096},
+		{PageSize: -8192},
+		{GroupPages: -8},
+		{GroupPages: 1 << 20}, // cannot fit any erase block
+		{LogFraction: -0.2},
+		{LogFraction: 1.0},
+		{LogFraction: 7},
+		{MemtableBytes: -1},
+		{GrowthFactor: -4},
+		{Channels: -8},
+		{ChipsPerChannel: -8},
+	}
+	for _, o := range bad {
+		_, err := Open(o)
+		if err == nil {
+			t.Fatalf("Open(%+v) accepted invalid options", o)
+		}
+		if !errors.Is(err, ErrInvalidOptions) {
+			t.Fatalf("Open(%+v) error %v is not ErrInvalidOptions", o, err)
+		}
+	}
+	// Zero values mean "default" and must stay valid.
+	if _, err := Open(Options{}); err != nil {
+		t.Fatalf("zero Options rejected: %v", err)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	dev, err := Open(Options{CapacityMB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := dev.Close(); err != nil {
+			t.Fatalf("Close #%d: %v", i+1, err)
+		}
+	}
+	if _, err := dev.Put([]byte("k"), []byte("v")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close: %v", err)
+	}
+	if _, _, err := dev.Get([]byte("k")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after Close: %v", err)
+	}
+	if _, err := dev.Delete([]byte("k")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Delete after Close: %v", err)
+	}
+	if _, _, err := dev.Scan([]byte("k"), 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Scan after Close: %v", err)
+	}
+	if _, err := dev.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after Close: %v", err)
+	}
+	if err := dev.PowerCycle(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("PowerCycle after Close: %v", err)
+	}
+	if _, err := dev.NewEngine(8); !errors.Is(err, ErrClosed) {
+		t.Fatalf("NewEngine after Close: %v", err)
+	}
+}
+
+func TestNewEngineThroughFacade(t *testing.T) {
+	dev, err := Open(Options{CapacityMB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	if _, err := dev.NewEngine(0); err == nil {
+		t.Fatal("queue depth 0 accepted")
+	}
+	eng, err := dev.NewEngine(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Depth() != 64 {
+		t.Fatalf("Depth = %d", eng.Depth())
+	}
+	for i := 0; i < 2000; i++ {
+		if _, err := eng.Put([]byte(fmt.Sprintf("eng-%05d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := eng.Get([]byte("eng-00042"))
+	if err != nil || string(c.Value) != "v" {
+		t.Fatalf("engine Get = %q, %v", c.Value, err)
+	}
+	if c.Done.Before(c.Issued) || c.Issued.Before(c.Arrival) {
+		t.Fatalf("completion out of order: %+v", c)
+	}
+	queue, service := eng.Breakdown()
+	if service.Count() != eng.Ops() {
+		t.Fatalf("service histogram has %d samples for %d ops", service.Count(), eng.Ops())
+	}
+	if queue.Max() != 0 {
+		t.Fatalf("closed-loop queue wait %v", queue.Max())
+	}
 }
 
 func TestDesignString(t *testing.T) {

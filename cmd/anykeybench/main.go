@@ -7,6 +7,11 @@
 //	anykeybench -exp fig12              # one experiment
 //	anykeybench -exp all                # everything, in paper order
 //	anykeybench -exp fig10 -capacity 128 -quick=false
+//	anykeybench -exp all -parallel 8    # fan cells across 8 workers
+//
+// Experiment cells (one simulated device each) are independent, so by
+// default they are fanned across one worker per CPU; -parallel 1 restores
+// the serial path. Reports are identical either way.
 //
 // Each experiment prints the rows/series of the corresponding paper table
 // or figure; EXPERIMENTS.md records the measured-vs-paper comparison.
@@ -16,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"anykey/internal/harness"
@@ -29,6 +35,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "shrink runs for a fast pass")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		maxOps   = flag.Int64("maxops", 0, "cap measured ops per run (0 = the paper's full 2× capacity)")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "fan experiment cells across this many workers (1 = serial); reports are identical either way")
 		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
 		outDir   = flag.String("out", "", "also save each report as .txt and per-table .csv under this directory")
 	)
@@ -46,7 +53,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := harness.ExpOptions{CapacityMB: *capacity, Quick: *quick, Seed: *seed, MaxOps: *maxOps}
+	opt := harness.ExpOptions{CapacityMB: *capacity, Quick: *quick, Seed: *seed, MaxOps: *maxOps, Parallel: *parallel}
 	if !*quiet {
 		opt.Progress = os.Stderr
 	}

@@ -55,6 +55,7 @@ func main() {
 		gofmt.Fprintln(os.Stderr, "anykeycli:", err)
 		os.Exit(1)
 	}
+	defer dev.Close()
 	gofmt.Printf("opened %s device, %d MiB; type 'help' for commands\n", d, *capacity)
 	repl(dev, os.Stdin, os.Stdout)
 }

@@ -84,6 +84,7 @@ func main() {
 		}
 		fmt.Printf("%-8s stored %7d UTXOs = %5.1f%% of raw capacity | metadata: %4d KB DRAM, %5d KB flash\n",
 			design, pairs, util*100, metaDRAM>>10, metaFlash>>10)
+		dev.Close()
 	}
 
 	fmt.Println("\nPinK burns flash on a second copy of every 76-byte key (meta segments),")

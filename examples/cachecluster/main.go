@@ -93,6 +93,7 @@ func main() {
 			fmt.Printf("  %s=%dKB(%s)", m.Name, m.Bytes>>10, place)
 		}
 		fmt.Println()
+		dev.Close()
 	}
 	fmt.Println("\nWith 38-byte keys the per-pair metadata is as large as the data itself:")
 	fmt.Println("PinK's meta segments spill to flash and every cache miss pays extra flash")

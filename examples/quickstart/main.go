@@ -20,6 +20,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer dev.Close()
 	fmt.Printf("opened a %v KV-SSD (64 MiB simulated flash)\n\n", dev.Design())
 
 	// Store a handful of user profiles.

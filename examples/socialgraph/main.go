@@ -103,6 +103,7 @@ func main() {
 		fmt.Printf("%-8s point reads: mean %v, worst %v | %d-edge scans: mean %v | flash reads %d\n",
 			design, sum/anykey.Duration(numUsers), worst,
 			edgesPerUser, scanSum/anykey.Duration(scans), flash.TotalReads())
+		dev.Close()
 	}
 	fmt.Println("\nAnyKey- (inline values) keeps each adjacency list co-located inside one data")
 	fmt.Println("segment group, so full-list scans touch the fewest flash pages; the value-log")

@@ -86,6 +86,7 @@ func main() {
 			fmt.Printf("%-3s  %-8v %-10.0f %-12v %-12v %-12v\n",
 				mix.Name, design, float64(operations)/elapsed.Seconds(),
 				pct(lats, 0.50), pct(lats, 0.95), pct(lats, 0.99))
+			dev.Close()
 		}
 	}
 }

@@ -15,7 +15,10 @@ import (
 
 // KVSSD is the key-value interface the host drives (the KV counterpart of
 // an NVMe command set). Implementations are single-goroutine virtual-time
-// simulations: calls must be issued with non-decreasing `at`.
+// simulations: calls must be issued with non-decreasing `at`. Drivers
+// should not uphold that contract by hand — the host submission engine
+// (internal/host) owns the slot clocks and enforces it in one place, at
+// any queue depth.
 type KVSSD interface {
 	// Put stores or overwrites a key-value pair. It returns kv.ErrDeviceFull
 	// when flash is exhausted even after garbage collection.

@@ -25,9 +25,17 @@ type ExpOptions struct {
 	// core; 400k ops per run reaches compaction/GC steady state at the
 	// default scale).
 	MaxOps int64
+	// Parallel fans an experiment's independent cells (each owns its own
+	// device) across this many workers; 0 or 1 runs them serially. The
+	// report is identical either way — only wall-clock time changes.
+	Parallel int
 	// Progress, when set, receives one line per completed run.
 	Progress io.Writer
 	Seed     int64
+
+	// runner intercepts cell execution; nil means run cells in place.
+	// The parallel path swaps in planning and replaying runners.
+	runner cellRunner
 }
 
 func (o *ExpOptions) defaults() {
@@ -73,15 +81,29 @@ func (o *ExpOptions) baseRun(design anykey.Design, spec workload.Spec) RunConfig
 	return cfg
 }
 
-// run executes one measurement with progress logging.
+// run executes one measurement cell through the configured runner.
 func (o *ExpOptions) run(cfg RunConfig) (*Result, error) {
-	res, err := Run(cfg)
+	res, err := o.cellRunner().measure(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", cfg.Device.Design, cfg.Workload.Name, err)
 	}
-	o.progress("  %-8s %-8s ops=%-8d IOPS=%-9s p95(read)=%v",
-		res.System, res.Workload, res.Ops, fiops(res.IOPS), res.ReadLat.Percentile(95))
 	return res, nil
+}
+
+// fill executes one fill-to-full cell through the configured runner.
+func (o *ExpOptions) fill(opts anykey.Options, spec workload.Spec) (*FillResult, error) {
+	fr, err := o.cellRunner().fill(fillConfig{Opts: opts, Spec: spec, Seed: o.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("%v/%s: %w", opts.Design, spec.Name, err)
+	}
+	return fr, nil
+}
+
+func (o *ExpOptions) cellRunner() cellRunner {
+	if o.runner != nil {
+		return o.runner
+	}
+	return serialRunner{o}
 }
 
 // threeSystems is the comparison set of most figures.
@@ -118,12 +140,17 @@ func Experiments() []Experiment {
 	}
 }
 
-// RunExperiment executes one experiment by id.
+// RunExperiment executes one experiment by id. With opt.Parallel > 1 its
+// independent cells are fanned across a worker pool; the report is
+// identical to a serial run.
 func RunExperiment(id string, opt ExpOptions) (*Report, error) {
 	opt.defaults()
 	for _, e := range Experiments() {
 		if e.ID == id {
 			opt.progress("== %s: %s (device %d MB, quick=%v)", e.ID, e.Paper, opt.CapacityMB, opt.Quick)
+			if opt.Parallel > 1 {
+				return runParallel(e, opt)
+			}
 			return e.Run(opt)
 		}
 	}
@@ -381,11 +408,10 @@ func expFig14(o ExpOptions) (*Report, error) {
 	for _, spec := range wls {
 		row := []string{spec.Name}
 		for _, sys := range threeSystems {
-			fr, err := FillToFull(anykey.Options{Design: sys, CapacityMB: o.CapacityMB, Seed: o.Seed}, spec, o.Seed)
+			fr, err := o.fill(anykey.Options{Design: sys, CapacityMB: o.CapacityMB, Seed: o.Seed}, spec)
 			if err != nil {
-				return nil, fmt.Errorf("%v/%s: %w", sys, spec.Name, err)
+				return nil, err
 			}
-			o.progress("  %-8s %-8s fill=%.1f%% (%d pairs)", fr.System, fr.Workload, fr.Utilization*100, fr.Pairs)
 			row = append(row, fpct(fr.Utilization))
 		}
 		t.Rows = append(t.Rows, row)

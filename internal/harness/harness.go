@@ -1,10 +1,14 @@
 // Package harness drives the simulated KV-SSDs through the paper's
 // evaluation methodology (§5): a warm-up phase that loads the full key
 // population in shuffled order, then an execution phase issuing requests
-// from 64 closed-loop workers (the paper's queue depth) until the issued
-// bytes reach a multiple of the device capacity, recording latencies, IOPS
-// and flash-operation deltas. A separate fill-to-full mode measures storage
-// utilization (Fig. 14).
+// at queue depth 64 (the paper's setting) through the host submission
+// engine until the issued bytes reach a multiple of the device capacity,
+// recording latencies, IOPS and flash-operation deltas. A separate
+// fill-to-full mode measures storage utilization (Fig. 14).
+//
+// Experiments fan out over many independent (design, workload, knob)
+// cells, each owning its own device; RunExperiment runs them on a worker
+// pool when ExpOptions.Parallel asks for one (see parallel.go).
 package harness
 
 import (
@@ -16,7 +20,6 @@ import (
 	"anykey/internal/device"
 	"anykey/internal/kv"
 	"anykey/internal/nand"
-	"anykey/internal/sim"
 	"anykey/internal/stats"
 	"anykey/internal/workload"
 )
@@ -139,6 +142,12 @@ type Result struct {
 	WriteLat stats.Histogram
 	ScanLat  stats.Histogram
 
+	// QueueWaitLat and ServiceLat split every execution-phase latency into
+	// host queueing vs device service, as recorded by the submission
+	// engine. Closed-loop runs have zero queue wait by construction.
+	QueueWaitLat stats.Histogram
+	ServiceLat   stats.Histogram
+
 	// IOPS is executed operations per simulated second.
 	IOPS float64
 	// SimSeconds is the simulated duration of the execution phase.
@@ -165,6 +174,11 @@ func Run(cfg RunConfig) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer dev.Close()
+	eng, err := dev.NewEngine(cfg.QueueDepth)
+	if err != nil {
+		return nil, err
+	}
 	gen, err := workload.NewGenerator(cfg.Workload, workload.Config{
 		Population: cfg.Population(),
 		Theta:      cfg.Theta,
@@ -182,64 +196,54 @@ func Run(cfg RunConfig) (*Result, error) {
 		Population: gen.Population(),
 	}
 
-	workers := newWorkerPool(cfg.QueueDepth)
-
 	// Warm-up (§5.5): load every key once, shuffled.
 	for i := uint64(0); i < gen.Population(); i++ {
 		id := gen.LoadID(i)
-		w := workers.next()
-		done, err := dev.PutAt(w.now, gen.Key(id), gen.Value(id, 0))
-		if err != nil {
+		if _, err := eng.Put(gen.Key(id), gen.Value(id, 0)); err != nil {
 			return nil, fmt.Errorf("harness: warm-up put %d/%d: %w", i, gen.Population(), err)
 		}
-		w.now = done
 	}
-	workers.sync()
 
-	impl := dev.Internal()
-	st := impl.Stats()
+	st := dev.Stats()
 	warm := st.Flash()
 	// Reset the per-read access histogram so Fig. 11b reflects execution
-	// reads only.
+	// reads only, and the engine's breakdown so it excludes warm-up.
 	*st.ReadAccesses = *stats.NewIntHist(8)
+	eng.ResetBreakdown()
 
-	execStart := workers.maxTime()
+	// Phase barrier between warm-up and execution.
+	execStart := eng.Barrier()
 	targetBytes := int64(cfg.ExecFactor * float64(cfg.capacityBytes()))
 	var issuedBytes int64
 
 	for issuedBytes < targetBytes && (cfg.MaxOps == 0 || res.Ops < cfg.MaxOps) {
 		op := gen.Next()
-		w := workers.next()
-		issue := w.now
 		switch op.Kind {
 		case workload.OpPut:
-			done, err := dev.PutAt(issue, op.Key, op.Value)
+			c, err := eng.Put(op.Key, op.Value)
 			if err != nil {
 				return nil, fmt.Errorf("harness: put: %w", err)
 			}
-			w.now = done
-			res.WriteLat.Record(done.Sub(issue))
+			res.WriteLat.Record(c.Latency())
 		case workload.OpGet:
-			val, done, err := dev.GetAt(issue, op.Key)
+			c, err := eng.Get(op.Key)
 			if err != nil {
 				return nil, fmt.Errorf("harness: get %x: %w", op.Key[:8], err)
 			}
-			w.now = done
-			res.ReadLat.Record(done.Sub(issue))
+			res.ReadLat.Record(c.Latency())
 			if !cfg.NoVerify {
-				if !bytes.Equal(val, gen.ExpectedValue(op.ID)) {
+				if !bytes.Equal(c.Value, gen.ExpectedValue(op.ID)) {
 					return nil, fmt.Errorf("harness: read of id %d returned wrong payload", op.ID)
 				}
 				res.Verified++
 			}
 		case workload.OpScan:
-			pairs, done, err := dev.ScanAt(issue, op.Key, op.ScanLen)
+			c, err := eng.Scan(op.Key, op.ScanLen)
 			if err != nil {
 				return nil, fmt.Errorf("harness: scan: %w", err)
 			}
-			w.now = done
-			res.ScanLat.Record(done.Sub(issue))
-			if !cfg.NoVerify && len(pairs) == 0 {
+			res.ScanLat.Record(c.Latency())
+			if !cfg.NoVerify && len(c.Pairs) == 0 {
 				return nil, errors.New("harness: scan returned nothing on a loaded device")
 			}
 		}
@@ -247,15 +251,16 @@ func Run(cfg RunConfig) (*Result, error) {
 		res.Ops++
 	}
 
-	end := workers.maxTime()
+	end := eng.Now()
 	res.SimSeconds = end.Sub(execStart).Seconds()
 	if res.SimSeconds > 0 {
 		res.IOPS = float64(res.Ops) / res.SimSeconds
 	}
+	res.QueueWaitLat, res.ServiceLat = eng.Breakdown()
 	total := st.Flash()
 	res.Exec = total.Sub(warm)
 	res.Total = total
-	res.Metadata = impl.Metadata()
+	res.Metadata = dev.Metadata()
 	res.ReadAccesses = st.ReadAccesses
 	res.TreeCompactions = st.TreeCompactions
 	res.LogCompactions = st.LogCompactions
@@ -285,21 +290,23 @@ func FillToFull(opts anykey.Options, spec workload.Spec, seed int64) (*FillResul
 	if err != nil {
 		return nil, err
 	}
+	defer dev.Close()
+	eng, err := dev.NewEngine(1)
+	if err != nil {
+		return nil, err
+	}
 	capacity := int64(opts.CapacityMB) << 20
 	if capacity == 0 {
 		capacity = 128 << 20
 	}
 	res := &FillResult{System: opts.Design.String(), Workload: spec.Name, Capacity: capacity}
-	var now sim.Time
 	for i := uint64(0); ; i++ {
-		done, err := dev.PutAt(now, workload.Key(spec, i), workload.Value(spec, i, 0))
-		if err != nil {
+		if _, err := eng.Put(workload.Key(spec, i), workload.Value(spec, i, 0)); err != nil {
 			if errors.Is(err, kv.ErrDeviceFull) {
 				break
 			}
 			return nil, err
 		}
-		now = done
 		res.Pairs++
 		res.UserBytes += int64(spec.PairSize())
 		if res.UserBytes > 4*capacity {
@@ -308,45 +315,4 @@ func FillToFull(opts anykey.Options, spec workload.Spec, seed int64) (*FillResul
 	}
 	res.Utilization = float64(res.UserBytes) / float64(capacity)
 	return res, nil
-}
-
-// worker is one closed-loop request source with its own virtual clock.
-type worker struct{ now sim.Time }
-
-type workerPool struct{ ws []worker }
-
-func newWorkerPool(n int) *workerPool {
-	return &workerPool{ws: make([]worker, n)}
-}
-
-// next returns the worker with the smallest clock, which is the one whose
-// next request is issued first.
-func (p *workerPool) next() *worker {
-	best := 0
-	for i := 1; i < len(p.ws); i++ {
-		if p.ws[i].now < p.ws[best].now {
-			best = i
-		}
-	}
-	return &p.ws[best]
-}
-
-// maxTime returns the latest worker clock.
-func (p *workerPool) maxTime() sim.Time {
-	var m sim.Time
-	for i := range p.ws {
-		if p.ws[i].now > m {
-			m = p.ws[i].now
-		}
-	}
-	return m
-}
-
-// sync aligns all workers to the latest clock (phase barrier between
-// warm-up and execution).
-func (p *workerPool) sync() {
-	m := p.maxTime()
-	for i := range p.ws {
-		p.ws[i].now = m
-	}
 }

@@ -79,20 +79,25 @@ func TestFillToFull(t *testing.T) {
 	}
 }
 
-func TestWorkerPoolOrdering(t *testing.T) {
-	p := newWorkerPool(4)
-	p.ws[0].now = 10
-	p.ws[1].now = 3
-	p.ws[2].now = 7
-	p.ws[3].now = 3
-	if w := p.next(); w != &p.ws[1] {
-		t.Fatal("next did not pick the earliest worker")
+// The engine's breakdown must cover exactly the execution phase: one
+// sample per measured op, all queue waits zero (closed loop), and service
+// equal to end-to-end latency.
+func TestRunRecordsBreakdown(t *testing.T) {
+	cfg := smallRun(anykey.DesignAnyKeyPlus, "KVSSD")
+	cfg.MaxOps = 2000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if p.maxTime() != 10 {
-		t.Fatalf("maxTime = %v", p.maxTime())
+	if res.ServiceLat.Count() != res.Ops || res.QueueWaitLat.Count() != res.Ops {
+		t.Fatalf("breakdown covers %d/%d samples for %d ops",
+			res.ServiceLat.Count(), res.QueueWaitLat.Count(), res.Ops)
 	}
-	p.sync()
-	if p.ws[1].now != 10 || p.ws[3].now != 10 {
-		t.Fatal("sync did not align clocks")
+	if res.QueueWaitLat.Max() != 0 {
+		t.Fatalf("closed-loop queue wait = %v; want 0", res.QueueWaitLat.Max())
+	}
+	if res.ServiceLat.Max() != res.ReadLat.Max() && res.ServiceLat.Max() != res.WriteLat.Max() {
+		t.Fatalf("service max %v matches neither read max %v nor write max %v",
+			res.ServiceLat.Max(), res.ReadLat.Max(), res.WriteLat.Max())
 	}
 }

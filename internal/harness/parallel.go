@@ -1,0 +1,214 @@
+// Wall-clock-parallel experiment execution. An experiment is a sequence of
+// independent cells — one measurement run or fill-to-full per (design,
+// workload, knob) point, each owning its own device — so the cells are
+// embarrassingly parallel even though the simulation inside each is
+// single-threaded virtual time.
+//
+// Experiment bodies are written as straight-line code that consumes each
+// cell's result immediately, so parallelism is recovered in three phases:
+//
+//  1. Plan: run the body with a runner that records every cell it asks for
+//     and hands back placeholder results. Bodies iterate static
+//     design/workload lists — control flow never depends on measured
+//     values — so the recorded cell list is exactly what a real run
+//     executes.
+//  2. Execute: run the recorded cells on a bounded worker pool. Each cell
+//     is deterministic given its config, so results are identical to a
+//     serial run no matter the interleaving.
+//  3. Replay: run the body again with the memoized results, producing the
+//     same report a serial run prints, byte for byte.
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"anykey"
+	"anykey/internal/stats"
+	"anykey/internal/workload"
+)
+
+// cellRunner abstracts how an experiment body obtains a cell's result:
+// directly (serial), recording (plan) or memoized (replay).
+type cellRunner interface {
+	measure(cfg RunConfig) (*Result, error)
+	fill(fc fillConfig) (*FillResult, error)
+}
+
+// fillConfig identifies one fill-to-full cell.
+type fillConfig struct {
+	Opts anykey.Options
+	Spec workload.Spec
+	Seed int64
+}
+
+// cellKey identifies one cell of either kind. RunConfig and fillConfig
+// hold only scalars and strings, so the key is comparable and can index
+// the memo map directly.
+type cellKey struct {
+	run    RunConfig
+	fill   fillConfig
+	isFill bool
+}
+
+// cellOutcome is a completed cell: exactly one of res/fr set, or err.
+type cellOutcome struct {
+	res *Result
+	fr  *FillResult
+	err error
+}
+
+// serialRunner executes cells in place, logging progress as they finish.
+type serialRunner struct{ o *ExpOptions }
+
+func (s serialRunner) measure(cfg RunConfig) (*Result, error) {
+	res, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.o.progress("%s", runProgress(res))
+	return res, nil
+}
+
+func (s serialRunner) fill(fc fillConfig) (*FillResult, error) {
+	fr, err := FillToFull(fc.Opts, fc.Spec, fc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s.o.progress("%s", fillProgress(fr))
+	return fr, nil
+}
+
+func runProgress(res *Result) string {
+	return fmt.Sprintf("  %-8s %-8s ops=%-8d IOPS=%-9s p95(read)=%v",
+		res.System, res.Workload, res.Ops, fiops(res.IOPS), res.ReadLat.Percentile(95))
+}
+
+func fillProgress(fr *FillResult) string {
+	return fmt.Sprintf("  %-8s %-8s fill=%.1f%% (%d pairs)",
+		fr.System, fr.Workload, fr.Utilization*100, fr.Pairs)
+}
+
+// planRunner records each distinct cell in first-use order and returns
+// placeholders. The placeholder Result carries allocated histograms so
+// bodies can format percentiles and fractions from it without caring that
+// the numbers are zeros; the plan-phase report is discarded.
+type planRunner struct {
+	order []cellKey
+	seen  map[cellKey]bool
+}
+
+func newPlanRunner() *planRunner { return &planRunner{seen: make(map[cellKey]bool)} }
+
+func (p *planRunner) add(k cellKey) {
+	if !p.seen[k] {
+		p.seen[k] = true
+		p.order = append(p.order, k)
+	}
+}
+
+func (p *planRunner) measure(cfg RunConfig) (*Result, error) {
+	p.add(cellKey{run: cfg})
+	return &Result{
+		System:       cfg.Device.Design.String(),
+		Workload:     cfg.Workload.Name,
+		ReadAccesses: stats.NewIntHist(8),
+	}, nil
+}
+
+func (p *planRunner) fill(fc fillConfig) (*FillResult, error) {
+	p.add(cellKey{fill: fc, isFill: true})
+	return &FillResult{System: fc.Opts.Design.String(), Workload: fc.Spec.Name}, nil
+}
+
+// replayRunner serves memoized outcomes to the final body run.
+type replayRunner struct {
+	outcomes map[cellKey]*cellOutcome
+}
+
+func (r *replayRunner) measure(cfg RunConfig) (*Result, error) {
+	out, ok := r.outcomes[cellKey{run: cfg}]
+	if !ok {
+		return nil, fmt.Errorf("harness: replay asked for an unplanned cell %s/%s", cfg.Device.Design, cfg.Workload.Name)
+	}
+	return out.res, out.err
+}
+
+func (r *replayRunner) fill(fc fillConfig) (*FillResult, error) {
+	out, ok := r.outcomes[cellKey{fill: fc, isFill: true}]
+	if !ok {
+		return nil, fmt.Errorf("harness: replay asked for an unplanned fill cell %v/%s", fc.Opts.Design, fc.Spec.Name)
+	}
+	return out.fr, out.err
+}
+
+// runParallel plans an experiment's cells, executes them on opt.Parallel
+// workers, then replays the body with the results.
+func runParallel(e Experiment, opt ExpOptions) (*Report, error) {
+	plan := newPlanRunner()
+	po := opt
+	po.runner = plan
+	po.Progress = nil
+	if _, err := e.Run(po); err != nil {
+		// Only non-cell failures can surface here (planned cells always
+		// "succeed" with placeholders).
+		return nil, err
+	}
+
+	outcomes := executeCells(&opt, plan.order)
+
+	ro := opt
+	ro.runner = &replayRunner{outcomes: outcomes}
+	ro.Progress = nil // per-cell progress was already printed by the pool
+	return e.Run(ro)
+}
+
+// executeCells runs every cell on a worker pool and returns the memo map.
+// Progress lines are printed as cells complete (so in nondeterministic
+// order), serialized by the same mutex that guards the map.
+func executeCells(o *ExpOptions, cells []cellKey) map[cellKey]*cellOutcome {
+	workers := o.Parallel
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	outcomes := make(map[cellKey]*cellOutcome, len(cells))
+	var mu sync.Mutex
+	jobs := make(chan cellKey)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range jobs {
+				out := &cellOutcome{}
+				var line string
+				if k.isFill {
+					out.fr, out.err = FillToFull(k.fill.Opts, k.fill.Spec, k.fill.Seed)
+					if out.err == nil {
+						line = fillProgress(out.fr)
+					}
+				} else {
+					out.res, out.err = Run(k.run)
+					if out.err == nil {
+						line = runProgress(out.res)
+					}
+				}
+				mu.Lock()
+				outcomes[k] = out
+				if line != "" {
+					o.progress("%s", line)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, k := range cells {
+		jobs <- k
+	}
+	close(jobs)
+	wg.Wait()
+	return outcomes
+}

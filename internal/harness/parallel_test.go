@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"anykey"
+)
+
+// parTestExperiment builds a small multi-cell experiment exercising both
+// cell kinds (measurement runs and fill-to-full) plus result-derived rows.
+func parTestExperiment() Experiment {
+	return Experiment{ID: "par-test", Paper: "test", Run: func(o ExpOptions) (*Report, error) {
+		rep := &Report{ID: "par-test", Title: "parallel-runner equivalence fixture"}
+		t := Table{Header: append([]string{"workload", "system", "IOPS"}, latHeader...)}
+		for _, wl := range []string{"KVSSD", "YCSB"} {
+			spec := mustSpec(wl)
+			for _, sys := range threeSystems {
+				cfg := RunConfig{
+					Device:   anykey.Options{Design: sys, CapacityMB: 32, Seed: o.Seed},
+					Workload: spec,
+					FillFrac: 0.2,
+					MaxOps:   3000,
+					Seed:     o.Seed,
+				}
+				res, err := o.run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				row := []string{wl, res.System, fiops(res.IOPS)}
+				t.Rows = append(t.Rows, append(row, latRow(&res.ReadLat)...))
+			}
+		}
+		fr, err := o.fill(anykey.Options{Design: anykey.DesignAnyKeyPlus, CapacityMB: 32, Seed: o.Seed}, mustSpec("KVSSD"))
+		if err != nil {
+			return nil, err
+		}
+		rep.Notes = append(rep.Notes, fmt.Sprintf("fill utilization %.3f over %d pairs", fr.Utilization, fr.Pairs))
+		rep.Tables = append(rep.Tables, t)
+		return rep, nil
+	}}
+}
+
+// The parallel runner must produce a byte-identical report to the serial
+// path: same cells, same numbers, same formatting.
+func TestParallelMatchesSerial(t *testing.T) {
+	exp := parTestExperiment()
+	opt := ExpOptions{Seed: 1}
+	opt.defaults()
+
+	serial, err := exp.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	popt := opt
+	popt.Parallel = 4
+	par, err := runParallel(exp, popt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if serial.String() != par.String() {
+		t.Fatalf("parallel report differs from serial:\n-- serial --\n%s\n-- parallel --\n%s",
+			serial.String(), par.String())
+	}
+}
+
+// RunExperiment with Parallel set must agree with the serial registry path
+// on a real (quick) experiment end to end.
+func TestRunExperimentParallelRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment cells are slow")
+	}
+	base := ExpOptions{Quick: true, Seed: 1}
+	serial, err := RunExperiment("fig19", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.Parallel = 4
+	got, err := RunExperiment("fig19", par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != got.String() {
+		t.Fatalf("fig19 parallel report differs from serial:\n-- serial --\n%s\n-- parallel --\n%s",
+			serial.String(), got.String())
+	}
+}
+
+// Cell errors must surface through replay with the experiment's own
+// wrapping, not crash the pool.
+func TestParallelSurfacesCellErrors(t *testing.T) {
+	exp := Experiment{ID: "par-err", Paper: "test", Run: func(o ExpOptions) (*Report, error) {
+		cfg := RunConfig{
+			// Impossible geometry: rejected by anykey.Open inside Run.
+			Device:   anykey.Options{Design: anykey.DesignAnyKeyPlus, CapacityMB: 8, Channels: 8, ChipsPerChannel: 8},
+			Workload: mustSpec("KVSSD"),
+		}
+		if _, err := o.run(cfg); err != nil {
+			return nil, err
+		}
+		return &Report{ID: "par-err"}, nil
+	}}
+	opt := ExpOptions{Seed: 1}
+	opt.defaults()
+	opt.Parallel = 2
+	if _, err := runParallel(exp, opt); err == nil {
+		t.Fatal("cell error did not surface through the parallel runner")
+	}
+}

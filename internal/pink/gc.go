@@ -140,7 +140,9 @@ func (d *Device) dataVictim() (nand.BlockID, float64, bool) {
 			continue
 		}
 		f := float64(ss.live) / float64(ss.total) * float64(d.pool.ValidPages(b)) / ppb
-		if f < bestFrac {
+		// Ties break on block ID: map iteration order is randomized, and a
+		// run must be reproducible for any victim choice among equals.
+		if f < bestFrac || (f == bestFrac && b < best) {
 			bestFrac = f
 			best = b
 		}

@@ -1,0 +1,63 @@
+package sim
+
+// ClockSet is a fixed set of independent virtual clocks, one per host
+// submission slot. It is the timing substrate of the host engine's
+// queue-depth-N model: each slot's clock holds the completion time of the
+// last request it carried, the earliest slot is the one that accepts the
+// next request, and the set as a whole only ever hands out non-decreasing
+// issue times (the contract every device.KVSSD implementation relies on).
+type ClockSet struct {
+	clocks []Time
+}
+
+// NewClockSet returns n clocks, all at start.
+func NewClockSet(n int, start Time) *ClockSet {
+	cs := &ClockSet{clocks: make([]Time, n)}
+	for i := range cs.clocks {
+		cs.clocks[i] = start
+	}
+	return cs
+}
+
+// Len returns the number of clocks.
+func (c *ClockSet) Len() int { return len(c.clocks) }
+
+// Earliest returns the slot with the smallest clock and its time. Ties go
+// to the lowest index, which keeps replays deterministic.
+func (c *ClockSet) Earliest() (slot int, at Time) {
+	slot = 0
+	for i := 1; i < len(c.clocks); i++ {
+		if c.clocks[i] < c.clocks[slot] {
+			slot = i
+		}
+	}
+	return slot, c.clocks[slot]
+}
+
+// Set advances one clock; it refuses to move a clock backwards.
+func (c *ClockSet) Set(slot int, at Time) {
+	if at > c.clocks[slot] {
+		c.clocks[slot] = at
+	}
+}
+
+// Max returns the latest clock.
+func (c *ClockSet) Max() Time {
+	var m Time
+	for _, t := range c.clocks {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// AlignToMax moves every clock to the latest one and returns it — the
+// phase barrier between an experiment's warm-up and execution.
+func (c *ClockSet) AlignToMax() Time {
+	m := c.Max()
+	for i := range c.clocks {
+		c.clocks[i] = m
+	}
+	return m
+}
