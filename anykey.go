@@ -26,11 +26,13 @@ import (
 
 	"anykey/internal/core"
 	"anykey/internal/device"
+	"anykey/internal/fault"
 	"anykey/internal/host"
 	"anykey/internal/kv"
 	"anykey/internal/nand"
 	"anykey/internal/pink"
 	"anykey/internal/sim"
+	"anykey/internal/stats"
 )
 
 // Re-exported simulation and data types.
@@ -53,6 +55,16 @@ type (
 	// Completion is the outcome of one engine request: arrival, issue and
 	// completion instants plus any returned data.
 	Completion = host.Completion
+	// FaultPlan declares the NAND faults to inject: transient read errors,
+	// program/erase failures that grow bad blocks, and a one-shot power cut.
+	// The zero value injects nothing; see Options.Faults.
+	FaultPlan = fault.Plan
+	// FaultCounters is the per-cause injected-fault accounting, from
+	// Stats().Faults.
+	FaultCounters = stats.FaultCounters
+	// RecoveryInfo describes what the last PowerCycle's recovery found, from
+	// Stats().Recovery.
+	RecoveryInfo = stats.RecoveryInfo
 )
 
 // Errors returned by device operations.
@@ -67,6 +79,11 @@ var (
 	// ErrInvalidOptions tags Open failures caused by out-of-range Options;
 	// test with errors.Is.
 	ErrInvalidOptions = errors.New("anykey: invalid options")
+
+	// ErrPowerCut is returned when a FaultPlan's power cut fires mid-operation
+	// and by every operation thereafter, until PowerCycle remounts the device
+	// from flash. Test with errors.Is.
+	ErrPowerCut = errors.New("anykey: power cut")
 )
 
 // Design selects which KV-SSD firmware the device runs.
@@ -140,6 +157,14 @@ type Options struct {
 
 	// NoHashLists disables AnyKey's per-group hash lists (ablation).
 	NoHashLists bool
+
+	// Faults, when non-nil, injects NAND failure modes per the plan: seeded,
+	// deterministic read errors, program/erase failures and an optional
+	// one-shot power cut (surfacing as ErrPowerCut). Injected-fault counts
+	// appear in Stats().Faults. The injector is attached to the flash array
+	// for the device's lifetime, so grown-bad blocks and the op counter
+	// survive PowerCycle.
+	Faults *FaultPlan
 }
 
 // validate rejects out-of-range option values before any construction, so
@@ -170,6 +195,11 @@ func (o Options) validate() error {
 	}
 	if o.Channels < 0 || o.ChipsPerChannel < 0 {
 		return fmt.Errorf("%w: Channels %d × ChipsPerChannel %d is negative", ErrInvalidOptions, o.Channels, o.ChipsPerChannel)
+	}
+	if o.Faults != nil {
+		if err := o.Faults.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+		}
 	}
 	return nil
 }
@@ -223,7 +253,9 @@ type Device struct {
 	impl   device.KVSSD
 	eng    *host.Engine // depth-1 engine backing the facade operations
 	opts   Options
+	inj    *fault.Injector // nil without a fault plan
 	closed bool
+	dead   bool // a power cut fired; only PowerCycle revives the device
 }
 
 // Open builds a device running the selected design.
@@ -272,7 +304,24 @@ func Open(opts Options) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Device{impl: impl, eng: eng, opts: opts}, nil
+	d := &Device{impl: impl, eng: eng, opts: opts}
+	if opts.Faults != nil && opts.Faults.Enabled() {
+		d.inj = fault.New(*opts.Faults)
+		d.array().SetInjector(d.inj)
+		impl.Stats().Faults = d.inj.Counters
+	}
+	return d, nil
+}
+
+// array returns the flash array beneath whichever firmware is mounted.
+func (d *Device) array() *nand.Array {
+	switch impl := d.impl.(type) {
+	case *core.Device:
+		return impl.Array()
+	case *pink.Device:
+		return impl.Array()
+	}
+	panic("anykey: unknown device implementation")
 }
 
 // Design returns the firmware the device runs.
@@ -302,49 +351,80 @@ func (d *Device) Close() error {
 	return nil
 }
 
-// Put stores a pair and returns its simulated latency.
-func (d *Device) Put(key, value []byte) (Duration, error) {
+// gate rejects operations on a closed or powered-off device.
+func (d *Device) gate() error {
 	if d.closed {
-		return 0, ErrClosed
+		return ErrClosed
 	}
+	if d.dead {
+		return ErrPowerCut
+	}
+	return nil
+}
+
+// catchCut translates an in-flight power-cut panic (raised by the fault
+// injector between two flash commands) into ErrPowerCut and marks the device
+// dead: its volatile state is gone, and only PowerCycle — which rebuilds the
+// firmware from the flash image the cut left behind — revives it.
+func (d *Device) catchCut(err *error) {
+	if r := recover(); r != nil {
+		pc, ok := fault.AsPowerCut(r)
+		if !ok {
+			panic(r)
+		}
+		d.dead = true
+		*err = fmt.Errorf("%w (flash op %d)", ErrPowerCut, pc.Op)
+	}
+}
+
+// Put stores a pair and returns its simulated latency.
+func (d *Device) Put(key, value []byte) (lat Duration, err error) {
+	if err := d.gate(); err != nil {
+		return 0, err
+	}
+	defer d.catchCut(&err)
 	c, err := d.eng.Put(key, value)
 	return c.Latency(), err
 }
 
 // Get returns the newest value for key and the simulated latency. The
 // returned slice is owned by the device and valid until the next operation.
-func (d *Device) Get(key []byte) ([]byte, Duration, error) {
-	if d.closed {
-		return nil, 0, ErrClosed
+func (d *Device) Get(key []byte) (val []byte, lat Duration, err error) {
+	if err := d.gate(); err != nil {
+		return nil, 0, err
 	}
+	defer d.catchCut(&err)
 	c, err := d.eng.Get(key)
 	return c.Value, c.Latency(), err
 }
 
 // Delete removes key and returns the simulated latency.
-func (d *Device) Delete(key []byte) (Duration, error) {
-	if d.closed {
-		return 0, ErrClosed
+func (d *Device) Delete(key []byte) (lat Duration, err error) {
+	if err := d.gate(); err != nil {
+		return 0, err
 	}
+	defer d.catchCut(&err)
 	c, err := d.eng.Delete(key)
 	return c.Latency(), err
 }
 
 // Scan returns up to n pairs with key ≥ start in key order, and the
 // simulated latency of the range query.
-func (d *Device) Scan(start []byte, n int) ([]Pair, Duration, error) {
-	if d.closed {
-		return nil, 0, ErrClosed
+func (d *Device) Scan(start []byte, n int) (pairs []Pair, lat Duration, err error) {
+	if err := d.gate(); err != nil {
+		return nil, 0, err
 	}
+	defer d.catchCut(&err)
 	c, err := d.eng.Scan(start, n)
 	return c.Pairs, c.Latency(), err
 }
 
 // Sync makes every acknowledged write durable, like an NVMe FLUSH.
-func (d *Device) Sync() (Duration, error) {
-	if d.closed {
-		return 0, ErrClosed
+func (d *Device) Sync() (lat Duration, err error) {
+	if err := d.gate(); err != nil {
+		return 0, err
 	}
+	defer d.catchCut(&err)
 	c, err := d.eng.Sync()
 	return c.Latency(), err
 }
@@ -353,7 +433,10 @@ func (d *Device) Sync() (Duration, error) {
 // is discarded and rebuilt from flash. AnyKey's entire metadata is derivable
 // from the persistent group headers and log pages (see internal/core's
 // recovery); writes not covered by a preceding Sync are lost, as on any
-// device without a write journal. PinK power-cycling is not modelled.
+// device without a write journal. Recovery tolerates the torn state an
+// injected power cut leaves behind — skipped torn tail pages, incomplete
+// level epochs and orphaned log values; Stats().Recovery reports what the
+// remount found. PinK power-cycling is not modelled.
 func (d *Device) PowerCycle() error {
 	if d.closed {
 		return ErrClosed
@@ -389,6 +472,12 @@ func (d *Device) PowerCycle() error {
 	}
 	d.impl = reopened
 	d.eng = eng
+	d.dead = false
+	// The injector lives on the flash array, which survived the cycle; only
+	// the fresh Stats object needs its counter view re-attached.
+	if d.inj != nil {
+		reopened.Stats().Faults = d.inj.Counters
+	}
 	return nil
 }
 
@@ -397,28 +486,44 @@ func (d *Device) PowerCycle() error {
 // Deprecated: the At quartet required every caller to uphold the device's
 // non-decreasing-time contract by hand. Use NewEngine, which owns the slot
 // clocks and enforces the contract in one place.
-func (d *Device) PutAt(at Time, key, value []byte) (Time, error) {
+func (d *Device) PutAt(at Time, key, value []byte) (t Time, err error) {
+	if err := d.gate(); err != nil {
+		return at, err
+	}
+	defer d.catchCut(&err)
 	return d.impl.Put(at, key, value)
 }
 
 // GetAt is the explicit-time variant of Get.
 //
 // Deprecated: use NewEngine (see PutAt).
-func (d *Device) GetAt(at Time, key []byte) ([]byte, Time, error) {
+func (d *Device) GetAt(at Time, key []byte) (val []byte, t Time, err error) {
+	if err := d.gate(); err != nil {
+		return nil, at, err
+	}
+	defer d.catchCut(&err)
 	return d.impl.Get(at, key)
 }
 
 // DeleteAt is the explicit-time variant of Delete.
 //
 // Deprecated: use NewEngine (see PutAt).
-func (d *Device) DeleteAt(at Time, key []byte) (Time, error) {
+func (d *Device) DeleteAt(at Time, key []byte) (t Time, err error) {
+	if err := d.gate(); err != nil {
+		return at, err
+	}
+	defer d.catchCut(&err)
 	return d.impl.Delete(at, key)
 }
 
 // ScanAt is the explicit-time variant of Scan.
 //
 // Deprecated: use NewEngine (see PutAt).
-func (d *Device) ScanAt(at Time, start []byte, n int) ([]Pair, Time, error) {
+func (d *Device) ScanAt(at Time, start []byte, n int) (pairs []Pair, t Time, err error) {
+	if err := d.gate(); err != nil {
+		return nil, at, err
+	}
+	defer d.catchCut(&err)
 	return d.impl.Scan(at, start, n)
 }
 

@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"time"
 
+	"anykey"
 	"anykey/internal/harness"
 )
 
@@ -38,6 +39,11 @@ func main() {
 		parallel = flag.Int("parallel", runtime.NumCPU(), "fan experiment cells across this many workers (1 = serial); reports are identical either way")
 		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
 		outDir   = flag.String("out", "", "also save each report as .txt and per-table .csv under this directory")
+
+		faultSeed   = flag.Int64("fault-seed", 0, "fault-injection seed (defaults to -seed when any fault rate is set)")
+		readErrRate = flag.Float64("fault-read-err", 0, "per-read transient error probability [0,1)")
+		progFail    = flag.Float64("fault-program-fail", 0, "per-program failure probability [0,1); failed blocks retire as grown-bad")
+		eraseFail   = flag.Float64("fault-erase-fail", 0, "per-erase failure probability [0,1); failed blocks retire as grown-bad")
 	)
 	flag.Parse()
 
@@ -54,6 +60,22 @@ func main() {
 	}
 
 	opt := harness.ExpOptions{CapacityMB: *capacity, Quick: *quick, Seed: *seed, MaxOps: *maxOps, Parallel: *parallel}
+	if *readErrRate > 0 || *progFail > 0 || *eraseFail > 0 {
+		fs := *faultSeed
+		if fs == 0 {
+			fs = *seed
+		}
+		opt.Faults = &anykey.FaultPlan{
+			Seed:            fs,
+			ReadErrorRate:   *readErrRate,
+			ProgramFailRate: *progFail,
+			EraseFailRate:   *eraseFail,
+		}
+		if err := opt.Faults.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "anykeybench: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	if !*quiet {
 		opt.Progress = os.Stderr
 	}

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	anykeycli -design anykey+ -capacity 64
+//	anykeycli -design anykey -fault-read-err 0.01 -cut-at-op 5000
+//	anykeycli -design anykey+ -crashsweep -trials 8
 //
 // Commands:
 //
@@ -13,9 +15,15 @@
 //	del <key>              delete a key
 //	scan <start> <n>       range query
 //	fill <n> <valuesize>   bulk-load n synthetic pairs
-//	stats                  flash counters, compaction/GC activity
+//	sync                   flush the write buffer (durability point)
+//	cycle                  power-cycle: drop volatile state, recover from flash
+//	stats                  flash counters, compaction/GC, injected faults
 //	meta                   metadata structures and placement
 //	quit
+//
+// -crashsweep runs the power-cut crash-consistency sweep from
+// internal/fault/crashtest against the chosen design and prints one line
+// per trial, instead of starting the shell.
 package main
 
 import (
@@ -29,6 +37,8 @@ import (
 	"strings"
 
 	"anykey"
+	"anykey/internal/fault"
+	"anykey/internal/fault/crashtest"
 )
 
 var designs = map[string]anykey.Design{
@@ -42,6 +52,17 @@ func main() {
 	var (
 		design   = flag.String("design", "anykey+", "pink | anykey | anykey+ | anykey-")
 		capacity = flag.Int("capacity", 64, "device capacity in MiB")
+
+		faultSeed   = flag.Int64("fault-seed", 1, "fault-injection seed")
+		readErrRate = flag.Float64("fault-read-err", 0, "per-read transient error probability [0,1)")
+		progFail    = flag.Float64("fault-program-fail", 0, "per-program failure probability [0,1)")
+		eraseFail   = flag.Float64("fault-erase-fail", 0, "per-erase failure probability [0,1)")
+		cutAtOp     = flag.Int64("cut-at-op", 0, "cut power before this flash op (1-based; recover with 'cycle')")
+
+		crashsweep = flag.Bool("crashsweep", false, "run the power-cut crash-consistency sweep and exit")
+		trials     = flag.Int("trials", 4, "crashsweep: number of cut positions")
+		sweepOps   = flag.Int("sweep-ops", 1200, "crashsweep: workload operations per trial")
+		sweepSeed  = flag.Int64("sweep-seed", 7, "crashsweep: workload seed")
 	)
 	flag.Parse()
 
@@ -50,7 +71,27 @@ func main() {
 		gofmt.Fprintf(os.Stderr, "anykeycli: unknown design %q\n", *design)
 		os.Exit(2)
 	}
-	dev, err := anykey.Open(anykey.Options{Design: d, CapacityMB: *capacity})
+	plan := anykey.FaultPlan{
+		Seed:            *faultSeed,
+		ReadErrorRate:   *readErrRate,
+		ProgramFailRate: *progFail,
+		EraseFailRate:   *eraseFail,
+		CutAtOp:         *cutAtOp,
+	}
+	opts := anykey.Options{Design: d, CapacityMB: *capacity}
+	if plan.Enabled() {
+		opts.Faults = &plan
+	}
+
+	if *crashsweep {
+		if err := runCrashSweep(opts, *trials, *sweepOps, *sweepSeed, os.Stdout); err != nil {
+			gofmt.Fprintln(os.Stderr, "anykeycli:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	dev, err := anykey.Open(opts)
 	if err != nil {
 		gofmt.Fprintln(os.Stderr, "anykeycli:", err)
 		os.Exit(1)
@@ -58,6 +99,36 @@ func main() {
 	defer dev.Close()
 	gofmt.Printf("opened %s device, %d MiB; type 'help' for commands\n", d, *capacity)
 	repl(dev, os.Stdin, os.Stdout)
+}
+
+// runCrashSweep replays a seeded workload, cutting power at evenly spaced
+// flash-op boundaries, and verifies the durability contract after each
+// recovery (see internal/fault/crashtest).
+func runCrashSweep(opts anykey.Options, trials, ops int, seed int64, out io.Writer) error {
+	cfg := crashtest.Config{Opts: opts, Ops: ops, Seed: seed, Trials: trials}
+	if opts.Faults != nil {
+		cfg.Rates = fault.Plan{
+			Seed:            opts.Faults.Seed,
+			ReadErrorRate:   opts.Faults.ReadErrorRate,
+			ProgramFailRate: opts.Faults.ProgramFailRate,
+			EraseFailRate:   opts.Faults.EraseFailRate,
+		}
+		cfg.Opts.Faults = nil // the sweep owns the per-trial plans
+	}
+	res, err := crashtest.Run(cfg)
+	if err != nil {
+		return err
+	}
+	gofmt.Fprintf(out, "crash sweep: %s, %d ops, %d flash ops in pilot, %d trials\n",
+		opts.Design, ops, res.PilotFlashOps, len(res.Trials))
+	for _, tr := range res.Trials {
+		gofmt.Fprintf(out, "  cut@%-6d fired=%-5v ops-applied=%-5d torn=%d lost-log=%d stale-epochs=%d injected=%d\n",
+			tr.CutAtOp, tr.CutFired, tr.OpsApplied,
+			tr.Recovery.TornPagesSkipped, tr.Recovery.LostLogValues,
+			tr.Recovery.StaleEpochsDiscarded, tr.Faults.Total())
+	}
+	gofmt.Fprintln(out, "all trials verified: synced data survived, no corrupt resurrection")
+	return nil
 }
 
 // repl runs the command loop; split from main so tests can drive it with a
@@ -74,7 +145,7 @@ func repl(dev *anykey.Device, in io.Reader, out io.Writer) {
 		case "quit", "exit":
 			return
 		case "help":
-			fmt.Println("put <k> <v> | get <k> | del <k> | scan <start> <n> | fill <n> <valsize> | stats | meta | quit")
+			fmt.Println("put <k> <v> | get <k> | del <k> | scan <start> <n> | fill <n> <valsize> | sync | cycle | stats | meta | quit")
 		case "put":
 			if len(fields) != 3 {
 				fmt.Println("usage: put <key> <value>")
@@ -129,6 +200,15 @@ func repl(dev *anykey.Device, in io.Reader, out io.Writer) {
 				fmt.Println("stopped:", failed)
 			}
 			fmt.Printf("device clock now %v\n", dev.Now())
+		case "sync":
+			lat, err := dev.Sync()
+			report(fmt, lat, err)
+		case "cycle":
+			if err := dev.PowerCycle(); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("recovered: %+v\n", dev.Stats().Recovery)
 		case "stats":
 			st := dev.Stats()
 			c := dev.Flash()
@@ -137,6 +217,9 @@ func repl(dev *anykey.Device, in io.Reader, out io.Writer) {
 			fmt.Printf("compactions: %d tree, %d log, %d chained; GC: %d runs, %d relocations\n",
 				st.TreeCompactions, st.LogCompactions, st.ChainedCompactions, st.GCRuns, st.GCRelocations)
 			fmt.Printf("DRAM: %d / %d bytes\n", st.DRAMUsed(), st.DRAMCapacity())
+			if st.Faults != nil {
+				fmt.Printf("injected faults: %+v\n", st.Faults())
+			}
 		case "meta":
 			for _, m := range dev.Metadata() {
 				place := "DRAM"

@@ -1,0 +1,104 @@
+package anykey
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+)
+
+// goldenState runs a fixed seeded workload against a fresh device and folds
+// the complete observable end state into one checksum: every surviving
+// key/value pair (by full keyspace scan), the virtual clock, the flash-op
+// counters, and — when a fault plan is active — the injected-fault counters.
+// Identical checksums mean identical simulations, byte for byte and tick for
+// tick.
+func goldenState(t *testing.T, opts Options) uint64 {
+	t.Helper()
+	dev, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+
+	rng := rand.New(rand.NewSource(271828))
+	const keys = 300
+	for op := 0; op < 2500; op++ {
+		i := rng.Intn(keys)
+		k := []byte(fmt.Sprintf("g-%05d", i))
+		switch r := rng.Intn(100); {
+		case r < 8:
+			if _, err := dev.Delete(k); err != nil {
+				t.Fatalf("op %d delete: %v", op, err)
+			}
+		case r < 20:
+			if _, _, err := dev.Get(k); err != nil && err != ErrNotFound {
+				t.Fatalf("op %d get: %v", op, err)
+			}
+		case r < 23:
+			if _, err := dev.Sync(); err != nil {
+				t.Fatalf("op %d sync: %v", op, err)
+			}
+		default:
+			v := make([]byte, 24+rng.Intn(200))
+			for j := range v {
+				v[j] = byte('a' + (i+j)%26)
+			}
+			v = append(v, []byte(fmt.Sprintf("#%d", op))...)
+			if _, err := dev.Put(k, v); err != nil {
+				t.Fatalf("op %d put: %v", op, err)
+			}
+		}
+	}
+	if _, err := dev.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	h := fnv.New64a()
+	pairs, _, err := dev.Scan([]byte("g-00000"), keys+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		h.Write(p.Key)
+		h.Write([]byte{0})
+		h.Write(p.Value)
+		h.Write([]byte{0xff})
+	}
+	flash := dev.Flash()
+	fmt.Fprintf(h, "|pairs=%d|now=%d|r=%d|w=%d|e=%d",
+		len(pairs), dev.Now(), flash.TotalReads(), flash.TotalWrites(), flash.Erases)
+	if f := dev.Stats().Faults; f != nil {
+		fmt.Fprintf(h, "|faults=%+v", f())
+	}
+	return h.Sum64()
+}
+
+// TestGoldenEndStateDeterminism runs the identical workload twice per design
+// — PinK included — and requires bit-identical end states. A third pass
+// layers a fault plan (read errors, grown-bad blocks) on the AnyKey designs:
+// injection must be exactly as reproducible as the fault-free simulation.
+func TestGoldenEndStateDeterminism(t *testing.T) {
+	base := Options{CapacityMB: 32, Channels: 2, ChipsPerChannel: 2, Seed: 17}
+	for _, d := range []Design{DesignPinK, DesignAnyKey, DesignAnyKeyPlus, DesignAnyKeyMinus} {
+		t.Run(d.String(), func(t *testing.T) {
+			opts := base
+			opts.Design = d
+			a, b := goldenState(t, opts), goldenState(t, opts)
+			if a != b {
+				t.Fatalf("two runs diverged: %#x vs %#x", a, b)
+			}
+		})
+	}
+	for _, d := range []Design{DesignAnyKey, DesignAnyKeyPlus, DesignAnyKeyMinus} {
+		t.Run(d.String()+"/faults", func(t *testing.T) {
+			opts := base
+			opts.Design = d
+			opts.Faults = &FaultPlan{Seed: 5, ReadErrorRate: 0.02, ProgramFailRate: 0.001, EraseFailRate: 0.001}
+			a, b := goldenState(t, opts), goldenState(t, opts)
+			if a != b {
+				t.Fatalf("two faulted runs diverged: %#x vs %#x", a, b)
+			}
+		})
+	}
+}

@@ -123,7 +123,29 @@ func (d *Device) flush(at sim.Time) (sim.Time, error) {
 
 // compactInto merges pending (key-sorted, newer than level dst) into level
 // dst, then cascades tree-triggered compactions while levels overflow.
+//
+// Crash consistency: one compactInto call is one recovery unit. While it
+// runs, (a) value-log invalidations queue in DRAM instead of hitting the
+// log's validity accounting (so no log block whose values the *previous*
+// level epoch still references can be erased before the new epoch is
+// durable), and (b) the flash pages of consumed input groups stay valid
+// until the writeLevel that replaces them returns (release-after-durable).
+// A power cut anywhere inside the unit therefore leaves the previous epochs
+// and their log references intact on flash, and recovery mounts them.
 func (d *Device) compactInto(at sim.Time, dst int, pending []kv.Entity, opts compactOpts) (sim.Time, error) {
+	if d.invalDefer {
+		panic("core: nested compaction unit")
+	}
+	d.invalDefer = true
+	now, err := d.compactIntoUnit(at, dst, pending, opts)
+	// Not deferred: after a power-cut panic the half-merged device object is
+	// abandoned, and so is the queue — exactly what losing DRAM means.
+	d.invalDefer = false
+	d.drainInval()
+	return now, err
+}
+
+func (d *Device) compactIntoUnit(at sim.Time, dst int, pending []kv.Entity, opts compactOpts) (sim.Time, error) {
 	now := at
 	for {
 		for len(d.levels) < dst {
@@ -132,16 +154,24 @@ func (d *Device) compactInto(at sim.Time, dst int, pending []kv.Entity, opts com
 		if !opts.fromLog {
 			d.st.TreeCompactions++
 		}
-		old, t := d.collectLevelEntities(now, dst-1, nand.CauseCompaction)
+		old, t := d.readLevelEntities(now, dst-1, nand.CauseCompaction)
 		now = t
 		merged := d.mergeEntities(pending, old, dst, d.deepestBelow(dst))
 		now = d.cpu.Occupy(now, sim.Duration(len(merged))*mergeCPUCost)
 		if opts.inlineLog {
 			merged, now = d.foldLogValues(now, merged, opts.alphaCut, d.foldSpaceBudget())
 		}
+		var tail []kv.Entity
 		var err error
-		now, err = d.writeLevel(now, dst, merged)
+		now, tail, err = d.writeLevel(now, dst, merged)
+		// The rebuilt level is durable (or the device is full and the merge
+		// is abandoned either way): the groups it consumed can die now.
+		d.releaseConsumed()
 		if err != nil {
+			// The device filled mid-rebuild: the level's inputs are already
+			// consumed, so the merged entities that never reached flash go
+			// back to the memtable — no accepted pair is lost.
+			now = d.requeueEntities(now, tail)
 			return now, err
 		}
 		if d.levels[dst-1].bytes <= d.threshold(dst) {
@@ -153,15 +183,19 @@ func (d *Device) compactInto(at sim.Time, dst int, pending []kv.Entity, opts com
 			d.st.ChainedCompactions++
 		}
 		opts = compactOpts{} // cascades are plain tree compactions
-		pending, now = d.collectLevelEntities(now, dst-1, nand.CauseCompaction)
+		pending, now = d.readLevelEntities(now, dst-1, nand.CauseCompaction)
 		dst++
 	}
 }
 
-// collectLevelEntities reads every page of every group in level index i
-// (reads issued in parallel at `at`), decodes the entities in key order via
-// the location tables, and dismantles the level.
-func (d *Device) collectLevelEntities(at sim.Time, i int, cause nand.Cause) ([]kv.Entity, sim.Time) {
+// readLevelEntities reads every page of every group in level index i (reads
+// issued in parallel at `at`), decodes the entities in key order via the
+// location tables, and dismantles the level's DRAM presence. The groups'
+// flash pages stay valid: they are parked on d.consumable and die only when
+// releaseConsumed runs after the merge output is durable. Entities whose
+// log value was lost to a power cut are filtered out here — the deeper,
+// durable version of the key (if any) wins the merge instead.
+func (d *Device) readLevelEntities(at sim.Time, i int, cause nand.Cause) ([]kv.Entity, sim.Time) {
 	lv := d.levels[i]
 	var ents []kv.Entity
 	now := at
@@ -179,9 +213,17 @@ func (d *Device) collectLevelEntities(at sim.Time, i int, cause nand.Cause) ([]k
 			if err != nil {
 				panic(err)
 			}
+			if e.InLog && d.vlog.isLost(e.LogPtr) {
+				continue
+			}
 			ents = append(ents, e)
 		}
-		d.releaseGroup(g)
+		d.mem.Release(dramLevelLabel, g.entryBytes())
+		if g.hashes != nil {
+			d.mem.Release(dramHashLabel, g.hashListBytes())
+			g.hashes = nil
+		}
+		d.consumable = append(d.consumable, g)
 	}
 	lv.groups = nil
 	lv.bytes = 0
@@ -189,15 +231,22 @@ func (d *Device) collectLevelEntities(at sim.Time, i int, cause nand.Cause) ([]k
 	return ents, now
 }
 
-// releaseGroup drops a group: DRAM charges returned, flash pages
-// invalidated, block index updated. The page payloads stay readable (Go
-// keeps the buffers alive) until the block is erased, mirroring real flash.
-func (d *Device) releaseGroup(g *group) {
-	d.mem.Release(dramLevelLabel, g.entryBytes())
-	if g.hashes != nil {
-		d.mem.Release(dramHashLabel, g.hashListBytes())
-		g.hashes = nil
+// releaseConsumed invalidates the flash pages of every group parked by
+// readLevelEntities. Until this runs, the previous level epochs remain
+// fully readable on flash — the recovery fallback for a mid-merge power
+// cut. ensureFree may call it early under terminal space pressure (the
+// documented crash-window trade, see DESIGN.md).
+func (d *Device) releaseConsumed() {
+	for _, g := range d.consumable {
+		d.dropGroupPages(g)
 	}
+	d.consumable = nil
+}
+
+// dropGroupPages invalidates a group's flash pages and removes it from the
+// block index. The page payloads stay readable (Go keeps the buffers alive)
+// until the block is erased, mirroring real flash.
+func (d *Device) dropGroupPages(g *group) {
 	for p := 0; p < g.numPages; p++ {
 		d.pool.MarkInvalid(g.firstPPA + nand.PPA(p))
 	}
@@ -212,6 +261,19 @@ func (d *Device) releaseGroup(g *group) {
 	if len(d.groupsAt[b]) == 0 {
 		delete(d.groupsAt, b)
 	}
+}
+
+// releaseGroup drops a group entirely: DRAM charges returned and flash
+// pages invalidated immediately (no crash-consistency deferral; used where
+// the group's data has already been relocated or is being discarded
+// outright).
+func (d *Device) releaseGroup(g *group) {
+	d.mem.Release(dramLevelLabel, g.entryBytes())
+	if g.hashes != nil {
+		d.mem.Release(dramHashLabel, g.hashListBytes())
+		g.hashes = nil
+	}
+	d.dropGroupPages(g)
 }
 
 // mergeEntities merges two key-sorted runs (newer wins). Superseded
@@ -289,7 +351,7 @@ func (d *Device) foldLogValues(at sim.Time, ents []kv.Entity, alphaCut, spaceBud
 		}
 		for _, ppa := range d.vlog.fragPages(ents[i].LogPtr) {
 			if ppa != d.vlog.curPPA && !pagesRead[ppa] {
-				now = sim.Max(now, d.arr.Read(at, ppa, nand.CauseCompaction))
+				now = sim.Max(now, d.arr.Read(at, d.vlog.phys(ppa), nand.CauseCompaction))
 				pagesRead[ppa] = true
 			}
 		}
@@ -342,17 +404,50 @@ func (d *Device) foldLogValues(at sim.Time, ents []kv.Entity, alphaCut, spaceBud
 
 // writeLevel partitions the merged key-sorted entities into data segment
 // groups, writes them to contiguous page runs, and installs level dst.
-func (d *Device) writeLevel(at sim.Time, dst int, ents []kv.Entity) (sim.Time, error) {
+// Every group carries its index within this rebuild epoch and the final one
+// a last-group flag, so recovery can tell a complete epoch from one torn by
+// a power cut. A merge that produced no entities still writes a one-page
+// empty-epoch marker when it consumed on-flash groups: without it, a crash
+// after the inputs were erased would resurrect the level's previous epoch —
+// un-deleting keys whose tombstones this merge just retired.
+//
+// On error (the device filled mid-rebuild) the second result holds the
+// entities that never reached flash, so the caller can requeue them; the
+// groups installed before the failure stay mounted — they are valid, merely
+// part of an epoch that never got its last-group flag.
+func (d *Device) writeLevel(at sim.Time, dst int, ents []kv.Entity) (sim.Time, []kv.Entity, error) {
 	lv := d.levels[dst-1]
 	if len(lv.groups) != 0 {
 		panic("core: writeLevel into non-empty level")
 	}
+	// Log-before-tree ordering: entities about to become durable may hold
+	// pointers into the value log's open page, which is still buffering in
+	// DRAM (flush appends, fold write-backs). Program it first — otherwise a
+	// power cut after this epoch completes but before the page lands leaves
+	// the newest durable epoch referencing values that never reached flash,
+	// while the epoch that held the previous versions is already superseded.
+	now := at
+	if d.vlog != nil && d.vlog.curPPA != nand.InvalidPPA {
+		t, err := d.vlog.programOpen(now, nand.CauseCompaction)
+		if err != nil {
+			return t, ents, err
+		}
+		now = t
+	}
 	d.epoch++ // stamp this rebuild's groups
+	if len(ents) == 0 {
+		if len(d.consumable) == 0 {
+			return now, nil, nil // nothing replaced, nothing to supersede
+		}
+		t, err := d.installGroup(now, dst, buildEmptyMarker(d.cfg.Geometry.PageSize), 0, true, nand.CauseCompaction)
+		return t, nil, err
+	}
 	// All group programs are dispatched at the same instant — the level
 	// rebuild runs across every die in parallel and completes when the
 	// slowest page lands (the flash model serialises per-die contention).
-	now := at
+	dispatch := now
 	remaining := ents
+	index := 0
 	for len(remaining) > 0 {
 		cut := takeGroup(remaining, d.cfg.Geometry.PageSize, d.cfg.GroupPages)
 		bg := buildGroup(remaining[:cut], d.cfg.Geometry.PageSize)
@@ -366,38 +461,108 @@ func (d *Device) writeLevel(at sim.Time, dst int, ents []kv.Entity) (sim.Time, e
 			}
 			bg = buildGroup(remaining[:cut], d.cfg.Geometry.PageSize)
 		}
-		remaining = remaining[cut:]
-		t, err := d.installGroup(at, dst, bg, nand.CauseCompaction)
+		t, err := d.installGroup(dispatch, dst, bg, index, cut == len(remaining), nand.CauseCompaction)
 		if err != nil {
-			return t, err
+			return t, remaining, err
 		}
+		remaining = remaining[cut:]
+		index++
 		now = sim.Max(now, t)
 	}
-	return now, nil
+	return now, nil, nil
+}
+
+// requeueEntities returns merged entities that could not be written to the
+// memtable — after a mid-rebuild device-full their level inputs are already
+// consumed, so the write buffer is the only remaining home. The memtable
+// holds values, not pointers, so log-resident values are inlined and their
+// log copies invalidated (deferred like any in-unit invalidation). The
+// caller's own restore path (flush re-buffering its drained entries) runs
+// afterwards and overwrites these with any newer buffered versions.
+func (d *Device) requeueEntities(at sim.Time, ents []kv.Entity) sim.Time {
+	now := at
+	for i := range ents {
+		e := &ents[i]
+		switch {
+		case e.Tombstone:
+			d.mt.Delete(e.Key)
+		case e.InLog:
+			for _, ppa := range d.vlog.fragPages(e.LogPtr) {
+				if ppa != d.vlog.curPPA {
+					now = sim.Max(now, d.arr.Read(at, d.vlog.phys(ppa), nand.CauseCompaction))
+				}
+			}
+			v := append([]byte(nil), d.vlog.peek(e.LogPtr)...)
+			d.vlog.invalidate(e.LogPtr, e.ValueLen)
+			d.mt.Put(e.Key, v)
+		default:
+			d.mt.Put(e.Key, e.Value)
+		}
+	}
+	return now
+}
+
+// buildEmptyMarker lays out the one-page marker group recording "this level
+// is now empty" durably (count 0, one table page, no entities).
+func buildEmptyMarker(pageSize int) *builtGroup {
+	img := make([]byte, pageSize)
+	extra := make([]byte, groupHdrSize)
+	putGroupHeader(extra, groupMagic, 0, 1, 1, 0, 0, 0, 0)
+	kv.NewPageWriter(img, extra)
+	return &builtGroup{g: &group{numPages: 1, tablePages: 1, firstHash16: []uint16{}}, pages: [][]byte{img}}
 }
 
 // installGroup writes a built group's pages to a fresh contiguous run and
-// adds it to level dst.
-func (d *Device) installGroup(at sim.Time, dst int, bg *builtGroup, cause nand.Cause) (sim.Time, error) {
+// adds it to level dst. A program failure mid-run retires the block as
+// grown-bad: the partially-written copy is abandoned (its pages invalid;
+// recovery discards it as torn) and the whole group is re-issued into a
+// fresh run until it lands or the device is out of blocks.
+func (d *Device) installGroup(at sim.Time, dst int, bg *builtGroup, index int, last bool, cause nand.Cause) (sim.Time, error) {
 	g := bg.g
-	// Patch the destination level and epoch into the persistent headers,
-	// then seal every page (the simulated controller's ECC footer).
+	// Patch the destination level, epoch and epoch position into the
+	// persistent headers, then seal every page (the simulated controller's
+	// ECC footer).
+	var flags uint16
+	if last {
+		flags |= flagLastGroup
+	}
 	for p := 0; p < g.tablePages; p++ {
 		extra := kv.OpenPage(bg.pages[p]).Extra()
 		put16(extra[2:], uint16(dst))
 		put32(extra[12:], d.epoch)
+		put16(extra[16:], uint16(index))
+		put16(extra[18:], flags)
 	}
 	for _, img := range bg.pages {
 		kv.SealPage(img)
 	}
-	ppa, err := d.nextRun(at, dst, g.numPages)
-	if err != nil {
-		return at, err
-	}
-	now := at
-	for p, img := range bg.pages {
-		now = sim.Max(now, d.arr.Program(at, ppa+nand.PPA(p), img, cause))
-		d.pool.MarkValid(ppa + nand.PPA(p))
+	var ppa nand.PPA
+	var now sim.Time
+	for {
+		var err error
+		ppa, err = d.nextRun(at, dst, g.numPages)
+		if err != nil {
+			return at, err
+		}
+		now = at
+		failedAt := -1
+		for p, img := range bg.pages {
+			t, perr := d.arr.Program(at, ppa+nand.PPA(p), img, cause)
+			now = sim.Max(now, t)
+			if perr != nil {
+				failedAt = p
+				break
+			}
+			d.pool.MarkValid(ppa + nand.PPA(p))
+		}
+		if failedAt < 0 {
+			break
+		}
+		// Abandon the torn copy and the grown-bad block's remainder.
+		for p := 0; p < failedAt; p++ {
+			d.pool.MarkInvalid(ppa + nand.PPA(p))
+		}
+		d.groupStream(dst).Close()
 	}
 	g.firstPPA = ppa
 	g.physBytes = int64(g.numPages) * int64(d.cfg.Geometry.PageSize)
@@ -531,7 +696,7 @@ func (d *Device) logCompact(at sim.Time) (sim.Time, bool, error) {
 	if d.cfg.Plus && !disposal {
 		opts.alphaCut = int64(d.cfg.Alpha * float64(d.threshold(src+1)))
 	}
-	pending, now := d.collectLevelEntities(at, src-1, nand.CauseCompaction)
+	pending, now := d.readLevelEntities(at, src-1, nand.CauseCompaction)
 	now, err := d.compactInto(now, src+1, pending, opts)
 	if err != nil {
 		return now, false, err

@@ -166,6 +166,21 @@ type Device struct {
 	// so recovery can tell a level's current groups from superseded ones.
 	epoch uint32
 
+	// Crash-consistency state for the open compaction unit (see
+	// compactInto): while invalDefer is set, value-log invalidations queue
+	// in pendingInval instead of applying, and the input groups a merge has
+	// read sit on consumable with their flash pages still valid. Both drain
+	// once the merge output is durable — or evaporate with DRAM on a power
+	// cut, leaving the previous epochs intact for recovery.
+	invalDefer   bool
+	pendingInval []pendingInval
+	consumable   []*group
+
+	// recLogPages, live only while recover() runs, is the set of logical log
+	// page addresses the scan actually found durable on flash; the liveness
+	// walk uses it to tell a lost pointer from a resolvable one.
+	recLogPages map[nand.PPA]bool
+
 	// flushUnit is the physical byte size of one flushed memtable's
 	// entities (running max): the base unit of the level thresholds. With
 	// values detached into the log, the tree is sized by its key/pointer
@@ -176,6 +191,29 @@ type Device struct {
 	bgDoneAt sim.Time
 	st       *device.Stats
 	opReads  int
+}
+
+// pendingInval is one queued value-log invalidation.
+type pendingInval struct {
+	ptr    uint64
+	valLen int
+}
+
+// drainInval applies every queued value-log invalidation. Called when a
+// compaction unit's output is durable, and by ensureFree under terminal
+// space pressure (which trades the crash window for forward progress).
+func (d *Device) drainInval() {
+	q := d.pendingInval
+	d.pendingInval = nil
+	if d.vlog == nil {
+		return
+	}
+	was := d.invalDefer
+	d.invalDefer = false
+	for _, pi := range q {
+		d.vlog.invalidate(pi.ptr, pi.valLen)
+	}
+	d.invalDefer = was
 }
 
 var _ device.KVSSD = (*Device)(nil)
@@ -209,6 +247,7 @@ func New(cfg Config) (*Device, error) {
 	d.st.Flash = func() nand.Counters { return arr.Counters() }
 	d.st.DRAMCapacity = func() int64 { return d.mem.Capacity() }
 	d.st.DRAMUsed = func() int64 { return d.mem.Used() }
+	d.st.Wear = func() ftl.WearStats { return pool.WearStats() }
 	return d, nil
 }
 
@@ -339,7 +378,11 @@ func (d *Device) Sync(at sim.Time) (sim.Time, error) {
 	// The value log's open page buffers the tail values in DRAM; a durable
 	// sync programs it even partially filled.
 	if d.vlog != nil && d.vlog.curPPA != nand.InvalidPPA {
-		end = sim.Max(end, d.vlog.programOpen(end, nand.CauseFlush))
+		t, err := d.vlog.programOpen(end, nand.CauseFlush)
+		if err != nil {
+			return at, err
+		}
+		end = sim.Max(end, t)
 		d.bgDoneAt = sim.Max(d.bgDoneAt, end)
 	}
 	return end, nil
@@ -374,6 +417,12 @@ func (d *Device) Get(at sim.Time, key []byte) ([]byte, sim.Time, error) {
 		ent, t, found := d.searchGroup(now, g, key, hash, nand.CauseUser)
 		now = t
 		if !found {
+			continue
+		}
+		if ent.InLog && d.vlog.isLost(ent.LogPtr) {
+			// The pointed-to value never became durable before a power cut:
+			// this version is gone; an older durable version (deeper level)
+			// answers instead.
 			continue
 		}
 		if ent.Tombstone {
@@ -515,6 +564,9 @@ func (d *Device) lookupEntity(key []byte) (kv.Entity, *group, bool) {
 			continue
 		}
 		if ent, ok := d.searchGroupFree(g, key, hash); ok {
+			if ent.InLog && d.vlog.isLost(ent.LogPtr) {
+				continue
+			}
 			if ent.Tombstone {
 				return kv.Entity{}, nil, false
 			}

@@ -38,11 +38,18 @@ func (d *Device) ensureFree(at sim.Time, extra int) (sim.Time, error) {
 			return now, err
 		}
 		if !progress && !reclaimed {
+			if d.spillConsumable() {
+				continue
+			}
 			return now, kv.ErrDeviceFull
 		}
 		if d.pool.FreeBlocks() <= before {
 			stalls++
 			if stalls >= 8 {
+				if d.spillConsumable() {
+					stalls = 0
+					continue
+				}
 				return now, kv.ErrDeviceFull
 			}
 		} else {
@@ -50,6 +57,22 @@ func (d *Device) ensureFree(at sim.Time, extra int) (sim.Time, error) {
 		}
 	}
 	return now, nil
+}
+
+// spillConsumable is the escape hatch for terminal space pressure inside a
+// compaction unit: the crash-consistency deferrals (input groups parked on
+// d.consumable, queued log invalidations) pin flash that GC could otherwise
+// reclaim. Releasing them early shrinks the recovery window — a power cut
+// between here and the unit's end loses the previous level epochs — but the
+// alternative is reporting a full device that is not actually full. The
+// trade is documented in DESIGN.md.
+func (d *Device) spillConsumable() bool {
+	if len(d.consumable) == 0 && len(d.pendingInval) == 0 {
+		return false
+	}
+	d.releaseConsumed()
+	d.drainInval()
+	return true
 }
 
 // reclaimEmpty erases every fully dead block in the group area and the
@@ -114,17 +137,36 @@ func (d *Device) relocateGroup(at sim.Time, g *group) (sim.Time, error) {
 	}
 	// Allocate the new run directly from the GC stream; GC must not recurse
 	// into itself, so a failure here (the reserve exists precisely to
-	// prevent it) ends the operation.
-	dst, ok := d.groupStream(0).NextRun(g.numPages)
-	if !ok {
-		return now, kv.ErrDeviceFull
-	}
+	// prevent it) ends the operation. A program failure retires the
+	// destination block as grown-bad and re-issues the whole copy elsewhere.
+	var dst nand.PPA
 	writeDone := now
-	for p, img := range imgs {
-		// Page images are immutable once programmed; the same buffers are
-		// programmed at the new location.
-		writeDone = sim.Max(writeDone, d.arr.Program(now, dst+nand.PPA(p), img, nand.CauseGC))
-		d.pool.MarkValid(dst + nand.PPA(p))
+	for {
+		var ok bool
+		dst, ok = d.groupStream(0).NextRun(g.numPages)
+		if !ok {
+			return now, kv.ErrDeviceFull
+		}
+		writeDone = now
+		failedAt := -1
+		for p, img := range imgs {
+			// Page images are immutable once programmed; the same buffers are
+			// programmed at the new location.
+			t, err := d.arr.Program(now, dst+nand.PPA(p), img, nand.CauseGC)
+			writeDone = sim.Max(writeDone, t)
+			if err != nil {
+				failedAt = p
+				break
+			}
+			d.pool.MarkValid(dst + nand.PPA(p))
+		}
+		if failedAt < 0 {
+			break
+		}
+		for p := 0; p < failedAt; p++ {
+			d.pool.MarkInvalid(dst + nand.PPA(p))
+		}
+		d.groupStream(0).Close()
 	}
 	d.st.GCRelocations += int64(g.numPages)
 

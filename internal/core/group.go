@@ -119,20 +119,30 @@ const locEntrySize = 4
 const (
 	groupMagic     uint16 = 0xA11E // first table page of a group
 	groupContMagic uint16 = 0xA11F // continuation table page
-	groupHdrSize          = 16     // magic u16, level u16, pages u16, tablePages u16, count u32, epoch u32
+	groupHdrSize          = 20     // magic u16, level u16, pages u16, tablePages u16, count u32, epoch u32, index u16, flags u16
 )
 
+// flagLastGroup marks the final group of its epoch. An epoch is complete —
+// and eligible for recovery — only when groups 0..n-1 are all present,
+// untorn, and group n-1 carries this flag. A power cut mid-writeLevel
+// leaves the new epoch without its tail, so recovery falls back to the
+// previous complete epoch instead of mounting half a level.
+const flagLastGroup uint16 = 1 << 0
+
 // putGroupHeader writes the header into a table page's extra prefix. The
-// epoch stamps which writeLevel produced the group: recovery keeps, per
-// level, only the groups of the newest epoch (a level rebuild supersedes
-// all of the level's earlier groups).
-func putGroupHeader(extra []byte, magic uint16, level, pages, tablePages, count int, epoch uint32) {
+// epoch stamps which writeLevel produced the group and index orders the
+// groups within it: recovery keeps, per level, only the groups of the
+// newest *complete* epoch (a level rebuild supersedes all of the level's
+// earlier groups, but only once it is fully durable).
+func putGroupHeader(extra []byte, magic uint16, level, pages, tablePages, count int, epoch uint32, index int, flags uint16) {
 	put16(extra[0:], magic)
 	put16(extra[2:], uint16(level))
 	put16(extra[4:], uint16(pages))
 	put16(extra[6:], uint16(tablePages))
 	put32(extra[8:], uint32(count))
 	put32(extra[12:], epoch)
+	put16(extra[16:], uint16(index))
+	put16(extra[18:], flags)
 }
 
 // groupHeader decodes a table page's header; ok is false when the page does
@@ -141,6 +151,8 @@ type groupHeader struct {
 	level, pages, tablePages int
 	count                    int
 	epoch                    uint32
+	index                    int
+	last                     bool
 }
 
 func readGroupHeader(extra []byte) (groupHeader, bool) {
@@ -153,6 +165,8 @@ func readGroupHeader(extra []byte) (groupHeader, bool) {
 		tablePages: int(get16(extra[6:])),
 		count:      int(get32(extra[8:])),
 		epoch:      get32(extra[12:]),
+		index:      int(get16(extra[16:])),
+		last:       get16(extra[18:])&flagLastGroup != 0,
 	}, true
 }
 
@@ -311,7 +325,7 @@ func buildGroup(ents []kv.Entity, pageSize int) *builtGroup {
 		if off == 0 {
 			magic = groupMagic
 		}
-		putGroupHeader(extra, magic, 0, tablePages+entityPages, tablePages, count, 0)
+		putGroupHeader(extra, magic, 0, tablePages+entityPages, tablePages, count, 0, 0, 0)
 		copy(extra[groupHdrSize:], table[off:end])
 		kv.NewPageWriter(img, extra)
 		pages = append(pages, img)

@@ -12,18 +12,46 @@ import (
 	"anykey/internal/nand"
 )
 
+// CorruptPageError reports a page that failed its integrity check in a
+// position recovery cannot attribute to a power cut: it is not the last
+// written page of its block, so in-order programming rules out a torn
+// in-flight program. This is real corruption (or a software bug), not crash
+// damage, and Reopen refuses to mount over it.
+type CorruptPageError struct {
+	PPA nand.PPA
+}
+
+func (e *CorruptPageError) Error() string {
+	return fmt.Sprintf("core: recover: page %d fails its integrity check mid-block (not attributable to a power cut)", e.PPA)
+}
+
 // Reopen mounts an AnyKey device over an existing flash array — the
 // power-cycle recovery path. Everything the design keeps in DRAM is
 // *derived* state: level lists and per-page hash prefixes rebuild from the
 // persistent group headers and pages, hash lists from the entities, the
-// value log's fragment chains and liveness from the log pages' sequence
+// value log's fragment chains, remaps and liveness from the log pages'
 // headers plus the recovered entities' pointers. Buffered (memtable) writes
 // are volatile and lost unless Sync ran before the power cut, exactly as on
 // a real device without a write journal; per-block wear counters are also
-// reset (real devices persist them out of band).
+// reset (real devices persist them out of band) — Stats().Recovery.WearReset
+// records that.
 //
-// Recovery assumes a quiesced device (no compaction was mid-flight at the
-// cut); the harness and tests Sync before power-cycling.
+// Recovery tolerates a power cut at ANY flash-operation boundary, including
+// mid-compaction and mid-flush:
+//
+//   - A torn page (the cut struck during its program) fails its integrity
+//     check; in-order programming makes it the last written page of its
+//     block, so recovery skips it as unwritten. Integrity failures anywhere
+//     else return a *CorruptPageError.
+//   - A level mounts only its newest COMPLETE rebuild epoch: groups carry
+//     {epoch, index, last-flag} so a half-written rebuild is detected and the
+//     previous epoch mounts instead (its pages are only invalidated after
+//     the new epoch is durable — see compactInto).
+//   - A level whose consumed input outlived a completed merge into the next
+//     level (the cut struck between the merge's durability and the input's
+//     release) is recognised by the adjacent-epoch rule and discarded.
+//   - Value-log pointers whose pages never became durable are marked lost;
+//     reads fall through to the key's older, durable version.
 func Reopen(cfg Config, arr *nand.Array) (*Device, error) {
 	cfg.Defaults()
 	if arr.Geometry() != cfg.Geometry {
@@ -52,22 +80,30 @@ func Reopen(cfg Config, arr *nand.Array) (*Device, error) {
 	d.st.Flash = func() nand.Counters { return arr.Counters() }
 	d.st.DRAMCapacity = func() int64 { return d.mem.Capacity() }
 	d.st.DRAMUsed = func() int64 { return d.mem.Used() }
+	d.st.Wear = func() ftl.WearStats { return pool.WearStats() }
 	if err := d.recover(); err != nil {
 		return nil, err
 	}
 	return d, nil
 }
 
+// foundGroup is one group-header sighting from the recovery scan.
+type foundGroup struct {
+	hdr      groupHeader
+	firstPPA nand.PPA
+	intact   bool // all hdr.pages pages written and untorn
+}
+
 // recover scans the flash array and rebuilds the DRAM state.
 func (d *Device) recover() error {
 	geo := d.cfg.Geometry
-	type foundGroup struct {
-		hdr      groupHeader
-		firstPPA nand.PPA
-	}
+	d.st.Recovery.Recovered = true
+	d.st.Recovery.WearReset = true
+
 	var groups []foundGroup
 	var logPages []logPageRef
 	blockRegion := make([]ftl.Region, geo.Blocks())
+	torn := make(map[nand.PPA]bool)
 
 	// Pass 1: identify every written page by its persistent header. The
 	// scan charges one read per written page at the mount instant (the
@@ -80,14 +116,24 @@ func (d *Device) recover() error {
 			}
 			d.arr.Read(0, ppa, nand.CauseMeta)
 			if !kv.OpenPage(d.arr.PageData(ppa)).Verify() {
-				return fmt.Errorf("core: recover: page %d fails its integrity check", ppa)
+				last := p == geo.PagesPerBlock-1 || !d.arr.Written(ppa+1)
+				if !last {
+					return &CorruptPageError{PPA: ppa}
+				}
+				// Torn in-flight program: skip as if unwritten.
+				torn[ppa] = true
+				d.st.Recovery.TornPagesSkipped++
+				if blockRegion[b] == ftl.RegionNone {
+					blockRegion[b] = ftl.RegionData
+				}
+				continue
 			}
 			extra := kv.OpenPage(d.arr.PageData(ppa)).Extra()
 			if hdr, ok := readGroupHeader(extra); ok {
 				groups = append(groups, foundGroup{hdr: hdr, firstPPA: ppa})
 				blockRegion[b] = ftl.RegionData
-			} else if seq, ok := readLogPageHeader(extra); ok {
-				logPages = append(logPages, logPageRef{seq: seq, ppa: ppa})
+			} else if seq, logical, ok := readLogPageHeader(extra); ok {
+				logPages = append(logPages, logPageRef{seq: seq, logical: logical, phys: ppa})
 				if blockRegion[b] == ftl.RegionNone {
 					blockRegion[b] = ftl.RegionLog
 				}
@@ -98,78 +144,239 @@ func (d *Device) recover() error {
 		}
 	}
 
-	// Keep, per level, only the newest epoch's groups; earlier epochs were
-	// superseded by a later rebuild of that level.
-	newest := map[int]uint32{}
-	for _, fg := range groups {
-		if fg.hdr.epoch > newest[fg.hdr.level] {
-			newest[fg.hdr.level] = fg.hdr.epoch
+	// A group is usable only when every one of its pages survives: a program
+	// failure or a power cut leaves truncated copies behind (retries re-issue
+	// the whole group elsewhere), and a torn tail page voids its run.
+	for i := range groups {
+		fg := &groups[i]
+		fg.intact = true
+		for p := 0; p < fg.hdr.pages; p++ {
+			ppa := fg.firstPPA + nand.PPA(p)
+			if int64(ppa) >= int64(geo.Pages()) || !d.arr.Written(ppa) || torn[ppa] {
+				fg.intact = false
+				break
+			}
 		}
+	}
+
+	// Per level, mount only the newest COMPLETE epoch: all indices 0..n-1
+	// present and intact, with the last-group flag on index n-1. GC may leave
+	// duplicate intact copies of a group (relocation's source survives until
+	// erase); the lowest PPA wins, deterministically.
+	chosen, mounted, discarded := selectEpochs(groups)
+
+	// Adjacent-epoch supersede: a merge of level L into L+1 consumes L's
+	// groups, but a cut between the new L+1 epoch's durability and the
+	// release of L's pages leaves both on flash. The consumed input is
+	// recognisable by its epoch: every LIVE level is rebuilt after anything
+	// beneath it that consumed it, so chosen[L] < chosen[L+1] can only mean
+	// L's content already lives inside L+1's newer epoch. Only adjacent
+	// levels compare — a deep log-triggered compaction legitimately leaves
+	// shallower levels with older epochs.
+	maxLevel := 0
+	for l := range chosen {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	for l := 1; l < maxLevel; l++ {
+		if _, ok := chosen[l]; !ok {
+			continue
+		}
+		if next, ok := chosen[l+1]; ok && chosen[l] < next {
+			delete(mounted, l)
+			discarded++
+		}
+	}
+	d.st.Recovery.StaleEpochsDiscarded += discarded
+
+	// d.epoch continues past everything ever written, discarded or not.
+	for _, fg := range groups {
 		if fg.hdr.epoch >= d.epoch {
 			d.epoch = fg.hdr.epoch + 1
 		}
 	}
 
-	// Adopt block ownership before marking pages valid.
+	// Adopt block ownership before marking pages valid. Grown-bad blocks
+	// holding live pages are re-owned (Pool.Adopt accepts them); bad blocks
+	// with nothing on them stay parked in RegionBad.
 	for b, r := range blockRegion {
 		if r != ftl.RegionNone {
 			d.pool.Adopt(nand.BlockID(b), r)
 		}
 	}
 
-	// Rebuild the value-log stream state first (fragment chains), so group
-	// adoption can account value liveness.
+	// Rebuild the value-log stream state first (remaps, fragment chains),
+	// so group adoption can account value liveness.
 	if d.vlog != nil {
 		d.recoverLog(logPages)
 	}
 
-	// Pass 2: reconstruct surviving groups and install them into levels.
-	maxLevel := 0
-	for _, fg := range groups {
-		if fg.hdr.level > maxLevel {
-			maxLevel = fg.hdr.level
-		}
-	}
+	// Pass 2: reconstruct the chosen groups and install them into levels.
 	for len(d.levels) < maxLevel {
 		d.levels = append(d.levels, &level{})
 	}
-	for _, fg := range groups {
-		if fg.hdr.epoch != newest[fg.hdr.level] {
-			continue // superseded
+	for l, fgs := range mounted {
+		lv := d.levels[l-1]
+		for _, fg := range fgs {
+			g, err := d.adoptGroup(fg.hdr, fg.firstPPA)
+			if err != nil {
+				return err
+			}
+			lv.groups = append(lv.groups, g)
+			lv.bytes += g.physBytes
 		}
-		g, err := d.adoptGroup(fg.hdr, fg.firstPPA)
-		if err != nil {
-			return err
-		}
-		lv := d.levels[fg.hdr.level-1]
-		lv.groups = append(lv.groups, g)
-		lv.bytes += g.physBytes
 	}
 	for _, lv := range d.levels {
 		sort.Slice(lv.groups, func(i, j int) bool {
 			return kv.Compare(lv.groups[i].smallest, lv.groups[j].smallest) < 0
 		})
 	}
+	d.recLogPages = nil
+	d.recountLive()
 	return nil
 }
 
-// logPageRef locates one recovered log page in the append stream.
-type logPageRef struct {
-	seq uint64
-	ppa nand.PPA
+// recountLive re-derives LiveKeys/LiveBytes from the mounted tree. The write
+// path maintains them incrementally, so recovery only has to establish the
+// starting point. Shadowing matches the read path: the shallowest level's
+// version of a key decides, except that a lost log value falls through to
+// the next level, and a deciding tombstone means dead. Pages were all read
+// during the recovery scan, so this pass decodes from the array image
+// without charging further flash traffic.
+func (d *Device) recountLive() {
+	decided := make(map[string]bool)
+	for _, lv := range d.levels {
+		for _, g := range lv.groups {
+			imgs := make([][]byte, g.numPages)
+			for p := 0; p < g.numPages; p++ {
+				imgs[p] = d.arr.PageData(g.firstPPA + nand.PPA(p))
+			}
+			table := readLocationTable(imgs[:g.tablePages], g.count)
+			for _, loc := range table {
+				e, err := kv.OpenPage(imgs[g.tablePages+int(loc.Page)]).Entity(int(loc.Rec))
+				if err != nil {
+					panic(err)
+				}
+				if decided[string(e.Key)] {
+					continue
+				}
+				if e.InLog && d.vlog.isLost(e.LogPtr) {
+					continue // unreadable version: a deeper level decides
+				}
+				decided[string(e.Key)] = true
+				if !e.Tombstone {
+					d.st.LiveKeys++
+					d.st.LiveBytes += int64(len(e.Key)) + int64(e.Len())
+				}
+			}
+		}
+	}
 }
 
-// recoverLog replays the log pages in sequence order, rebuilding fragment
-// chains. Liveness starts at zero; adoptGroup adds back the bytes that
-// surviving entities reference.
+// selectEpochs picks, per level, the newest complete epoch's groups (one
+// copy per index). It returns the chosen epoch per level, the groups to
+// mount, and how many distinct (level, epoch) rebuilds were discarded as
+// incomplete or superseded.
+func selectEpochs(groups []foundGroup) (chosen map[int]uint32, mounted map[int][]foundGroup, discarded int64) {
+	// level → epoch → index → best copy.
+	byLevel := make(map[int]map[uint32]map[int]foundGroup)
+	for _, fg := range groups {
+		epochs := byLevel[fg.hdr.level]
+		if epochs == nil {
+			epochs = make(map[uint32]map[int]foundGroup)
+			byLevel[fg.hdr.level] = epochs
+		}
+		byIdx := epochs[fg.hdr.epoch]
+		if byIdx == nil {
+			byIdx = make(map[int]foundGroup)
+			epochs[fg.hdr.epoch] = byIdx
+		}
+		prev, ok := byIdx[fg.hdr.index]
+		switch {
+		case !ok:
+			byIdx[fg.hdr.index] = fg
+		case fg.intact && !prev.intact:
+			byIdx[fg.hdr.index] = fg
+		case fg.intact == prev.intact && fg.firstPPA < prev.firstPPA:
+			byIdx[fg.hdr.index] = fg
+		}
+	}
+
+	chosen = make(map[int]uint32)
+	mounted = make(map[int][]foundGroup)
+	for l, epochs := range byLevel {
+		var order []uint32
+		for e := range epochs {
+			order = append(order, e)
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] > order[j] })
+		for _, e := range order {
+			if fgs, ok := completeEpoch(epochs[e]); ok {
+				chosen[l] = e
+				mounted[l] = fgs
+				break
+			}
+		}
+		discarded += int64(len(order))
+		if _, ok := chosen[l]; ok {
+			discarded--
+		}
+	}
+	return chosen, mounted, discarded
+}
+
+// completeEpoch reports whether the epoch's intact copies form the full
+// index sequence 0..n-1 ending in the last-group flag, returning them in
+// index order.
+func completeEpoch(byIdx map[int]foundGroup) ([]foundGroup, bool) {
+	n := -1
+	for idx, fg := range byIdx {
+		if fg.intact && fg.hdr.last && idx+1 > n {
+			n = idx + 1
+		}
+	}
+	if n < 0 {
+		return nil, false
+	}
+	out := make([]foundGroup, 0, n)
+	for i := 0; i < n; i++ {
+		fg, ok := byIdx[i]
+		if !ok || !fg.intact {
+			return nil, false
+		}
+		out = append(out, fg)
+	}
+	return out, true
+}
+
+// logPageRef locates one recovered log page: its position in the append
+// stream, the logical (pointer-visible) address persisted in its header,
+// and the physical page it was scanned from (different only when a program
+// failure remapped the sealed image into a fresh block).
+type logPageRef struct {
+	seq           uint64
+	logical, phys nand.PPA
+}
+
+// recoverLog replays the log pages in sequence order, rebuilding the
+// logical→physical remap table and the fragment chains. Liveness starts at
+// zero; adoptGroup adds back the bytes that surviving entities reference.
 func (d *Device) recoverLog(pages []logPageRef) {
+	d.recLogPages = make(map[nand.PPA]bool, len(pages))
+	for _, lp := range pages {
+		if lp.logical != lp.phys {
+			d.vlog.remap[lp.logical] = lp.phys
+		}
+		d.recLogPages[lp.logical] = true
+	}
 	sort.Slice(pages, func(i, j int) bool { return pages[i].seq < pages[j].seq })
 	var pendingPtr uint64 // fragment awaiting its continuation
 	var remaining uint64  // bytes still owed to the value being assembled
 	for _, lp := range pages {
-		pr := kv.OpenPage(d.arr.PageData(lp.ppa))
+		pr := kv.OpenPage(d.arr.PageData(lp.phys))
 		for slot := 0; slot < pr.Count(); slot++ {
-			ptr := uint64(lp.ppa)<<16 | uint64(slot)
+			ptr := uint64(lp.logical)<<16 | uint64(slot)
 			first, total, chunk := d.vlog.fragChunk(ptr)
 			switch {
 			case first:
@@ -229,8 +436,9 @@ func (d *Device) adoptGroup(hdr groupHeader, firstPPA nand.PPA) (*group, error) 
 			hashes = append(hashes, e.Hash)
 			g.bytes += int64(len(e.Key)) + int64(e.Len())
 			if e.InLog {
-				g.logBytes += int64(e.ValueLen)
-				d.recoverLogLiveness(e.LogPtr, e.ValueLen)
+				if d.recoverLogLiveness(e.LogPtr, e.ValueLen) {
+					g.logBytes += int64(e.ValueLen)
+				}
 			}
 		}
 	}
@@ -255,25 +463,55 @@ func (d *Device) adoptGroup(hdr groupHeader, firstPPA nand.PPA) (*group, error) 
 }
 
 // recoverLogLiveness restores the valid-byte accounting of a value's
-// fragment chain.
-func (d *Device) recoverLogLiveness(ptr uint64, valLen int) {
+// fragment chain, walk-then-commit: the whole chain is resolved first, and
+// only a fully durable chain contributes liveness. A broken chain — its
+// page never became durable before the power cut, was torn by it, or (after
+// the documented early-release escape hatch, see spillConsumable) was even
+// reclaimed and rewritten — marks the pointer LOST instead: the entity
+// stays in its group but reads treat it as absent and fall through to the
+// key's older version. It reports whether the value is live.
+func (d *Device) recoverLogLiveness(ptr uint64, valLen int) bool {
+	if d.vlog.isLost(ptr) {
+		return false
+	}
+	type fragRef struct {
+		ppa nand.PPA
+		n   int64
+	}
+	var frags []fragRef
 	cur := ptr
 	remaining := uint64(valLen)
 	for {
 		ppa := nand.PPA(cur >> 16)
-		_, _, chunk := d.vlog.fragChunk(cur)
-		if d.vlog.pageValid[ppa] == 0 {
-			d.pool.MarkValid(ppa)
+		if !d.recLogPages[ppa] {
+			break // page never became durable (or was reclaimed)
 		}
-		d.vlog.pageValid[ppa] += int64(len(chunk))
+		first, total, chunk, ok := d.vlog.fragChunkOK(cur)
+		if !ok {
+			break
+		}
+		if cur == ptr && (!first || total != uint64(valLen)) {
+			break // slot reused by an unrelated value: the original is gone
+		}
+		frags = append(frags, fragRef{ppa: ppa, n: int64(len(chunk))})
+		if uint64(len(chunk)) >= remaining {
+			// Chain complete: commit liveness.
+			for _, f := range frags {
+				if d.vlog.pageValid[f.ppa] == 0 {
+					d.pool.MarkValid(d.vlog.phys(f.ppa))
+				}
+				d.vlog.pageValid[f.ppa] += f.n
+			}
+			return true
+		}
 		remaining -= uint64(len(chunk))
-		if remaining == 0 {
-			return
-		}
 		next, ok := d.vlog.contMap[cur]
 		if !ok {
-			panic("core: recover: broken fragment chain")
+			break
 		}
 		cur = next
 	}
+	d.vlog.lost[ptr] = struct{}{}
+	d.st.Recovery.LostLogValues++
+	return false
 }

@@ -58,6 +58,13 @@ func (d *Device) Scan(at sim.Time, start []byte, n int) ([]kv.Pair, sim.Time, er
 		now = t
 		ent, t2 := iters[best].entity(now)
 		now = t2
+		if ent.InLog && d.vlog.isLost(ent.LogPtr) {
+			// The newest version's log value died in a power cut: step only
+			// this cursor so an older, durable version of the key (a deeper
+			// level still on flash) wins the next round instead.
+			iters[best].next()
+			continue
+		}
 		// Advance every cursor sitting on this key.
 		for _, it := range iters {
 			for it.valid() {

@@ -48,6 +48,22 @@ type vlog struct {
 	// seq numbers log pages in append order; persisted in each page's extra
 	// so recovery can replay the stream and rebuild fragment chains.
 	seq uint64
+
+	// remap redirects a page's logical (pointer-visible) address to its
+	// physical home when a program failure forced the sealed page image into
+	// a different block. Pointers and liveness stay keyed by the logical
+	// address; the physical one is used only to reach the flash cells. The
+	// page header persists the logical address, so recovery rebuilds this
+	// map from flash. Logical addresses of remapped pages sit in grown-bad
+	// blocks, which are never erased or reallocated, so they can never
+	// collide with future pages.
+	remap map[nand.PPA]nand.PPA
+
+	// lost marks pointers whose fragment chain a recovery could not resolve
+	// (the value was acknowledged but its page never became durable before a
+	// power cut). Read paths treat a lost pointer as absent at its level and
+	// fall through to the key's older, durable version.
+	lost map[uint64]struct{}
 }
 
 func newVlog(d *Device, maxBlocks int) *vlog {
@@ -56,8 +72,24 @@ func newVlog(d *Device, maxBlocks int) *vlog {
 		maxBlocks: maxBlocks,
 		pageValid: make(map[nand.PPA]int64),
 		contMap:   make(map[uint64]uint64),
+		remap:     make(map[nand.PPA]nand.PPA),
+		lost:      make(map[uint64]struct{}),
 		curPPA:    nand.InvalidPPA,
 	}
+}
+
+// phys translates a logical log page address to its physical home.
+func (v *vlog) phys(ppa nand.PPA) nand.PPA {
+	if p, ok := v.remap[ppa]; ok {
+		return p
+	}
+	return ppa
+}
+
+// isLost reports whether ptr references a value lost to a power cut.
+func (v *vlog) isLost(ptr uint64) bool {
+	_, bad := v.lost[ptr]
+	return bad
 }
 
 // blocksUsed returns the log's current block footprint.
@@ -76,7 +108,12 @@ func (v *vlog) roomFor(n int64) bool {
 	ppb := int64(v.d.cfg.Geometry.PagesPerBlock)
 	var free int64
 	if v.open {
-		free += int64(v.w.Free())
+		if v.w != nil {
+			// A page is buffering: its remainder is usable. (After a Sync
+			// programs a partially-filled page, the block stays open but no
+			// page is buffering.)
+			free += int64(v.w.Free())
+		}
 		free += (ppb - int64(v.next)) * payload
 	}
 	free += int64(v.maxBlocks-v.blocksUsed()) * ppb * payload
@@ -152,7 +189,11 @@ func (v *vlog) append(at sim.Time, val []byte, cause nand.Cause) (uint64, sim.Ti
 func (v *vlog) rotatePage(at sim.Time, cause nand.Cause) (sim.Time, error) {
 	now := at
 	if v.curPPA != nand.InvalidPPA {
-		now = v.programOpen(now, cause)
+		t, err := v.programOpen(now, cause)
+		now = t
+		if err != nil {
+			return now, err
+		}
 	}
 	if !v.open || v.next >= v.d.cfg.Geometry.PagesPerBlock {
 		if v.open {
@@ -180,73 +221,140 @@ func (v *vlog) rotatePage(at sim.Time, cause nand.Cause) (sim.Time, error) {
 	}
 	v.curPPA = v.d.arr.PageOf(v.cur, v.next)
 	v.next++
+	// The address is being reborn as a fresh log page: any lost-pointer or
+	// remap state a previous life left behind is stale now.
+	for ptr := range v.lost {
+		if nand.PPA(ptr>>16) == v.curPPA {
+			delete(v.lost, ptr)
+		}
+	}
+	delete(v.remap, v.curPPA)
 	v.img = make([]byte, v.d.cfg.Geometry.PageSize)
 	extra := make([]byte, logPageHdrSize)
-	putLogPageHeader(extra, v.seq)
+	putLogPageHeader(extra, v.seq, v.curPPA)
 	v.seq++
 	v.w = kv.NewPageWriter(v.img, extra)
 	return now, nil
 }
 
-// On-flash log page header: magic plus the page's position in the append
-// stream, which recovery uses to re-order pages and rebuild fragment chains.
+// On-flash log page header: magic, the page's position in the append stream
+// (which recovery uses to re-order pages and rebuild fragment chains), and
+// the page's logical address — normally its own PPA, but the original
+// target when a program failure remapped the sealed image elsewhere.
 const (
 	logPageMagic   uint16 = 0x106A
-	logPageHdrSize        = 10
+	logPageHdrSize        = 18
 )
 
-func putLogPageHeader(extra []byte, seq uint64) {
+func putLogPageHeader(extra []byte, seq uint64, logical nand.PPA) {
 	put16(extra[0:], logPageMagic)
 	for i := 0; i < 8; i++ {
 		extra[2+i] = byte(seq >> (8 * i))
+	}
+	for i := 0; i < 8; i++ {
+		extra[10+i] = byte(uint64(logical) >> (8 * i))
 	}
 }
 
 // readLogPageHeader decodes a log page's header; ok is false for non-log
 // pages.
-func readLogPageHeader(extra []byte) (seq uint64, ok bool) {
+func readLogPageHeader(extra []byte) (seq uint64, logical nand.PPA, ok bool) {
 	if len(extra) < logPageHdrSize || get16(extra[0:]) != logPageMagic {
-		return 0, false
+		return 0, 0, false
 	}
 	for i := 0; i < 8; i++ {
 		seq |= uint64(extra[2+i]) << (8 * i)
 	}
-	return seq, true
+	var l uint64
+	for i := 0; i < 8; i++ {
+		l |= uint64(extra[10+i]) << (8 * i)
+	}
+	return seq, nand.PPA(l), true
 }
 
 // programOpen writes the open page to flash; pages whose values all died
 // while buffered are still programmed (the transfer was already committed)
-// but arrive dead.
-func (v *vlog) programOpen(at sim.Time, cause nand.Cause) sim.Time {
+// but arrive dead. When the program fails (the block grew bad), the sealed
+// image — which already carries its logical address in the header — is
+// re-issued into a fresh block and the logical→physical remap recorded;
+// the pointers handed out for this page stay valid unchanged.
+func (v *vlog) programOpen(at sim.Time, cause nand.Cause) (sim.Time, error) {
 	kv.SealPage(v.img)
-	done := v.d.arr.Program(at, v.curPPA, v.img, cause)
-	if v.pageValid[v.curPPA] > 0 {
-		v.d.pool.MarkValid(v.curPPA)
+	logical := v.curPPA
+	phys := logical
+	now := at
+	for {
+		t, err := v.d.arr.Program(now, phys, v.img, cause)
+		now = t
+		if err == nil {
+			break
+		}
+		v.d.pool.SetActive(v.cur, false)
+		v.open = false
+		b, ok := v.d.pool.Alloc(ftl.RegionLog)
+		if !ok {
+			t, ferr := v.d.ensureFree(now, 1)
+			now = t
+			if ferr != nil {
+				return now, ferr
+			}
+			b, ok = v.d.pool.Alloc(ftl.RegionLog)
+			if !ok {
+				return now, kv.ErrDeviceFull
+			}
+		}
+		v.cur = b
+		v.next = 1
+		v.open = true
+		v.d.pool.SetActive(b, true)
+		phys = v.d.arr.PageOf(b, 0)
+	}
+	if phys != logical {
+		v.remap[logical] = phys
+	}
+	if v.pageValid[logical] > 0 {
+		v.d.pool.MarkValid(phys)
 	} else {
-		delete(v.pageValid, v.curPPA)
+		delete(v.pageValid, logical)
 	}
 	v.curPPA = nand.InvalidPPA
 	v.img = nil
 	v.w = nil
-	return done
+	return now, nil
 }
 
-// pageImage returns the page holding ppa without charging time.
+// pageImage returns the page holding ppa (a logical log address) without
+// charging time.
 func (v *vlog) pageImage(ppa nand.PPA) []byte {
 	if ppa == v.curPPA {
 		return v.img
 	}
-	return v.d.arr.PageData(ppa)
+	return v.d.arr.PageData(v.phys(ppa))
 }
 
 // fragChunk decodes the self-describing fragment at ptr: whether it starts
 // a value, the declared total length (first fragments only), and its chunk.
+// Pointers on the live read paths always resolve; a failure is a bug.
 func (v *vlog) fragChunk(ptr uint64) (first bool, total uint64, chunk []byte) {
+	first, total, chunk, ok := v.fragChunkOK(ptr)
+	if !ok {
+		panic(fmt.Sprintf("core: corrupt log fragment at %d/%d", nand.PPA(ptr>>16), int(ptr&0xffff)))
+	}
+	return first, total, chunk
+}
+
+// fragChunkOK is the non-panicking decode used by recovery, which probes
+// pointers that may reference reused or never-durable pages.
+func (v *vlog) fragChunkOK(ptr uint64) (first bool, total uint64, chunk []byte, ok bool) {
 	ppa := nand.PPA(ptr >> 16)
 	slot := int(ptr & 0xffff)
-	rec := kv.OpenPage(v.pageImage(ppa)).Record(slot)
+	pr := kv.OpenPage(v.pageImage(ppa))
+	if slot >= pr.Count() {
+		return false, 0, nil, false
+	}
+	rec := pr.Record(slot)
 	if len(rec) == 0 || (rec[0] != fragFirst && rec[0] != fragCont) {
-		panic(fmt.Sprintf("core: corrupt log fragment marker at %d/%d", ppa, slot))
+		return false, 0, nil, false
 	}
 	first = rec[0] == fragFirst
 	used := 1
@@ -254,16 +362,16 @@ func (v *vlog) fragChunk(ptr uint64) (first bool, total uint64, chunk []byte) {
 		var n int
 		total, n = uvarint(rec[used:])
 		if n <= 0 {
-			panic(fmt.Sprintf("core: corrupt log fragment header at %d/%d", ppa, slot))
+			return false, 0, nil, false
 		}
 		used += n
 	}
 	fragLen, n := uvarint(rec[used:])
 	if n <= 0 || int(fragLen) > len(rec)-used-n {
-		panic(fmt.Sprintf("core: corrupt log fragment at %d/%d", ppa, slot))
+		return false, 0, nil, false
 	}
 	used += n
-	return first, total, rec[used : used+int(fragLen)]
+	return first, total, rec[used : used+int(fragLen)], true
 }
 
 // read returns the value at ptr, charging one flash read per touched page
@@ -275,7 +383,7 @@ func (v *vlog) read(at sim.Time, ptr uint64, cause nand.Cause) (val []byte, done
 		if ppa == v.curPPA {
 			return
 		}
-		now = sim.Max(now, v.d.arr.Read(at, ppa, cause))
+		now = sim.Max(now, v.d.arr.Read(at, v.phys(ppa), cause))
 		charged = true
 	}
 	chargePage(nand.PPA(ptr >> 16))
@@ -339,8 +447,19 @@ func (v *vlog) fragPages(ptr uint64) []nand.PPA {
 
 // invalidate records the death of the value at ptr across all its
 // fragments. Pages whose last value bytes die are marked invalid; fully
-// dead blocks are erased by reclaim.
+// dead blocks are erased by reclaim. While a compaction unit is open the
+// invalidation only queues: applying it immediately could let reclaim erase
+// log blocks the previous (still on-flash) level epoch references, which a
+// power cut mid-merge would then need. Lost pointers carry no liveness and
+// are ignored.
 func (v *vlog) invalidate(ptr uint64, valLen int) {
+	if v.isLost(ptr) {
+		return
+	}
+	if v.d.invalDefer {
+		v.d.pendingInval = append(v.d.pendingInval, pendingInval{ptr: ptr, valLen: valLen})
+		return
+	}
 	cur := ptr
 	remaining := uint64(valLen)
 	for {
@@ -369,7 +488,7 @@ func (v *vlog) dropBytes(ppa nand.PPA, n int64) {
 	if rem == 0 {
 		delete(v.pageValid, ppa)
 		if ppa != v.curPPA {
-			v.d.pool.MarkInvalid(ppa)
+			v.d.pool.MarkInvalid(v.phys(ppa))
 		}
 	} else {
 		v.pageValid[ppa] = rem

@@ -7,6 +7,7 @@
 package device
 
 import (
+	"anykey/internal/ftl"
 	"anykey/internal/kv"
 	"anykey/internal/nand"
 	"anykey/internal/sim"
@@ -78,6 +79,20 @@ type Stats struct {
 	// DRAMCapacity and DRAMUsed snapshot the metadata budget.
 	DRAMCapacity func() int64
 	DRAMUsed     func() int64
+
+	// Faults counts injected NAND faults by cause (nil when the device runs
+	// without a fault plan).
+	Faults func() stats.FaultCounters
+
+	// Wear snapshots the flash pool's per-block erase-count distribution
+	// (nil for designs without an FTL pool).
+	Wear func() ftl.WearStats
+
+	// Recovery describes what the last Reopen found: whether it ran at all,
+	// that wear counters were reset (the flash array is rebuilt from page
+	// images, so erase history is not carried across a power cycle), and how
+	// much damage the power cut left behind.
+	Recovery stats.RecoveryInfo
 }
 
 // NewStats returns a Stats with its histograms allocated.

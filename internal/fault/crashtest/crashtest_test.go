@@ -1,0 +1,140 @@
+package crashtest_test
+
+import (
+	"testing"
+
+	"anykey"
+	"anykey/internal/fault"
+	"anykey/internal/fault/crashtest"
+)
+
+// sweepConfig is a small device (16 MiB, 2×2 chips) with a small memtable,
+// so the workload crosses many flushes and compactions — the windows where
+// a power cut actually tears multi-page writes.
+func sweepConfig(design anykey.Design) crashtest.Config {
+	return crashtest.Config{
+		Opts: anykey.Options{
+			Design:          design,
+			CapacityMB:      16,
+			Channels:        2,
+			ChipsPerChannel: 2,
+			MemtableBytes:   16 << 10,
+			Seed:            1,
+		},
+		Ops:    900,
+		Keys:   120,
+		Seed:   7,
+		Trials: 3,
+	}
+}
+
+// TestCrashSweepAnyKeyVariants sweeps power cuts across every AnyKey variant
+// that supports recovery. PinK is excluded by design: it has no modelled
+// power-cycle path (its pinned level lists live in DRAM only).
+func TestCrashSweepAnyKeyVariants(t *testing.T) {
+	for _, d := range []anykey.Design{anykey.DesignAnyKey, anykey.DesignAnyKeyPlus, anykey.DesignAnyKeyMinus} {
+		t.Run(d.String(), func(t *testing.T) {
+			res, err := crashtest.Run(sweepConfig(d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Trials) < 3 {
+				t.Fatalf("sweep ran %d trials, want ≥ 3", len(res.Trials))
+			}
+			fired := 0
+			for _, tr := range res.Trials {
+				if tr.CutFired {
+					fired++
+					if tr.Faults.PowerCuts != 1 {
+						t.Errorf("trial cut@%d: PowerCuts = %d, want 1", tr.CutAtOp, tr.Faults.PowerCuts)
+					}
+					if !tr.Recovery.Recovered {
+						t.Errorf("trial cut@%d: recovery did not run", tr.CutAtOp)
+					}
+				}
+			}
+			if fired != len(res.Trials) {
+				t.Fatalf("only %d/%d trials fired their cut (pilot %d flash ops)",
+					fired, len(res.Trials), res.PilotFlashOps)
+			}
+		})
+	}
+}
+
+// TestCrashSweepWithBackgroundFaults layers transient read errors and
+// program/erase failures (grown-bad blocks) over the cuts: recovery must
+// hold even when the crash interacts with block retirement.
+func TestCrashSweepWithBackgroundFaults(t *testing.T) {
+	cfg := sweepConfig(anykey.DesignAnyKeyPlus)
+	cfg.Rates = fault.Plan{
+		ReadErrorRate:   0.01,
+		ProgramFailRate: 0.002,
+		EraseFailRate:   0.002,
+	}
+	res, err := crashtest.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var injected int64
+	for _, tr := range res.Trials {
+		injected += tr.Faults.Total()
+	}
+	if injected == 0 {
+		t.Fatal("background fault rates injected nothing")
+	}
+}
+
+// TestCrashMatrix is the wide sweep: every recovering design × several
+// workload seeds × 8 cut positions, plus a pass with background faults
+// layered on. It found the log-before-tree ordering bug in writeLevel;
+// CI runs it as the crash-matrix job. Skipped under -short.
+func TestCrashMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash matrix is the long sweep")
+	}
+	for _, d := range []anykey.Design{anykey.DesignAnyKey, anykey.DesignAnyKeyPlus, anykey.DesignAnyKeyMinus} {
+		for _, seed := range []int64{3, 7, 11, 19, 23, 31} {
+			cfg := sweepConfig(d)
+			cfg.Seed = seed
+			cfg.Trials = 8
+			res, err := crashtest.Run(cfg)
+			if err != nil {
+				t.Errorf("%v seed %d: %v", d, seed, err)
+				continue
+			}
+			var torn int64
+			for _, tr := range res.Trials {
+				torn += tr.Recovery.TornPagesSkipped
+			}
+			t.Logf("%v seed %d: %d trials, %d torn pages skipped", d, seed, len(res.Trials), torn)
+		}
+	}
+	for _, seed := range []int64{3, 7, 11} {
+		cfg := sweepConfig(anykey.DesignAnyKeyPlus)
+		cfg.Seed = seed
+		cfg.Trials = 6
+		cfg.Rates = fault.Plan{ReadErrorRate: 0.01, ProgramFailRate: 0.003, EraseFailRate: 0.003}
+		if _, err := crashtest.Run(cfg); err != nil {
+			t.Errorf("faulty sweep seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestTrialDeterministic runs the identical trial twice and requires
+// bit-for-bit identical outcomes — fault counters, recovery report, cut
+// position — which is the property that makes crash bugs replayable.
+func TestTrialDeterministic(t *testing.T) {
+	cfg := sweepConfig(anykey.DesignAnyKey)
+	cfg.Rates = fault.Plan{ReadErrorRate: 0.02}
+	a, err := crashtest.RunTrial(cfg, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := crashtest.RunTrial(cfg, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("two runs of the same trial diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,73 @@
+package crashtest
+
+import "bytes"
+
+// oracle tracks, per key, the set of values a crash-recovered device is
+// allowed to return. The rules mirror the durability contract of a KV-SSD
+// without a write journal:
+//
+//   - a completed Sync commits every previously acknowledged write — after
+//     recovery the key must hold its committed version or a newer one;
+//   - writes acknowledged (or even merely *attempted*: the cut may land
+//     after the device made the write partially durable) since the last
+//     completed Sync may or may not have survived — any of those versions,
+//     or the committed one, is acceptable;
+//   - any other value is corruption: either an invented byte string or a
+//     resurrected version that a durable overwrite/tombstone had retired.
+//
+// A nil value represents absence (never written, or deleted).
+type oracle struct {
+	committed map[int][]byte // key index → durable version (nil = absent)
+	pending   map[int][][]byte
+}
+
+func newOracle() *oracle {
+	return &oracle{committed: map[int][]byte{}, pending: map[int][][]byte{}}
+}
+
+// write records a Put (val non-nil) or Delete (val nil) that the device
+// acknowledged — or that was in flight when the power cut fired.
+func (o *oracle) write(key int, val []byte) {
+	o.pending[key] = append(o.pending[key], val)
+}
+
+// syncOK records a completed Sync: the newest version of every dirty key
+// becomes its committed version.
+func (o *oracle) syncOK() {
+	for k, vers := range o.pending {
+		o.committed[k] = vers[len(vers)-1]
+	}
+	o.pending = map[int][][]byte{}
+}
+
+// allowed reports whether observed (nil = not found) is an acceptable
+// post-recovery state for the key.
+func (o *oracle) allowed(key int, observed []byte) bool {
+	if sameVersion(observed, o.committed[key]) {
+		return true
+	}
+	for _, v := range o.pending[key] {
+		if sameVersion(observed, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// adopt collapses the key's allowed set to the recovered state, which is the
+// durable truth going forward.
+func (o *oracle) adopt(key int, observed []byte) {
+	if observed == nil {
+		delete(o.committed, key)
+	} else {
+		o.committed[key] = append([]byte(nil), observed...)
+	}
+	delete(o.pending, key)
+}
+
+func sameVersion(a, b []byte) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return bytes.Equal(a, b)
+}

@@ -1,0 +1,201 @@
+// Package fault injects NAND failure modes into the simulated flash array:
+// transient read errors that cost retries, program/erase failures that
+// retire blocks as grown-bad, and power cuts at arbitrary flash-op
+// boundaries. Injection is driven by a seeded Plan and is fully
+// deterministic: every decision is a pure hash of (seed, op index, fault
+// kind), so two runs of the same workload with the same plan inject
+// bit-for-bit identical faults — which is what makes crash sweeps and
+// fault-recovery tests reproducible.
+package fault
+
+import (
+	"fmt"
+
+	"anykey/internal/nand"
+	"anykey/internal/stats"
+)
+
+// DefaultReadRetries is the number of re-reads charged per transient read
+// error when the plan does not specify one (real controllers run a short
+// read-retry table before escalating to soft-decode).
+const DefaultReadRetries = 3
+
+// Plan is a declarative description of the faults to inject. The zero value
+// injects nothing. Rates are per-operation probabilities in [0, 1).
+type Plan struct {
+	// Seed drives every injection decision. Two runs with equal seeds and
+	// equal op sequences inject identical faults.
+	Seed int64
+
+	// ReadErrorRate is the probability that a page read hits a transient
+	// error burst and must be retried ReadRetries times. Retries charge
+	// additional cell-read latency on the owning chip; the data is always
+	// recovered (unrecoverable reads are outside this model).
+	ReadErrorRate float64
+
+	// ReadRetries is the number of extra cell reads charged per transient
+	// read error; 0 means DefaultReadRetries.
+	ReadRetries int
+
+	// ProgramFailRate is the probability that a page program fails its
+	// verify step. The page is not written and the block is retired as
+	// grown-bad (it can still be read, never programmed or erased again).
+	ProgramFailRate float64
+
+	// EraseFailRate is the probability that a block erase fails, likewise
+	// retiring the block as grown-bad.
+	EraseFailRate float64
+
+	// CutAtOp, when positive, cuts power immediately before the CutAtOp-th
+	// flash operation (1-based, counting reads, programs and erases in issue
+	// order). The cut fires exactly once per injector, so the flash traffic
+	// of a subsequent recovery cannot re-trigger it. It surfaces as a panic
+	// with a PowerCut value, which the public API and the crashtest harness
+	// translate into an error.
+	CutAtOp int64
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (p Plan) Enabled() bool {
+	return p.ReadErrorRate > 0 || p.ProgramFailRate > 0 || p.EraseFailRate > 0 || p.CutAtOp > 0
+}
+
+// Validate checks the plan's parameters.
+func (p Plan) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"ReadErrorRate", p.ReadErrorRate},
+		{"ProgramFailRate", p.ProgramFailRate},
+		{"EraseFailRate", p.EraseFailRate},
+	} {
+		if r.v < 0 || r.v >= 1 {
+			return fmt.Errorf("fault: %s %v outside [0, 1)", r.name, r.v)
+		}
+	}
+	if p.ReadRetries < 0 {
+		return fmt.Errorf("fault: negative ReadRetries %d", p.ReadRetries)
+	}
+	if p.CutAtOp < 0 {
+		return fmt.Errorf("fault: negative CutAtOp %d", p.CutAtOp)
+	}
+	return nil
+}
+
+// PowerCut is the panic value raised when a plan's power cut fires. It
+// unwinds the device mid-operation — exactly like losing power between two
+// flash commands — leaving the flash array in whatever torn state the
+// in-flight multi-page writes had reached. Catch it with AsPowerCut.
+type PowerCut struct {
+	// Op is the 1-based index of the flash operation the cut pre-empted.
+	Op int64
+}
+
+func (c PowerCut) Error() string {
+	return fmt.Sprintf("fault: power cut before flash op %d", c.Op)
+}
+
+// AsPowerCut reports whether a recovered panic value is a power cut.
+func AsPowerCut(r any) (PowerCut, bool) {
+	pc, ok := r.(PowerCut)
+	return pc, ok
+}
+
+// Injector implements nand.Injector for a Plan. Attach it to the array with
+// nand.Array.SetInjector; it stays attached across Reopen (the array object
+// survives a power cycle), so grown-bad state and the op counter persist
+// for the lifetime of the simulated device.
+type Injector struct {
+	plan    Plan
+	retries int
+	ops     int64
+	cutDone bool
+	c       stats.FaultCounters
+}
+
+// New returns an injector for the plan. The plan should be validated first;
+// New normalises only the retry count.
+func New(plan Plan) *Injector {
+	r := plan.ReadRetries
+	if r == 0 {
+		r = DefaultReadRetries
+	}
+	return &Injector{plan: plan, retries: r}
+}
+
+// Counters returns a snapshot of the injected-fault counters.
+func (in *Injector) Counters() stats.FaultCounters { return in.c }
+
+// Ops returns the number of flash operations observed so far. The crash
+// sweep uses a fault-free pilot run's total to bound its cut points.
+func (in *Injector) Ops() int64 { return in.ops }
+
+// CutFired reports whether the plan's power cut has already fired.
+func (in *Injector) CutFired() bool { return in.cutDone }
+
+// step advances the op counter and fires the power cut when its boundary is
+// reached. It runs before the array mutates any state, so the flash image a
+// recovery sees is exactly the state as of the previous completed op.
+func (in *Injector) step() int64 {
+	in.ops++
+	if in.plan.CutAtOp > 0 && !in.cutDone && in.ops >= in.plan.CutAtOp {
+		in.cutDone = true
+		in.c.PowerCuts++
+		panic(PowerCut{Op: in.ops})
+	}
+	return in.ops
+}
+
+// Fault-kind salts for the decision hash. Distinct salts decorrelate the
+// decisions of different fault kinds at the same op index.
+const (
+	saltRead = 0x9E3779B97F4A7C15 + iota
+	saltProgram
+	saltErase
+)
+
+// roll returns a deterministic uniform sample in [0, 1) for this op and
+// fault kind, via one splitmix64 round over (seed, op, salt).
+func (in *Injector) roll(op int64, salt uint64) float64 {
+	x := uint64(in.plan.Seed)*0xBF58476D1CE4E5B9 + uint64(op) ^ salt
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// OnRead implements nand.Injector. It returns the number of extra cell
+// reads the array must charge for this page read.
+func (in *Injector) OnRead(ppa nand.PPA, cause nand.Cause) int {
+	op := in.step()
+	if in.plan.ReadErrorRate > 0 && in.roll(op, saltRead) < in.plan.ReadErrorRate {
+		in.c.ReadErrors[cause]++
+		in.c.ReadRetries[cause] += int64(in.retries)
+		return in.retries
+	}
+	return 0
+}
+
+// OnProgram implements nand.Injector. It reports whether this page program
+// fails, retiring the block as grown-bad.
+func (in *Injector) OnProgram(ppa nand.PPA, cause nand.Cause) bool {
+	op := in.step()
+	if in.plan.ProgramFailRate > 0 && in.roll(op, saltProgram) < in.plan.ProgramFailRate {
+		in.c.ProgramFails[cause]++
+		return true
+	}
+	return false
+}
+
+// OnErase implements nand.Injector. It reports whether this block erase
+// fails, retiring the block as grown-bad.
+func (in *Injector) OnErase(b nand.BlockID, cause nand.Cause) bool {
+	op := in.step()
+	if in.plan.EraseFailRate > 0 && in.roll(op, saltErase) < in.plan.EraseFailRate {
+		in.c.EraseFails[cause]++
+		return true
+	}
+	return false
+}

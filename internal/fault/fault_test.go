@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"testing"
+
+	"anykey/internal/nand"
+)
+
+func TestPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{ReadErrorRate: -0.1},
+		{ReadErrorRate: 1.0},
+		{ProgramFailRate: 1.5},
+		{EraseFailRate: -1},
+		{ReadRetries: -2},
+		{CutAtOp: -7},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("plan %d (%+v) validated but should not", i, p)
+		}
+	}
+	good := []Plan{
+		{},
+		{ReadErrorRate: 0.999, ProgramFailRate: 0.5, EraseFailRate: 0.01},
+		{CutAtOp: 1, ReadRetries: 10},
+	}
+	for i, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("plan %d: unexpected %v", i, err)
+		}
+	}
+	if (Plan{Seed: 42}).Enabled() {
+		t.Error("seed alone should not enable injection")
+	}
+	if !(Plan{CutAtOp: 3}).Enabled() || !(Plan{ReadErrorRate: 0.1}).Enabled() {
+		t.Error("non-zero rates/cut must enable injection")
+	}
+}
+
+// drive feeds a fixed op sequence through an injector and records every
+// per-op outcome, so two injectors can be compared decision by decision.
+func drive(in *Injector, ops int) []int {
+	out := make([]int, 0, ops*3)
+	for i := 0; i < ops; i++ {
+		out = append(out, in.OnRead(nand.PPA(i), nand.CauseUser))
+		if in.OnProgram(nand.PPA(i), nand.CauseFlush) {
+			out = append(out, -1)
+		} else {
+			out = append(out, -2)
+		}
+		if in.OnErase(nand.BlockID(i), nand.CauseGC) {
+			out = append(out, -3)
+		} else {
+			out = append(out, -4)
+		}
+	}
+	return out
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	plan := Plan{Seed: 99, ReadErrorRate: 0.2, ProgramFailRate: 0.1, EraseFailRate: 0.1, ReadRetries: 2}
+	a, b := New(plan), New(plan)
+	da, db := drive(a, 500), drive(b, 500)
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("decision %d diverged: %d vs %d", i, da[i], db[i])
+		}
+	}
+	if a.Counters() != b.Counters() {
+		t.Fatalf("counters diverged:\n%+v\n%+v", a.Counters(), b.Counters())
+	}
+	if a.Counters().Total() == 0 {
+		t.Fatal("20%/10% rates over 1500 ops injected nothing")
+	}
+	if a.Ops() != 1500 {
+		t.Fatalf("ops = %d, want 1500", a.Ops())
+	}
+
+	other := New(Plan{Seed: 100, ReadErrorRate: 0.2, ProgramFailRate: 0.1, EraseFailRate: 0.1, ReadRetries: 2})
+	if d := drive(other, 500); equalInts(d, da) {
+		t.Fatal("different seeds produced identical decision sequences")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestReadRetriesCharged(t *testing.T) {
+	in := New(Plan{Seed: 1, ReadErrorRate: 0.5, ReadRetries: 4})
+	var extra int64
+	for i := 0; i < 200; i++ {
+		extra += int64(in.OnRead(nand.PPA(i), nand.CauseCompaction))
+	}
+	c := in.Counters()
+	if c.ReadRetries[nand.CauseCompaction] != extra {
+		t.Fatalf("counter says %d retries, reads were charged %d",
+			c.ReadRetries[nand.CauseCompaction], extra)
+	}
+	if c.ReadErrors[nand.CauseCompaction] == 0 {
+		t.Fatal("50% error rate hit nothing in 200 reads")
+	}
+	if extra != c.ReadErrors[nand.CauseCompaction]*4 {
+		t.Fatalf("each error must charge exactly 4 retries: %d errors, %d retries",
+			c.ReadErrors[nand.CauseCompaction], extra)
+	}
+}
+
+func TestPowerCutFiresExactlyOnce(t *testing.T) {
+	in := New(Plan{Seed: 5, CutAtOp: 10})
+	fired := func() (pc PowerCut, ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				pc, ok = AsPowerCut(r)
+				if !ok {
+					panic(r)
+				}
+			}
+		}()
+		in.OnRead(0, nand.CauseUser)
+		return PowerCut{}, false
+	}
+	for i := 1; i < 10; i++ {
+		if _, ok := fired(); ok {
+			t.Fatalf("cut fired early at op %d", i)
+		}
+	}
+	pc, ok := fired()
+	if !ok {
+		t.Fatal("cut did not fire at op 10")
+	}
+	if pc.Op != 10 {
+		t.Fatalf("cut reported op %d, want 10", pc.Op)
+	}
+	if !in.CutFired() || in.Counters().PowerCuts != 1 {
+		t.Fatalf("cut state not recorded: fired=%v counters=%+v", in.CutFired(), in.Counters())
+	}
+	// One-shot: the recovery traffic that follows a cut must not re-trigger it.
+	for i := 0; i < 50; i++ {
+		if _, ok := fired(); ok {
+			t.Fatal("cut fired twice")
+		}
+	}
+	if in.Counters().PowerCuts != 1 {
+		t.Fatalf("PowerCuts = %d after one-shot cut", in.Counters().PowerCuts)
+	}
+}

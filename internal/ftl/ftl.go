@@ -22,9 +22,15 @@ const (
 	RegionData               // data segments / data segment groups
 	RegionMeta               // PinK meta segments
 	RegionLog                // AnyKey value log
+	// RegionBad parks blocks retired as grown-bad with no live contents
+	// left: they cannot be erased, so they never return to the free list
+	// and no victim selection considers them. A grown-bad block that still
+	// holds live data keeps its original region (reads work fine) until GC
+	// relocates the data out and Release retires it here.
+	RegionBad
 )
 
-var regionNames = [...]string{"none", "data", "meta", "log"}
+var regionNames = [...]string{"none", "data", "meta", "log", "bad"}
 
 // String returns the region's lowercase name.
 func (r Region) String() string {
@@ -61,9 +67,18 @@ func NewPool(arr *nand.Array) *Pool {
 		active:     make(map[nand.BlockID]bool),
 		wear:       make([]int32, geo.Blocks()),
 	}
-	p.free = make([]nand.BlockID, geo.Blocks())
-	for i := range p.free {
-		p.free[i] = nand.BlockID(i)
+	p.free = make([]nand.BlockID, 0, geo.Blocks())
+	for i := 0; i < geo.Blocks(); i++ {
+		b := nand.BlockID(i)
+		// Blocks already grown-bad (a Reopen over an array that failed
+		// programs/erases in a previous life) are parked, never freed.
+		// Recovery may still find live data in them and re-own them via
+		// AdoptBad.
+		if arr.Bad(b) {
+			p.owner[b] = RegionBad
+			continue
+		}
+		p.free = append(p.free, b)
 	}
 	return p
 }
@@ -109,7 +124,11 @@ func (p *Pool) Alloc(r Region) (nand.BlockID, bool) {
 }
 
 // Release erases block b on the array at time at and returns it to the free
-// list. Any still-valid pages are an owner bug and panic.
+// list. Any still-valid pages are an owner bug and panic. When the erase
+// fails (or the block was already grown-bad), the block is retired to
+// RegionBad instead of being freed — from the owner's point of view Release
+// still "worked": the block's contents were dead and it will never be
+// allocated again.
 func (p *Pool) Release(at sim.Time, b nand.BlockID, cause nand.Cause) sim.Time {
 	if p.owner[b] == RegionNone {
 		panic(fmt.Sprintf("ftl: release of free block %d", b))
@@ -117,15 +136,19 @@ func (p *Pool) Release(at sim.Time, b nand.BlockID, cause nand.Cause) sim.Time {
 	if p.validCount[b] != 0 {
 		panic(fmt.Sprintf("ftl: release of block %d with %d valid pages", b, p.validCount[b]))
 	}
-	done := p.arr.Erase(at, b, cause)
-	p.wear[b]++
+	done, err := p.arr.Erase(at, b, cause)
 	// Clear any stale valid bits (all should be clear already).
 	first := int(b) * p.geo.PagesPerBlock
 	for i := 0; i < p.geo.PagesPerBlock; i++ {
 		p.clearBit(nand.PPA(first + i))
 	}
-	p.owner[b] = RegionNone
 	p.active[b] = false
+	if err != nil {
+		p.owner[b] = RegionBad
+		return done
+	}
+	p.wear[b]++
+	p.owner[b] = RegionNone
 	p.free = append(p.free, b)
 	return done
 }
@@ -309,8 +332,16 @@ func (p *Pool) SetActive(b nand.BlockID, on bool) { p.active[b] = on }
 func (p *Pool) Active(b nand.BlockID) bool { return p.active[b] }
 
 // Adopt claims a specific free block for region r during recovery, when the
-// owner is derived from on-flash contents rather than allocation order.
+// owner is derived from on-flash contents rather than allocation order. A
+// grown-bad block may be adopted too — a block retired by a program failure
+// can still hold live pages written before the failure; it is re-owned so
+// reads and validity accounting work, stays off the free list, and returns
+// to RegionBad when its contents die and Release retires it again.
 func (p *Pool) Adopt(b nand.BlockID, r Region) {
+	if p.owner[b] == RegionBad && p.arr.Bad(b) {
+		p.owner[b] = r
+		return
+	}
 	if p.owner[b] != RegionNone {
 		panic(fmt.Sprintf("ftl: adopt of owned block %d", b))
 	}

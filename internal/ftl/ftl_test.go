@@ -45,7 +45,7 @@ func TestStreamFillsBlocksSequentially(t *testing.T) {
 		if !ok {
 			t.Fatal("stream exhausted unexpectedly")
 		}
-		at = arr.Program(at, ppa, pg(arr), nand.CauseFlush)
+		at, _ = arr.Program(at, ppa, pg(arr), nand.CauseFlush)
 		p.MarkValid(ppa)
 		seen[arr.BlockOf(ppa)]++
 	}
@@ -79,7 +79,7 @@ func TestVictimPrefersFewestValid(t *testing.T) {
 	var ppas []nand.PPA
 	for i := 0; i < 8; i++ { // fill 2 blocks
 		ppa, _ := s.NextPage()
-		at = arr.Program(at, ppa, pg(arr), nand.CauseFlush)
+		at, _ = arr.Program(at, ppa, pg(arr), nand.CauseFlush)
 		p.MarkValid(ppa)
 		ppas = append(ppas, ppa)
 	}
@@ -125,7 +125,7 @@ func TestReleaseRecyclesBlock(t *testing.T) {
 	p, arr := testPool(t)
 	s := NewStream(p, RegionData)
 	ppa, _ := s.NextPage()
-	at := arr.Program(0, ppa, pg(arr), nand.CauseFlush)
+	at, _ := arr.Program(0, ppa, pg(arr), nand.CauseFlush)
 	p.MarkValid(ppa)
 	s.Close()
 	b := arr.BlockOf(ppa)

@@ -33,6 +33,12 @@ type ExpOptions struct {
 	Progress io.Writer
 	Seed     int64
 
+	// Faults, when set, runs every cell's device under this fault plan
+	// (transient read errors, grown-bad blocks). Injection is seeded and
+	// deterministic, so a faulted experiment is as reproducible as a clean
+	// one; the report notes the plan it ran under.
+	Faults *anykey.FaultPlan
+
 	// runner intercepts cell execution; nil means run cells in place.
 	// The parallel path swaps in planning and replaying runners.
 	runner cellRunner
@@ -73,6 +79,11 @@ func (o *ExpOptions) baseRun(design anykey.Design, spec workload.Spec) RunConfig
 		Workload: spec,
 		Seed:     o.Seed,
 	}
+	// Cells share the plan pointer (Open copies the plan into each device's
+	// own injector, and nothing mutates it). Sharing matters for the
+	// parallel runner: cellKey embeds this Options value, and the plan and
+	// replay passes must produce identical keys.
+	cfg.Device.Faults = o.Faults
 	if o.Quick {
 		cfg.MaxOps = 25000
 	} else if o.MaxOps > 0 {
@@ -148,10 +159,20 @@ func RunExperiment(id string, opt ExpOptions) (*Report, error) {
 	for _, e := range Experiments() {
 		if e.ID == id {
 			opt.progress("== %s: %s (device %d MB, quick=%v)", e.ID, e.Paper, opt.CapacityMB, opt.Quick)
+			var rep *Report
+			var err error
 			if opt.Parallel > 1 {
-				return runParallel(e, opt)
+				rep, err = runParallel(e, opt)
+			} else {
+				rep, err = e.Run(opt)
 			}
-			return e.Run(opt)
+			if err == nil && opt.Faults != nil {
+				rep.Notes = append(rep.Notes, fmt.Sprintf(
+					"fault plan: seed=%d read-err=%g program-fail=%g erase-fail=%g",
+					opt.Faults.Seed, opt.Faults.ReadErrorRate,
+					opt.Faults.ProgramFailRate, opt.Faults.EraseFailRate))
+			}
+			return rep, err
 		}
 	}
 	return nil, fmt.Errorf("harness: unknown experiment %q", id)

@@ -164,6 +164,10 @@ type Result struct {
 	TreeCompactions, LogCompactions, ChainedCompactions int64
 	GCRuns, GCRelocations                               int64
 
+	// Faults is the injected-fault tally for the whole run (warm-up
+	// included), present only when the device ran under a fault plan.
+	Faults *stats.FaultCounters
+
 	Verified int64 // reads whose payload was checked
 }
 
@@ -267,6 +271,10 @@ func Run(cfg RunConfig) (*Result, error) {
 	res.ChainedCompactions = st.ChainedCompactions
 	res.GCRuns = st.GCRuns
 	res.GCRelocations = st.GCRelocations
+	if st.Faults != nil {
+		c := st.Faults()
+		res.Faults = &c
+	}
 	return res, nil
 }
 

@@ -110,3 +110,27 @@ func TestParallelSurfacesCellErrors(t *testing.T) {
 		t.Fatal("cell error did not surface through the parallel runner")
 	}
 }
+
+// A fault plan rides along as a pointer inside every cell's Options; the
+// plan and replay passes must still agree on cell identity (the pointer is
+// shared, never copied per pass) and the injected faults must be identical.
+func TestParallelMatchesSerialWithFaults(t *testing.T) {
+	exp := parTestExperiment()
+	opt := ExpOptions{Seed: 1, Faults: &anykey.FaultPlan{Seed: 3, ReadErrorRate: 0.02}}
+	opt.defaults()
+
+	serial, err := exp.Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	popt := opt
+	popt.Parallel = 4
+	par, err := runParallel(exp, popt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != par.String() {
+		t.Fatalf("faulted parallel report differs from serial:\n-- serial --\n%s\n-- parallel --\n%s",
+			serial.String(), par.String())
+	}
+}

@@ -169,6 +169,22 @@ func (c Counters) Sub(o Counters) Counters {
 	return d
 }
 
+// Injector decides, per flash operation, whether a fault is injected. The
+// array consults it before mutating any state, so an injector that unwinds
+// the call (a power cut) leaves the flash image exactly as of the previous
+// completed operation. internal/fault provides the seeded implementation.
+type Injector interface {
+	// OnRead returns the number of extra cell reads to charge for a
+	// transient read error on this page (0 = clean read).
+	OnRead(ppa PPA, cause Cause) int
+	// OnProgram reports whether this page program fails its verify step,
+	// retiring the block as grown-bad.
+	OnProgram(ppa PPA, cause Cause) bool
+	// OnErase reports whether this block erase fails, retiring the block as
+	// grown-bad.
+	OnErase(b BlockID, cause Cause) bool
+}
+
 // Array is the simulated flash array. It is not safe for concurrent use;
 // the simulation is single-goroutine virtual time by design.
 type Array struct {
@@ -183,7 +199,13 @@ type Array struct {
 
 	pages    [][]byte // payloads by global page index; nil = unwritten
 	nextPage []int32  // per block: next programmable page index
+	// bad marks grown-bad blocks: a failed program or erase retires the
+	// block for the remainder of the device's life. Bad blocks stay
+	// readable (their already-programmed pages are intact) but reject
+	// programs and erases, exactly like real NAND past its verify step.
+	bad []bool
 
+	inj      Injector
 	counters Counters
 }
 
@@ -199,9 +221,21 @@ func New(geo Geometry, timing Timing) (*Array, error) {
 		channels: make([]sim.Timeline, geo.Channels),
 		pages:    make([][]byte, geo.Pages()),
 		nextPage: make([]int32, geo.Blocks()),
+		bad:      make([]bool, geo.Blocks()),
 	}
 	return a, nil
 }
+
+// SetInjector attaches a fault injector (nil detaches). The injector is
+// part of the array, so it — and the grown-bad state it caused — survives a
+// Reopen after a power cut.
+func (a *Array) SetInjector(inj Injector) { a.inj = inj }
+
+// Injector returns the attached fault injector, if any.
+func (a *Array) Injector() Injector { return a.inj }
+
+// Bad reports whether block b has been retired as grown-bad.
+func (a *Array) Bad(b BlockID) bool { return a.bad[b] }
 
 // Geometry returns the array's shape.
 func (a *Array) Geometry() Geometry { return a.geo }
@@ -236,7 +270,10 @@ func (a *Array) pageType(ppa PPA) int { return a.PageInBlock(ppa) % 3 }
 
 // Read performs a page read issued at time at: the chip is busy for the cell
 // read, then the channel transfers the page out. It returns the completion
-// time. Reading a never-programmed page is an FTL bug and panics.
+// time. A transient read error injected by the fault plan charges extra cell
+// reads (the retry loop of a real controller) before the single transfer;
+// the data is always recovered. Reading a never-programmed page is an FTL
+// bug and panics.
 func (a *Array) Read(at sim.Time, ppa PPA, cause Cause) sim.Time {
 	a.checkPPA(ppa)
 	if a.pages[ppa] == nil {
@@ -244,6 +281,11 @@ func (a *Array) Read(at sim.Time, ppa PPA, cause Cause) sim.Time {
 	}
 	chip := a.chipOf(ppa)
 	cell := a.timing.Read[a.pageType(ppa)]
+	if a.inj != nil {
+		if retries := a.inj.OnRead(ppa, cause); retries > 0 {
+			cell *= sim.Duration(1 + retries)
+		}
+	}
 	xfer := a.timing.transfer(a.geo.PageSize)
 	var done sim.Time
 	if foreground(cause) {
@@ -271,18 +313,49 @@ func (a *Array) advanceWatermark(at sim.Time, chip int) {
 // Program writes data into ppa at time at: the channel transfers the page
 // in, then the chip is busy for the cell program. The array takes ownership
 // of data (it must be exactly PageSize bytes). Programming out of order
-// within a block, or into a non-erased block, panics: both are FTL bugs.
-func (a *Array) Program(at sim.Time, ppa PPA, data []byte, cause Cause) sim.Time {
+// within a block, into a non-erased block, or into a grown-bad block
+// panics: all are FTL bugs (the FTL learns a block is bad from the error
+// returned here and must abandon its write stream).
+//
+// An injected program failure returns a non-nil error: the page is NOT
+// written (its cells failed verify), the block is retired as grown-bad, and
+// the attempt's bus/cell time is still charged. The caller must re-issue
+// the page into a fresh block.
+func (a *Array) Program(at sim.Time, ppa PPA, data []byte, cause Cause) (sim.Time, error) {
 	a.checkPPA(ppa)
 	if len(data) != a.geo.PageSize {
 		panic(fmt.Sprintf("nand: program of %d bytes into %d-byte page", len(data), a.geo.PageSize))
 	}
 	b := a.BlockOf(ppa)
+	if a.bad[b] {
+		panic(fmt.Sprintf("nand: program into grown-bad block %d", b))
+	}
 	if idx := int32(a.PageInBlock(ppa)); idx != a.nextPage[b] {
 		panic(fmt.Sprintf("nand: out-of-order program: block %d page %d, expected %d", b, idx, a.nextPage[b]))
 	}
-	a.nextPage[b]++
-	a.pages[ppa] = data
+	failed := false
+	if a.inj != nil {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					// A power cut struck mid-program: the cells hold a torn,
+					// partial image whose integrity check will fail at mount.
+					// It is the last written page of its block by the in-order
+					// rule, which is how recovery recognises it.
+					torn := make([]byte, len(data))
+					copy(torn, data[:len(data)/2])
+					a.nextPage[b]++
+					a.pages[ppa] = torn
+					panic(r)
+				}
+			}()
+			failed = a.inj.OnProgram(ppa, cause)
+		}()
+	}
+	if !failed {
+		a.nextPage[b]++
+		a.pages[ppa] = data
+	}
 
 	chip := a.chipOf(ppa)
 	xfer := a.timing.transfer(a.geo.PageSize)
@@ -297,21 +370,38 @@ func (a *Array) Program(at sim.Time, ppa PPA, data []byte, cause Cause) sim.Time
 		done = a.chips[chip].ScheduleBG(xferDone, prog, a.timing.bgIdle(prog))
 	}
 	a.counters.Writes[cause]++
-	return done
+	if failed {
+		a.bad[b] = true
+		return done, fmt.Errorf("nand: program failed, block %d retired as grown-bad", b)
+	}
+	return done, nil
 }
 
-// Erase erases block b at time at and returns the completion time.
-func (a *Array) Erase(at sim.Time, b BlockID, cause Cause) sim.Time {
+// Erase erases block b at time at and returns the completion time. Erasing
+// a block already retired as grown-bad returns an error without charging
+// any time. An injected erase failure charges the erase attempt, retires
+// the block (its contents become undefined and are cleared), and returns an
+// error; the FTL must park the block instead of reusing it.
+func (a *Array) Erase(at sim.Time, b BlockID, cause Cause) (sim.Time, error) {
 	if int(b) < 0 || int(b) >= a.geo.Blocks() {
 		panic(fmt.Sprintf("nand: erase of invalid block %d", b))
 	}
+	if a.bad[b] {
+		return at, fmt.Errorf("nand: erase of grown-bad block %d", b)
+	}
+	failed := a.inj != nil && a.inj.OnErase(b, cause)
 	first := int(b) * a.geo.PagesPerBlock
 	for i := 0; i < a.geo.PagesPerBlock; i++ {
 		a.pages[first+i] = nil
 	}
 	a.nextPage[b] = 0
 	a.counters.Erases++
-	return a.chips[a.eraseChipOf(b)].ScheduleBG(at, a.timing.Erase, a.timing.bgIdle(a.timing.Erase))
+	done := a.chips[a.eraseChipOf(b)].ScheduleBG(at, a.timing.Erase, a.timing.bgIdle(a.timing.Erase))
+	if failed {
+		a.bad[b] = true
+		return done, fmt.Errorf("nand: erase failed, block %d retired as grown-bad", b)
+	}
+	return done, nil
 }
 
 // PageData returns the payload programmed into ppa. Callers must have paid

@@ -20,6 +20,15 @@ func testArray(t *testing.T) *Array {
 	return a
 }
 
+func mustProgram(t *testing.T, a *Array, at sim.Time, ppa PPA, data []byte, c Cause) sim.Time {
+	t.Helper()
+	done, err := a.Program(at, ppa, data, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return done
+}
+
 func page(a *Array, fill byte) []byte {
 	b := make([]byte, a.Geometry().PageSize)
 	for i := range b {
@@ -46,7 +55,7 @@ func TestGeometryArithmetic(t *testing.T) {
 func TestProgramReadRoundTrip(t *testing.T) {
 	a := testArray(t)
 	data := page(a, 0xAB)
-	done := a.Program(0, 0, data, CauseFlush)
+	done := mustProgram(t, a, 0, 0, data, CauseFlush)
 	if done <= 0 {
 		t.Fatal("program took no time")
 	}
@@ -71,7 +80,7 @@ func TestPageTypeLatencies(t *testing.T) {
 	// read's cell latency by issuing when chip and channel are long idle.
 	var at sim.Time
 	for i := 0; i < 3; i++ {
-		at = a.Program(at, PPA(i), page(a, byte(i)), CauseFlush)
+		at = mustProgram(t, a, at, PPA(i), page(a, byte(i)), CauseFlush)
 	}
 	idle := at.Add(sim.Second)
 	for i := 0; i < 3; i++ {
@@ -123,7 +132,7 @@ func TestReuseWithoutErasePanics(t *testing.T) {
 	g := a.Geometry()
 	var at sim.Time
 	for i := 0; i < g.PagesPerBlock; i++ {
-		at = a.Program(at, PPA(i), page(a, byte(i)), CauseFlush)
+		at = mustProgram(t, a, at, PPA(i), page(a, byte(i)), CauseFlush)
 	}
 	defer func() {
 		if recover() == nil {
@@ -138,12 +147,15 @@ func TestEraseResetsBlock(t *testing.T) {
 	g := a.Geometry()
 	var at sim.Time
 	for i := 0; i < g.PagesPerBlock; i++ {
-		at = a.Program(at, PPA(i), page(a, byte(i)), CauseFlush)
+		at = mustProgram(t, a, at, PPA(i), page(a, byte(i)), CauseFlush)
 	}
 	if a.FreePagesIn(0) != 0 {
 		t.Fatalf("free pages = %d, want 0", a.FreePagesIn(0))
 	}
-	at = a.Erase(at, 0, CauseGC)
+	at, err := a.Erase(at, 0, CauseGC)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.FreePagesIn(0) != g.PagesPerBlock {
 		t.Fatal("erase did not reset block")
 	}
@@ -190,7 +202,7 @@ func TestCauseString(t *testing.T) {
 
 func TestChipUtilization(t *testing.T) {
 	a := testArray(t)
-	done := a.Program(0, 0, page(a, 1), CauseFlush)
+	done := mustProgram(t, a, 0, 0, page(a, 1), CauseFlush)
 	u := a.ChipUtilization(done)
 	if u <= 0 || u > 1 {
 		t.Fatalf("utilization = %v", u)

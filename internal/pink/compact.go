@@ -115,12 +115,12 @@ func (d *Device) writeDataPages(at sim.Time, entries []memtable.Entry) ([]record
 		if w.Count() == 0 {
 			return nil
 		}
-		ppa, err := d.nextPage(now, d.dataStream)
+		kv.SealPage(pageBuf)
+		ppa, t, err := d.programPage(at, d.dataStream, pageBuf, nand.CauseFlush)
 		if err != nil {
 			return err
 		}
-		kv.SealPage(pageBuf)
-		now = sim.Max(now, d.arr.Program(at, ppa, pageBuf, nand.CauseFlush))
+		now = sim.Max(now, t)
 		live := make([]bool, w.Count())
 		for i := range live {
 			live[i] = true
@@ -169,6 +169,25 @@ func (d *Device) writeDataPages(at sim.Time, entries []memtable.Entry) ([]record
 
 // nextPage allocates the next page of a stream, erasing fully-invalid
 // blocks (safe at any point) when the pool runs dry.
+// programPage allocates a page from stream s and programs img into it,
+// re-issuing into a fresh block when an injected program failure retires the
+// current one as grown-bad. Returns the landed PPA and completion time.
+func (d *Device) programPage(at sim.Time, s *ftl.Stream, img []byte, cause nand.Cause) (nand.PPA, sim.Time, error) {
+	now := at
+	for {
+		ppa, err := d.nextPage(now, s)
+		if err != nil {
+			return 0, now, err
+		}
+		t, perr := d.arr.Program(now, ppa, img, cause)
+		now = t
+		if perr == nil {
+			return ppa, now, nil
+		}
+		s.Close() // the block grew bad; force a fresh one
+	}
+}
+
 func (d *Device) nextPage(at sim.Time, s *ftl.Stream) (nand.PPA, error) {
 	if ppa, ok := s.NextPage(); ok {
 		return ppa, nil
@@ -365,12 +384,11 @@ func (d *Device) rebuildMetaCache() {
 // segmentToFlash programs a segment image into the meta region, using the
 // level's own allocation stream so level rebuilds free whole blocks.
 func (d *Device) segmentToFlash(at sim.Time, levelIdx int, seg *metaSegment, img []byte, cause nand.Cause) (sim.Time, error) {
-	ppa, err := d.nextPage(at, d.metaStream(levelIdx))
+	kv.SealPage(img)
+	ppa, done, err := d.programPage(at, d.metaStream(levelIdx), img, cause)
 	if err != nil {
 		return at, err
 	}
-	kv.SealPage(img)
-	done := d.arr.Program(at, ppa, img, cause)
 	seg.ppa = ppa
 	d.pool.MarkValid(ppa)
 	d.segAt[ppa] = seg

@@ -168,11 +168,11 @@ func (d *Device) gcMetaBlock(at sim.Time, b nand.BlockID) (sim.Time, error) {
 		}
 		now = d.arr.Read(now, ppa, nand.CauseGC)
 		img := d.arr.PageData(ppa)
-		dst, err := d.nextPage(now, d.metaStream(d.levelOfSegment(seg)))
+		dst, t, err := d.programPage(now, d.metaStream(d.levelOfSegment(seg)), img, nand.CauseGC)
 		if err != nil {
 			return now, err
 		}
-		now = d.arr.Program(now, dst, img, nand.CauseGC)
+		now = t
 		d.st.GCRelocations++
 		d.pool.MarkInvalid(ppa)
 		delete(d.segAt, ppa)
