@@ -33,6 +33,7 @@ import (
 	"anykey/internal/pink"
 	"anykey/internal/sim"
 	"anykey/internal/stats"
+	"anykey/internal/trace"
 )
 
 // Re-exported simulation and data types.
@@ -65,6 +66,14 @@ type (
 	// RecoveryInfo describes what the last PowerCycle's recovery found, from
 	// Stats().Recovery.
 	RecoveryInfo = stats.RecoveryInfo
+	// Tracer collects virtual-time events when tracing is enabled; see
+	// Options.Trace and Device.StartTrace. It exports Chrome trace_event
+	// JSON (WriteChromeTrace), CSV (WriteCSV) and blame reports (Blame).
+	Tracer = trace.Tracer
+	// BlameOptions selects which ops a blame report decomposes.
+	BlameOptions = trace.BlameOptions
+	// BlameReport attributes above-percentile op time to named causes.
+	BlameReport = trace.BlameReport
 )
 
 // Errors returned by device operations.
@@ -165,6 +174,23 @@ type Options struct {
 	// for the device's lifetime, so grown-bad blocks and the op counter
 	// survive PowerCycle.
 	Faults *FaultPlan
+
+	// Trace, when non-nil, enables event tracing from the first operation:
+	// host op lifecycles, flash page operations tagged with their cause,
+	// controller-CPU occupancy and background activity spans. Read the
+	// collected trace with Device.Trace(). Tracing observes the schedule
+	// without changing it, so latencies are identical with it on or off.
+	Trace *TraceOptions
+}
+
+// TraceOptions sizes the tracer attached by Options.Trace or
+// Device.StartTrace. The zero value uses the default ring capacities.
+type TraceOptions struct {
+	// EventBuffer is the event-ring capacity (default 262144). When full,
+	// the oldest events are overwritten.
+	EventBuffer int
+	// OpBuffer is the op-record ring capacity (default 65536).
+	OpBuffer int
 }
 
 // validate rejects out-of-range option values before any construction, so
@@ -200,6 +226,9 @@ func (o Options) validate() error {
 		if err := o.Faults.Validate(); err != nil {
 			return fmt.Errorf("%w: %v", ErrInvalidOptions, err)
 		}
+	}
+	if o.Trace != nil && (o.Trace.EventBuffer < 0 || o.Trace.OpBuffer < 0) {
+		return fmt.Errorf("%w: negative trace buffer size %+v", ErrInvalidOptions, *o.Trace)
 	}
 	return nil
 }
@@ -254,6 +283,7 @@ type Device struct {
 	eng    *host.Engine // depth-1 engine backing the facade operations
 	opts   Options
 	inj    *fault.Injector // nil without a fault plan
+	tr     *trace.Tracer   // nil unless tracing is enabled
 	closed bool
 	dead   bool // a power cut fired; only PowerCycle revives the device
 }
@@ -310,7 +340,49 @@ func Open(opts Options) (*Device, error) {
 		d.array().SetInjector(d.inj)
 		impl.Stats().Faults = d.inj.Counters
 	}
+	if opts.Trace != nil {
+		d.attachTracer(trace.New(trace.Config{Events: opts.Trace.EventBuffer, Ops: opts.Trace.OpBuffer}))
+	}
 	return d, nil
+}
+
+// attachTracer wires one tracer through every emitting layer: the host
+// engine (op lifecycles), the firmware (CPU and background spans) and the
+// flash array (page operations).
+func (d *Device) attachTracer(tr *trace.Tracer) {
+	d.tr = tr
+	d.eng.SetTracer(tr)
+	d.array().SetTracer(tr)
+	switch impl := d.impl.(type) {
+	case *core.Device:
+		impl.SetTracer(tr)
+	case *pink.Device:
+		impl.SetTracer(tr)
+	}
+}
+
+// Trace returns the device's tracer, or nil when tracing is off. A nil
+// *Tracer is safe to use: every method on it is a no-op.
+func (d *Device) Trace() *Tracer { return d.tr }
+
+// StartTrace enables tracing mid-life with fresh ring buffers and returns
+// the new tracer. If tracing is already on, the existing tracer is kept
+// (and returned) rather than discarding its events.
+func (d *Device) StartTrace(opts TraceOptions) *Tracer {
+	if d.tr == nil {
+		d.attachTracer(trace.New(trace.Config{Events: opts.EventBuffer, Ops: opts.OpBuffer}))
+	}
+	return d.tr
+}
+
+// StopTrace detaches and returns the tracer (nil if tracing was off). The
+// returned tracer keeps its collected events for export.
+func (d *Device) StopTrace() *Tracer {
+	tr := d.tr
+	if tr != nil {
+		d.attachTracer(nil)
+	}
+	return tr
 }
 
 // array returns the flash array beneath whichever firmware is mounted.
@@ -339,7 +411,12 @@ func (d *Device) NewEngine(depth int) (*Engine, error) {
 	if d.closed {
 		return nil, ErrClosed
 	}
-	return host.NewAt(d.impl, depth, d.eng.Now())
+	eng, err := host.NewAt(d.impl, depth, d.eng.Now())
+	if err != nil {
+		return nil, err
+	}
+	eng.SetTracer(d.tr)
+	return eng, nil
 }
 
 // Close marks the device closed; further operations return ErrClosed. It
@@ -373,6 +450,8 @@ func (d *Device) catchCut(err *error) {
 			panic(r)
 		}
 		d.dead = true
+		d.tr.Instant(trace.BGTrack(trace.CauseRecovery), trace.EvPowerCut,
+			trace.CauseRecovery, d.eng.Now(), pc.Op)
 		*err = fmt.Errorf("%w (flash op %d)", ErrPowerCut, pc.Op)
 	}
 }
@@ -460,6 +539,7 @@ func (d *Device) PowerCycle() error {
 		NoValueLog:    d.opts.Design == DesignAnyKeyMinus,
 		NoHashLists:   d.opts.NoHashLists,
 		Seed:          d.opts.Seed,
+		Tracer:        d.tr,
 	}, c.Array())
 	if err != nil {
 		return err
@@ -473,58 +553,15 @@ func (d *Device) PowerCycle() error {
 	d.impl = reopened
 	d.eng = eng
 	d.dead = false
+	// The tracer, like the injector, spans the cycle: the new engine keeps
+	// appending op records to the same rings.
+	eng.SetTracer(d.tr)
 	// The injector lives on the flash array, which survived the cycle; only
 	// the fresh Stats object needs its counter view re-attached.
 	if d.inj != nil {
 		reopened.Stats().Faults = d.inj.Counters
 	}
 	return nil
-}
-
-// PutAt issues a Put at an explicit virtual time.
-//
-// Deprecated: the At quartet required every caller to uphold the device's
-// non-decreasing-time contract by hand. Use NewEngine, which owns the slot
-// clocks and enforces the contract in one place.
-func (d *Device) PutAt(at Time, key, value []byte) (t Time, err error) {
-	if err := d.gate(); err != nil {
-		return at, err
-	}
-	defer d.catchCut(&err)
-	return d.impl.Put(at, key, value)
-}
-
-// GetAt is the explicit-time variant of Get.
-//
-// Deprecated: use NewEngine (see PutAt).
-func (d *Device) GetAt(at Time, key []byte) (val []byte, t Time, err error) {
-	if err := d.gate(); err != nil {
-		return nil, at, err
-	}
-	defer d.catchCut(&err)
-	return d.impl.Get(at, key)
-}
-
-// DeleteAt is the explicit-time variant of Delete.
-//
-// Deprecated: use NewEngine (see PutAt).
-func (d *Device) DeleteAt(at Time, key []byte) (t Time, err error) {
-	if err := d.gate(); err != nil {
-		return at, err
-	}
-	defer d.catchCut(&err)
-	return d.impl.Delete(at, key)
-}
-
-// ScanAt is the explicit-time variant of Scan.
-//
-// Deprecated: use NewEngine (see PutAt).
-func (d *Device) ScanAt(at Time, start []byte, n int) (pairs []Pair, t Time, err error) {
-	if err := d.gate(); err != nil {
-		return nil, at, err
-	}
-	defer d.catchCut(&err)
-	return d.impl.Scan(at, start, n)
 }
 
 // Stats returns the device's live statistics.
@@ -536,10 +573,3 @@ func (d *Device) Metadata() []MetaStructure { return d.impl.Metadata() }
 // Flash returns the flash operation counters (reads/writes by cause,
 // erases).
 func (d *Device) Flash() FlashCounters { return d.impl.Stats().Flash() }
-
-// Internal returns the underlying simulator device.
-//
-// Deprecated: everything the harness used this for is now on the public
-// surface — Stats, Metadata, Flash, and NewEngine for explicit-time
-// drivers. The interface it leaks is internal and will change.
-func (d *Device) Internal() device.KVSSD { return d.impl }

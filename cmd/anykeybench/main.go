@@ -8,10 +8,19 @@
 //	anykeybench -exp all                # everything, in paper order
 //	anykeybench -exp fig10 -capacity 128 -quick=false
 //	anykeybench -exp all -parallel 8    # fan cells across 8 workers
+//	anykeybench -workload ZippyDB -trace-out trace.json   # traced single run
 //
 // Experiment cells (one simulated device each) are independent, so by
 // default they are fanned across one worker per CPU; -parallel 1 restores
 // the serial path. Reports are identical either way.
+//
+// With -workload, anykeybench runs one traced measurement of that workload
+// instead of an experiment: it prints the run summary and the tail-latency
+// blame report (every above -blame-percentile op's time attributed to the
+// background work it queued behind), and -trace-out saves the event trace —
+// Chrome trace_event JSON loadable in Perfetto / chrome://tracing, or CSV
+// when the path ends in .csv. With -exp, -trace attaches a tracer to every
+// cell (the reports are identical either way; tracing only observes).
 //
 // Each experiment prints the rows/series of the corresponding paper table
 // or figure; EXPERIMENTS.md records the measured-vs-paper comparison.
@@ -22,10 +31,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"anykey"
 	"anykey/internal/harness"
+	"anykey/internal/workload"
 )
 
 func main() {
@@ -44,6 +55,12 @@ func main() {
 		readErrRate = flag.Float64("fault-read-err", 0, "per-read transient error probability [0,1)")
 		progFail    = flag.Float64("fault-program-fail", 0, "per-program failure probability [0,1); failed blocks retire as grown-bad")
 		eraseFail   = flag.Float64("fault-erase-fail", 0, "per-erase failure probability [0,1); failed blocks retire as grown-bad")
+
+		doTrace  = flag.Bool("trace", false, "attach an event tracer to every experiment cell (reports are unchanged; tracing only observes)")
+		traceOut = flag.String("trace-out", "", "single-run mode: save the event trace here (Chrome trace_event JSON; CSV when the path ends in .csv)")
+		blamePct = flag.Float64("blame", 99, "single-run mode: blame-report percentile cut")
+		wl       = flag.String("workload", "", "run one traced measurement of this Table 2 workload instead of an experiment")
+		design   = flag.String("design", "anykey+", "single-run mode: pink | anykey | anykey+ | anykey-")
 	)
 	flag.Parse()
 
@@ -53,13 +70,23 @@ func main() {
 		}
 		return
 	}
+	if *wl != "" {
+		if err := runTraced(*wl, *design, *capacity, *quick, *seed, *maxOps, *blamePct, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "anykeybench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "anykeybench: -exp required (or -list)")
+		fmt.Fprintln(os.Stderr, "anykeybench: -exp required (or -list, -workload)")
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	opt := harness.ExpOptions{CapacityMB: *capacity, Quick: *quick, Seed: *seed, MaxOps: *maxOps, Parallel: *parallel}
+	if *doTrace {
+		opt.Trace = &anykey.TraceOptions{}
+	}
 	if *readErrRate > 0 || *progFail > 0 || *eraseFail > 0 {
 		fs := *faultSeed
 		if fs == 0 {
@@ -103,4 +130,79 @@ func main() {
 		}
 		fmt.Printf("(%s completed in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+var designs = map[string]anykey.Design{
+	"pink":    anykey.DesignPinK,
+	"anykey":  anykey.DesignAnyKey,
+	"anykey+": anykey.DesignAnyKeyPlus,
+	"anykey-": anykey.DesignAnyKeyMinus,
+}
+
+// runTraced runs one traced measurement of a Table 2 workload, prints the
+// blame report, and optionally saves the event trace.
+func runTraced(wl, design string, capacity int, quick bool, seed, maxOps int64, blamePct float64, traceOut string) error {
+	d, ok := designs[strings.ToLower(design)]
+	if !ok {
+		return fmt.Errorf("unknown design %q", design)
+	}
+	spec, ok := workload.ByName(wl)
+	if !ok {
+		return fmt.Errorf("unknown workload %q (see internal/workload Table 2)", wl)
+	}
+	if capacity == 0 {
+		capacity = 64
+		if quick {
+			capacity = 32
+		}
+	}
+	if maxOps == 0 && quick {
+		maxOps = 25000
+	}
+	cfg := harness.RunConfig{
+		Device: anykey.Options{
+			Design:     d,
+			CapacityMB: capacity,
+			DRAMBytes:  int64(capacity) << 20 / 100,
+			Seed:       seed,
+			Trace:      &anykey.TraceOptions{},
+		},
+		Workload: spec,
+		Seed:     seed,
+		MaxOps:   maxOps,
+	}
+	start := time.Now()
+	res, err := harness.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s: %d ops, %.0f IOPS, read p50=%v p99=%v max=%v\n",
+		res.System, res.Workload, res.Ops, res.IOPS,
+		res.ReadLat.Percentile(50), res.ReadLat.Percentile(99), res.ReadLat.Max())
+	rep := res.Trace.Blame(anykey.BlameOptions{Percentile: blamePct})
+	fmt.Print(rep)
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(traceOut, ".csv") {
+			err = res.Trace.WriteCSV(f)
+		} else {
+			err = res.Trace.WriteChromeTrace(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("saving trace: %w", err)
+		}
+		fmt.Printf("trace saved to %s (%d events", traceOut, res.Trace.EventCount())
+		if n := res.Trace.DroppedEvents(); n > 0 {
+			fmt.Printf(", %d dropped", n)
+		}
+		fmt.Println(")")
+	}
+	fmt.Printf("(completed in %v wall time)\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }

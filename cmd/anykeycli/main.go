@@ -19,6 +19,10 @@
 //	cycle                  power-cycle: drop volatile state, recover from flash
 //	stats                  flash counters, compaction/GC, injected faults
 //	meta                   metadata structures and placement
+//	trace on|off           start/stop event tracing
+//	trace save <file>      export the trace as Chrome trace_event JSON
+//	trace csv <file>       export the trace as CSV
+//	trace blame [pct]      tail-latency blame report (default P99)
 //	quit
 //
 // -crashsweep runs the power-cut crash-consistency sweep from
@@ -145,7 +149,7 @@ func repl(dev *anykey.Device, in io.Reader, out io.Writer) {
 		case "quit", "exit":
 			return
 		case "help":
-			fmt.Println("put <k> <v> | get <k> | del <k> | scan <start> <n> | fill <n> <valsize> | sync | cycle | stats | meta | quit")
+			fmt.Println("put <k> <v> | get <k> | del <k> | scan <start> <n> | fill <n> <valsize> | sync | cycle | stats | meta | trace on|off|save <f>|csv <f>|blame [pct] | quit")
 		case "put":
 			if len(fields) != 3 {
 				fmt.Println("usage: put <key> <value>")
@@ -228,9 +232,77 @@ func repl(dev *anykey.Device, in io.Reader, out io.Writer) {
 				}
 				fmt.Printf("  %-24s %10d B  %s\n", m.Name, m.Bytes, place)
 			}
+		case "trace":
+			traceCmd(dev, fmt, fields[1:])
 		default:
 			fmt.Printf("unknown command %q (try 'help')\n", cmd)
 		}
+	}
+}
+
+// traceCmd handles the REPL's trace subcommands.
+func traceCmd(dev *anykey.Device, fmt *printer, args []string) {
+	if len(args) == 0 {
+		fmt.Println("usage: trace on|off|save <file>|csv <file>|blame [pct]")
+		return
+	}
+	switch args[0] {
+	case "on":
+		tr := dev.StartTrace(anykey.TraceOptions{})
+		fmt.Printf("tracing on (%d events retained so far)\n", tr.EventCount())
+	case "off":
+		tr := dev.StopTrace()
+		if tr == nil {
+			fmt.Println("tracing was not on")
+			return
+		}
+		fmt.Printf("tracing off; %d events discarded (save or blame before 'trace off' to use them)\n", tr.EventCount())
+	case "save", "csv":
+		if len(args) != 2 {
+			fmt.Printf("usage: trace %s <file>\n", args[0])
+			return
+		}
+		tr := dev.Trace()
+		if tr == nil {
+			fmt.Println("tracing is off (run 'trace on' first)")
+			return
+		}
+		f, err := os.Create(args[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		if args[0] == "csv" {
+			err = tr.WriteCSV(f)
+		} else {
+			err = tr.WriteChromeTrace(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("wrote %s (%d events, %d ops)\n", args[1], tr.EventCount(), len(tr.Ops()))
+	case "blame":
+		tr := dev.Trace()
+		if tr == nil {
+			fmt.Println("tracing is off (run 'trace on' first)")
+			return
+		}
+		pct := 99.0
+		if len(args) > 1 {
+			p, err := strconv.ParseFloat(args[1], 64)
+			if err != nil || p <= 0 || p > 100 {
+				fmt.Println("usage: trace blame [percentile in (0,100]]")
+				return
+			}
+			pct = p
+		}
+		fmt.Print(tr.Blame(anykey.BlameOptions{Percentile: pct}).String())
+	default:
+		fmt.Printf("unknown trace subcommand %q\n", args[0])
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"anykey/internal/kv"
 	"anykey/internal/nand"
 	"anykey/internal/sim"
+	"anykey/internal/trace"
 	"anykey/internal/xxhash"
 )
 
@@ -117,6 +118,9 @@ func (d *Device) flush(at sim.Time) (sim.Time, error) {
 	done, err := d.compactInto(now, 1, ents, compactOpts{})
 	if err != nil {
 		restore()
+	} else if d.tr != nil {
+		d.tr.Span(trace.BGTrack(trace.CauseFlush), trace.EvFlush,
+			trace.CauseFlush, at, at, done, int64(len(entries)))
 	}
 	return done, err
 }
@@ -142,6 +146,10 @@ func (d *Device) compactInto(at sim.Time, dst int, pending []kv.Entity, opts com
 	// abandoned, and so is the queue — exactly what losing DRAM means.
 	d.invalDefer = false
 	d.drainInval()
+	if err == nil && d.tr != nil {
+		d.tr.Span(trace.BGTrack(trace.CauseCompaction), trace.EvCompaction,
+			trace.CauseCompaction, at, at, now, int64(dst))
+	}
 	return now, err
 }
 
@@ -157,7 +165,7 @@ func (d *Device) compactIntoUnit(at sim.Time, dst int, pending []kv.Entity, opts
 		old, t := d.readLevelEntities(now, dst-1, nand.CauseCompaction)
 		now = t
 		merged := d.mergeEntities(pending, old, dst, d.deepestBelow(dst))
-		now = d.cpu.Occupy(now, sim.Duration(len(merged))*mergeCPUCost)
+		now = d.cpuOccupy(now, sim.Duration(len(merged))*mergeCPUCost, trace.CauseCompaction)
 		if opts.inlineLog {
 			merged, now = d.foldLogValues(now, merged, opts.alphaCut, d.foldSpaceBudget())
 		}

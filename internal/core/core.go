@@ -31,6 +31,7 @@ import (
 	"anykey/internal/memtable"
 	"anykey/internal/nand"
 	"anykey/internal/sim"
+	"anykey/internal/trace"
 	"anykey/internal/xxhash"
 )
 
@@ -86,6 +87,11 @@ type Config struct {
 	// depth of the device's internal write queue in time units. Writes wait
 	// only for the excess beyond this lag.
 	BackgroundLag sim.Duration
+
+	// Tracer, when non-nil, receives firmware events (CPU occupancy,
+	// flush/compaction/GC spans, write stalls). Reopen threads it through a
+	// power cycle; the flash array carries its own tracer reference.
+	Tracer *trace.Tracer
 }
 
 // Defaults fills zero fields with the repository defaults.
@@ -191,6 +197,7 @@ type Device struct {
 	bgDoneAt sim.Time
 	st       *device.Stats
 	opReads  int
+	tr       *trace.Tracer
 }
 
 // pendingInval is one queued value-log invalidation.
@@ -248,7 +255,21 @@ func New(cfg Config) (*Device, error) {
 	d.st.DRAMCapacity = func() int64 { return d.mem.Capacity() }
 	d.st.DRAMUsed = func() int64 { return d.mem.Used() }
 	d.st.Wear = func() ftl.WearStats { return pool.WearStats() }
+	d.tr = cfg.Tracer
 	return d, nil
+}
+
+// SetTracer attaches an event tracer for firmware events (nil detaches).
+// The flash array's tracer is attached separately via Array().SetTracer.
+func (d *Device) SetTracer(tr *trace.Tracer) { d.tr = tr }
+
+// cpuOccupy charges the controller CPU and traces the occupancy span.
+func (d *Device) cpuOccupy(at sim.Time, dur sim.Duration, cause trace.Cause) sim.Time {
+	start, done := d.cpu.OccupyAt(at, dur)
+	if d.tr != nil {
+		d.tr.Span(trace.CPUTrack, trace.EvCPU, cause, at, start, done, 0)
+	}
+	return done
 }
 
 // Stats implements device.KVSSD.
@@ -293,7 +314,7 @@ func (d *Device) Put(at sim.Time, key, value []byte) (sim.Time, error) {
 	if err := d.checkKV(key, value); err != nil {
 		return at, err
 	}
-	done := d.cpu.Occupy(at.Add(d.cfg.RequestOverhead), hashCost)
+	done := d.cpuOccupy(at.Add(d.cfg.RequestOverhead), hashCost, trace.CauseHostWrite)
 	d.accountPut(key, value)
 	d.mt.Put(append([]byte(nil), key...), append([]byte(nil), value...))
 	return d.maybeFlush(at, done)
@@ -304,7 +325,7 @@ func (d *Device) Delete(at sim.Time, key []byte) (sim.Time, error) {
 	if len(key) == 0 {
 		return at, kv.ErrEmptyKey
 	}
-	done := d.cpu.Occupy(at.Add(d.cfg.RequestOverhead), hashCost)
+	done := d.cpuOccupy(at.Add(d.cfg.RequestOverhead), hashCost, trace.CauseHostWrite)
 	d.accountDelete(key)
 	d.mt.Delete(append([]byte(nil), key...))
 	return d.maybeFlush(at, done)
@@ -320,6 +341,10 @@ func (d *Device) maybeFlush(at, done sim.Time) (sim.Time, error) {
 	start := at
 	if gate := d.bgDoneAt.Add(-d.cfg.BackgroundLag); gate.After(start) {
 		start = gate
+	}
+	if d.tr != nil && start.After(at) {
+		d.tr.Span(trace.BGTrack(trace.CauseWriteStall), trace.EvWriteStall,
+			trace.CauseWriteStall, at, at, start, 0)
 	}
 	end, err := d.flush(start)
 	if err != nil {
@@ -396,7 +421,7 @@ func (d *Device) Get(at sim.Time, key []byte) ([]byte, sim.Time, error) {
 		return nil, at, kv.ErrEmptyKey
 	}
 	d.opReads = 0
-	now := d.cpu.Occupy(at.Add(d.cfg.RequestOverhead), hashCost)
+	now := d.cpuOccupy(at.Add(d.cfg.RequestOverhead), hashCost, trace.CauseHostRead)
 	defer func() { d.st.ReadAccesses.Record(d.opReads) }()
 
 	if e, ok := d.mt.Get(key); ok {

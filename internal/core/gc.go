@@ -5,6 +5,7 @@ import (
 	"anykey/internal/kv"
 	"anykey/internal/nand"
 	"anykey/internal/sim"
+	"anykey/internal/trace"
 )
 
 // AnyKey garbage collection (§4.4): victims are relocated at data-segment-
@@ -122,7 +123,12 @@ func (d *Device) gcOnce(at sim.Time) (sim.Time, bool, error) {
 	if d.pool.ValidPages(b) != 0 {
 		panic("core: victim block still has valid pages after relocation")
 	}
-	return d.pool.Release(now, b, nand.CauseGC), true, nil
+	end := d.pool.Release(now, b, nand.CauseGC)
+	if d.tr != nil {
+		d.tr.Span(trace.BGTrack(trace.CauseGC), trace.EvGC,
+			trace.CauseGC, at, at, end, int64(b))
+	}
+	return end, true, nil
 }
 
 // relocateGroup copies one group to a fresh contiguous run and updates its

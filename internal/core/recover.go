@@ -10,6 +10,7 @@ import (
 	"anykey/internal/kv"
 	"anykey/internal/memtable"
 	"anykey/internal/nand"
+	"anykey/internal/trace"
 )
 
 // CorruptPageError reports a page that failed its integrity check in a
@@ -81,9 +82,17 @@ func Reopen(cfg Config, arr *nand.Array) (*Device, error) {
 	d.st.DRAMCapacity = func() int64 { return d.mem.Capacity() }
 	d.st.DRAMUsed = func() int64 { return d.mem.Used() }
 	d.st.Wear = func() ftl.WearStats { return pool.WearStats() }
-	if err := d.recover(); err != nil {
+	d.tr = cfg.Tracer
+	// The mount scan flows through the ordinary flash read path; the scope
+	// relabels its events from "meta" to "recovery" for the trace consumers.
+	d.tr.EnterScope(trace.CauseRecovery)
+	err := d.recover()
+	d.tr.ExitScope()
+	if err != nil {
 		return nil, err
 	}
+	d.tr.Instant(trace.BGTrack(trace.CauseRecovery), trace.EvRecovery,
+		trace.CauseRecovery, 0, int64(d.st.Recovery.TornPagesSkipped))
 	return d, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"anykey/internal/memtable"
 	"anykey/internal/nand"
 	"anykey/internal/sim"
+	"anykey/internal/trace"
 )
 
 // Scan implements device.KVSSD: a range query returning up to n pairs with
@@ -20,7 +21,7 @@ func (d *Device) Scan(at sim.Time, start []byte, n int) ([]kv.Pair, sim.Time, er
 	if n <= 0 {
 		return nil, at, nil
 	}
-	now := d.cpu.Occupy(at.Add(d.cfg.RequestOverhead), hashCost)
+	now := d.cpuOccupy(at.Add(d.cfg.RequestOverhead), hashCost, trace.CauseHostRead)
 
 	pagesRead := make(map[nand.PPA]bool) // scan-global single-read guarantee
 

@@ -6,6 +6,12 @@
 // kind), so two runs of the same workload with the same plan inject
 // bit-for-bit identical faults — which is what makes crash sweeps and
 // fault-recovery tests reproducible.
+//
+// Injected faults are visible to the tracing subsystem without any coupling
+// from here: the flash array (internal/nand) emits a read-retry span for the
+// extra cell time a transient read error costs and program-fail/erase-fail
+// instants for retired blocks, so internal/trace blame reports name
+// fault-retry time explicitly rather than folding it into flash service.
 package fault
 
 import (

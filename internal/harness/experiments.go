@@ -9,6 +9,7 @@ import (
 	"anykey/internal/model"
 	"anykey/internal/nand"
 	"anykey/internal/stats"
+	"anykey/internal/trace"
 	"anykey/internal/workload"
 )
 
@@ -38,6 +39,12 @@ type ExpOptions struct {
 	// deterministic, so a faulted experiment is as reproducible as a clean
 	// one; the report notes the plan it ran under.
 	Faults *anykey.FaultPlan
+
+	// Trace, when set, opens every cell's device with event tracing enabled
+	// and attaches the execution-phase trace and P99 blame report to each
+	// Result. Tracing only observes the schedule, so the report tables are
+	// identical with or without it.
+	Trace *anykey.TraceOptions
 
 	// runner intercepts cell execution; nil means run cells in place.
 	// The parallel path swaps in planning and replaying runners.
@@ -84,6 +91,7 @@ func (o *ExpOptions) baseRun(design anykey.Design, spec workload.Spec) RunConfig
 	// parallel runner: cellKey embeds this Options value, and the plan and
 	// replay passes must produce identical keys.
 	cfg.Device.Faults = o.Faults
+	cfg.Device.Trace = o.Trace
 	if o.Quick {
 		cfg.MaxOps = 25000
 	} else if o.MaxOps > 0 {
@@ -148,6 +156,7 @@ func Experiments() []Experiment {
 		{"ablation-minus", "§6.7: AnyKey− (no value log) vs AnyKey+", expAblationMinus},
 		{"ablation-group", "design ablation: data segment group size", expAblationGroup},
 		{"ablation-hashlist", "design ablation: hash lists on/off", expAblationHashlist},
+		{"blame", "tail-latency blame attribution (trace-based)", expBlame},
 	}
 }
 
@@ -668,6 +677,62 @@ func expAblationMinus(o ExpOptions) (*Report, error) {
 			fcount(writes[0]), fcount(writes[1])})
 	}
 	rep.Tables = append(rep.Tables, t)
+	return rep, nil
+}
+
+// --- blame -------------------------------------------------------------------
+
+// defaultTraceOpts is the TraceOptions value the blame experiment forces on
+// when the caller didn't ask for tracing. It is a shared package-level
+// pointer for the same reason fault plans are: cellKey embeds the Options
+// value, and the parallel runner's planning and replay passes must produce
+// identical keys.
+var defaultTraceOpts = &anykey.TraceOptions{}
+
+// expBlame regenerates the paper's interference narrative (§6.2's "reads
+// stall behind compaction") as a measured table: every above-P99 operation's
+// latency decomposed into named causes from the event trace.
+func expBlame(o ExpOptions) (*Report, error) {
+	rep := &Report{ID: "blame", Title: "Tail-latency blame attribution, above-P99 ops",
+		Notes: []string{"Each above-P99 op's end-to-end time is decomposed against the traced",
+			"schedule: its own flash work (self), time queued behind background flash",
+			"activity by cause, host submission queueing, and controller-CPU time.",
+			"Coverage is the fraction of blamed time carrying a real name."}}
+	wls := []string{"ZippyDB", "W-PinK"}
+	if o.Quick {
+		wls = []string{"ZippyDB"}
+	}
+	causes := []trace.Cause{trace.CauseSelf, trace.CauseCompaction, trace.CauseGC,
+		trace.CauseFlush, trace.CauseWriteStall, trace.CauseHostQueue, trace.CauseCPU}
+	for _, wl := range wls {
+		spec := mustSpec(wl)
+		t := Table{Name: wl, Header: []string{"system", "p99 read", "blamed ops", "coverage",
+			"self", "compaction", "gc", "flush", "write-stall", "host-queue", "cpu", "other"}}
+		for _, sys := range threeSystems {
+			cfg := o.baseRun(sys, spec)
+			if cfg.Device.Trace == nil {
+				cfg.Device.Trace = defaultTraceOpts
+			}
+			res, err := o.run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			b := res.Blame
+			if b == nil {
+				return nil, fmt.Errorf("blame: %s/%s produced no blame report", res.System, wl)
+			}
+			row := []string{res.System, fdur(res.ReadLat.Percentile(99)),
+				fmt.Sprintf("%d/%d", b.BlamedOps, b.TotalOps), fpct(b.Coverage())}
+			var named float64
+			for _, c := range causes {
+				s := b.Share(c)
+				named += s
+				row = append(row, fpct(s))
+			}
+			t.Rows = append(t.Rows, append(row, fpct(1-named)))
+		}
+		rep.Tables = append(rep.Tables, t)
+	}
 	return rep, nil
 }
 

@@ -168,6 +168,13 @@ type Result struct {
 	// included), present only when the device ran under a fault plan.
 	Faults *stats.FaultCounters
 
+	// Trace is the device's tracer when the run was traced
+	// (RunConfig.Device.Trace != nil); it covers the execution phase only —
+	// the tracer is reset at the warm-up barrier. Blame is its attribution
+	// report at the default (P99) cut.
+	Trace *anykey.Tracer
+	Blame *anykey.BlameReport
+
 	Verified int64 // reads whose payload was checked
 }
 
@@ -217,6 +224,9 @@ func Run(cfg RunConfig) (*Result, error) {
 
 	// Phase barrier between warm-up and execution.
 	execStart := eng.Barrier()
+	// Discard warm-up trace data so traces and blame cover the measured
+	// phase only (Reset is a no-op on an untraced device).
+	dev.Trace().Reset()
 	targetBytes := int64(cfg.ExecFactor * float64(cfg.capacityBytes()))
 	var issuedBytes int64
 
@@ -274,6 +284,10 @@ func Run(cfg RunConfig) (*Result, error) {
 	if st.Faults != nil {
 		c := st.Faults()
 		res.Faults = &c
+	}
+	if tr := dev.Trace(); tr != nil {
+		res.Trace = tr
+		res.Blame = tr.Blame(anykey.BlameOptions{})
 	}
 	return res, nil
 }

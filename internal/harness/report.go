@@ -114,16 +114,17 @@ func fratio(v float64) string { return fmt.Sprintf("%.2fx", v) }
 
 func fpct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
 
-// latRow renders the canonical percentile row for a latency histogram.
+// latRow renders the canonical percentile row for a latency histogram. The
+// percentiles come from one Quantiles walk, so every column of the row —
+// and any blame report cut from the same histogram — agrees by
+// construction.
 func latRow(h *stats.Histogram) []string {
-	return []string{
-		fdur(h.Percentile(50)),
-		fdur(h.Percentile(90)),
-		fdur(h.Percentile(95)),
-		fdur(h.Percentile(99)),
-		fdur(h.Percentile(99.9)),
-		fdur(h.Max()),
+	qs := h.Quantiles(50, 90, 95, 99, 99.9)
+	row := make([]string, 0, len(qs)+1)
+	for _, q := range qs {
+		row = append(row, fdur(q))
 	}
+	return append(row, fdur(h.Max()))
 }
 
 // latHeader matches latRow.
@@ -134,10 +135,14 @@ var latHeader = []string{"p50", "p90", "p95", "p99", "p99.9", "max"}
 func cdfTable(name string, labels []string, hs []*stats.Histogram) Table {
 	fracs := []float64{10, 25, 50, 75, 90, 95, 99, 99.9, 99.99, 100}
 	t := Table{Name: name, Header: append([]string{"cumulative"}, labels...)}
-	for _, p := range fracs {
+	cols := make([][]sim.Duration, len(hs))
+	for i, h := range hs {
+		cols[i] = h.Quantiles(fracs...)
+	}
+	for pi, p := range fracs {
 		row := []string{fmt.Sprintf("%.2f%%", p)}
-		for _, h := range hs {
-			row = append(row, fdur(h.Percentile(p)))
+		for _, col := range cols {
+			row = append(row, fdur(col[pi]))
 		}
 		t.Rows = append(t.Rows, row)
 	}

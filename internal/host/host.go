@@ -33,6 +33,7 @@ import (
 	"anykey/internal/kv"
 	"anykey/internal/sim"
 	"anykey/internal/stats"
+	"anykey/internal/trace"
 )
 
 // Completion is the host-visible outcome of one request: when it arrived,
@@ -69,6 +70,7 @@ type Engine struct {
 	clocks    *sim.ClockSet
 	lastIssue sim.Time
 	ops       int64
+	tr        *trace.Tracer
 
 	queueWait stats.Histogram
 	service   stats.Histogram
@@ -92,6 +94,11 @@ func NewAt(dev device.KVSSD, depth int, start sim.Time) (*Engine, error) {
 	}
 	return &Engine{dev: dev, clocks: sim.NewClockSet(depth, start), lastIssue: start}, nil
 }
+
+// SetTracer attaches an event tracer recording op lifecycles (nil
+// detaches). The same tracer should be attached to the device underneath so
+// its flash events link to the ops recorded here.
+func (e *Engine) SetTracer(tr *trace.Tracer) { e.tr = tr }
 
 // Depth returns the engine's queue depth.
 func (e *Engine) Depth() int { return e.clocks.Len() }
@@ -124,7 +131,7 @@ func (e *Engine) ResetBreakdown() {
 // when the chosen slot frees; open-loop requests arrive at the given time
 // and may queue. This is the single place the non-decreasing-time device
 // contract is enforced.
-func (e *Engine) submit(arrival sim.Time, closedLoop bool, do func(at sim.Time) (sim.Time, error)) (Completion, error) {
+func (e *Engine) submit(kind trace.OpKind, arrival sim.Time, closedLoop bool, do func(at sim.Time) (sim.Time, error)) (Completion, error) {
 	slot, free := e.clocks.Earliest()
 	issue := free
 	if !closedLoop && arrival > issue {
@@ -138,10 +145,12 @@ func (e *Engine) submit(arrival sim.Time, closedLoop bool, do func(at sim.Time) 
 	if closedLoop {
 		arrival = issue
 	}
+	seq := e.tr.BeginOp(kind, slot, arrival, issue)
 	done, err := do(issue)
 	if done < issue {
 		done = issue // a device must not complete before the issue instant
 	}
+	e.tr.EndOp(seq, done, err != nil)
 	e.clocks.Set(slot, done)
 	e.lastIssue = issue
 	e.ops++
@@ -152,7 +161,7 @@ func (e *Engine) submit(arrival sim.Time, closedLoop bool, do func(at sim.Time) 
 
 // Put stores a pair through the earliest-free slot (closed loop).
 func (e *Engine) Put(key, value []byte) (Completion, error) {
-	return e.submit(0, true, func(at sim.Time) (sim.Time, error) {
+	return e.submit(trace.OpPut, 0, true, func(at sim.Time) (sim.Time, error) {
 		return e.dev.Put(at, key, value)
 	})
 }
@@ -161,7 +170,7 @@ func (e *Engine) Put(key, value []byte) (Completion, error) {
 // slice is owned by the device and valid until the next operation.
 func (e *Engine) Get(key []byte) (Completion, error) {
 	var v []byte
-	c, err := e.submit(0, true, func(at sim.Time) (done sim.Time, err error) {
+	c, err := e.submit(trace.OpGet, 0, true, func(at sim.Time) (done sim.Time, err error) {
 		v, done, err = e.dev.Get(at, key)
 		return done, err
 	})
@@ -171,7 +180,7 @@ func (e *Engine) Get(key []byte) (Completion, error) {
 
 // Delete removes a key through the earliest-free slot (closed loop).
 func (e *Engine) Delete(key []byte) (Completion, error) {
-	return e.submit(0, true, func(at sim.Time) (sim.Time, error) {
+	return e.submit(trace.OpDelete, 0, true, func(at sim.Time) (sim.Time, error) {
 		return e.dev.Delete(at, key)
 	})
 }
@@ -179,7 +188,7 @@ func (e *Engine) Delete(key []byte) (Completion, error) {
 // Scan runs a range query through the earliest-free slot (closed loop).
 func (e *Engine) Scan(start []byte, n int) (Completion, error) {
 	var ps []kv.Pair
-	c, err := e.submit(0, true, func(at sim.Time) (done sim.Time, err error) {
+	c, err := e.submit(trace.OpScan, 0, true, func(at sim.Time) (done sim.Time, err error) {
 		ps, done, err = e.dev.Scan(at, start, n)
 		return done, err
 	})
@@ -190,7 +199,7 @@ func (e *Engine) Scan(start []byte, n int) (Completion, error) {
 // PutAt is the open-loop Put: the request arrives at the given time and
 // queues if every slot is busy past it.
 func (e *Engine) PutAt(arrival sim.Time, key, value []byte) (Completion, error) {
-	return e.submit(arrival, false, func(at sim.Time) (sim.Time, error) {
+	return e.submit(trace.OpPut, arrival, false, func(at sim.Time) (sim.Time, error) {
 		return e.dev.Put(at, key, value)
 	})
 }
@@ -198,7 +207,7 @@ func (e *Engine) PutAt(arrival sim.Time, key, value []byte) (Completion, error) 
 // GetAt is the open-loop Get.
 func (e *Engine) GetAt(arrival sim.Time, key []byte) (Completion, error) {
 	var v []byte
-	c, err := e.submit(arrival, false, func(at sim.Time) (done sim.Time, err error) {
+	c, err := e.submit(trace.OpGet, arrival, false, func(at sim.Time) (done sim.Time, err error) {
 		v, done, err = e.dev.Get(at, key)
 		return done, err
 	})
@@ -208,7 +217,7 @@ func (e *Engine) GetAt(arrival sim.Time, key []byte) (Completion, error) {
 
 // DeleteAt is the open-loop Delete.
 func (e *Engine) DeleteAt(arrival sim.Time, key []byte) (Completion, error) {
-	return e.submit(arrival, false, func(at sim.Time) (sim.Time, error) {
+	return e.submit(trace.OpDelete, arrival, false, func(at sim.Time) (sim.Time, error) {
 		return e.dev.Delete(at, key)
 	})
 }
@@ -216,7 +225,7 @@ func (e *Engine) DeleteAt(arrival sim.Time, key []byte) (Completion, error) {
 // ScanAt is the open-loop Scan.
 func (e *Engine) ScanAt(arrival sim.Time, start []byte, n int) (Completion, error) {
 	var ps []kv.Pair
-	c, err := e.submit(arrival, false, func(at sim.Time) (done sim.Time, err error) {
+	c, err := e.submit(trace.OpScan, arrival, false, func(at sim.Time) (done sim.Time, err error) {
 		ps, done, err = e.dev.Scan(at, start, n)
 		return done, err
 	})
@@ -231,10 +240,12 @@ func (e *Engine) Sync() (Completion, error) {
 	if at < e.lastIssue {
 		at = e.lastIssue
 	}
+	seq := e.tr.BeginOp(trace.OpSync, 0, at, at)
 	done, err := e.dev.Sync(at)
 	if done < at {
 		done = at
 	}
+	e.tr.EndOp(seq, done, err != nil)
 	for i := 0; i < e.clocks.Len(); i++ {
 		e.clocks.Set(i, done)
 	}

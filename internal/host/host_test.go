@@ -6,9 +6,11 @@ import (
 	"testing"
 
 	"anykey"
+	"anykey/internal/core"
 	"anykey/internal/device"
 	"anykey/internal/host"
 	"anykey/internal/kv"
+	"anykey/internal/nand"
 	"anykey/internal/sim"
 )
 
@@ -59,9 +61,10 @@ func mixedOps(seed int64, count int) []op {
 	return ops
 }
 
-// runLegacy drives ops through the deprecated At quartet with a hand-rolled
-// worker pool and returns the per-op latency sequence.
-func runLegacy(t *testing.T, dev *anykey.Device, depth int, ops []op) []sim.Duration {
+// runLegacy drives ops against the device implementation directly with a
+// hand-rolled worker pool — the pre-engine closed loop, explicit issue
+// times and all — and returns the per-op latency sequence.
+func runLegacy(t *testing.T, dev device.KVSSD, depth int, ops []op) []sim.Duration {
 	t.Helper()
 	pool := newLegacyPool(depth)
 	lats := make([]sim.Duration, 0, len(ops))
@@ -72,16 +75,16 @@ func runLegacy(t *testing.T, dev *anykey.Device, depth int, ops []op) []sim.Dura
 		var err error
 		switch o.kind {
 		case 0:
-			done, err = dev.PutAt(issue, o.key, o.val)
+			done, err = dev.Put(issue, o.key, o.val)
 		case 1:
-			_, done, err = dev.GetAt(issue, o.key)
-			if err == anykey.ErrNotFound {
+			_, done, err = dev.Get(issue, o.key)
+			if err == kv.ErrNotFound {
 				err = nil
 			}
 		case 2:
-			done, err = dev.DeleteAt(issue, o.key)
+			done, err = dev.Delete(issue, o.key)
 		case 3:
-			_, done, err = dev.ScanAt(issue, o.key, o.n)
+			_, done, err = dev.Scan(issue, o.key, o.n)
 		}
 		if err != nil {
 			t.Fatalf("legacy op %d: %v", i, err)
@@ -90,6 +93,19 @@ func runLegacy(t *testing.T, dev *anykey.Device, depth int, ops []op) []sim.Dura
 		lats = append(lats, done.Sub(issue))
 	}
 	return lats
+}
+
+// freshImpl builds the same firmware anykey.Open mounts for a 32 MiB
+// AnyKey+ device, but exposed as the raw device interface the legacy pool
+// drove before the engine existed.
+func freshImpl(t *testing.T) device.KVSSD {
+	t.Helper()
+	geo := nand.Geometry{Channels: 8, ChipsPerChannel: 8, BlocksPerChip: 1, PagesPerBlock: 64, PageSize: 8192}
+	d, err := core.New(core.Config{Geometry: geo, Plus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
 }
 
 // runEngine drives the same ops through the host engine.
@@ -143,7 +159,7 @@ func TestEngineMatchesLegacyPool(t *testing.T) {
 	for _, depth := range []int{1, 4, 64} {
 		t.Run(fmt.Sprintf("qd%d", depth), func(t *testing.T) {
 			ops := mixedOps(int64(depth)*7+1, 4000)
-			legacy := runLegacy(t, freshDevice(t), depth, ops)
+			legacy := runLegacy(t, freshImpl(t), depth, ops)
 			engine := runEngine(t, freshDevice(t), depth, ops)
 			for i := range ops {
 				if legacy[i] != engine[i] {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"anykey/internal/sim"
+	"anykey/internal/trace"
 )
 
 // Geometry describes the physical shape of the flash array.
@@ -206,6 +207,7 @@ type Array struct {
 	bad []bool
 
 	inj      Injector
+	tr       *trace.Tracer
 	counters Counters
 }
 
@@ -233,6 +235,13 @@ func (a *Array) SetInjector(inj Injector) { a.inj = inj }
 
 // Injector returns the attached fault injector, if any.
 func (a *Array) Injector() Injector { return a.inj }
+
+// SetTracer attaches an event tracer (nil detaches). Like the injector, the
+// tracer is part of the array, so it survives a Reopen after a power cut.
+func (a *Array) SetTracer(tr *trace.Tracer) { a.tr = tr }
+
+// Tracer returns the attached tracer, if any.
+func (a *Array) Tracer() *trace.Tracer { return a.tr }
 
 // Bad reports whether block b has been retired as grown-bad.
 func (a *Array) Bad(b BlockID) bool { return a.bad[b] }
@@ -280,21 +289,34 @@ func (a *Array) Read(at sim.Time, ppa PPA, cause Cause) sim.Time {
 		panic(fmt.Sprintf("nand: read of unwritten page %d", ppa))
 	}
 	chip := a.chipOf(ppa)
-	cell := a.timing.Read[a.pageType(ppa)]
+	base := a.timing.Read[a.pageType(ppa)]
+	cell, retries := base, 0
 	if a.inj != nil {
-		if retries := a.inj.OnRead(ppa, cause); retries > 0 {
+		if retries = a.inj.OnRead(ppa, cause); retries > 0 {
 			cell *= sim.Duration(1 + retries)
 		}
 	}
 	xfer := a.timing.transfer(a.geo.PageSize)
-	var done sim.Time
+	var cellStart, cellDone, xferStart, done sim.Time
 	if foreground(cause) {
 		a.advanceWatermark(at, chip)
-		cellDone := a.chips[chip].Schedule(at, cell)
-		done = a.channels[a.channelOf(chip)].Schedule(cellDone, xfer)
+		cellStart, cellDone = a.chips[chip].ScheduleSpan(at, cell)
+		xferStart, done = a.channels[a.channelOf(chip)].ScheduleSpan(cellDone, xfer)
 	} else {
-		cellDone := a.chips[chip].ScheduleBG(at, cell, a.timing.bgIdle(cell))
-		done = a.channels[a.channelOf(chip)].ScheduleBG(cellDone, xfer, a.timing.bgIdle(xfer))
+		cellStart, cellDone = a.chips[chip].ScheduleBGSpan(at, cell, a.timing.bgIdle(cell))
+		xferStart, done = a.channels[a.channelOf(chip)].ScheduleBGSpan(cellDone, xfer, a.timing.bgIdle(xfer))
+	}
+	if a.tr != nil {
+		tc := trace.CauseFromFlash(int(cause), false)
+		chipTrack := trace.MakeTrack(trace.TrackChip, chip)
+		// A retried read splits into the clean cell time and the extra
+		// re-read passes, so the blame report can name the fault.
+		a.tr.Span(chipTrack, trace.EvCellRead, tc, at, cellStart, cellStart.Add(base), int64(ppa))
+		if retries > 0 {
+			a.tr.Span(chipTrack, trace.EvReadRetry, tc, cellStart.Add(base), cellStart.Add(base), cellDone, int64(retries))
+		}
+		a.tr.Span(trace.MakeTrack(trace.TrackChannel, a.channelOf(chip)),
+			trace.EvReadXfer, tc, cellDone, xferStart, done, int64(ppa))
 	}
 	a.counters.Reads[cause]++
 	return done
@@ -360,14 +382,24 @@ func (a *Array) Program(at sim.Time, ppa PPA, data []byte, cause Cause) (sim.Tim
 	chip := a.chipOf(ppa)
 	xfer := a.timing.transfer(a.geo.PageSize)
 	prog := a.timing.Program[a.pageType(ppa)]
-	var done sim.Time
+	var xferStart, xferDone, progStart, done sim.Time
 	if foreground(cause) {
 		a.advanceWatermark(at, chip)
-		xferDone := a.channels[a.channelOf(chip)].Schedule(at, xfer)
-		done = a.chips[chip].Schedule(xferDone, prog)
+		xferStart, xferDone = a.channels[a.channelOf(chip)].ScheduleSpan(at, xfer)
+		progStart, done = a.chips[chip].ScheduleSpan(xferDone, prog)
 	} else {
-		xferDone := a.channels[a.channelOf(chip)].ScheduleBG(at, xfer, a.timing.bgIdle(xfer))
-		done = a.chips[chip].ScheduleBG(xferDone, prog, a.timing.bgIdle(prog))
+		xferStart, xferDone = a.channels[a.channelOf(chip)].ScheduleBGSpan(at, xfer, a.timing.bgIdle(xfer))
+		progStart, done = a.chips[chip].ScheduleBGSpan(xferDone, prog, a.timing.bgIdle(prog))
+	}
+	if a.tr != nil {
+		tc := trace.CauseFromFlash(int(cause), true)
+		chipTrack := trace.MakeTrack(trace.TrackChip, chip)
+		a.tr.Span(trace.MakeTrack(trace.TrackChannel, a.channelOf(chip)),
+			trace.EvWriteXfer, tc, at, xferStart, xferDone, int64(ppa))
+		a.tr.Span(chipTrack, trace.EvProgram, tc, xferDone, progStart, done, int64(ppa))
+		if failed {
+			a.tr.Instant(chipTrack, trace.EvProgramFail, tc, done, int64(b))
+		}
 	}
 	a.counters.Writes[cause]++
 	if failed {
@@ -396,7 +428,15 @@ func (a *Array) Erase(at sim.Time, b BlockID, cause Cause) (sim.Time, error) {
 	}
 	a.nextPage[b] = 0
 	a.counters.Erases++
-	done := a.chips[a.eraseChipOf(b)].ScheduleBG(at, a.timing.Erase, a.timing.bgIdle(a.timing.Erase))
+	chip := a.eraseChipOf(b)
+	start, done := a.chips[chip].ScheduleBGSpan(at, a.timing.Erase, a.timing.bgIdle(a.timing.Erase))
+	if a.tr != nil {
+		tc := trace.CauseFromFlash(int(cause), true)
+		a.tr.Span(trace.MakeTrack(trace.TrackChip, chip), trace.EvErase, tc, at, start, done, int64(b))
+		if failed {
+			a.tr.Instant(trace.MakeTrack(trace.TrackChip, chip), trace.EvEraseFail, tc, done, int64(b))
+		}
+	}
 	if failed {
 		a.bad[b] = true
 		return done, fmt.Errorf("nand: erase failed, block %d retired as grown-bad", b)

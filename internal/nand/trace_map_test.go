@@ -1,0 +1,40 @@
+package nand
+
+import (
+	"testing"
+
+	"anykey/internal/trace"
+)
+
+// trace.CauseFromFlash decodes nand.Cause by ordinal because trace is a
+// leaf package that cannot import nand. This pins the two orderings to each
+// other: reordering either enum must fail here before it silently
+// mislabels every traced flash event.
+func TestTraceCauseMapping(t *testing.T) {
+	cases := []struct {
+		flash Cause
+		write bool
+		want  trace.Cause
+	}{
+		{CauseUser, false, trace.CauseHostRead},
+		{CauseUser, true, trace.CauseHostWrite},
+		{CauseFlush, true, trace.CauseFlush},
+		{CauseCompaction, false, trace.CauseCompaction},
+		{CauseCompaction, true, trace.CauseCompaction},
+		{CauseGC, true, trace.CauseGC},
+		{CauseMeta, false, trace.CauseMeta},
+		{CauseLog, true, trace.CauseLog},
+		{numCauses, false, trace.CauseUnknown},
+	}
+	for _, c := range cases {
+		if got := trace.CauseFromFlash(int(c.flash), c.write); got != c.want {
+			t.Errorf("CauseFromFlash(%v, write=%v) = %v, want %v", c.flash, c.write, got, c.want)
+		}
+	}
+	// The string names must agree too, modulo the user split.
+	for c := CauseFlush; c < numCauses; c++ {
+		if got := trace.CauseFromFlash(int(c), false).String(); got != c.String() {
+			t.Errorf("cause name mismatch at ordinal %d: trace %q, nand %q", int(c), got, c.String())
+		}
+	}
+}

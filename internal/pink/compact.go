@@ -9,6 +9,7 @@ import (
 	"anykey/internal/memtable"
 	"anykey/internal/nand"
 	"anykey/internal/sim"
+	"anykey/internal/trace"
 )
 
 // mergeCPUCost is the controller CPU time charged per merged record during
@@ -26,6 +27,15 @@ const mergeCPUCost = 7 * sim.Nanosecond
 // PinK"): buffered pairs are written to data segment pages and their records
 // merged into L1's meta segments; overflowing levels cascade downward.
 func (d *Device) flush(at sim.Time) (sim.Time, error) {
+	done, err := d.flushCascade(at)
+	if err == nil && d.tr != nil {
+		d.tr.Span(trace.BGTrack(trace.CauseFlush), trace.EvFlush,
+			trace.CauseFlush, at, at, done, 0)
+	}
+	return done, err
+}
+
+func (d *Device) flushCascade(at sim.Time) (sim.Time, error) {
 	// GC must run before the buffer is drained: it re-inserts surviving
 	// pairs into the buffer and classifies victims against installed
 	// records only, so no record may be in flight while it runs. Because
@@ -74,7 +84,7 @@ func (d *Device) flush(at sim.Time) (sim.Time, error) {
 		old, t := d.collectLevelRecords(now, dst-1, nand.CauseCompaction)
 		now = t
 		merged := d.mergeRecords(pending, old, d.deepestBelow(dst))
-		now = d.cpu.Occupy(now, sim.Duration(len(merged))*mergeCPUCost)
+		now = d.cpuOccupy(now, sim.Duration(len(merged))*mergeCPUCost, trace.CauseCompaction)
 		now, err = d.writeLevel(now, dst, merged)
 		if err != nil {
 			return now, err // records of this merge are lost; device is full

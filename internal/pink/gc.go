@@ -7,6 +7,7 @@ import (
 	"anykey/internal/kv"
 	"anykey/internal/nand"
 	"anykey/internal/sim"
+	"anykey/internal/trace"
 )
 
 // PinK garbage collection (§2.2, Table 3): compaction merges only metadata,
@@ -121,6 +122,10 @@ func (d *Device) gcOnce(at sim.Time) (sim.Time, bool, error) {
 		t, err = d.gcMetaBlock(at, pick)
 	} else {
 		t, err = d.gcDataBlock(at, pick)
+	}
+	if err == nil && d.tr != nil {
+		d.tr.Span(trace.BGTrack(trace.CauseGC), trace.EvGC,
+			trace.CauseGC, at, at, t, int64(pick))
 	}
 	return t, err == nil, err
 }

@@ -26,6 +26,7 @@ import (
 	"anykey/internal/memtable"
 	"anykey/internal/nand"
 	"anykey/internal/sim"
+	"anykey/internal/trace"
 )
 
 // Config parameterises a PinK device.
@@ -58,6 +59,10 @@ type Config struct {
 	// behind the host clock before writes stall (the device's internal
 	// write-queue depth in time units).
 	BackgroundLag sim.Duration
+
+	// Tracer, when non-nil, receives firmware events (CPU occupancy,
+	// flush/compaction/GC spans, write stalls).
+	Tracer *trace.Tracer
 }
 
 // Defaults fills zero fields with the repository defaults (a scaled version
@@ -133,6 +138,7 @@ type Device struct {
 	bgDoneAt sim.Time // completion time of the last background chain
 	st       *device.Stats
 	opReads  int // flash reads charged to the Get in flight
+	tr       *trace.Tracer
 }
 
 var _ device.KVSSD = (*Device)(nil)
@@ -164,7 +170,21 @@ func New(cfg Config) (*Device, error) {
 	d.st.Flash = func() nand.Counters { return arr.Counters() }
 	d.st.DRAMCapacity = func() int64 { return d.mem.Capacity() }
 	d.st.DRAMUsed = func() int64 { return d.mem.Used() }
+	d.tr = cfg.Tracer
 	return d, nil
+}
+
+// SetTracer attaches an event tracer for firmware events (nil detaches).
+// The flash array's tracer is attached separately via Array().SetTracer.
+func (d *Device) SetTracer(tr *trace.Tracer) { d.tr = tr }
+
+// cpuOccupy charges the controller CPU and traces the occupancy span.
+func (d *Device) cpuOccupy(at sim.Time, dur sim.Duration, cause trace.Cause) sim.Time {
+	start, done := d.cpu.OccupyAt(at, dur)
+	if d.tr != nil {
+		d.tr.Span(trace.CPUTrack, trace.EvCPU, cause, at, start, done, 0)
+	}
+	return done
 }
 
 // Stats implements device.KVSSD.
@@ -202,7 +222,7 @@ func (d *Device) Put(at sim.Time, key, value []byte) (sim.Time, error) {
 	if err := d.checkKV(key, value); err != nil {
 		return at, err
 	}
-	done := d.cpu.Occupy(at.Add(d.cfg.RequestOverhead), hashCost)
+	done := d.cpuOccupy(at.Add(d.cfg.RequestOverhead), hashCost, trace.CauseHostWrite)
 	_, existed := d.mt.Get(key)
 	if !existed {
 		if _, dup := d.lookupLoc(key); !dup {
@@ -229,6 +249,10 @@ func (d *Device) maybeFlush(at, done sim.Time) (sim.Time, error) {
 	start := at
 	if gate := d.bgDoneAt.Add(-d.cfg.BackgroundLag); gate.After(start) {
 		start = gate
+	}
+	if d.tr != nil && start.After(at) {
+		d.tr.Span(trace.BGTrack(trace.CauseWriteStall), trace.EvWriteStall,
+			trace.CauseWriteStall, at, at, start, 0)
 	}
 	end, err := d.flush(start)
 	if err != nil {
@@ -262,7 +286,7 @@ func (d *Device) Delete(at sim.Time, key []byte) (sim.Time, error) {
 	if len(key) == 0 {
 		return at, kv.ErrEmptyKey
 	}
-	done := d.cpu.Occupy(at.Add(d.cfg.RequestOverhead), hashCost)
+	done := d.cpuOccupy(at.Add(d.cfg.RequestOverhead), hashCost, trace.CauseHostWrite)
 	if e, ok := d.mt.Get(key); ok && !e.Tombstone {
 		d.st.LiveKeys--
 		d.st.LiveBytes -= int64(len(key) + len(e.Value))
@@ -298,7 +322,7 @@ func (d *Device) Get(at sim.Time, key []byte) ([]byte, sim.Time, error) {
 		return nil, at, kv.ErrEmptyKey
 	}
 	d.opReads = 0
-	now := d.cpu.Occupy(at.Add(d.cfg.RequestOverhead), hashCost)
+	now := d.cpuOccupy(at.Add(d.cfg.RequestOverhead), hashCost, trace.CauseHostRead)
 	defer func() { d.st.ReadAccesses.Record(d.opReads) }()
 
 	if e, ok := d.mt.Get(key); ok {

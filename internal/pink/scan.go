@@ -7,6 +7,7 @@ import (
 	"anykey/internal/memtable"
 	"anykey/internal/nand"
 	"anykey/internal/sim"
+	"anykey/internal/trace"
 )
 
 // Scan implements device.KVSSD: a range query returning up to n pairs with
@@ -19,7 +20,7 @@ func (d *Device) Scan(at sim.Time, start []byte, n int) ([]kv.Pair, sim.Time, er
 	if n <= 0 {
 		return nil, at, nil
 	}
-	now := d.cpu.Occupy(at.Add(d.cfg.RequestOverhead), hashCost)
+	now := d.cpuOccupy(at.Add(d.cfg.RequestOverhead), hashCost, trace.CauseHostRead)
 
 	iters := make([]*scanIter, 0, len(d.levels)+1)
 	iters = append(iters, newMemScanIter(d.mt, start))

@@ -27,23 +27,36 @@ type interval struct{ start, end Time }
 // Schedule books a foreground operation of duration d issued at `at` into
 // the earliest available gap and returns its completion time.
 func (t *Timeline) Schedule(at Time, d Duration) Time {
-	start := t.place(at, d)
+	_, done := t.ScheduleSpan(at, d)
+	return done
+}
+
+// ScheduleSpan is Schedule returning the placed interval, which tracing
+// needs to record where the gap-filled operation actually ran.
+func (t *Timeline) ScheduleSpan(at Time, d Duration) (start, done Time) {
+	start = t.place(at, d)
 	t.insert(start, d)
-	return start.Add(d)
+	return start, start.Add(d)
 }
 
 // ScheduleBG books a background operation issued at `at`. Consecutive
 // background operations are separated by idle time `idle` (the throttle
 // gap), which foreground operations may gap-fill.
 func (t *Timeline) ScheduleBG(at Time, d Duration, idle Duration) Time {
+	_, done := t.ScheduleBGSpan(at, d, idle)
+	return done
+}
+
+// ScheduleBGSpan is ScheduleBG returning the placed interval.
+func (t *Timeline) ScheduleBGSpan(at Time, d Duration, idle Duration) (start, done Time) {
 	if at < t.bgGate {
 		at = t.bgGate
 	}
-	start := t.place(at, d)
+	start = t.place(at, d)
 	t.insert(start, d)
-	done := start.Add(d)
+	done = start.Add(d)
 	t.bgGate = done.Add(idle)
-	return done
+	return start, done
 }
 
 // place finds the earliest start ≥ at where d fits.

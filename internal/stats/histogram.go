@@ -117,6 +117,54 @@ func (h *Histogram) Percentile(p float64) sim.Duration {
 	return sim.Duration(h.max)
 }
 
+// Quantiles returns the value at each given percentile, computed in one
+// pass over the buckets. Each element is identical to Percentile(ps[i]);
+// report code uses this so every percentile column of a row derives from
+// the same histogram walk and can never disagree with per-call queries.
+func (h *Histogram) Quantiles(ps ...float64) []sim.Duration {
+	out := make([]sim.Duration, len(ps))
+	if h.total == 0 {
+		return out
+	}
+	type target struct {
+		rank int64
+		pos  int
+	}
+	ts := make([]target, 0, len(ps))
+	for i, p := range ps {
+		rank := int64(math.Ceil(p / 100 * float64(h.total)))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank >= h.total {
+			out[i] = sim.Duration(h.max)
+			continue
+		}
+		ts = append(ts, target{rank, i})
+	}
+	sort.Slice(ts, func(a, b int) bool { return ts[a].rank < ts[b].rank })
+	var seen int64
+	next := 0
+	for i := 0; i < len(h.counts) && next < len(ts); i++ {
+		seen += h.counts[i]
+		for next < len(ts) && seen >= ts[next].rank {
+			v := bucketLow(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			out[ts[next].pos] = sim.Duration(v)
+			next++
+		}
+	}
+	for ; next < len(ts); next++ {
+		out[ts[next].pos] = sim.Duration(h.max)
+	}
+	return out
+}
+
 // Merge adds every observation of o into h.
 func (h *Histogram) Merge(o *Histogram) {
 	if o.total == 0 {

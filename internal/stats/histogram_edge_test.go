@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"testing"
+
+	"anykey/internal/sim"
+)
+
+// TestHistogramEmpty pins the zero-value contract: every query on an empty
+// histogram returns zero rather than panicking or reporting garbage.
+func TestHistogramEmptyQueries(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", h.Count())
+	}
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("Mean/Min/Max = %v/%v/%v, want all 0", h.Mean(), h.Min(), h.Max())
+	}
+	for _, p := range []float64{0, 50, 99.9, 100} {
+		if got := h.Percentile(p); got != 0 {
+			t.Fatalf("Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+	for i, q := range h.Quantiles(50, 99, 100) {
+		if q != 0 {
+			t.Fatalf("Quantiles()[%d] = %v, want 0", i, q)
+		}
+	}
+	if h.CDF(10) != nil {
+		t.Fatalf("CDF of empty histogram should be nil")
+	}
+	if h.Summary() != "n=0" {
+		t.Fatalf("Summary = %q, want n=0", h.Summary())
+	}
+}
+
+// TestHistogramSingleSample: with one observation every percentile is that
+// observation, exactly (the min/max clamps must defeat bucket rounding).
+func TestHistogramSingleSample(t *testing.T) {
+	const v = sim.Duration(123_457) // not a bucket boundary
+	var h Histogram
+	h.Record(v)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count())
+	}
+	if h.Min() != v || h.Max() != v || h.Mean() != v {
+		t.Fatalf("Min/Max/Mean = %v/%v/%v, want %v", h.Min(), h.Max(), h.Mean(), v)
+	}
+	for _, p := range []float64{0.1, 1, 50, 99, 99.99, 100} {
+		if got := h.Percentile(p); got != v {
+			t.Fatalf("Percentile(%v) = %v, want %v", p, got, v)
+		}
+	}
+}
+
+// TestHistogramMergeDisjoint merges two histograms whose ranges do not
+// overlap and checks counts, extremes, and the percentile split point.
+func TestHistogramMergeDisjoint(t *testing.T) {
+	var lo, hi Histogram
+	for i := 0; i < 100; i++ {
+		lo.Record(sim.Duration(1_000 + i)) // 1.000–1.099 µs
+		hi.Record(sim.Duration(1_000_000 + i*1000))
+	}
+	var m Histogram
+	m.Merge(&lo)
+	m.Merge(&hi)
+	if m.Count() != 200 {
+		t.Fatalf("Count = %d, want 200", m.Count())
+	}
+	if m.Min() != lo.Min() || m.Max() != hi.Max() {
+		t.Fatalf("Min/Max = %v/%v, want %v/%v", m.Min(), m.Max(), lo.Min(), hi.Max())
+	}
+	// sum(lo)=104_950, sum(hi)=104_950_000; mean truncates the division.
+	if want := sim.Duration((104_950 + 104_950_000) / 200); m.Mean() != want {
+		t.Fatalf("Mean = %v, want %v", m.Mean(), want)
+	}
+	// The lower half is entirely lo, the upper half entirely hi.
+	if got := m.Percentile(50); got > lo.Max() {
+		t.Fatalf("p50 = %v, want ≤ %v (inside lo's range)", got, lo.Max())
+	}
+	if got := m.Percentile(75); got < 1_000_000 {
+		t.Fatalf("p75 = %v, want ≥ 1ms (inside hi's range)", got)
+	}
+	// Merging an empty histogram is a no-op.
+	before := m.Summary()
+	m.Merge(&Histogram{})
+	if m.Summary() != before {
+		t.Fatalf("merge of empty histogram changed summary: %q -> %q", before, m.Summary())
+	}
+}
+
+// TestQuantilesMatchesPercentile: the single-pass walk must agree with
+// per-call Percentile bit-for-bit, including out-of-order and duplicate
+// percentile arguments — the report tables rely on this equivalence.
+func TestQuantilesMatchesPercentile(t *testing.T) {
+	var h Histogram
+	// A skewed sample with a long tail, plus exact-boundary values.
+	for i := 0; i < 5000; i++ {
+		h.Record(sim.Duration(100 + i%97))
+	}
+	for i := 0; i < 50; i++ {
+		h.Record(sim.Duration(1_000_000 * (i + 1)))
+	}
+	ps := []float64{99.9, 10, 50, 50, 100, 0.01, 95, 99, 99.99, 75}
+	qs := h.Quantiles(ps...)
+	if len(qs) != len(ps) {
+		t.Fatalf("Quantiles returned %d values for %d percentiles", len(qs), len(ps))
+	}
+	for i, p := range ps {
+		if want := h.Percentile(p); qs[i] != want {
+			t.Fatalf("Quantiles[%d] (p=%v) = %v, want Percentile = %v", i, p, qs[i], want)
+		}
+	}
+	if got := h.Quantiles(); len(got) != 0 {
+		t.Fatalf("Quantiles() with no args = %v, want empty", got)
+	}
+}

@@ -1,0 +1,357 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"anykey/internal/sim"
+	"anykey/internal/stats"
+)
+
+// Blame report: for every host operation whose latency lands above a chosen
+// percentile, decompose its end-to-end time into named causes — the paper's
+// interference analysis ("this P99 read was slow because it queued behind a
+// compaction on die 3") as a first-class tool instead of a by-hand reading
+// of traces.
+//
+// The decomposition leans on a scheduling invariant: every flash and CPU
+// event records both when it was dispatched to its track (Issue) and when
+// the track actually ran it (Start), and events on one track never overlap
+// (sim.Timeline fills gaps but never double-books). So an op's time splits
+// into
+//
+//   - submission-queue wait (Arrival → Issued): the host-side slot was busy
+//     with earlier ops — blamed on the host queue;
+//   - its own events' run time (their durations, clipped to the op's
+//     lifetime): blamed on the op itself, or on the background duty the op
+//     performed inline (a write-triggered flush, a fault retry);
+//   - each own event's track wait (Issue → Start): walked against the
+//     track's full schedule; time overlapping another event is blamed on
+//     that event's cause, time in a gap on the next event to run (the
+//     scheduler only leaves a gap when the slot is too small for the waiting
+//     work, so the next occupant is what forced the wait);
+//   - the remainder (fixed request overhead, inter-event firmware time):
+//     blamed on the controller CPU.
+//
+// Anything not covered — an event the ring already overwrote, a track the
+// tracer never saw — lands in CauseUnknown, so the report is honest about
+// its own coverage: Coverage() is the fraction of blamed time carrying a
+// real name.
+
+// BlameOptions selects which ops a blame report covers.
+type BlameOptions struct {
+	// Percentile is the latency cut: ops at or above this percentile of
+	// the traced latency distribution are decomposed. Default 99.
+	Percentile float64
+	// MaxOps caps the per-op detail rows retained (slowest first).
+	// Default 64; the Summary always aggregates every qualifying op.
+	MaxOps int
+}
+
+// OpBlame is the decomposition of one slow operation.
+type OpBlame struct {
+	Op     OpRecord
+	Total  sim.Duration // end-to-end latency (Done − Arrival)
+	Shares [NumCauses]sim.Duration
+}
+
+// Named returns the portion of Total attributed to named causes (everything
+// but CauseUnknown), as a fraction in [0,1].
+func (b OpBlame) Named() float64 {
+	if b.Total <= 0 {
+		return 1
+	}
+	return 1 - float64(b.Shares[CauseUnknown])/float64(b.Total)
+}
+
+// dominantCause returns the largest non-self, non-queue share, for the
+// one-line rendering; falls back to the largest share overall.
+func (b OpBlame) dominantCause() Cause {
+	best, bestAny := CauseSelf, CauseSelf
+	for c := Cause(0); c < NumCauses; c++ {
+		if b.Shares[c] > b.Shares[bestAny] {
+			bestAny = c
+		}
+		if c != CauseSelf && c != CauseHostQueue && c != CauseCPU &&
+			b.Shares[c] > b.Shares[best] {
+			best = c
+		}
+	}
+	if b.Shares[best] > 0 {
+		return best
+	}
+	return bestAny
+}
+
+// BlameReport attributes above-percentile op time to causes.
+type BlameReport struct {
+	Percentile float64
+	Threshold  sim.Duration // latency at the percentile cut
+	TotalOps   int          // ops traced
+	BlamedOps  int          // ops at or above the threshold
+	Ops        []OpBlame    // detailed rows, slowest first (≤ MaxOps)
+	Summary    [NumCauses]sim.Duration
+	Dropped    int64 // events the ring overwrote (coverage caveat)
+}
+
+// TotalBlamed returns the summed latency of all decomposed ops.
+func (r *BlameReport) TotalBlamed() sim.Duration {
+	var t sim.Duration
+	for _, s := range r.Summary {
+		t += s
+	}
+	return t
+}
+
+// Coverage returns the fraction of blamed time attributed to named causes.
+func (r *BlameReport) Coverage() float64 {
+	t := r.TotalBlamed()
+	if t <= 0 {
+		return 1
+	}
+	return 1 - float64(r.Summary[CauseUnknown])/float64(t)
+}
+
+// Share returns cause c's fraction of all blamed time.
+func (r *BlameReport) Share(c Cause) float64 {
+	t := r.TotalBlamed()
+	if t <= 0 {
+		return 0
+	}
+	return float64(r.Summary[c]) / float64(t)
+}
+
+// String renders the report: the cut, the aggregate cause breakdown, and
+// the slowest individual ops with their dominant interferer.
+func (r *BlameReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "blame: %d/%d ops at or above p%g (%v), coverage %.1f%%\n",
+		r.BlamedOps, r.TotalOps, r.Percentile, r.Threshold, 100*r.Coverage())
+	if r.Dropped > 0 {
+		fmt.Fprintf(&sb, "  (ring overwrote %d events; early causes may be undercounted)\n", r.Dropped)
+	}
+	total := r.TotalBlamed()
+	type row struct {
+		c Cause
+		d sim.Duration
+	}
+	rows := make([]row, 0, NumCauses)
+	for c := Cause(0); c < NumCauses; c++ {
+		if r.Summary[c] > 0 {
+			rows = append(rows, row{c, r.Summary[c]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].d > rows[j].d })
+	for _, rw := range rows {
+		fmt.Fprintf(&sb, "  %-15s %6.1f%%  %v\n", rw.c, 100*float64(rw.d)/float64(total), rw.d)
+	}
+	n := len(r.Ops)
+	if n > 5 {
+		n = 5
+	}
+	for i := 0; i < n; i++ {
+		b := r.Ops[i]
+		fmt.Fprintf(&sb, "  slowest[%d]: %s seq=%d lat=%v mostly %s (%.0f%% named)\n",
+			i, b.Op.Kind, b.Op.Seq, b.Total, b.dominantCause(), 100*b.Named())
+	}
+	return sb.String()
+}
+
+// Blame builds the blame report from the tracer's retained ops and events.
+// A nil tracer returns nil.
+func (t *Tracer) Blame(opt BlameOptions) *BlameReport {
+	if t == nil {
+		return nil
+	}
+	if opt.Percentile <= 0 || opt.Percentile > 100 {
+		opt.Percentile = 99
+	}
+	if opt.MaxOps <= 0 {
+		opt.MaxOps = 64
+	}
+	ops := t.Ops()
+	rep := &BlameReport{
+		Percentile: opt.Percentile,
+		TotalOps:   len(ops),
+		Dropped:    t.DroppedEvents(),
+	}
+	if len(ops) == 0 {
+		return rep
+	}
+
+	// The cut uses the same log-bucketed histogram as the harness reports,
+	// so "above P99" here and in a report row mean the same value.
+	var h stats.Histogram
+	for _, op := range ops {
+		h.Record(op.Latency())
+	}
+	rep.Threshold = h.Percentile(opt.Percentile)
+
+	// Index events by op and by track (track lists sorted by start) once.
+	events := t.Events()
+	byOp := make(map[int64][]int, len(ops))
+	byTrack := map[Track][]int{}
+	for i, ev := range events {
+		if ev.Op != 0 {
+			byOp[ev.Op] = append(byOp[ev.Op], i)
+		}
+		byTrack[ev.Track] = append(byTrack[ev.Track], i)
+	}
+	for _, idxs := range byTrack {
+		sort.Slice(idxs, func(a, b int) bool {
+			return events[idxs[a]].Start < events[idxs[b]].Start
+		})
+	}
+
+	for _, op := range ops {
+		if op.Latency() < rep.Threshold {
+			continue
+		}
+		b := blameOp(op, events, byOp[op.Seq], byTrack)
+		rep.BlamedOps++
+		for c := Cause(0); c < NumCauses; c++ {
+			rep.Summary[c] += b.Shares[c]
+		}
+		rep.Ops = append(rep.Ops, b)
+	}
+	sort.Slice(rep.Ops, func(i, j int) bool { return rep.Ops[i].Total > rep.Ops[j].Total })
+	if len(rep.Ops) > opt.MaxOps {
+		rep.Ops = rep.Ops[:opt.MaxOps]
+	}
+	return rep
+}
+
+// blameOp decomposes one op. own lists indexes of events carrying the op's
+// sequence number; byTrack gives each track's full schedule sorted by start.
+func blameOp(op OpRecord, events []Event, own []int, byTrack map[Track][]int) OpBlame {
+	b := OpBlame{Op: op, Total: op.Latency()}
+	if b.Total <= 0 {
+		return b
+	}
+	b.Shares[CauseHostQueue] += op.QueueWait()
+
+	for _, i := range own {
+		ev := events[i]
+		// Run time, clipped to the op's lifetime (an inline flush can
+		// finish after the op's own completion is signalled).
+		s, e := clip(ev.Start, ev.End, op.Arrival, op.Done)
+		if e > s {
+			b.Shares[selfCause(ev)] += e.Sub(s)
+		}
+		// Track wait: Issue → Start, walked against the track schedule.
+		w0, w1 := clip(ev.Issue, ev.Start, op.Arrival, op.Done)
+		if w1 > w0 {
+			blameWindow(&b, events, byTrack[ev.Track], ev.Track, op.Seq, w0, w1)
+		}
+	}
+
+	var sum sim.Duration
+	for c := Cause(0); c < NumCauses; c++ {
+		sum += b.Shares[c]
+	}
+	switch {
+	case sum < b.Total:
+		// Residual time outside any event: the fixed request overhead and
+		// firmware bookkeeping between events — controller CPU.
+		b.Shares[CauseCPU] += b.Total - sum
+	case sum > b.Total:
+		// Nested spans (a flush span over its own flash ops) can double
+		// count; rescale so shares read as fractions of the latency.
+		var acc sim.Duration
+		for c := Cause(0); c < NumCauses; c++ {
+			b.Shares[c] = sim.Duration(int64(b.Shares[c]) * int64(b.Total) / int64(sum))
+			acc += b.Shares[c]
+		}
+		b.Shares[CauseCPU] += b.Total - acc // rounding remainder
+	}
+	return b
+}
+
+// blameWindow attributes the wait window [w0, w1) on one track: overlap
+// with a scheduled event is that event's fault; a gap is the fault of the
+// next event to run (the gap exists because the waiting work didn't fit).
+func blameWindow(b *OpBlame, events []Event, track []int, tr Track, seq int64, w0, w1 sim.Time) {
+	cur := w0
+	for _, i := range track {
+		ev := events[i]
+		if ev.End <= cur || ev.Start == ev.End {
+			continue
+		}
+		if ev.Start >= w1 {
+			break
+		}
+		c := waitCause(ev, seq)
+		if ev.Start > cur { // gap before this occupant
+			b.Shares[c] += ev.Start.Sub(cur)
+			cur = ev.Start
+		}
+		if e := minTime(ev.End, w1); e > cur {
+			b.Shares[c] += e.Sub(cur)
+			cur = e
+		}
+		if cur >= w1 {
+			return
+		}
+	}
+	if cur < w1 {
+		// Schedule not covered by events: on the CPU track that is plain
+		// firmware time; elsewhere the tracer genuinely doesn't know.
+		c := CauseUnknown
+		if tr.Kind() == TrackCPU {
+			c = CauseCPU
+		}
+		b.Shares[c] += w1.Sub(cur)
+	}
+}
+
+// selfCause classifies an op's own event: foreground flash work is the op
+// itself (CauseSelf); background duty performed inline keeps its cause so
+// an inline flush or compaction shows up by name.
+func selfCause(ev Event) Cause {
+	switch ev.Name {
+	case EvWriteStall:
+		return CauseWriteStall
+	case EvReadRetry:
+		return CauseFaultRetry
+	case EvCPU:
+		switch ev.Cause {
+		case CauseHostRead, CauseHostWrite, CauseMeta:
+			return CauseCPU
+		}
+		return ev.Cause
+	}
+	switch ev.Cause {
+	case CauseHostRead, CauseHostWrite, CauseMeta:
+		return CauseSelf
+	}
+	return ev.Cause
+}
+
+// waitCause classifies the event an op waited behind.
+func waitCause(ev Event, seq int64) Cause {
+	if ev.Op == seq {
+		return CauseSelf // waiting behind our own earlier page
+	}
+	if ev.Name == EvReadRetry {
+		return CauseFaultRetry
+	}
+	return ev.Cause
+}
+
+func clip(s, e, lo, hi sim.Time) (sim.Time, sim.Time) {
+	if s < lo {
+		s = lo
+	}
+	if e > hi {
+		e = hi
+	}
+	return s, e
+}
+
+func minTime(a, b sim.Time) sim.Time {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event export: the collected events and op records rendered in
+// the JSON "trace event format" that chrome://tracing and Perfetto load
+// directly. The mapping is one process per resource class and one thread per
+// instance, so the UI shows aligned rows:
+//
+//	pid 1 "host"        one thread per submission slot (op lifecycles)
+//	pid 2 "flash dies"  one thread per chip (cell reads, programs)
+//	pid 3 "channels"    one thread per channel (transfers)
+//	pid 4 "controller"  the firmware CPU (hashing, merges)
+//	pid 5 "background"  one thread per cause (flush/compaction/GC/stall spans)
+//
+// Spans become "X" complete events with microsecond ts/dur (the format's
+// unit); instants become "i" events with process scope. Everything is
+// emitted in one pass with no intermediate tree, so exporting a full ring
+// stays cheap.
+
+const (
+	pidHost = 1 + iota
+	pidChips
+	pidChannels
+	pidCPU
+	pidBackground
+)
+
+// WriteChromeTrace writes the trace as Chrome trace_event JSON.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+		return err
+	}
+	e := &chromeEmitter{w: bw}
+
+	e.metadata("process_name", pidHost, 0, "host")
+	e.metadata("process_name", pidChips, 0, "flash dies")
+	e.metadata("process_name", pidChannels, 0, "channels")
+	e.metadata("process_name", pidCPU, 0, "controller")
+	e.metadata("process_name", pidBackground, 0, "background")
+	e.metadata("thread_name", pidCPU, 0, "cpu")
+
+	if t != nil {
+		threads := map[[2]int]string{}
+		for _, ev := range t.Events() {
+			pid, tid := chromeTrack(ev.Track)
+			threads[[2]int{pid, tid}] = threadName(ev.Track)
+			if ev.Start == ev.End {
+				e.instant(ev, pid, tid)
+			} else {
+				e.span(ev, pid, tid)
+			}
+		}
+		for _, op := range t.Ops() {
+			key := [2]int{pidHost, int(op.Slot)}
+			threads[key] = fmt.Sprintf("slot %d", op.Slot)
+			e.op(op)
+		}
+		// Name threads deterministically regardless of event order.
+		keys := make([][2]int, 0, len(threads))
+		for k := range threads {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, k := range keys {
+			e.metadata("thread_name", k[0], k[1], threads[k])
+		}
+	}
+
+	if e.err != nil {
+		return e.err
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// chromeTrack maps a trace track to a (pid, tid) pair.
+func chromeTrack(tr Track) (pid, tid int) {
+	switch tr.Kind() {
+	case TrackChip:
+		return pidChips, tr.Index()
+	case TrackChannel:
+		return pidChannels, tr.Index()
+	case TrackCPU:
+		return pidCPU, tr.Index()
+	case TrackSlot:
+		return pidHost, tr.Index()
+	default:
+		return pidBackground, tr.Index()
+	}
+}
+
+// threadName labels a track's row in the UI.
+func threadName(tr Track) string {
+	switch tr.Kind() {
+	case TrackChip:
+		return fmt.Sprintf("die %d", tr.Index())
+	case TrackChannel:
+		return fmt.Sprintf("channel %d", tr.Index())
+	case TrackCPU:
+		return "cpu"
+	case TrackSlot:
+		return fmt.Sprintf("slot %d", tr.Index())
+	default:
+		c := Cause(tr.Index())
+		return c.String()
+	}
+}
+
+// chromeEmitter streams trace_event objects, remembering whether a comma is
+// due and the first write error.
+type chromeEmitter struct {
+	w     *bufio.Writer
+	wrote bool
+	err   error
+}
+
+func (e *chromeEmitter) emit(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	if e.wrote {
+		if err := e.w.WriteByte(','); err != nil {
+			e.err = err
+			return
+		}
+	}
+	e.wrote = true
+	if _, err := fmt.Fprintf(e.w, format, args...); err != nil {
+		e.err = err
+	}
+}
+
+func (e *chromeEmitter) metadata(name string, pid, tid int, value string) {
+	e.emit(`{"ph":"M","pid":%d,"tid":%d,"name":%q,"args":{"name":%q}}`,
+		pid, tid, name, value)
+}
+
+// usec converts virtual nanoseconds to the format's microsecond floats.
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+func (e *chromeEmitter) span(ev Event, pid, tid int) {
+	e.emit(`{"ph":"X","pid":%d,"tid":%d,"name":%q,"cat":%q,"ts":%g,"dur":%g,"args":{"cause":%q,"op":%d,"arg":%d,"queued_ns":%d}}`,
+		pid, tid, ev.Name.String(), ev.Cause.String(),
+		usec(int64(ev.Start)), usec(int64(ev.End.Sub(ev.Start))),
+		ev.Cause.String(), ev.Op, ev.Arg, int64(ev.Start.Sub(ev.Issue)))
+}
+
+func (e *chromeEmitter) instant(ev Event, pid, tid int) {
+	e.emit(`{"ph":"i","s":"p","pid":%d,"tid":%d,"name":%q,"cat":%q,"ts":%g,"args":{"cause":%q,"op":%d,"arg":%d}}`,
+		pid, tid, ev.Name.String(), ev.Cause.String(),
+		usec(int64(ev.Start)), ev.Cause.String(), ev.Op, ev.Arg)
+}
+
+func (e *chromeEmitter) op(op OpRecord) {
+	e.emit(`{"ph":"X","pid":%d,"tid":%d,"name":%q,"cat":"op","ts":%g,"dur":%g,"args":{"seq":%d,"queue_ns":%d,"service_ns":%d,"failed":%v}}`,
+		pidHost, int(op.Slot), op.Kind.String(),
+		usec(int64(op.Arrival)), usec(int64(op.Done.Sub(op.Arrival))),
+		op.Seq, int64(op.QueueWait()), int64(op.Done.Sub(op.Issued)), op.Failed)
+}

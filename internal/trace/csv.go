@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// CSV export: one row per op record and per event, in collection order, for
+// ad-hoc scripting (awk/pandas) without a Chrome-trace parser. Columns:
+//
+//	record    "op" or "event"
+//	name      op kind or event name
+//	cause     attribution cause ("" for op rows)
+//	track     "slot:N", "chip:N", "channel:N", "cpu:0", "bg:N"
+//	op        linking sequence number (0 = none)
+//	issue_ns  op arrival / event dispatch time
+//	start_ns  op issue / event start time
+//	end_ns    completion time
+//	arg       event argument (PPA, block, count) or op failure flag
+func (t *Tracer) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "record,name,cause,track,op,issue_ns,start_ns,end_ns,arg"); err != nil {
+		return err
+	}
+	if t != nil {
+		for _, op := range t.Ops() {
+			failed := 0
+			if op.Failed {
+				failed = 1
+			}
+			if _, err := fmt.Fprintf(bw, "op,%s,,slot:%d,%d,%d,%d,%d,%d\n",
+				op.Kind, op.Slot, op.Seq,
+				int64(op.Arrival), int64(op.Issued), int64(op.Done), failed); err != nil {
+				return err
+			}
+		}
+		for _, ev := range t.Events() {
+			if _, err := fmt.Fprintf(bw, "event,%s,%s,%s,%d,%d,%d,%d,%d\n",
+				ev.Name, ev.Cause, ev.Track, ev.Op,
+				int64(ev.Issue), int64(ev.Start), int64(ev.End), ev.Arg); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,174 @@
+package anykey
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// tracedWorkload drives enough mixed traffic through a traced device to
+// force flushes and compactions, and returns the device.
+func tracedWorkload(t *testing.T, design Design) *Device {
+	t.Helper()
+	dev, err := Open(Options{Design: design, CapacityMB: 32, Trace: &TraceOptions{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dev.Close() })
+	val := bytes.Repeat([]byte{0xAB}, 200)
+	for i := 0; i < 4000; i++ {
+		k := []byte(fmt.Sprintf("trace-key-%06d", i%1500))
+		if _, err := dev.Put(k, val); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		if i%3 == 0 {
+			if _, _, err := dev.Get(k); err != nil {
+				t.Fatalf("get %d: %v", i, err)
+			}
+		}
+	}
+	return dev
+}
+
+// TestBlameAttributionCoverage is the acceptance gate of the blame report:
+// on a real traced run, every above-P99 operation's queue+service time must
+// be at least 95% attributed to named causes — CauseUnknown may hold at
+// most 5%, per op and in aggregate.
+func TestBlameAttributionCoverage(t *testing.T) {
+	for _, design := range []Design{DesignAnyKeyPlus, DesignPinK} {
+		t.Run(design.String(), func(t *testing.T) {
+			dev := tracedWorkload(t, design)
+			rep := dev.Trace().Blame(BlameOptions{Percentile: 99, MaxOps: 1 << 20})
+			if rep.BlamedOps == 0 {
+				t.Fatal("no ops above P99; workload too small to exercise blame")
+			}
+			if len(rep.Ops) != rep.BlamedOps {
+				t.Fatalf("detail rows %d != blamed ops %d (raise MaxOps)", len(rep.Ops), rep.BlamedOps)
+			}
+			if cov := rep.Coverage(); cov < 0.95 {
+				t.Fatalf("aggregate coverage %.3f < 0.95\n%s", cov, rep)
+			}
+			for _, b := range rep.Ops {
+				if b.Named() < 0.95 {
+					unknown := b.Shares[len(b.Shares)-1] // CauseUnknown is the last bucket
+					t.Fatalf("op seq=%d lat=%v named %.3f < 0.95 (unknown=%v)",
+						b.Op.Seq, b.Total, b.Named(), unknown)
+				}
+			}
+		})
+	}
+}
+
+// TestChromeExportOfRealTrace validates the Chrome trace_event export of a
+// real (not synthetic) trace: it must parse as JSON and every record must
+// carry the schema's required fields.
+func TestChromeExportOfRealTrace(t *testing.T) {
+	dev := tracedWorkload(t, DesignAnyKeyPlus)
+	var buf bytes.Buffer
+	if err := dev.Trace().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Name string  `json:"name"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) < 1000 {
+		t.Fatalf("only %d trace events; instrumentation looks disconnected", len(f.TraceEvents))
+	}
+	for i, ev := range f.TraceEvents {
+		if ev.Ph == "" || ev.Name == "" || ev.Pid <= 0 {
+			t.Fatalf("event %d missing required fields: %+v", i, ev)
+		}
+		if ev.Ph == "X" && (ev.Ts < 0 || ev.Dur < 0) {
+			t.Fatalf("event %d: negative ts/dur: %+v", i, ev)
+		}
+	}
+}
+
+// TestTracerSurvivesPowerCycle: the tracer must stay attached across a
+// power cycle (like the fault injector) and record the recovery itself.
+func TestTracerSurvivesPowerCycle(t *testing.T) {
+	dev := tracedWorkload(t, DesignAnyKeyPlus)
+	tr := dev.Trace()
+	if _, err := dev.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.PowerCycle(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Trace() != tr {
+		t.Fatal("power cycle swapped or dropped the tracer")
+	}
+	var recovery int
+	for _, ev := range tr.Events() {
+		if ev.Cause.String() == "recovery" {
+			recovery++
+		}
+	}
+	if recovery == 0 {
+		t.Fatal("no recovery-tagged events after power cycle")
+	}
+	// The revived device must keep tracing.
+	before := tr.EventCount()
+	dropped := tr.DroppedEvents()
+	if _, err := dev.Put([]byte("post-cycle"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if tr.EventCount() == before && tr.DroppedEvents() == dropped {
+		t.Fatal("no events recorded after power cycle")
+	}
+	// And ops must keep flowing into the op ring.
+	ops := tr.Ops()
+	if len(ops) == 0 || ops[len(ops)-1].Kind.String() != "put" {
+		t.Fatal("post-cycle op not recorded")
+	}
+}
+
+// TestStartStopTrace exercises mid-life enable/disable.
+func TestStartStopTrace(t *testing.T) {
+	dev, err := Open(Options{CapacityMB: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	if dev.Trace() != nil {
+		t.Fatal("untraced device has a tracer")
+	}
+	if _, err := dev.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	tr := dev.StartTrace(TraceOptions{EventBuffer: 1 << 12, OpBuffer: 1 << 8})
+	if tr == nil || dev.Trace() != tr {
+		t.Fatal("StartTrace did not attach")
+	}
+	if again := dev.StartTrace(TraceOptions{}); again != tr {
+		t.Fatal("second StartTrace replaced the live tracer")
+	}
+	if _, err := dev.Put([]byte("b"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Ops()) == 0 {
+		t.Fatal("no ops recorded while tracing on")
+	}
+	got := dev.StopTrace()
+	if got != tr || dev.Trace() != nil {
+		t.Fatal("StopTrace did not detach")
+	}
+	n := tr.EventCount()
+	if _, err := dev.Put([]byte("c"), []byte("3")); err != nil {
+		t.Fatal(err)
+	}
+	if tr.EventCount() != n {
+		t.Fatal("detached tracer still collecting")
+	}
+}
