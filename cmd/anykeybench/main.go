@@ -9,6 +9,7 @@
 //	anykeybench -exp fig10 -capacity 128 -quick=false
 //	anykeybench -exp all -parallel 8    # fan cells across 8 workers
 //	anykeybench -workload ZippyDB -trace-out trace.json   # traced single run
+//	anykeybench -exp fig12 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiment cells (one simulated device each) are independent, so by
 // default they are fanned across one worker per CPU; -parallel 1 restores
@@ -31,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -56,6 +58,9 @@ func main() {
 		progFail    = flag.Float64("fault-program-fail", 0, "per-program failure probability [0,1); failed blocks retire as grown-bad")
 		eraseFail   = flag.Float64("fault-erase-fail", 0, "per-erase failure probability [0,1); failed blocks retire as grown-bad")
 
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
+
 		doTrace  = flag.Bool("trace", false, "attach an event tracer to every experiment cell (reports are unchanged; tracing only observes)")
 		traceOut = flag.String("trace-out", "", "single-run mode: save the event trace here (Chrome trace_event JSON; CSV when the path ends in .csv)")
 		blamePct = flag.Float64("blame", 99, "single-run mode: blame-report percentile cut")
@@ -63,6 +68,36 @@ func main() {
 		design   = flag.String("design", "anykey+", "single-run mode: pink | anykey | anykey+ | anykey-")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anykeybench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "anykeybench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "anykeybench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "anykeybench:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range harness.Experiments() {

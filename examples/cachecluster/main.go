@@ -10,7 +10,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"anykey"
 )
@@ -78,7 +78,7 @@ func main() {
 			}
 			lats = append(lats, lat)
 		}
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		slices.Sort(lats)
 
 		st := dev.Stats()
 		fmt.Printf("%-8s reads: p50=%-12v p95=%-12v p99=%-12v | flash accesses/read mean=%.2f\n",

@@ -12,7 +12,7 @@ package main
 import (
 	"fmt"
 	"log"
-	"sort"
+	"slices"
 
 	"anykey"
 
@@ -29,7 +29,7 @@ func pct(lats []anykey.Duration, p float64) anykey.Duration {
 	if len(lats) == 0 {
 		return 0
 	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	slices.Sort(lats)
 	return lats[int(p*float64(len(lats)-1))]
 }
 

@@ -205,7 +205,20 @@ func (d *Device) compactIntoUnit(at sim.Time, dst int, pending []kv.Entity, opts
 // durable version of the key (if any) wins the merge instead.
 func (d *Device) readLevelEntities(at sim.Time, i int, cause nand.Cause) ([]kv.Entity, sim.Time) {
 	lv := d.levels[i]
-	var ents []kv.Entity
+	total := 0
+	for _, g := range lv.groups {
+		total += g.count
+	}
+	// The compaction loop holds at most two read runs live at once — the
+	// pending run and the level being consumed — and every merge consumes
+	// both before the next read. Alternating between two device-owned
+	// scratch buffers therefore never overwrites a live run, and the entity
+	// headers (key/value bytes alias flash pages) are reused across merges.
+	d.levelBufIdx ^= 1
+	ents := d.levelBufs[d.levelBufIdx][:0]
+	if cap(ents) < total {
+		ents = make([]kv.Entity, 0, total)
+	}
 	now := at
 	for _, g := range lv.groups {
 		imgs := make([][]byte, g.numPages)
@@ -214,17 +227,20 @@ func (d *Device) readLevelEntities(at sim.Time, i int, cause nand.Cause) ([]kv.E
 			now = sim.Max(now, d.arr.Read(at, ppa, cause))
 			imgs[p] = d.arr.PageData(ppa)
 		}
-		table := readLocationTable(imgs[:g.tablePages], g.count)
+		d.gsc.locs = readLocationTableInto(d.gsc.locs[:0], imgs[:g.tablePages], g.count)
+		table := d.gsc.locs
 		for _, loc := range table {
 			pr := kv.OpenPage(imgs[g.tablePages+int(loc.Page)])
-			e, err := pr.Entity(int(loc.Rec))
-			if err != nil {
+			// Decode straight into the scratch slot; drop it again if the
+			// entity's log value was lost to an uncorrectable fault.
+			ents = append(ents, kv.Entity{})
+			e := &ents[len(ents)-1]
+			if err := pr.EntityInto(e, int(loc.Rec)); err != nil {
 				panic(err)
 			}
 			if e.InLog && d.vlog.isLost(e.LogPtr) {
-				continue
+				ents = ents[:len(ents)-1]
 			}
-			ents = append(ents, e)
 		}
 		d.mem.Release(dramLevelLabel, g.entryBytes())
 		if g.hashes != nil {
@@ -236,6 +252,7 @@ func (d *Device) readLevelEntities(at sim.Time, i int, cause nand.Cause) ([]kv.E
 	lv.groups = nil
 	lv.bytes = 0
 	lv.logInvalid = 0
+	d.levelBufs[d.levelBufIdx] = ents
 	return ents, now
 }
 
@@ -288,16 +305,28 @@ func (d *Device) releaseGroup(g *group) {
 // log-resident values die immediately in the log, and their bytes are
 // attributed to the destination level's invalid counter — the AnyKey+
 // source-selection signal. Tombstones are dropped at the bottom level.
+//
+// The output reuses d.mergeBuf: exactly one merged run is live at a time
+// (compaction units cannot nest and a cascade step consumes the previous
+// run before merging again), and only the entity headers live in the buffer
+// — key/value bytes stay in the flash page images they alias — so reuse
+// makes the merge allocation-free per entity in steady state.
 func (d *Device) mergeEntities(newer, older []kv.Entity, dst int, atBottom bool) []kv.Entity {
-	out := make([]kv.Entity, 0, len(newer)+len(older))
-	emit := func(e kv.Entity) {
+	if need := len(newer) + len(older); cap(d.mergeBuf) < need {
+		// Headroom: merge inputs grow a flush unit at a time during fill, so
+		// an exact-fit buffer would be reallocated on almost every merge.
+		d.mergeBuf = make([]kv.Entity, 0, need+need/2)
+	}
+	out := d.mergeBuf[:0]
+	defer func() { d.mergeBuf = out[:0] }()
+	emit := func(e *kv.Entity) {
 		if e.Tombstone && atBottom {
 			if e.InLog {
 				panic("core: tombstone with log value")
 			}
 			return
 		}
-		out = append(out, e)
+		out = append(out, *e)
 	}
 	drop := func(e *kv.Entity) {
 		if e.InLog {
@@ -309,23 +338,23 @@ func (d *Device) mergeEntities(newer, older []kv.Entity, dst int, atBottom bool)
 	for i < len(newer) && j < len(older) {
 		switch kv.Compare(newer[i].Key, older[j].Key) {
 		case -1:
-			emit(newer[i])
+			emit(&newer[i])
 			i++
 		case 1:
-			emit(older[j])
+			emit(&older[j])
 			j++
 		default:
 			drop(&older[j])
-			emit(newer[i])
+			emit(&newer[i])
 			i++
 			j++
 		}
 	}
 	for ; i < len(newer); i++ {
-		emit(newer[i])
+		emit(&newer[i])
 	}
 	for ; j < len(older); j++ {
-		emit(older[j])
+		emit(&older[j])
 	}
 	return out
 }
@@ -352,7 +381,11 @@ func (d *Device) foldLogValues(at sim.Time, ents []kv.Entity, alphaCut, spaceBud
 	// Batch phase: every needed log page (including fragment-chain
 	// continuations) is read once, all dispatched at the fold instant
 	// (per-die queueing handled by the flash model).
-	pagesRead := make(map[nand.PPA]bool)
+	if d.foldPages == nil {
+		d.foldPages = make(map[nand.PPA]bool)
+	}
+	pagesRead := d.foldPages
+	clear(pagesRead)
 	for i := range ents {
 		if !ents[i].InLog {
 			continue
@@ -375,8 +408,7 @@ func (d *Device) foldLogValues(at sim.Time, ents []kv.Entity, alphaCut, spaceBud
 			builtBytes += int64(e.EncodedSize() + 6)
 			continue
 		}
-		inlined := kv.Entity{Key: e.Key, Hash: e.Hash, Value: make([]byte, e.ValueLen)}
-		candidate := builtBytes + int64(inlined.EncodedSize()+6)
+		candidate := builtBytes + int64(e.InlineSize(e.ValueLen)+6)
 		overAlpha := alphaCut > 0 && candidate > alphaCut
 		overSpace := inlinedBytes+int64(e.ValueLen) > spaceBudget
 		if overAlpha || overSpace {
@@ -385,9 +417,15 @@ func (d *Device) foldLogValues(at sim.Time, ents []kv.Entity, alphaCut, spaceBud
 			// variant — the consolidation path when the group area lacks
 			// room to inline. Write-back defragments the log: the old,
 			// mostly dead blocks lose their last live bytes and erase.
-			valCopy := append([]byte(nil), readVal(e.LogPtr)...)
+			//
+			// The peeked value is used without copying: programmed page
+			// buffers are never mutated (erase only drops the reference),
+			// open-page records are append-only, in-unit invalidations are
+			// deferred, and both vlog.append and writeLevel copy the bytes
+			// onward before the entity dies.
+			val := readVal(e.LogPtr)
 			d.vlog.invalidate(e.LogPtr, e.ValueLen)
-			ptr, t, err := d.vlog.append(appendAt, valCopy, nand.CauseCompaction)
+			ptr, t, err := d.vlog.append(appendAt, val, nand.CauseCompaction)
 			if err == nil {
 				now = sim.Max(now, t)
 				e.LogPtr = ptr
@@ -395,12 +433,12 @@ func (d *Device) foldLogValues(at sim.Time, ents []kv.Entity, alphaCut, spaceBud
 			} else {
 				// No log space at all: inline as a last resort.
 				e.InLog = false
-				e.Value = valCopy
+				e.Value = val
 				builtBytes = candidate
 			}
 			continue
 		}
-		e.Value = append([]byte(nil), readVal(e.LogPtr)...)
+		e.Value = readVal(e.LogPtr)
 		d.vlog.invalidate(e.LogPtr, e.ValueLen)
 		e.InLog = false
 		e.LogPtr = 0
@@ -458,7 +496,7 @@ func (d *Device) writeLevel(at sim.Time, dst int, ents []kv.Entity) (sim.Time, [
 	index := 0
 	for len(remaining) > 0 {
 		cut := takeGroup(remaining, d.cfg.Geometry.PageSize, d.cfg.GroupPages)
-		bg := buildGroup(remaining[:cut], d.cfg.Geometry.PageSize)
+		bg := buildGroup(remaining[:cut], d.cfg.Geometry.PageSize, &d.gsc)
 		// takeGroup sizes the prefix in key order, but pages fill in hash
 		// order, whose bin packing can differ by a page; shrink until the
 		// built group honours the block-bounded run size.
@@ -467,7 +505,7 @@ func (d *Device) writeLevel(at sim.Time, dst int, ents []kv.Entity) (sim.Time, [
 			if cut < 1 {
 				cut = 1
 			}
-			bg = buildGroup(remaining[:cut], d.cfg.Geometry.PageSize)
+			bg = buildGroup(remaining[:cut], d.cfg.Geometry.PageSize, &d.gsc)
 		}
 		t, err := d.installGroup(dispatch, dst, bg, index, cut == len(remaining), nand.CauseCompaction)
 		if err != nil {

@@ -22,7 +22,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"anykey/internal/device"
 	"anykey/internal/dram"
@@ -194,6 +193,21 @@ type Device struct {
 	// stays cheap (§4.3).
 	flushUnit int64
 
+	// mergeBuf is the reusable output scratch for mergeEntities: only one
+	// merged run is live at a time, so compaction allocates no entity
+	// headers in steady state.
+	mergeBuf []kv.Entity
+	// levelBufs are the rotating input scratches for readLevelEntities (see
+	// its comment for why two suffice).
+	levelBufs   [2][]kv.Entity
+	levelBufIdx int
+	// foldPages is foldLogValues' reusable page-accounting set.
+	foldPages map[nand.PPA]bool
+	// gsc backs buildGroup's and readLevelEntities' transient layout arrays.
+	gsc groupScratch
+	// scanPages is Scan's reusable single-read-per-page set.
+	scanPages map[nand.PPA]bool
+
 	bgDoneAt sim.Time
 	st       *device.Stats
 	opReads  int
@@ -315,8 +329,13 @@ func (d *Device) Put(at sim.Time, key, value []byte) (sim.Time, error) {
 		return at, err
 	}
 	done := d.cpuOccupy(at.Add(d.cfg.RequestOverhead), hashCost, trace.CauseHostWrite)
-	d.accountPut(key, value)
-	d.mt.Put(append([]byte(nil), key...), append([]byte(nil), value...))
+	// One backing allocation for both copies; full slice expressions keep an
+	// append to either from reaching the other.
+	buf := make([]byte, len(key)+len(value))
+	copy(buf, key)
+	copy(buf[len(key):], value)
+	prev, had := d.mt.Put(buf[:len(key):len(key)], buf[len(key):])
+	d.accountPut(prev, had, key, value)
 	return d.maybeFlush(at, done)
 }
 
@@ -326,8 +345,8 @@ func (d *Device) Delete(at sim.Time, key []byte) (sim.Time, error) {
 		return at, kv.ErrEmptyKey
 	}
 	done := d.cpuOccupy(at.Add(d.cfg.RequestOverhead), hashCost, trace.CauseHostWrite)
-	d.accountDelete(key)
-	d.mt.Delete(append([]byte(nil), key...))
+	prev, had := d.mt.Delete(append([]byte(nil), key...))
+	d.accountDelete(prev, had, key)
 	return d.maybeFlush(at, done)
 }
 
@@ -354,13 +373,16 @@ func (d *Device) maybeFlush(at, done sim.Time) (sim.Time, error) {
 	return sim.Max(done, start), nil
 }
 
-func (d *Device) accountPut(key, value []byte) {
-	if e, ok := d.mt.Get(key); ok {
-		if e.Tombstone {
+// accountPut adjusts the live-data counters after a memtable insert. prev is
+// the entry the insert replaced (the memtable reports it so accounting does
+// not repeat the skiplist search).
+func (d *Device) accountPut(prev memtable.Entry, had bool, key, value []byte) {
+	if had {
+		if prev.Tombstone {
 			d.st.LiveKeys++
 			d.st.LiveBytes += int64(len(key) + len(value))
 		} else {
-			d.st.LiveBytes += int64(len(value)) - int64(len(e.Value))
+			d.st.LiveBytes += int64(len(value)) - int64(len(prev.Value))
 		}
 		return
 	}
@@ -372,11 +394,11 @@ func (d *Device) accountPut(key, value []byte) {
 	d.st.LiveBytes += int64(len(key) + len(value))
 }
 
-func (d *Device) accountDelete(key []byte) {
-	if e, ok := d.mt.Get(key); ok {
-		if !e.Tombstone {
+func (d *Device) accountDelete(prev memtable.Entry, had bool, key []byte) {
+	if had {
+		if !prev.Tombstone {
 			d.st.LiveKeys--
-			d.st.LiveBytes -= int64(len(key) + len(e.Value))
+			d.st.LiveBytes -= int64(len(key) + len(prev.Value))
 		}
 		return
 	}
@@ -472,7 +494,7 @@ func (d *Device) Get(at sim.Time, key []byte) ([]byte, sim.Time, error) {
 func (d *Device) searchGroup(at sim.Time, g *group, key []byte, hash uint32, cause nand.Cause) (kv.Entity, sim.Time, bool) {
 	h16 := xxhash.Prefix16(hash)
 	// Candidate page: last page whose first-entity prefix ≤ h16.
-	p := sort.Search(len(g.firstHash16), func(i int) bool { return g.firstHash16[i] > h16 }) - 1
+	p := candidatePage(g.firstHash16, h16)
 	if p < 0 {
 		return kv.Entity{}, at, false
 	}
@@ -509,6 +531,22 @@ func (d *Device) searchGroup(at sim.Time, g *group, key []byte, hash uint32, cau
 	}
 }
 
+// candidatePage returns the last page whose first-entity hash prefix is
+// ≤ h16, or -1. A hand-rolled binary search: this runs on every GET that
+// reaches a group, so the sort.Search closure overhead is worth shaving.
+func candidatePage(prefixes []uint16, h16 uint16) int {
+	lo, hi := 0, len(prefixes)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if prefixes[mid] > h16 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo - 1
+}
+
 type pageSearchStatus int
 
 const (
@@ -526,29 +564,37 @@ const (
 	auxContinuesPrev = 1 << 1
 )
 
-// searchPageByHash binary-searches one page's hash-sorted entities.
+// searchPageByHash binary-searches one page's hash-sorted entities. Probes
+// decode only the record's hash (PageReader.EntityHash); the full entity is
+// decoded just for hash matches, whose keys must be compared.
 func searchPageByHash(pr kv.PageReader, key []byte, hash uint32) (kv.Entity, pageSearchStatus) {
 	n := pr.Count()
 	if n == 0 {
 		return kv.Entity{}, pageMiss
 	}
-	lo := sort.Search(n, func(i int) bool {
-		e, err := pr.Entity(i)
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		h, err := pr.EntityHash(mid)
 		if err != nil {
 			panic(err)
 		}
-		return e.Hash >= hash
-	})
+		if h >= hash {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
 	if lo == n {
 		// All hashes below target; the hash-prefix pick was right, so the
 		// key is simply absent (its hash would sort into this page's tail).
 		return kv.Entity{}, pageMiss
 	}
-	first, err := pr.Entity(lo)
+	h, err := pr.EntityHash(lo)
 	if err != nil {
 		panic(err)
 	}
-	if first.Hash != hash {
+	if h != hash {
 		if lo == 0 {
 			// Target hash sorts before every entity here: could live on the
 			// previous page when prefixes tie.
@@ -557,12 +603,18 @@ func searchPageByHash(pr kv.PageReader, key []byte, hash uint32) (kv.Entity, pag
 		return kv.Entity{}, pageMiss
 	}
 	for i := lo; i < n; i++ {
+		if i > lo {
+			h, err := pr.EntityHash(i)
+			if err != nil {
+				panic(err)
+			}
+			if h != hash {
+				return kv.Entity{}, pageMiss
+			}
+		}
 		e, err := pr.Entity(i)
 		if err != nil {
 			panic(err)
-		}
-		if e.Hash != hash {
-			return kv.Entity{}, pageMiss
 		}
 		if kv.Compare(e.Key, key) == 0 {
 			return e, pageHit
@@ -604,7 +656,7 @@ func (d *Device) lookupEntity(key []byte) (kv.Entity, *group, bool) {
 // searchGroupFree is searchGroup without timing charges.
 func (d *Device) searchGroupFree(g *group, key []byte, hash uint32) (kv.Entity, bool) {
 	h16 := xxhash.Prefix16(hash)
-	p := sort.Search(len(g.firstHash16), func(i int) bool { return g.firstHash16[i] > h16 }) - 1
+	p := candidatePage(g.firstHash16, h16)
 	for p >= 0 && p < g.entityPages() {
 		pr := kv.OpenPage(d.arr.PageData(g.entityPPA(p)))
 		ent, stat := searchPageByHash(pr, key, hash)

@@ -29,7 +29,7 @@ func smallConfig() Config {
 	}
 }
 
-func newSmall(t *testing.T, cfg Config) *Device {
+func newSmall(t testing.TB, cfg Config) *Device {
 	t.Helper()
 	d, err := New(cfg)
 	if err != nil {

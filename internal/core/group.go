@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"anykey/internal/kv"
 	"anykey/internal/nand"
@@ -48,10 +48,20 @@ func (g *group) entryBytes() int64 {
 // hashListBytes is the DRAM footprint of the hash list when present.
 func (g *group) hashListBytes() int64 { return int64(4 * len(g.hashes)) }
 
-// hashContains binary-searches the hash list.
+// hashContains binary-searches the hash list. Hand-rolled (no sort.Search
+// closure) because this probe runs once per level per GET.
 func (g *group) hashContains(h uint32) bool {
-	i := sort.Search(len(g.hashes), func(i int) bool { return g.hashes[i] >= h })
-	return i < len(g.hashes) && g.hashes[i] == h
+	hs := g.hashes
+	lo, hi := 0, len(hs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if hs[mid] < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(hs) && hs[lo] == h
 }
 
 // entityPages returns the number of pages holding entities.
@@ -76,13 +86,20 @@ type level struct {
 
 // findGroup returns the unique group whose key range may contain key.
 func (lv *level) findGroup(key []byte) *group {
-	i := sort.Search(len(lv.groups), func(i int) bool {
-		return kv.Compare(lv.groups[i].smallest, key) > 0
-	})
-	if i == 0 {
+	gs := lv.groups
+	lo, hi := 0, len(gs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if kv.Compare(gs[mid].smallest, key) > 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 {
 		return nil
 	}
-	return lv.groups[i-1]
+	return gs[lo-1]
 }
 
 // logValid sums the level's live value-log bytes (the base AnyKey
@@ -218,67 +235,100 @@ func groupLayout(ents []kv.Entity, count, pageSize, maxPages int) (pages int, ok
 
 // takeGroup selects the longest prefix of ents that fits one group and
 // returns the cut index. ents must be non-empty and key-sorted.
+//
+// Page consumption is monotone in the prefix length (adding an entity never
+// shrinks the entity pages or the location table), so a single forward scan
+// tracking the incremental packing finds the cut in O(cut) — the old
+// exponential-plus-binary search re-ran the O(n) layout O(log n) times.
 func takeGroup(ents []kv.Entity, pageSize, maxPages int) int {
-	// Exponential + binary search for the largest fitting count.
-	lo := 1
-	if _, ok := groupLayout(ents, 1, pageSize, maxPages); !ok {
-		panic(fmt.Sprintf("core: entity of %d bytes does not fit a group", ents[0].EncodedSize()))
-	}
-	hi := 2
-	for hi <= len(ents) {
-		if _, ok := groupLayout(ents, hi, pageSize, maxPages); !ok {
-			break
+	payload := pagePayload(pageSize)
+	chunk := tableChunk(pageSize)
+	entityPages := 0
+	free := 0
+	for i := range ents {
+		need := ents[i].EncodedSize() + 2
+		if need > free {
+			if need > payload {
+				if i == 0 {
+					panic(fmt.Sprintf("core: entity of %d bytes does not fit a group", ents[0].EncodedSize()))
+				}
+				return i // single entity larger than a page ends the prefix
+			}
+			entityPages++
+			free = payload
 		}
-		lo = hi
-		hi *= 2
-	}
-	if hi > len(ents) {
-		hi = len(ents)
-		if _, ok := groupLayout(ents, hi, pageSize, maxPages); ok {
-			return hi
-		}
-	}
-	// Invariant: lo fits, hi does not.
-	for hi-lo > 1 {
-		mid := (lo + hi) / 2
-		if _, ok := groupLayout(ents, mid, pageSize, maxPages); ok {
-			lo = mid
-		} else {
-			hi = mid
+		free -= need
+		tablePages := ((i+1)*locEntrySize + chunk - 1) / chunk
+		if tablePages+entityPages > maxPages {
+			if i == 0 {
+				panic(fmt.Sprintf("core: entity of %d bytes does not fit a group", ents[0].EncodedSize()))
+			}
+			return i
 		}
 	}
-	return lo
+	return len(ents)
 }
+
+// groupScratch holds buildGroup's transient per-call arrays so a compaction
+// (which builds groups in a tight loop) reuses one set of allocations. The
+// zero value is ready to use; a nil scratch allocates fresh arrays.
+type groupScratch struct {
+	order     []uint64
+	tmp       []uint64 // radix-sort double buffer
+	positions []pagePos
+	pageOf    []int
+	table     []byte
+	extra     []byte // table-page header staging (copied into the image)
+	firstHash []uint32
+	lastHash  []uint32
+	locs      []locEntry // readLocationTableInto output
+}
+
+// pagePos is an entity's {page, record} slot within a group.
+type pagePos struct{ page, rec uint16 }
 
 // buildGroup lays out one data segment group from key-sorted entities:
 // entities are re-sorted by hash, packed into pages behind the key-sorted
 // location table, and the per-page hash prefixes and collision bits are
-// derived (§4.1, Fig. 7).
-func buildGroup(ents []kv.Entity, pageSize int) *builtGroup {
+// derived (§4.1, Fig. 7). Everything retained past the call (page images,
+// the descriptor, the hash list) is freshly allocated; sc only backs the
+// transient layout arrays.
+func buildGroup(ents []kv.Entity, pageSize int, sc *groupScratch) *builtGroup {
+	if sc == nil {
+		sc = &groupScratch{}
+	}
 	count := len(ents)
 	payload := pagePayload(pageSize)
 
-	// Hash order, ties broken by key for determinism.
-	order := make([]int, count)
-	for i := range order {
-		order[i] = i
+	// Hash order, ties broken by key for determinism. The input is key-sorted
+	// with distinct keys, so breaking hash ties by input index yields exactly
+	// the (hash, key) order. Packing hash<<32|index into one uint64 makes
+	// that order total and the unique sorted permutation is by construction
+	// the stable one. count is bounded far below 2^32 (it fits one group's
+	// pages).
+	if cap(sc.order) < count {
+		sc.order = make([]uint64, count)
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ea, eb := &ents[order[a]], &ents[order[b]]
-		if ea.Hash != eb.Hash {
-			return ea.Hash < eb.Hash
-		}
-		return kv.Compare(ea.Key, eb.Key) < 0
-	})
+	order := sc.order[:count]
+	for i := range order {
+		order[i] = uint64(ents[i].Hash)<<32 | uint64(i)
+	}
+	sortHashOrder(order, sc)
 
 	// Assign entities to pages (same arithmetic as groupLayout).
-	type pos struct{ page, rec uint16 }
-	positions := make([]pos, count) // indexed by key order
-	pageOf := make([]int, count)    // indexed by hash order
+	if cap(sc.positions) < count {
+		sc.positions = make([]pagePos, count)
+	}
+	if cap(sc.pageOf) < count {
+		sc.pageOf = make([]int, count)
+	}
+	positions := sc.positions[:count] // indexed by key order
+	pageOf := sc.pageOf[:count]      // indexed by hash order
 	entityPages := 0
 	free := 0
 	rec := 0
-	for hi, ki := range order {
+	for hi, o := range order {
+		ki := int(o & 0xffffffff)
 		need := ents[ki].EncodedSize() + 2
 		if need > free {
 			entityPages++
@@ -287,16 +337,17 @@ func buildGroup(ents []kv.Entity, pageSize int) *builtGroup {
 		}
 		free -= need
 		pageOf[hi] = entityPages - 1
-		positions[ki] = pos{page: uint16(entityPages - 1), rec: uint16(rec)}
+		positions[ki] = pagePos{page: uint16(entityPages - 1), rec: uint16(rec)}
 		rec++
 	}
 
 	// Location table bytes, key order.
-	table := make([]byte, 0, count*locEntrySize)
+	table := sc.table[:0]
 	for ki := 0; ki < count; ki++ {
 		p := positions[ki]
 		table = append(table, byte(p.page), byte(p.page>>8), byte(p.rec), byte(p.rec>>8))
 	}
+	sc.table = table
 	chunk := tableChunk(pageSize)
 	tablePages := (len(table) + chunk - 1) / chunk
 	if count == 0 {
@@ -320,7 +371,10 @@ func buildGroup(ents []kv.Entity, pageSize int) *builtGroup {
 			end = len(table)
 		}
 		img := make([]byte, pageSize)
-		extra := make([]byte, groupHdrSize+end-off)
+		if n := groupHdrSize + end - off; cap(sc.extra) < n {
+			sc.extra = make([]byte, n)
+		}
+		extra := sc.extra[:groupHdrSize+end-off]
 		magic := groupContMagic
 		if off == 0 {
 			magic = groupMagic
@@ -331,11 +385,18 @@ func buildGroup(ents []kv.Entity, pageSize int) *builtGroup {
 		pages = append(pages, img)
 	}
 
-	// Entity pages.
+	// Entity pages. First/last hashes are recorded per page so the
+	// continues-next pass below needs no entity re-decoding.
 	var w *kv.PageWriter
 	var img []byte
 	var pageFirst, pageLast uint32 // first/last hash on current page
 	var prevLast uint32
+	if cap(sc.firstHash) < entityPages {
+		sc.firstHash = make([]uint32, entityPages)
+		sc.lastHash = make([]uint32, entityPages)
+	}
+	firstHash := sc.firstHash[:entityPages]
+	lastHash := sc.lastHash[:entityPages]
 	havePrev := false
 	curPage := -1
 	finishPage := func() {
@@ -351,20 +412,22 @@ func buildGroup(ents []kv.Entity, pageSize int) *builtGroup {
 		prevLast = pageLast
 		havePrev = true
 	}
-	for hi, ki := range order {
-		e := &ents[ki]
+	for hi, o := range order {
+		e := &ents[int(o&0xffffffff)]
 		if pageOf[hi] != curPage {
 			finishPage()
 			curPage = pageOf[hi]
 			img = make([]byte, pageSize)
 			w = kv.NewPageWriter(img, nil)
 			pageFirst = e.Hash
+			firstHash[curPage] = e.Hash
 			g.firstHash16[curPage] = xxhash.Prefix16(e.Hash)
 		}
 		if !w.AppendEntity(e) {
 			panic("core: layout mismatch: entity does not fit its assigned page")
 		}
 		pageLast = e.Hash
+		lastHash[curPage] = e.Hash
 		g.count++
 		g.bytes += int64(len(e.Key)) + int64(e.Len())
 		if e.InLog {
@@ -378,27 +441,53 @@ func buildGroup(ents []kv.Entity, pageSize int) *builtGroup {
 	// Second pass for the continues-next bits: page p's last hash equals
 	// page p+1's first hash.
 	for p := 0; p+1 < entityPages; p++ {
-		next := kv.OpenPage(pages[tablePages+p+1])
-		cur := kv.OpenPage(pages[tablePages+p])
-		lastEnt, err := cur.Entity(cur.Count() - 1)
-		if err != nil {
-			panic(err)
-		}
-		firstEnt, err := next.Entity(0)
-		if err != nil {
-			panic(err)
-		}
-		if lastEnt.Hash == firstEnt.Hash {
-			rewriteAux(pages[tablePages+p], cur.Aux()|auxContinuesNext)
+		if lastHash[p] == firstHash[p+1] {
+			rewriteAux(pages[tablePages+p], kv.OpenPage(pages[tablePages+p]).Aux()|auxContinuesNext)
 		}
 	}
 
-	sort.Slice(bg.entityHashes, func(a, b int) bool { return bg.entityHashes[a] < bg.entityHashes[b] })
+	// entityHashes was appended in hash order above, so it is already the
+	// sorted hash list the group needs.
 	bg.pages = pages
 	if len(pages) != g.numPages {
 		panic(fmt.Sprintf("core: built %d pages, expected %d", len(pages), g.numPages))
 	}
 	return bg
+}
+
+// sortHashOrder sorts hash<<32|index composites ascending. Large runs use a
+// stable LSD radix sort over the four hash bytes: the low 32 bits (input
+// indices) are strictly increasing, so a stable sort by hash alone leaves
+// hash ties in index order — the same total order slices.Sort produces on
+// the full composite, at a fraction of the comparison-sort cost.
+func sortHashOrder(order []uint64, sc *groupScratch) {
+	if len(order) < 128 {
+		slices.Sort(order)
+		return
+	}
+	if cap(sc.tmp) < len(order) {
+		sc.tmp = make([]uint64, len(order))
+	}
+	tmp := sc.tmp[:len(order)]
+	src, dst := order, tmp
+	for shift := 32; shift < 64; shift += 8 {
+		var cnt [256]int
+		for _, v := range src {
+			cnt[(v>>shift)&0xff]++
+		}
+		sum := 0
+		for i, c := range cnt {
+			cnt[i] = sum
+			sum += c
+		}
+		for _, v := range src {
+			b := (v >> shift) & 0xff
+			dst[cnt[b]] = v
+			cnt[b]++
+		}
+		src, dst = dst, src
+	}
+	// Four passes: the final result landed back in the caller's slice.
 }
 
 // rewriteAux patches a finished page image's aux field in place (pages are
@@ -409,21 +498,31 @@ func rewriteAux(img []byte, v uint16) {
 	img[3] = byte(v >> 8)
 }
 
+// locEntry is one location-table entry: an entity's {page, record} address
+// in key order.
+type locEntry = struct{ Page, Rec uint16 }
+
 // readLocationTable decodes a group's location table from its table pages
 // (already read by the caller), skipping each page's persistent header.
-func readLocationTable(imgs [][]byte, count int) []struct{ Page, Rec uint16 } {
-	out := make([]struct{ Page, Rec uint16 }, 0, count)
+func readLocationTable(imgs [][]byte, count int) []locEntry {
+	return readLocationTableInto(make([]locEntry, 0, count), imgs, count)
+}
+
+// readLocationTableInto is readLocationTable appending into dst's storage,
+// for callers that consume the table before their next read.
+func readLocationTableInto(dst []locEntry, imgs [][]byte, count int) []locEntry {
+	out := dst
 	for _, img := range imgs {
 		extra := kv.OpenPage(img).Extra()[groupHdrSize:]
 		for off := 0; off+locEntrySize <= len(extra); off += locEntrySize {
-			out = append(out, struct{ Page, Rec uint16 }{
+			out = append(out, locEntry{
 				Page: uint16(extra[off]) | uint16(extra[off+1])<<8,
 				Rec:  uint16(extra[off+2]) | uint16(extra[off+3])<<8,
 			})
 		}
 	}
-	if len(out) != count {
-		panic(fmt.Sprintf("core: location table has %d entries, group has %d", len(out), count))
+	if len(out)-len(dst) != count {
+		panic(fmt.Sprintf("core: location table has %d entries, group has %d", len(out)-len(dst), count))
 	}
 	return out
 }

@@ -65,7 +65,7 @@ func TestTakeGroupRespectsMaxPages(t *testing.T) {
 
 func TestBuildGroupRoundTrip(t *testing.T) {
 	ents := makeEntities(200, 12, 30, 3)
-	bg := buildGroup(ents, 1024)
+	bg := buildGroup(ents, 1024, nil)
 	g := bg.g
 	if g.count != 200 || len(bg.pages) != g.numPages {
 		t.Fatalf("group: count=%d pages=%d/%d", g.count, len(bg.pages), g.numPages)
@@ -126,7 +126,7 @@ func TestBuildGroupCollisionBits(t *testing.T) {
 		ents = append(ents, kv.Entity{Key: key, Hash: 0xABCD1234, Value: make([]byte, 60)})
 	}
 	sort.Slice(ents, func(a, b int) bool { return kv.Compare(ents[a].Key, ents[b].Key) < 0 })
-	bg := buildGroup(ents, 1024)
+	bg := buildGroup(ents, 1024, nil)
 	g := bg.g
 	if g.entityPages() < 2 {
 		t.Fatalf("collision run fits one page (%d); test needs spanning", g.entityPages())
@@ -148,7 +148,7 @@ func TestBuildGroupProperty(t *testing.T) {
 	f := func(seed int64, n uint8, valSize uint8) bool {
 		count := int(n)%150 + 1
 		ents := makeEntities(count, 10, int(valSize)%100+1, seed)
-		bg := buildGroup(ents, 1024)
+		bg := buildGroup(ents, 1024, nil)
 		if bg.g.count != count {
 			return false
 		}
@@ -218,7 +218,7 @@ func TestBigTableSpillsPages(t *testing.T) {
 	// Tiny values force thousands of entities per group; the location table
 	// must spill beyond one page.
 	ents := makeEntities(2000, 10, 2, 9)
-	bg := buildGroup(ents, 1024)
+	bg := buildGroup(ents, 1024, nil)
 	wantTable := (2000*locEntrySize + tableChunk(1024) - 1) / tableChunk(1024)
 	if bg.g.tablePages != wantTable || bg.g.tablePages < 2 {
 		t.Fatalf("tablePages = %d, want %d (≥2)", bg.g.tablePages, wantTable)
@@ -293,7 +293,7 @@ func TestGroupSearchProperty(t *testing.T) {
 				Value: []byte(fmt.Sprintf("v-%d", i)),
 			})
 		}
-		bg := buildGroup(ents, cfg.Geometry.PageSize)
+		bg := buildGroup(ents, cfg.Geometry.PageSize, nil)
 		ppa, err := d.nextRun(now, 1, bg.g.numPages)
 		if err != nil {
 			t.Fatal(err)

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"anykey/internal/device"
 	"anykey/internal/dram"
@@ -237,8 +237,8 @@ func (d *Device) recover() error {
 		}
 	}
 	for _, lv := range d.levels {
-		sort.Slice(lv.groups, func(i, j int) bool {
-			return kv.Compare(lv.groups[i].smallest, lv.groups[j].smallest) < 0
+		slices.SortFunc(lv.groups, func(a, b *group) int {
+			return kv.Compare(a.smallest, b.smallest)
 		})
 	}
 	d.recLogPages = nil
@@ -319,7 +319,15 @@ func selectEpochs(groups []foundGroup) (chosen map[int]uint32, mounted map[int][
 		for e := range epochs {
 			order = append(order, e)
 		}
-		sort.Slice(order, func(i, j int) bool { return order[i] > order[j] })
+		slices.SortFunc(order, func(a, b uint32) int {
+			switch {
+			case a > b:
+				return -1
+			case a < b:
+				return 1
+			}
+			return 0
+		})
 		for _, e := range order {
 			if fgs, ok := completeEpoch(epochs[e]); ok {
 				chosen[l] = e
@@ -379,7 +387,15 @@ func (d *Device) recoverLog(pages []logPageRef) {
 		}
 		d.recLogPages[lp.logical] = true
 	}
-	sort.Slice(pages, func(i, j int) bool { return pages[i].seq < pages[j].seq })
+	slices.SortFunc(pages, func(a, b logPageRef) int {
+		switch {
+		case a.seq < b.seq:
+			return -1
+		case a.seq > b.seq:
+			return 1
+		}
+		return 0
+	})
 	var pendingPtr uint64 // fragment awaiting its continuation
 	var remaining uint64  // bytes still owed to the value being assembled
 	for _, lp := range pages {
@@ -461,7 +477,7 @@ func (d *Device) adoptGroup(hdr groupHeader, firstPPA nand.PPA) (*group, error) 
 		}
 		g.smallest = append([]byte(nil), e.Key...)
 	}
-	sort.Slice(hashes, func(a, b int) bool { return hashes[a] < hashes[b] })
+	slices.Sort(hashes)
 	b := d.arr.BlockOf(firstPPA)
 	d.groupsAt[b] = append(d.groupsAt[b], g)
 	d.mem.MustReserve(dramLevelLabel, g.entryBytes())

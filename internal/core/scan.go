@@ -23,7 +23,12 @@ func (d *Device) Scan(at sim.Time, start []byte, n int) ([]kv.Pair, sim.Time, er
 	}
 	now := d.cpuOccupy(at.Add(d.cfg.RequestOverhead), hashCost, trace.CauseHostRead)
 
-	pagesRead := make(map[nand.PPA]bool) // scan-global single-read guarantee
+	// Scan-global single-read guarantee, on a reusable device-owned set.
+	if d.scanPages == nil {
+		d.scanPages = make(map[nand.PPA]bool)
+	}
+	pagesRead := d.scanPages
+	clear(pagesRead)
 
 	iters := make([]*scanCursor, 0, len(d.levels)+1)
 	iters = append(iters, newMemCursor(d.mt, start))
@@ -36,27 +41,22 @@ func (d *Device) Scan(at sim.Time, start []byte, n int) ([]kv.Pair, sim.Time, er
 	out := make([]kv.Pair, 0, n)
 	for len(out) < n {
 		best := -1
+		var bestKey []byte
 		for i, it := range iters {
 			if !it.valid() {
 				continue
 			}
 			k, t := it.key(now)
 			now = t
-			if best < 0 {
+			if best < 0 || kv.Compare(k, bestKey) < 0 {
 				best = i
-				continue
-			}
-			bk, t2 := iters[best].key(now)
-			now = t2
-			if kv.Compare(k, bk) < 0 {
-				best = i
+				bestKey = k
 			}
 		}
 		if best < 0 {
 			break
 		}
-		winKey, t := iters[best].key(now)
-		now = t
+		winKey := bestKey
 		ent, t2 := iters[best].entity(now)
 		now = t2
 		if ent.InLog && d.vlog.isLost(ent.LogPtr) {
@@ -97,26 +97,30 @@ func (d *Device) Scan(at sim.Time, start []byte, n int) ([]kv.Pair, sim.Time, er
 
 // scanCursor iterates one source (memtable or one level) in key order.
 type scanCursor struct {
-	// memtable source
-	mem []memtable.Entry
-	mi  int
+	// memtable source: a lazy skiplist iterator — the device is
+	// single-threaded and a scan never mutates the memtable, so no
+	// snapshot copy is needed.
+	memIt memtable.Iter
 
 	// level source
 	d         *Device
 	lv        *level
 	gi        int // current group index
 	ki        int // key index within group (location-table order)
-	table     []struct{ Page, Rec uint16 }
+	table     []struct{ Page, Rec uint16 } // reused across group crossings
+	loaded    bool                         // table holds gi's location table
 	pagesRead map[nand.PPA]bool
+
+	// cur caches the decoded entity at (gi, ki): the merge loop asks for
+	// the cursor's key several times per emitted pair, and re-reads are
+	// free anyway (pagesRead dedups the flash charge), so the cache only
+	// skips redundant record decodes — timing is unchanged.
+	cur   kv.Entity
+	curOK bool
 }
 
 func newMemCursor(mt *memtable.Table, start []byte) *scanCursor {
-	c := &scanCursor{}
-	mt.AscendFrom(start, func(e memtable.Entry) bool {
-		c.mem = append(c.mem, e)
-		return true
-	})
-	return c
+	return &scanCursor{memIt: mt.IterFrom(start)}
 }
 
 // seek positions the cursor at the first key ≥ start.
@@ -145,6 +149,7 @@ func (c *scanCursor) seek(at sim.Time, start []byte) sim.Time {
 		}
 		if lo < g.count {
 			c.ki = lo
+			c.curOK = false
 			return now
 		}
 		c.gi++ // every key in this group is below start
@@ -162,8 +167,10 @@ func (c *scanCursor) loadGroup(at sim.Time) sim.Time {
 		now = c.read(now, ppa)
 		imgs[p] = c.d.arr.PageData(ppa)
 	}
-	c.table = readLocationTable(imgs, g.count)
+	c.table = readLocationTableInto(c.table[:0], imgs, g.count)
+	c.loaded = true
 	c.ki = 0
+	c.curOK = false
 	return now
 }
 
@@ -179,7 +186,7 @@ func (c *scanCursor) read(at sim.Time, ppa nand.PPA) sim.Time {
 // entityAt fetches the group's i-th entity in key order, lazily loading the
 // group's location table after a group crossing.
 func (c *scanCursor) entityAt(at sim.Time, i int) (kv.Entity, sim.Time) {
-	if c.table == nil {
+	if !c.loaded {
 		at = c.loadGroup(at)
 	}
 	g := c.lv.groups[c.gi]
@@ -196,38 +203,51 @@ func (c *scanCursor) entityAt(at sim.Time, i int) (kv.Entity, sim.Time) {
 
 func (c *scanCursor) valid() bool {
 	if c.d == nil {
-		return c.mi < len(c.mem)
+		return c.memIt.Valid()
 	}
 	return c.gi < len(c.lv.groups)
 }
 
 func (c *scanCursor) key(at sim.Time) ([]byte, sim.Time) {
 	if c.d == nil {
-		return c.mem[c.mi].Key, at
+		return c.memIt.Entry().Key, at
 	}
-	e, t := c.entityAt(at, c.ki)
+	e, t := c.current(at)
 	return e.Key, t
+}
+
+// current returns the cached entity at the cursor position, decoding once
+// per position.
+func (c *scanCursor) current(at sim.Time) (*kv.Entity, sim.Time) {
+	if !c.curOK {
+		e, t := c.entityAt(at, c.ki)
+		c.cur, at = e, t
+		c.curOK = true
+	}
+	return &c.cur, at
 }
 
 // entity returns the full entity at the cursor (memtable entries are
 // converted to the entity shape).
 func (c *scanCursor) entity(at sim.Time) (kv.Entity, sim.Time) {
 	if c.d == nil {
-		m := c.mem[c.mi]
+		m := c.memIt.Entry()
 		return kv.Entity{Key: m.Key, Value: m.Value, Tombstone: m.Tombstone}, at
 	}
-	return c.entityAt(at, c.ki)
+	e, t := c.current(at)
+	return *e, t
 }
 
 func (c *scanCursor) next() {
 	if c.d == nil {
-		c.mi++
+		c.memIt.Next()
 		return
 	}
+	c.curOK = false
 	c.ki++
 	if c.ki >= len(c.table) {
 		c.gi++
-		c.table = nil // next group's table loads lazily on first access
+		c.loaded = false // next group's table loads lazily on first access
 		c.ki = 0
 	}
 }

@@ -49,6 +49,10 @@ type vlog struct {
 	// so recovery can replay the stream and rebuild fragment chains.
 	seq uint64
 
+	// recBuf is the reusable fragment-record scratch for append: AppendRaw
+	// copies the record into the page image, so nothing retains it.
+	recBuf []byte
+
 	// remap redirects a page's logical (pointer-visible) address to its
 	// physical home when a program failure forced the sealed page image into
 	// a different block. Pointers and liveness stay keyed by the logical
@@ -140,7 +144,6 @@ func (v *vlog) append(at sim.Time, val []byte, cause nand.Cause) (uint64, sim.Ti
 	remaining := val
 	first := uint64(0)
 	prev := uint64(0)
-	scratch := make([]byte, 0, 16)
 	for i := 0; ; i++ {
 		if v.curPPA == nand.InvalidPPA || v.w.Free() < fragMinSpace {
 			t, err := v.rotatePage(now, cause)
@@ -150,14 +153,14 @@ func (v *vlog) append(at sim.Time, val []byte, cause nand.Cause) (uint64, sim.Ti
 			now = t
 		}
 		// Headroom in this page for the fragment body.
-		scratch = scratch[:0]
+		rec := v.recBuf[:0]
 		if i == 0 {
-			scratch = append(scratch, fragFirst)
-			scratch = appendUvarint(scratch, uint64(len(val)))
+			rec = append(rec, fragFirst)
+			rec = appendUvarint(rec, uint64(len(val)))
 		} else {
-			scratch = append(scratch, fragCont)
+			rec = append(rec, fragCont)
 		}
-		avail := v.w.Free() - 2 - len(scratch) - 3 // offset slot + headers
+		avail := v.w.Free() - 2 - len(rec) - 3 // offset slot + headers
 		if avail <= 0 {
 			panic("core: vlog page headroom accounting")
 		}
@@ -165,11 +168,12 @@ func (v *vlog) append(at sim.Time, val []byte, cause nand.Cause) (uint64, sim.Ti
 		if len(chunk) > avail {
 			chunk = chunk[:avail]
 		}
-		rec := append(scratch, appendUvarint(nil, uint64(len(chunk)))...)
+		rec = appendUvarint(rec, uint64(len(chunk)))
 		rec = append(rec, chunk...)
 		if !v.w.AppendRaw(rec) {
 			panic("core: vlog fragment append failed after sizing")
 		}
+		v.recBuf = rec[:0]
 		ptr := uint64(v.curPPA)<<16 | uint64(v.w.Count()-1)
 		v.pageValid[v.curPPA] += int64(len(chunk))
 		if i == 0 {

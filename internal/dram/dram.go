@@ -8,7 +8,7 @@ package dram
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -90,7 +90,7 @@ func (b *Budget) String() string {
 	for l := range b.byClient {
 		labels = append(labels, l)
 	}
-	sort.Strings(labels)
+	slices.Sort(labels)
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "dram %d/%d bytes", b.used, b.capacity)
 	for _, l := range labels {

@@ -3,7 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"anykey"
 	"anykey/internal/model"
@@ -742,7 +742,7 @@ func SortedExperimentIDs() []string {
 	for _, e := range Experiments() {
 		ids = append(ids, e.ID)
 	}
-	sort.Strings(ids)
+	slices.Sort(ids)
 	return ids
 }
 

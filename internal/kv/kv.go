@@ -11,6 +11,7 @@ package kv
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -41,8 +42,22 @@ const (
 )
 
 // Compare orders keys lexicographically, matching the sort order of level
-// lists and meta segments.
-func Compare(a, b []byte) int { return bytes.Compare(a, b) }
+// lists and meta segments. An 8-byte big-endian prefix probe decides most
+// compares without the bytes.Compare call: when both keys carry 8+ bytes,
+// unequal prefixes order exactly as the full lexicographic compare does.
+func Compare(a, b []byte) int {
+	if len(a) >= 8 && len(b) >= 8 {
+		pa := binary.BigEndian.Uint64(a)
+		pb := binary.BigEndian.Uint64(b)
+		if pa != pb {
+			if pa < pb {
+				return -1
+			}
+			return 1
+		}
+	}
+	return bytes.Compare(a, b)
+}
 
 // Pair is a user-visible key-value pair.
 type Pair struct {
@@ -102,6 +117,14 @@ func (e *Entity) EncodedSize() int {
 	return n
 }
 
+// InlineSize returns the encoded size e would have with a vlen-byte value
+// stored inline. Compaction uses it to cost folding a log-resident value
+// into a group without materialising the value bytes.
+func (e *Entity) InlineSize(vlen int) int {
+	return uvarintLen(uint64(len(e.Key))) + len(e.Key) + 4 + 1 +
+		uvarintLen(uint64(vlen)) + vlen
+}
+
 // AppendEntity appends the encoding of e to buf and returns the extended
 // slice.
 func AppendEntity(buf []byte, e *Entity) []byte {
@@ -133,15 +156,25 @@ func AppendEntity(buf []byte, e *Entity) []byte {
 // callers that retain it across page reuse must copy.
 func DecodeEntity(buf []byte) (Entity, int, error) {
 	var e Entity
+	n, err := DecodeEntityInto(&e, buf)
+	return e, n, err
+}
+
+// DecodeEntityInto decodes one entity from the front of buf directly into
+// *e, avoiding the by-value Entity copies of DecodeEntity on hot decode
+// paths. It overwrites every field of *e and returns the bytes consumed.
+// The decoded entity aliases buf.
+func DecodeEntityInto(e *Entity, buf []byte) (int, error) {
+	*e = Entity{}
 	klen, n := uvarint(buf)
 	if n <= 0 || klen > MaxKeyLen || int(klen) > len(buf)-n {
-		return e, 0, fmt.Errorf("%w: bad key length", ErrCorrupt)
+		return 0, fmt.Errorf("%w: bad key length", ErrCorrupt)
 	}
 	off := n
 	e.Key = buf[off : off+int(klen)]
 	off += int(klen)
 	if len(buf)-off < 5 {
-		return e, 0, fmt.Errorf("%w: truncated header", ErrCorrupt)
+		return 0, fmt.Errorf("%w: truncated header", ErrCorrupt)
 	}
 	e.Hash = u32(buf[off:])
 	off += 4
@@ -153,27 +186,27 @@ func DecodeEntity(buf []byte) (Entity, int, error) {
 	case e.Tombstone:
 	case e.InLog:
 		if len(buf)-off < 8 {
-			return e, 0, fmt.Errorf("%w: truncated log pointer", ErrCorrupt)
+			return 0, fmt.Errorf("%w: truncated log pointer", ErrCorrupt)
 		}
 		e.LogPtr = u64(buf[off:])
 		off += 8
 		vlen, n := uvarint(buf[off:])
 		if n <= 0 || vlen > MaxValueLen {
-			return e, 0, fmt.Errorf("%w: bad log value length", ErrCorrupt)
+			return 0, fmt.Errorf("%w: bad log value length", ErrCorrupt)
 		}
 		off += n
 		e.ValueLen = int(vlen)
 	default:
 		vlen, n := uvarint(buf[off:])
 		if n <= 0 || vlen > MaxValueLen || int(vlen) > len(buf)-off-n {
-			return e, 0, fmt.Errorf("%w: bad value length", ErrCorrupt)
+			return 0, fmt.Errorf("%w: bad value length", ErrCorrupt)
 		}
 		off += n
 		e.Value = buf[off : off+int(vlen)]
 		off += int(vlen)
 		e.ValueLen = int(vlen)
 	}
-	return e, off, nil
+	return off, nil
 }
 
 // Clone returns a deep copy of e that does not alias any page buffer.
@@ -221,6 +254,9 @@ func appendUvarint(b []byte, v uint64) []byte {
 }
 
 func uvarint(b []byte) (uint64, int) {
+	if len(b) > 0 && b[0] < 0x80 {
+		return uint64(b[0]), 1 // single-byte fast path: almost every length
+	}
 	var v uint64
 	for i := 0; i < len(b) && i < 10; i++ {
 		v |= uint64(b[i]&0x7f) << (7 * i)

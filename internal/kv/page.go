@@ -31,12 +31,13 @@ type PageWriter struct {
 }
 
 // NewPageWriter wraps a page buffer of exactly the flash page size. The
-// buffer is zeroed. extra is copied into the page's extra region (may be
-// nil). It panics if extra cannot fit, since callers size extras up front.
+// buffer must be zero-filled — callers pass freshly allocated page images
+// (the flash array takes ownership of programmed pages, so images are never
+// reused), and skipping a redundant clear here halves the per-page memset
+// cost on the write path. extra is copied into the page's extra region (may
+// be nil). It panics if extra cannot fit, since callers size extras up
+// front.
 func NewPageWriter(buf []byte, extra []byte) *PageWriter {
-	for i := range buf {
-		buf[i] = 0
-	}
 	if pageHeaderSize+len(extra) > len(buf) {
 		panic(fmt.Sprintf("kv: page extra region %d too large for page %d", len(extra), len(buf)))
 	}
@@ -122,6 +123,26 @@ func (r PageReader) Record(i int) []byte {
 func (r PageReader) Entity(i int) (Entity, error) {
 	e, _, err := DecodeEntity(r.Record(i))
 	return e, err
+}
+
+// EntityInto decodes record i directly into *e, skipping the by-value
+// copies of Entity. The decoded entity aliases the page.
+func (r PageReader) EntityInto(e *Entity, i int) error {
+	_, err := DecodeEntityInto(e, r.Record(i))
+	return err
+}
+
+// EntityHash returns record i's key hash without decoding the full entity:
+// the hash sits right after the key, so only the key-length varint is
+// parsed. This is the probe of AnyKey's in-page binary search — the full
+// decode is paid only on a hash match.
+func (r PageReader) EntityHash(i int) (uint32, error) {
+	rec := r.Record(i)
+	klen, n := uvarint(rec)
+	if n <= 0 || klen > MaxKeyLen || int(klen) > len(rec)-n-4 {
+		return 0, fmt.Errorf("%w: bad key length", ErrCorrupt)
+	}
+	return u32(rec[n+int(klen):]), nil
 }
 
 func put16(b []byte, v uint16) { b[0] = byte(v); b[1] = byte(v >> 8) }

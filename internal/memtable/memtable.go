@@ -24,8 +24,27 @@ type Entry struct {
 func (e *Entry) Bytes() int64 { return int64(len(e.Key) + len(e.Value)) }
 
 type node struct {
-	entry Entry
-	next  [maxHeight]*node
+	entry  Entry
+	prefix uint64 // keyPrefix(entry.Key), cached for cheap skiplist compares
+	next   [maxHeight]*node
+}
+
+// keyPrefix packs a key's first 8 bytes big-endian, zero-padded. For two
+// keys, prefix inequality implies the same ordering as kv.Compare: the
+// prefixes are the zero-extended first 8 bytes, and zero-padding can only
+// make a shorter key compare equal-so-far — never larger — exactly like the
+// length rule of lexicographic comparison. Equal prefixes decide nothing and
+// fall back to the full compare.
+func keyPrefix(key []byte) uint64 {
+	var p uint64
+	n := len(key)
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		p |= uint64(key[i]) << (56 - 8*i)
+	}
+	return p
 }
 
 // Table is the skiplist write buffer. Not safe for concurrent use (the
@@ -36,6 +55,26 @@ type Table struct {
 	rng    *rand.Rand
 	count  int
 	bytes  int64
+
+	allBuf []Entry // reusable All() snapshot storage
+
+	// Node arena: all nodes die together at Reset, so they come from
+	// fixed-size chunks whose storage survives resets. Chunks never move
+	// (each is its own allocation), keeping node pointers stable.
+	chunks   [][]node
+	nextNode int
+}
+
+// arenaChunk is the node count per arena chunk.
+const arenaChunk = 256
+
+func (t *Table) newNode() *node {
+	ci, off := t.nextNode/arenaChunk, t.nextNode%arenaChunk
+	if ci == len(t.chunks) {
+		t.chunks = append(t.chunks, make([]node, arenaChunk))
+	}
+	t.nextNode++
+	return &t.chunks[ci][off]
 }
 
 // New returns an empty table. The seed makes tower heights — and therefore
@@ -53,11 +92,17 @@ func (t *Table) Bytes() int64 { return t.bytes }
 
 // findPath fills prev with the rightmost node at each level whose key is
 // strictly less than key, and returns the candidate node (≥ key) at level 0.
+// Each step compares cached 8-byte prefixes first; the full key compare runs
+// only on prefix ties.
 func (t *Table) findPath(key []byte, prev *[maxHeight]*node) *node {
+	p := keyPrefix(key)
 	x := &t.head
 	for lvl := t.height - 1; lvl >= 0; lvl-- {
-		for x.next[lvl] != nil && kv.Compare(x.next[lvl].entry.Key, key) < 0 {
-			x = x.next[lvl]
+		for nx := x.next[lvl]; nx != nil; nx = x.next[lvl] {
+			if nx.prefix >= p && (nx.prefix > p || kv.Compare(nx.entry.Key, key) >= 0) {
+				break
+			}
+			x = nx
 		}
 		if prev != nil {
 			prev[lvl] = x
@@ -66,19 +111,22 @@ func (t *Table) findPath(key []byte, prev *[maxHeight]*node) *node {
 	return x.next[0]
 }
 
-// Put buffers a write, replacing any previous version of the key.
-func (t *Table) Put(key, value []byte) { t.insert(key, value, false) }
+// Put buffers a write, replacing any previous version of the key. It
+// returns the replaced entry, if one existed — callers that account live
+// bytes use it to avoid a second skiplist search.
+func (t *Table) Put(key, value []byte) (Entry, bool) { return t.insert(key, value, false) }
 
-// Delete buffers a tombstone for the key.
-func (t *Table) Delete(key []byte) { t.insert(key, nil, true) }
+// Delete buffers a tombstone for the key, returning the replaced entry.
+func (t *Table) Delete(key []byte) (Entry, bool) { return t.insert(key, nil, true) }
 
-func (t *Table) insert(key, value []byte, tomb bool) {
+func (t *Table) insert(key, value []byte, tomb bool) (Entry, bool) {
 	var prev [maxHeight]*node
 	if n := t.findPath(key, &prev); n != nil && kv.Compare(n.entry.Key, key) == 0 {
-		t.bytes += int64(len(value)) - int64(len(n.entry.Value))
+		old := n.entry
+		t.bytes += int64(len(value)) - int64(len(old.Value))
 		n.entry.Value = value
 		n.entry.Tombstone = tomb
-		return
+		return old, true
 	}
 	h := 1
 	for h < maxHeight && t.rng.Intn(4) == 0 {
@@ -90,13 +138,15 @@ func (t *Table) insert(key, value []byte, tomb bool) {
 	if h > t.height {
 		t.height = h
 	}
-	n := &node{entry: Entry{Key: key, Value: value, Tombstone: tomb}}
+	n := t.newNode()
+	*n = node{entry: Entry{Key: key, Value: value, Tombstone: tomb}, prefix: keyPrefix(key)}
 	for lvl := 0; lvl < h; lvl++ {
 		n.next[lvl] = prev[lvl].next[lvl]
 		prev[lvl].next[lvl] = n
 	}
 	t.count++
 	t.bytes += n.entry.Bytes()
+	return Entry{}, false
 }
 
 // Get returns the buffered entry for key. The second result reports whether
@@ -109,12 +159,19 @@ func (t *Table) Get(key []byte) (Entry, bool) {
 	return Entry{}, false
 }
 
-// All returns every buffered entry in ascending key order.
+// All returns every buffered entry in ascending key order. The slice is
+// valid until the next All call: it reuses one table-owned buffer, sized for
+// the drain-into-flush pattern where each snapshot is consumed before the
+// table refills. (Entry Key/Value slices stay valid independently.)
 func (t *Table) All() []Entry {
-	out := make([]Entry, 0, t.count)
+	out := t.allBuf[:0]
+	if cap(out) < t.count {
+		out = make([]Entry, 0, t.count)
+	}
 	for n := t.head.next[0]; n != nil; n = n.next[0] {
 		out = append(out, n.entry)
 	}
+	t.allBuf = out
 	return out
 }
 
@@ -129,10 +186,32 @@ func (t *Table) AscendFrom(start []byte, fn func(Entry) bool) {
 	}
 }
 
-// Reset empties the table, retaining its RNG state.
+// Iter is a pull-based iterator over entries in ascending key order. It
+// walks the skiplist lazily — no snapshot copy — so it is only valid while
+// the table is not mutated or Reset.
+type Iter struct {
+	n *node
+}
+
+// IterFrom returns an iterator positioned at the first entry with key ≥
+// start.
+func (t *Table) IterFrom(start []byte) Iter { return Iter{n: t.findPath(start, nil)} }
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iter) Valid() bool { return it.n != nil }
+
+// Entry returns the current entry. The pointer is into the table; callers
+// must not mutate it and must not retain it across table mutation.
+func (it *Iter) Entry() *Entry { return &it.n.entry }
+
+// Next advances to the next entry in key order.
+func (it *Iter) Next() { it.n = it.n.next[0] }
+
+// Reset empties the table, retaining its RNG state and node arena.
 func (t *Table) Reset() {
 	t.head = node{}
 	t.height = 1
 	t.count = 0
 	t.bytes = 0
+	t.nextNode = 0
 }

@@ -2,7 +2,7 @@ package pink
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"anykey/internal/ftl"
 	"anykey/internal/kv"
@@ -215,13 +215,17 @@ func (d *Device) nextPage(at sim.Time, s *ftl.Stream) (nand.PPA, error) {
 // records, and releases the segments. The level is left empty.
 func (d *Device) collectLevelRecords(at sim.Time, i int, cause nand.Cause) ([]record, sim.Time) {
 	lv := d.levels[i]
-	var recs []record
+	total := 0
+	for _, seg := range lv.segs {
+		total += seg.count
+	}
+	recs := make([]record, 0, total)
 	now := at
 	for _, seg := range lv.segs {
 		if !seg.cached {
 			now = sim.Max(now, d.arr.Read(at, seg.ppa, cause))
 		}
-		recs = append(recs, decodeAllRecords(d.arr.PageData(seg.ppa))...)
+		recs = appendAllRecords(recs, d.arr.PageData(seg.ppa))
 		d.releaseSegment(seg)
 	}
 	lv.segs = nil
@@ -254,8 +258,16 @@ func (d *Device) deepestBelow(dst int) bool {
 // mergeRecords merges two key-sorted runs, newer first. Losing records have
 // their data slots invalidated; tombstones are dropped when merging into the
 // bottom level.
+//
+// The output reuses d.mergeBuf: only one merged run is live at a time (each
+// cascade step writes its run out, then collects the next level fresh), so
+// steady-state merging allocates nothing per record.
 func (d *Device) mergeRecords(newer, older []record, atBottom bool) []record {
-	out := make([]record, 0, len(newer)+len(older))
+	if need := len(newer) + len(older); cap(d.mergeBuf) < need {
+		d.mergeBuf = make([]record, 0, need)
+	}
+	out := d.mergeBuf[:0]
+	defer func() { d.mergeBuf = out[:0] }()
 	i, j := 0, 0
 	emit := func(r record) {
 		if r.tombstone() && atBottom {
@@ -409,9 +421,11 @@ func (d *Device) segmentToFlash(at sim.Time, levelIdx int, seg *metaSegment, img
 // by GC diagnostics only).
 func (d *Device) levelOfSegment(seg *metaSegment) int {
 	for i, lv := range d.levels {
-		n := len(lv.segs)
-		j := sort.Search(n, func(j int) bool {
-			return kv.Compare(lv.segs[j].firstKey, seg.firstKey) > 0
+		j, _ := slices.BinarySearchFunc(lv.segs, seg.firstKey, func(s *metaSegment, k []byte) int {
+			if kv.Compare(s.firstKey, k) > 0 {
+				return 1
+			}
+			return -1
 		})
 		if j > 0 && lv.segs[j-1] == seg {
 			return i + 1

@@ -2,7 +2,6 @@ package pink
 
 import (
 	"fmt"
-	"sort"
 
 	"anykey/internal/kv"
 	"anykey/internal/nand"
@@ -92,40 +91,63 @@ type level struct {
 // findSegment returns the unique segment whose range may contain key: the
 // last segment with firstKey ≤ key.
 func (lv *level) findSegment(key []byte) *metaSegment {
-	i := sort.Search(len(lv.segs), func(i int) bool {
-		return kv.Compare(lv.segs[i].firstKey, key) > 0
-	})
-	if i == 0 {
+	lo, hi := 0, len(lv.segs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if kv.Compare(lv.segs[mid].firstKey, key) > 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 {
 		return nil
 	}
-	return lv.segs[i-1]
+	return lv.segs[lo-1]
 }
 
-// findRecord binary-searches a meta segment page image for key.
+// findRecord binary-searches a meta segment page image for key. Probes
+// decode only the record's key; the full record is decoded once, on a match.
 func findRecord(data []byte, key []byte) (record, bool) {
 	pr := kv.OpenPage(data)
-	n := pr.Count()
-	i := sort.Search(n, func(i int) bool {
-		r := decodeRecord(pr.Record(i))
-		return kv.Compare(r.key, key) >= 0
-	})
-	if i >= n {
+	lo, hi := 0, pr.Count()
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if kv.Compare(recordKey(pr.Record(mid)), key) >= 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo >= pr.Count() {
 		return record{}, false
 	}
-	r := decodeRecord(pr.Record(i))
+	r := decodeRecord(pr.Record(lo))
 	if kv.Compare(r.key, key) != 0 {
 		return record{}, false
 	}
 	return r, true
 }
 
+// recordKey returns the key of an encoded record without decoding the rest.
+func recordKey(buf []byte) []byte {
+	klen, n := uvarint(buf)
+	return buf[n : n+int(klen)]
+}
+
 // decodeAllRecords returns every record of a meta segment page image in key
 // order. Returned records alias data.
 func decodeAllRecords(data []byte) []record {
+	return appendAllRecords(make([]record, 0, kv.OpenPage(data).Count()), data)
+}
+
+// appendAllRecords appends every record of a meta segment page image to out
+// in key order, letting callers collecting whole levels preallocate once.
+func appendAllRecords(out []record, data []byte) []record {
 	pr := kv.OpenPage(data)
-	out := make([]record, pr.Count())
-	for i := range out {
-		out[i] = decodeRecord(pr.Record(i))
+	n := pr.Count()
+	for i := 0; i < n; i++ {
+		out = append(out, decodeRecord(pr.Record(i)))
 	}
 	return out
 }
@@ -152,6 +174,15 @@ func appendUvarint(b []byte, v uint64) []byte {
 }
 
 func uvarint(b []byte) (uint64, int) {
+	if len(b) > 0 && b[0] < 0x80 {
+		return uint64(b[0]), 1 // single-byte fast path: almost every length
+	}
+	return uvarintSlow(b)
+}
+
+// uvarintSlow keeps the multi-byte loop (and its panic) out of uvarint so
+// the fast path stays within the inlining budget.
+func uvarintSlow(b []byte) (uint64, int) {
 	var v uint64
 	for i := 0; i < len(b) && i < 10; i++ {
 		v |= uint64(b[i]&0x7f) << (7 * i)

@@ -135,6 +135,10 @@ type Device struct {
 	// GC relocation of meta blocks.
 	segAt map[nand.PPA]*metaSegment
 
+	// mergeBuf is the reusable output scratch for mergeRecords; only one
+	// merged run is live at a time.
+	mergeBuf []record
+
 	bgDoneAt sim.Time // completion time of the last background chain
 	st       *device.Stats
 	opReads  int // flash reads charged to the Get in flight
@@ -223,7 +227,13 @@ func (d *Device) Put(at sim.Time, key, value []byte) (sim.Time, error) {
 		return at, err
 	}
 	done := d.cpuOccupy(at.Add(d.cfg.RequestOverhead), hashCost, trace.CauseHostWrite)
-	_, existed := d.mt.Get(key)
+	// One backing allocation for both copies; full slice expressions keep an
+	// append to either from reaching the other. The insert reports the entry
+	// it replaced, so accounting needs no extra skiplist searches.
+	buf := make([]byte, len(key)+len(value))
+	copy(buf, key)
+	copy(buf[len(key):], value)
+	old, existed := d.mt.Put(buf[:len(key):len(key)], buf[len(key):])
 	if !existed {
 		if _, dup := d.lookupLoc(key); !dup {
 			d.st.LiveKeys++
@@ -232,10 +242,8 @@ func (d *Device) Put(at sim.Time, key, value []byte) (sim.Time, error) {
 			d.st.LiveBytes += int64(len(value)) - d.liveValueLen(key)
 		}
 	} else {
-		old, _ := d.mt.Get(key)
 		d.st.LiveBytes += int64(len(value)) - int64(len(old.Value))
 	}
-	d.mt.Put(append([]byte(nil), key...), append([]byte(nil), value...))
 	return d.maybeFlush(at, done)
 }
 
@@ -287,7 +295,8 @@ func (d *Device) Delete(at sim.Time, key []byte) (sim.Time, error) {
 		return at, kv.ErrEmptyKey
 	}
 	done := d.cpuOccupy(at.Add(d.cfg.RequestOverhead), hashCost, trace.CauseHostWrite)
-	if e, ok := d.mt.Get(key); ok && !e.Tombstone {
+	e, ok := d.mt.Delete(append([]byte(nil), key...))
+	if ok && !e.Tombstone {
 		d.st.LiveKeys--
 		d.st.LiveBytes -= int64(len(key) + len(e.Value))
 	} else if !ok {
@@ -296,7 +305,6 @@ func (d *Device) Delete(at sim.Time, key []byte) (sim.Time, error) {
 			d.st.LiveBytes -= int64(len(key)) + d.liveValueLen(key)
 		}
 	}
-	d.mt.Delete(append([]byte(nil), key...))
 	return d.maybeFlush(at, done)
 }
 

@@ -1,7 +1,7 @@
 package pink
 
 import (
-	"sort"
+	"slices"
 
 	"anykey/internal/kv"
 	"anykey/internal/memtable"
@@ -71,9 +71,10 @@ func (d *Device) Scan(at sim.Time, start []byte, n int) ([]kv.Pair, sim.Time, er
 
 // scanIter is a merged-cursor over one source (memtable or one level).
 type scanIter struct {
-	// memtable source
-	mem []memtable.Entry
-	mi  int
+	// memtable source: a lazy skiplist iterator — the device is
+	// single-threaded and a scan never mutates the memtable, so no
+	// snapshot copy is needed.
+	memIt memtable.Iter
 
 	// level source
 	dev     *Device
@@ -89,20 +90,18 @@ type scanIter struct {
 }
 
 func newMemScanIter(mt *memtable.Table, start []byte) *scanIter {
-	it := &scanIter{lastPPA: nand.InvalidPPA}
-	mt.AscendFrom(start, func(e memtable.Entry) bool {
-		it.mem = append(it.mem, e)
-		return true
-	})
-	return it
+	return &scanIter{memIt: mt.IterFrom(start), lastPPA: nand.InvalidPPA}
 }
 
 func newLevelScanIter(d *Device, lv *level, start []byte) *scanIter {
 	it := &scanIter{dev: d, lv: lv, lastPPA: nand.InvalidPPA}
 	// First segment that may contain keys ≥ start: the one containing start,
 	// or the first segment after it.
-	idx := sort.Search(len(lv.segs), func(i int) bool {
-		return kv.Compare(lv.segs[i].firstKey, start) > 0
+	idx, _ := slices.BinarySearchFunc(lv.segs, start, func(s *metaSegment, k []byte) int {
+		if kv.Compare(s.firstKey, k) > 0 {
+			return 1
+		}
+		return -1
 	})
 	if idx > 0 {
 		idx--
@@ -137,8 +136,11 @@ func (it *scanIter) openSegment(at sim.Time) sim.Time {
 	it.recs = decodeAllRecords(it.dev.arr.PageData(seg.ppa))
 	it.recIdx = 0
 	if it.startKey != nil {
-		it.recIdx = sort.Search(len(it.recs), func(i int) bool {
-			return kv.Compare(it.recs[i].key, it.startKey) >= 0
+		it.recIdx, _ = slices.BinarySearchFunc(it.recs, it.startKey, func(r record, k []byte) int {
+			if kv.Compare(r.key, k) >= 0 {
+				return 1
+			}
+			return -1
 		})
 		it.startKey = nil
 	}
@@ -160,21 +162,21 @@ func (it *scanIter) openSegment(at sim.Time) sim.Time {
 
 func (it *scanIter) valid() bool {
 	if it.dev == nil {
-		return it.mi < len(it.mem)
+		return it.memIt.Valid()
 	}
 	return it.segIdx < len(it.lv.segs) && it.recIdx < len(it.recs)
 }
 
 func (it *scanIter) key() []byte {
 	if it.dev == nil {
-		return it.mem[it.mi].Key
+		return it.memIt.Entry().Key
 	}
 	return it.recs[it.recIdx].key
 }
 
 func (it *scanIter) tombstone() bool {
 	if it.dev == nil {
-		return it.mem[it.mi].Tombstone
+		return it.memIt.Entry().Tombstone
 	}
 	return it.recs[it.recIdx].tombstone()
 }
@@ -183,7 +185,7 @@ func (it *scanIter) tombstone() bool {
 // returns the value bytes.
 func (it *scanIter) value(at sim.Time) ([]byte, sim.Time) {
 	if it.dev == nil {
-		return it.mem[it.mi].Value, at
+		return it.memIt.Entry().Value, at
 	}
 	rec := it.recs[it.recIdx]
 	now := at
@@ -205,7 +207,7 @@ func (it *scanIter) value(at sim.Time) ([]byte, sim.Time) {
 
 func (it *scanIter) next(at sim.Time) sim.Time {
 	if it.dev == nil {
-		it.mi++
+		it.memIt.Next()
 		return at
 	}
 	it.recIdx++

@@ -1,7 +1,5 @@
 package sim
 
-import "sort"
-
 // Timeline models a resource (flash die, channel) that distinguishes
 // foreground work (host reads) from background work (flush, compaction and
 // GC I/O). Background operations are throttled to a duty cycle, leaving
@@ -16,9 +14,18 @@ import "sort"
 // (foreground or background) is scheduled before W. The virtual-time
 // drivers in this repository issue foreground work in non-decreasing order
 // and trigger background work from foreground instants, satisfying this.
+//
+// Storage is a head-indexed deque over one backing slice: the live busy
+// set is ivls[head:], sorted and non-overlapping (which makes interval end
+// times sorted too). Prune advances head instead of copying, the common
+// append-at-the-tail insert is O(1), and mid-list inserts shift whichever
+// side is shorter — so steady-state scheduling is O(log n) amortized per
+// flash op with no allocation once the backing slice has grown to the
+// working-set size.
 type Timeline struct {
-	ivls   []interval // sorted, non-overlapping busy intervals ≥ watermark
-	bgGate Time       // earliest start for the next background op
+	ivls   []interval // ivls[head:] is the live busy set
+	head   int
+	bgGate Time // earliest start for the next background op
 	busy   Duration
 }
 
@@ -61,11 +68,21 @@ func (t *Timeline) ScheduleBGSpan(at Time, d Duration, idle Duration) (start, do
 
 // place finds the earliest start ≥ at where d fits.
 func (t *Timeline) place(at Time, d Duration) Time {
+	ivls := t.ivls
 	start := at
-	// Skip intervals that end before the candidate start.
-	i := sort.Search(len(t.ivls), func(i int) bool { return t.ivls[i].end > start })
-	for ; i < len(t.ivls); i++ {
-		iv := t.ivls[i]
+	// First live interval whose end is past the candidate start. Ends are
+	// sorted (the set is sorted and non-overlapping), so binary search.
+	lo, hi := t.head, len(ivls)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ivls[mid].end > start {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	for i := lo; i < len(ivls); i++ {
+		iv := ivls[i]
 		if start.Add(d) <= iv.start {
 			return start
 		}
@@ -79,13 +96,44 @@ func (t *Timeline) place(at Time, d Duration) Time {
 func (t *Timeline) insert(start Time, d Duration) {
 	t.busy += d
 	end := start.Add(d)
-	// Find insertion index: first interval with start ≥ our start.
-	i := sort.Search(len(t.ivls), func(i int) bool { return t.ivls[i].start >= start })
-	t.ivls = append(t.ivls, interval{})
-	copy(t.ivls[i+1:], t.ivls[i:])
-	t.ivls[i] = interval{start, end}
+	n := len(t.ivls)
+	// Fast path: the new interval starts at or after every booked one —
+	// the overwhelmingly common case, since issue times are non-decreasing.
+	if n == t.head || t.ivls[n-1].start < start {
+		if n > t.head && t.ivls[n-1].end >= start {
+			if end > t.ivls[n-1].end {
+				t.ivls[n-1].end = end
+			}
+			return
+		}
+		t.ivls = append(t.ivls, interval{start, end})
+		return
+	}
+	// Mid-list insert (a foreground op gap-filled before booked work): find
+	// the first live interval with start ≥ ours.
+	lo, hi := t.head, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.ivls[mid].start >= start {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	i := lo
+	if t.head > 0 && i-t.head <= n-i {
+		// Shift the (shorter) prefix one slot left into the pruned gap.
+		t.head--
+		copy(t.ivls[t.head:i-1], t.ivls[t.head+1:i])
+		i--
+		t.ivls[i] = interval{start, end}
+	} else {
+		t.ivls = append(t.ivls, interval{})
+		copy(t.ivls[i+1:], t.ivls[i:])
+		t.ivls[i] = interval{start, end}
+	}
 	// Merge with the previous interval if touching.
-	if i > 0 && t.ivls[i-1].end >= t.ivls[i].start {
+	if i > t.head && t.ivls[i-1].end >= t.ivls[i].start {
 		t.ivls[i-1].end = Max(t.ivls[i-1].end, t.ivls[i].end)
 		t.ivls = append(t.ivls[:i], t.ivls[i+1:]...)
 		i--
@@ -98,20 +146,30 @@ func (t *Timeline) insert(start Time, d Duration) {
 }
 
 // Prune discards busy intervals that end before `before`. Callers pass
-// their monotone watermark (see the type comment).
+// their monotone watermark (see the type comment). Pruning advances the
+// deque head; the vacated prefix is reclaimed lazily, so a prune is O(#
+// discarded) with no copying in the common case.
 func (t *Timeline) Prune(before Time) {
-	n := 0
-	for _, iv := range t.ivls {
-		if iv.end >= before {
-			t.ivls[n] = iv
-			n++
-		}
+	h := t.head
+	n := len(t.ivls)
+	for h < n && t.ivls[h].end < before {
+		h++
 	}
-	t.ivls = t.ivls[:n]
+	t.head = h
+	if h == n {
+		t.ivls = t.ivls[:0]
+		t.head = 0
+	} else if h > 32 && 2*h >= n {
+		// The dead prefix dominates the backing array: compact in place so
+		// appends keep reusing the same storage instead of growing it.
+		m := copy(t.ivls, t.ivls[h:])
+		t.ivls = t.ivls[:m]
+		t.head = 0
+	}
 }
 
 // BusyTotal returns cumulative scheduled time.
 func (t *Timeline) BusyTotal() Duration { return t.busy }
 
 // Pending returns the number of tracked busy intervals (diagnostics).
-func (t *Timeline) Pending() int { return len(t.ivls) }
+func (t *Timeline) Pending() int { return len(t.ivls) - t.head }

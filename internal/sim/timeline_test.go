@@ -1,0 +1,135 @@
+package sim
+
+import "testing"
+
+// Edge cases of the deque-based Timeline: scheduling at instants before the
+// pruned watermark, zero-duration spans, and prunes landing exactly on
+// interval boundaries.
+
+func TestTimelineScheduleBeforeWatermark(t *testing.T) {
+	var tl Timeline
+	tl.Schedule(0, 10)   // [0,10)
+	tl.Schedule(20, 10)  // [20,30)
+	tl.Schedule(100, 10) // [100,110)
+	tl.Prune(25)         // drops [0,10); [20,30) survives (ends at 30 ≥ 25)
+	if tl.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2 after prune", tl.Pending())
+	}
+	// An issue time far before the watermark must still gap-fill correctly
+	// against the surviving intervals: [5,15) overlaps nothing pruned but
+	// collides with [20,30)? No — it fits entirely before it.
+	if done := tl.Schedule(5, 10); done != 15 {
+		t.Fatalf("pre-watermark schedule done = %v, want 15", done)
+	}
+	// A longer op at the same instant cannot fit before [20,30) and must
+	// slide past it (and then past [100,110) it does not touch).
+	if done := tl.Schedule(15, 20); done != 50 {
+		t.Fatalf("done = %v, want 50 (placed after [20,30))", done)
+	}
+}
+
+func TestTimelineZeroDurationSpans(t *testing.T) {
+	var tl Timeline
+	if start, done := tl.ScheduleSpan(40, 0); start != 40 || done != 40 {
+		t.Fatalf("zero span on empty timeline = [%v,%v), want [40,40)", start, done)
+	}
+	tl.Schedule(10, 10) // [10,20)
+	// A zero-duration op issued inside a busy interval lands at its end.
+	if start, done := tl.ScheduleSpan(15, 0); start != 20 || done != 20 {
+		t.Fatalf("zero span = [%v,%v), want [20,20)", start, done)
+	}
+	// Zero-duration spans book no busy time.
+	if tl.BusyTotal() != 10 {
+		t.Fatalf("busy = %v, want 10", tl.BusyTotal())
+	}
+	// And a real op can still claim the instant they sat on.
+	if done := tl.Schedule(20, 5); done != 25 {
+		t.Fatalf("done = %v, want 25", done)
+	}
+}
+
+func TestTimelinePruneExactBoundary(t *testing.T) {
+	var tl Timeline
+	tl.Schedule(0, 10)  // [0,10)
+	tl.Schedule(20, 10) // [20,30)
+	tl.Schedule(40, 10) // [40,50)
+
+	// Prune(10): [0,10) ends exactly at the cut and must survive (end ≥
+	// before keeps it, matching the original filter's condition).
+	tl.Prune(10)
+	if tl.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3: interval ending exactly at the cut survives", tl.Pending())
+	}
+	// Prune(11) drops it.
+	tl.Prune(11)
+	if tl.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", tl.Pending())
+	}
+	// Prune exactly at the last interval's end keeps only it.
+	tl.Prune(50)
+	if tl.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", tl.Pending())
+	}
+	// Past everything: the deque resets to empty.
+	tl.Prune(51)
+	if tl.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", tl.Pending())
+	}
+	if tl.BusyTotal() != 30 {
+		t.Fatalf("busy = %v, want 30 (pruning never un-books time)", tl.BusyTotal())
+	}
+}
+
+func TestTimelineMidInsertAfterPrune(t *testing.T) {
+	// Exercise the shift-left insert path: a pruned head gap exists and a
+	// foreground op lands before booked background work.
+	var tl Timeline
+	for i := 0; i < 8; i++ {
+		tl.Schedule(Time(i*20), 10) // [0,10) [20,30) ... [140,150)
+	}
+	tl.Prune(35) // head gap of two
+	if tl.Pending() != 6 {
+		t.Fatalf("pending = %d, want 6", tl.Pending())
+	}
+	// Fits the [50,60) hole, before four booked intervals.
+	if start, done := tl.ScheduleSpan(45, 10); start != 50 || done != 60 {
+		t.Fatalf("gap fill = [%v,%v), want [50,60)", start, done)
+	}
+	// The fill touched [40,50) and [60,70): all three merge into one,
+	// leaving [40,70) plus the four untouched intervals.
+	if tl.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5 after double merge", tl.Pending())
+	}
+}
+
+// BenchmarkHotPathTimeline measures the simulator's central scheduling
+// primitive in its steady state: foreground spans booked at a monotone
+// watermark with periodic pruning, plus background gap-fills behind it.
+func BenchmarkHotPathTimeline(b *testing.B) {
+	var tl Timeline
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		at := Time(i * 9)
+		tl.Schedule(at, 7)
+		if i%4 == 0 {
+			tl.ScheduleBGSpan(at-50, 3, 1) // gap-fill behind the watermark
+		}
+		if i%16 == 0 {
+			tl.Prune(at - 200)
+		}
+	}
+}
+
+func TestTimelineSteadyStateNoAlloc(t *testing.T) {
+	// In steady state (schedule + prune at a monotone watermark) the deque
+	// must reuse its backing storage rather than grow it.
+	var tl Timeline
+	allocs := testing.AllocsPerRun(5000, func() {
+		at := Time(tl.BusyTotal()) // strictly increasing issue times
+		tl.Schedule(at, 7)
+		tl.Prune(at - 100)
+	})
+	if allocs > 0.01 {
+		t.Fatalf("steady-state schedule+prune allocates %.2f/op, want 0", allocs)
+	}
+}

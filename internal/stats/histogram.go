@@ -8,7 +8,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"sort"
+	"slices"
 	"strings"
 
 	"anykey/internal/sim"
@@ -142,7 +142,15 @@ func (h *Histogram) Quantiles(ps ...float64) []sim.Duration {
 		}
 		ts = append(ts, target{rank, i})
 	}
-	sort.Slice(ts, func(a, b int) bool { return ts[a].rank < ts[b].rank })
+	slices.SortFunc(ts, func(a, b target) int {
+		switch {
+		case a.rank < b.rank:
+			return -1
+		case a.rank > b.rank:
+			return 1
+		}
+		return 0
+	})
 	var seen int64
 	next := 0
 	for i := 0; i < len(h.counts) && next < len(ts); i++ {
@@ -308,7 +316,7 @@ func Percentiles(sample []int64, ps ...float64) []int64 {
 		return make([]int64, len(ps))
 	}
 	s := append([]int64(nil), sample...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 	out := make([]int64, len(ps))
 	for i, p := range ps {
 		rank := int(math.Ceil(p / 100 * float64(len(s))))

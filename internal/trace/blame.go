@@ -2,7 +2,7 @@ package trace
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"anykey/internal/sim"
@@ -142,7 +142,15 @@ func (r *BlameReport) String() string {
 			rows = append(rows, row{c, r.Summary[c]})
 		}
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].d > rows[j].d })
+	slices.SortFunc(rows, func(a, b row) int {
+		switch {
+		case a.d > b.d:
+			return -1
+		case a.d < b.d:
+			return 1
+		}
+		return 0
+	})
 	for _, rw := range rows {
 		fmt.Fprintf(&sb, "  %-15s %6.1f%%  %v\n", rw.c, 100*float64(rw.d)/float64(total), rw.d)
 	}
@@ -199,8 +207,14 @@ func (t *Tracer) Blame(opt BlameOptions) *BlameReport {
 		byTrack[ev.Track] = append(byTrack[ev.Track], i)
 	}
 	for _, idxs := range byTrack {
-		sort.Slice(idxs, func(a, b int) bool {
-			return events[idxs[a]].Start < events[idxs[b]].Start
+		slices.SortFunc(idxs, func(a, b int) int {
+			switch {
+			case events[a].Start < events[b].Start:
+				return -1
+			case events[a].Start > events[b].Start:
+				return 1
+			}
+			return 0
 		})
 	}
 
@@ -215,7 +229,15 @@ func (t *Tracer) Blame(opt BlameOptions) *BlameReport {
 		}
 		rep.Ops = append(rep.Ops, b)
 	}
-	sort.Slice(rep.Ops, func(i, j int) bool { return rep.Ops[i].Total > rep.Ops[j].Total })
+	slices.SortFunc(rep.Ops, func(a, b OpBlame) int {
+		switch {
+		case a.Total > b.Total:
+			return -1
+		case a.Total < b.Total:
+			return 1
+		}
+		return 0
+	})
 	if len(rep.Ops) > opt.MaxOps {
 		rep.Ops = rep.Ops[:opt.MaxOps]
 	}

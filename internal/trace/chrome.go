@@ -4,7 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 )
 
 // Chrome trace_event export: the collected events and op records rendered in
@@ -67,11 +67,11 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		for k := range threads {
 			keys = append(keys, k)
 		}
-		sort.Slice(keys, func(i, j int) bool {
-			if keys[i][0] != keys[j][0] {
-				return keys[i][0] < keys[j][0]
+		slices.SortFunc(keys, func(a, b [2]int) int {
+			if a[0] != b[0] {
+				return a[0] - b[0]
 			}
-			return keys[i][1] < keys[j][1]
+			return a[1] - b[1]
 		})
 		for _, k := range keys {
 			e.metadata("thread_name", k[0], k[1], threads[k])

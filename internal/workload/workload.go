@@ -121,7 +121,27 @@ type Generator struct {
 	loadBits uint64 // even bit-width of the warm-up Feistel domain
 
 	versions []uint32 // latest version per id; 0 = only the loaded version
+
+	// Direct-mapped materialisation caches. Key and Value are pure
+	// functions of (spec, id[, version]), so a cache hit returns bytes
+	// identical to a fresh materialisation; Zipfian skew makes hot ids
+	// recur constantly. A conflicting id (or version) allocates a fresh
+	// buffer instead of rewriting the slot in place, so slices handed out
+	// earlier are never mutated — callers may retain them freely.
+	keyIDs  []uint64
+	keyBufs [][]byte
+	valIDs  []uint64
+	valVers []uint32
+	valBufs [][]byte
 }
+
+// Cache geometry: slot counts must be powers of two. Sized for the skewed
+// head of a Zipfian(0.99) draw; values get fewer slots since a value buffer
+// can be KiB-scale.
+const (
+	keyCacheSlots = 1 << 14
+	valCacheSlots = 1 << 13
+)
 
 // NewGenerator builds a generator; population and sizes must be positive.
 func NewGenerator(spec Spec, cfg Config) (*Generator, error) {
@@ -149,6 +169,11 @@ func NewGenerator(spec Spec, cfg Config) (*Generator, error) {
 		zipf:     z,
 		loadBits: bits,
 		versions: make([]uint32, cfg.Population),
+		keyIDs:   make([]uint64, keyCacheSlots),
+		keyBufs:  make([][]byte, keyCacheSlots),
+		valIDs:   make([]uint64, valCacheSlots),
+		valVers:  make([]uint32, valCacheSlots),
+		valBufs:  make([][]byte, valCacheSlots),
 	}, nil
 }
 
@@ -161,18 +186,41 @@ func (g *Generator) Population() uint64 { return g.cfg.Population }
 // Key materialises the id's key: an 8-byte big-endian id prefix (preserving
 // id order, so scans over consecutive ids are scans over consecutive keys)
 // followed by deterministic filler, exactly KeySize bytes.
-func (g *Generator) Key(id uint64) []byte { return Key(g.spec, id) }
+func (g *Generator) Key(id uint64) []byte {
+	slot := id & (keyCacheSlots - 1)
+	if b := g.keyBufs[slot]; b != nil && g.keyIDs[slot] == id {
+		return b
+	}
+	k := Key(g.spec, id)
+	g.keyIDs[slot], g.keyBufs[slot] = id, k
+	return k
+}
 
 // Value materialises the value for (id, version): deterministic bytes with
 // the id and version embedded so reads are verifiable.
 func (g *Generator) Value(id uint64, version uint32) []byte {
-	return Value(g.spec, id, version)
+	slot := id & (valCacheSlots - 1)
+	if b := g.valBufs[slot]; b != nil && g.valIDs[slot] == id && g.valVers[slot] == version {
+		return b
+	}
+	v := Value(g.spec, id, version)
+	g.valIDs[slot], g.valVers[slot], g.valBufs[slot] = id, version, v
+	return v
 }
 
 // Key materialises a key for spec without a Generator (used by fill-to-full
 // runs over an unbounded id space).
-func Key(spec Spec, id uint64) []byte {
-	k := make([]byte, spec.KeySize)
+func Key(spec Spec, id uint64) []byte { return AppendKey(nil, spec, id) }
+
+// AppendKey materialises the id's key into dst's storage, reusing its
+// capacity when it suffices, and returns the key. The bytes are identical to
+// Key(spec, id); callers that hand the result to a copying sink (every
+// device Put copies) can reuse one buffer across a fill loop.
+func AppendKey(dst []byte, spec Spec, id uint64) []byte {
+	if cap(dst) < spec.KeySize {
+		dst = make([]byte, spec.KeySize)
+	}
+	k := dst[:spec.KeySize]
 	for i := 0; i < 8; i++ {
 		k[i] = byte(id >> (56 - 8*i))
 	}
@@ -182,7 +230,15 @@ func Key(spec Spec, id uint64) []byte {
 
 // Value materialises a value for spec without a Generator.
 func Value(spec Spec, id uint64, version uint32) []byte {
-	v := make([]byte, spec.ValueSize)
+	return AppendValue(nil, spec, id, version)
+}
+
+// AppendValue is to Value what AppendKey is to Key.
+func AppendValue(dst []byte, spec Spec, id uint64, version uint32) []byte {
+	if cap(dst) < spec.ValueSize {
+		dst = make([]byte, spec.ValueSize)
+	}
+	v := dst[:spec.ValueSize]
 	seed := id*0x9E3779B97F4A7C15 + uint64(version)
 	fillDeterministic(v, seed)
 	return v

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# bench.sh — run the root benchmark suite and report the aggregate wall time.
+#
+# Usage:
+#   scripts/bench.sh                 # full suite, 1 iteration per benchmark
+#   scripts/bench.sh -count 3        # extra go test args pass through
+#   BENCH='Fig12|Fig14' scripts/bench.sh   # subset via regex
+#   PROFILE=1 scripts/bench.sh       # also write cpu.pprof / mem.pprof
+#
+# The benchmarks replay the paper's full experiment reports, and the golden
+# checksum tests pin those reports byte-for-byte — so any optimization this
+# script measures is behavior-preserving by construction (run `go test .`
+# to check). BENCH_baseline.json records the before/after numbers of the
+# recorded optimization pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-.}"
+ARGS=(-run '^$' -bench "$BENCH" -benchtime 1x -timeout 1800s)
+if [[ "${PROFILE:-0}" != 0 ]]; then
+  ARGS+=(-cpuprofile cpu.pprof -memprofile mem.pprof)
+fi
+
+OUT="$(go test "${ARGS[@]}" "$@" . | tee /dev/stderr)"
+
+# Aggregate: sum of ns/op over every benchmark that ran.
+echo "$OUT" | awk '
+  /^Benchmark/ { total += $3; n++ }
+  END { printf "\naggregate: %d benchmarks, %.2f s total\n", n, total / 1e9 }
+'
+if [[ "${PROFILE:-0}" != 0 ]]; then
+  echo "profiles: cpu.pprof mem.pprof (inspect with: go tool pprof -top cpu.pprof)"
+fi
