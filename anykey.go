@@ -93,6 +93,11 @@ var (
 	// and by every operation thereafter, until PowerCycle remounts the device
 	// from flash. Test with errors.Is.
 	ErrPowerCut = errors.New("anykey: power cut")
+
+	// ErrUnsupported tags requests for a modelled-elsewhere capability — for
+	// example PowerCycle on a PinK device, whose recovery the simulator does
+	// not model. Test with errors.Is.
+	ErrUnsupported = errors.New("anykey: unsupported operation")
 )
 
 // Design selects which KV-SSD firmware the device runs.
@@ -193,11 +198,83 @@ type TraceOptions struct {
 	OpBuffer int
 }
 
-// validate rejects out-of-range option values before any construction, so
+// DefaultOptions returns the fully normalized default configuration: the
+// paper-proportioned 128 MiB AnyKey+ device, with every derived field (DRAM
+// budget, memtable threshold, group size, …) filled in. It is exactly what
+// the zero Options resolves to, made inspectable.
+func DefaultOptions() Options {
+	var o Options
+	// The zero value validates by construction; Validate only fills fields.
+	if err := o.Validate(); err != nil {
+		panic(err) // unreachable: the zero Options is documented valid
+	}
+	return o
+}
+
+// Validate checks every field and normalizes zero values to their defaults
+// in place, so "unset" resolves to a concrete configuration in exactly one
+// place — Open, OpenCluster and any caller wanting to inspect the effective
+// configuration all share it. Out-of-range values are reported wrapped in
+// ErrInvalidOptions (test with errors.Is); zero values are never rejected.
+func (o *Options) Validate() error {
+	if err := o.check(); err != nil {
+		return err
+	}
+	if o.CapacityMB == 0 {
+		o.CapacityMB = 128
+	}
+	if o.PageSize == 0 {
+		o.PageSize = 8192
+	}
+	if o.Channels == 0 {
+		o.Channels = 8
+	}
+	if o.ChipsPerChannel == 0 {
+		o.ChipsPerChannel = 8
+	}
+	geo, err := o.geometry()
+	if err != nil {
+		return err
+	}
+	// The derived defaults below replicate the firmware's internal ones
+	// (core.Config.Defaults / pink.Config.Defaults) so that a normalized
+	// Options builds a bit-identical device to the zero Options.
+	if o.DRAMBytes == 0 {
+		o.DRAMBytes = geo.Capacity() / 1000 // the paper's ≈0.1 % ratio
+	}
+	if o.MemtableBytes == 0 {
+		o.MemtableBytes = int64(32 * geo.PageSize)
+	}
+	if o.GrowthFactor == 0 {
+		o.GrowthFactor = 4
+	}
+	if o.GroupPages == 0 {
+		o.GroupPages = 32
+		if o.GroupPages > geo.PagesPerBlock {
+			o.GroupPages = geo.PagesPerBlock
+		}
+		if o.GroupPages < 4 {
+			o.GroupPages = 4
+		}
+	}
+	if o.GroupPages > geo.PagesPerBlock {
+		return fmt.Errorf("%w: GroupPages %d does not fit a %d-page erase block",
+			ErrInvalidOptions, o.GroupPages, geo.PagesPerBlock)
+	}
+	if o.LogFraction == 0 {
+		o.LogFraction = 0.50
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return nil
+}
+
+// check rejects out-of-range option values before any construction, so
 // misconfiguration surfaces as a descriptive Open error instead of silent
 // misbehaviour downstream. Zero values are never rejected — they mean "use
 // the default".
-func (o Options) validate() error {
+func (o Options) check() error {
 	if o.CapacityMB < 0 {
 		return fmt.Errorf("%w: CapacityMB %d is negative", ErrInvalidOptions, o.CapacityMB)
 	}
@@ -262,8 +339,8 @@ func (o Options) geometry() (nand.Geometry, error) {
 	totalBlocks := int64(capMB) << 20 / blockBytes
 	perChip := totalBlocks / int64(channels*chips)
 	if perChip < 1 {
-		return nand.Geometry{}, fmt.Errorf("anykey: capacity %d MB too small for %d×%d chips with %d B pages",
-			capMB, channels, chips, pageSize)
+		return nand.Geometry{}, fmt.Errorf("%w: capacity %d MB too small for %d×%d chips with %d B pages",
+			ErrInvalidOptions, capMB, channels, chips, pageSize)
 	}
 	return nand.Geometry{
 		Channels:        channels,
@@ -288,23 +365,19 @@ type Device struct {
 	dead   bool // a power cut fired; only PowerCycle revives the device
 }
 
-// Open builds a device running the selected design.
-func Open(opts Options) (*Device, error) {
-	if err := opts.validate(); err != nil {
+// openImpl validates-and-normalizes opts and builds the firmware it
+// selects. It is the one construction path shared by Open and OpenCluster.
+func openImpl(opts *Options) (device.KVSSD, error) {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	geo, err := opts.geometry()
 	if err != nil {
 		return nil, err
 	}
-	if opts.GroupPages > geo.PagesPerBlock {
-		return nil, fmt.Errorf("%w: GroupPages %d does not fit a %d-page erase block",
-			ErrInvalidOptions, opts.GroupPages, geo.PagesPerBlock)
-	}
-	var impl device.KVSSD
 	switch opts.Design {
 	case DesignPinK:
-		impl, err = pink.New(pink.Config{
+		return pink.New(pink.Config{
 			Geometry:      geo,
 			DRAMBytes:     opts.DRAMBytes,
 			MemtableBytes: opts.MemtableBytes,
@@ -312,7 +385,7 @@ func Open(opts Options) (*Device, error) {
 			Seed:          opts.Seed,
 		})
 	case DesignAnyKey, DesignAnyKeyPlus, DesignAnyKeyMinus:
-		impl, err = core.New(core.Config{
+		return core.New(core.Config{
 			Geometry:      geo,
 			DRAMBytes:     opts.DRAMBytes,
 			MemtableBytes: opts.MemtableBytes,
@@ -325,8 +398,13 @@ func Open(opts Options) (*Device, error) {
 			Seed:          opts.Seed,
 		})
 	default:
-		return nil, fmt.Errorf("anykey: unknown design %v", opts.Design)
+		return nil, fmt.Errorf("%w: unknown design %v", ErrInvalidOptions, opts.Design)
 	}
+}
+
+// Open builds a device running the selected design.
+func Open(opts Options) (*Device, error) {
+	impl, err := openImpl(&opts)
 	if err != nil {
 		return nil, err
 	}
@@ -352,8 +430,15 @@ func Open(opts Options) (*Device, error) {
 func (d *Device) attachTracer(tr *trace.Tracer) {
 	d.tr = tr
 	d.eng.SetTracer(tr)
-	d.array().SetTracer(tr)
-	switch impl := d.impl.(type) {
+	attachTracerTo(d.impl, tr)
+}
+
+// attachTracerTo wires a tracer through a bare firmware instance and its
+// flash array — the device- and cluster-shared half of tracer attachment
+// (engines are wired separately, as a cluster runs one per shard).
+func attachTracerTo(impl device.KVSSD, tr *trace.Tracer) {
+	arrayOf(impl).SetTracer(tr)
+	switch impl := impl.(type) {
 	case *core.Device:
 		impl.SetTracer(tr)
 	case *pink.Device:
@@ -386,8 +471,11 @@ func (d *Device) StopTrace() *Tracer {
 }
 
 // array returns the flash array beneath whichever firmware is mounted.
-func (d *Device) array() *nand.Array {
-	switch impl := d.impl.(type) {
+func (d *Device) array() *nand.Array { return arrayOf(d.impl) }
+
+// arrayOf returns the flash array beneath a firmware instance.
+func arrayOf(impl device.KVSSD) *nand.Array {
+	switch impl := impl.(type) {
 	case *core.Device:
 		return impl.Array()
 	case *pink.Device:
@@ -410,6 +498,9 @@ func (d *Device) Now() Time { return d.eng.Now() }
 func (d *Device) NewEngine(depth int) (*Engine, error) {
 	if d.closed {
 		return nil, ErrClosed
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("%w: engine queue depth %d; need at least 1", ErrInvalidOptions, depth)
 	}
 	eng, err := host.NewAt(d.impl, depth, d.eng.Now())
 	if err != nil {
@@ -522,7 +613,7 @@ func (d *Device) PowerCycle() error {
 	}
 	c, ok := d.impl.(*core.Device)
 	if !ok {
-		return fmt.Errorf("anykey: power-cycle recovery is only modelled for AnyKey designs")
+		return fmt.Errorf("%w: power-cycle recovery is only modelled for AnyKey designs", ErrUnsupported)
 	}
 	geo, err := d.opts.geometry()
 	if err != nil {

@@ -1,0 +1,305 @@
+package anykey
+
+import (
+	"fmt"
+	"io"
+
+	"anykey/internal/cluster"
+	"anykey/internal/device"
+	"anykey/internal/trace"
+)
+
+// Cluster-facing re-exports.
+type (
+	// RouterPolicy selects how a cluster maps keys to shards.
+	RouterPolicy = cluster.Policy
+	// BatchResult reports one Multi* batch: per-operation completions,
+	// shards and errors in input order, plus the merged batch span.
+	BatchResult = cluster.BatchResult
+	// ClusterStats is the merged statistics view of a cluster with its
+	// per-shard breakdown.
+	ClusterStats = cluster.Stats
+	// ShardStats is one shard's row of a cluster stats rollup.
+	ShardStats = cluster.ShardStats
+)
+
+// Routing policies for ClusterOptions.Router.
+const (
+	// RouteConsistent places shards on a consistent-hash ring (default).
+	RouteConsistent = cluster.RouteConsistent
+	// RouteModulo routes a key to hash(key) mod shards.
+	RouteModulo = cluster.RouteModulo
+)
+
+// ClusterOptions configures a sharded multi-device cluster. The zero value
+// is a valid 4-shard AnyKey+ cluster at queue depth 64 with consistent-hash
+// routing.
+type ClusterOptions struct {
+	// Shards is the number of member devices (default 4).
+	Shards int
+
+	// QueueDepth is each shard's submission queue depth (default 64, the
+	// paper's evaluation depth).
+	QueueDepth int
+
+	// Router selects the key→shard mapping (default RouteConsistent).
+	Router RouterPolicy
+
+	// VirtualNodes is the ring points per shard under RouteConsistent
+	// (default 64).
+	VirtualNodes int
+
+	// Workers bounds how many shard sub-batches run concurrently inside one
+	// Multi* call (default 1 = serial). Shards are independent virtual-time
+	// simulations, so results are bit-identical at any setting; Workers
+	// trades goroutines for wall-clock time only.
+	Workers int
+
+	// Device configures every member device. Each shard's internal
+	// randomness is decorrelated by offsetting Device.Seed with the shard
+	// index; all other fields apply uniformly. Fault injection
+	// (Device.Faults) is not supported on clusters. Device.Trace enables
+	// one tracer per shard, merged by WriteChromeTrace and Blame.
+	Device Options
+}
+
+// DefaultClusterOptions returns the fully normalized default cluster
+// configuration (what the zero ClusterOptions resolves to).
+func DefaultClusterOptions() ClusterOptions {
+	var o ClusterOptions
+	if err := o.Validate(); err != nil {
+		panic(err) // unreachable: the zero ClusterOptions is documented valid
+	}
+	return o
+}
+
+// Validate checks every field and normalizes zero values to their defaults
+// in place, sharing Options.Validate for the per-shard device
+// configuration. Out-of-range values are reported wrapped in
+// ErrInvalidOptions; unsupported combinations in ErrUnsupported.
+func (o *ClusterOptions) Validate() error {
+	if o.Shards < 0 {
+		return fmt.Errorf("%w: Shards %d is negative", ErrInvalidOptions, o.Shards)
+	}
+	if o.QueueDepth < 0 {
+		return fmt.Errorf("%w: QueueDepth %d is negative", ErrInvalidOptions, o.QueueDepth)
+	}
+	if o.VirtualNodes < 0 {
+		return fmt.Errorf("%w: VirtualNodes %d is negative", ErrInvalidOptions, o.VirtualNodes)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("%w: Workers %d is negative", ErrInvalidOptions, o.Workers)
+	}
+	switch o.Router {
+	case RouteConsistent, RouteModulo:
+	default:
+		return fmt.Errorf("%w: unknown router policy %v", ErrInvalidOptions, o.Router)
+	}
+	if o.Device.Faults != nil {
+		// A power cut tears down one device mid-operation via a panic the
+		// facade catches; with per-batch worker goroutines that unwinding
+		// cannot be delivered coherently, so fleet-level fault injection
+		// stays a single-device tool for now.
+		return fmt.Errorf("%w: fault injection on a cluster (open the shard as a single Device instead)", ErrUnsupported)
+	}
+	if o.Shards == 0 {
+		o.Shards = 4
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+	if o.VirtualNodes == 0 {
+		o.VirtualNodes = 64
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	return o.Device.Validate()
+}
+
+// Cluster is an open sharded fleet of simulated KV-SSDs behind one
+// keyspace: a hash router over N independent devices, each driven by its
+// own queue-depth-N submission engine in its own virtual clock domain. The
+// batch calls (MultiPut/MultiGet/MultiDelete) are the primary interface —
+// they split the batch by shard, submit to every involved shard's engine,
+// and complete at the maximum of the per-shard virtual completion times.
+//
+// Cross-shard time is merged, never propagated, so every result is
+// deterministic and independent of ClusterOptions.Workers.
+type Cluster struct {
+	c      *cluster.Cluster
+	opts   ClusterOptions
+	closed bool
+}
+
+// OpenCluster builds a cluster of opts.Shards identical devices (modulo the
+// per-shard seed offset).
+func OpenCluster(opts ClusterOptions) (*Cluster, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	devs := make([]device.KVSSD, 0, opts.Shards)
+	var tracers []*trace.Tracer
+	for s := 0; s < opts.Shards; s++ {
+		shardOpts := opts.Device
+		shardOpts.Seed = opts.Device.Seed + int64(s)
+		impl, err := openImpl(&shardOpts)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		if opts.Device.Trace != nil {
+			tr := trace.New(trace.Config{
+				Events: opts.Device.Trace.EventBuffer,
+				Ops:    opts.Device.Trace.OpBuffer,
+			})
+			attachTracerTo(impl, tr)
+			tracers = append(tracers, tr)
+		}
+		devs = append(devs, impl)
+	}
+	c, err := cluster.New(devs, cluster.Config{
+		QueueDepth:   opts.QueueDepth,
+		Policy:       opts.Router,
+		VirtualNodes: opts.VirtualNodes,
+		Workers:      opts.Workers,
+		Tracers:      tracers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{c: c, opts: opts}, nil
+}
+
+// gate rejects operations on a closed cluster.
+func (c *Cluster) gate() error {
+	if c.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Shards returns the number of member devices.
+func (c *Cluster) Shards() int { return c.c.Shards() }
+
+// Router returns the routing policy in force.
+func (c *Cluster) Router() RouterPolicy { return c.c.Policy() }
+
+// ShardFor returns the shard a key routes to.
+func (c *Cluster) ShardFor(key []byte) int { return c.c.ShardFor(key) }
+
+// Now returns the merged cluster clock: the maximum over shard clocks.
+func (c *Cluster) Now() Time { return c.c.Now() }
+
+// MultiPut stores keys[i] → values[i] for every i, split by shard and
+// completed at the merged batch time. Per-operation errors are in
+// BatchResult.Errs; the returned error reports only call misuse.
+func (c *Cluster) MultiPut(keys, values [][]byte) (*BatchResult, error) {
+	if err := c.gate(); err != nil {
+		return nil, err
+	}
+	return c.c.MultiPut(keys, values)
+}
+
+// MultiGet reads every key. Absent keys report ErrNotFound in
+// BatchResult.Errs; returned values are copies owned by the caller.
+func (c *Cluster) MultiGet(keys [][]byte) (*BatchResult, error) {
+	if err := c.gate(); err != nil {
+		return nil, err
+	}
+	return c.c.MultiGet(keys)
+}
+
+// MultiDelete removes every key (deleting an absent key succeeds).
+func (c *Cluster) MultiDelete(keys [][]byte) (*BatchResult, error) {
+	if err := c.gate(); err != nil {
+		return nil, err
+	}
+	return c.c.MultiDelete(keys)
+}
+
+// Put stores one pair on its shard and returns the simulated latency.
+func (c *Cluster) Put(key, value []byte) (Duration, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	comp, err := c.c.Put(key, value)
+	return comp.Latency(), err
+}
+
+// Get reads one key from its shard. The value is owned by the shard device
+// and valid until its next operation; use MultiGet for caller-owned copies.
+func (c *Cluster) Get(key []byte) ([]byte, Duration, error) {
+	if err := c.gate(); err != nil {
+		return nil, 0, err
+	}
+	comp, err := c.c.Get(key)
+	return comp.Value, comp.Latency(), err
+}
+
+// Delete removes one key on its shard and returns the simulated latency.
+func (c *Cluster) Delete(key []byte) (Duration, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	comp, err := c.c.Delete(key)
+	return comp.Latency(), err
+}
+
+// Sync flushes every shard (a fleet-wide FLUSH) and returns the merged
+// completion time.
+func (c *Cluster) Sync() (Time, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	return c.c.Sync()
+}
+
+// Barrier drains every shard's in-flight requests and returns the merged
+// cluster time.
+func (c *Cluster) Barrier() (Time, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	return c.c.Barrier(), nil
+}
+
+// ResetBreakdowns clears every shard engine's queue-wait/service histograms,
+// marking the start of a measurement phase (see Stats).
+func (c *Cluster) ResetBreakdowns() {
+	if c.closed {
+		return
+	}
+	c.c.ResetBreakdowns()
+}
+
+// Stats merges every shard's live statistics into one rollup with a
+// per-shard breakdown.
+func (c *Cluster) Stats() ClusterStats { return c.c.CollectStats() }
+
+// Metadata merges the shards' metadata reports, summing same-named
+// structures.
+func (c *Cluster) Metadata() []MetaStructure { return c.c.Metadata() }
+
+// Blame merges every shard tracer's blame report into one cluster-wide
+// attribution. Nil when the cluster was opened without Device.Trace.
+func (c *Cluster) Blame(opts BlameOptions) *BlameReport { return c.c.Blame(opts) }
+
+// WriteChromeTrace writes the merged fleet trace as Chrome trace_event
+// JSON: shard i's rows appear as processes named "shardN …" at a disjoint
+// pid range, on a common virtual-time axis. It fails when the cluster was
+// opened without Device.Trace.
+func (c *Cluster) WriteChromeTrace(w io.Writer) error {
+	trs := c.c.Tracers()
+	if trs == nil {
+		return fmt.Errorf("%w: cluster opened without Device.Trace", ErrUnsupported)
+	}
+	return trace.WriteChromeTraceCluster(w, trs)
+}
+
+// Close marks the cluster closed; further operations return ErrClosed. It
+// is idempotent and never fails (the simulation holds no external
+// resources).
+func (c *Cluster) Close() error {
+	c.closed = true
+	return nil
+}

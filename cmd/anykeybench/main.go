@@ -9,6 +9,8 @@
 //	anykeybench -exp fig10 -capacity 128 -quick=false
 //	anykeybench -exp all -parallel 8    # fan cells across 8 workers
 //	anykeybench -workload ZippyDB -trace-out trace.json   # traced single run
+//	anykeybench -workload ZippyDB -shards 4               # sharded cluster run
+//	anykeybench -exp cluster                              # shards × QD × skew sweep
 //	anykeybench -exp fig12 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiment cells (one simulated device each) are independent, so by
@@ -22,6 +24,11 @@
 // Chrome trace_event JSON loadable in Perfetto / chrome://tracing, or CSV
 // when the path ends in .csv. With -exp, -trace attaches a tracer to every
 // cell (the reports are identical either way; tracing only observes).
+//
+// Adding -shards N to a -workload run drives the same mix through a sharded
+// N-device cluster via the batched MultiPut/MultiGet API (-router picks the
+// key→shard policy); the blame report merges every shard's attribution and
+// -trace-out exports the fleet trace with shard ids as track tags.
 //
 // Each experiment prints the rows/series of the corresponding paper table
 // or figure; EXPERIMENTS.md records the measured-vs-paper comparison.
@@ -66,6 +73,9 @@ func main() {
 		blamePct = flag.Float64("blame", 99, "single-run mode: blame-report percentile cut")
 		wl       = flag.String("workload", "", "run one traced measurement of this Table 2 workload instead of an experiment")
 		design   = flag.String("design", "anykey+", "single-run mode: pink | anykey | anykey+ | anykey-")
+
+		shards = flag.Int("shards", 0, "single-run mode: drive the workload through a sharded cluster of this many devices (0 = one device)")
+		router = flag.String("router", "consistent", "cluster routing policy: consistent | modulo")
 	)
 	flag.Parse()
 
@@ -106,7 +116,13 @@ func main() {
 		return
 	}
 	if *wl != "" {
-		if err := runTraced(*wl, *design, *capacity, *quick, *seed, *maxOps, *blamePct, *traceOut); err != nil {
+		var err error
+		if *shards > 0 {
+			err = runCluster(*wl, *design, *shards, *router, *quick, *seed, *maxOps, *blamePct, *traceOut)
+		} else {
+			err = runTraced(*wl, *design, *capacity, *quick, *seed, *maxOps, *blamePct, *traceOut)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "anykeybench:", err)
 			os.Exit(1)
 		}
@@ -172,6 +188,78 @@ var designs = map[string]anykey.Design{
 	"anykey":  anykey.DesignAnyKey,
 	"anykey+": anykey.DesignAnyKeyPlus,
 	"anykey-": anykey.DesignAnyKeyMinus,
+}
+
+var routers = map[string]anykey.RouterPolicy{
+	"consistent": anykey.RouteConsistent,
+	"modulo":     anykey.RouteModulo,
+}
+
+// runCluster runs one traced cluster measurement: the workload batched over
+// a sharded fleet, with the merged blame report and fleet trace export.
+func runCluster(wl, design string, shards int, router string, quick bool, seed, maxOps int64, blamePct float64, traceOut string) error {
+	d, ok := designs[strings.ToLower(design)]
+	if !ok {
+		return fmt.Errorf("unknown design %q", design)
+	}
+	pol, ok := routers[strings.ToLower(router)]
+	if !ok {
+		return fmt.Errorf("unknown router %q (consistent | modulo)", router)
+	}
+	spec, ok := workload.ByName(wl)
+	if !ok {
+		return fmt.Errorf("unknown workload %q (see internal/workload Table 2)", wl)
+	}
+	if maxOps == 0 && quick {
+		maxOps = 25000
+	}
+	cfg := harness.ClusterRunConfig{
+		Cluster: anykey.ClusterOptions{
+			Shards: shards,
+			Router: pol,
+			Device: anykey.Options{
+				Design:          d,
+				CapacityMB:      16,
+				Channels:        4,
+				ChipsPerChannel: 4,
+				DRAMBytes:       16 << 20 / 100,
+				Seed:            seed,
+			},
+		},
+		Workload: spec,
+		Seed:     seed,
+		MaxOps:   maxOps,
+		Trace:    &anykey.TraceOptions{},
+	}
+	start := time.Now()
+	res, err := harness.RunCluster(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s (%s router): %d ops, %.0f IOPS, read p50=%v p99=%v, batch p99=%v\n",
+		res.System, res.Workload, res.Router, res.Ops, res.IOPS,
+		res.ReadLat.Percentile(50), res.ReadLat.Percentile(99), res.BatchLat.Percentile(99))
+	fmt.Printf("shard balance: %v (hottest %.1f%%)\n", res.ShardOps, 100*res.HottestShare)
+	fmt.Print(res.Cluster.Blame(anykey.BlameOptions{Percentile: blamePct}))
+	if traceOut != "" {
+		if strings.HasSuffix(traceOut, ".csv") {
+			return fmt.Errorf("cluster traces export as Chrome trace_event JSON only")
+		}
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		err = res.Cluster.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("saving trace: %w", err)
+		}
+		fmt.Printf("fleet trace saved to %s (shard ids on the track labels)\n", traceOut)
+	}
+	fmt.Printf("(completed in %v wall time)\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // runTraced runs one traced measurement of a Table 2 workload, prints the

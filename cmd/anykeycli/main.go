@@ -7,6 +7,7 @@
 //	anykeycli -design anykey+ -capacity 64
 //	anykeycli -design anykey -fault-read-err 0.01 -cut-at-op 5000
 //	anykeycli -design anykey+ -crashsweep -trials 8
+//	anykeycli -shards 4 -router consistent     # sharded cluster shell
 //
 // Commands:
 //
@@ -28,6 +29,16 @@
 // -crashsweep runs the power-cut crash-consistency sweep from
 // internal/fault/crashtest against the chosen design and prints one line
 // per trial, instead of starting the shell.
+//
+// With -shards N the shell drives a sharded N-device cluster through the
+// batched MultiPut/MultiGet API instead of one device. Cluster commands:
+//
+//	put/get/del <key> ...  single-key ops (each line shows the shard)
+//	mput <k>=<v> ...       one batch across the fleet
+//	mget <k> ...           one batched read
+//	shard <key>            which shard a key routes to
+//	stats                  merged rollup plus the per-shard breakdown
+//	meta | sync | quit     as in the single-device shell
 package main
 
 import (
@@ -67,6 +78,9 @@ func main() {
 		trials     = flag.Int("trials", 4, "crashsweep: number of cut positions")
 		sweepOps   = flag.Int("sweep-ops", 1200, "crashsweep: workload operations per trial")
 		sweepSeed  = flag.Int64("sweep-seed", 7, "crashsweep: workload seed")
+
+		shards = flag.Int("shards", 0, "open a sharded cluster of this many devices instead of one device (0 = single device)")
+		router = flag.String("router", "consistent", "cluster routing policy: consistent | modulo")
 	)
 	flag.Parse()
 
@@ -95,6 +109,28 @@ func main() {
 		return
 	}
 
+	if *shards > 0 {
+		pol, ok := map[string]anykey.RouterPolicy{
+			"consistent": anykey.RouteConsistent,
+			"modulo":     anykey.RouteModulo,
+		}[strings.ToLower(*router)]
+		if !ok {
+			gofmt.Fprintf(os.Stderr, "anykeycli: unknown router %q (consistent | modulo)\n", *router)
+			os.Exit(2)
+		}
+		opts.Faults = nil // fault injection is a single-device tool
+		c, err := anykey.OpenCluster(anykey.ClusterOptions{Shards: *shards, Router: pol, Device: opts})
+		if err != nil {
+			gofmt.Fprintln(os.Stderr, "anykeycli:", err)
+			os.Exit(1)
+		}
+		defer c.Close()
+		gofmt.Printf("opened %d-shard %s cluster (%s router, %d MiB/shard); type 'help' for commands\n",
+			*shards, d, *router, *capacity)
+		clusterRepl(c, os.Stdin, os.Stdout)
+		return
+	}
+
 	dev, err := anykey.Open(opts)
 	if err != nil {
 		gofmt.Fprintln(os.Stderr, "anykeycli:", err)
@@ -103,6 +139,138 @@ func main() {
 	defer dev.Close()
 	gofmt.Printf("opened %s device, %d MiB; type 'help' for commands\n", d, *capacity)
 	repl(dev, os.Stdin, os.Stdout)
+}
+
+// clusterRepl runs the command loop over a sharded cluster; split from main
+// so tests can drive it with a scripted reader.
+func clusterRepl(c *anykey.Cluster, in io.Reader, out io.Writer) {
+	fmt := &printer{w: out}
+	sc := bufio.NewScanner(in)
+	for fmt.Print("> "); sc.Scan(); fmt.Print("> ") {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch cmd := fields[0]; cmd {
+		case "quit", "exit":
+			return
+		case "help":
+			fmt.Println("put <k> <v> | get <k> | del <k> | mput <k>=<v>... | mget <k>... | shard <k> | stats | meta | sync | quit")
+		case "put":
+			if len(fields) != 3 {
+				fmt.Println("usage: put <key> <value>")
+				continue
+			}
+			lat, err := c.Put([]byte(fields[1]), []byte(fields[2]))
+			fmt.Printf("[shard %d] ", c.ShardFor([]byte(fields[1])))
+			report(fmt, lat, err)
+		case "get":
+			if len(fields) != 2 {
+				fmt.Println("usage: get <key>")
+				continue
+			}
+			v, lat, err := c.Get([]byte(fields[1]))
+			fmt.Printf("[shard %d] ", c.ShardFor([]byte(fields[1])))
+			if err == nil {
+				fmt.Printf("%q  ", v)
+			}
+			report(fmt, lat, err)
+		case "del":
+			if len(fields) != 2 {
+				fmt.Println("usage: del <key>")
+				continue
+			}
+			lat, err := c.Delete([]byte(fields[1]))
+			fmt.Printf("[shard %d] ", c.ShardFor([]byte(fields[1])))
+			report(fmt, lat, err)
+		case "mput":
+			if len(fields) < 2 {
+				fmt.Println("usage: mput <key>=<value> ...")
+				continue
+			}
+			var keys, vals [][]byte
+			bad := false
+			for _, kv := range fields[1:] {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					fmt.Printf("malformed pair %q (want key=value)\n", kv)
+					bad = true
+					break
+				}
+				keys = append(keys, []byte(k))
+				vals = append(vals, []byte(v))
+			}
+			if bad {
+				continue
+			}
+			br, err := c.MultiPut(keys, vals)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if err := br.FirstErr(); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("ok: %d pairs over shards %v (%v batch span)\n", len(keys), br.Shards, br.Latency())
+		case "mget":
+			if len(fields) < 2 {
+				fmt.Println("usage: mget <key> ...")
+				continue
+			}
+			var keys [][]byte
+			for _, k := range fields[1:] {
+				keys = append(keys, []byte(k))
+			}
+			br, err := c.MultiGet(keys)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			for i, comp := range br.Completions {
+				if br.Errs[i] != nil {
+					fmt.Printf("  [shard %d] %q: %v\n", br.Shards[i], keys[i], br.Errs[i])
+					continue
+				}
+				fmt.Printf("  [shard %d] %q = %q\n", br.Shards[i], keys[i], comp.Value)
+			}
+			fmt.Printf("batch span %v\n", br.Latency())
+		case "shard":
+			if len(fields) != 2 {
+				fmt.Println("usage: shard <key>")
+				continue
+			}
+			fmt.Printf("%q -> shard %d of %d\n", fields[1], c.ShardFor([]byte(fields[1])), c.Shards())
+		case "stats":
+			st := c.Stats()
+			fmt.Printf("cluster: %d ops, %d live keys (%d bytes), clock %v\n",
+				st.Ops, st.LiveKeys, st.LiveBytes, st.Now)
+			fmt.Printf("flash: %d reads, %d writes, %d erases\n",
+				st.Flash.TotalReads(), st.Flash.TotalWrites(), st.Flash.Erases)
+			fmt.Printf("compactions: %d tree, %d log, %d chained; GC: %d runs, %d relocations\n",
+				st.TreeCompactions, st.LogCompactions, st.ChainedCompactions, st.GCRuns, st.GCRelocations)
+			for _, ss := range st.PerShard {
+				fmt.Printf("  shard %d: %d ops, %d live keys, clock %v\n", ss.Shard, ss.Ops, ss.LiveKeys, ss.Now)
+			}
+		case "meta":
+			for _, m := range c.Metadata() {
+				place := "DRAM"
+				if !m.InDRAM {
+					place = "flash"
+				}
+				fmt.Printf("  %-24s %10d B  %s\n", m.Name, m.Bytes, place)
+			}
+		case "sync":
+			now, err := c.Sync()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("ok (fleet flushed, clock %v)\n", now)
+		default:
+			fmt.Printf("unknown command %q (try 'help')\n", cmd)
+		}
+	}
 }
 
 // runCrashSweep replays a seeded workload, cutting power at evenly spaced

@@ -1,21 +1,26 @@
 // Cachecluster models the paper's Cache15 workload — the 15 % of Twitter's
 // 153 cache clusters whose keys are as large as their values (38 B / 38 B,
-// v/k = 1.0, the extreme low-v/k case). It runs the same Zipfian
-// read-heavy mix on PinK and on AnyKey+ and prints the read-latency tail
-// that Fig. 10d contrasts, plus the per-read flash-access counts behind it
-// (Fig. 11b).
+// v/k = 1.0, the extreme low-v/k case) — sharded across a 4-node KV-SSD
+// cluster behind anykey.Cluster's batched submission API. It runs the same
+// Zipfian read-heavy mix on a PinK fleet and on an AnyKey+ fleet and prints
+// the read-latency tail that Fig. 10d contrasts, the per-read flash-access
+// counts behind it (Fig. 11b), and how evenly the consistent-hash router
+// spread the skewed traffic.
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"slices"
 
 	"anykey"
 )
 
 const (
+	shards     = 4
+	batchSize  = 256
 	population = 120000
 	operations = 120000
 	keySize    = 38
@@ -42,58 +47,122 @@ func percentile(sorted []anykey.Duration, p float64) anykey.Duration {
 	return sorted[i]
 }
 
-func main() {
-	rng := rand.New(rand.NewSource(7))
-	for _, design := range []anykey.Design{anykey.DesignPinK, anykey.DesignAnyKeyPlus} {
-		dev, err := anykey.Open(anykey.Options{
-			Design:     design,
-			CapacityMB: 64,
-			DRAMBytes:  64 << 20 / 40,
-		})
+// runFleet drives the Cache15 mix on one design's 4-shard fleet. The
+// cluster's Close error is the return value when nothing else failed first,
+// so a shard teardown problem still reaches the exit code.
+func runFleet(design anykey.Design) (err error) {
+	c, openErr := anykey.OpenCluster(anykey.ClusterOptions{
+		Shards: shards,
+		Device: anykey.Options{
+			Design:          design,
+			CapacityMB:      16,
+			Channels:        4,
+			ChipsPerChannel: 4,
+			DRAMBytes:       16 << 20 / 40,
+		},
+	})
+	if openErr != nil {
+		return openErr
+	}
+	defer func() {
+		if cerr := c.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("closing %v fleet: %w", design, cerr)
+		}
+	}()
+
+	// Load the cache population in MultiPut batches: each batch is split by
+	// shard, runs on every involved node, and completes at the merged time.
+	keys := make([][]byte, 0, batchSize)
+	vals := make([][]byte, 0, batchSize)
+	for id := 0; id < population; {
+		keys, vals = keys[:0], vals[:0]
+		for len(keys) < batchSize && id < population {
+			keys = append(keys, cacheKey(id))
+			vals = append(vals, cacheValue(id, 0))
+			id++
+		}
+		br, err := c.MultiPut(keys, vals)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-
-		// Load the cache population.
-		for id := 0; id < population; id++ {
-			if _, err := dev.Put(cacheKey(id), cacheValue(id, 0)); err != nil {
-				log.Fatal(err)
-			}
+		if err := br.FirstErr(); err != nil {
+			return err
 		}
+	}
 
-		// Zipf-ish skewed access: 90% reads, 10% overwrites.
-		zipf := rand.NewZipf(rng, 1.2, 8, population-1)
-		lats := make([]anykey.Duration, 0, operations)
-		for op := 0; op < operations; op++ {
+	// Zipf-ish skewed access in batched waves: 90% reads, 10% overwrites.
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.2, 8, population-1)
+	lats := make([]anykey.Duration, 0, operations)
+	for done := 0; done < operations; {
+		keys, vals = keys[:0], vals[:0]
+		getKeys := make([][]byte, 0, batchSize)
+		for done < operations && len(keys)+len(getKeys) < batchSize {
 			id := int(zipf.Uint64())
 			if rng.Float64() < 0.1 {
-				if _, err := dev.Put(cacheKey(id), cacheValue(id, op)); err != nil {
-					log.Fatal(err)
-				}
-				continue
+				keys = append(keys, cacheKey(id))
+				vals = append(vals, cacheValue(id, done))
+			} else {
+				getKeys = append(getKeys, cacheKey(id))
 			}
-			_, lat, err := dev.Get(cacheKey(id))
+			done++
+		}
+		if len(keys) > 0 {
+			br, err := c.MultiPut(keys, vals)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			lats = append(lats, lat)
+			if err := br.FirstErr(); err != nil {
+				return err
+			}
 		}
-		slices.Sort(lats)
+		if len(getKeys) > 0 {
+			br, err := c.MultiGet(getKeys)
+			if err != nil {
+				return err
+			}
+			for i, comp := range br.Completions {
+				if br.Errs[i] != nil {
+					return fmt.Errorf("get %q: %w", getKeys[i], br.Errs[i])
+				}
+				lats = append(lats, comp.Latency())
+			}
+		}
+	}
+	slices.Sort(lats)
 
-		st := dev.Stats()
-		fmt.Printf("%-8s reads: p50=%-12v p95=%-12v p99=%-12v | flash accesses/read mean=%.2f\n",
-			design, percentile(lats, 0.50), percentile(lats, 0.95), percentile(lats, 0.99),
-			st.ReadAccesses.Mean())
-		fmt.Printf("%-8s metadata:", design)
-		for _, m := range dev.Metadata() {
-			place := "DRAM"
-			if !m.InDRAM {
-				place = "FLASH"
-			}
-			fmt.Printf("  %s=%dKB(%s)", m.Name, m.Bytes>>10, place)
+	st := c.Stats()
+	fmt.Printf("%-8s reads: p50=%-12v p95=%-12v p99=%-12v | flash accesses/read mean=%.2f\n",
+		design, percentile(lats, 0.50), percentile(lats, 0.95), percentile(lats, 0.99),
+		st.ReadAccesses.Mean())
+	var hottest, total int64
+	for _, ss := range st.PerShard {
+		total += ss.Ops
+		if ss.Ops > hottest {
+			hottest = ss.Ops
 		}
-		fmt.Println()
-		dev.Close()
+	}
+	fmt.Printf("%-8s fleet: %d live keys over %d shards, hottest shard carried %.1f%% of requests\n",
+		design, st.LiveKeys, st.Shards, 100*float64(hottest)/float64(total))
+	fmt.Printf("%-8s metadata:", design)
+	for _, m := range c.Metadata() {
+		place := "DRAM"
+		if !m.InDRAM {
+			place = "FLASH"
+		}
+		fmt.Printf("  %s=%dKB(%s)", m.Name, m.Bytes>>10, place)
+	}
+	fmt.Println()
+	return nil
+}
+
+func main() {
+	for _, design := range []anykey.Design{anykey.DesignPinK, anykey.DesignAnyKeyPlus} {
+		if err := runFleet(design); err != nil {
+			log.SetFlags(0)
+			log.Printf("cachecluster: %v", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Println("\nWith 38-byte keys the per-pair metadata is as large as the data itself:")
 	fmt.Println("PinK's meta segments spill to flash and every cache miss pays extra flash")

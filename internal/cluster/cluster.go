@@ -1,0 +1,618 @@
+// Package cluster is the host-side scale-out layer over the simulated
+// KV-SSDs: a hash router spreading one keyspace across N independent shard
+// devices, each driven by its own queue-depth-N host engine in its own
+// virtual clock domain, with batched submission as the primary interface.
+//
+// The layer reproduces the standard deployment shape for KV-SSD fleets
+// (host-side sharding, as surveyed by Doekemeijer & Trivedi and exercised by
+// partitioned stores like F2): no shard ever sees another shard's keys, so
+// each shard remains a single-goroutine virtual-time simulation, and the
+// cluster coordinates them only at observation points.
+//
+// # Clock domains and the virtual-time merger
+//
+// Every shard's engine starts at the simulation epoch and advances only when
+// that shard carries requests, so the shards' clocks drift apart exactly as
+// much as the workload is imbalanced. Cross-shard instants are merged, never
+// propagated: a batch completes at the maximum of its per-shard completion
+// times, the cluster clock Now() is the maximum over shard clocks, and
+// throughput over a phase is measured against the slowest shard's elapsed
+// virtual time. Because no merged value ever feeds back into any shard's
+// schedule, executing shard sub-batches serially or on parallel goroutines
+// produces bit-identical completions, stats and traces.
+//
+// # Batches
+//
+// MultiPut/MultiGet/MultiDelete split the caller's batch by routing each key,
+// preserve the caller's order within every shard (two writes to one key in a
+// batch resolve to the later one), submit every sub-batch closed-loop through
+// the shard's engine, and report per-operation completions plus the merged
+// batch span.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+
+	"anykey/internal/device"
+	"anykey/internal/host"
+	"anykey/internal/kv"
+	"anykey/internal/nand"
+	"anykey/internal/sim"
+	"anykey/internal/stats"
+	"anykey/internal/trace"
+	"anykey/internal/xxhash"
+)
+
+// Policy selects how keys map to shards.
+type Policy int
+
+const (
+	// RouteConsistent places shards on a hash ring with VirtualNodes points
+	// each and routes a key to the next point clockwise from its hash — the
+	// classic consistent-hashing layout, where growing or shrinking a fleet
+	// would move only the keys between neighbouring points.
+	RouteConsistent Policy = iota
+	// RouteModulo routes a key to hash(key) mod shards: perfectly balanced
+	// for a fixed fleet, maximally disruptive to change.
+	RouteModulo
+)
+
+var policyNames = map[Policy]string{
+	RouteConsistent: "consistent",
+	RouteModulo:     "modulo",
+}
+
+// String returns the policy's name.
+func (p Policy) String() string {
+	if n, ok := policyNames[p]; ok {
+		return n
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Config parameterises a cluster over already-constructed shard devices.
+type Config struct {
+	// QueueDepth is each shard engine's submission queue depth (default 1).
+	QueueDepth int
+
+	// Policy is the routing policy (default RouteConsistent).
+	Policy Policy
+
+	// VirtualNodes is the ring points per shard under RouteConsistent
+	// (default 64). More points smooth the key balance at the cost of a
+	// larger ring.
+	VirtualNodes int
+
+	// Workers bounds how many shard sub-batches run concurrently inside one
+	// MultiPut/MultiGet/MultiDelete (default 1 = serial). Results are
+	// bit-identical at any setting; Workers only trades goroutines for
+	// wall-clock time.
+	Workers int
+
+	// Tracers, when non-nil, holds one tracer per shard; each is attached to
+	// that shard's engine (the caller attaches the same tracer to the shard
+	// device underneath). len(Tracers) must equal the shard count.
+	Tracers []*trace.Tracer
+}
+
+// shard is one member device with its private engine and clock domain.
+type shard struct {
+	dev device.KVSSD
+	eng *host.Engine
+	tr  *trace.Tracer
+	ops int64
+}
+
+// Cluster routes one keyspace across N shard devices.
+type Cluster struct {
+	shards  []*shard
+	ring    []ringPoint // sorted; only under RouteConsistent
+	policy  Policy
+	workers int
+
+	// scratch buffers reused across batches: per-shard op-index lists and
+	// the involved-shard list, so steady-state routing allocates nothing.
+	byShard  [][]int
+	involved []int
+}
+
+// ringPoint is one virtual node: a hash position owned by a shard.
+type ringPoint struct {
+	hash  uint32
+	shard int32
+}
+
+// New builds a cluster over devs. Each device gets its own engine of
+// cfg.QueueDepth starting at the simulation epoch.
+func New(devs []device.KVSSD, cfg Config) (*Cluster, error) {
+	if len(devs) == 0 {
+		return nil, errors.New("cluster: no shard devices")
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 1
+	}
+	if cfg.VirtualNodes == 0 {
+		cfg.VirtualNodes = 64
+	}
+	if cfg.VirtualNodes < 1 {
+		return nil, fmt.Errorf("cluster: %d virtual nodes; need at least 1", cfg.VirtualNodes)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	if _, ok := policyNames[cfg.Policy]; !ok {
+		return nil, fmt.Errorf("cluster: unknown routing policy %v", cfg.Policy)
+	}
+	if cfg.Tracers != nil && len(cfg.Tracers) != len(devs) {
+		return nil, fmt.Errorf("cluster: %d tracers for %d shards", len(cfg.Tracers), len(devs))
+	}
+	c := &Cluster{
+		policy:  cfg.Policy,
+		workers: cfg.Workers,
+		byShard: make([][]int, len(devs)),
+	}
+	for i, dev := range devs {
+		eng, err := host.New(dev, cfg.QueueDepth)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		sh := &shard{dev: dev, eng: eng}
+		if cfg.Tracers != nil {
+			sh.tr = cfg.Tracers[i]
+			eng.SetTracer(sh.tr)
+		}
+		c.shards = append(c.shards, sh)
+	}
+	if cfg.Policy == RouteConsistent {
+		c.ring = buildRing(len(devs), cfg.VirtualNodes)
+	}
+	return c, nil
+}
+
+// buildRing hashes VirtualNodes points per shard onto the ring and sorts
+// them. Point hashes come from the shard and replica indices alone, so the
+// ring is a pure function of (shards, vnodes) and routing is reproducible
+// across processes.
+func buildRing(shards, vnodes int) []ringPoint {
+	ring := make([]ringPoint, 0, shards*vnodes)
+	var buf [8]byte
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			buf[0] = byte(s)
+			buf[1] = byte(s >> 8)
+			buf[2] = byte(s >> 16)
+			buf[3] = byte(s >> 24)
+			buf[4] = byte(v)
+			buf[5] = byte(v >> 8)
+			buf[6] = byte(v >> 16)
+			buf[7] = byte(v >> 24)
+			ring = append(ring, ringPoint{hash: hashBytes(buf[:]), shard: int32(s)})
+		}
+	}
+	// Sort by (hash, shard) so equal hashes break ties deterministically.
+	slices.SortFunc(ring, func(a, b ringPoint) int {
+		switch {
+		case a.hash != b.hash:
+			if a.hash < b.hash {
+				return -1
+			}
+			return 1
+		case a.shard != b.shard:
+			if a.shard < b.shard {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	return ring
+}
+
+// Shards returns the number of shards.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Depth returns the per-shard engine queue depth.
+func (c *Cluster) Depth() int { return c.shards[0].eng.Depth() }
+
+// Policy returns the routing policy in force.
+func (c *Cluster) Policy() Policy { return c.policy }
+
+// ShardFor returns the shard a key routes to.
+func (c *Cluster) ShardFor(key []byte) int {
+	h := hashBytes(key)
+	if c.policy == RouteModulo {
+		return int(h % uint32(len(c.shards)))
+	}
+	// First ring point at or clockwise-after the hash, wrapping at the top.
+	lo, hi := 0, len(c.ring)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.ring[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(c.ring) {
+		lo = 0
+	}
+	return int(c.ring[lo].shard)
+}
+
+// Now returns the merged cluster clock: the maximum over shard clocks.
+func (c *Cluster) Now() sim.Time {
+	var m sim.Time
+	for _, sh := range c.shards {
+		if t := sh.eng.Now(); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Ops returns the total requests completed across all shards.
+func (c *Cluster) Ops() int64 {
+	var n int64
+	for _, sh := range c.shards {
+		n += sh.ops
+	}
+	return n
+}
+
+// Barrier drains every shard's in-flight requests, aligning each shard's
+// slot clocks internally (clock domains stay independent — no shard's clock
+// is pushed to another's), and returns the merged cluster time.
+func (c *Cluster) Barrier() sim.Time {
+	var m sim.Time
+	for _, sh := range c.shards {
+		if t := sh.eng.Barrier(); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// ResetBreakdowns clears every shard engine's queue-wait/service histograms
+// (the harness calls this at its warm-up/measurement barrier).
+func (c *Cluster) ResetBreakdowns() {
+	for _, sh := range c.shards {
+		sh.eng.ResetBreakdown()
+	}
+}
+
+// BatchResult reports one batch: a completion, routed shard and error per
+// input operation (input order preserved), plus the merged batch span.
+type BatchResult struct {
+	// Completions holds each operation's host completion; Values of Gets are
+	// copied out of the device, so unlike single-device Gets they stay valid
+	// after subsequent operations.
+	Completions []host.Completion
+	// Shards holds the shard index each operation routed to.
+	Shards []int
+	// Errs holds each operation's error (nil on success; kv.ErrNotFound for
+	// a Get of an absent key).
+	Errs []error
+	// Start is the merged cluster time over the involved shards when the
+	// batch was submitted; Done the merged completion time. The batch as a
+	// whole "completes" at Done — the semantics of a scatter-gather
+	// submission that acknowledges when its last shard does.
+	Start, Done sim.Time
+}
+
+// Latency returns the merged batch span Done − Start.
+func (b *BatchResult) Latency() sim.Duration { return b.Done.Sub(b.Start) }
+
+// FirstErr returns the first per-operation error in input order, nil if all
+// operations succeeded.
+func (b *BatchResult) FirstErr() error {
+	for _, err := range b.Errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// route partitions n operations by shard, filling the reusable per-shard
+// index lists, and returns the involved shards in ascending order.
+func (c *Cluster) route(n int, keyAt func(int) []byte) []int {
+	for _, s := range c.involved {
+		c.byShard[s] = c.byShard[s][:0]
+	}
+	c.involved = c.involved[:0]
+	for i := 0; i < n; i++ {
+		s := c.ShardFor(keyAt(i))
+		if len(c.byShard[s]) == 0 {
+			c.involved = append(c.involved, s)
+		}
+		c.byShard[s] = append(c.byShard[s], i)
+	}
+	// involved accumulated in first-use order; sort ascending so worker
+	// scheduling and progress output are stable. Shard counts are small.
+	for i := 1; i < len(c.involved); i++ {
+		for j := i; j > 0 && c.involved[j] < c.involved[j-1]; j-- {
+			c.involved[j], c.involved[j-1] = c.involved[j-1], c.involved[j]
+		}
+	}
+	return c.involved
+}
+
+// runBatch executes one partitioned batch: exec runs input operation i on
+// its shard, in input order within the shard. Sub-batches run serially or on
+// up to c.workers goroutines; per-shard state is only ever touched by the
+// one goroutine carrying that shard, so results are identical either way.
+func (c *Cluster) runBatch(n int, keyAt func(int) []byte, exec func(sh *shard, i int) (host.Completion, error)) *BatchResult {
+	res := &BatchResult{
+		Completions: make([]host.Completion, n),
+		Shards:      make([]int, n),
+		Errs:        make([]error, n),
+	}
+	involved := c.route(n, keyAt)
+	for _, s := range involved {
+		for _, i := range c.byShard[s] {
+			res.Shards[i] = s
+		}
+		if now := c.shards[s].eng.Now(); now > res.Start {
+			res.Start = now
+		}
+	}
+	runShard := func(s int) {
+		sh := c.shards[s]
+		for _, i := range c.byShard[s] {
+			res.Completions[i], res.Errs[i] = exec(sh, i)
+			sh.ops++
+		}
+	}
+	if c.workers <= 1 || len(involved) <= 1 {
+		for _, s := range involved {
+			runShard(s)
+		}
+	} else {
+		sem := make(chan struct{}, c.workers)
+		var wg sync.WaitGroup
+		for _, s := range involved {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(s int) {
+				defer wg.Done()
+				runShard(s)
+				<-sem
+			}(s)
+		}
+		wg.Wait()
+	}
+	res.Done = res.Start
+	for _, comp := range res.Completions {
+		if comp.Done > res.Done {
+			res.Done = comp.Done
+		}
+	}
+	return res
+}
+
+// MultiPut stores keys[i] → values[i] for every i, routed by key. Batch
+// order is preserved within each shard, so duplicate keys resolve to the
+// later write.
+func (c *Cluster) MultiPut(keys, values [][]byte) (*BatchResult, error) {
+	if len(keys) != len(values) {
+		return nil, fmt.Errorf("cluster: MultiPut with %d keys and %d values", len(keys), len(values))
+	}
+	return c.runBatch(len(keys), func(i int) []byte { return keys[i] },
+		func(sh *shard, i int) (host.Completion, error) {
+			return sh.eng.Put(keys[i], values[i])
+		}), nil
+}
+
+// MultiGet reads every key. Absent keys report kv.ErrNotFound in Errs;
+// returned values are copies owned by the caller.
+func (c *Cluster) MultiGet(keys [][]byte) (*BatchResult, error) {
+	return c.runBatch(len(keys), func(i int) []byte { return keys[i] },
+		func(sh *shard, i int) (host.Completion, error) {
+			comp, err := sh.eng.Get(keys[i])
+			if comp.Value != nil {
+				// The device owns its value buffer only until the shard's
+				// next operation; a batch returns many values at once, so
+				// each must be copied out.
+				comp.Value = append([]byte(nil), comp.Value...)
+			}
+			return comp, err
+		}), nil
+}
+
+// MultiDelete removes every key (deleting an absent key succeeds).
+func (c *Cluster) MultiDelete(keys [][]byte) (*BatchResult, error) {
+	return c.runBatch(len(keys), func(i int) []byte { return keys[i] },
+		func(sh *shard, i int) (host.Completion, error) {
+			return sh.eng.Delete(keys[i])
+		}), nil
+}
+
+// Put routes one pair to its shard.
+func (c *Cluster) Put(key, value []byte) (host.Completion, error) {
+	sh := c.shards[c.ShardFor(key)]
+	comp, err := sh.eng.Put(key, value)
+	sh.ops++
+	return comp, err
+}
+
+// Get routes one read to its shard. The value is device-owned, valid until
+// the shard's next operation — single-key reads skip the batch copy.
+func (c *Cluster) Get(key []byte) (host.Completion, error) {
+	sh := c.shards[c.ShardFor(key)]
+	comp, err := sh.eng.Get(key)
+	sh.ops++
+	return comp, err
+}
+
+// Delete routes one delete to its shard.
+func (c *Cluster) Delete(key []byte) (host.Completion, error) {
+	sh := c.shards[c.ShardFor(key)]
+	comp, err := sh.eng.Delete(key)
+	sh.ops++
+	return comp, err
+}
+
+// Sync flushes every shard (an NVMe FLUSH fanned out cluster-wide) and
+// returns the merged completion time.
+func (c *Cluster) Sync() (sim.Time, error) {
+	var done sim.Time
+	var firstErr error
+	for i, sh := range c.shards {
+		comp, err := sh.eng.Sync()
+		sh.ops++
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: shard %d sync: %w", i, err)
+		}
+		if comp.Done > done {
+			done = comp.Done
+		}
+	}
+	return done, firstErr
+}
+
+// ShardStats is the per-shard slice of a cluster stats rollup.
+type ShardStats struct {
+	Shard     int
+	Ops       int64    // requests carried by this shard
+	Now       sim.Time // the shard's clock
+	LiveKeys  int64
+	LiveBytes int64
+	Flash     nand.Counters
+}
+
+// Stats is the merged statistics view of a cluster: fleet-wide rollups plus
+// the per-shard breakdown they were merged from.
+type Stats struct {
+	Shards int
+	Ops    int64
+	Now    sim.Time // merged cluster clock (max over shards)
+
+	LiveKeys, LiveBytes int64
+	Flash               nand.Counters
+
+	TreeCompactions, LogCompactions, ChainedCompactions int64
+	GCRuns, GCRelocations                               int64
+
+	// ReadAccesses merges every shard's flash-accesses-per-read histogram.
+	ReadAccesses *stats.IntHist
+
+	// QueueWait and Service merge every shard engine's latency breakdown.
+	QueueWait, Service stats.Histogram
+
+	PerShard []ShardStats
+}
+
+// CollectStats merges every shard's live statistics into one rollup.
+func (c *Cluster) CollectStats() Stats {
+	out := Stats{
+		Shards:       len(c.shards),
+		ReadAccesses: stats.NewIntHist(8),
+		PerShard:     make([]ShardStats, 0, len(c.shards)),
+	}
+	for i, sh := range c.shards {
+		st := sh.dev.Stats()
+		var fc nand.Counters
+		if st.Flash != nil {
+			fc = st.Flash()
+		}
+		ss := ShardStats{
+			Shard:     i,
+			Ops:       sh.ops,
+			Now:       sh.eng.Now(),
+			LiveKeys:  st.LiveKeys,
+			LiveBytes: st.LiveBytes,
+			Flash:     fc,
+		}
+		out.PerShard = append(out.PerShard, ss)
+		out.Ops += sh.ops
+		if ss.Now > out.Now {
+			out.Now = ss.Now
+		}
+		out.LiveKeys += st.LiveKeys
+		out.LiveBytes += st.LiveBytes
+		out.Flash = out.Flash.Add(fc)
+		out.TreeCompactions += st.TreeCompactions
+		out.LogCompactions += st.LogCompactions
+		out.ChainedCompactions += st.ChainedCompactions
+		out.GCRuns += st.GCRuns
+		out.GCRelocations += st.GCRelocations
+		if st.ReadAccesses != nil {
+			out.ReadAccesses.Merge(st.ReadAccesses)
+		}
+		qw, sv := sh.eng.Breakdown()
+		out.QueueWait.Merge(&qw)
+		out.Service.Merge(&sv)
+	}
+	return out
+}
+
+// Metadata merges the shards' metadata reports: structures with the same
+// name and placement sum their bytes, keeping shard 0's row order.
+func (c *Cluster) Metadata() []device.MetaStructure {
+	type slot struct{ idx int }
+	var out []device.MetaStructure
+	index := map[string]slot{}
+	for _, sh := range c.shards {
+		for _, m := range sh.dev.Metadata() {
+			key := m.Name
+			if !m.InDRAM {
+				key += "\x00flash"
+			}
+			if s, ok := index[key]; ok {
+				out[s.idx].Bytes += m.Bytes
+			} else {
+				index[key] = slot{len(out)}
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// Engine returns shard i's host engine (tests and advanced drivers).
+func (c *Cluster) Engine(i int) *host.Engine { return c.shards[i].eng }
+
+// Device returns shard i's underlying KVSSD.
+func (c *Cluster) Device(i int) device.KVSSD { return c.shards[i].dev }
+
+// Tracers returns the per-shard tracers (nil when the cluster is untraced).
+func (c *Cluster) Tracers() []*trace.Tracer {
+	var out []*trace.Tracer
+	for _, sh := range c.shards {
+		if sh.tr == nil {
+			return nil
+		}
+		out = append(out, sh.tr)
+	}
+	return out
+}
+
+// Blame merges every shard tracer's blame report into one cluster-wide
+// attribution (nil when untraced).
+func (c *Cluster) Blame(opts trace.BlameOptions) *trace.BlameReport {
+	trs := c.Tracers()
+	if trs == nil {
+		return nil
+	}
+	reports := make([]*trace.BlameReport, 0, len(trs))
+	for _, tr := range trs {
+		reports = append(reports, tr.Blame(opts))
+	}
+	return trace.MergeBlameReports(reports...)
+}
+
+// hashBytes is the routing hash. xxhash32 with a fixed seed: fast, stable
+// across processes, and unrelated to the devices' internal hash-list seeds
+// so routing cannot correlate with in-device placement.
+func hashBytes(b []byte) uint32 { return xxhash.Sum32Seed(b, routingSeed) }
+
+// routingSeed separates the routing hash stream from every other xxhash use
+// in the simulator (device hash lists seed differently per device).
+const routingSeed = 0x616e796b // "anyk"
+
+// ErrNotFound re-exports the per-operation miss error for callers that only
+// import this package.
+var ErrNotFound = kv.ErrNotFound

@@ -1,0 +1,376 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"anykey/internal/core"
+	"anykey/internal/device"
+	"anykey/internal/kv"
+	"anykey/internal/nand"
+	"anykey/internal/sim"
+	"anykey/internal/trace"
+)
+
+// freshShards builds n small independent AnyKey+ devices.
+func freshShards(t *testing.T, n int) []device.KVSSD {
+	t.Helper()
+	devs := make([]device.KVSSD, 0, n)
+	for i := 0; i < n; i++ {
+		geo := nand.Geometry{Channels: 4, ChipsPerChannel: 4, BlocksPerChip: 4, PagesPerBlock: 64, PageSize: 8192}
+		d, err := core.New(core.Config{Geometry: geo, Plus: true, Seed: int64(1 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs = append(devs, d)
+	}
+	return devs
+}
+
+func freshCluster(t *testing.T, shards int, cfg Config) *Cluster {
+	t.Helper()
+	c, err := New(freshShards(t, shards), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func testKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%06d", i))
+	}
+	return keys
+}
+
+func testValues(n int) [][]byte {
+	vals := make([][]byte, n)
+	for i := range vals {
+		vals[i] = bytes.Repeat([]byte{byte('a' + i%26)}, 64)
+	}
+	return vals
+}
+
+func TestRoutingDeterministicAndTotal(t *testing.T) {
+	for _, policy := range []Policy{RouteConsistent, RouteModulo} {
+		c := freshCluster(t, 4, Config{Policy: policy})
+		keys := testKeys(2000)
+		counts := make([]int, c.Shards())
+		for _, k := range keys {
+			s := c.ShardFor(k)
+			if s < 0 || s >= c.Shards() {
+				t.Fatalf("%v: shard %d out of range", policy, s)
+			}
+			if again := c.ShardFor(k); again != s {
+				t.Fatalf("%v: key routed to %d then %d", policy, s, again)
+			}
+			counts[s]++
+		}
+		// Both policies should spread a uniform keyspace reasonably: no
+		// shard empty, no shard over half the keys.
+		for s, n := range counts {
+			if n == 0 {
+				t.Errorf("%v: shard %d received no keys (counts %v)", policy, s, counts)
+			}
+			if n > len(keys)/2 {
+				t.Errorf("%v: shard %d received %d/%d keys", policy, s, n, len(keys))
+			}
+		}
+	}
+}
+
+func TestRingStableAcrossInstances(t *testing.T) {
+	a := freshCluster(t, 4, Config{})
+	b := freshCluster(t, 4, Config{})
+	for _, k := range testKeys(500) {
+		if a.ShardFor(k) != b.ShardFor(k) {
+			t.Fatalf("two identically configured clusters route %q differently", k)
+		}
+	}
+}
+
+func TestMultiPutGetRoundTrip(t *testing.T) {
+	c := freshCluster(t, 4, Config{QueueDepth: 8})
+	keys, vals := testKeys(256), testValues(256)
+
+	pr, err := c.MultiPut(keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Done < pr.Start || pr.Latency() < 0 {
+		t.Fatalf("batch span inverted: start %v done %v", pr.Start, pr.Done)
+	}
+
+	gr, err := c.MultiGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if gr.Errs[i] != nil {
+			t.Fatalf("get %q: %v", keys[i], gr.Errs[i])
+		}
+		if !bytes.Equal(gr.Completions[i].Value, vals[i]) {
+			t.Fatalf("get %q returned wrong value", keys[i])
+		}
+		if gr.Shards[i] != c.ShardFor(keys[i]) {
+			t.Fatalf("completion shard %d != routed shard", gr.Shards[i])
+		}
+	}
+	// Batch Done must be the max of per-op completion times.
+	var max sim.Time
+	for _, comp := range gr.Completions {
+		if comp.Done > max {
+			max = comp.Done
+		}
+	}
+	if gr.Done != max {
+		t.Fatalf("batch Done %v != max completion %v", gr.Done, max)
+	}
+}
+
+func TestMultiGetValuesSurviveLaterOps(t *testing.T) {
+	c := freshCluster(t, 2, Config{})
+	keys, vals := testKeys(64), testValues(64)
+	if _, err := c.MultiPut(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	gr, err := c.MultiGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammer the devices so any device-owned buffers get reused…
+	if _, err := c.MultiPut(keys, testValues(64)); err != nil {
+		t.Fatal(err)
+	}
+	// …then check the batch's values are still the originals.
+	for i := range keys {
+		if !bytes.Equal(gr.Completions[i].Value, vals[i]) {
+			t.Fatalf("value %d mutated after later batch", i)
+		}
+	}
+}
+
+func TestMultiGetMissReportsNotFound(t *testing.T) {
+	c := freshCluster(t, 4, Config{})
+	keys, vals := testKeys(8), testValues(8)
+	if _, err := c.MultiPut(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	probe := append([][]byte{}, keys[:4]...)
+	probe = append(probe, []byte("absent-1"), []byte("absent-2"))
+	gr, err := c.MultiGet(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if gr.Errs[i] != nil {
+			t.Fatalf("present key %d: %v", i, gr.Errs[i])
+		}
+	}
+	for i := 4; i < 6; i++ {
+		if !errors.Is(gr.Errs[i], kv.ErrNotFound) {
+			t.Fatalf("absent key %d: got %v, want ErrNotFound", i, gr.Errs[i])
+		}
+		if !errors.Is(gr.Errs[i], ErrNotFound) {
+			t.Fatalf("absent key %d: cluster.ErrNotFound mismatch", i)
+		}
+	}
+}
+
+func TestBatchDuplicateKeysLastWriteWins(t *testing.T) {
+	c := freshCluster(t, 4, Config{})
+	k := []byte("dup-key")
+	_, err := c.MultiPut([][]byte{k, k}, [][]byte{[]byte("first"), []byte("second")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := c.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(comp.Value) != "second" {
+		t.Fatalf("duplicate key resolved to %q, want later write", comp.Value)
+	}
+}
+
+func TestMultiDelete(t *testing.T) {
+	c := freshCluster(t, 4, Config{})
+	keys, vals := testKeys(32), testValues(32)
+	if _, err := c.MultiPut(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	dr, err := c.MultiDelete(keys[:16])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dr.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	gr, err := c.MultiGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if i < 16 && !errors.Is(gr.Errs[i], ErrNotFound) {
+			t.Fatalf("deleted key %d still readable (%v)", i, gr.Errs[i])
+		}
+		if i >= 16 && gr.Errs[i] != nil {
+			t.Fatalf("surviving key %d: %v", i, gr.Errs[i])
+		}
+	}
+}
+
+func TestMultiPutLengthMismatch(t *testing.T) {
+	c := freshCluster(t, 2, Config{})
+	if _, err := c.MultiPut(testKeys(3), testValues(2)); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// runWorkload drives a deterministic mixed batch workload and returns a
+// transcript of every completion instant and the final merged stats.
+func runWorkload(t *testing.T, workers int) (string, Stats) {
+	t.Helper()
+	c := freshCluster(t, 4, Config{QueueDepth: 16, Workers: workers})
+	keys, vals := testKeys(512), testValues(512)
+	var sb bytes.Buffer
+	for round := 0; round < 4; round++ {
+		pr, err := c.MultiPut(keys, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := c.MultiGet(keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&sb, "round %d: put [%d,%d] get [%d,%d]\n",
+			round, pr.Start, pr.Done, gr.Start, gr.Done)
+		for i, comp := range gr.Completions {
+			fmt.Fprintf(&sb, "%d:%d:%d ", i, comp.Done, gr.Shards[i])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String(), c.CollectStats()
+}
+
+func TestWorkersBitIdentical(t *testing.T) {
+	serial, st1 := runWorkload(t, 1)
+	parallel, st4 := runWorkload(t, 4)
+	if serial != parallel {
+		t.Fatal("Workers=4 produced a different completion transcript than Workers=1")
+	}
+	if st1.Ops != st4.Ops || st1.Now != st4.Now || st1.LiveKeys != st4.LiveKeys {
+		t.Fatalf("stats diverge: %+v vs %+v", st1, st4)
+	}
+	if st1.Flash != st4.Flash {
+		t.Fatal("flash counters diverge between Workers settings")
+	}
+}
+
+func TestStatsRollup(t *testing.T) {
+	c := freshCluster(t, 4, Config{QueueDepth: 4})
+	keys, vals := testKeys(256), testValues(256)
+	if _, err := c.MultiPut(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.MultiGet(keys); err != nil {
+		t.Fatal(err)
+	}
+	st := c.CollectStats()
+	if st.Shards != 4 || len(st.PerShard) != 4 {
+		t.Fatalf("shard count wrong: %+v", st)
+	}
+	if st.Ops != c.Ops() || st.Ops != 512 {
+		t.Fatalf("ops rollup %d, want 512", st.Ops)
+	}
+	if st.LiveKeys != 256 {
+		t.Fatalf("live keys rollup %d, want 256", st.LiveKeys)
+	}
+	var ops, keysSum int64
+	var maxNow sim.Time
+	for _, ss := range st.PerShard {
+		ops += ss.Ops
+		keysSum += ss.LiveKeys
+		if ss.Now > maxNow {
+			maxNow = ss.Now
+		}
+		if ss.Ops == 0 {
+			t.Errorf("shard %d carried no ops", ss.Shard)
+		}
+	}
+	if ops != st.Ops || keysSum != st.LiveKeys || maxNow != st.Now {
+		t.Fatalf("per-shard rows do not sum to rollup")
+	}
+	if got := st.QueueWait.Count() + st.Service.Count(); got == 0 {
+		t.Fatal("merged breakdown histograms empty")
+	}
+	if st.ReadAccesses.Count() == 0 {
+		t.Fatal("merged read-access histogram empty")
+	}
+}
+
+func TestClockDomainsIndependent(t *testing.T) {
+	c := freshCluster(t, 2, Config{})
+	// Route every op to one shard: the other shard's clock must not move.
+	k := []byte("pinned")
+	target := c.ShardFor(k)
+	other := 1 - target
+	for i := 0; i < 32; i++ {
+		if _, err := c.Put(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Engine(other).Now(); got != 0 {
+		t.Fatalf("idle shard's clock advanced to %v", got)
+	}
+	if c.Now() != c.Engine(target).Now() {
+		t.Fatal("cluster clock is not the max over shard clocks")
+	}
+	if c.Now() == 0 {
+		t.Fatal("busy shard's clock did not advance")
+	}
+}
+
+func TestSyncBarrier(t *testing.T) {
+	c := freshCluster(t, 4, Config{QueueDepth: 8})
+	keys, vals := testKeys(128), testValues(128)
+	if _, err := c.MultiPut(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	done, err := c.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done < c.Barrier() {
+		t.Fatal("sync completed before the cluster barrier")
+	}
+	gr, err := c.MultiGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gr.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("empty device list accepted")
+	}
+	devs := freshShards(t, 2)
+	if _, err := New(devs, Config{Policy: Policy(99)}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := New(devs, Config{Tracers: []*trace.Tracer{nil}}); err == nil {
+		t.Fatal("tracer/shard count mismatch accepted")
+	}
+	if Policy(99).String() == RouteModulo.String() {
+		t.Fatal("policy names collide")
+	}
+}

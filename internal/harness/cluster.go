@@ -1,0 +1,355 @@
+// Cluster measurement runs: the §5 methodology lifted onto a sharded
+// multi-device fleet. One key population spans the whole cluster; warm-up
+// loads it in shuffled order through batched MultiPut waves, then the
+// execution phase issues batch waves (puts first, then reads, preserving
+// read-your-writes within a wave) until the issued bytes reach a multiple
+// of the fleet's capacity. Per-operation latencies land in the same
+// histograms single-device runs use; each wave's critical path (its slowest
+// shard's busy span) is recorded separately as the batch latency.
+package harness
+
+import (
+	"bytes"
+	"fmt"
+
+	"anykey"
+	"anykey/internal/nand"
+	"anykey/internal/stats"
+	"anykey/internal/workload"
+)
+
+// ClusterRunConfig describes one cluster measurement run. Like RunConfig it
+// holds only comparable values, so the parallel runner can memoize on it.
+type ClusterRunConfig struct {
+	Cluster  anykey.ClusterOptions
+	Workload workload.Spec
+
+	// FillFrac sizes the key population to this fraction of the fleet's raw
+	// capacity (shards × per-device capacity); same default as RunConfig.
+	FillFrac float64
+
+	// Theta and WriteRatio parameterise the request mix (defaults 0.99,
+	// 0.2). Scans are not part of the batch API.
+	Theta      float64
+	WriteRatio float64
+
+	// BatchSize is the number of operations per Multi* wave (default
+	// shards × queue depth, enough to keep every shard's queue full when
+	// the routing is balanced).
+	BatchSize int
+
+	// ExecFactor stops execution once issued bytes reach ExecFactor × fleet
+	// capacity (default 2); MaxOps, if set, caps executed operations.
+	ExecFactor float64
+	MaxOps     int64
+
+	NoVerify bool
+	Seed     int64
+
+	// Trace, when set, opens every shard with event tracing and leaves the
+	// cluster on ClusterResult.Cluster so the caller can export the merged
+	// fleet trace or blame report. The trace ring covers the whole run
+	// (warm-up events age out of the ring first).
+	Trace *anykey.TraceOptions
+}
+
+func (c *ClusterRunConfig) defaults() error {
+	if err := c.Cluster.Validate(); err != nil {
+		return err
+	}
+	if c.FillFrac == 0 {
+		ps := c.Cluster.Device.PageSize
+		c.FillFrac = safeFillFrac(c.Workload, ps)
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.99
+	}
+	if c.WriteRatio == 0 {
+		c.WriteRatio = 0.2
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = c.Cluster.Shards * c.Cluster.QueueDepth
+	}
+	if c.ExecFactor == 0 {
+		c.ExecFactor = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return nil
+}
+
+// capacityBytes returns the fleet's raw capacity (all shards).
+func (c *ClusterRunConfig) capacityBytes() int64 {
+	return int64(c.Cluster.Shards) * int64(c.Cluster.Device.CapacityMB) << 20
+}
+
+// Population returns the number of distinct keys the run loads across the
+// fleet.
+func (c *ClusterRunConfig) Population() (uint64, error) {
+	if err := c.defaults(); err != nil {
+		return 0, err
+	}
+	n := uint64(float64(c.capacityBytes()) * c.FillFrac / float64(c.Workload.PairSize()))
+	if n < 64 {
+		n = 64
+	}
+	return n, nil
+}
+
+// ClusterResult carries a cluster run's measurements: fleet-wide rollups
+// plus the shard balance the router produced.
+type ClusterResult struct {
+	System   string // e.g. "AnyKey+ x4"
+	Workload string
+	Shards   int
+	Router   string
+
+	Population uint64
+	Ops        int64 // executed operations (execution phase)
+
+	ReadLat  stats.Histogram
+	WriteLat stats.Histogram
+	// BatchLat records, for each execution Multi* wave, how long the
+	// slowest involved shard spent on its sub-batch (first arrival to last
+	// completion within that shard's clock domain) — the wave's critical
+	// path. The merged BatchResult span can collapse to zero whenever an
+	// uninvolved-in-this-wave shard's clock runs ahead; this cannot.
+	BatchLat stats.Histogram
+
+	// QueueWaitLat and ServiceLat merge every shard engine's breakdown over
+	// the execution phase.
+	QueueWaitLat stats.Histogram
+	ServiceLat   stats.Histogram
+
+	// SimSeconds is the fleet's execution wall time in virtual seconds: the
+	// slowest shard's elapsed clock over the execution phase (shard clocks
+	// are independent, so per-shard elapsed is the meaningful quantity).
+	// IOPS is executed operations per that second.
+	IOPS       float64
+	SimSeconds float64
+
+	// Exec is the fleet flash counter delta over the execution phase;
+	// Total the whole run including warm-up.
+	Exec  nand.Counters
+	Total nand.Counters
+
+	// ShardOps counts execution-phase operations routed to each shard;
+	// HottestShare is the largest shard's fraction of them — the router's
+	// balance under the workload's skew.
+	ShardOps     []int64
+	HottestShare float64
+
+	Verified int64
+
+	// Cluster is set only when the run was traced (ClusterRunConfig.Trace):
+	// the closed cluster, kept for WriteChromeTrace and Blame, whose buffers
+	// outlive Close.
+	Cluster *anykey.Cluster
+}
+
+// waveSpan measures one wave's critical path: the max over involved shards
+// of (last completion − first arrival), each within the shard's own clock
+// domain.
+func waveSpan(br *anykey.BatchResult, nShards int) anykey.Duration {
+	first := make([]anykey.Time, nShards)
+	last := make([]anykey.Time, nShards)
+	seen := make([]bool, nShards)
+	for i, comp := range br.Completions {
+		s := br.Shards[i]
+		if !seen[s] || comp.Arrival < first[s] {
+			first[s] = comp.Arrival
+		}
+		if !seen[s] || comp.Done > last[s] {
+			last[s] = comp.Done
+		}
+		seen[s] = true
+	}
+	var span anykey.Duration
+	for s, ok := range seen {
+		if !ok {
+			continue
+		}
+		if d := last[s].Sub(first[s]); d > span {
+			span = d
+		}
+	}
+	return span
+}
+
+// RunCluster executes warm-up + measurement on a sharded cluster.
+func RunCluster(cfg ClusterRunConfig) (*ClusterResult, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	if cfg.Trace != nil && cfg.Cluster.Device.Trace == nil {
+		cfg.Cluster.Device.Trace = cfg.Trace
+	}
+	cl, err := anykey.OpenCluster(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	population, err := cfg.Population()
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewGenerator(cfg.Workload, workload.Config{
+		Population: population,
+		Theta:      cfg.Theta,
+		WriteRatio: cfg.WriteRatio,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &ClusterResult{
+		System:     fmt.Sprintf("%s x%d", cfg.Cluster.Device.Design, cfg.Cluster.Shards),
+		Workload:   cfg.Workload.Name,
+		Shards:     cfg.Cluster.Shards,
+		Router:     cfg.Cluster.Router.String(),
+		Population: gen.Population(),
+		ShardOps:   make([]int64, cfg.Cluster.Shards),
+	}
+
+	// Warm-up: load every key once in shuffled order, in MultiPut waves.
+	// Each wave slot owns a reusable key/value buffer (shard devices copy
+	// on Put, and a wave completes before the next reuses the slots).
+	kbufs := make([][]byte, cfg.BatchSize)
+	vbufs := make([][]byte, cfg.BatchSize)
+	for done := uint64(0); done < gen.Population(); {
+		n := uint64(cfg.BatchSize)
+		if done+n > gen.Population() {
+			n = gen.Population() - done
+		}
+		for j := uint64(0); j < n; j++ {
+			id := gen.LoadID(done + j)
+			kbufs[j] = workload.AppendKey(kbufs[j][:0], cfg.Workload, id)
+			vbufs[j] = workload.AppendValue(vbufs[j][:0], cfg.Workload, id, 0)
+		}
+		br, err := cl.MultiPut(kbufs[:n], vbufs[:n])
+		if err != nil {
+			return nil, fmt.Errorf("harness: cluster warm-up: %w", err)
+		}
+		if err := br.FirstErr(); err != nil {
+			return nil, fmt.Errorf("harness: cluster warm-up put: %w", err)
+		}
+		done += n
+	}
+
+	if _, err := cl.Barrier(); err != nil {
+		return nil, err
+	}
+	warmStats := cl.Stats()
+	cl.ResetBreakdowns()
+	// Shard clocks are independent and never aligned (cross-shard time is
+	// merged, not propagated), so warm-up leaves each shard at its own
+	// instant. Execution elapsed time is therefore accounted per shard —
+	// each against its own exec-start clock — and the fleet's wall time is
+	// the slowest shard's elapsed, not a difference of merged maxima
+	// (which would credit or charge one shard's warm-up skew to another).
+	startClocks := make([]anykey.Time, len(warmStats.PerShard))
+	for i, ss := range warmStats.PerShard {
+		startClocks[i] = ss.Now
+	}
+
+	targetBytes := int64(cfg.ExecFactor * float64(cfg.capacityBytes()))
+	var issuedBytes int64
+
+	// Execution: generate a wave of ops, split into the wave's puts and
+	// gets, and submit puts first so a read of a key written in the same
+	// wave observes the write (matching the generator's version counters).
+	putKeys := make([][]byte, 0, cfg.BatchSize)
+	putVals := make([][]byte, 0, cfg.BatchSize)
+	getKeys := make([][]byte, 0, cfg.BatchSize)
+	getIDs := make([]uint64, 0, cfg.BatchSize)
+	for issuedBytes < targetBytes && (cfg.MaxOps == 0 || res.Ops < cfg.MaxOps) {
+		putKeys, putVals = putKeys[:0], putVals[:0]
+		getKeys, getIDs = getKeys[:0], getIDs[:0]
+		for i := 0; i < cfg.BatchSize; i++ {
+			if issuedBytes >= targetBytes || (cfg.MaxOps > 0 && res.Ops+int64(len(putKeys)+len(getKeys)) >= cfg.MaxOps) {
+				break
+			}
+			op := gen.Next()
+			switch op.Kind {
+			case workload.OpPut:
+				putKeys = append(putKeys, op.Key)
+				putVals = append(putVals, op.Value)
+			default:
+				// The batch API carries no scans; a scan-free mix is the
+				// cluster methodology (ScanRatio is not a knob here).
+				getKeys = append(getKeys, op.Key)
+				getIDs = append(getIDs, op.ID)
+			}
+			issuedBytes += op.Bytes()
+		}
+		if len(putKeys) > 0 {
+			br, err := cl.MultiPut(putKeys, putVals)
+			if err != nil {
+				return nil, fmt.Errorf("harness: cluster put wave: %w", err)
+			}
+			if err := br.FirstErr(); err != nil {
+				return nil, fmt.Errorf("harness: cluster put: %w", err)
+			}
+			for i, comp := range br.Completions {
+				res.WriteLat.Record(comp.Latency())
+				res.ShardOps[br.Shards[i]]++
+			}
+			res.BatchLat.Record(waveSpan(br, cfg.Cluster.Shards))
+			res.Ops += int64(len(putKeys))
+		}
+		if len(getKeys) > 0 {
+			br, err := cl.MultiGet(getKeys)
+			if err != nil {
+				return nil, fmt.Errorf("harness: cluster get wave: %w", err)
+			}
+			for i, comp := range br.Completions {
+				if br.Errs[i] != nil {
+					return nil, fmt.Errorf("harness: cluster get %x: %w", getKeys[i][:8], br.Errs[i])
+				}
+				res.ReadLat.Record(comp.Latency())
+				res.ShardOps[br.Shards[i]]++
+				if !cfg.NoVerify {
+					if !bytes.Equal(comp.Value, gen.ExpectedValue(getIDs[i])) {
+						return nil, fmt.Errorf("harness: cluster read of id %d returned wrong payload", getIDs[i])
+					}
+					res.Verified++
+				}
+			}
+			res.BatchLat.Record(waveSpan(br, cfg.Cluster.Shards))
+			res.Ops += int64(len(getKeys))
+		}
+	}
+
+	if _, err := cl.Barrier(); err != nil {
+		return nil, err
+	}
+	finalStats := cl.Stats()
+	var slowest anykey.Duration
+	for i, ss := range finalStats.PerShard {
+		if d := ss.Now.Sub(startClocks[i]); d > slowest {
+			slowest = d
+		}
+	}
+	res.SimSeconds = slowest.Seconds()
+	if res.SimSeconds > 0 {
+		res.IOPS = float64(res.Ops) / res.SimSeconds
+	}
+	res.QueueWaitLat = finalStats.QueueWait
+	res.ServiceLat = finalStats.Service
+	res.Total = finalStats.Flash
+	res.Exec = finalStats.Flash.Sub(warmStats.Flash)
+	var hottest int64
+	for _, n := range res.ShardOps {
+		if n > hottest {
+			hottest = n
+		}
+	}
+	if res.Ops > 0 {
+		res.HottestShare = float64(hottest) / float64(res.Ops)
+	}
+	if cfg.Cluster.Device.Trace != nil {
+		res.Cluster = cl
+	}
+	return res, nil
+}

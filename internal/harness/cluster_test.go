@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"testing"
+
+	"anykey"
+)
+
+func smallClusterRun() ClusterRunConfig {
+	return ClusterRunConfig{
+		Cluster: anykey.ClusterOptions{
+			Shards:     2,
+			QueueDepth: 8,
+			Device: anykey.Options{
+				Design:          anykey.DesignAnyKeyPlus,
+				CapacityMB:      16,
+				Channels:        4,
+				ChipsPerChannel: 4,
+			},
+		},
+		Workload: mustSpec("ZippyDB"),
+		MaxOps:   1500,
+	}
+}
+
+func TestRunClusterEndToEnd(t *testing.T) {
+	res, err := RunCluster(smallClusterRun())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 1500 {
+		t.Fatalf("ops = %d, want 1500", res.Ops)
+	}
+	if res.Verified == 0 {
+		t.Fatal("no reads verified")
+	}
+	var sum int64
+	for _, n := range res.ShardOps {
+		sum += n
+	}
+	if sum != res.Ops {
+		t.Fatalf("shard ops %v sum to %d, want %d", res.ShardOps, sum, res.Ops)
+	}
+	if res.HottestShare <= 0 || res.HottestShare > 1 {
+		t.Fatalf("hottest share %v out of range", res.HottestShare)
+	}
+	if res.IOPS <= 0 || res.SimSeconds <= 0 {
+		t.Fatalf("no throughput measured: IOPS=%v sim=%vs", res.IOPS, res.SimSeconds)
+	}
+	if res.Exec.TotalReads() == 0 || res.Total.TotalWrites() == 0 {
+		t.Fatalf("flash counters empty: exec=%+v total=%+v", res.Exec, res.Total)
+	}
+	if res.ReadLat.Count() == 0 || res.WriteLat.Count() == 0 || res.BatchLat.Count() == 0 {
+		t.Fatal("latency histograms empty")
+	}
+	if res.QueueWaitLat.Count() == 0 || res.ServiceLat.Count() == 0 {
+		t.Fatal("breakdown histograms empty")
+	}
+}
+
+func TestRunClusterDeterministicAcrossWorkers(t *testing.T) {
+	cfg := smallClusterRun()
+	a, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cluster.Workers = 4
+	b, err := RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.System = a.System // Workers is not part of the identity
+	if a.IOPS != b.IOPS || a.SimSeconds != b.SimSeconds || a.Exec != b.Exec {
+		t.Fatalf("Workers changed the measurement:\n  1: IOPS=%v sim=%v\n  4: IOPS=%v sim=%v",
+			a.IOPS, a.SimSeconds, b.IOPS, b.SimSeconds)
+	}
+	for i := range a.ShardOps {
+		if a.ShardOps[i] != b.ShardOps[i] {
+			t.Fatalf("shard ops diverge: %v vs %v", a.ShardOps, b.ShardOps)
+		}
+	}
+}
+
+// TestClusterReportGoldenDeterminism pins the cluster experiment's
+// determinism contract: the report is byte-identical whether its cells run
+// sequentially or on a parallel worker pool, and the property holds across
+// seeds.
+func TestClusterReportGoldenDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick cluster sweep four times")
+	}
+	for _, seed := range []int64{1, 7} {
+		serial, err := RunExperiment("cluster", ExpOptions{Quick: true, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := RunExperiment("cluster", ExpOptions{Quick: true, Seed: seed, Parallel: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, ps := serial.String(), parallel.String()
+		if fnv64a(ss) != fnv64a(ps) || ss != ps {
+			t.Fatalf("seed %d: sequential and parallel reports differ\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				seed, ss, ps)
+		}
+	}
+}

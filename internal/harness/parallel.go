@@ -33,6 +33,7 @@ import (
 type cellRunner interface {
 	measure(cfg RunConfig) (*Result, error)
 	fill(fc fillConfig) (*FillResult, error)
+	clusterMeasure(cfg ClusterRunConfig) (*ClusterResult, error)
 }
 
 // fillConfig identifies one fill-to-full cell.
@@ -42,20 +43,23 @@ type fillConfig struct {
 	Seed int64
 }
 
-// cellKey identifies one cell of either kind. RunConfig and fillConfig
-// hold only scalars and strings, so the key is comparable and can index
-// the memo map directly.
+// cellKey identifies one cell of any kind. RunConfig, fillConfig and
+// ClusterRunConfig hold only scalars and strings, so the key is comparable
+// and can index the memo map directly.
 type cellKey struct {
-	run    RunConfig
-	fill   fillConfig
-	isFill bool
+	run       RunConfig
+	fill      fillConfig
+	cluster   ClusterRunConfig
+	isFill    bool
+	isCluster bool
 }
 
-// cellOutcome is a completed cell: exactly one of res/fr set, or err.
+// cellOutcome is a completed cell: exactly one of res/fr/cres set, or err.
 type cellOutcome struct {
-	res *Result
-	fr  *FillResult
-	err error
+	res  *Result
+	fr   *FillResult
+	cres *ClusterResult
+	err  error
 }
 
 // serialRunner executes cells in place, logging progress as they finish.
@@ -84,9 +88,23 @@ func runProgress(res *Result) string {
 		res.System, res.Workload, res.Ops, fiops(res.IOPS), res.ReadLat.Percentile(95))
 }
 
+func (s serialRunner) clusterMeasure(cfg ClusterRunConfig) (*ClusterResult, error) {
+	res, err := RunCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.o.progress("%s", clusterProgress(res))
+	return res, nil
+}
+
 func fillProgress(fr *FillResult) string {
 	return fmt.Sprintf("  %-8s %-8s fill=%.1f%% (%d pairs)",
 		fr.System, fr.Workload, fr.Utilization*100, fr.Pairs)
+}
+
+func clusterProgress(res *ClusterResult) string {
+	return fmt.Sprintf("  %-11s %-8s ops=%-8d IOPS=%-9s p95(batch)=%v",
+		res.System, res.Workload, res.Ops, fiops(res.IOPS), res.BatchLat.Percentile(95))
 }
 
 // planRunner records each distinct cell in first-use order and returns
@@ -109,16 +127,32 @@ func (p *planRunner) add(k cellKey) {
 
 func (p *planRunner) measure(cfg RunConfig) (*Result, error) {
 	p.add(cellKey{run: cfg})
-	return &Result{
+	res := &Result{
 		System:       cfg.Device.Design.String(),
 		Workload:     cfg.Workload.Name,
 		ReadAccesses: stats.NewIntHist(8),
-	}, nil
+	}
+	// Traced cells carry a non-nil (empty) blame report so experiment
+	// bodies that require one don't fail during the planning pass, before
+	// any cell has actually run.
+	if cfg.Device.Trace != nil {
+		res.Blame = &anykey.BlameReport{}
+	}
+	return res, nil
 }
 
 func (p *planRunner) fill(fc fillConfig) (*FillResult, error) {
 	p.add(cellKey{fill: fc, isFill: true})
 	return &FillResult{System: fc.Opts.Design.String(), Workload: fc.Spec.Name}, nil
+}
+
+func (p *planRunner) clusterMeasure(cfg ClusterRunConfig) (*ClusterResult, error) {
+	p.add(cellKey{cluster: cfg, isCluster: true})
+	return &ClusterResult{
+		System:   fmt.Sprintf("%s x%d", cfg.Cluster.Device.Design, cfg.Cluster.Shards),
+		Workload: cfg.Workload.Name,
+		Shards:   cfg.Cluster.Shards,
+	}, nil
 }
 
 // replayRunner serves memoized outcomes to the final body run.
@@ -140,6 +174,15 @@ func (r *replayRunner) fill(fc fillConfig) (*FillResult, error) {
 		return nil, fmt.Errorf("harness: replay asked for an unplanned fill cell %v/%s", fc.Opts.Design, fc.Spec.Name)
 	}
 	return out.fr, out.err
+}
+
+func (r *replayRunner) clusterMeasure(cfg ClusterRunConfig) (*ClusterResult, error) {
+	out, ok := r.outcomes[cellKey{cluster: cfg, isCluster: true}]
+	if !ok {
+		return nil, fmt.Errorf("harness: replay asked for an unplanned cluster cell %v x%d/%s",
+			cfg.Cluster.Device.Design, cfg.Cluster.Shards, cfg.Workload.Name)
+	}
+	return out.cres, out.err
 }
 
 // runParallel plans an experiment's cells, executes them on opt.Parallel
@@ -185,12 +228,18 @@ func executeCells(o *ExpOptions, cells []cellKey) map[cellKey]*cellOutcome {
 			for k := range jobs {
 				out := &cellOutcome{}
 				var line string
-				if k.isFill {
+				switch {
+				case k.isFill:
 					out.fr, out.err = FillToFull(k.fill.Opts, k.fill.Spec, k.fill.Seed)
 					if out.err == nil {
 						line = fillProgress(out.fr)
 					}
-				} else {
+				case k.isCluster:
+					out.cres, out.err = RunCluster(k.cluster)
+					if out.err == nil {
+						line = clusterProgress(out.cres)
+					}
+				default:
 					out.res, out.err = Run(k.run)
 					if out.err == nil {
 						line = runProgress(out.res)

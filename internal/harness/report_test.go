@@ -76,8 +76,8 @@ func TestLatRowShape(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 19 {
-		t.Fatalf("registry has %d experiments, want 19", len(exps))
+	if len(exps) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

@@ -159,6 +159,18 @@ func sum(a *[numCauses]int64) int64 {
 	return t
 }
 
+// Add returns the counter sum c + o (merging per-device counters into a
+// fleet-wide rollup).
+func (c Counters) Add(o Counters) Counters {
+	var d Counters
+	for i := range c.Reads {
+		d.Reads[i] = c.Reads[i] + o.Reads[i]
+		d.Writes[i] = c.Writes[i] + o.Writes[i]
+	}
+	d.Erases = c.Erases + o.Erases
+	return d
+}
+
 // Sub returns the counter delta c - o.
 func (c Counters) Sub(o Counters) Counters {
 	var d Counters

@@ -266,6 +266,25 @@ func (h *IntHist) Record(v int) {
 // Count returns the number of observations.
 func (h *IntHist) Count() int64 { return h.total }
 
+// Merge adds every observation of o into h. Observations beyond h's range
+// clamp into its overflow bin, exactly as if they had been Recorded here.
+func (h *IntHist) Merge(o *IntHist) {
+	if o == nil {
+		return
+	}
+	for v, c := range o.bins {
+		if c == 0 {
+			continue
+		}
+		b := v
+		if b >= len(h.bins) {
+			b = len(h.bins) - 1
+		}
+		h.bins[b] += c
+		h.total += c
+	}
+}
+
 // Frac returns the fraction of observations equal to v (with the final bin
 // meaning ≥ maxValue).
 func (h *IntHist) Frac(v int) float64 {

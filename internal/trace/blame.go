@@ -166,6 +166,47 @@ func (r *BlameReport) String() string {
 	return sb.String()
 }
 
+// MergeBlameReports combines per-shard blame reports into one fleet-wide
+// attribution: op and cause totals sum, the threshold reported is the
+// highest per-shard cut (each shard's percentile was computed against its
+// own latency distribution), and the detail rows are re-ranked slowest
+// first across all shards. Nil inputs are skipped; merging nothing returns
+// nil.
+func MergeBlameReports(reports ...*BlameReport) *BlameReport {
+	var out *BlameReport
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		if out == nil {
+			out = &BlameReport{Percentile: r.Percentile}
+		}
+		if r.Threshold > out.Threshold {
+			out.Threshold = r.Threshold
+		}
+		out.TotalOps += r.TotalOps
+		out.BlamedOps += r.BlamedOps
+		out.Dropped += r.Dropped
+		for c := Cause(0); c < NumCauses; c++ {
+			out.Summary[c] += r.Summary[c]
+		}
+		out.Ops = append(out.Ops, r.Ops...)
+	}
+	if out == nil {
+		return nil
+	}
+	slices.SortStableFunc(out.Ops, func(a, b OpBlame) int {
+		switch {
+		case a.Total > b.Total:
+			return -1
+		case a.Total < b.Total:
+			return 1
+		}
+		return 0
+	})
+	return out
+}
+
 // Blame builds the blame report from the tracer's retained ops and events.
 // A nil tracer returns nil.
 func (t *Tracer) Blame(opt BlameOptions) *BlameReport {

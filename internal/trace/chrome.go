@@ -18,6 +18,12 @@ import (
 //	pid 4 "controller"  the firmware CPU (hashing, merges)
 //	pid 5 "background"  one thread per cause (flush/compaction/GC/stall spans)
 //
+// A cluster export (WriteChromeTraceCluster) repeats the block once per
+// shard at a fixed pid stride, with every process name prefixed "shardN" —
+// the shard id rides on the track labels, so Perfetto groups each shard's
+// rows together and the single-device layout is the degenerate one-shard
+// case.
+//
 // Spans become "X" complete events with microsecond ts/dur (the format's
 // unit); instants become "i" events with process scope. Everything is
 // emitted in one pass with no intermediate tree, so exporting a full ring
@@ -31,53 +37,37 @@ const (
 	pidBackground
 )
 
+// pidStride separates shards in a cluster export: shard i's processes are
+// pids i*pidStride+1 … i*pidStride+5.
+const pidStride = 8
+
 // WriteChromeTrace writes the trace as Chrome trace_event JSON.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return writeChromeTrace(w, []*Tracer{t}, false)
+}
+
+// WriteChromeTraceCluster merges per-shard tracers into one Chrome
+// trace_event JSON document. Shard i's rows appear as separate processes
+// named "shardN <class>" at a disjoint pid range, so one Perfetto view
+// shows the whole fleet on a common virtual-time axis.
+func WriteChromeTraceCluster(w io.Writer, tracers []*Tracer) error {
+	return writeChromeTrace(w, tracers, true)
+}
+
+func writeChromeTrace(w io.Writer, tracers []*Tracer, shardLabels bool) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
 		return err
 	}
 	e := &chromeEmitter{w: bw}
-
-	e.metadata("process_name", pidHost, 0, "host")
-	e.metadata("process_name", pidChips, 0, "flash dies")
-	e.metadata("process_name", pidChannels, 0, "channels")
-	e.metadata("process_name", pidCPU, 0, "controller")
-	e.metadata("process_name", pidBackground, 0, "background")
-	e.metadata("thread_name", pidCPU, 0, "cpu")
-
-	if t != nil {
-		threads := map[[2]int]string{}
-		for _, ev := range t.Events() {
-			pid, tid := chromeTrack(ev.Track)
-			threads[[2]int{pid, tid}] = threadName(ev.Track)
-			if ev.Start == ev.End {
-				e.instant(ev, pid, tid)
-			} else {
-				e.span(ev, pid, tid)
-			}
+	for i, t := range tracers {
+		base, prefix := 0, ""
+		if shardLabels {
+			base = i * pidStride
+			prefix = fmt.Sprintf("shard%d ", i)
 		}
-		for _, op := range t.Ops() {
-			key := [2]int{pidHost, int(op.Slot)}
-			threads[key] = fmt.Sprintf("slot %d", op.Slot)
-			e.op(op)
-		}
-		// Name threads deterministically regardless of event order.
-		keys := make([][2]int, 0, len(threads))
-		for k := range threads {
-			keys = append(keys, k)
-		}
-		slices.SortFunc(keys, func(a, b [2]int) int {
-			if a[0] != b[0] {
-				return a[0] - b[0]
-			}
-			return a[1] - b[1]
-		})
-		for _, k := range keys {
-			e.metadata("thread_name", k[0], k[1], threads[k])
-		}
+		emitTracer(e, t, base, prefix)
 	}
-
 	if e.err != nil {
 		return e.err
 	}
@@ -85,6 +75,52 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		return err
 	}
 	return bw.Flush()
+}
+
+// emitTracer streams one tracer's metadata, events and op records with all
+// pids offset by pidBase and process names prefixed (both zero for the
+// single-device export, which this function reproduces byte for byte).
+func emitTracer(e *chromeEmitter, t *Tracer, pidBase int, prefix string) {
+	e.metadata("process_name", pidBase+pidHost, 0, prefix+"host")
+	e.metadata("process_name", pidBase+pidChips, 0, prefix+"flash dies")
+	e.metadata("process_name", pidBase+pidChannels, 0, prefix+"channels")
+	e.metadata("process_name", pidBase+pidCPU, 0, prefix+"controller")
+	e.metadata("process_name", pidBase+pidBackground, 0, prefix+"background")
+	e.metadata("thread_name", pidBase+pidCPU, 0, "cpu")
+
+	if t == nil {
+		return
+	}
+	threads := map[[2]int]string{}
+	for _, ev := range t.Events() {
+		pid, tid := chromeTrack(ev.Track)
+		pid += pidBase
+		threads[[2]int{pid, tid}] = threadName(ev.Track)
+		if ev.Start == ev.End {
+			e.instant(ev, pid, tid)
+		} else {
+			e.span(ev, pid, tid)
+		}
+	}
+	for _, op := range t.Ops() {
+		key := [2]int{pidBase + pidHost, int(op.Slot)}
+		threads[key] = fmt.Sprintf("slot %d", op.Slot)
+		e.op(op, pidBase+pidHost)
+	}
+	// Name threads deterministically regardless of event order.
+	keys := make([][2]int, 0, len(threads))
+	for k := range threads {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, func(a, b [2]int) int {
+		if a[0] != b[0] {
+			return a[0] - b[0]
+		}
+		return a[1] - b[1]
+	})
+	for _, k := range keys {
+		e.metadata("thread_name", k[0], k[1], threads[k])
+	}
 }
 
 // chromeTrack maps a trace track to a (pid, tid) pair.
@@ -165,9 +201,9 @@ func (e *chromeEmitter) instant(ev Event, pid, tid int) {
 		usec(int64(ev.Start)), ev.Cause.String(), ev.Op, ev.Arg)
 }
 
-func (e *chromeEmitter) op(op OpRecord) {
+func (e *chromeEmitter) op(op OpRecord, pid int) {
 	e.emit(`{"ph":"X","pid":%d,"tid":%d,"name":%q,"cat":"op","ts":%g,"dur":%g,"args":{"seq":%d,"queue_ns":%d,"service_ns":%d,"failed":%v}}`,
-		pidHost, int(op.Slot), op.Kind.String(),
+		pid, int(op.Slot), op.Kind.String(),
 		usec(int64(op.Arrival)), usec(int64(op.Done.Sub(op.Arrival))),
 		op.Seq, int64(op.QueueWait()), int64(op.Done.Sub(op.Issued)), op.Failed)
 }
