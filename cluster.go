@@ -245,6 +245,35 @@ func (c *Cluster) Delete(key []byte) (Duration, error) {
 	return comp.Latency(), err
 }
 
+// PutAt is the open-loop Put: the request arrives at the routed shard at
+// the given instant of that shard's clock domain, queueing behind whatever
+// is already in flight there. The full completion and the shard index are
+// returned — open-loop clients need arrival/issue/done to implement
+// timeouts and retries.
+func (c *Cluster) PutAt(arrival Time, key, value []byte) (Completion, int, error) {
+	if err := c.gate(); err != nil {
+		return Completion{}, 0, err
+	}
+	return c.c.PutAt(arrival, key, value)
+}
+
+// GetAt is the open-loop Get. The value is owned by the shard device and
+// valid until its next operation.
+func (c *Cluster) GetAt(arrival Time, key []byte) (Completion, int, error) {
+	if err := c.gate(); err != nil {
+		return Completion{}, 0, err
+	}
+	return c.c.GetAt(arrival, key)
+}
+
+// DeleteAt is the open-loop Delete.
+func (c *Cluster) DeleteAt(arrival Time, key []byte) (Completion, int, error) {
+	if err := c.gate(); err != nil {
+		return Completion{}, 0, err
+	}
+	return c.c.DeleteAt(arrival, key)
+}
+
 // Sync flushes every shard (a fleet-wide FLUSH) and returns the merged
 // completion time.
 func (c *Cluster) Sync() (Time, error) {
@@ -283,6 +312,11 @@ func (c *Cluster) Metadata() []MetaStructure { return c.c.Metadata() }
 // Blame merges every shard tracer's blame report into one cluster-wide
 // attribution. Nil when the cluster was opened without Device.Trace.
 func (c *Cluster) Blame(opts BlameOptions) *BlameReport { return c.c.Blame(opts) }
+
+// Tracers returns the per-shard tracers, or nil when the cluster was
+// opened without Device.Trace. Open-loop clients use them to annotate shard
+// op records with timeout/retry attribution.
+func (c *Cluster) Tracers() []*Tracer { return c.c.Tracers() }
 
 // WriteChromeTrace writes the merged fleet trace as Chrome trace_event
 // JSON: shard i's rows appear as processes named "shardN …" at a disjoint

@@ -76,8 +76,57 @@ func main() {
 
 		shards = flag.Int("shards", 0, "single-run mode: drive the workload through a sharded cluster of this many devices (0 = one device)")
 		router = flag.String("router", "consistent", "cluster routing policy: consistent | modulo")
+
+		// Open-loop traffic group: an arrival process turns a -workload run
+		// into an open-loop overload measurement (see DESIGN.md §11). The
+		// client knobs default to the harness values when left zero.
+		arrivalShape  = flag.String("arrival-shape", "", "open loop: arrival shape, constant | bursty | diurnal (empty = closed loop)")
+		arrivalRate   = flag.Float64("arrival-rate", 0, "open loop: mean offered load, ops per second of virtual time")
+		arrivalBurst  = flag.Float64("arrival-burst", 0, "open loop: peak-to-mean rate ratio in (1,2] (bursty/diurnal)")
+		arrivalPeriod = flag.Duration("arrival-period", 0, "open loop: burst/diurnal cycle length, virtual time (bursty/diurnal)")
+		timeout       = flag.Duration("timeout", 0, "open loop: client deadline per attempt (default 10ms)")
+		retryMax      = flag.Int("retry-max", 0, "open loop: retry budget per op after timeouts (default 3)")
+		retryBackoff  = flag.Duration("retry-backoff", 0, "open loop: backoff before the first retry, doubling each retry (default 500µs)")
+		retryCap      = flag.Duration("retry-cap", 0, "open loop: exponential backoff cap (default 4ms)")
+		slo           = flag.Duration("slo", 0, "open loop: end-to-end latency SLO scoring goodput (default 2ms)")
+		horizon       = flag.Duration("horizon", 0, "open loop: offered-load window, virtual time (default 100ms)")
 	)
 	flag.Parse()
+
+	open := openOpts{
+		timeout: anykey.Duration((*timeout).Nanoseconds()),
+		retry: harness.RetryPolicy{
+			MaxRetries: *retryMax,
+			Backoff:    anykey.Duration((*retryBackoff).Nanoseconds()),
+			MaxBackoff: anykey.Duration((*retryCap).Nanoseconds()),
+		},
+		slo:     anykey.Duration((*slo).Nanoseconds()),
+		horizon: anykey.Duration((*horizon).Nanoseconds()),
+	}
+	if *arrivalShape != "" {
+		shape, ok := workload.ArrivalShapeByName(*arrivalShape)
+		if !ok || shape == workload.ArrivalClosed {
+			fmt.Fprintf(os.Stderr, "anykeybench: -arrival-shape %q (want constant | bursty | diurnal)\n", *arrivalShape)
+			os.Exit(2)
+		}
+		open.arrival = workload.ArrivalSpec{
+			Shape:  shape,
+			Rate:   *arrivalRate,
+			Burst:  *arrivalBurst,
+			Period: anykey.Duration((*arrivalPeriod).Nanoseconds()),
+		}
+		if err := open.arrival.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "anykeybench:", err)
+			os.Exit(2)
+		}
+		if *wl == "" {
+			fmt.Fprintln(os.Stderr, "anykeybench: the -arrival-*/-timeout/-retry-*/-slo group applies to -workload runs")
+			os.Exit(2)
+		}
+	} else if *arrivalRate != 0 || *arrivalBurst != 0 || *arrivalPeriod != 0 {
+		fmt.Fprintln(os.Stderr, "anykeybench: -arrival-rate/-burst/-period need -arrival-shape (closed loop otherwise)")
+		os.Exit(2)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -118,9 +167,9 @@ func main() {
 	if *wl != "" {
 		var err error
 		if *shards > 0 {
-			err = runCluster(*wl, *design, *shards, *router, *quick, *seed, *maxOps, *blamePct, *traceOut)
+			err = runCluster(*wl, *design, *shards, *router, *quick, *seed, *maxOps, *blamePct, *traceOut, open)
 		} else {
-			err = runTraced(*wl, *design, *capacity, *quick, *seed, *maxOps, *blamePct, *traceOut)
+			err = runTraced(*wl, *design, *capacity, *quick, *seed, *maxOps, *blamePct, *traceOut, open)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "anykeybench:", err)
@@ -183,6 +232,46 @@ func main() {
 	}
 }
 
+// openOpts carries the parsed open-loop flag group into the single-run
+// paths. The zero value means closed loop with all client knobs defaulted.
+type openOpts struct {
+	arrival workload.ArrivalSpec
+	timeout anykey.Duration
+	retry   harness.RetryPolicy
+	slo     anykey.Duration
+	horizon anykey.Duration
+}
+
+// apply copies the flag group onto a run's shared config.
+func (o openOpts) apply(b *harness.BaseConfig) {
+	b.Workload.Arrival = o.arrival
+	b.Timeout = o.timeout
+	b.Retry = o.retry
+	b.SLO = o.slo
+	b.Horizon = o.horizon
+}
+
+// openHeader prints the effective open-loop configuration (after harness
+// defaults) so saved run output is self-describing provenance.
+func openHeader(b *harness.BaseConfig) {
+	if !b.Workload.Arrival.Open() {
+		return
+	}
+	fmt.Printf("open-loop: arrival %s | timeout %v | retry %dx backoff %v..%v | slo %v | horizon %v\n",
+		b.Workload.Arrival, b.Timeout, b.Retry.MaxRetries, b.Retry.Backoff,
+		b.Retry.MaxBackoff, b.SLO, b.Horizon)
+}
+
+// openSummary prints the open-loop scorecard of a finished run.
+func openSummary(st *harness.OpenStats) {
+	if st == nil {
+		return
+	}
+	fmt.Printf("open-loop result: offered %d, attempts %d, completed %d, goodput %.0f ops/s, timeouts %d, retries %d, dropped %d, recover %v\n",
+		st.Offered, st.Attempts, st.Completed, st.Goodput,
+		st.Timeouts, st.Retries, st.Dropped, st.RecoverTime)
+}
+
 var designs = map[string]anykey.Design{
 	"pink":    anykey.DesignPinK,
 	"anykey":  anykey.DesignAnyKey,
@@ -197,7 +286,7 @@ var routers = map[string]anykey.RouterPolicy{
 
 // runCluster runs one traced cluster measurement: the workload batched over
 // a sharded fleet, with the merged blame report and fleet trace export.
-func runCluster(wl, design string, shards int, router string, quick bool, seed, maxOps int64, blamePct float64, traceOut string) error {
+func runCluster(wl, design string, shards int, router string, quick bool, seed, maxOps int64, blamePct float64, traceOut string, open openOpts) error {
 	d, ok := designs[strings.ToLower(design)]
 	if !ok {
 		return fmt.Errorf("unknown design %q", design)
@@ -226,16 +315,22 @@ func runCluster(wl, design string, shards int, router string, quick bool, seed, 
 				Seed:            seed,
 			},
 		},
-		Workload: spec,
-		Seed:     seed,
-		MaxOps:   maxOps,
-		Trace:    &anykey.TraceOptions{},
+		BaseConfig: harness.BaseConfig{Workload: spec, Seed: seed, MaxOps: maxOps},
+		Trace:      &anykey.TraceOptions{},
 	}
+	open.apply(&cfg.BaseConfig)
+	// Population normalises the defaults, so the header shows the
+	// effective configuration the run will use.
+	if _, err := cfg.Population(); err != nil {
+		return err
+	}
+	openHeader(&cfg.BaseConfig)
 	start := time.Now()
 	res, err := harness.RunCluster(cfg)
 	if err != nil {
 		return err
 	}
+	openSummary(res.Open)
 	fmt.Printf("%s on %s (%s router): %d ops, %.0f IOPS, read p50=%v p99=%v, batch p99=%v\n",
 		res.System, res.Workload, res.Router, res.Ops, res.IOPS,
 		res.ReadLat.Percentile(50), res.ReadLat.Percentile(99), res.BatchLat.Percentile(99))
@@ -264,7 +359,7 @@ func runCluster(wl, design string, shards int, router string, quick bool, seed, 
 
 // runTraced runs one traced measurement of a Table 2 workload, prints the
 // blame report, and optionally saves the event trace.
-func runTraced(wl, design string, capacity int, quick bool, seed, maxOps int64, blamePct float64, traceOut string) error {
+func runTraced(wl, design string, capacity int, quick bool, seed, maxOps int64, blamePct float64, traceOut string, open openOpts) error {
 	d, ok := designs[strings.ToLower(design)]
 	if !ok {
 		return fmt.Errorf("unknown design %q", design)
@@ -290,15 +385,17 @@ func runTraced(wl, design string, capacity int, quick bool, seed, maxOps int64, 
 			Seed:       seed,
 			Trace:      &anykey.TraceOptions{},
 		},
-		Workload: spec,
-		Seed:     seed,
-		MaxOps:   maxOps,
+		BaseConfig: harness.BaseConfig{Workload: spec, Seed: seed, MaxOps: maxOps},
 	}
+	open.apply(&cfg.BaseConfig)
+	cfg.Population() // normalise defaults so the header is the effective config
+	openHeader(&cfg.BaseConfig)
 	start := time.Now()
 	res, err := harness.Run(cfg)
 	if err != nil {
 		return err
 	}
+	openSummary(res.Open)
 	fmt.Printf("%s on %s: %d ops, %.0f IOPS, read p50=%v p99=%v max=%v\n",
 		res.System, res.Workload, res.Ops, res.IOPS,
 		res.ReadLat.Percentile(50), res.ReadLat.Percentile(99), res.ReadLat.Max())

@@ -24,6 +24,9 @@
 //	trace save <file>      export the trace as Chrome trace_event JSON
 //	trace csv <file>       export the trace as CSV
 //	trace blame [pct]      tail-latency blame report (default P99)
+//	storm <ops/s> <ms> [timeout-ms]
+//	                       open-loop burst: Poisson GET arrivals at the given
+//	                       rate for the given span, reporting deadline misses
 //	quit
 //
 // -crashsweep runs the power-cut crash-consistency sweep from
@@ -54,6 +57,7 @@ import (
 	"anykey"
 	"anykey/internal/fault"
 	"anykey/internal/fault/crashtest"
+	"anykey/internal/workload"
 )
 
 var designs = map[string]anykey.Design{
@@ -317,7 +321,7 @@ func repl(dev *anykey.Device, in io.Reader, out io.Writer) {
 		case "quit", "exit":
 			return
 		case "help":
-			fmt.Println("put <k> <v> | get <k> | del <k> | scan <start> <n> | fill <n> <valsize> | sync | cycle | stats | meta | trace on|off|save <f>|csv <f>|blame [pct] | quit")
+			fmt.Println("put <k> <v> | get <k> | del <k> | scan <start> <n> | fill <n> <valsize> | sync | cycle | stats | meta | trace on|off|save <f>|csv <f>|blame [pct] | storm <ops/s> <ms> [timeout-ms] | quit")
 		case "put":
 			if len(fields) != 3 {
 				fmt.Println("usage: put <key> <value>")
@@ -402,6 +406,8 @@ func repl(dev *anykey.Device, in io.Reader, out io.Writer) {
 			}
 		case "trace":
 			traceCmd(dev, fmt, fields[1:])
+		case "storm":
+			stormCmd(dev, fmt, fields[1:])
 		default:
 			fmt.Printf("unknown command %q (try 'help')\n", cmd)
 		}
@@ -472,6 +478,78 @@ func traceCmd(dev *anykey.Device, fmt *printer, args []string) {
 	default:
 		fmt.Printf("unknown trace subcommand %q\n", args[0])
 	}
+}
+
+// stormCmd fires an open-loop GET burst at the device: deterministic
+// exponential arrivals at the given offered rate for the given virtual-time
+// span, submitted through a fresh QD-64 engine's *At path so requests queue
+// when the device falls behind. Keys cycle through a small population the
+// command writes first; the report counts client-deadline misses and the
+// worst end-to-end latency — a hand-held version of the harness's storm
+// experiment.
+func stormCmd(dev *anykey.Device, fmt *printer, args []string) {
+	if len(args) < 2 || len(args) > 3 {
+		fmt.Println("usage: storm <ops/s> <millis> [timeout-ms]")
+		return
+	}
+	rate, err1 := strconv.ParseFloat(args[0], 64)
+	ms, err2 := strconv.ParseFloat(args[1], 64)
+	timeoutMS := 10.0
+	var err3 error
+	if len(args) == 3 {
+		timeoutMS, err3 = strconv.ParseFloat(args[2], 64)
+	}
+	if err1 != nil || err2 != nil || err3 != nil || rate <= 0 || ms <= 0 || timeoutMS <= 0 {
+		fmt.Println("usage: storm <ops/s> <millis> [timeout-ms]")
+		return
+	}
+	const population = 256
+	for i := 0; i < population; i++ {
+		if _, err := dev.Put([]byte(gofmt.Sprintf("storm-%03d", i)), []byte("storm-value")); err != nil {
+			fmt.Println("error pre-filling storm keys:", err)
+			return
+		}
+	}
+	eng, err := dev.NewEngine(64)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	arr, err := workload.NewArrivals(workload.ArrivalSpec{
+		Shape: workload.ArrivalConstant, Rate: rate,
+	}, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var (
+		epoch           = eng.Now()
+		horizon         = anykey.Duration(ms * 1e6)
+		timeout         = anykey.Duration(timeoutMS * 1e6)
+		offered, missed int
+		worst           anykey.Duration
+	)
+	for {
+		rel := anykey.Duration(arr.Next())
+		if rel > horizon {
+			break
+		}
+		comp, err := eng.GetAt(epoch.Add(rel), []byte(gofmt.Sprintf("storm-%03d", offered%population)))
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		offered++
+		if lat := comp.Latency(); lat > worst {
+			worst = lat
+		}
+		if comp.Latency() > timeout {
+			missed++
+		}
+	}
+	fmt.Printf("storm: %d gets offered at %.0f ops/s over %v; %d missed the %v deadline, worst latency %v\n",
+		offered, rate, horizon, missed, timeout, worst)
+	fmt.Printf("device clock now %v\n", dev.Now())
 }
 
 // printer writes REPL output to the configured writer with fmt semantics.

@@ -25,6 +25,8 @@ func TestREPLScript(t *testing.T) {
 		"fill 100 64",
 		"stats",
 		"meta",
+		"storm 150000 3",
+		"storm bad-args",
 		"bogus-cmd",
 		"put tooFewArgs",
 		"quit",
@@ -41,6 +43,8 @@ func TestREPLScript(t *testing.T) {
 		`unknown command`,  // bogus
 		"usage: put",       // arg validation
 		"device clock now", // fill
+		"gets offered at",  // storm
+		"usage: storm",     // storm arg validation
 	} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("transcript missing %q:\n%s", want, got)

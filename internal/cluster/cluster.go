@@ -455,6 +455,37 @@ func (c *Cluster) Delete(key []byte) (host.Completion, error) {
 	return comp, err
 }
 
+// PutAt is the open-loop Put: the request arrives at the routed shard at
+// the given instant of that shard's clock domain (shard clocks are
+// independent; callers track a per-shard epoch). The shard index is
+// returned so callers can account routing before submitting.
+func (c *Cluster) PutAt(arrival sim.Time, key, value []byte) (host.Completion, int, error) {
+	s := c.ShardFor(key)
+	sh := c.shards[s]
+	comp, err := sh.eng.PutAt(arrival, key, value)
+	sh.ops++
+	return comp, s, err
+}
+
+// GetAt is the open-loop Get. Like Get, the value is device-owned and valid
+// until the shard's next operation.
+func (c *Cluster) GetAt(arrival sim.Time, key []byte) (host.Completion, int, error) {
+	s := c.ShardFor(key)
+	sh := c.shards[s]
+	comp, err := sh.eng.GetAt(arrival, key)
+	sh.ops++
+	return comp, s, err
+}
+
+// DeleteAt is the open-loop Delete.
+func (c *Cluster) DeleteAt(arrival sim.Time, key []byte) (host.Completion, int, error) {
+	s := c.ShardFor(key)
+	sh := c.shards[s]
+	comp, err := sh.eng.DeleteAt(arrival, key)
+	sh.ops++
+	return comp, s, err
+}
+
 // Sync flushes every shard (an NVMe FLUSH fanned out cluster-wide) and
 // returns the merged completion time.
 func (c *Cluster) Sync() (sim.Time, error) {

@@ -18,33 +18,19 @@ import (
 	"anykey/internal/workload"
 )
 
-// ClusterRunConfig describes one cluster measurement run. Like RunConfig it
-// holds only comparable values, so the parallel runner can memoize on it.
+// ClusterRunConfig describes one cluster measurement run: the cluster
+// geometry plus the shared methodology knobs (BaseConfig — including the
+// open-loop client knobs). Like RunConfig it holds only comparable values,
+// so the parallel runner can memoize on it.
 type ClusterRunConfig struct {
-	Cluster  anykey.ClusterOptions
-	Workload workload.Spec
-
-	// FillFrac sizes the key population to this fraction of the fleet's raw
-	// capacity (shards × per-device capacity); same default as RunConfig.
-	FillFrac float64
-
-	// Theta and WriteRatio parameterise the request mix (defaults 0.99,
-	// 0.2). Scans are not part of the batch API.
-	Theta      float64
-	WriteRatio float64
+	Cluster anykey.ClusterOptions
+	BaseConfig
 
 	// BatchSize is the number of operations per Multi* wave (default
 	// shards × queue depth, enough to keep every shard's queue full when
-	// the routing is balanced).
+	// the routing is balanced). Open-loop runs submit per-operation and
+	// ignore it.
 	BatchSize int
-
-	// ExecFactor stops execution once issued bytes reach ExecFactor × fleet
-	// capacity (default 2); MaxOps, if set, caps executed operations.
-	ExecFactor float64
-	MaxOps     int64
-
-	NoVerify bool
-	Seed     int64
 
 	// Trace, when set, opens every shard with event tracing and leaves the
 	// cluster on ClusterResult.Cluster so the caller can export the merged
@@ -57,24 +43,9 @@ func (c *ClusterRunConfig) defaults() error {
 	if err := c.Cluster.Validate(); err != nil {
 		return err
 	}
-	if c.FillFrac == 0 {
-		ps := c.Cluster.Device.PageSize
-		c.FillFrac = safeFillFrac(c.Workload, ps)
-	}
-	if c.Theta == 0 {
-		c.Theta = 0.99
-	}
-	if c.WriteRatio == 0 {
-		c.WriteRatio = 0.2
-	}
+	c.baseDefaults(c.Cluster.Device.PageSize, 0)
 	if c.BatchSize == 0 {
 		c.BatchSize = c.Cluster.Shards * c.Cluster.QueueDepth
-	}
-	if c.ExecFactor == 0 {
-		c.ExecFactor = 2
-	}
-	if c.Seed == 0 {
-		c.Seed = 1
 	}
 	return nil
 }
@@ -90,11 +61,7 @@ func (c *ClusterRunConfig) Population() (uint64, error) {
 	if err := c.defaults(); err != nil {
 		return 0, err
 	}
-	n := uint64(float64(c.capacityBytes()) * c.FillFrac / float64(c.Workload.PairSize()))
-	if n < 64 {
-		n = 64
-	}
-	return n, nil
+	return c.basePopulation(c.capacityBytes()), nil
 }
 
 // ClusterResult carries a cluster run's measurements: fleet-wide rollups
@@ -139,6 +106,10 @@ type ClusterResult struct {
 	// balance under the workload's skew.
 	ShardOps     []int64
 	HottestShare float64
+
+	// Open carries the open-loop client's tally, present only when the
+	// workload had an arrival process.
+	Open *OpenStats
 
 	Verified int64
 
@@ -253,6 +224,20 @@ func RunCluster(cfg ClusterRunConfig) (*ClusterResult, error) {
 		startClocks[i] = ss.Now
 	}
 
+	if cfg.Workload.Arrival.Open() {
+		// Open-loop execution: per-operation *At submission routed per
+		// shard, each arrival offset into its shard's own clock domain.
+		tgt := &clusterTarget{cl: cl, epochs: startClocks, tracers: cl.Tracers(), shardOps: res.ShardOps}
+		open, err := runOpenLoop(&cfg.BaseConfig, gen, tgt,
+			openHists{read: &res.ReadLat, write: &res.WriteLat}, &res.Verified)
+		if err != nil {
+			return nil, err
+		}
+		res.Open = open
+		res.Ops = open.Attempts
+		return finishCluster(cfg, cl, res, warmStats, startClocks)
+	}
+
 	targetBytes := int64(cfg.ExecFactor * float64(cfg.capacityBytes()))
 	var issuedBytes int64
 
@@ -321,6 +306,12 @@ func RunCluster(cfg ClusterRunConfig) (*ClusterResult, error) {
 		}
 	}
 
+	return finishCluster(cfg, cl, res, warmStats, startClocks)
+}
+
+// finishCluster collects the execution phase's fleet-wide rollups — shared
+// by the closed-loop (batch-wave) and open-loop paths.
+func finishCluster(cfg ClusterRunConfig, cl *anykey.Cluster, res *ClusterResult, warmStats anykey.ClusterStats, startClocks []anykey.Time) (*ClusterResult, error) {
 	if _, err := cl.Barrier(); err != nil {
 		return nil, err
 	}
@@ -334,6 +325,9 @@ func RunCluster(cfg ClusterRunConfig) (*ClusterResult, error) {
 	res.SimSeconds = slowest.Seconds()
 	if res.SimSeconds > 0 {
 		res.IOPS = float64(res.Ops) / res.SimSeconds
+	}
+	if res.Open != nil && res.SimSeconds > 0 {
+		res.Open.Goodput = float64(res.Open.GoodOps) / res.SimSeconds
 	}
 	res.QueueWaitLat = finalStats.QueueWait
 	res.ServiceLat = finalStats.Service

@@ -18,8 +18,7 @@ func smallClusterRun() ClusterRunConfig {
 				ChipsPerChannel: 4,
 			},
 		},
-		Workload: mustSpec("ZippyDB"),
-		MaxOps:   1500,
+		BaseConfig: BaseConfig{Workload: mustSpec("ZippyDB"), MaxOps: 1500},
 	}
 }
 

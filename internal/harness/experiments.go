@@ -8,6 +8,7 @@ import (
 	"anykey"
 	"anykey/internal/model"
 	"anykey/internal/nand"
+	"anykey/internal/sim"
 	"anykey/internal/stats"
 	"anykey/internal/trace"
 	"anykey/internal/workload"
@@ -83,8 +84,7 @@ func (o *ExpOptions) baseRun(design anykey.Design, spec workload.Spec) RunConfig
 			DRAMBytes:  int64(o.CapacityMB) << 20 / 100,
 			Seed:       o.Seed,
 		},
-		Workload: spec,
-		Seed:     o.Seed,
+		BaseConfig: BaseConfig{Workload: spec, Seed: o.Seed},
 	}
 	// Cells share the plan pointer (Open copies the plan into each device's
 	// own injector, and nothing mutates it). Sharing matters for the
@@ -158,6 +158,7 @@ func Experiments() []Experiment {
 		{"ablation-hashlist", "design ablation: hash lists on/off", expAblationHashlist},
 		{"blame", "tail-latency blame attribution (trace-based)", expBlame},
 		{"cluster", "sharded multi-device cluster: shards × QD × skew", expCluster},
+		{"storm", "open-loop overload: goodput collapse & metastability knee", expStorm},
 	}
 }
 
@@ -826,8 +827,7 @@ func (o *ExpOptions) clusterBase(shards, qd int, spec workload.Spec) ClusterRunC
 				Seed:            o.Seed,
 			},
 		},
-		Workload: spec,
-		Seed:     o.Seed,
+		BaseConfig: BaseConfig{Workload: spec, Seed: o.Seed},
 	}
 	// Op caps scale with the shard count so a capped sweep stays weak
 	// scaling: per-shard measured work is constant as the fleet grows.
@@ -931,5 +931,146 @@ func expCluster(o ExpOptions) (*Report, error) {
 		}
 	}
 	rep.Tables = append(rep.Tables, skew)
+	return rep, nil
+}
+
+// --- storm -------------------------------------------------------------------
+
+// stormBase builds one open-loop cell: a 16 MB device on the 4×4 chip grid
+// (the cluster's shard geometry — its closed-loop ZippyDB capacity at QD 64
+// is ≈370–380 K IOPS, which anchors the sweep) driven by arrival-clocked
+// traffic instead of a fixed op budget. The open-loop client knobs stay at
+// their BaseConfig defaults (10 ms timeout, 3 retries, 2 ms SLO); only the
+// horizon shrinks under -quick.
+func (o *ExpOptions) stormBase(design anykey.Design, arr workload.ArrivalSpec) RunConfig {
+	cfg := RunConfig{
+		Device: anykey.Options{
+			Design:          design,
+			CapacityMB:      16,
+			Channels:        4,
+			ChipsPerChannel: 4,
+			DRAMBytes:       16 << 20 / 100,
+			Seed:            o.Seed,
+			Trace:           o.Trace,
+		},
+		BaseConfig: BaseConfig{Workload: mustSpec("ZippyDB").WithArrival(arr), Seed: o.Seed},
+	}
+	cfg.Horizon = 100 * sim.Millisecond
+	if o.Quick {
+		cfg.Horizon = 20 * sim.Millisecond
+	}
+	return cfg
+}
+
+// goodFrac is the fraction of offered operations that completed within the
+// end-to-end SLO (zero during the parallel planner's placeholder pass).
+func goodFrac(st *OpenStats) float64 {
+	if st.Offered == 0 {
+		return 0
+	}
+	return float64(st.GoodOps) / float64(st.Offered)
+}
+
+// expStorm finds the metastable knee. The load sweep offers a flat Poisson
+// stream at rates bracketing the device's closed-loop capacity: below it
+// goodput tracks offered load; above it the backlog grows without bound,
+// every attempt times out, the retries re-offer the same work to an
+// already-saturated device, and goodput collapses. The burst probe then
+// holds the mean rate fixed below capacity and concentrates it into on/off
+// bursts at the same mean: a design is metastable when the burst-built
+// backlog plus its retry amplification keeps goodput collapsed even though
+// the mean load was sustainable (DESIGN.md §11).
+func expStorm(o ExpOptions) (*Report, error) {
+	if o.Faults != nil {
+		return nil, fmt.Errorf("storm: fault injection is not supported on open-loop runs")
+	}
+	rep := &Report{ID: "storm", Title: "Open-loop overload: goodput collapse and metastability",
+		Notes: []string{"Arrival-clocked ZippyDB traffic against one 16 MB device (the cluster's",
+			"shard geometry). Clients time out at 10ms, retry up to 3x with capped",
+			"exponential backoff, and an op is 'good' when its end-to-end latency",
+			"(first arrival to final completion) meets the 2ms SLO. Goodput divides",
+			"good ops by the whole phase including drain. The knee sits far below the",
+			"closed-loop QD-64 capacity (~370-380 K IOPS): sustained arrivals trip",
+			"flush/compaction stalls whose backlogs cross the client timeout, and",
+			"from there retries re-offer the same work to a stalled device."}}
+
+	rates := []float64{25e3, 50e3, 75e3, 100e3, 200e3, 400e3}
+	if o.Quick {
+		rates = []float64{50e3, 400e3}
+	}
+	sweep := Table{Name: "goodput vs offered load (constant arrivals)",
+		Header: []string{"system", "offered/s", "offered", "done", "goodput/s",
+			"good frac", "p99 read e2e", "timeouts", "retries", "dropped"}}
+	var kneeNotes []string
+	for _, sys := range threeSystems {
+		knee := 0.0
+		for _, r := range rates {
+			res, err := o.run(o.stormBase(sys, workload.ArrivalSpec{Shape: workload.ArrivalConstant, Rate: r}))
+			if err != nil {
+				return nil, err
+			}
+			st := res.Open
+			if st == nil {
+				return nil, fmt.Errorf("storm: %s @ %s produced no open-loop stats", res.System, fiops(r))
+			}
+			sweep.Rows = append(sweep.Rows, []string{res.System, fiops(r), fmt.Sprint(st.Offered),
+				fmt.Sprint(st.Completed), fiops(st.Goodput), fpct(goodFrac(st)),
+				fdur(res.ReadLat.Percentile(99)), fmt.Sprint(st.Timeouts),
+				fmt.Sprint(st.Retries), fmt.Sprint(st.Dropped)})
+			if knee == 0 && goodFrac(st) < 0.9 {
+				knee = r
+			}
+		}
+		if knee > 0 {
+			kneeNotes = append(kneeNotes, fmt.Sprintf(
+				"knee: %s collapses at %s/s offered (first rate with <90%% of offered ops good)",
+				sys, fiops(knee)))
+		}
+	}
+	rep.Tables = append(rep.Tables, sweep)
+	rep.Notes = append(rep.Notes, kneeNotes...)
+
+	// The probe holds the mean at the knee and reshapes it: the bursty and
+	// diurnal shapes concentrate the same mean into a 2x peak whose on-phase
+	// builds a backlog past the client timeout, and the resulting retry
+	// storm (multiplied timeouts, drops, recovery long after the burst ends)
+	// is the metastable signature a mean-preserving shape change exposes.
+	mean, period := 100e3, 50*sim.Millisecond
+	if o.Quick {
+		mean, period = 100e3, 10*sim.Millisecond
+	}
+	probe := Table{Name: fmt.Sprintf("burst probe (mean %s/s, burst=2.0, period %v)", fiops(mean), period),
+		Header: []string{"system", "arrival", "goodput/s", "good frac", "timeouts",
+			"retries", "dropped", "recover", "verdict"}}
+	shapes := []workload.ArrivalSpec{
+		{Shape: workload.ArrivalConstant, Rate: mean},
+		{Shape: workload.ArrivalBursty, Rate: mean, Burst: 2.0, Period: period},
+		{Shape: workload.ArrivalDiurnal, Rate: mean, Burst: 2.0, Period: period},
+	}
+	for _, sys := range threeSystems {
+		var constGoodput float64
+		for i, a := range shapes {
+			res, err := o.run(o.stormBase(sys, a))
+			if err != nil {
+				return nil, err
+			}
+			st := res.Open
+			if st == nil {
+				return nil, fmt.Errorf("storm: %s probe %s produced no open-loop stats", res.System, a)
+			}
+			verdict := "-"
+			if i == 0 {
+				constGoodput = st.Goodput
+			} else if constGoodput > 0 && st.Goodput < 0.9*constGoodput {
+				verdict = "metastable"
+			} else if constGoodput > 0 {
+				verdict = "stable"
+			}
+			probe.Rows = append(probe.Rows, []string{res.System, a.Shape.String(),
+				fiops(st.Goodput), fpct(goodFrac(st)), fmt.Sprint(st.Timeouts),
+				fmt.Sprint(st.Retries), fmt.Sprint(st.Dropped), fdur(st.RecoverTime), verdict})
+		}
+	}
+	rep.Tables = append(rep.Tables, probe)
 	return rep, nil
 }

@@ -20,14 +20,48 @@ import (
 	"anykey/internal/device"
 	"anykey/internal/kv"
 	"anykey/internal/nand"
+	"anykey/internal/sim"
 	"anykey/internal/stats"
 	"anykey/internal/workload"
 )
 
-// RunConfig describes one measurement run: a device, a workload, and the
-// methodology knobs.
-type RunConfig struct {
-	Device   anykey.Options
+// RetryPolicy is the open-loop client's retry schedule: a timed-out
+// attempt is re-submitted after a capped exponential backoff — the k-th
+// retry waits min(Backoff << k, MaxBackoff) past the expired deadline —
+// until MaxRetries retries have been spent, then the operation is dropped.
+// All fields are scalars so configs stay comparable.
+type RetryPolicy struct {
+	MaxRetries int
+	Backoff    anykey.Duration
+	MaxBackoff anykey.Duration
+}
+
+// delay returns the backoff before retry number k (k = 1 is the first
+// retry).
+func (p RetryPolicy) delay(k int) anykey.Duration {
+	if k < 1 {
+		return 0
+	}
+	d := p.Backoff
+	for i := 1; i < k; i++ {
+		d *= 2
+		if d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// BaseConfig holds the methodology knobs shared by single-device and
+// cluster runs: the workload, population sizing, request mix, run length,
+// and — when the workload carries an open-loop arrival process — the
+// client-side timeout/retry/SLO knobs. It is embedded in RunConfig and
+// ClusterRunConfig so the knobs are defined once, and holds only comparable
+// values so the parallel runner can memoize on the enclosing configs.
+type BaseConfig struct {
 	Workload workload.Spec
 
 	// FillFrac sizes the key population to this fraction of the raw
@@ -35,19 +69,15 @@ type RunConfig struct {
 	// over-provisioning and PinK's flash metadata).
 	FillFrac float64
 
-	// Theta, WriteRatio, ScanRatio, ScanLen parameterise the request mix
-	// (defaults: 0.99, 0.2, 0, 0 per §5.1).
+	// Theta and WriteRatio parameterise the request mix (defaults 0.99,
+	// 0.2 per §5.1).
 	Theta      float64
 	WriteRatio float64
-	ScanRatio  float64
-	ScanLen    int
 
-	// QueueDepth is the number of closed-loop workers (default 64).
-	QueueDepth int
-
-	// ExecFactor stops execution once issued request bytes reach
-	// ExecFactor × capacity (default 2, §5.5). MaxOps, if set, caps the
-	// number of executed operations regardless (for quick runs).
+	// ExecFactor stops a closed-loop execution phase once issued request
+	// bytes reach ExecFactor × capacity (default 2, §5.5). MaxOps, if set,
+	// caps the number of executed (closed-loop) or offered (open-loop)
+	// operations regardless (for quick runs).
 	ExecFactor float64
 	MaxOps     int64
 
@@ -56,26 +86,90 @@ type RunConfig struct {
 	NoVerify bool
 
 	Seed int64
+
+	// Open-loop client knobs, meaningful only when Workload.Arrival is an
+	// open shape. Timeout is the client deadline per attempt (default
+	// 10 ms); Retry schedules re-submissions after timeouts (default 3
+	// retries, 500 µs base backoff capped at 4 ms); SLO is the end-to-end
+	// latency bound a completion must meet to count as goodput (default
+	// 2 ms); Horizon is how long fresh arrivals are offered in virtual
+	// time (default 100 ms) — the run then drains retries and backlog.
+	Timeout anykey.Duration
+	Retry   RetryPolicy
+	SLO     anykey.Duration
+	Horizon anykey.Duration
 }
 
-func (c *RunConfig) defaults() {
+// baseDefaults fills the shared defaults. scanRatio is the enclosing
+// config's scan mix (cluster runs have none); it suppresses the write-ratio
+// default exactly as before the configs were unified.
+func (c *BaseConfig) baseDefaults(pageSize int, scanRatio float64) {
 	if c.FillFrac == 0 {
-		c.FillFrac = safeFillFrac(c.Workload, c.pageSize())
+		c.FillFrac = safeFillFrac(c.Workload, pageSize)
 	}
 	if c.Theta == 0 {
 		c.Theta = 0.99
 	}
-	if c.WriteRatio == 0 && c.ScanRatio == 0 {
+	if c.WriteRatio == 0 && scanRatio == 0 {
 		c.WriteRatio = 0.2
-	}
-	if c.QueueDepth == 0 {
-		c.QueueDepth = 64
 	}
 	if c.ExecFactor == 0 {
 		c.ExecFactor = 2
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Workload.Arrival.Open() {
+		if c.Timeout == 0 {
+			c.Timeout = 10 * anykey.Duration(sim.Millisecond)
+		}
+		if c.Retry.MaxRetries == 0 {
+			c.Retry.MaxRetries = 3
+		}
+		if c.Retry.Backoff == 0 {
+			c.Retry.Backoff = anykey.Duration(500 * sim.Microsecond)
+		}
+		if c.Retry.MaxBackoff == 0 {
+			c.Retry.MaxBackoff = 4 * anykey.Duration(sim.Millisecond)
+		}
+		if c.SLO == 0 {
+			c.SLO = 2 * anykey.Duration(sim.Millisecond)
+		}
+		if c.Horizon == 0 {
+			c.Horizon = 100 * anykey.Duration(sim.Millisecond)
+		}
+	}
+}
+
+// basePopulation sizes the key population against a raw capacity.
+func (c *BaseConfig) basePopulation(capacityBytes int64) uint64 {
+	n := uint64(float64(capacityBytes) * c.FillFrac / float64(c.Workload.PairSize()))
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// RunConfig describes one measurement run: a device, the shared methodology
+// knobs (BaseConfig), and the single-device-only mix and queueing knobs.
+type RunConfig struct {
+	Device anykey.Options
+	BaseConfig
+
+	// ScanRatio and ScanLen extend the request mix with scans (Fig. 18
+	// only); the batch-oriented cluster methodology has no scan knob.
+	ScanRatio float64
+	ScanLen   int
+
+	// QueueDepth is the number of closed-loop workers (default 64). Open-
+	// loop runs use it as the device's submission-slot count.
+	QueueDepth int
+}
+
+func (c *RunConfig) defaults() {
+	c.baseDefaults(c.pageSize(), c.ScanRatio)
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
 	}
 }
 
@@ -122,11 +216,7 @@ func safeFillFrac(spec workload.Spec, pageSize int) float64 {
 // Population returns the number of distinct keys the run loads.
 func (c *RunConfig) Population() uint64 {
 	c.defaults()
-	n := uint64(float64(c.capacityBytes()) * c.FillFrac / float64(c.Workload.PairSize()))
-	if n < 64 {
-		n = 64
-	}
-	return n
+	return c.basePopulation(c.capacityBytes())
 }
 
 // Result carries everything an experiment needs to print its table or
@@ -174,6 +264,11 @@ type Result struct {
 	// report at the default (P99) cut.
 	Trace *anykey.Tracer
 	Blame *anykey.BlameReport
+
+	// Open carries the open-loop client's tally (timeouts, retries,
+	// goodput, recovery), present only when the workload had an arrival
+	// process.
+	Open *OpenStats
 
 	Verified int64 // reads whose payload was checked
 }
@@ -233,48 +328,65 @@ func Run(cfg RunConfig) (*Result, error) {
 	// Discard warm-up trace data so traces and blame cover the measured
 	// phase only (Reset is a no-op on an untraced device).
 	dev.Trace().Reset()
-	targetBytes := int64(cfg.ExecFactor * float64(cfg.capacityBytes()))
-	var issuedBytes int64
 
-	for issuedBytes < targetBytes && (cfg.MaxOps == 0 || res.Ops < cfg.MaxOps) {
-		op := gen.Next()
-		switch op.Kind {
-		case workload.OpPut:
-			c, err := eng.Put(op.Key, op.Value)
-			if err != nil {
-				return nil, fmt.Errorf("harness: put: %w", err)
-			}
-			res.WriteLat.Record(c.Latency())
-		case workload.OpGet:
-			c, err := eng.Get(op.Key)
-			if err != nil {
-				return nil, fmt.Errorf("harness: get %x: %w", op.Key[:8], err)
-			}
-			res.ReadLat.Record(c.Latency())
-			if !cfg.NoVerify {
-				if !bytes.Equal(c.Value, gen.ExpectedValue(op.ID)) {
-					return nil, fmt.Errorf("harness: read of id %d returned wrong payload", op.ID)
-				}
-				res.Verified++
-			}
-		case workload.OpScan:
-			c, err := eng.Scan(op.Key, op.ScanLen)
-			if err != nil {
-				return nil, fmt.Errorf("harness: scan: %w", err)
-			}
-			res.ScanLat.Record(c.Latency())
-			if !cfg.NoVerify && len(c.Pairs) == 0 {
-				return nil, errors.New("harness: scan returned nothing on a loaded device")
-			}
+	if cfg.Workload.Arrival.Open() {
+		open, err := runOpenLoop(&cfg.BaseConfig, gen,
+			&deviceTarget{eng: eng, tr: dev.Trace(), epoch: execStart},
+			openHists{read: &res.ReadLat, write: &res.WriteLat, scan: &res.ScanLat},
+			&res.Verified)
+		if err != nil {
+			return nil, err
 		}
-		issuedBytes += op.Bytes()
-		res.Ops++
+		res.Open = open
+		// Ops counts device-executed operations: every attempt, retries
+		// included, does real device work.
+		res.Ops = open.Attempts
+	} else {
+		targetBytes := int64(cfg.ExecFactor * float64(cfg.capacityBytes()))
+		var issuedBytes int64
+		for issuedBytes < targetBytes && (cfg.MaxOps == 0 || res.Ops < cfg.MaxOps) {
+			op := gen.Next()
+			switch op.Kind {
+			case workload.OpPut:
+				c, err := eng.Put(op.Key, op.Value)
+				if err != nil {
+					return nil, fmt.Errorf("harness: put: %w", err)
+				}
+				res.WriteLat.Record(c.Latency())
+			case workload.OpGet:
+				c, err := eng.Get(op.Key)
+				if err != nil {
+					return nil, fmt.Errorf("harness: get %x: %w", op.Key[:8], err)
+				}
+				res.ReadLat.Record(c.Latency())
+				if !cfg.NoVerify {
+					if !bytes.Equal(c.Value, gen.ExpectedValue(op.ID)) {
+						return nil, fmt.Errorf("harness: read of id %d returned wrong payload", op.ID)
+					}
+					res.Verified++
+				}
+			case workload.OpScan:
+				c, err := eng.Scan(op.Key, op.ScanLen)
+				if err != nil {
+					return nil, fmt.Errorf("harness: scan: %w", err)
+				}
+				res.ScanLat.Record(c.Latency())
+				if !cfg.NoVerify && len(c.Pairs) == 0 {
+					return nil, errors.New("harness: scan returned nothing on a loaded device")
+				}
+			}
+			issuedBytes += op.Bytes()
+			res.Ops++
+		}
 	}
 
 	end := eng.Now()
 	res.SimSeconds = end.Sub(execStart).Seconds()
 	if res.SimSeconds > 0 {
 		res.IOPS = float64(res.Ops) / res.SimSeconds
+	}
+	if res.Open != nil && res.SimSeconds > 0 {
+		res.Open.Goodput = float64(res.Open.GoodOps) / res.SimSeconds
 	}
 	res.QueueWaitLat, res.ServiceLat = eng.Breakdown()
 	total := st.Flash()

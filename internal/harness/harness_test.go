@@ -14,10 +14,8 @@ func smallRun(design anykey.Design, wl string) RunConfig {
 		panic("unknown workload " + wl)
 	}
 	return RunConfig{
-		Device:   anykey.Options{Design: design, CapacityMB: 32},
-		Workload: spec,
-		FillFrac: 0.35,
-		MaxOps:   20000,
+		Device:     anykey.Options{Design: design, CapacityMB: 32},
+		BaseConfig: BaseConfig{Workload: spec, FillFrac: 0.35, MaxOps: 20000},
 	}
 }
 

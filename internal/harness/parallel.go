@@ -138,6 +138,10 @@ func (p *planRunner) measure(cfg RunConfig) (*Result, error) {
 	if cfg.Device.Trace != nil {
 		res.Blame = &anykey.BlameReport{}
 	}
+	// Open-loop cells likewise carry an empty scorecard during planning.
+	if cfg.Workload.Arrival.Open() {
+		res.Open = &OpenStats{}
+	}
 	return res, nil
 }
 
@@ -148,11 +152,15 @@ func (p *planRunner) fill(fc fillConfig) (*FillResult, error) {
 
 func (p *planRunner) clusterMeasure(cfg ClusterRunConfig) (*ClusterResult, error) {
 	p.add(cellKey{cluster: cfg, isCluster: true})
-	return &ClusterResult{
+	res := &ClusterResult{
 		System:   fmt.Sprintf("%s x%d", cfg.Cluster.Device.Design, cfg.Cluster.Shards),
 		Workload: cfg.Workload.Name,
 		Shards:   cfg.Cluster.Shards,
-	}, nil
+	}
+	if cfg.Workload.Arrival.Open() {
+		res.Open = &OpenStats{}
+	}
+	return res, nil
 }
 
 // replayRunner serves memoized outcomes to the final body run.

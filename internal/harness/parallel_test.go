@@ -17,11 +17,8 @@ func parTestExperiment() Experiment {
 			spec := mustSpec(wl)
 			for _, sys := range threeSystems {
 				cfg := RunConfig{
-					Device:   anykey.Options{Design: sys, CapacityMB: 32, Seed: o.Seed},
-					Workload: spec,
-					FillFrac: 0.2,
-					MaxOps:   3000,
-					Seed:     o.Seed,
+					Device:     anykey.Options{Design: sys, CapacityMB: 32, Seed: o.Seed},
+					BaseConfig: BaseConfig{Workload: spec, FillFrac: 0.2, MaxOps: 3000, Seed: o.Seed},
 				}
 				res, err := o.run(cfg)
 				if err != nil {
@@ -95,8 +92,8 @@ func TestParallelSurfacesCellErrors(t *testing.T) {
 	exp := Experiment{ID: "par-err", Paper: "test", Run: func(o ExpOptions) (*Report, error) {
 		cfg := RunConfig{
 			// Impossible geometry: rejected by anykey.Open inside Run.
-			Device:   anykey.Options{Design: anykey.DesignAnyKeyPlus, CapacityMB: 8, Channels: 8, ChipsPerChannel: 8},
-			Workload: mustSpec("KVSSD"),
+			Device:     anykey.Options{Design: anykey.DesignAnyKeyPlus, CapacityMB: 8, Channels: 8, ChipsPerChannel: 8},
+			BaseConfig: BaseConfig{Workload: mustSpec("KVSSD")},
 		}
 		if _, err := o.run(cfg); err != nil {
 			return nil, err

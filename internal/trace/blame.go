@@ -292,7 +292,14 @@ func blameOp(op OpRecord, events []Event, own []int, byTrack map[Track][]int) Op
 	if b.Total <= 0 {
 		return b
 	}
-	b.Shares[CauseHostQueue] += op.QueueWait()
+	// A retried attempt's queue wait is retry amplification, not ordinary
+	// host-queue pressure: the op is in the queue again only because its
+	// previous attempt blew the client deadline.
+	queueCause := CauseHostQueue
+	if op.Attempt > 0 {
+		queueCause = CauseRetry
+	}
+	b.Shares[queueCause] += op.QueueWait()
 
 	for _, i := range own {
 		ev := events[i]
@@ -377,6 +384,10 @@ func selfCause(ev Event) Cause {
 		return CauseWriteStall
 	case EvReadRetry:
 		return CauseFaultRetry
+	case EvTimeout:
+		return CauseTimeout
+	case EvRetry:
+		return CauseRetry
 	case EvCPU:
 		switch ev.Cause {
 		case CauseHostRead, CauseHostWrite, CauseMeta:

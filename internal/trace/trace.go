@@ -41,6 +41,15 @@ type Cause uint8
 // attribution: time queued for a submission slot, time gated behind lagging
 // background work, controller-CPU time (hashing, merging, fixed request
 // overhead), the operation's own flash work, and anything left over.
+// Timeout and Retry are the open-loop client's buckets: time an attempt ran
+// past its client deadline, and queue wait incurred by a re-submitted
+// (retried) attempt — the signature of retry amplification under overload.
+//
+// Ordering is load-bearing twice over: the first six values are pinned to
+// internal/nand's flash-cause ordinals (see CauseFromFlash), and
+// CauseUnknown must stay the last bucket before NumCauses (report consumers
+// treat Shares[len-1] as the unnamed remainder). New causes go between
+// CauseSelf and CauseTimeout.
 const (
 	CauseHostRead Cause = iota
 	CauseHostWrite
@@ -55,6 +64,8 @@ const (
 	CauseWriteStall
 	CauseCPU
 	CauseSelf
+	CauseTimeout
+	CauseRetry
 	CauseUnknown
 	NumCauses
 )
@@ -62,7 +73,7 @@ const (
 var causeNames = [NumCauses]string{
 	"host-read", "host-write", "flush", "compaction", "gc", "meta", "log",
 	"recovery", "fault-retry", "host-queue", "write-stall", "controller-cpu",
-	"self", "unknown",
+	"self", "timeout", "retry", "unknown",
 }
 
 // String returns the cause's lowercase name.
@@ -122,13 +133,15 @@ const (
 	EvPowerCut
 	EvProgramFail
 	EvEraseFail
+	EvTimeout
+	EvRetry
 	numNames
 )
 
 var eventNames = [numNames]string{
 	"cell-read", "read-xfer", "write-xfer", "program", "erase", "read-retry",
 	"cpu", "flush", "compaction", "gc", "recovery", "write-stall",
-	"power-cut", "program-fail", "erase-fail",
+	"power-cut", "program-fail", "erase-fail", "timeout", "retry",
 }
 
 // String returns the event name.
@@ -233,13 +246,16 @@ func (k OpKind) String() string {
 // OpRecord is the lifecycle of one host operation: generated at Arrival,
 // issued to the device at Issued (the difference is submission-queue wait),
 // completed at Done. Seq is the tracer-wide sequence number linking the
-// events emitted during its service.
+// events emitted during its service. Attempt is the open-loop client's
+// submission attempt number: 0 for a fresh arrival, k for the k-th retry
+// after client timeouts (closed-loop ops are always 0).
 type OpRecord struct {
 	Seq     int64
 	Arrival sim.Time
 	Issued  sim.Time
 	Done    sim.Time
 	Slot    int32
+	Attempt int32
 	Kind    OpKind
 	Failed  bool
 }
@@ -339,6 +355,53 @@ func (t *Tracer) EndOp(seq int64, done sim.Time, failed bool) {
 	if t.curOp == seq {
 		t.curOp = 0
 	}
+}
+
+// LastOpSeq returns the sequence number of the most recently completed op
+// record, or 0 when none. The open-loop harness reads it right after a
+// submission completes to tag client-side timeout/retry events with the
+// device-assigned op.
+func (t *Tracer) LastOpSeq() int64 {
+	if t == nil || t.nOps == 0 {
+		return 0
+	}
+	return t.ops[(t.nOps-1)%int64(len(t.ops))].Seq
+}
+
+// MarkAttempt tags op record seq as submission attempt n (0 = fresh
+// arrival). Called by the open-loop client after a retried submission
+// completes, so the blame report can charge the attempt's queue wait to
+// retry amplification instead of the host queue. The record is found by
+// scanning back from the newest entry; a seq the ring already overwrote is
+// silently ignored.
+func (t *Tracer) MarkAttempt(seq int64, attempt int32) {
+	if t == nil || seq == 0 {
+		return
+	}
+	n := min64(t.nOps, int64(len(t.ops)))
+	for i := int64(1); i <= n; i++ {
+		at := (t.nOps - i) % int64(len(t.ops))
+		if t.ops[at].Seq == seq {
+			t.ops[at].Attempt = attempt
+			return
+		}
+	}
+}
+
+// OpSpan records a span tagged with an explicit op sequence number instead
+// of the in-flight one — the open-loop client uses it to mark an attempt's
+// deadline overrun [deadline, done] after EndOp has already closed the op.
+// The cause scope is not applied: the caller names the cause it is charging.
+func (t *Tracer) OpSpan(track Track, name Name, cause Cause, op int64, issue, start, end sim.Time, arg int64) {
+	if t == nil {
+		return
+	}
+	t.ev[t.nEv%int64(len(t.ev))] = Event{
+		Issue: issue, Start: start, End: end,
+		Op: op, Arg: arg,
+		Track: track, Name: name, Cause: cause,
+	}
+	t.nEv++
 }
 
 // Span records one span event on a track. The in-flight op (if any) and the

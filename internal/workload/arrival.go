@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"anykey/internal/sim"
+)
+
+// Open-loop arrival process: instead of the closed-loop "QD-N clients, next
+// request on completion" model, requests arrive on their own virtual-time
+// clock at a configured offered load, whether or not the device keeps up.
+// That is the regime where overload, goodput collapse and metastable
+// failure become visible — a closed loop throttles itself by construction.
+//
+// The generator is deterministic for a (spec, seed) pair: it owns its own
+// PRNG (separate from the op-mix stream, so enabling an arrival process
+// never perturbs the key/op sequence) and draws exponential interarrival
+// gaps at the shape's instantaneous rate. Rate shapes are piecewise
+// constant, and a draw that would cross a phase boundary is re-drawn at the
+// boundary — statistically exact for exponential gaps (memorylessness) and
+// what keeps the stream deterministic regardless of how far the caller
+// reads ahead.
+
+// ArrivalShape selects the rate shape of an open-loop arrival process. The
+// zero value means closed loop: no arrival process at all.
+type ArrivalShape uint8
+
+// Arrival shapes. Constant offers a flat Poisson stream at Rate. Bursty is
+// an on/off square wave: the first half of each Period runs at Burst×Rate,
+// the second at (2−Burst)×Rate, preserving the mean. Diurnal is a smooth
+// sine between the same extremes over one Period.
+const (
+	ArrivalClosed ArrivalShape = iota
+	ArrivalConstant
+	ArrivalBursty
+	ArrivalDiurnal
+)
+
+var arrivalShapeNames = [...]string{"closed", "constant", "bursty", "diurnal"}
+
+// String returns the shape's lowercase name.
+func (s ArrivalShape) String() string {
+	if int(s) < len(arrivalShapeNames) {
+		return arrivalShapeNames[s]
+	}
+	return fmt.Sprintf("shape(%d)", int(s))
+}
+
+// ArrivalShapeByName parses a shape name as spelled by String.
+func ArrivalShapeByName(name string) (ArrivalShape, bool) {
+	for i, n := range arrivalShapeNames {
+		if n == name {
+			return ArrivalShape(i), true
+		}
+	}
+	return ArrivalClosed, false
+}
+
+// ArrivalSpec configures an open-loop arrival process. The zero value means
+// closed loop. All fields are scalars so specs stay comparable — the
+// harness memoises runs on their full config.
+type ArrivalSpec struct {
+	Shape ArrivalShape
+	// Rate is the mean offered load in operations per second of virtual
+	// time, across all shapes.
+	Rate float64
+	// Burst is the peak-to-mean rate ratio in (1, 2] for bursty and
+	// diurnal shapes; the trough rate is (2−Burst)×Rate so the mean is
+	// preserved. Must be zero for constant.
+	Burst float64
+	// Period is the full on+off cycle (bursty) or sine wavelength
+	// (diurnal). Must be zero for constant.
+	Period sim.Duration
+}
+
+// Open reports whether the spec describes an open-loop arrival process.
+func (a ArrivalSpec) Open() bool { return a.Shape != ArrivalClosed }
+
+// Validate checks the spec's internal consistency. The zero value is valid
+// (closed loop); any open shape needs a positive rate, and the modulated
+// shapes need a burst factor and period.
+func (a ArrivalSpec) Validate() error {
+	switch a.Shape {
+	case ArrivalClosed:
+		if a.Rate != 0 || a.Burst != 0 || a.Period != 0 {
+			return fmt.Errorf("workload: closed-loop arrival spec must leave rate/burst/period zero")
+		}
+		return nil
+	case ArrivalConstant:
+		if a.Burst != 0 || a.Period != 0 {
+			return fmt.Errorf("workload: constant arrival shape takes no burst/period")
+		}
+	case ArrivalBursty, ArrivalDiurnal:
+		if a.Burst <= 1 || a.Burst > 2 {
+			return fmt.Errorf("workload: %s arrival burst %v outside (1, 2]", a.Shape, a.Burst)
+		}
+		if a.Period <= 0 {
+			return fmt.Errorf("workload: %s arrival needs a positive period", a.Shape)
+		}
+	default:
+		return fmt.Errorf("workload: unknown arrival shape %d", int(a.Shape))
+	}
+	if a.Rate <= 0 || math.IsInf(a.Rate, 0) || math.IsNaN(a.Rate) {
+		return fmt.Errorf("workload: arrival rate %v must be a positive finite ops/s", a.Rate)
+	}
+	return nil
+}
+
+// String renders the spec for run headers, e.g. "bursty 200000 ops/s
+// burst=1.8 period=10.000ms".
+func (a ArrivalSpec) String() string {
+	switch a.Shape {
+	case ArrivalClosed:
+		return "closed"
+	case ArrivalConstant:
+		return fmt.Sprintf("constant %g ops/s", a.Rate)
+	default:
+		return fmt.Sprintf("%s %g ops/s burst=%g period=%v", a.Shape, a.Rate, a.Burst, a.Period)
+	}
+}
+
+// diurnalSlices approximates the sine shape as this many piecewise-constant
+// rate slices per period (the rate is sampled at each slice midpoint).
+const diurnalSlices = 64
+
+// Arrivals generates the virtual-time arrival stream of an ArrivalSpec.
+type Arrivals struct {
+	spec ArrivalSpec
+	rng  *rand.Rand
+	now  sim.Time
+}
+
+// NewArrivals builds the arrival stream for an open-loop spec; the seed is
+// the stream's own (the op mix uses a separate PRNG).
+func NewArrivals(spec ArrivalSpec, seed int64) (*Arrivals, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if !spec.Open() {
+		return nil, fmt.Errorf("workload: closed-loop spec has no arrival stream")
+	}
+	return &Arrivals{spec: spec, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Next returns the next arrival timestamp; timestamps are strictly
+// increasing from virtual time zero.
+func (a *Arrivals) Next() sim.Time {
+	for {
+		rate := a.rateAt(a.now)
+		end := a.phaseEnd(a.now)
+		if rate <= 0 {
+			// Silent phase (burst=2 turns the off half fully off): skip to
+			// the next phase without consuming randomness.
+			a.now = end
+			continue
+		}
+		gap := sim.Duration(a.rng.ExpFloat64() / rate * float64(sim.Second))
+		if gap < 1 {
+			gap = 1
+		}
+		next := a.now.Add(gap)
+		if end > 0 && next.After(end) {
+			// Crossed into the next rate phase: re-draw there. Exponential
+			// gaps are memoryless, so restarting at the boundary keeps the
+			// process exact.
+			a.now = end
+			continue
+		}
+		a.now = next
+		return a.now
+	}
+}
+
+// rateAt returns the instantaneous offered rate (ops/s) at t.
+func (a *Arrivals) rateAt(t sim.Time) float64 {
+	switch a.spec.Shape {
+	case ArrivalConstant:
+		return a.spec.Rate
+	case ArrivalBursty:
+		if a.inOnPhase(t) {
+			return a.spec.Burst * a.spec.Rate
+		}
+		return (2 - a.spec.Burst) * a.spec.Rate
+	case ArrivalDiurnal:
+		slice := int64(t) / a.sliceLen()
+		mid := float64(slice) + 0.5
+		phase := 2 * math.Pi * mid / diurnalSlices
+		return a.spec.Rate * (1 + (a.spec.Burst-1)*math.Sin(phase))
+	}
+	return 0
+}
+
+// phaseEnd returns the end of the piecewise-constant rate phase containing
+// t, or 0 when the rate never changes.
+func (a *Arrivals) phaseEnd(t sim.Time) sim.Time {
+	switch a.spec.Shape {
+	case ArrivalBursty:
+		half := int64(a.spec.Period) / 2
+		return sim.Time((int64(t)/half + 1) * half)
+	case ArrivalDiurnal:
+		sl := a.sliceLen()
+		return sim.Time((int64(t)/sl + 1) * sl)
+	}
+	return 0
+}
+
+func (a *Arrivals) inOnPhase(t sim.Time) bool {
+	return int64(t)%int64(a.spec.Period) < int64(a.spec.Period)/2
+}
+
+func (a *Arrivals) sliceLen() int64 {
+	sl := int64(a.spec.Period) / diurnalSlices
+	if sl < 1 {
+		sl = 1
+	}
+	return sl
+}

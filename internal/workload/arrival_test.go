@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"anykey/internal/sim"
+)
+
+// arrivalChecksum folds the first n arrival instants of a stream into one
+// FNV-64a hash — the determinism fingerprint the golden gate pins.
+func arrivalChecksum(t *testing.T, spec ArrivalSpec, seed int64, n int) uint64 {
+	t.Helper()
+	arr, err := NewArrivals(spec, seed)
+	if err != nil {
+		t.Fatalf("NewArrivals(%v, %d): %v", spec, seed, err)
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < n; i++ {
+		at := arr.Next()
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(uint64(at) >> (8 * b))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+var arrivalShapes = []ArrivalSpec{
+	{Shape: ArrivalConstant, Rate: 200e3},
+	{Shape: ArrivalBursty, Rate: 200e3, Burst: 1.8, Period: 10 * sim.Millisecond},
+	{Shape: ArrivalBursty, Rate: 200e3, Burst: 2.0, Period: 10 * sim.Millisecond},
+	{Shape: ArrivalDiurnal, Rate: 200e3, Burst: 2.0, Period: 10 * sim.Millisecond},
+}
+
+// TestArrivalDeterminism checks the contract the parallel harness relies
+// on: the stream is a pure function of (spec, seed), and distinct seeds
+// decorrelate it.
+func TestArrivalDeterminism(t *testing.T) {
+	for _, spec := range arrivalShapes {
+		a := arrivalChecksum(t, spec, 42, 5000)
+		b := arrivalChecksum(t, spec, 42, 5000)
+		if a != b {
+			t.Errorf("%v: same seed produced different streams: %#x vs %#x", spec, a, b)
+		}
+		if c := arrivalChecksum(t, spec, 43, 5000); c == a {
+			t.Errorf("%v: seeds 42 and 43 produced identical streams (%#x)", spec, a)
+		}
+	}
+}
+
+// TestArrivalGoldenChecksums pins the exact streams. A failure means the
+// arrival PRNG or shape math changed — every committed open-loop report
+// (reports/storm.txt) changes with it, so rebaseline both deliberately.
+func TestArrivalGoldenChecksums(t *testing.T) {
+	golden := []uint64{
+		0x95c97c95f5d35a3a, // constant
+		0x97e20b0c9cd362a8, // bursty 1.8
+		0xe7c8fec7bd2814dd, // bursty 2.0 (silent off-phase)
+		0x4c694b259085125e, // diurnal
+	}
+	for i, spec := range arrivalShapes {
+		if got := arrivalChecksum(t, spec, 1, 2000); got != golden[i] {
+			t.Errorf("%v seed 1: checksum %#x, want %#x", spec, got, golden[i])
+		}
+	}
+}
+
+// TestArrivalMeanRate checks every shape delivers its configured mean: over
+// many periods the arrival count converges on Rate ops/s regardless of how
+// the shape modulates the instantaneous rate.
+func TestArrivalMeanRate(t *testing.T) {
+	const horizon = 500 * sim.Millisecond
+	for _, spec := range arrivalShapes {
+		arr, err := NewArrivals(spec, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for arr.Next() <= sim.Time(horizon) {
+			n++
+		}
+		want := spec.Rate * horizon.Seconds()
+		if math.Abs(float64(n)-want) > 0.05*want {
+			t.Errorf("%v: %d arrivals in %v, want ~%.0f (±5%%)", spec, n, horizon, want)
+		}
+	}
+}
+
+// TestArrivalMonotone checks instants strictly increase — the open loop's
+// event ordering depends on it.
+func TestArrivalMonotone(t *testing.T) {
+	for _, spec := range arrivalShapes {
+		arr, err := NewArrivals(spec, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := sim.Time(-1)
+		for i := 0; i < 10000; i++ {
+			at := arr.Next()
+			if at <= prev {
+				t.Fatalf("%v: arrival %d at %v not after %v", spec, i, at, prev)
+			}
+			prev = at
+		}
+	}
+}
+
+func TestArrivalSpecValidate(t *testing.T) {
+	valid := append([]ArrivalSpec{{}}, arrivalShapes...)
+	for _, spec := range valid {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%v: unexpected error %v", spec, err)
+		}
+	}
+	invalid := []ArrivalSpec{
+		{Rate: 100},                        // closed loop with a rate
+		{Shape: ArrivalConstant},           // no rate
+		{Shape: ArrivalConstant, Rate: -5}, // negative rate
+		{Shape: ArrivalConstant, Rate: math.Inf(1)},
+		{Shape: ArrivalConstant, Rate: 100, Burst: 1.5},                          // constant takes no burst
+		{Shape: ArrivalBursty, Rate: 100, Burst: 1.5},                            // no period
+		{Shape: ArrivalBursty, Rate: 100, Burst: 1.0, Period: sim.Millisecond},   // burst at lower bound
+		{Shape: ArrivalBursty, Rate: 100, Burst: 2.5, Period: sim.Millisecond},   // burst too high
+		{Shape: ArrivalDiurnal, Rate: 100, Burst: 1.5, Period: -sim.Millisecond}, // negative period
+		{Shape: ArrivalShape(9), Rate: 100, Burst: 1.5, Period: sim.Millisecond}, // unknown shape
+	}
+	for _, spec := range invalid {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%+v: expected a validation error", spec)
+		}
+	}
+	if _, err := NewArrivals(ArrivalSpec{}, 1); err == nil {
+		t.Error("NewArrivals accepted a closed-loop spec")
+	}
+}
+
+func TestArrivalShapeByName(t *testing.T) {
+	for _, name := range []string{"closed", "constant", "bursty", "diurnal"} {
+		s, ok := ArrivalShapeByName(name)
+		if !ok || s.String() != name {
+			t.Errorf("ArrivalShapeByName(%q) = %v, %v", name, s, ok)
+		}
+	}
+	if _, ok := ArrivalShapeByName("sawtooth"); ok {
+		t.Error("ArrivalShapeByName accepted an unknown name")
+	}
+}

@@ -13,11 +13,21 @@ import (
 )
 
 // Spec describes one workload profile from Table 2. Sizes are bytes.
+// Arrival is the optional open-loop arrival process (arrival.go); its zero
+// value keeps the spec closed-loop, so every Table 2 profile is unchanged.
 type Spec struct {
 	Name        string
 	Description string
 	KeySize     int
 	ValueSize   int
+	Arrival     ArrivalSpec
+}
+
+// WithArrival returns a copy of the spec driven by the given open-loop
+// arrival process.
+func (s Spec) WithArrival(a ArrivalSpec) Spec {
+	s.Arrival = a
+	return s
 }
 
 // VK returns the value-to-key ratio that classifies the workload.
@@ -32,20 +42,20 @@ func (s Spec) PairSize() int { return s.KeySize + s.ValueSize }
 
 // Table2 is the paper's workload suite in its printed order.
 var Table2 = []Spec{
-	{"KVSSD", "The workload used in Samsung's KV-SSD", 16, 4096},
-	{"YCSB", "Default key and value sizes of YCSB", 20, 1000},
-	{"W-PinK", "The workload used in PinK", 32, 1024},
-	{"Xbox", "Xbox LIVE Primetime online game", 94, 1200},
-	{"ETC", "General-purpose KV store of Facebook", 41, 358},
-	{"UDB", "Facebook storage layer for social graph", 27, 127},
-	{"Cache", "Twitter's cache cluster", 42, 188},
-	{"VAR", "Server-side browser info. of Facebook", 35, 115},
-	{"Crypto2", "Trezor's KV store for Bitcoin wallet", 37, 110},
-	{"Dedup", "DB of Microsoft's storage dedup. engine", 20, 44},
-	{"Cache15", "15% of the 153 cache clusters at Twitter", 38, 38},
-	{"ZippyDB", "Object metadata of Facebook store", 48, 43},
-	{"Crypto1", "BlockStream's store for Bitcoin explorer", 76, 50},
-	{"RTDATA", "IBM's real-time data analytics workloads", 24, 10},
+	{Name: "KVSSD", Description: "The workload used in Samsung's KV-SSD", KeySize: 16, ValueSize: 4096},
+	{Name: "YCSB", Description: "Default key and value sizes of YCSB", KeySize: 20, ValueSize: 1000},
+	{Name: "W-PinK", Description: "The workload used in PinK", KeySize: 32, ValueSize: 1024},
+	{Name: "Xbox", Description: "Xbox LIVE Primetime online game", KeySize: 94, ValueSize: 1200},
+	{Name: "ETC", Description: "General-purpose KV store of Facebook", KeySize: 41, ValueSize: 358},
+	{Name: "UDB", Description: "Facebook storage layer for social graph", KeySize: 27, ValueSize: 127},
+	{Name: "Cache", Description: "Twitter's cache cluster", KeySize: 42, ValueSize: 188},
+	{Name: "VAR", Description: "Server-side browser info. of Facebook", KeySize: 35, ValueSize: 115},
+	{Name: "Crypto2", Description: "Trezor's KV store for Bitcoin wallet", KeySize: 37, ValueSize: 110},
+	{Name: "Dedup", Description: "DB of Microsoft's storage dedup. engine", KeySize: 20, ValueSize: 44},
+	{Name: "Cache15", Description: "15% of the 153 cache clusters at Twitter", KeySize: 38, ValueSize: 38},
+	{Name: "ZippyDB", Description: "Object metadata of Facebook store", KeySize: 48, ValueSize: 43},
+	{Name: "Crypto1", Description: "BlockStream's store for Bitcoin explorer", KeySize: 76, ValueSize: 50},
+	{Name: "RTDATA", Description: "IBM's real-time data analytics workloads", KeySize: 24, ValueSize: 10},
 }
 
 // ByName looks a Table 2 workload up by its (case-sensitive) name.
@@ -153,6 +163,9 @@ func NewGenerator(spec Spec, cfg Config) (*Generator, error) {
 	}
 	if cfg.WriteRatio < 0 || cfg.WriteRatio > 1 || cfg.ScanRatio < 0 || cfg.WriteRatio+cfg.ScanRatio > 1 {
 		return nil, fmt.Errorf("workload: bad op mix w=%v s=%v", cfg.WriteRatio, cfg.ScanRatio)
+	}
+	if err := spec.Arrival.Validate(); err != nil {
+		return nil, err
 	}
 	z, err := zipfian.New(cfg.Population, cfg.Theta)
 	if err != nil {
