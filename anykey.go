@@ -23,6 +23,7 @@ package anykey
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"anykey/internal/core"
 	"anykey/internal/device"
@@ -355,7 +356,13 @@ func (o Options) geometry() (nand.Geometry, error) {
 // a queue-depth-1 closed loop — each operation is issued when the previous
 // one completed — backed by an internal host engine. Drivers that need
 // concurrency build their own engine with NewEngine.
+//
+// The facade operations and StatsSnapshot share one mutex, so a concurrent
+// observer (a metrics scraper, a monitoring goroutine) can snapshot the
+// device's statistics while another goroutine operates on it. Stats()
+// still returns the live, lock-free view for single-goroutine callers.
 type Device struct {
+	mu     sync.Mutex // serializes facade operations against StatsSnapshot
 	impl   device.KVSSD
 	eng    *host.Engine // depth-1 engine backing the facade operations
 	opts   Options
@@ -515,6 +522,8 @@ func (d *Device) NewEngine(depth int) (*Engine, error) {
 // never fails — it exists so callers have a lifecycle hook and misuse
 // after shutdown is caught.
 func (d *Device) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.closed = true
 	return nil
 }
@@ -549,6 +558,8 @@ func (d *Device) catchCut(err *error) {
 
 // Put stores a pair and returns its simulated latency.
 func (d *Device) Put(key, value []byte) (lat Duration, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.gate(); err != nil {
 		return 0, err
 	}
@@ -560,6 +571,8 @@ func (d *Device) Put(key, value []byte) (lat Duration, err error) {
 // Get returns the newest value for key and the simulated latency. The
 // returned slice is owned by the device and valid until the next operation.
 func (d *Device) Get(key []byte) (val []byte, lat Duration, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.gate(); err != nil {
 		return nil, 0, err
 	}
@@ -570,6 +583,8 @@ func (d *Device) Get(key []byte) (val []byte, lat Duration, err error) {
 
 // Delete removes key and returns the simulated latency.
 func (d *Device) Delete(key []byte) (lat Duration, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.gate(); err != nil {
 		return 0, err
 	}
@@ -581,6 +596,8 @@ func (d *Device) Delete(key []byte) (lat Duration, err error) {
 // Scan returns up to n pairs with key ≥ start in key order, and the
 // simulated latency of the range query.
 func (d *Device) Scan(start []byte, n int) (pairs []Pair, lat Duration, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.gate(); err != nil {
 		return nil, 0, err
 	}
@@ -591,6 +608,8 @@ func (d *Device) Scan(start []byte, n int) (pairs []Pair, lat Duration, err erro
 
 // Sync makes every acknowledged write durable, like an NVMe FLUSH.
 func (d *Device) Sync() (lat Duration, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.gate(); err != nil {
 		return 0, err
 	}
@@ -608,6 +627,8 @@ func (d *Device) Sync() (lat Duration, err error) {
 // level epochs and orphaned log values; Stats().Recovery reports what the
 // remount found. PinK power-cycling is not modelled.
 func (d *Device) PowerCycle() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.closed {
 		return ErrClosed
 	}
@@ -655,8 +676,60 @@ func (d *Device) PowerCycle() error {
 	return nil
 }
 
-// Stats returns the device's live statistics.
+// Stats returns the device's live statistics. The pointer updates as the
+// simulation advances and is NOT safe to read while another goroutine
+// operates on the device — concurrent observers use StatsSnapshot.
 func (d *Device) Stats() *Stats { return d.impl.Stats() }
+
+// StatsSnapshot is a point-in-time copy of a device's statistics with every
+// lazily-computed field resolved, safe to read while other goroutines
+// operate on the device (the copy is taken under the same lock the
+// operations hold).
+type StatsSnapshot struct {
+	Flash FlashCounters
+
+	TreeCompactions, LogCompactions, ChainedCompactions int64
+	GCRuns, GCRelocations                               int64
+
+	LiveKeys, LiveBytes int64
+
+	DRAMCapacity, DRAMUsed int64
+
+	// Faults is zero when the device runs without a fault plan.
+	Faults FaultCounters
+
+	Recovery RecoveryInfo
+}
+
+// StatsSnapshot copies the device's statistics under the operation lock.
+func (d *Device) StatsSnapshot() StatsSnapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.impl.Stats()
+	out := StatsSnapshot{
+		TreeCompactions:    st.TreeCompactions,
+		LogCompactions:     st.LogCompactions,
+		ChainedCompactions: st.ChainedCompactions,
+		GCRuns:             st.GCRuns,
+		GCRelocations:      st.GCRelocations,
+		LiveKeys:           st.LiveKeys,
+		LiveBytes:          st.LiveBytes,
+		Recovery:           st.Recovery,
+	}
+	if st.Flash != nil {
+		out.Flash = st.Flash()
+	}
+	if st.DRAMCapacity != nil {
+		out.DRAMCapacity = st.DRAMCapacity()
+	}
+	if st.DRAMUsed != nil {
+		out.DRAMUsed = st.DRAMUsed()
+	}
+	if st.Faults != nil {
+		out.Faults = st.Faults()
+	}
+	return out
+}
 
 // Metadata reports every metadata structure's size and placement.
 func (d *Device) Metadata() []MetaStructure { return d.impl.Metadata() }

@@ -3,6 +3,7 @@ package anykey
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"anykey/internal/cluster"
 	"anykey/internal/device"
@@ -126,10 +127,17 @@ func (o *ClusterOptions) Validate() error {
 //
 // Cross-shard time is merged, never propagated, so every result is
 // deterministic and independent of ClusterOptions.Workers.
+//
+// Concurrency: per-key operations (Put/Get/Delete and the open-loop *At
+// forms), per-shard ScanShardAt, Stats, Metadata, Now/ShardNow and Close
+// are safe for concurrent use — each shard carries its own lock, so callers
+// driving disjoint shards (one goroutine per shard, as the network server
+// does) never contend. The Multi* batch calls share routing scratch and
+// must not run concurrently with each other.
 type Cluster struct {
 	c      *cluster.Cluster
 	opts   ClusterOptions
-	closed bool
+	closed atomic.Bool
 }
 
 // OpenCluster builds a cluster of opts.Shards identical devices (modulo the
@@ -172,7 +180,7 @@ func OpenCluster(opts ClusterOptions) (*Cluster, error) {
 
 // gate rejects operations on a closed cluster.
 func (c *Cluster) gate() error {
-	if c.closed {
+	if c.closed.Load() {
 		return ErrClosed
 	}
 	return nil
@@ -189,6 +197,11 @@ func (c *Cluster) ShardFor(key []byte) int { return c.c.ShardFor(key) }
 
 // Now returns the merged cluster clock: the maximum over shard clocks.
 func (c *Cluster) Now() Time { return c.c.Now() }
+
+// ShardNow returns shard s's virtual clock. A wall-clock bridge reads it
+// once per shard to anchor the mapping from real arrival times onto that
+// shard's clock domain.
+func (c *Cluster) ShardNow(s int) Time { return c.c.ShardNow(s) }
 
 // MultiPut stores keys[i] → values[i] for every i, split by shard and
 // completed at the merged batch time. Per-operation errors are in
@@ -274,6 +287,21 @@ func (c *Cluster) DeleteAt(arrival Time, key []byte) (Completion, int, error) {
 	return c.c.DeleteAt(arrival, key)
 }
 
+// ScanShardAt is the open-loop range query against one shard: up to n pairs
+// with key ≥ start, drawn only from the keys routed to that shard. A
+// cluster-wide scan fans one ScanShardAt out per shard and merges the
+// sorted sub-results. The returned pairs are device-owned until the shard's
+// next operation.
+func (c *Cluster) ScanShardAt(shard int, arrival Time, start []byte, n int) (Completion, error) {
+	if err := c.gate(); err != nil {
+		return Completion{}, err
+	}
+	if shard < 0 || shard >= c.c.Shards() {
+		return Completion{}, fmt.Errorf("%w: shard %d of %d", ErrInvalidOptions, shard, c.c.Shards())
+	}
+	return c.c.ScanAt(shard, arrival, start, n)
+}
+
 // Sync flushes every shard (a fleet-wide FLUSH) and returns the merged
 // completion time.
 func (c *Cluster) Sync() (Time, error) {
@@ -295,14 +323,17 @@ func (c *Cluster) Barrier() (Time, error) {
 // ResetBreakdowns clears every shard engine's queue-wait/service histograms,
 // marking the start of a measurement phase (see Stats).
 func (c *Cluster) ResetBreakdowns() {
-	if c.closed {
+	if c.closed.Load() {
 		return
 	}
 	c.c.ResetBreakdowns()
 }
 
 // Stats merges every shard's live statistics into one rollup with a
-// per-shard breakdown.
+// per-shard breakdown. The returned value is a point-in-time snapshot taken
+// under each shard's lock, so Stats is safe to call concurrently with
+// in-flight operations — a metrics scraper never observes a shard
+// mid-operation.
 func (c *Cluster) Stats() ClusterStats { return c.c.CollectStats() }
 
 // Metadata merges the shards' metadata reports, summing same-named
@@ -334,6 +365,6 @@ func (c *Cluster) WriteChromeTrace(w io.Writer) error {
 // is idempotent and never fails (the simulation holds no external
 // resources).
 func (c *Cluster) Close() error {
-	c.closed = true
+	c.closed.Store(true)
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -290,5 +291,120 @@ func TestClusterTraceExport(t *testing.T) {
 	defer plain.Close()
 	if err := plain.WriteChromeTrace(&bytes.Buffer{}); !errors.Is(err, ErrUnsupported) {
 		t.Fatalf("untraced export: %v", err)
+	}
+}
+
+// TestClusterStatsConcurrentWithOps drives every shard from its own
+// goroutine (the network server's access pattern) while scraping Stats and
+// Metadata from observers — the satellite contract that a metrics endpoint
+// can watch a live cluster. Run under -race this pins the snapshot-under-
+// lock guarantee.
+func TestClusterStatsConcurrentWithOps(t *testing.T) {
+	c, err := OpenCluster(smallClusterOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	done := make(chan struct{})
+	var workers sync.WaitGroup
+	for g := 0; g < c.Shards(); g++ {
+		workers.Add(1)
+		go func(g int) {
+			defer workers.Done()
+			// Each goroutine owns the keys that route to "its" shard by
+			// filtering on ShardFor, so shard engines see one driver each.
+			var arrival Time
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				key := []byte(fmt.Sprintf("conc-%d-%06d", g, i))
+				if c.ShardFor(key) != g {
+					continue
+				}
+				arrival = arrival.Add(Duration(1000))
+				if _, _, err := c.PutAt(arrival, key, []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, err := c.GetAt(arrival, key); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	var scrapers sync.WaitGroup
+	for s := 0; s < 3; s++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for i := 0; i < 50; i++ {
+				st := c.Stats()
+				if st.Shards != 4 || len(st.PerShard) != 4 {
+					t.Errorf("bad snapshot: %+v", st)
+					return
+				}
+				var perShard int64
+				for _, ss := range st.PerShard {
+					perShard += ss.Ops
+				}
+				if perShard != st.Ops {
+					t.Errorf("rollup mismatch: %d != %d", perShard, st.Ops)
+					return
+				}
+				_ = c.Metadata()
+				_ = c.Now()
+			}
+		}()
+	}
+	scrapers.Wait()
+	close(done)
+	workers.Wait()
+	if c.Stats().Ops == 0 {
+		t.Fatal("no operations recorded")
+	}
+}
+
+// TestDeviceStatsSnapshotConcurrent reads StatsSnapshot while another
+// goroutine writes — the single-device half of the same contract.
+func TestDeviceStatsSnapshotConcurrent(t *testing.T) {
+	dev, err := Open(Options{CapacityMB: 16, Channels: 4, ChipsPerChannel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			key := []byte(fmt.Sprintf("snap-%06d", i))
+			if _, err := dev.Put(key, bytes.Repeat([]byte("x"), 64)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for running := true; running; {
+		select {
+		case <-done:
+			running = false
+		default:
+		}
+		if last := dev.StatsSnapshot(); last.LiveBytes < 0 || last.DRAMCapacity <= 0 {
+			t.Fatalf("implausible snapshot: %+v", last)
+		}
+	}
+	wg.Wait()
+	if dev.Now() == 0 {
+		t.Fatal("writer made no progress")
 	}
 }

@@ -8,6 +8,7 @@
 //	anykeycli -design anykey -fault-read-err 0.01 -cut-at-op 5000
 //	anykeycli -design anykey+ -crashsweep -trials 8
 //	anykeycli -shards 4 -router consistent     # sharded cluster shell
+//	anykeycli net -addr 127.0.0.1:6380         # RESP client for anykeyserver (see net.go)
 //
 // Commands:
 //
@@ -68,6 +69,12 @@ var designs = map[string]anykey.Design{
 }
 
 func main() {
+	// `anykeycli net …` is a self-contained RESP client (see net.go); it
+	// has its own flag set, so dispatch before flag.Parse touches os.Args.
+	if len(os.Args) > 1 && os.Args[1] == "net" {
+		os.Exit(runNet(os.Args[2:], os.Stdin, os.Stdout, os.Stderr))
+	}
+
 	var (
 		design   = flag.String("design", "anykey+", "pink | anykey | anykey+ | anykey-")
 		capacity = flag.Int("capacity", 64, "device capacity in MiB")

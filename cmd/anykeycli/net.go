@@ -1,0 +1,277 @@
+// net.go implements `anykeycli net`: a minimal RESP client for poking a
+// running anykeyserver by hand and for driving it from CI.
+//
+// Usage:
+//
+//	anykeycli net [flags]                  interactive REPL
+//	anykeycli net [flags] SET key value    one-shot command, prints the reply
+//	anykeycli net [flags] -bench           concurrent mixed workload
+//
+// The bench mode opens -conns connections, each issuing -ops mixed
+// SET/GET/MGET commands -pipeline deep, verifies every read against a
+// per-connection model, and reports ok/busy/timeout tallies. It exits
+// nonzero on transport errors or verification failures, which makes it the
+// CI smoke driver for the server.
+package main
+
+import (
+	"bufio"
+	"flag"
+	gofmt "fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"anykey/internal/server"
+)
+
+func runNet(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("anykeycli net", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:6380", "anykeyserver address")
+		timeout  = fs.Duration("timeout", 5*time.Second, "dial and per-command deadline")
+		bench    = fs.Bool("bench", false, "run the concurrent mixed workload instead of a REPL")
+		conns    = fs.Int("conns", 16, "bench: concurrent connections")
+		ops      = fs.Int("ops", 200, "bench: commands per connection")
+		pipeline = fs.Int("pipeline", 1, "bench: commands in flight per connection")
+		valSize  = fs.Int("value-size", 100, "bench: value payload bytes")
+		seed     = fs.Int64("seed", 1, "bench: workload seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *bench {
+		return runNetBench(*addr, *timeout, *conns, *ops, *pipeline, *valSize, *seed, stdout, stderr)
+	}
+	if fs.NArg() > 0 {
+		return runNetOnce(*addr, *timeout, fs.Args(), stdout, stderr)
+	}
+	return runNetRepl(*addr, *timeout, stdin, stdout, stderr)
+}
+
+func runNetOnce(addr string, timeout time.Duration, args []string, stdout, stderr io.Writer) int {
+	c, err := server.Dial(addr, timeout)
+	if err != nil {
+		gofmt.Fprintln(stderr, "anykeycli net:", err)
+		return 1
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(timeout))
+	rp, err := c.Do(args...)
+	if err != nil {
+		gofmt.Fprintln(stderr, "anykeycli net:", err)
+		return 1
+	}
+	gofmt.Fprintln(stdout, rp.Text())
+	if rp.Kind == '-' {
+		return 1
+	}
+	return 0
+}
+
+func runNetRepl(addr string, timeout time.Duration, stdin io.Reader, stdout, stderr io.Writer) int {
+	c, err := server.Dial(addr, timeout)
+	if err != nil {
+		gofmt.Fprintln(stderr, "anykeycli net:", err)
+		return 1
+	}
+	defer c.Close()
+	gofmt.Fprintf(stdout, "connected to %s; RESP commands, 'quit' to exit\n", addr)
+	sc := bufio.NewScanner(stdin)
+	for {
+		gofmt.Fprint(stdout, "net> ")
+		if !sc.Scan() {
+			return 0
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if strings.EqualFold(fields[0], "quit") || strings.EqualFold(fields[0], "exit") {
+			return 0
+		}
+		c.SetDeadline(time.Now().Add(timeout))
+		rp, err := c.Do(fields...)
+		if err != nil {
+			gofmt.Fprintln(stderr, "anykeycli net:", err)
+			return 1
+		}
+		gofmt.Fprintln(stdout, rp.Text())
+	}
+}
+
+// benchTally aggregates per-connection outcomes.
+type benchTally struct {
+	ok, busy, timeout, errs, badReads int64
+}
+
+func (t *benchTally) add(o benchTally) {
+	t.ok += o.ok
+	t.busy += o.busy
+	t.timeout += o.timeout
+	t.errs += o.errs
+	t.badReads += o.badReads
+}
+
+func runNetBench(addr string, timeout time.Duration, conns, ops, pipeline, valSize int,
+	seed int64, stdout, stderr io.Writer) int {
+	if conns < 1 || ops < 1 || pipeline < 1 {
+		gofmt.Fprintln(stderr, "anykeycli net: -conns, -ops and -pipeline must be positive")
+		return 2
+	}
+	var (
+		mu    sync.Mutex
+		total benchTally
+		wg    sync.WaitGroup
+	)
+	start := time.Now()
+	failed := make(chan error, conns)
+	for g := 0; g < conns; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tally, err := benchConn(addr, timeout, g, ops, pipeline, valSize, seed)
+			mu.Lock()
+			total.add(tally)
+			mu.Unlock()
+			if err != nil {
+				failed <- gofmt.Errorf("conn %d: %w", g, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(failed)
+	wall := time.Since(start)
+
+	gofmt.Fprintf(stdout, "net bench: %d conns x %d ops, pipeline %d against %s\n",
+		conns, ops, pipeline, addr)
+	gofmt.Fprintf(stdout, "  ok %d  busy %d  timeout %d  errors %d  bad-reads %d\n",
+		total.ok, total.busy, total.timeout, total.errs, total.badReads)
+	gofmt.Fprintf(stdout, "  wall %v (%.0f ops/s)\n",
+		wall.Round(time.Millisecond), float64(total.ok)/wall.Seconds())
+
+	code := 0
+	for err := range failed {
+		gofmt.Fprintln(stderr, "anykeycli net:", err)
+		code = 1
+	}
+	if total.badReads > 0 {
+		gofmt.Fprintln(stderr, "anykeycli net: read verification failed")
+		code = 1
+	}
+	if total.ok == 0 {
+		gofmt.Fprintln(stderr, "anykeycli net: no command succeeded")
+		code = 1
+	}
+	return code
+}
+
+// benchConn drives one connection: a pipelined stream of mixed commands
+// verified against a local model of this connection's keyspace.
+func benchConn(addr string, timeout time.Duration, id, ops, pipeline, valSize int,
+	seed int64) (benchTally, error) {
+	var tally benchTally
+	c, err := server.Dial(addr, timeout)
+	if err != nil {
+		return tally, err
+	}
+	defer c.Close()
+
+	rng := rand.New(rand.NewSource(seed + int64(id)))
+	model := map[string]string{}
+	value := strings.Repeat("v", valSize)
+
+	type expect struct {
+		op   string
+		keys []string
+	}
+	var window []expect
+
+	flushWindow := func() error {
+		c.SetDeadline(time.Now().Add(timeout))
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		for _, ex := range window {
+			rp, err := c.Receive()
+			if err != nil {
+				return err
+			}
+			switch {
+			case rp.Kind == '-' && strings.HasPrefix(rp.Str, "BUSY"):
+				tally.busy++
+				continue
+			case rp.Kind == '-' && strings.HasPrefix(rp.Str, "TIMEOUT"):
+				tally.timeout++
+				continue
+			case rp.Kind == '-':
+				tally.errs++
+				continue
+			}
+			tally.ok++
+			switch ex.op {
+			case "SET":
+				model[ex.keys[0]] = value
+			case "GET":
+				// Only present keys are asserted: a SET that answered
+				// -TIMEOUT was still applied, so an "absent" key may
+				// legitimately read back.
+				want, present := model[ex.keys[0]]
+				if present && string(rp.Bulk) != want {
+					tally.badReads++
+				}
+			case "MGET":
+				if rp.Kind != '*' || len(rp.Array) != len(ex.keys) {
+					tally.badReads++
+					continue
+				}
+				for i, k := range ex.keys {
+					want, present := model[k]
+					el := rp.Array[i]
+					if present && !el.Null && string(el.Bulk) != want {
+						tally.badReads++
+					}
+				}
+			}
+		}
+		window = window[:0]
+		return nil
+	}
+
+	key := func() string { return gofmt.Sprintf("bench:%02d:%04d", id, rng.Intn(200)) }
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // 50% SET
+			k := key()
+			if err := c.Send("SET", k, value); err != nil {
+				return tally, err
+			}
+			window = append(window, expect{op: "SET", keys: []string{k}})
+		case 5, 6, 7: // 30% GET
+			k := key()
+			if err := c.Send("GET", k); err != nil {
+				return tally, err
+			}
+			window = append(window, expect{op: "GET", keys: []string{k}})
+		default: // 20% MGET of three keys
+			ks := []string{key(), key(), key()}
+			if err := c.Send("MGET", ks[0], ks[1], ks[2]); err != nil {
+				return tally, err
+			}
+			window = append(window, expect{op: "MGET", keys: ks})
+		}
+		if len(window) >= pipeline {
+			if err := flushWindow(); err != nil {
+				return tally, err
+			}
+		}
+	}
+	if err := flushWindow(); err != nil {
+		return tally, err
+	}
+	return tally, nil
+}

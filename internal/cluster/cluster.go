@@ -28,6 +28,19 @@
 // batch resolve to the later one), submit every sub-batch closed-loop through
 // the shard's engine, and report per-operation completions plus the merged
 // batch span.
+//
+// # Concurrency
+//
+// Every engine- or device-touching path takes its shard's mutex, so two
+// rules fall out. First, concurrent callers that drive DISJOINT shards (the
+// network server runs one goroutine per shard) never contend and never
+// perturb each other's virtual clocks. Second, CollectStats snapshots each
+// shard under that same mutex, so a metrics scraper may run concurrently
+// with in-flight operations and always sees a consistent per-shard snapshot
+// (it cannot observe a device mid-operation). The locks serialize access
+// without reordering it — single-threaded callers see bit-identical results
+// with or without a concurrent observer. Multi* batches share routing
+// scratch and remain single-caller-at-a-time.
 package cluster
 
 import (
@@ -98,8 +111,12 @@ type Config struct {
 	Tracers []*trace.Tracer
 }
 
-// shard is one member device with its private engine and clock domain.
+// shard is one member device with its private engine and clock domain. mu
+// guards the engine, the device beneath it and the ops tally: operations
+// hold it while they run, and stats collection holds it while it snapshots,
+// so an observer never reads a device mid-operation.
 type shard struct {
+	mu  sync.Mutex
 	dev device.KVSSD
 	eng *host.Engine
 	tr  *trace.Tracer
@@ -246,18 +263,32 @@ func (c *Cluster) ShardFor(key []byte) int {
 func (c *Cluster) Now() sim.Time {
 	var m sim.Time
 	for _, sh := range c.shards {
-		if t := sh.eng.Now(); t > m {
+		sh.mu.Lock()
+		t := sh.eng.Now()
+		sh.mu.Unlock()
+		if t > m {
 			m = t
 		}
 	}
 	return m
 }
 
+// ShardNow returns shard s's clock — the epoch a wall-clock bridge maps
+// real arrival times onto.
+func (c *Cluster) ShardNow(s int) sim.Time {
+	sh := c.shards[s]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.eng.Now()
+}
+
 // Ops returns the total requests completed across all shards.
 func (c *Cluster) Ops() int64 {
 	var n int64
 	for _, sh := range c.shards {
+		sh.mu.Lock()
 		n += sh.ops
+		sh.mu.Unlock()
 	}
 	return n
 }
@@ -268,7 +299,10 @@ func (c *Cluster) Ops() int64 {
 func (c *Cluster) Barrier() sim.Time {
 	var m sim.Time
 	for _, sh := range c.shards {
-		if t := sh.eng.Barrier(); t > m {
+		sh.mu.Lock()
+		t := sh.eng.Barrier()
+		sh.mu.Unlock()
+		if t > m {
 			m = t
 		}
 	}
@@ -279,7 +313,9 @@ func (c *Cluster) Barrier() sim.Time {
 // (the harness calls this at its warm-up/measurement barrier).
 func (c *Cluster) ResetBreakdowns() {
 	for _, sh := range c.shards {
+		sh.mu.Lock()
 		sh.eng.ResetBreakdown()
+		sh.mu.Unlock()
 	}
 }
 
@@ -355,12 +391,18 @@ func (c *Cluster) runBatch(n int, keyAt func(int) []byte, exec func(sh *shard, i
 		for _, i := range c.byShard[s] {
 			res.Shards[i] = s
 		}
-		if now := c.shards[s].eng.Now(); now > res.Start {
+		sh := c.shards[s]
+		sh.mu.Lock()
+		now := sh.eng.Now()
+		sh.mu.Unlock()
+		if now > res.Start {
 			res.Start = now
 		}
 	}
 	runShard := func(s int) {
 		sh := c.shards[s]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
 		for _, i := range c.byShard[s] {
 			res.Completions[i], res.Errs[i] = exec(sh, i)
 			sh.ops++
@@ -433,6 +475,8 @@ func (c *Cluster) MultiDelete(keys [][]byte) (*BatchResult, error) {
 // Put routes one pair to its shard.
 func (c *Cluster) Put(key, value []byte) (host.Completion, error) {
 	sh := c.shards[c.ShardFor(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	comp, err := sh.eng.Put(key, value)
 	sh.ops++
 	return comp, err
@@ -442,6 +486,8 @@ func (c *Cluster) Put(key, value []byte) (host.Completion, error) {
 // the shard's next operation — single-key reads skip the batch copy.
 func (c *Cluster) Get(key []byte) (host.Completion, error) {
 	sh := c.shards[c.ShardFor(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	comp, err := sh.eng.Get(key)
 	sh.ops++
 	return comp, err
@@ -450,6 +496,8 @@ func (c *Cluster) Get(key []byte) (host.Completion, error) {
 // Delete routes one delete to its shard.
 func (c *Cluster) Delete(key []byte) (host.Completion, error) {
 	sh := c.shards[c.ShardFor(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	comp, err := sh.eng.Delete(key)
 	sh.ops++
 	return comp, err
@@ -462,6 +510,8 @@ func (c *Cluster) Delete(key []byte) (host.Completion, error) {
 func (c *Cluster) PutAt(arrival sim.Time, key, value []byte) (host.Completion, int, error) {
 	s := c.ShardFor(key)
 	sh := c.shards[s]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	comp, err := sh.eng.PutAt(arrival, key, value)
 	sh.ops++
 	return comp, s, err
@@ -472,6 +522,8 @@ func (c *Cluster) PutAt(arrival sim.Time, key, value []byte) (host.Completion, i
 func (c *Cluster) GetAt(arrival sim.Time, key []byte) (host.Completion, int, error) {
 	s := c.ShardFor(key)
 	sh := c.shards[s]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	comp, err := sh.eng.GetAt(arrival, key)
 	sh.ops++
 	return comp, s, err
@@ -481,9 +533,24 @@ func (c *Cluster) GetAt(arrival sim.Time, key []byte) (host.Completion, int, err
 func (c *Cluster) DeleteAt(arrival sim.Time, key []byte) (host.Completion, int, error) {
 	s := c.ShardFor(key)
 	sh := c.shards[s]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	comp, err := sh.eng.DeleteAt(arrival, key)
 	sh.ops++
 	return comp, s, err
+}
+
+// ScanAt is the open-loop range query against ONE shard: scans see only the
+// keys routed to that shard, so a cluster-wide scan fans one ScanAt out to
+// every shard and merges the sorted sub-results (the network server's SCAN
+// does exactly this from its per-shard loops).
+func (c *Cluster) ScanAt(s int, arrival sim.Time, start []byte, n int) (host.Completion, error) {
+	sh := c.shards[s]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	comp, err := sh.eng.ScanAt(arrival, start, n)
+	sh.ops++
+	return comp, err
 }
 
 // Sync flushes every shard (an NVMe FLUSH fanned out cluster-wide) and
@@ -492,8 +559,10 @@ func (c *Cluster) Sync() (sim.Time, error) {
 	var done sim.Time
 	var firstErr error
 	for i, sh := range c.shards {
+		sh.mu.Lock()
 		comp, err := sh.eng.Sync()
 		sh.ops++
+		sh.mu.Unlock()
 		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("cluster: shard %d sync: %w", i, err)
 		}
@@ -512,6 +581,15 @@ type ShardStats struct {
 	LiveKeys  int64
 	LiveBytes int64
 	Flash     nand.Counters
+
+	// Background-machinery activity, per shard — the metrics endpoint
+	// exposes these as per-shard series so a scrape can watch one shard's
+	// GC debt grow while its neighbours idle.
+	TreeCompactions    int64
+	LogCompactions     int64
+	ChainedCompactions int64
+	GCRuns             int64
+	GCRelocations      int64
 }
 
 // Stats is the merged statistics view of a cluster: fleet-wide rollups plus
@@ -536,7 +614,10 @@ type Stats struct {
 	PerShard []ShardStats
 }
 
-// CollectStats merges every shard's live statistics into one rollup.
+// CollectStats merges every shard's live statistics into one rollup. Each
+// shard is snapshotted under its mutex, so CollectStats is safe to call
+// concurrently with in-flight operations: the scraper observes every shard
+// between operations, never mid-flight.
 func (c *Cluster) CollectStats() Stats {
 	out := Stats{
 		Shards:       len(c.shards),
@@ -544,36 +625,43 @@ func (c *Cluster) CollectStats() Stats {
 		PerShard:     make([]ShardStats, 0, len(c.shards)),
 	}
 	for i, sh := range c.shards {
+		sh.mu.Lock()
 		st := sh.dev.Stats()
 		var fc nand.Counters
 		if st.Flash != nil {
 			fc = st.Flash()
 		}
 		ss := ShardStats{
-			Shard:     i,
-			Ops:       sh.ops,
-			Now:       sh.eng.Now(),
-			LiveKeys:  st.LiveKeys,
-			LiveBytes: st.LiveBytes,
-			Flash:     fc,
+			Shard:              i,
+			Ops:                sh.ops,
+			Now:                sh.eng.Now(),
+			LiveKeys:           st.LiveKeys,
+			LiveBytes:          st.LiveBytes,
+			Flash:              fc,
+			TreeCompactions:    st.TreeCompactions,
+			LogCompactions:     st.LogCompactions,
+			ChainedCompactions: st.ChainedCompactions,
+			GCRuns:             st.GCRuns,
+			GCRelocations:      st.GCRelocations,
 		}
-		out.PerShard = append(out.PerShard, ss)
-		out.Ops += sh.ops
-		if ss.Now > out.Now {
-			out.Now = ss.Now
-		}
-		out.LiveKeys += st.LiveKeys
-		out.LiveBytes += st.LiveBytes
-		out.Flash = out.Flash.Add(fc)
-		out.TreeCompactions += st.TreeCompactions
-		out.LogCompactions += st.LogCompactions
-		out.ChainedCompactions += st.ChainedCompactions
-		out.GCRuns += st.GCRuns
-		out.GCRelocations += st.GCRelocations
 		if st.ReadAccesses != nil {
 			out.ReadAccesses.Merge(st.ReadAccesses)
 		}
 		qw, sv := sh.eng.Breakdown()
+		sh.mu.Unlock()
+		out.PerShard = append(out.PerShard, ss)
+		out.Ops += ss.Ops
+		if ss.Now > out.Now {
+			out.Now = ss.Now
+		}
+		out.LiveKeys += ss.LiveKeys
+		out.LiveBytes += ss.LiveBytes
+		out.Flash = out.Flash.Add(fc)
+		out.TreeCompactions += ss.TreeCompactions
+		out.LogCompactions += ss.LogCompactions
+		out.ChainedCompactions += ss.ChainedCompactions
+		out.GCRuns += ss.GCRuns
+		out.GCRelocations += ss.GCRelocations
 		out.QueueWait.Merge(&qw)
 		out.Service.Merge(&sv)
 	}
@@ -587,7 +675,10 @@ func (c *Cluster) Metadata() []device.MetaStructure {
 	var out []device.MetaStructure
 	index := map[string]slot{}
 	for _, sh := range c.shards {
-		for _, m := range sh.dev.Metadata() {
+		sh.mu.Lock()
+		meta := sh.dev.Metadata()
+		sh.mu.Unlock()
+		for _, m := range meta {
 			key := m.Name
 			if !m.InDRAM {
 				key += "\x00flash"

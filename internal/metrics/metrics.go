@@ -1,0 +1,419 @@
+// Package metrics is a dependency-free implementation of the Prometheus
+// text exposition format (version 0.0.4): counters, gauges and fixed-bucket
+// histograms, optionally labelled, collected into a Registry that renders
+// itself deterministically over HTTP. It exists so the network server can
+// expose live per-shard observability without pulling the Prometheus client
+// library into a repo that is otherwise stdlib-only.
+//
+// Metric updates are lock-free (atomics); families and label children are
+// created under the registry lock and never removed, so a scrape sees a
+// consistent set. Exposition sorts families by name and children by label
+// values, so two scrapes of the same state render byte-identically — the
+// same golden-output discipline the simulator's reports follow.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is the Prometheus metric type of a family.
+type Kind string
+
+// The exposition TYPE strings.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Registry holds metric families and renders them in the text exposition
+// format.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	// beforeScrape hooks run (in registration order) at the top of every
+	// WriteText call, letting callers refresh scraped gauges from sources
+	// that are cheaper to snapshot than to instrument (e.g. cluster stats).
+	beforeScrape []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named metric with its labelled children.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string // label names shared by every child
+	buckets []float64 // histogram upper bounds (histograms only)
+
+	mu       sync.Mutex
+	children map[string]child // key: joined label values
+}
+
+type child interface {
+	write(w io.Writer, fam *family, labelValues []string)
+}
+
+// OnScrape registers fn to run at the start of every WriteText call.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.beforeScrape = append(r.beforeScrape, fn)
+}
+
+// register creates (or fetches) a family, enforcing kind/label consistency.
+func (r *Registry) register(name, help string, kind Kind, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("metrics: %s re-registered with different schema", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels: append([]string(nil), labels...), buckets: buckets,
+		children: make(map[string]child),
+	}
+	r.families[name] = f
+	return f
+}
+
+func (f *family) child(values []string, make func() child) child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := make()
+	f.children[key] = c
+	return c
+}
+
+// Counter is a monotonically increasing value. Set exists for counters that
+// mirror an externally accumulated total (e.g. simulator statistics scraped
+// on demand); ordinary instrumentation should only Add.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta (must be non-negative).
+func (c *Counter) Add(delta float64) { c.addBits(delta) }
+
+// Set overwrites the counter with an externally tracked total.
+func (c *Counter) Set(total float64) { c.v.Store(math.Float64bits(total)) }
+
+// Value returns the current value.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.v.Load()) }
+
+func (c *Counter) addBits(delta float64) {
+	for {
+		old := c.v.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.v.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (c *Counter) write(w io.Writer, fam *family, lv []string) {
+	fmt.Fprintf(w, "%s%s %s\n", fam.name, renderLabels(fam.labels, lv), formatFloat(c.Value()))
+}
+
+// Gauge is a value that can go up and down, or be computed at scrape time.
+type Gauge struct {
+	v  atomic.Uint64
+	fn func() float64 // when non-nil, scrape calls it instead of reading v
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.v.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.v.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (calling the scrape function if set).
+func (g *Gauge) Value() float64 {
+	if g.fn != nil {
+		return g.fn()
+	}
+	return math.Float64frombits(g.v.Load())
+}
+
+func (g *Gauge) write(w io.Writer, fam *family, lv []string) {
+	fmt.Fprintf(w, "%s%s %s\n", fam.name, renderLabels(fam.labels, lv), formatFloat(g.Value()))
+}
+
+// Histogram is a fixed-bucket histogram (cumulative le buckets, sum, count).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // one per bound, non-cumulative; +Inf derived
+	inf    atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	total  atomic.Uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	if idx < len(h.bounds) {
+		h.counts[idx].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+func (h *Histogram) write(w io.Writer, fam *family, lv []string) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name,
+			renderLabels(append(fam.labels, "le"), append(append([]string(nil), lv...), formatFloat(b))), cum)
+	}
+	cum += h.inf.Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name,
+		renderLabels(append(fam.labels, "le"), append(append([]string(nil), lv...), "+Inf")), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, renderLabels(fam.labels, lv), formatFloat(math.Float64frombits(h.sum.Load())))
+	fmt.Fprintf(w, "%s_count%s %d\n", fam.name, renderLabels(fam.labels, lv), h.total.Load())
+}
+
+// NewCounter registers an unlabelled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	f := r.register(name, help, KindCounter, nil, nil)
+	return f.child(nil, func() child { return &Counter{} }).(*Counter)
+}
+
+// NewGauge registers an unlabelled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	f := r.register(name, help, KindGauge, nil, nil)
+	return f.child(nil, func() child { return &Gauge{} }).(*Gauge)
+}
+
+// NewGaugeFunc registers a gauge computed at scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, KindGauge, nil, nil)
+	f.child(nil, func() child { return &Gauge{fn: fn} })
+}
+
+// NewHistogram registers an unlabelled histogram with the given ascending
+// upper bounds.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	f := r.register(name, help, KindHistogram, nil, bounds)
+	return f.child(nil, func() child { return newHistogram(bounds) }).(*Histogram)
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("metrics: histogram bounds must be ascending")
+	}
+	return &Histogram{bounds: append([]float64(nil), bounds...), counts: make([]atomic.Uint64, len(bounds))}
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// NewCounterVec registers a labelled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, KindCounter, labels, nil)}
+}
+
+// With returns (creating on first use) the child for the label values.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.child(values, func() child { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// NewGaugeVec registers a labelled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, KindGauge, labels, nil)}
+}
+
+// With returns (creating on first use) the child for the label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.child(values, func() child { return &Gauge{} }).(*Gauge)
+}
+
+// WithFunc registers a scrape-time gauge for the label values.
+func (v *GaugeVec) WithFunc(fn func() float64, values ...string) {
+	v.f.child(values, func() child { return &Gauge{fn: fn} })
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct {
+	f      *family
+	bounds []float64
+}
+
+// NewHistogramVec registers a labelled histogram family.
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, KindHistogram, labels, bounds), bounds}
+}
+
+// With returns (creating on first use) the child for the label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.child(values, func() child { return newHistogram(v.bounds) }).(*Histogram)
+}
+
+// ExpBuckets returns n ascending bounds growing geometrically from start by
+// factor — the usual latency-bucket shape.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("metrics: ExpBuckets wants start > 0, factor > 1, n ≥ 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// WriteText renders every family in the exposition format, deterministically
+// ordered (families by name, children by label values).
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.beforeScrape...)
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if err := f.writeText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeText(w io.Writer) error {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	kids := make(map[string]child, len(f.children))
+	for k, c := range f.children {
+		kids[k] = c
+	}
+	f.mu.Unlock()
+	if len(keys) == 0 {
+		return nil
+	}
+	sort.Strings(keys)
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		var lv []string
+		if k != "" || len(f.labels) > 0 {
+			lv = strings.Split(k, "\xff")
+			if len(f.labels) == 0 {
+				lv = nil
+			}
+		}
+		kids[k].write(w, f, lv)
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving the registry in the text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Errors past the header are connection failures; nothing to do.
+		_ = r.WriteText(w)
+	})
+}
+
+// renderLabels renders {k="v",...}, empty string when there are no labels.
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus expects: integral values
+// without an exponent, +Inf spelled exactly so.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("requests_total", "Total requests.")
+	c.Inc()
+	c.Add(2)
+	g := r.NewGauge("inflight", "In-flight requests.")
+	g.Set(5)
+	g.Add(-2)
+	r.NewGaugeFunc("answer", "Scrape-time gauge.", func() float64 { return 42 })
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP answer Scrape-time gauge.\n" +
+		"# TYPE answer gauge\n" +
+		"answer 42\n" +
+		"# HELP inflight In-flight requests.\n" +
+		"# TYPE inflight gauge\n" +
+		"inflight 3\n" +
+		"# HELP requests_total Total requests.\n" +
+		"# TYPE requests_total counter\n" +
+		"requests_total 3\n"
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\n got %q\nwant %q", sb.String(), want)
+	}
+}
+
+func TestLabelledFamiliesSortDeterministically(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("ops_total", "Ops by shard and kind.", "shard", "op")
+	v.With("1", "get").Add(4)
+	v.With("0", "set").Add(2)
+	v.With("0", "get").Add(1)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP ops_total Ops by shard and kind.\n" +
+		"# TYPE ops_total counter\n" +
+		`ops_total{shard="0",op="get"} 1` + "\n" +
+		`ops_total{shard="0",op="set"} 2` + "\n" +
+		`ops_total{shard="1",op="get"} 4` + "\n"
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\n got %q\nwant %q", sb.String(), want)
+	}
+	// The same child is returned for the same label values.
+	if got := v.With("1", "get").Value(); got != 4 {
+		t.Fatalf("child not cached: %v", got)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("latency_seconds", "Latency.", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 99} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.001"} 1`,
+		`latency_seconds_bucket{le="0.01"} 3`,
+		`latency_seconds_bucket{le="0.1"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		`latency_seconds_count 5`,
+	} {
+		if !strings.Contains(sb.String(), want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, sb.String())
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 4, 5)
+	want := []float64{1e-6, 4e-6, 1.6e-5, 6.4e-5, 2.56e-4}
+	for i := range want {
+		if diff := b[i] - want[i]; diff > 1e-18 || diff < -1e-18 {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewGaugeVec("g", "", "name")
+	v.With(`a"b\c` + "\n").Set(1)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `g{name="a\"b\\c\n"} 1` + "\n"
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("got %q, want substring %q", sb.String(), want)
+	}
+}
+
+func TestConcurrentUpdatesAndScrapes(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounterVec("ops_total", "", "shard")
+	h := r.NewHistogramVec("lat", "", ExpBuckets(1e-6, 2, 10), "shard")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sh := string(rune('0' + i%4))
+			for j := 0; j < 1000; j++ {
+				c.With(sh).Inc()
+				h.With(sh).Observe(float64(j) * 1e-6)
+			}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sb strings.Builder
+			_ = r.WriteText(&sb)
+		}()
+	}
+	wg.Wait()
+	var total float64
+	for i := 0; i < 4; i++ {
+		total += c.With(string(rune('0' + i))).Value()
+	}
+	if total != 8000 {
+		t.Fatalf("lost updates: total = %v, want 8000", total)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1\n") {
+		t.Fatalf("body %q", rec.Body.String())
+	}
+}
+
+func TestOnScrapeHookRuns(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("refreshed", "")
+	n := 0
+	r.OnScrape(func() { n++; g.Set(float64(n)) })
+	var sb strings.Builder
+	_ = r.WriteText(&sb)
+	_ = r.WriteText(&sb)
+	if n != 2 || g.Value() != 2 {
+		t.Fatalf("hook ran %d times, gauge %v", n, g.Value())
+	}
+}

@@ -1,0 +1,246 @@
+package server
+
+import (
+	"errors"
+	"strconv"
+	"sync"
+	"time"
+
+	"anykey"
+	"anykey/internal/trace"
+)
+
+// opKind enumerates the storage operations a bridge request can carry.
+type opKind uint8
+
+const (
+	opGet opKind = iota
+	opSet
+	opDel
+	opScan
+	numOps
+)
+
+var opNames = [numOps]string{"get", "set", "del", "scan"}
+
+// request is one unit of work routed to a shard loop. Wall is the real
+// instant the connection handler accepted the command — the bridge maps it
+// onto the owning shard's virtual clock.
+type request struct {
+	op    opKind
+	key   []byte
+	value []byte
+	start []byte // scan: first key
+	n     int    // scan: max pairs
+	wall  time.Time
+	resp  chan response
+
+	// hold, when non-nil, parks the shard loop until it is closed — a test
+	// hook for exercising queue saturation deterministically. The loop
+	// closes held (when non-nil) once it is parked, so a test can wait for
+	// the queue slot to actually free before filling the queue.
+	hold chan struct{}
+	held chan struct{}
+}
+
+// response is a shard loop's answer. Values and pairs are copies owned by
+// the receiver — the shard device's buffers never cross the channel.
+type response struct {
+	comp     anykey.Completion
+	value    []byte
+	pairs    []anykey.Pair
+	found    bool // Get: key present
+	err      error
+	timedOut bool // virtual latency exceeded the configured timeout
+}
+
+// Bridge maps wall-clock request arrivals onto per-shard virtual clock
+// domains. One goroutine per shard owns that shard's event loop: it is the
+// only goroutine that submits operations to the shard and the only one that
+// touches the shard's tracer, preserving the engine's single-caller
+// discipline while real clients connect concurrently.
+//
+// The mapping is linear per shard: at bridge start the wall epoch W₀ and
+// each shard's virtual clock V₀[s] are read once; a request arriving at
+// wall time w is submitted open-loop at virtual arrival
+//
+//	V₀[s] + scale·(w − W₀)
+//
+// so wall-clock gaps between requests become virtual idle gaps, wall-clock
+// bursts become virtual queueing, and scale compresses or stretches real
+// time into simulated time. The engine's non-decreasing-issue watermark
+// absorbs requests whose mapped arrival lands before a previously issued
+// one.
+//
+// Backpressure is a bounded per-shard queue: submit is non-blocking and the
+// caller sheds with a RESP -BUSY when the loop is saturated. Timeouts are
+// virtual: a completion whose simulated latency exceeds the configured
+// budget reports timedOut and the connection answers -TIMEOUT, mirroring
+// the open-loop harness's timeout accounting.
+type Bridge struct {
+	cl         *anykey.Cluster
+	scale      float64
+	timeout    anykey.Duration // virtual latency budget; 0 = unlimited
+	blameEvery int             // refresh blame gauges every N ops per shard
+
+	wallEpoch time.Time
+	loops     []*shardLoop
+	met       *serverMetrics
+	wg        sync.WaitGroup
+}
+
+type shardLoop struct {
+	shard int
+	reqs  chan *request
+}
+
+// newBridge starts one event loop per shard. inflight bounds each shard's
+// queued-but-unanswered requests.
+func newBridge(cl *anykey.Cluster, scale float64, timeout anykey.Duration,
+	inflight, blameEvery int, met *serverMetrics) *Bridge {
+	b := &Bridge{
+		cl:         cl,
+		scale:      scale,
+		timeout:    timeout,
+		blameEvery: blameEvery,
+		wallEpoch:  time.Now(),
+		met:        met,
+	}
+	for s := 0; s < cl.Shards(); s++ {
+		l := &shardLoop{shard: s, reqs: make(chan *request, inflight)}
+		b.loops = append(b.loops, l)
+		met.inflight.WithFunc(func() float64 { return float64(len(l.reqs)) },
+			strconv.Itoa(s))
+		b.wg.Add(1)
+		go b.run(l)
+	}
+	return b
+}
+
+// virtualArrival maps a wall instant onto shard s's clock domain.
+func (b *Bridge) virtualArrival(virtEpoch anykey.Time, wall time.Time) anykey.Time {
+	elapsed := float64(wall.Sub(b.wallEpoch).Nanoseconds())
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	return virtEpoch + anykey.Time(elapsed*b.scale)
+}
+
+// submit routes req to shard's loop without blocking. False means the
+// loop's queue is full and the request was shed.
+func (b *Bridge) submit(shard int, req *request) bool {
+	select {
+	case b.loops[shard].reqs <- req:
+		return true
+	default:
+		b.met.shed.With(strconv.Itoa(shard)).Inc()
+		return false
+	}
+}
+
+// close stops every loop after the remaining queued requests drain, then
+// waits for the loops to exit. Callers must guarantee no further submit
+// calls — the server does so by joining every connection handler first.
+func (b *Bridge) close() {
+	for _, l := range b.loops {
+		close(l.reqs)
+	}
+	b.wg.Wait()
+}
+
+// run is one shard's event loop.
+func (b *Bridge) run(l *shardLoop) {
+	defer b.wg.Done()
+	shard := strconv.Itoa(l.shard)
+	virtEpoch := b.cl.ShardNow(l.shard)
+	var tr *anykey.Tracer
+	if trs := b.cl.Tracers(); trs != nil {
+		tr = trs[l.shard]
+	}
+	sinceBlame := 0
+	for req := range l.reqs {
+		if req.hold != nil {
+			if req.held != nil {
+				close(req.held)
+			}
+			<-req.hold
+		}
+		arrival := b.virtualArrival(virtEpoch, req.wall)
+		resp := b.execute(l.shard, arrival, req)
+
+		if resp.err == nil {
+			lat := resp.comp.Latency()
+			b.met.ops.With(shard, opNames[req.op]).Inc()
+			b.met.latency.With(shard).Observe(lat.Seconds())
+			b.met.queueWait.With(shard).Observe(resp.comp.QueueWait().Seconds())
+			if b.timeout > 0 && lat > b.timeout {
+				resp.timedOut = true
+				b.met.timeouts.With(shard).Inc()
+			}
+		} else {
+			b.met.opErrors.With(shard).Inc()
+		}
+		req.resp <- resp
+
+		if tr != nil {
+			if sinceBlame++; sinceBlame >= b.blameEvery {
+				sinceBlame = 0
+				b.refreshBlame(shard, tr)
+			}
+		}
+	}
+}
+
+// execute performs one operation against the cluster. Only the owning
+// shard loop calls it for a given shard.
+func (b *Bridge) execute(shard int, arrival anykey.Time, req *request) response {
+	var resp response
+	switch req.op {
+	case opSet:
+		comp, _, err := b.cl.PutAt(arrival, req.key, req.value)
+		resp.comp, resp.err = comp, err
+	case opGet:
+		comp, _, err := b.cl.GetAt(arrival, req.key)
+		resp.comp = comp
+		switch {
+		case err == nil:
+			resp.found = true
+			resp.value = append([]byte(nil), comp.Value...)
+		case errors.Is(err, anykey.ErrNotFound):
+			// A miss is a successful operation with a null reply.
+		default:
+			resp.err = err
+		}
+	case opDel:
+		comp, _, err := b.cl.DeleteAt(arrival, req.key)
+		resp.comp, resp.err = comp, err
+	case opScan:
+		comp, err := b.cl.ScanShardAt(shard, arrival, req.start, req.n)
+		resp.comp, resp.err = comp, err
+		if err == nil && len(comp.Pairs) > 0 {
+			resp.pairs = make([]anykey.Pair, len(comp.Pairs))
+			for i, p := range comp.Pairs {
+				resp.pairs[i] = anykey.Pair{
+					Key:   append([]byte(nil), p.Key...),
+					Value: append([]byte(nil), p.Value...),
+				}
+			}
+		}
+	}
+	return resp
+}
+
+// refreshBlame recomputes tail-latency attribution from the shard's tracer
+// and publishes it as gauges. It runs inside the owning shard loop — the
+// tracer ring is not safe for concurrent access, so the scrape path never
+// touches it; scrapers read these gauges instead.
+func (b *Bridge) refreshBlame(shard string, tr *anykey.Tracer) {
+	rep := tr.Blame(anykey.BlameOptions{Percentile: 99, MaxOps: 1})
+	if rep == nil {
+		return
+	}
+	b.met.blameThreshold.With(shard).Set(rep.Threshold.Seconds())
+	for c := trace.Cause(0); c < trace.NumCauses; c++ {
+		b.met.blame.With(shard, c.String()).Set(rep.Summary[c].Seconds())
+	}
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReadCommand throws arbitrary byte streams at the command parser. The
+// invariants: never panic, never return a command with zero args, never
+// return an argument over the bulk limit, and classify every failure as
+// clean EOF, truncation, protocol violation, or an oversized line. Parsed
+// commands must also re-encode and re-parse to the same arguments
+// (round-trip stability), since the server echoes keys back into replies.
+//
+// Seed corpus lives in testdata/fuzz/FuzzReadCommand; go test runs the
+// seeds on every invocation, `go test -fuzz=FuzzReadCommand` explores.
+func FuzzReadCommand(f *testing.F) {
+	seeds := [][]byte{
+		[]byte("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n"),
+		[]byte("*1\r\n$4\r\nPING\r\n"),
+		[]byte("PING\r\n"),
+		[]byte("SET key value\r\n"),
+		[]byte("\r\nGET after-blank\r\n"),
+		[]byte("*2\r\n$4\r\nECHO\r\n$0\r\n\r\n"),
+		[]byte("*-1\r\n"),
+		[]byte("*0\r\n"),
+		[]byte("*1\r\n$-1\r\n"),
+		[]byte("*1\r\n$16777217\r\nx"),
+		[]byte("*99999999\r\n"),
+		[]byte("*1\r\n$3\r\nab"),
+		[]byte("*2\r\n$3\r\nGET\r\n:42\r\n"),
+		[]byte("*1\r\n$3\r\nabcXY"),
+		[]byte("$5\r\nhello\r\n"),
+		[]byte("*1\r\n$0x3\r\nabc\r\n"),
+		bytes.Repeat([]byte("a"), 70000), // inline line over the cap, no newline
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := newRespReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ { // bound pipelined commands per input
+			args, err := r.ReadCommand()
+			if err != nil {
+				if !errors.Is(err, io.EOF) &&
+					!errors.Is(err, io.ErrUnexpectedEOF) &&
+					!errors.Is(err, ErrProtocol) {
+					t.Fatalf("unclassified error: %v", err)
+				}
+				return
+			}
+			if len(args) == 0 {
+				t.Fatal("parser returned an empty command")
+			}
+			for _, a := range args {
+				if len(a) > MaxBulk {
+					t.Fatalf("argument of %d bytes exceeds MaxBulk", len(a))
+				}
+			}
+			roundTripCommand(t, args)
+		}
+	})
+}
+
+// roundTripCommand re-encodes args as a RESP array and verifies the parser
+// reproduces them exactly.
+func roundTripCommand(t *testing.T, args [][]byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := newRespWriter(&buf)
+	w.WriteArrayHeader(len(args))
+	for _, a := range args {
+		w.WriteBulk(a)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := newRespReader(&buf).ReadCommand()
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", args, err)
+	}
+	if len(got) != len(args) {
+		t.Fatalf("round trip changed arity: %d vs %d", len(got), len(args))
+	}
+	for i := range args {
+		if !bytes.Equal(got[i], args[i]) {
+			t.Fatalf("round trip changed arg %d: %q vs %q", i, got[i], args[i])
+		}
+	}
+}
+
+// FuzzReadReply does the same for the reply parser the client uses — a
+// hostile server must not crash anykeycli.
+func FuzzReadReply(f *testing.F) {
+	for _, s := range [][]byte{
+		[]byte("+OK\r\n"),
+		[]byte("-ERR boom\r\n"),
+		[]byte(":42\r\n"),
+		[]byte("$5\r\nhello\r\n"),
+		[]byte("$-1\r\n"),
+		[]byte("*-1\r\n"),
+		[]byte("*2\r\n$1\r\na\r\n:3\r\n"),
+		[]byte("*1\r\n*1\r\n*1\r\n*1\r\n*1\r\n*1\r\n*1\r\n*1\r\n*1\r\n*1\r\n:1\r\n"),
+		[]byte("?weird\r\n"),
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := newRespReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ {
+			_, err := r.ReadReply()
+			if err != nil {
+				if !errors.Is(err, io.EOF) &&
+					!errors.Is(err, io.ErrUnexpectedEOF) &&
+					!errors.Is(err, ErrProtocol) {
+					t.Fatalf("unclassified error: %v", err)
+				}
+				return
+			}
+		}
+	})
+}

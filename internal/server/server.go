@@ -1,0 +1,671 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anykey"
+	"anykey/internal/metrics"
+	"anykey/internal/trace"
+)
+
+// Config configures an anykeyserver instance.
+type Config struct {
+	// Addr is the TCP listen address for the RESP endpoint (e.g. ":6380";
+	// ":0" picks a free port — read it back with Server.Addr).
+	Addr string
+	// MetricsAddr is the HTTP listen address for /metrics, /healthz and
+	// /debug/pprof. Empty disables the HTTP endpoint.
+	MetricsAddr string
+
+	// Cluster configures the simulated fleet behind the server. Tracing is
+	// enabled automatically when Cluster.Device.Trace is nil — the blame
+	// gauges need per-shard tracers.
+	Cluster anykey.ClusterOptions
+
+	// Inflight bounds each shard's bridge queue: requests beyond it are
+	// shed with a RESP -BUSY (default 128).
+	Inflight int
+	// Timeout is the virtual latency budget per operation: completions
+	// slower than this in simulated time answer -TIMEOUT (default 0 = no
+	// budget).
+	Timeout time.Duration
+	// TimeScale maps wall-clock seconds to virtual seconds (default 1.0;
+	// 10 means one real second ages each shard's clock ten virtual
+	// seconds).
+	TimeScale float64
+	// BlameEvery refreshes the per-shard tail-blame gauges every N
+	// operations on that shard (default 256).
+	BlameEvery int
+}
+
+func (c *Config) normalize() error {
+	if c.Addr == "" {
+		c.Addr = ":6380"
+	}
+	if c.Inflight == 0 {
+		c.Inflight = 128
+	}
+	if c.Inflight < 0 {
+		return fmt.Errorf("%w: Inflight %d is negative", anykey.ErrInvalidOptions, c.Inflight)
+	}
+	if c.Timeout < 0 {
+		return fmt.Errorf("%w: Timeout %v is negative", anykey.ErrInvalidOptions, c.Timeout)
+	}
+	if c.TimeScale == 0 {
+		c.TimeScale = 1.0
+	}
+	if c.TimeScale < 0 {
+		return fmt.Errorf("%w: TimeScale %v is negative", anykey.ErrInvalidOptions, c.TimeScale)
+	}
+	if c.BlameEvery == 0 {
+		c.BlameEvery = 256
+	}
+	if c.BlameEvery < 0 {
+		return fmt.Errorf("%w: BlameEvery %d is negative", anykey.ErrInvalidOptions, c.BlameEvery)
+	}
+	if c.Cluster.Device.Trace == nil {
+		c.Cluster.Device.Trace = &anykey.TraceOptions{}
+	}
+	return nil
+}
+
+// serverMetrics is every series the /metrics endpoint exports. The
+// anykeyserver_* families are updated on the request path; the anykey_*
+// families mirror cluster statistics, refreshed by an OnScrape hook (and
+// the blame gauges, refreshed inside each shard loop).
+type serverMetrics struct {
+	connections      *metrics.Gauge
+	connectionsTotal *metrics.Counter
+
+	ops       *metrics.CounterVec   // {shard,op}
+	opErrors  *metrics.CounterVec   // {shard}
+	shed      *metrics.CounterVec   // {shard}
+	timeouts  *metrics.CounterVec   // {shard}
+	inflight  *metrics.GaugeVec     // {shard}
+	latency   *metrics.HistogramVec // {shard} virtual seconds
+	queueWait *metrics.HistogramVec // {shard} virtual seconds
+
+	blame          *metrics.GaugeVec // {shard,cause}
+	blameThreshold *metrics.GaugeVec // {shard}
+
+	shardClock   *metrics.GaugeVec   // {shard}
+	shardOps     *metrics.CounterVec // {shard}
+	liveKeys     *metrics.GaugeVec   // {shard}
+	liveBytes    *metrics.GaugeVec   // {shard}
+	flashReads   *metrics.CounterVec // {shard}
+	flashWrites  *metrics.CounterVec // {shard}
+	flashErases  *metrics.CounterVec // {shard}
+	treeComp     *metrics.CounterVec // {shard}
+	logComp      *metrics.CounterVec // {shard}
+	chainedComp  *metrics.CounterVec // {shard}
+	gcRuns       *metrics.CounterVec // {shard}
+	gcRelocs     *metrics.CounterVec // {shard}
+}
+
+func newServerMetrics(r *metrics.Registry) *serverMetrics {
+	latBuckets := metrics.ExpBuckets(1e-6, 2, 24) // 1µs … ~8s of virtual time
+	return &serverMetrics{
+		connections:      r.NewGauge("anykeyserver_connections", "Open client connections."),
+		connectionsTotal: r.NewCounter("anykeyserver_connections_total", "Client connections accepted."),
+
+		ops:       r.NewCounterVec("anykeyserver_ops_total", "Completed storage operations by shard and kind.", "shard", "op"),
+		opErrors:  r.NewCounterVec("anykeyserver_op_errors_total", "Storage operations that failed.", "shard"),
+		shed:      r.NewCounterVec("anykeyserver_shed_total", "Requests shed with -BUSY because the shard queue was full.", "shard"),
+		timeouts:  r.NewCounterVec("anykeyserver_timeouts_total", "Completions over the virtual latency budget.", "shard"),
+		inflight:  r.NewGaugeVec("anykeyserver_inflight", "Requests queued in the shard bridge loop.", "shard"),
+		latency:   r.NewHistogramVec("anykeyserver_latency_seconds", "End-to-end virtual latency (arrival to done).", latBuckets, "shard"),
+		queueWait: r.NewHistogramVec("anykeyserver_queue_wait_seconds", "Virtual time spent waiting for a submission slot.", latBuckets, "shard"),
+
+		blame:          r.NewGaugeVec("anykey_tail_blame_seconds", "Tail-latency blame by cause over the slowest percentile of traced ops.", "shard", "cause"),
+		blameThreshold: r.NewGaugeVec("anykey_tail_blame_threshold_seconds", "Latency at the blame percentile cut.", "shard"),
+
+		shardClock:  r.NewGaugeVec("anykey_shard_clock_seconds", "The shard's virtual clock.", "shard"),
+		shardOps:    r.NewCounterVec("anykey_shard_ops_total", "Requests carried by the shard engine.", "shard"),
+		liveKeys:    r.NewGaugeVec("anykey_live_keys", "Live keys on the shard.", "shard"),
+		liveBytes:   r.NewGaugeVec("anykey_live_bytes", "Live value bytes on the shard.", "shard"),
+		flashReads:  r.NewCounterVec("anykey_flash_reads_total", "Flash page reads, all causes.", "shard"),
+		flashWrites: r.NewCounterVec("anykey_flash_writes_total", "Flash page writes, all causes.", "shard"),
+		flashErases: r.NewCounterVec("anykey_flash_erases_total", "Flash block erases.", "shard"),
+		treeComp:    r.NewCounterVec("anykey_tree_compactions_total", "LSM tree compactions.", "shard"),
+		logComp:     r.NewCounterVec("anykey_log_compactions_total", "Value-log compactions.", "shard"),
+		chainedComp: r.NewCounterVec("anykey_chained_compactions_total", "Chained compactions.", "shard"),
+		gcRuns:      r.NewCounterVec("anykey_gc_runs_total", "Garbage-collection runs.", "shard"),
+		gcRelocs:    r.NewCounterVec("anykey_gc_relocations_total", "Pages relocated by GC.", "shard"),
+	}
+}
+
+// touchShard pre-registers every per-shard series so a scrape taken before
+// traffic still shows each shard at zero.
+func (m *serverMetrics) touchShard(s int) {
+	sh := strconv.Itoa(s)
+	for _, op := range opNames {
+		m.ops.With(sh, op)
+	}
+	m.opErrors.With(sh)
+	m.shed.With(sh)
+	m.timeouts.With(sh)
+	m.latency.With(sh)
+	m.queueWait.With(sh)
+	m.blameThreshold.With(sh)
+	for c := trace.Cause(0); c < trace.NumCauses; c++ {
+		m.blame.With(sh, c.String())
+	}
+}
+
+// Server is a running anykeyserver: a RESP front end, its bridge, and the
+// metrics endpoint.
+type Server struct {
+	cfg Config
+	cl  *anykey.Cluster
+	br  *Bridge
+	reg *metrics.Registry
+	met *serverMetrics
+
+	ln  net.Listener
+	mln net.Listener
+	hs  *http.Server
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	connWG   sync.WaitGroup
+	draining atomic.Bool
+	started  time.Time
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+
+	// closeCluster closes the cluster at the end of Shutdown. It defaults
+	// to the cluster's own Close; tests inject failures through it.
+	closeCluster func() error
+}
+
+// New opens the cluster, binds both listeners and starts the bridge loops.
+// The server accepts no connections until Serve runs.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	cl, err := anykey.OpenCluster(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	reg := metrics.NewRegistry()
+	met := newServerMetrics(reg)
+	s := &Server{
+		cfg:          cfg,
+		cl:           cl,
+		reg:          reg,
+		met:          met,
+		conns:        map[net.Conn]struct{}{},
+		started:      time.Now(),
+		closeCluster: cl.Close,
+	}
+	for i := 0; i < cl.Shards(); i++ {
+		met.touchShard(i)
+	}
+	reg.OnScrape(s.refreshClusterMetrics)
+	s.br = newBridge(cl, cfg.TimeScale, anykey.Duration(cfg.Timeout.Nanoseconds()),
+		cfg.Inflight, cfg.BlameEvery, met)
+
+	s.ln, err = net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		s.br.close()
+		cl.Close()
+		return nil, err
+	}
+	if cfg.MetricsAddr != "" {
+		s.mln, err = net.Listen("tcp", cfg.MetricsAddr)
+		if err != nil {
+			s.ln.Close()
+			s.br.close()
+			cl.Close()
+			return nil, err
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			if s.draining.Load() {
+				http.Error(w, "draining", http.StatusServiceUnavailable)
+				return
+			}
+			w.Write([]byte("ok\n"))
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		s.hs = &http.Server{Handler: mux}
+	}
+	return s, nil
+}
+
+// Addr returns the bound RESP listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// MetricsAddr returns the bound HTTP listen address, nil when disabled.
+func (s *Server) MetricsAddr() net.Addr {
+	if s.mln == nil {
+		return nil
+	}
+	return s.mln.Addr()
+}
+
+// Registry returns the server's metrics registry (for embedding tests).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// refreshClusterMetrics mirrors a cluster stats snapshot into the anykey_*
+// families. It runs on every scrape.
+func (s *Server) refreshClusterMetrics() {
+	st := s.cl.Stats()
+	for _, ss := range st.PerShard {
+		sh := strconv.Itoa(ss.Shard)
+		s.met.shardClock.With(sh).Set(float64(ss.Now) / 1e9)
+		s.met.shardOps.With(sh).Set(float64(ss.Ops))
+		s.met.liveKeys.With(sh).Set(float64(ss.LiveKeys))
+		s.met.liveBytes.With(sh).Set(float64(ss.LiveBytes))
+		s.met.flashReads.With(sh).Set(float64(ss.Flash.TotalReads()))
+		s.met.flashWrites.With(sh).Set(float64(ss.Flash.TotalWrites()))
+		s.met.flashErases.With(sh).Set(float64(ss.Flash.Erases))
+		s.met.treeComp.With(sh).Set(float64(ss.TreeCompactions))
+		s.met.logComp.With(sh).Set(float64(ss.LogCompactions))
+		s.met.chainedComp.With(sh).Set(float64(ss.ChainedCompactions))
+		s.met.gcRuns.With(sh).Set(float64(ss.GCRuns))
+		s.met.gcRelocs.With(sh).Set(float64(ss.GCRelocations))
+	}
+}
+
+// Serve runs the HTTP endpoint (if configured) and the RESP accept loop.
+// It blocks until Shutdown closes the listener, then returns nil; any
+// other accept failure is returned as-is.
+func (s *Server) Serve() error {
+	if s.hs != nil {
+		go s.hs.Serve(s.mln)
+	}
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		s.met.connections.Add(1)
+		s.met.connectionsTotal.Inc()
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.met.connections.Add(-1)
+		s.connWG.Done()
+	}()
+	r := newRespReader(conn)
+	w := newRespWriter(conn)
+	for {
+		args, err := r.ReadCommand()
+		if err != nil {
+			if errors.Is(err, ErrProtocol) {
+				w.WriteError("ERR " + err.Error())
+				w.Flush()
+			}
+			return
+		}
+		closing := s.dispatch(w, args)
+		// Pipelining: flush only when the client has no further command
+		// already buffered, so a burst of N commands costs one write.
+		if r.buffered() == 0 || closing {
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+		if closing {
+			return
+		}
+	}
+}
+
+// dispatch executes one command and writes its reply (unflushed). It
+// returns true when the connection should close.
+func (s *Server) dispatch(w *respWriter, args [][]byte) bool {
+	cmd := strings.ToUpper(string(args[0]))
+	switch cmd {
+	case "PING":
+		if len(args) > 2 {
+			w.WriteError("ERR wrong number of arguments for 'ping' command")
+			return false
+		}
+		if len(args) == 2 {
+			w.WriteBulk(args[1])
+		} else {
+			w.WriteSimple("PONG")
+		}
+	case "ECHO":
+		if len(args) != 2 {
+			w.WriteError("ERR wrong number of arguments for 'echo' command")
+			return false
+		}
+		w.WriteBulk(args[1])
+	case "COMMAND":
+		// redis-cli probes COMMAND DOCS on connect; an empty array keeps it
+		// happy without implementing the catalogue.
+		w.WriteArrayHeader(0)
+	case "QUIT":
+		w.WriteSimple("OK")
+		return true
+	case "INFO":
+		w.WriteBulk([]byte(s.info()))
+	case "SET":
+		if len(args) != 3 {
+			w.WriteError("ERR wrong number of arguments for 'set' command")
+			return false
+		}
+		resps, errReply := s.doStorage([]*request{{op: opSet, key: args[1], value: args[2]}})
+		switch {
+		case errReply != "":
+			w.WriteError(errReply)
+		case resps[0].timedOut:
+			w.WriteError("TIMEOUT virtual latency budget exceeded")
+		default:
+			w.WriteSimple("OK")
+		}
+	case "GET":
+		if len(args) != 2 {
+			w.WriteError("ERR wrong number of arguments for 'get' command")
+			return false
+		}
+		resps, errReply := s.doStorage([]*request{{op: opGet, key: args[1]}})
+		switch {
+		case errReply != "":
+			w.WriteError(errReply)
+		case resps[0].timedOut:
+			w.WriteError("TIMEOUT virtual latency budget exceeded")
+		case resps[0].found:
+			w.WriteBulk(resps[0].value)
+		default:
+			w.WriteBulk(nil)
+		}
+	case "DEL":
+		if len(args) < 2 {
+			w.WriteError("ERR wrong number of arguments for 'del' command")
+			return false
+		}
+		reqs := make([]*request, 0, len(args)-1)
+		for _, k := range args[1:] {
+			reqs = append(reqs, &request{op: opDel, key: k})
+		}
+		resps, errReply := s.doStorage(reqs)
+		if errReply != "" {
+			w.WriteError(errReply)
+			return false
+		}
+		// The device acknowledges deletes of absent keys, so DEL counts
+		// acknowledged deletions, not prior existence.
+		n := int64(0)
+		for _, rp := range resps {
+			if !rp.timedOut {
+				n++
+			}
+		}
+		w.WriteInt(n)
+	case "MGET":
+		if len(args) < 2 {
+			w.WriteError("ERR wrong number of arguments for 'mget' command")
+			return false
+		}
+		reqs := make([]*request, 0, len(args)-1)
+		for _, k := range args[1:] {
+			reqs = append(reqs, &request{op: opGet, key: k})
+		}
+		resps, errReply := s.doStorage(reqs)
+		if errReply != "" {
+			w.WriteError(errReply)
+			return false
+		}
+		w.WriteArrayHeader(len(resps))
+		for _, rp := range resps {
+			if rp.found && !rp.timedOut {
+				w.WriteBulk(rp.value)
+			} else {
+				w.WriteBulk(nil)
+			}
+		}
+	case "MSET":
+		if len(args) < 3 || len(args)%2 != 1 {
+			w.WriteError("ERR wrong number of arguments for 'mset' command")
+			return false
+		}
+		reqs := make([]*request, 0, (len(args)-1)/2)
+		for i := 1; i < len(args); i += 2 {
+			reqs = append(reqs, &request{op: opSet, key: args[i], value: args[i+1]})
+		}
+		_, errReply := s.doStorage(reqs)
+		if errReply != "" {
+			w.WriteError(errReply)
+			return false
+		}
+		w.WriteSimple("OK")
+	case "SCAN":
+		// SCAN <start-key> <count>: cursor-style range query. The reply is
+		// [next-cursor, flat key/value array]; an empty next-cursor means
+		// the keyspace is exhausted.
+		if len(args) != 3 {
+			w.WriteError("ERR wrong number of arguments for 'scan' command")
+			return false
+		}
+		n, err := strconv.Atoi(string(args[2]))
+		if err != nil || n <= 0 || n > MaxArray/2 {
+			w.WriteError("ERR invalid scan count")
+			return false
+		}
+		s.dispatchScan(w, args[1], n)
+	default:
+		w.WriteError("ERR unknown command '" + sanitizeLine(string(args[0])) + "'")
+	}
+	return false
+}
+
+// doStorage stamps one wall arrival for the batch, fans each request out to
+// its shard loop and gathers the responses in order. The second return is a
+// non-empty RESP error line when the whole command should fail.
+func (s *Server) doStorage(reqs []*request) ([]response, string) {
+	wall := time.Now()
+	submitted := make([]bool, len(reqs))
+	anyShed := false
+	for i, req := range reqs {
+		req.wall = wall
+		req.resp = make(chan response, 1)
+		shard := s.cl.ShardFor(req.key)
+		if !s.br.submit(shard, req) {
+			anyShed = true
+			continue
+		}
+		submitted[i] = true
+	}
+	resps := make([]response, len(reqs))
+	var firstErr error
+	for i := range reqs {
+		if !submitted[i] {
+			continue
+		}
+		resps[i] = <-reqs[i].resp
+		if resps[i].err != nil && firstErr == nil {
+			firstErr = resps[i].err
+		}
+	}
+	if anyShed {
+		return resps, "BUSY shard queue full, retry"
+	}
+	if firstErr != nil {
+		return resps, "ERR " + firstErr.Error()
+	}
+	return resps, ""
+}
+
+// dispatchScan fans one range query out to every shard, merges the sorted
+// sub-results and replies [next-cursor, flat pairs].
+func (s *Server) dispatchScan(w *respWriter, start []byte, n int) {
+	wall := time.Now()
+	shards := s.cl.Shards()
+	reqs := make([]*request, shards)
+	submitted := make([]bool, shards)
+	anyShed := false
+	for sh := 0; sh < shards; sh++ {
+		reqs[sh] = &request{op: opScan, start: start, n: n, wall: wall,
+			resp: make(chan response, 1)}
+		if !s.br.submit(sh, reqs[sh]) {
+			anyShed = true
+			continue
+		}
+		submitted[sh] = true
+	}
+	var pairs []anykey.Pair
+	var firstErr error
+	timedOut := false
+	for sh := 0; sh < shards; sh++ {
+		if !submitted[sh] {
+			continue
+		}
+		rp := <-reqs[sh].resp
+		if rp.err != nil && firstErr == nil {
+			firstErr = rp.err
+		}
+		timedOut = timedOut || rp.timedOut
+		pairs = append(pairs, rp.pairs...)
+	}
+	switch {
+	case anyShed:
+		w.WriteError("BUSY shard queue full, retry")
+		return
+	case firstErr != nil:
+		w.WriteError("ERR " + firstErr.Error())
+		return
+	case timedOut:
+		w.WriteError("TIMEOUT virtual latency budget exceeded")
+		return
+	}
+	// Each shard's slice is sorted; a full sort of the union keeps this
+	// simple at the fan-out sizes a SCAN page allows.
+	sort.Slice(pairs, func(i, j int) bool {
+		return bytes.Compare(pairs[i].Key, pairs[j].Key) < 0
+	})
+	if len(pairs) > n {
+		pairs = pairs[:n]
+	}
+	cursor := []byte{}
+	if len(pairs) == n && n > 0 {
+		// More may remain: resume just after the last key returned.
+		last := pairs[len(pairs)-1].Key
+		cursor = append(append([]byte(nil), last...), 0)
+	}
+	w.WriteArrayHeader(2)
+	w.WriteBulk(cursor)
+	w.WriteArrayHeader(2 * len(pairs))
+	for _, p := range pairs {
+		w.WriteBulk(p.Key)
+		w.WriteBulk(p.Value)
+	}
+}
+
+// info renders the INFO reply: a Redis-style sectioned text block.
+func (s *Server) info() string {
+	st := s.cl.Stats()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# Server\r\n")
+	fmt.Fprintf(&sb, "uptime_seconds:%d\r\n", int64(time.Since(s.started).Seconds()))
+	fmt.Fprintf(&sb, "time_scale:%g\r\n", s.cfg.TimeScale)
+	fmt.Fprintf(&sb, "shards:%d\r\n", st.Shards)
+	fmt.Fprintf(&sb, "# Cluster\r\n")
+	fmt.Fprintf(&sb, "ops:%d\r\n", st.Ops)
+	fmt.Fprintf(&sb, "virtual_clock_seconds:%.6f\r\n", float64(st.Now)/1e9)
+	fmt.Fprintf(&sb, "live_keys:%d\r\n", st.LiveKeys)
+	fmt.Fprintf(&sb, "live_bytes:%d\r\n", st.LiveBytes)
+	fmt.Fprintf(&sb, "flash_writes:%d\r\n", st.Flash.TotalWrites())
+	fmt.Fprintf(&sb, "gc_runs:%d\r\n", st.GCRuns)
+	for _, ss := range st.PerShard {
+		fmt.Fprintf(&sb, "# Shard%d\r\n", ss.Shard)
+		fmt.Fprintf(&sb, "ops:%d\r\n", ss.Ops)
+		fmt.Fprintf(&sb, "virtual_clock_seconds:%.6f\r\n", float64(ss.Now)/1e9)
+		fmt.Fprintf(&sb, "live_keys:%d\r\n", ss.LiveKeys)
+	}
+	return sb.String()
+}
+
+// Shutdown gracefully stops the server: it refuses new connections, turns
+// /healthz unhealthy, lets in-flight commands finish, drains the bridge
+// loops, then closes the cluster. The context bounds the connection drain;
+// on expiry remaining connections are closed forcibly. Safe to call more
+// than once; later calls return the first outcome.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() { s.shutdownErr = s.shutdown(ctx) })
+	return s.shutdownErr
+}
+
+func (s *Server) shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.ln.Close()
+
+	// Wake every connection blocked in a read: the expired deadline fails
+	// the next socket read, while commands already parsed still execute
+	// and their replies still flush (writes keep their own deadline).
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() { s.connWG.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		<-drained
+	}
+
+	// Every connection handler has exited, so nothing submits to the
+	// bridge anymore; drain the shard queues.
+	s.br.close()
+
+	var errs []error
+	if _, err := s.cl.Sync(); err != nil {
+		errs = append(errs, fmt.Errorf("final sync: %w", err))
+	}
+	if err := s.closeCluster(); err != nil {
+		errs = append(errs, fmt.Errorf("close cluster: %w", err))
+	}
+	if s.hs != nil {
+		hctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		if err := s.hs.Shutdown(hctx); err != nil {
+			errs = append(errs, fmt.Errorf("metrics endpoint: %w", err))
+		}
+	}
+	return errors.Join(errs...)
+}
