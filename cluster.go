@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"anykey/internal/cluster"
+	"anykey/internal/cluster/fleet"
 	"anykey/internal/device"
 	"anykey/internal/trace"
 )
@@ -62,6 +63,16 @@ type ClusterOptions struct {
 	// (Device.Faults) is not supported on clusters. Device.Trace enables
 	// one tracer per shard, merged by WriteChromeTrace and Blame.
 	Device Options
+
+	// Replication, when Factor ≥ 1, turns the cluster into an elastic
+	// replicated fleet: every key lives on Factor distinct shards from the
+	// ring's successor walk, writes acknowledge at WriteQuorum alive
+	// replicas, reads are read-one with fallback (or read-repair), and the
+	// fleet-only methods — AddShard, RemoveShard, KillShard, RebuildShard —
+	// become available. Requires RouteConsistent (the walk is a ring
+	// property). The zero value keeps the single-copy sharded cluster with
+	// its bit-exact legacy behavior.
+	Replication ReplicationOptions
 }
 
 // DefaultClusterOptions returns the fully normalized default cluster
@@ -115,6 +126,33 @@ func (o *ClusterOptions) Validate() error {
 	if o.Workers == 0 {
 		o.Workers = 1
 	}
+	if o.Replication.Factor < 0 {
+		return fmt.Errorf("%w: Replication.Factor %d is negative", ErrInvalidOptions, o.Replication.Factor)
+	}
+	if o.Replication.WriteQuorum < 0 {
+		return fmt.Errorf("%w: Replication.WriteQuorum %d is negative", ErrInvalidOptions, o.Replication.WriteQuorum)
+	}
+	if o.Replication.Factor > 0 {
+		if o.Router != RouteConsistent {
+			return fmt.Errorf("%w: replication requires RouteConsistent (replica sets are ring successor walks)", ErrUnsupported)
+		}
+		if o.Replication.Factor > o.Shards {
+			return fmt.Errorf("%w: Replication.Factor %d exceeds Shards %d", ErrInvalidOptions, o.Replication.Factor, o.Shards)
+		}
+		if o.Replication.WriteQuorum > o.Replication.Factor {
+			return fmt.Errorf("%w: Replication.WriteQuorum %d exceeds Factor %d", ErrInvalidOptions, o.Replication.WriteQuorum, o.Replication.Factor)
+		}
+		if o.Replication.WriteQuorum == 0 {
+			o.Replication.WriteQuorum = o.Replication.Factor
+		}
+		switch o.Replication.ReadMode {
+		case ReadOne, ReadRepair:
+		default:
+			return fmt.Errorf("%w: unknown read mode %v", ErrInvalidOptions, o.Replication.ReadMode)
+		}
+	} else if o.Replication.WriteQuorum > 0 {
+		return fmt.Errorf("%w: Replication.WriteQuorum %d without Factor", ErrInvalidOptions, o.Replication.WriteQuorum)
+	}
 	return o.Device.Validate()
 }
 
@@ -135,7 +173,8 @@ func (o *ClusterOptions) Validate() error {
 // does) never contend. The Multi* batch calls share routing scratch and
 // must not run concurrently with each other.
 type Cluster struct {
-	c      *cluster.Cluster
+	c      *cluster.Cluster // single-copy backend (Replication.Factor == 0)
+	f      *fleet.Fleet     // replicated fleet backend (Factor ≥ 1)
 	opts   ClusterOptions
 	closed atomic.Bool
 }
@@ -165,6 +204,19 @@ func OpenCluster(opts ClusterOptions) (*Cluster, error) {
 		}
 		devs = append(devs, impl)
 	}
+	if opts.Replication.Factor > 0 {
+		f, err := fleet.New(devs, fleet.Config{
+			QueueDepth:   opts.QueueDepth,
+			VirtualNodes: opts.VirtualNodes,
+			Repl:         opts.Replication,
+			NewDevice:    memberFactory(opts),
+			Tracers:      tracers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Cluster{f: f, opts: opts}, nil
+	}
 	c, err := cluster.New(devs, cluster.Config{
 		QueueDepth:   opts.QueueDepth,
 		Policy:       opts.Router,
@@ -178,6 +230,30 @@ func OpenCluster(opts ClusterOptions) (*Cluster, error) {
 	return &Cluster{c: c, opts: opts}, nil
 }
 
+// memberFactory builds fleet replacement/expansion devices: the same
+// configuration as the initial shards, seeded off the member ID exactly as
+// OpenCluster seeds shard s — so a rebuilt member gets deterministic fresh
+// hardware.
+func memberFactory(opts ClusterOptions) fleet.DeviceFactory {
+	return func(memberID int) (device.KVSSD, *trace.Tracer, error) {
+		shardOpts := opts.Device
+		shardOpts.Seed = opts.Device.Seed + int64(memberID)
+		impl, err := openImpl(&shardOpts)
+		if err != nil {
+			return nil, nil, err
+		}
+		var tr *trace.Tracer
+		if opts.Device.Trace != nil {
+			tr = trace.New(trace.Config{
+				Events: opts.Device.Trace.EventBuffer,
+				Ops:    opts.Device.Trace.OpBuffer,
+			})
+			attachTracerTo(impl, tr)
+		}
+		return impl, tr, nil
+	}
+}
+
 // gate rejects operations on a closed cluster.
 func (c *Cluster) gate() error {
 	if c.closed.Load() {
@@ -186,22 +262,49 @@ func (c *Cluster) gate() error {
 	return nil
 }
 
-// Shards returns the number of member devices.
-func (c *Cluster) Shards() int { return c.c.Shards() }
+// Shards returns the number of member devices (on a fleet: every member
+// ever created, including dead and retired ones — member IDs are stable).
+func (c *Cluster) Shards() int {
+	if c.f != nil {
+		return len(c.f.Members())
+	}
+	return c.c.Shards()
+}
 
 // Router returns the routing policy in force.
-func (c *Cluster) Router() RouterPolicy { return c.c.Policy() }
+func (c *Cluster) Router() RouterPolicy {
+	if c.f != nil {
+		return RouteConsistent
+	}
+	return c.c.Policy()
+}
 
-// ShardFor returns the shard a key routes to.
-func (c *Cluster) ShardFor(key []byte) int { return c.c.ShardFor(key) }
+// ShardFor returns the shard a key routes to (on a fleet: the key's primary
+// — the first member of its replica walk).
+func (c *Cluster) ShardFor(key []byte) int {
+	if c.f != nil {
+		return c.f.PrimaryFor(key)
+	}
+	return c.c.ShardFor(key)
+}
 
 // Now returns the merged cluster clock: the maximum over shard clocks.
-func (c *Cluster) Now() Time { return c.c.Now() }
+func (c *Cluster) Now() Time {
+	if c.f != nil {
+		return c.f.Now()
+	}
+	return c.c.Now()
+}
 
 // ShardNow returns shard s's virtual clock. A wall-clock bridge reads it
 // once per shard to anchor the mapping from real arrival times onto that
 // shard's clock domain.
-func (c *Cluster) ShardNow(s int) Time { return c.c.ShardNow(s) }
+func (c *Cluster) ShardNow(s int) Time {
+	if c.f != nil {
+		return c.f.MemberNow(s)
+	}
+	return c.c.ShardNow(s)
+}
 
 // MultiPut stores keys[i] → values[i] for every i, split by shard and
 // completed at the merged batch time. Per-operation errors are in
@@ -209,6 +312,14 @@ func (c *Cluster) ShardNow(s int) Time { return c.c.ShardNow(s) }
 func (c *Cluster) MultiPut(keys, values [][]byte) (*BatchResult, error) {
 	if err := c.gate(); err != nil {
 		return nil, err
+	}
+	if c.f != nil {
+		if len(keys) != len(values) {
+			return nil, fmt.Errorf("%w: %d keys, %d values", ErrInvalidOptions, len(keys), len(values))
+		}
+		return c.fleetBatch(keys, func(i int) fleet.OpResult {
+			return c.f.Put(keys[i], values[i])
+		}), nil
 	}
 	return c.c.MultiPut(keys, values)
 }
@@ -219,6 +330,11 @@ func (c *Cluster) MultiGet(keys [][]byte) (*BatchResult, error) {
 	if err := c.gate(); err != nil {
 		return nil, err
 	}
+	if c.f != nil {
+		return c.fleetBatch(keys, func(i int) fleet.OpResult {
+			return c.f.Get(keys[i])
+		}), nil
+	}
 	return c.c.MultiGet(keys)
 }
 
@@ -227,13 +343,79 @@ func (c *Cluster) MultiDelete(keys [][]byte) (*BatchResult, error) {
 	if err := c.gate(); err != nil {
 		return nil, err
 	}
+	if c.f != nil {
+		return c.fleetBatch(keys, func(i int) fleet.OpResult {
+			return c.f.Delete(keys[i])
+		}), nil
+	}
 	return c.c.MultiDelete(keys)
+}
+
+// fleetBatch runs a replicated batch one key at a time (replica fan-out
+// happens inside each op) and reassembles the cluster batch shape: the
+// representative completion, the primary shard, and the op verdict per
+// input, with the batch span merged over every replica attempt.
+func (c *Cluster) fleetBatch(keys [][]byte, op func(i int) fleet.OpResult) *BatchResult {
+	out := &BatchResult{
+		Completions: make([]Completion, len(keys)),
+		Shards:      make([]int, len(keys)),
+		Errs:        make([]error, len(keys)),
+		Start:       c.f.Now(),
+	}
+	for i := range keys {
+		res := op(i)
+		out.Completions[i] = fleetCompletion(res)
+		if len(res.Owners) > 0 {
+			out.Shards[i] = res.Owners[0]
+		}
+		out.Errs[i] = res.Err
+		for _, ra := range res.Replicas {
+			if ra.Comp.Done > out.Done {
+				out.Done = ra.Comp.Done
+			}
+		}
+	}
+	return out
+}
+
+// fleetCompletion picks one representative host completion out of a
+// replicated result: a read's serving replica, a write's quorum-defining
+// replica (the one whose Done is the acknowledgment instant), or — on
+// failure — the latest attempt, so callers still see the op's span.
+func fleetCompletion(res fleet.OpResult) Completion {
+	if res.Served >= 0 {
+		for _, ra := range res.Replicas {
+			if ra.Member == res.Served {
+				comp := ra.Comp
+				comp.Value = res.Value
+				return comp
+			}
+		}
+	}
+	if res.Acked {
+		for _, ra := range res.Replicas {
+			if ra.Err == nil && ra.Comp.Done == res.AckDone {
+				return ra.Comp
+			}
+		}
+	}
+	var best Completion
+	for _, ra := range res.Replicas {
+		if ra.Comp.Done >= best.Done {
+			best = ra.Comp
+		}
+	}
+	return best
 }
 
 // Put stores one pair on its shard and returns the simulated latency.
 func (c *Cluster) Put(key, value []byte) (Duration, error) {
 	if err := c.gate(); err != nil {
 		return 0, err
+	}
+	if c.f != nil {
+		res := c.f.Put(key, value)
+		return fleetCompletion(res).Latency(), res.Err
 	}
 	comp, err := c.c.Put(key, value)
 	return comp.Latency(), err
@@ -245,6 +427,11 @@ func (c *Cluster) Get(key []byte) ([]byte, Duration, error) {
 	if err := c.gate(); err != nil {
 		return nil, 0, err
 	}
+	if c.f != nil {
+		res := c.f.Get(key)
+		comp := fleetCompletion(res)
+		return comp.Value, comp.Latency(), res.Err
+	}
 	comp, err := c.c.Get(key)
 	return comp.Value, comp.Latency(), err
 }
@@ -253,6 +440,10 @@ func (c *Cluster) Get(key []byte) ([]byte, Duration, error) {
 func (c *Cluster) Delete(key []byte) (Duration, error) {
 	if err := c.gate(); err != nil {
 		return 0, err
+	}
+	if c.f != nil {
+		res := c.f.Delete(key)
+		return fleetCompletion(res).Latency(), res.Err
 	}
 	comp, err := c.c.Delete(key)
 	return comp.Latency(), err
@@ -267,7 +458,29 @@ func (c *Cluster) PutAt(arrival Time, key, value []byte) (Completion, int, error
 	if err := c.gate(); err != nil {
 		return Completion{}, 0, err
 	}
+	if c.f != nil {
+		res := c.f.PutAt(constArrival(arrival), key, value)
+		return fleetResult(res)
+	}
 	return c.c.PutAt(arrival, key, value)
+}
+
+// constArrival maps one client arrival instant onto every replica's clock
+// domain: the same numeric instant in each — domains are independent, so
+// "the request reaches all replicas at t" is exactly the fan-out a
+// replicating front end performs.
+func constArrival(at Time) fleet.ArrivalFunc {
+	return func(int) Time { return at }
+}
+
+// fleetResult adapts a replicated result to the (completion, shard, error)
+// single-copy signature: the representative completion and the primary.
+func fleetResult(res fleet.OpResult) (Completion, int, error) {
+	primary := 0
+	if len(res.Owners) > 0 {
+		primary = res.Owners[0]
+	}
+	return fleetCompletion(res), primary, res.Err
 }
 
 // GetAt is the open-loop Get. The value is owned by the shard device and
@@ -276,6 +489,9 @@ func (c *Cluster) GetAt(arrival Time, key []byte) (Completion, int, error) {
 	if err := c.gate(); err != nil {
 		return Completion{}, 0, err
 	}
+	if c.f != nil {
+		return fleetResult(c.f.GetAt(constArrival(arrival), key))
+	}
 	return c.c.GetAt(arrival, key)
 }
 
@@ -283,6 +499,9 @@ func (c *Cluster) GetAt(arrival Time, key []byte) (Completion, int, error) {
 func (c *Cluster) DeleteAt(arrival Time, key []byte) (Completion, int, error) {
 	if err := c.gate(); err != nil {
 		return Completion{}, 0, err
+	}
+	if c.f != nil {
+		return fleetResult(c.f.DeleteAt(constArrival(arrival), key))
 	}
 	return c.c.DeleteAt(arrival, key)
 }
@@ -296,8 +515,11 @@ func (c *Cluster) ScanShardAt(shard int, arrival Time, start []byte, n int) (Com
 	if err := c.gate(); err != nil {
 		return Completion{}, err
 	}
-	if shard < 0 || shard >= c.c.Shards() {
-		return Completion{}, fmt.Errorf("%w: shard %d of %d", ErrInvalidOptions, shard, c.c.Shards())
+	if shard < 0 || shard >= c.Shards() {
+		return Completion{}, fmt.Errorf("%w: shard %d of %d", ErrInvalidOptions, shard, c.Shards())
+	}
+	if c.f != nil {
+		return c.f.ScanAt(shard, arrival, start, n)
 	}
 	return c.c.ScanAt(shard, arrival, start, n)
 }
@@ -308,6 +530,9 @@ func (c *Cluster) Sync() (Time, error) {
 	if err := c.gate(); err != nil {
 		return 0, err
 	}
+	if c.f != nil {
+		return c.f.Sync()
+	}
 	return c.c.Sync()
 }
 
@@ -316,6 +541,9 @@ func (c *Cluster) Sync() (Time, error) {
 func (c *Cluster) Barrier() (Time, error) {
 	if err := c.gate(); err != nil {
 		return 0, err
+	}
+	if c.f != nil {
+		return c.f.Barrier(), nil
 	}
 	return c.c.Barrier(), nil
 }
@@ -326,6 +554,10 @@ func (c *Cluster) ResetBreakdowns() {
 	if c.closed.Load() {
 		return
 	}
+	if c.f != nil {
+		c.f.ResetBreakdowns()
+		return
+	}
 	c.c.ResetBreakdowns()
 }
 
@@ -334,27 +566,47 @@ func (c *Cluster) ResetBreakdowns() {
 // under each shard's lock, so Stats is safe to call concurrently with
 // in-flight operations — a metrics scraper never observes a shard
 // mid-operation.
-func (c *Cluster) Stats() ClusterStats { return c.c.CollectStats() }
+func (c *Cluster) Stats() ClusterStats {
+	if c.f != nil {
+		return c.f.CollectStats().Stats
+	}
+	return c.c.CollectStats()
+}
 
 // Metadata merges the shards' metadata reports, summing same-named
 // structures.
-func (c *Cluster) Metadata() []MetaStructure { return c.c.Metadata() }
+func (c *Cluster) Metadata() []MetaStructure {
+	if c.f != nil {
+		return c.f.Metadata()
+	}
+	return c.c.Metadata()
+}
 
 // Blame merges every shard tracer's blame report into one cluster-wide
 // attribution. Nil when the cluster was opened without Device.Trace.
-func (c *Cluster) Blame(opts BlameOptions) *BlameReport { return c.c.Blame(opts) }
+func (c *Cluster) Blame(opts BlameOptions) *BlameReport {
+	if c.f != nil {
+		return c.f.Blame(opts)
+	}
+	return c.c.Blame(opts)
+}
 
 // Tracers returns the per-shard tracers, or nil when the cluster was
 // opened without Device.Trace. Open-loop clients use them to annotate shard
 // op records with timeout/retry attribution.
-func (c *Cluster) Tracers() []*Tracer { return c.c.Tracers() }
+func (c *Cluster) Tracers() []*Tracer {
+	if c.f != nil {
+		return c.f.Tracers()
+	}
+	return c.c.Tracers()
+}
 
 // WriteChromeTrace writes the merged fleet trace as Chrome trace_event
 // JSON: shard i's rows appear as processes named "shardN …" at a disjoint
 // pid range, on a common virtual-time axis. It fails when the cluster was
 // opened without Device.Trace.
 func (c *Cluster) WriteChromeTrace(w io.Writer) error {
-	trs := c.c.Tracers()
+	trs := c.Tracers()
 	if trs == nil {
 		return fmt.Errorf("%w: cluster opened without Device.Trace", ErrUnsupported)
 	}

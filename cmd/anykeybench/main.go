@@ -74,8 +74,10 @@ func main() {
 		wl       = flag.String("workload", "", "run one traced measurement of this Table 2 workload instead of an experiment")
 		design   = flag.String("design", "anykey+", "single-run mode: pink | anykey | anykey+ | anykey-")
 
-		shards = flag.Int("shards", 0, "single-run mode: drive the workload through a sharded cluster of this many devices (0 = one device)")
-		router = flag.String("router", "consistent", "cluster routing policy: consistent | modulo")
+		shards      = flag.Int("shards", 0, "single-run mode: drive the workload through a sharded cluster of this many devices (0 = one device)")
+		router      = flag.String("router", "consistent", "cluster routing policy: consistent | modulo")
+		replication = flag.Int("replication", 0, "cluster runs: replicate each key to this many ring members (0 = no replication)")
+		wquorum     = flag.Int("wquorum", 0, "cluster runs: alive replicas a write needs before acking (default = -replication)")
 
 		// Open-loop traffic group: an arrival process turns a -workload run
 		// into an open-loop overload measurement (see DESIGN.md §11). The
@@ -164,10 +166,15 @@ func main() {
 		}
 		return
 	}
+	if *replication > 0 && *shards == 0 {
+		fmt.Fprintln(os.Stderr, "anykeybench: -replication needs a -shards cluster run")
+		os.Exit(2)
+	}
 	if *wl != "" {
 		var err error
 		if *shards > 0 {
-			err = runCluster(*wl, *design, *shards, *router, *quick, *seed, *maxOps, *blamePct, *traceOut, open)
+			repl := anykey.ReplicationOptions{Factor: *replication, WriteQuorum: *wquorum}
+			err = runCluster(*wl, *design, *shards, *router, repl, *quick, *seed, *maxOps, *blamePct, *traceOut, open)
 		} else {
 			err = runTraced(*wl, *design, *capacity, *quick, *seed, *maxOps, *blamePct, *traceOut, open)
 		}
@@ -285,8 +292,11 @@ var routers = map[string]anykey.RouterPolicy{
 }
 
 // runCluster runs one traced cluster measurement: the workload batched over
-// a sharded fleet, with the merged blame report and fleet trace export.
-func runCluster(wl, design string, shards int, router string, quick bool, seed, maxOps int64, blamePct float64, traceOut string, open openOpts) error {
+// a sharded fleet, with the merged blame report and fleet trace export. A
+// nonzero replication factor opens the cluster as a replicated fleet — the
+// batched facade drives R copies of every key and the summary reports the
+// replication counters.
+func runCluster(wl, design string, shards int, router string, repl anykey.ReplicationOptions, quick bool, seed, maxOps int64, blamePct float64, traceOut string, open openOpts) error {
 	d, ok := designs[strings.ToLower(design)]
 	if !ok {
 		return fmt.Errorf("unknown design %q", design)
@@ -304,8 +314,9 @@ func runCluster(wl, design string, shards int, router string, quick bool, seed, 
 	}
 	cfg := harness.ClusterRunConfig{
 		Cluster: anykey.ClusterOptions{
-			Shards: shards,
-			Router: pol,
+			Shards:      shards,
+			Router:      pol,
+			Replication: repl,
 			Device: anykey.Options{
 				Design:          d,
 				CapacityMB:      16,
@@ -335,6 +346,11 @@ func runCluster(wl, design string, shards int, router string, quick bool, seed, 
 		res.System, res.Workload, res.Router, res.Ops, res.IOPS,
 		res.ReadLat.Percentile(50), res.ReadLat.Percentile(99), res.BatchLat.Percentile(99))
 	fmt.Printf("shard balance: %v (hottest %.1f%%)\n", res.ShardOps, 100*res.HottestShare)
+	if res.ReplStats.Factor > 0 {
+		fmt.Printf("replication: R=%d W=%d, quorum failures %d, read fallbacks %d\n",
+			res.ReplStats.Factor, res.ReplStats.WriteQuorum,
+			res.ReplStats.QuorumFailures, res.ReplStats.ReadFallbacks)
+	}
 	fmt.Print(res.Cluster.Blame(anykey.BlameOptions{Percentile: blamePct}))
 	if traceOut != "" {
 		if strings.HasSuffix(traceOut, ".csv") {

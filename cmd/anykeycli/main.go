@@ -35,13 +35,22 @@
 // per trial, instead of starting the shell.
 //
 // With -shards N the shell drives a sharded N-device cluster through the
-// batched MultiPut/MultiGet API instead of one device. Cluster commands:
+// batched MultiPut/MultiGet API instead of one device. Add -replication R
+// (and optionally -wquorum W) to replicate every key to R ring members and
+// unlock the elastic-fleet commands. Cluster commands:
 //
 //	put/get/del <key> ...  single-key ops (each line shows the shard)
 //	mput <k>=<v> ...       one batch across the fleet
 //	mget <k> ...           one batched read
 //	shard <key>            which shard a key routes to
 //	stats                  merged rollup plus the per-shard breakdown
+//	addshard               grow the ring by one member (starts a migration)
+//	rmshard <id>           retire a member, streaming its keys to new owners
+//	rebalance [n]          step the in-flight migration by n keys (default: drain it)
+//	rebalance-status       migration progress plus the replication counters
+//	kill <id> [powercut|grownbad]
+//	                       kill a member device mid-traffic (replicas keep serving)
+//	rebuild <id>           replace a dead member, refilling from surviving replicas
 //	meta | sync | quit     as in the single-device shell
 package main
 
@@ -90,8 +99,10 @@ func main() {
 		sweepOps   = flag.Int("sweep-ops", 1200, "crashsweep: workload operations per trial")
 		sweepSeed  = flag.Int64("sweep-seed", 7, "crashsweep: workload seed")
 
-		shards = flag.Int("shards", 0, "open a sharded cluster of this many devices instead of one device (0 = single device)")
-		router = flag.String("router", "consistent", "cluster routing policy: consistent | modulo")
+		shards      = flag.Int("shards", 0, "open a sharded cluster of this many devices instead of one device (0 = single device)")
+		router      = flag.String("router", "consistent", "cluster routing policy: consistent | modulo")
+		replication = flag.Int("replication", 0, "cluster runs: replicate each key to this many ring members (0 = no replication)")
+		wquorum     = flag.Int("wquorum", 0, "cluster runs: alive-replica successes required to ack a write (default -replication, write-all)")
 	)
 	flag.Parse()
 
@@ -120,6 +131,11 @@ func main() {
 		return
 	}
 
+	if *replication > 0 && *shards <= 0 {
+		gofmt.Fprintln(os.Stderr, "anykeycli: -replication needs a -shards cluster")
+		os.Exit(2)
+	}
+
 	if *shards > 0 {
 		pol, ok := map[string]anykey.RouterPolicy{
 			"consistent": anykey.RouteConsistent,
@@ -130,7 +146,10 @@ func main() {
 			os.Exit(2)
 		}
 		opts.Faults = nil // fault injection is a single-device tool
-		c, err := anykey.OpenCluster(anykey.ClusterOptions{Shards: *shards, Router: pol, Device: opts})
+		c, err := anykey.OpenCluster(anykey.ClusterOptions{
+			Shards: *shards, Router: pol, Device: opts,
+			Replication: anykey.ReplicationOptions{Factor: *replication, WriteQuorum: *wquorum},
+		})
 		if err != nil {
 			gofmt.Fprintln(os.Stderr, "anykeycli:", err)
 			os.Exit(1)
@@ -138,6 +157,10 @@ func main() {
 		defer c.Close()
 		gofmt.Printf("opened %d-shard %s cluster (%s router, %d MiB/shard); type 'help' for commands\n",
 			*shards, d, *router, *capacity)
+		if r := c.Replication(); r.Factor > 0 {
+			gofmt.Printf("replicating: R=%d W=%d %s; fleet commands available (addshard/rmshard/kill/rebuild)\n",
+				r.Factor, r.WriteQuorum, r.ReadMode)
+		}
 		clusterRepl(c, os.Stdin, os.Stdout)
 		return
 	}
@@ -156,6 +179,7 @@ func main() {
 // so tests can drive it with a scripted reader.
 func clusterRepl(c *anykey.Cluster, in io.Reader, out io.Writer) {
 	fmt := &printer{w: out}
+	var mig *anykey.Migration // in-flight topology change, stepped by 'rebalance'
 	sc := bufio.NewScanner(in)
 	for fmt.Print("> "); sc.Scan(); fmt.Print("> ") {
 		fields := strings.Fields(sc.Text())
@@ -167,6 +191,143 @@ func clusterRepl(c *anykey.Cluster, in io.Reader, out io.Writer) {
 			return
 		case "help":
 			fmt.Println("put <k> <v> | get <k> | del <k> | mput <k>=<v>... | mget <k>... | shard <k> | stats | meta | sync | quit")
+			fmt.Println("fleet: addshard | rmshard <id> | rebalance [n] | rebalance-status | kill <id> [powercut|grownbad] | rebuild <id>")
+		case "addshard":
+			m, err := c.AddShard()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			mig = m
+			st := c.Migrating()
+			fmt.Printf("migration started: member %d joining, %d source shards to stream ('rebalance' to drain; traffic keeps flowing, reads double-read until commit)\n",
+				st.Subject, st.SourcesTotal)
+		case "rmshard":
+			if len(fields) != 2 {
+				fmt.Println("usage: rmshard <id>")
+				continue
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				fmt.Println("usage: rmshard <id>")
+				continue
+			}
+			m, err := c.RemoveShard(id)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			mig = m
+			st := c.Migrating()
+			fmt.Printf("migration started: member %d retiring, streaming its keys to the surviving ring ('rebalance' to drain)\n", st.Subject)
+		case "rebalance":
+			if mig == nil {
+				fmt.Println("no migration in flight (start one with 'addshard' or 'rmshard <id>')")
+				continue
+			}
+			n := 0 // Step treats 0 as the default chunk; no arg means drain
+			var err error
+			done := false
+			if len(fields) > 1 {
+				if n, err = strconv.Atoi(fields[1]); err != nil || n <= 0 {
+					fmt.Println("usage: rebalance [keys-per-step]")
+					continue
+				}
+				done, err = mig.Step(n)
+			} else {
+				err, done = mig.Run(), true
+			}
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fs, _ := c.FleetStats()
+			if done {
+				mig = nil
+				fmt.Printf("migration committed: epoch %d, %d keys (%d bytes) moved, %d stale copies deleted\n",
+					fs.Repl.Epoch, fs.Repl.MigratedKeys, fs.Repl.MigratedBytes, fs.Repl.CleanupDeletes)
+			} else {
+				drained, total := mig.Progress()
+				fmt.Printf("stepped: %d/%d source shards drained, %d keys moved so far\n",
+					drained, total, fs.Repl.MigratedKeys)
+			}
+		case "rebalance-status":
+			fs, err := c.FleetStats()
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			st := c.Migrating()
+			if st.Active {
+				fmt.Printf("migration active: %s member %d, %d/%d source shards drained\n",
+					st.Kind, st.Subject, st.SourcesDone, st.SourcesTotal)
+			} else {
+				fmt.Printf("no migration in flight (epoch %d, ring of %d)\n", st.Epoch, fs.Repl.RingMembers)
+			}
+			fmt.Printf("replication: R=%d W=%d %s; %d quorum failures, %d read fallbacks, %d read repairs\n",
+				fs.Repl.Factor, fs.Repl.WriteQuorum, fs.Repl.ReadMode,
+				fs.Repl.QuorumFailures, fs.Repl.ReadFallbacks, fs.Repl.ReadRepairs)
+			fmt.Printf("moved: %d keys (%d bytes) in %d ops, %d cleanup deletes; rebuilds: %d (%d keys)\n",
+				fs.Repl.MigratedKeys, fs.Repl.MigratedBytes, fs.Repl.MigrationOps,
+				fs.Repl.CleanupDeletes, fs.Repl.Rebuilds, fs.Repl.RebuiltKeys)
+			for _, m := range fs.Members {
+				line := gofmt.Sprintf("  member %d: %s", m.Shard, m.State)
+				if m.Cause != "" {
+					line += " (" + m.Cause + ")"
+				}
+				fmt.Printf("%s, %d ops, %d live keys\n", line, m.Ops, m.LiveKeys)
+			}
+		case "kill":
+			if len(fields) < 2 || len(fields) > 3 {
+				fmt.Println("usage: kill <id> [powercut|grownbad]")
+				continue
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				fmt.Println("usage: kill <id> [powercut|grownbad]")
+				continue
+			}
+			cause := anykey.KillPowerCut
+			if len(fields) == 3 {
+				switch fields[2] {
+				case "powercut":
+					cause = anykey.KillPowerCut
+				case "grownbad":
+					cause = anykey.KillGrownBad
+				default:
+					fmt.Printf("unknown kill cause %q (powercut | grownbad)\n", fields[2])
+					continue
+				}
+			}
+			if err := c.KillShard(id, cause); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("member %d killed (%v): its data is gone; surviving replicas serve, 'rebuild %d' to replace the hardware\n",
+				id, cause, id)
+		case "rebuild":
+			if len(fields) != 2 {
+				fmt.Println("usage: rebuild <id>")
+				continue
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				fmt.Println("usage: rebuild <id>")
+				continue
+			}
+			rb, err := c.RebuildShard(id)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if err := rb.Run(); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			_, _, keys := rb.Progress()
+			state, _, _ := c.ShardState(id)
+			fmt.Printf("member %d rebuilt: %d keys refilled from surviving replicas, state %s, clock %v\n",
+				id, keys, state, c.ShardNow(id))
 		case "put":
 			if len(fields) != 3 {
 				fmt.Println("usage: put <key> <value>")
@@ -262,6 +423,11 @@ func clusterRepl(c *anykey.Cluster, in io.Reader, out io.Writer) {
 				st.TreeCompactions, st.LogCompactions, st.ChainedCompactions, st.GCRuns, st.GCRelocations)
 			for _, ss := range st.PerShard {
 				fmt.Printf("  shard %d: %d ops, %d live keys, clock %v\n", ss.Shard, ss.Ops, ss.LiveKeys, ss.Now)
+			}
+			if fs, err := c.FleetStats(); err == nil {
+				fmt.Printf("replication: R=%d W=%d, epoch %d, %d quorum failures, %d read fallbacks, %d dead members ('rebalance-status' for detail)\n",
+					fs.Repl.Factor, fs.Repl.WriteQuorum, fs.Repl.Epoch,
+					fs.Repl.QuorumFailures, fs.Repl.ReadFallbacks, fs.Repl.DeadMembers)
 			}
 		case "meta":
 			for _, m := range c.Metadata() {

@@ -1,16 +1,25 @@
 // Command anykeyserver fronts a simulated AnyKey cluster with a real TCP
 // server speaking a RESP2 subset (PING, ECHO, GET, SET, DEL, MGET, MSET,
-// SCAN, INFO), so any Redis client can drive the simulation interactively.
-// A wall-clock bridge maps request arrival times onto each shard's virtual
-// clock domain, and an HTTP endpoint exposes live Prometheus metrics —
-// per-shard throughput, queue depth, GC/compaction activity and
-// blame-derived tail-latency attribution — plus /healthz and /debug/pprof.
+// SCAN, INFO, FLEET), so any Redis client can drive the simulation
+// interactively. A wall-clock bridge maps request arrival times onto each
+// shard's virtual clock domain, and an HTTP endpoint exposes live
+// Prometheus metrics — per-shard throughput, queue depth, GC/compaction
+// activity and blame-derived tail-latency attribution — plus /healthz and
+// /debug/pprof.
+//
+// With -replication R every key lives on R ring members and the FLEET
+// command is available: FLEET STATUS, FLEET KILL <id> [powercut|grownbad],
+// FLEET REBUILD <id>, FLEET RMSHARD <id>. Killing a member mid-traffic
+// leaves reads served by surviving replicas and writes acknowledged while
+// the quorum holds; REBUILD refills replacement hardware from replica
+// scans and RMSHARD streams a member's keys away before it retires.
 //
 // Usage:
 //
-//	anykeyserver -addr :6380 -metrics-addr :9121 -shards 4
+//	anykeyserver -addr :6380 -metrics-addr :9121 -shards 4 -replication 2
 //	redis-cli -p 6380 SET user:1 alice
-//	curl -s localhost:9121/metrics | grep anykey_shard_clock
+//	redis-cli -p 6380 FLEET KILL 1
+//	curl -s localhost:9121/metrics | grep anykey_fleet
 //
 // SIGINT/SIGTERM shut down gracefully: the listener closes, in-flight
 // commands drain, the cluster syncs and closes. The process exits nonzero
@@ -43,11 +52,13 @@ func main() {
 		addr        = flag.String("addr", ":6380", "RESP listen address")
 		metricsAddr = flag.String("metrics-addr", ":9121", "HTTP listen address for /metrics, /healthz, /debug/pprof (empty disables)")
 
-		shards   = flag.Int("shards", 4, "member devices in the cluster")
-		design   = flag.String("design", "anykey+", "device design: pink | anykey | anykey+ | anykey-")
-		capacity = flag.Int("capacity", 64, "capacity per shard in MiB")
-		qd       = flag.Int("qd", 64, "submission queue depth per shard")
-		router   = flag.String("router", "consistent", "routing policy: consistent | modulo")
+		shards      = flag.Int("shards", 4, "member devices in the cluster")
+		design      = flag.String("design", "anykey+", "device design: pink | anykey | anykey+ | anykey-")
+		capacity    = flag.Int("capacity", 64, "capacity per shard in MiB")
+		qd          = flag.Int("qd", 64, "submission queue depth per shard")
+		router      = flag.String("router", "consistent", "routing policy: consistent | modulo")
+		replication = flag.Int("replication", 0, "replicate each key to this many ring members (0 = no replication; enables FLEET commands)")
+		wquorum     = flag.Int("wquorum", 0, "alive-replica successes required to ack a write (default -replication, write-all)")
 
 		inflight   = flag.Int("inflight", 128, "per-shard bridge queue bound (-BUSY beyond it)")
 		timeout    = flag.Duration("timeout", 0, "virtual latency budget per op (-TIMEOUT beyond it; 0 = none)")
@@ -76,10 +87,11 @@ func main() {
 		Addr:        *addr,
 		MetricsAddr: *metricsAddr,
 		Cluster: anykey.ClusterOptions{
-			Shards:     *shards,
-			QueueDepth: *qd,
-			Router:     pol,
-			Device:     anykey.Options{Design: d, CapacityMB: *capacity},
+			Shards:      *shards,
+			QueueDepth:  *qd,
+			Router:      pol,
+			Replication: anykey.ReplicationOptions{Factor: *replication, WriteQuorum: *wquorum},
+			Device:      anykey.Options{Design: d, CapacityMB: *capacity},
 		},
 		Inflight:   *inflight,
 		Timeout:    *timeout,
@@ -92,6 +104,9 @@ func main() {
 	}
 
 	fmt.Printf("anykeyserver: %d-shard %s cluster on %s", *shards, *design, srv.Addr())
+	if *replication > 0 {
+		fmt.Printf(" (R=%d)", *replication)
+	}
 	if ma := srv.MetricsAddr(); ma != nil {
 		fmt.Printf(", metrics on %s", ma)
 	}

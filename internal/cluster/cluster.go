@@ -126,7 +126,7 @@ type shard struct {
 // Cluster routes one keyspace across N shard devices.
 type Cluster struct {
 	shards  []*shard
-	ring    []ringPoint // sorted; only under RouteConsistent
+	ring    Ring // only under RouteConsistent
 	policy  Policy
 	workers int
 
@@ -136,10 +136,10 @@ type Cluster struct {
 	involved []int
 }
 
-// ringPoint is one virtual node: a hash position owned by a shard.
+// ringPoint is one virtual node: a hash position owned by a member.
 type ringPoint struct {
-	hash  uint32
-	shard int32
+	hash   uint32
+	member int32
 }
 
 // New builds a cluster over devs. Each device gets its own engine of
@@ -184,19 +184,40 @@ func New(devs []device.KVSSD, cfg Config) (*Cluster, error) {
 		c.shards = append(c.shards, sh)
 	}
 	if cfg.Policy == RouteConsistent {
-		c.ring = buildRing(len(devs), cfg.VirtualNodes)
+		c.ring = BuildRing(seqMembers(len(devs)), cfg.VirtualNodes)
 	}
 	return c, nil
 }
 
-// buildRing hashes VirtualNodes points per shard onto the ring and sorts
-// them. Point hashes come from the shard and replica indices alone, so the
-// ring is a pure function of (shards, vnodes) and routing is reproducible
-// across processes.
-func buildRing(shards, vnodes int) []ringPoint {
-	ring := make([]ringPoint, 0, shards*vnodes)
+// Ring is the consistent-hash ring over a set of member IDs: VirtualNodes
+// points per member, sorted by hash. It is a pure function of (member IDs,
+// vnodes), so two processes — or the same fleet before and after a topology
+// change — agree on every key's owners without coordination. The zero Ring
+// is empty.
+type Ring struct {
+	points []ringPoint
+}
+
+// seqMembers returns the member IDs 0..n-1 — the fixed-fleet layout, where
+// members are just shard indices.
+func seqMembers(n int) []int32 {
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	return ids
+}
+
+// BuildRing hashes vnodes points per member onto the ring and sorts them.
+// Point hashes come from the member ID and replica indices alone, so the
+// ring is a pure function of (members, vnodes) and routing is reproducible
+// across processes. For members 0..N-1 this is exactly the fixed-fleet ring
+// the cluster has always built.
+func BuildRing(members []int32, vnodes int) Ring {
+	ring := make([]ringPoint, 0, len(members)*vnodes)
 	var buf [8]byte
-	for s := 0; s < shards; s++ {
+	for _, m := range members {
+		s := uint32(m)
 		for v := 0; v < vnodes; v++ {
 			buf[0] = byte(s)
 			buf[1] = byte(s >> 8)
@@ -206,10 +227,10 @@ func buildRing(shards, vnodes int) []ringPoint {
 			buf[5] = byte(v >> 8)
 			buf[6] = byte(v >> 16)
 			buf[7] = byte(v >> 24)
-			ring = append(ring, ringPoint{hash: hashBytes(buf[:]), shard: int32(s)})
+			ring = append(ring, ringPoint{hash: hashBytes(buf[:]), member: m})
 		}
 	}
-	// Sort by (hash, shard) so equal hashes break ties deterministically.
+	// Sort by (hash, member) so equal hashes break ties deterministically.
 	slices.SortFunc(ring, func(a, b ringPoint) int {
 		switch {
 		case a.hash != b.hash:
@@ -217,15 +238,75 @@ func buildRing(shards, vnodes int) []ringPoint {
 				return -1
 			}
 			return 1
-		case a.shard != b.shard:
-			if a.shard < b.shard {
+		case a.member != b.member:
+			if a.member < b.member {
 				return -1
 			}
 			return 1
 		}
 		return 0
 	})
-	return ring
+	return Ring{points: ring}
+}
+
+// Len returns the number of ring points.
+func (r Ring) Len() int { return len(r.points) }
+
+// successor returns the index of the first ring point at or clockwise-after
+// hash h, wrapping at the top.
+func (r Ring) successor(h uint32) int {
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.points[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(r.points) {
+		lo = 0
+	}
+	return lo
+}
+
+// Owner returns the member owning key: the next point clockwise from the
+// key's hash.
+func (r Ring) Owner(key []byte) int32 { return r.OwnerHash(hashBytes(key)) }
+
+// OwnerHash is Owner for a pre-computed routing hash.
+func (r Ring) OwnerHash(h uint32) int32 { return r.points[r.successor(h)].member }
+
+// Owners appends to dst the first n DISTINCT members met walking clockwise
+// from the key's hash — the replica set for replication factor n. Fewer than
+// n members on the ring yields all of them. The walk starts at the key's
+// owner, so Owners(key, 1)[0] == Owner(key) and growing n only ever appends.
+func (r Ring) Owners(dst []int32, key []byte, n int) []int32 {
+	return r.OwnersHash(dst, hashBytes(key), n)
+}
+
+// OwnersHash is Owners for a pre-computed routing hash.
+func (r Ring) OwnersHash(dst []int32, h uint32, n int) []int32 {
+	start := r.successor(h)
+	base := len(dst)
+	for i := 0; i < len(r.points) && len(dst)-base < n; i++ {
+		m := r.points[(start+i)%len(r.points)].member
+		if !containsMember(dst[base:], m) {
+			dst = append(dst, m)
+		}
+	}
+	return dst
+}
+
+// containsMember reports whether ids holds m (replica sets are tiny, so a
+// linear scan beats any set structure).
+func containsMember(ids []int32, m int32) bool {
+	for _, v := range ids {
+		if v == m {
+			return true
+		}
+	}
+	return false
 }
 
 // Shards returns the number of shards.
@@ -243,20 +324,7 @@ func (c *Cluster) ShardFor(key []byte) int {
 	if c.policy == RouteModulo {
 		return int(h % uint32(len(c.shards)))
 	}
-	// First ring point at or clockwise-after the hash, wrapping at the top.
-	lo, hi := 0, len(c.ring)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if c.ring[mid].hash < h {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo == len(c.ring) {
-		lo = 0
-	}
-	return int(c.ring[lo].shard)
+	return int(c.ring.OwnerHash(h))
 }
 
 // Now returns the merged cluster clock: the maximum over shard clocks.
@@ -730,6 +798,10 @@ func (c *Cluster) Blame(opts trace.BlameOptions) *trace.BlameReport {
 // across processes, and unrelated to the devices' internal hash-list seeds
 // so routing cannot correlate with in-device placement.
 func hashBytes(b []byte) uint32 { return xxhash.Sum32Seed(b, routingSeed) }
+
+// HashKey exposes the routing hash to the fleet layer, which routes against
+// the same rings this package builds.
+func HashKey(b []byte) uint32 { return hashBytes(b) }
 
 // routingSeed separates the routing hash stream from every other xxhash use
 // in the simulator (device hash lists seed differently per device).

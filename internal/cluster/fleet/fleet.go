@@ -1,0 +1,733 @@
+// Package fleet is the elastic, replicated layer over the simulated KV-SSD
+// shards: the same consistent-hash ring internal/cluster routes with, but
+// with the ring's successor walk yielding R distinct owners per key, live
+// topology change (add/remove a member with streamed key migration and
+// double-reads during handoff), and device death with rebuild from the
+// surviving replicas.
+//
+// # Replication
+//
+// A key's replica set is the first R distinct members met walking the ring
+// clockwise from its hash (cluster.Ring.Owners). Writes execute on every
+// alive owner, in ring order; the write is ACKNOWLEDGED only when at least
+// WriteQuorum fully-alive owners succeeded, else it reports ErrQuorumNotMet
+// — the executed replicas keep the data (the device cannot be un-asked),
+// exactly as a timed-out request does. Reads are read-one with fallback:
+// the first alive owner serves, later owners are consulted only when the
+// earlier ones are down or miss (which is also how double-reads during
+// migration and reads during a rebuild resolve). ReadRepair mode reads all
+// alive owners and re-writes the serving value onto any replica that
+// diverged.
+//
+// # Clock domains
+//
+// Every member keeps its own engine and virtual clock domain, exactly as
+// cluster.Cluster's shards do. A replicated operation touches R domains;
+// its instants are merged (a write acks at the WriteQuorum-th earliest
+// replica completion, merged numerically) and never propagated, so a fleet
+// driven single-threaded is bit-for-bit deterministic.
+//
+// # Concurrency
+//
+// Member mutexes serialize engine/device access (one replica at a time, in
+// ring-walk order); the fleet mutex guards topology (the ring, the member
+// list, migration state) and the replication counters. Concurrent callers
+// are safe — the network server drives one goroutine per member — but, as
+// everywhere in this codebase, the locks serialize without reordering:
+// single-threaded callers see identical results with or without observers.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"anykey/internal/cluster"
+	"anykey/internal/device"
+	"anykey/internal/host"
+	"anykey/internal/kv"
+	"anykey/internal/sim"
+	"anykey/internal/trace"
+)
+
+// Sentinel errors of the replicated fleet.
+var (
+	// ErrQuorumNotMet reports a write acknowledged by fewer than WriteQuorum
+	// alive replicas. The replicas that did execute keep the write.
+	ErrQuorumNotMet = errors.New("fleet: write quorum not met")
+	// ErrShardDown reports an operation whose every replica is dead.
+	ErrShardDown = errors.New("fleet: every replica for the key is down")
+	// ErrMigrationInProgress rejects a topology change (AddShard,
+	// RemoveShard, RemoveShard's commit, a rebuild of a migrating fleet)
+	// while another migration is still streaming keys.
+	ErrMigrationInProgress = errors.New("fleet: topology migration in progress")
+)
+
+// ReadMode selects the replicated read protocol.
+type ReadMode int
+
+const (
+	// ReadOne serves from the first alive owner, falling back along the
+	// ring walk on a down replica or a miss.
+	ReadOne ReadMode = iota
+	// ReadRepair reads every alive owner, serves the first alive owner's
+	// value, and re-writes it onto replicas that diverged or missed.
+	ReadRepair
+)
+
+// String returns the read mode's name.
+func (m ReadMode) String() string {
+	if m == ReadRepair {
+		return "read-repair"
+	}
+	return "read-one"
+}
+
+// Replication parameterises the replica protocol.
+type Replication struct {
+	// Factor is R, the distinct owners per key (≥ 1).
+	Factor int
+	// WriteQuorum is the alive-replica successes required to acknowledge a
+	// write (default Factor = write-all).
+	WriteQuorum int
+	// ReadMode selects read-one-with-fallback or read-repair.
+	ReadMode ReadMode
+}
+
+// KillCause records what killed a member, mirroring the two terminal
+// failure modes internal/fault injects on a single device: a power cut
+// mid-traffic, or grown-bad block exhaustion retiring the flash array.
+// Either way the device's contents are unavailable to the fleet from the
+// kill instant on; a rebuild replaces the hardware outright and re-fills it
+// from the surviving replicas.
+type KillCause int
+
+const (
+	KillPowerCut KillCause = iota
+	KillGrownBad
+)
+
+// String returns the cause's name.
+func (c KillCause) String() string {
+	if c == KillGrownBad {
+		return "grown-bad"
+	}
+	return "power-cut"
+}
+
+// memberState is a member's lifecycle position.
+type memberState int32
+
+const (
+	// stateAlive members serve reads, take writes, and count toward quorum.
+	stateAlive memberState = iota
+	// stateDead members are skipped entirely (device contents unavailable).
+	stateDead
+	// stateRebuilding members take new writes (so the refill cannot race
+	// fresh traffic) but serve no reads and count toward no quorum until
+	// the rebuild commits.
+	stateRebuilding
+	// stateRetired members were removed by RemoveShard; they stay in the
+	// member table (IDs are never reused) but own nothing.
+	stateRetired
+)
+
+func (s memberState) String() string {
+	switch s {
+	case stateDead:
+		return "dead"
+	case stateRebuilding:
+		return "rebuilding"
+	case stateRetired:
+		return "retired"
+	}
+	return "alive"
+}
+
+// member is one fleet device with its private engine and clock domain, plus
+// its lifecycle state. mu guards the engine and device exactly as
+// cluster.shard's does.
+type member struct {
+	mu    sync.Mutex
+	id    int32
+	dev   device.KVSSD
+	eng   *host.Engine
+	tr    *trace.Tracer
+	ops   int64
+	state memberState
+	cause KillCause // meaningful only after a kill
+}
+
+// DeviceFactory builds the device (and optional tracer) for a new member —
+// AddShard's fresh shard, or a rebuild's replacement hardware. The fleet
+// owns seeding policy through this hook, so replacements are deterministic.
+type DeviceFactory func(memberID int) (device.KVSSD, *trace.Tracer, error)
+
+// Config parameterises a fleet over already-constructed member devices.
+type Config struct {
+	// QueueDepth is each member engine's submission queue depth (default 1).
+	QueueDepth int
+	// VirtualNodes is the ring points per member (default 64).
+	VirtualNodes int
+	// Repl is the replication protocol (Factor default 1, WriteQuorum
+	// default Factor).
+	Repl Replication
+	// NewDevice builds devices for AddShard and RebuildShard. Required.
+	NewDevice DeviceFactory
+	// Tracers, when non-nil, holds one tracer per initial member.
+	Tracers []*trace.Tracer
+	// ScanChunk is the keys-per-scan granularity migration and rebuild
+	// streams use (default 64).
+	ScanChunk int
+}
+
+// Fleet is the elastic replicated cluster.
+type Fleet struct {
+	mu      sync.Mutex
+	members []*member // by member ID; IDs are never reused
+	ring    cluster.Ring
+	ringIDs []int32 // committed ring membership, ascending
+	qd      int
+	vnodes  int
+	repl    Replication
+	newDev  DeviceFactory
+	chunk   int
+
+	mig   *Migration // non-nil while a topology change streams keys
+	epoch int64      // migration epochs committed
+
+	// Replication/migration/rebuild counters (guarded by mu).
+	quorumFailures int64
+	readFallbacks  int64
+	readRepairs    int64
+	migratedKeys   int64
+	migratedBytes  int64
+	migrationOps   int64
+	cleanupDels    int64
+	rebuilds       int64
+	rebuiltKeys    int64
+	rebuiltBytes   int64
+
+	// scratch owner buffers, reused when the caller is single-threaded
+	// (replicated routing must not allocate per op on the hot path).
+	ownScratch sync.Pool
+}
+
+// New builds a fleet over the initial member devices (IDs 0..len-1).
+func New(devs []device.KVSSD, cfg Config) (*Fleet, error) {
+	if len(devs) == 0 {
+		return nil, errors.New("fleet: no member devices")
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 1
+	}
+	if cfg.VirtualNodes == 0 {
+		cfg.VirtualNodes = 64
+	}
+	if cfg.ScanChunk == 0 {
+		cfg.ScanChunk = 64
+	}
+	if cfg.Repl.Factor == 0 {
+		cfg.Repl.Factor = 1
+	}
+	if cfg.Repl.WriteQuorum == 0 {
+		cfg.Repl.WriteQuorum = cfg.Repl.Factor
+	}
+	switch {
+	case cfg.Repl.Factor < 1 || cfg.Repl.Factor > len(devs):
+		return nil, fmt.Errorf("fleet: replication factor %d with %d members", cfg.Repl.Factor, len(devs))
+	case cfg.Repl.WriteQuorum < 1 || cfg.Repl.WriteQuorum > cfg.Repl.Factor:
+		return nil, fmt.Errorf("fleet: write quorum %d with factor %d", cfg.Repl.WriteQuorum, cfg.Repl.Factor)
+	case cfg.NewDevice == nil:
+		return nil, errors.New("fleet: Config.NewDevice is required")
+	case cfg.Tracers != nil && len(cfg.Tracers) != len(devs):
+		return nil, fmt.Errorf("fleet: %d tracers for %d members", len(cfg.Tracers), len(devs))
+	}
+	f := &Fleet{
+		qd:     cfg.QueueDepth,
+		vnodes: cfg.VirtualNodes,
+		repl:   cfg.Repl,
+		newDev: cfg.NewDevice,
+		chunk:  cfg.ScanChunk,
+	}
+	f.ownScratch.New = func() any { s := make([]int32, 0, 8); return &s }
+	for i, dev := range devs {
+		eng, err := host.New(dev, cfg.QueueDepth)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: member %d: %w", i, err)
+		}
+		m := &member{id: int32(i), dev: dev, eng: eng}
+		if cfg.Tracers != nil {
+			m.tr = cfg.Tracers[i]
+			eng.SetTracer(m.tr)
+		}
+		f.members = append(f.members, m)
+		f.ringIDs = append(f.ringIDs, int32(i))
+	}
+	f.ring = cluster.BuildRing(f.ringIDs, f.vnodes)
+	return f, nil
+}
+
+// Replication returns the protocol in force.
+func (f *Fleet) Replication() Replication { return f.repl }
+
+// Members returns the member IDs ever created (including dead and retired
+// members — IDs are stable forever).
+func (f *Fleet) Members() []int32 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ids := make([]int32, len(f.members))
+	for i, m := range f.members {
+		ids[i] = m.id
+	}
+	return ids
+}
+
+// RingMembers returns the committed ring membership.
+func (f *Fleet) RingMembers() []int32 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]int32(nil), f.ringIDs...)
+}
+
+// Epoch returns the number of committed migration epochs.
+func (f *Fleet) Epoch() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
+// State returns a member's lifecycle state name and kill cause ("" while
+// never killed).
+func (f *Fleet) State(id int) (state string, cause string, err error) {
+	m, err := f.memberByID(int32(id))
+	if err != nil {
+		return "", "", err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state == stateDead {
+		return m.state.String(), m.cause.String(), nil
+	}
+	return m.state.String(), "", nil
+}
+
+func (f *Fleet) memberByID(id int32) (*member, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(f.members) {
+		return nil, fmt.Errorf("fleet: no member %d", id)
+	}
+	return f.members[id], nil
+}
+
+// owners computes the key's owner walk under the committed ring and, when a
+// migration is streaming, appends the old ring's owners not already present
+// — the union a write must cover and the fallback order a double-read
+// consults (new owners first, then the old). Callers return the slice via
+// putOwners.
+func (f *Fleet) owners(key []byte) []int32 {
+	h := cluster.HashKey(key)
+	sp := f.ownScratch.Get().(*[]int32)
+	dst := (*sp)[:0]
+	f.mu.Lock()
+	dst = f.ring.OwnersHash(dst, h, f.repl.Factor)
+	if f.mig != nil {
+		n := len(dst)
+		tmp := f.mig.oldRing.OwnersHash(dst, h, f.repl.Factor)
+		// Dedup the old-ring walk against the committed one.
+		dst = dst[:n]
+		for _, m := range tmp[n:] {
+			if !containsID(dst, m) {
+				dst = append(dst, m)
+			}
+		}
+	}
+	f.mu.Unlock()
+	*sp = dst
+	return dst
+}
+
+func (f *Fleet) putOwners(dst []int32) {
+	sp := &dst
+	f.ownScratch.Put(sp)
+}
+
+func containsID(ids []int32, m int32) bool {
+	for _, v := range ids {
+		if v == m {
+			return true
+		}
+	}
+	return false
+}
+
+// PrimaryFor returns the key's first committed-ring owner — what a
+// non-replicated cluster would call its shard.
+func (f *Fleet) PrimaryFor(key []byte) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int(f.ring.OwnerHash(cluster.HashKey(key)))
+}
+
+// ReplicaAttempt is one replica's slice of a replicated operation.
+type ReplicaAttempt struct {
+	Member int
+	Comp   host.Completion
+	Err    error
+}
+
+// OpResult is the outcome of one replicated operation.
+type OpResult struct {
+	// Owners is the owner walk used (committed ring first; during a
+	// migration the old ring's extra owners follow).
+	Owners []int
+	// Replicas holds the device attempts actually executed, in walk order.
+	Replicas []ReplicaAttempt
+	// Acked reports a write that met its quorum, or a read that found a
+	// value.
+	Acked bool
+	// AckDone is a write's acknowledgment instant — the WriteQuorum-th
+	// earliest successful replica completion, merged numerically across the
+	// replicas' clock domains — or a read's serving completion time.
+	AckDone sim.Time
+	// Served is the member that served a read (-1 otherwise).
+	Served int
+	// Value is a read's payload, copied out of the serving device; Pairs a
+	// scan's results.
+	Value []byte
+	Pairs []kv.Pair
+	// Err is the operation verdict: nil, ErrQuorumNotMet, ErrShardDown, or
+	// kv.ErrNotFound.
+	Err error
+}
+
+// ArrivalFunc maps a member ID to the arrival instant in that member's
+// clock domain. Closed-loop paths pass nil (each replica issues when its
+// earliest slot frees).
+type ArrivalFunc func(member int) sim.Time
+
+// write executes one replicated Put or Delete: every alive (or rebuilding)
+// owner executes it in walk order, and the op acks iff at least WriteQuorum
+// fully-alive owners succeeded.
+func (f *Fleet) write(arrival ArrivalFunc, key, value []byte, del bool) OpResult {
+	owners := f.owners(key)
+	defer f.putOwners(owners)
+	res := OpResult{Served: -1, Owners: append([]int(nil), toInts(owners)...)}
+	var ackTimes []sim.Time
+	for _, id := range owners {
+		m := f.members[id]
+		m.mu.Lock()
+		st := m.state
+		if st == stateDead || st == stateRetired {
+			m.mu.Unlock()
+			continue
+		}
+		var comp host.Completion
+		var err error
+		switch {
+		case del && arrival == nil:
+			comp, err = m.eng.Delete(key)
+		case del:
+			comp, err = m.eng.DeleteAt(arrival(int(id)), key)
+		case arrival == nil:
+			comp, err = m.eng.Put(key, value)
+		default:
+			comp, err = m.eng.PutAt(arrival(int(id)), key, value)
+		}
+		m.ops++
+		m.mu.Unlock()
+		res.Replicas = append(res.Replicas, ReplicaAttempt{Member: int(id), Comp: comp, Err: err})
+		if err == nil && st == stateAlive {
+			ackTimes = append(ackTimes, comp.Done)
+		}
+	}
+	if len(res.Replicas) == 0 {
+		res.Err = ErrShardDown
+		return res
+	}
+	if len(ackTimes) < f.repl.WriteQuorum {
+		res.Err = ErrQuorumNotMet
+		f.mu.Lock()
+		f.quorumFailures++
+		f.mu.Unlock()
+		return res
+	}
+	// The ack instant is the quorum-th earliest replica completion: the
+	// client is satisfied the moment W replicas confirmed, whatever the
+	// stragglers do. Replica counts are tiny; insertion sort.
+	for i := 1; i < len(ackTimes); i++ {
+		for j := i; j > 0 && ackTimes[j] < ackTimes[j-1]; j-- {
+			ackTimes[j], ackTimes[j-1] = ackTimes[j-1], ackTimes[j]
+		}
+	}
+	res.Acked = true
+	res.AckDone = ackTimes[f.repl.WriteQuorum-1]
+	return res
+}
+
+// read executes one replicated Get: the first alive owner serves; a down
+// replica or a miss falls back along the walk (double-reads during
+// migration resolve through exactly this fallback). In ReadRepair mode
+// every alive owner is read and divergent replicas are re-written with the
+// serving value.
+func (f *Fleet) read(arrival ArrivalFunc, key []byte) OpResult {
+	owners := f.owners(key)
+	defer f.putOwners(owners)
+	res := OpResult{Served: -1, Owners: append([]int(nil), toInts(owners)...)}
+	repair := f.repl.ReadMode == ReadRepair
+	var repairTargets []int32
+	tried := 0
+	for walk, id := range owners {
+		m := f.members[id]
+		m.mu.Lock()
+		st := m.state
+		if st != stateAlive {
+			m.mu.Unlock()
+			continue
+		}
+		if res.Served >= 0 && !repair {
+			m.mu.Unlock()
+			break
+		}
+		var comp host.Completion
+		var err error
+		if arrival == nil {
+			comp, err = m.eng.Get(key)
+		} else {
+			comp, err = m.eng.GetAt(arrival(int(id)), key)
+		}
+		if comp.Value != nil {
+			// Values are device-owned until the member's next operation; a
+			// replicated read touches several members, so copy out.
+			comp.Value = append([]byte(nil), comp.Value...)
+		}
+		m.ops++
+		m.mu.Unlock()
+		tried++
+		res.Replicas = append(res.Replicas, ReplicaAttempt{Member: int(id), Comp: comp, Err: err})
+		switch {
+		case res.Served < 0 && err == nil:
+			res.Served = int(id)
+			res.Value = comp.Value
+			res.AckDone = comp.Done
+			res.Acked = true
+			// A serve past the walk's head is a fallback, whether the
+			// earlier owners were down (skipped) or missed (tried).
+			if walk > 0 {
+				f.mu.Lock()
+				f.readFallbacks++
+				f.mu.Unlock()
+			}
+		case res.Served >= 0 && (err != nil || !bytesEqual(comp.Value, res.Value)):
+			// Divergent or missing replica behind the serving one.
+			repairTargets = append(repairTargets, id)
+		}
+	}
+	if tried == 0 {
+		res.Err = ErrShardDown
+		return res
+	}
+	if res.Served < 0 {
+		res.Err = kv.ErrNotFound
+		return res
+	}
+	repaired := 0
+	for _, id := range repairTargets {
+		m := f.members[id]
+		m.mu.Lock()
+		if m.state == stateAlive {
+			if _, err := m.eng.Put(key, res.Value); err == nil {
+				m.ops++
+				repaired++
+			}
+		}
+		m.mu.Unlock()
+	}
+	if repaired > 0 {
+		f.mu.Lock()
+		f.readRepairs += int64(repaired)
+		f.mu.Unlock()
+	}
+	return res
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func toInts(ids []int32) []int {
+	out := make([]int, len(ids))
+	for i, v := range ids {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// Put stores one pair on every alive owner (closed loop).
+func (f *Fleet) Put(key, value []byte) OpResult { return f.write(nil, key, value, false) }
+
+// Delete removes one key on every alive owner (closed loop).
+func (f *Fleet) Delete(key []byte) OpResult { return f.write(nil, key, nil, true) }
+
+// Get reads one key, read-one with fallback (closed loop).
+func (f *Fleet) Get(key []byte) OpResult { return f.read(nil, key) }
+
+// PutAt is the open-loop replicated Put: arrival maps each replica's
+// arrival instant into that member's clock domain.
+func (f *Fleet) PutAt(arrival ArrivalFunc, key, value []byte) OpResult {
+	return f.write(arrival, key, value, false)
+}
+
+// DeleteAt is the open-loop replicated Delete.
+func (f *Fleet) DeleteAt(arrival ArrivalFunc, key []byte) OpResult {
+	return f.write(arrival, key, nil, true)
+}
+
+// GetAt is the open-loop replicated Get.
+func (f *Fleet) GetAt(arrival ArrivalFunc, key []byte) OpResult {
+	return f.read(arrival, key)
+}
+
+// ScanAt runs an open-loop range query against ONE member (the per-shard
+// scan the network server fans out; replication does not merge scans).
+func (f *Fleet) ScanAt(id int, arrival sim.Time, start []byte, n int) (host.Completion, error) {
+	m, err := f.memberByID(int32(id))
+	if err != nil {
+		return host.Completion{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state == stateDead {
+		return host.Completion{}, ErrShardDown
+	}
+	comp, err := m.eng.ScanAt(arrival, start, n)
+	m.ops++
+	return comp, err
+}
+
+// Now returns the merged fleet clock: the maximum over member clocks.
+func (f *Fleet) Now() sim.Time {
+	var mx sim.Time
+	f.mu.Lock()
+	members := f.members
+	f.mu.Unlock()
+	for _, m := range members {
+		m.mu.Lock()
+		t := m.eng.Now()
+		m.mu.Unlock()
+		if t > mx {
+			mx = t
+		}
+	}
+	return mx
+}
+
+// MemberNow returns member id's clock.
+func (f *Fleet) MemberNow(id int) sim.Time {
+	m, err := f.memberByID(int32(id))
+	if err != nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.eng.Now()
+}
+
+// Barrier drains every live member's in-flight requests (clock domains stay
+// independent) and returns the merged fleet time.
+func (f *Fleet) Barrier() sim.Time {
+	var mx sim.Time
+	f.mu.Lock()
+	members := f.members
+	f.mu.Unlock()
+	for _, m := range members {
+		m.mu.Lock()
+		if m.state != stateDead {
+			if t := m.eng.Barrier(); t > mx {
+				mx = t
+			}
+		}
+		m.mu.Unlock()
+	}
+	return mx
+}
+
+// Sync flushes every live member and returns the merged completion time.
+func (f *Fleet) Sync() (sim.Time, error) {
+	var done sim.Time
+	var firstErr error
+	f.mu.Lock()
+	members := f.members
+	f.mu.Unlock()
+	for _, m := range members {
+		m.mu.Lock()
+		if m.state == stateDead || m.state == stateRetired {
+			m.mu.Unlock()
+			continue
+		}
+		comp, err := m.eng.Sync()
+		m.ops++
+		m.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("fleet: member %d sync: %w", m.id, err)
+		}
+		if comp.Done > done {
+			done = comp.Done
+		}
+	}
+	return done, firstErr
+}
+
+// ResetBreakdowns clears every member engine's latency histograms.
+func (f *Fleet) ResetBreakdowns() {
+	f.mu.Lock()
+	members := f.members
+	f.mu.Unlock()
+	for _, m := range members {
+		m.mu.Lock()
+		m.eng.ResetBreakdown()
+		m.mu.Unlock()
+	}
+}
+
+// Engine returns member id's host engine (tests and advanced drivers).
+func (f *Fleet) Engine(id int) *host.Engine { return f.members[id].eng }
+
+// Device returns member id's underlying device.
+func (f *Fleet) Device(id int) device.KVSSD { return f.members[id].dev }
+
+// Tracers returns the per-member tracers (nil when any member is untraced).
+func (f *Fleet) Tracers() []*trace.Tracer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []*trace.Tracer
+	for _, m := range f.members {
+		if m.tr == nil {
+			return nil
+		}
+		out = append(out, m.tr)
+	}
+	return out
+}
+
+// Blame merges every member tracer's blame report (nil when untraced).
+func (f *Fleet) Blame(opts trace.BlameOptions) *trace.BlameReport {
+	trs := f.Tracers()
+	if trs == nil {
+		return nil
+	}
+	reports := make([]*trace.BlameReport, 0, len(trs))
+	for _, tr := range trs {
+		reports = append(reports, tr.Blame(opts))
+	}
+	return trace.MergeBlameReports(reports...)
+}

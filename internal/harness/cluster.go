@@ -50,9 +50,15 @@ func (c *ClusterRunConfig) defaults() error {
 	return nil
 }
 
-// capacityBytes returns the fleet's raw capacity (all shards).
+// capacityBytes returns the fleet's usable capacity: all shards, divided by
+// the replication factor when the cluster replicates (every key occupies
+// Factor devices).
 func (c *ClusterRunConfig) capacityBytes() int64 {
-	return int64(c.Cluster.Shards) * int64(c.Cluster.Device.CapacityMB) << 20
+	b := int64(c.Cluster.Shards) * int64(c.Cluster.Device.CapacityMB) << 20
+	if f := c.Cluster.Replication.Factor; f > 1 {
+		b /= int64(f)
+	}
+	return b
 }
 
 // Population returns the number of distinct keys the run loads across the
@@ -110,6 +116,10 @@ type ClusterResult struct {
 	// Open carries the open-loop client's tally, present only when the
 	// workload had an arrival process.
 	Open *OpenStats
+
+	// ReplStats carries the fleet replication counters when the cluster was
+	// opened with a replication factor (zero Factor otherwise).
+	ReplStats anykey.ReplicationStats
 
 	Verified int64
 
@@ -341,6 +351,9 @@ func finishCluster(cfg ClusterRunConfig, cl *anykey.Cluster, res *ClusterResult,
 	}
 	if res.Ops > 0 {
 		res.HottestShare = float64(hottest) / float64(res.Ops)
+	}
+	if fs, err := cl.FleetStats(); err == nil {
+		res.ReplStats = fs.Repl
 	}
 	if cfg.Cluster.Device.Trace != nil {
 		res.Cluster = cl

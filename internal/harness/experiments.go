@@ -159,6 +159,7 @@ func Experiments() []Experiment {
 		{"blame", "tail-latency blame attribution (trace-based)", expBlame},
 		{"cluster", "sharded multi-device cluster: shards × QD × skew", expCluster},
 		{"storm", "open-loop overload: goodput collapse & metastability knee", expStorm},
+		{"fleet", "elastic replicated fleet: R × kill-one-device durability, live reshard", expFleet},
 	}
 }
 
@@ -1073,4 +1074,141 @@ func expStorm(o ExpOptions) (*Report, error) {
 	}
 	rep.Tables = append(rep.Tables, probe)
 	return rep, nil
+}
+
+// --- fleet -------------------------------------------------------------------
+
+// fleetBase builds one replicated-fleet cell: the cluster experiment's shard
+// geometry (16 MB devices on a 4×4 chip grid, DRAM at 1/100) with a
+// replication factor, driven by arrival-clocked traffic over the storm
+// horizon. The scenario schedule (kill / rebuild / add-shard fractions) is
+// left zero for the caller to fill.
+func (o *ExpOptions) fleetBase(design anykey.Design, shards int, repl anykey.ReplicationOptions, arr workload.ArrivalSpec) FleetRunConfig {
+	cfg := FleetRunConfig{
+		Cluster: anykey.ClusterOptions{
+			Shards:      shards,
+			QueueDepth:  64,
+			Replication: repl,
+			Device: anykey.Options{
+				Design:          design,
+				CapacityMB:      16,
+				Channels:        4,
+				ChipsPerChannel: 4,
+				DRAMBytes:       16 << 20 / 100,
+				Seed:            o.Seed,
+			},
+		},
+		BaseConfig: BaseConfig{Workload: mustSpec("ZippyDB").WithArrival(arr), Seed: o.Seed},
+	}
+	cfg.Horizon = 100 * sim.Millisecond
+	if o.Quick {
+		cfg.Horizon = 20 * sim.Millisecond
+	}
+	return cfg
+}
+
+// fleetRun executes one fleet cell through the configured runner.
+func (o *ExpOptions) fleetRun(cfg FleetRunConfig) (*FleetResult, error) {
+	res, err := o.cellRunner().fleetMeasure(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fleet %v x%d R=%d/%s: %w",
+			cfg.Cluster.Device.Design, cfg.Cluster.Shards,
+			cfg.Cluster.Replication.Factor, cfg.Workload.Name, err)
+	}
+	return res, nil
+}
+
+// expFleet measures the elastic replicated fleet. The durability table kills
+// one of four member devices mid-storm at R ∈ {1,2,3} and rebuilds it from
+// the survivors while traffic keeps arriving: the oracle then reads back
+// every acknowledged write. At R=1 the kill provably loses acknowledged data;
+// at R≥2/W=2 it must lose none, and the read-latency windows around the kill
+// show the blast radius the outage and the rebuild stream leave on the tail.
+// The reshard table grows the ring 4→5 under live load and scores the
+// migration by moved fraction, double-read fallbacks and verified reads.
+func expFleet(o ExpOptions) (*Report, error) {
+	if o.Faults != nil {
+		return nil, fmt.Errorf("fleet: fault injection is not supported on fleet runs")
+	}
+	rep := &Report{ID: "fleet", Title: "Elastic replicated fleet: kill-one-device durability and live resharding",
+		Notes: []string{"Four 16 MB member devices (the cluster shard geometry), ZippyDB traffic on",
+			"an open arrival clock. Keys replicate to R distinct ring members; a write",
+			"acks when W fully-alive replicas complete, a read serves from the first",
+			"alive owner and falls back down the walk. Mid-run one member dies (power",
+			"cut), then a replacement is refilled from the survivors' scans between",
+			"client ops. 'lost acked' counts acknowledged writes the fleet could not",
+			"serve afterwards — the durability contract per R/W. The reshard table",
+			"adds a fifth member under the same live load; reads double-read through",
+			"the old ring until the migration commits, so none should fail or return",
+			"stale payloads ('verified' counts fresh reads checked byte-for-byte)."}}
+
+	systems := threeSystems
+	factors := []int{1, 2, 3}
+	if o.Quick {
+		systems = []anykey.Design{anykey.DesignAnyKeyPlus}
+		factors = []int{1, 2}
+	}
+	arr := workload.ArrivalSpec{Shape: workload.ArrivalConstant, Rate: 50e3}
+
+	dur := Table{Name: "kill-one-device durability (4 members, kill@40%, rebuild@55% of horizon)",
+		Header: []string{"system", "R", "W", "acked", "lost", "quorum-fail", "read-fallback",
+			"rebuilt keys", "rebuild time", "p99 pre", "p99 outage", "p99 post", "goodput/s"}}
+	for _, sys := range systems {
+		for _, r := range factors {
+			w := r
+			if w > 2 {
+				w = 2
+			}
+			cfg := o.fleetBase(sys, 4, anykey.ReplicationOptions{Factor: r, WriteQuorum: w}, arr)
+			cfg.KillAtFrac, cfg.KillShard, cfg.KillCause = 0.4, 1, anykey.KillPowerCut
+			cfg.RebuildAtFrac = 0.55
+			res, err := o.fleetRun(cfg)
+			if err != nil {
+				return nil, err
+			}
+			dur.Rows = append(dur.Rows, []string{res.System, fmt.Sprint(res.R), fmt.Sprint(res.W),
+				fmt.Sprint(res.AckedIDs), fmt.Sprint(res.LostAcked),
+				fmt.Sprint(res.Repl.QuorumFailures), fmt.Sprint(res.Repl.ReadFallbacks),
+				fmt.Sprint(res.RebuildKeys), fdur(res.RebuildDur),
+				fdur(res.ReadPre.Percentile(99)), fdur(res.ReadOutage.Percentile(99)),
+				fdur(res.ReadPost.Percentile(99)), fiops(openGoodput(res.Open))})
+			if res.R >= 2 && res.W >= 2 && res.LostAcked > 0 {
+				rep.Notes = append(rep.Notes, fmt.Sprintf(
+					"WARNING: %s lost %d acknowledged writes at R=%d/W=%d — durability contract violated",
+					res.System, res.LostAcked, res.R, res.W))
+			}
+		}
+	}
+	rep.Tables = append(rep.Tables, dur)
+
+	shard := Table{Name: "live reshard: AddShard 4→5 under load (R=2/W=2, add@30% of horizon)",
+		Header: []string{"system", "population", "migrated", "moved frac", "migration time",
+			"read-fallback", "verified", "lost", "p99 read"}}
+	for _, sys := range systems {
+		cfg := o.fleetBase(sys, 4, anykey.ReplicationOptions{Factor: 2, WriteQuorum: 2}, arr)
+		cfg.AddShardAtFrac = 0.3
+		res, err := o.fleetRun(cfg)
+		if err != nil {
+			return nil, err
+		}
+		frac := 0.0
+		if res.Population > 0 {
+			frac = float64(res.Repl.MigratedKeys) / float64(res.Population)
+		}
+		shard.Rows = append(shard.Rows, []string{res.System, fmt.Sprint(res.Population),
+			fmt.Sprint(res.Repl.MigratedKeys), fpct(frac), fdur(res.MigrateDur),
+			fmt.Sprint(res.Repl.ReadFallbacks), fmt.Sprint(res.Verified),
+			fmt.Sprint(res.LostAcked), fdur(res.ReadLat.Percentile(99))})
+	}
+	rep.Tables = append(rep.Tables, shard)
+	return rep, nil
+}
+
+// openGoodput is nil-safe goodput for report rows (the parallel planner's
+// placeholder pass carries an empty scorecard).
+func openGoodput(st *OpenStats) float64 {
+	if st == nil {
+		return 0
+	}
+	return st.Goodput
 }

@@ -34,6 +34,7 @@ type cellRunner interface {
 	measure(cfg RunConfig) (*Result, error)
 	fill(fc fillConfig) (*FillResult, error)
 	clusterMeasure(cfg ClusterRunConfig) (*ClusterResult, error)
+	fleetMeasure(cfg FleetRunConfig) (*FleetResult, error)
 }
 
 // fillConfig identifies one fill-to-full cell.
@@ -50,15 +51,19 @@ type cellKey struct {
 	run       RunConfig
 	fill      fillConfig
 	cluster   ClusterRunConfig
+	fleet     FleetRunConfig
 	isFill    bool
 	isCluster bool
+	isFleet   bool
 }
 
-// cellOutcome is a completed cell: exactly one of res/fr/cres set, or err.
+// cellOutcome is a completed cell: exactly one of res/fr/cres/fres set, or
+// err.
 type cellOutcome struct {
 	res  *Result
 	fr   *FillResult
 	cres *ClusterResult
+	fres *FleetResult
 	err  error
 }
 
@@ -105,6 +110,20 @@ func fillProgress(fr *FillResult) string {
 func clusterProgress(res *ClusterResult) string {
 	return fmt.Sprintf("  %-11s %-8s ops=%-8d IOPS=%-9s p95(batch)=%v",
 		res.System, res.Workload, res.Ops, fiops(res.IOPS), res.BatchLat.Percentile(95))
+}
+
+func (s serialRunner) fleetMeasure(cfg FleetRunConfig) (*FleetResult, error) {
+	res, err := RunFleet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.o.progress("%s", fleetProgress(res))
+	return res, nil
+}
+
+func fleetProgress(res *FleetResult) string {
+	return fmt.Sprintf("  %-18s %-8s acked=%-7d lost=%-4d p99(read)=%v",
+		res.System, res.Workload, res.AckedIDs, res.LostAcked, res.ReadLat.Percentile(99))
 }
 
 // planRunner records each distinct cell in first-use order and returns
@@ -163,6 +182,20 @@ func (p *planRunner) clusterMeasure(cfg ClusterRunConfig) (*ClusterResult, error
 	return res, nil
 }
 
+func (p *planRunner) fleetMeasure(cfg FleetRunConfig) (*FleetResult, error) {
+	p.add(cellKey{fleet: cfg, isFleet: true})
+	repl := cfg.Cluster.Replication
+	return &FleetResult{
+		System: fmt.Sprintf("%s x%d R=%d W=%d",
+			cfg.Cluster.Device.Design, cfg.Cluster.Shards, repl.Factor, repl.WriteQuorum),
+		Workload: cfg.Workload.Name,
+		Members:  cfg.Cluster.Shards,
+		R:        repl.Factor,
+		W:        repl.WriteQuorum,
+		Open:     &OpenStats{},
+	}, nil
+}
+
 // replayRunner serves memoized outcomes to the final body run.
 type replayRunner struct {
 	outcomes map[cellKey]*cellOutcome
@@ -191,6 +224,15 @@ func (r *replayRunner) clusterMeasure(cfg ClusterRunConfig) (*ClusterResult, err
 			cfg.Cluster.Device.Design, cfg.Cluster.Shards, cfg.Workload.Name)
 	}
 	return out.cres, out.err
+}
+
+func (r *replayRunner) fleetMeasure(cfg FleetRunConfig) (*FleetResult, error) {
+	out, ok := r.outcomes[cellKey{fleet: cfg, isFleet: true}]
+	if !ok {
+		return nil, fmt.Errorf("harness: replay asked for an unplanned fleet cell %v x%d R=%d/%s",
+			cfg.Cluster.Device.Design, cfg.Cluster.Shards, cfg.Cluster.Replication.Factor, cfg.Workload.Name)
+	}
+	return out.fres, out.err
 }
 
 // runParallel plans an experiment's cells, executes them on opt.Parallel
@@ -246,6 +288,11 @@ func executeCells(o *ExpOptions, cells []cellKey) map[cellKey]*cellOutcome {
 					out.cres, out.err = RunCluster(k.cluster)
 					if out.err == nil {
 						line = clusterProgress(out.cres)
+					}
+				case k.isFleet:
+					out.fres, out.err = RunFleet(k.fleet)
+					if out.err == nil {
+						line = fleetProgress(out.fres)
 					}
 				default:
 					out.res, out.err = Run(k.run)

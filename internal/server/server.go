@@ -146,6 +146,47 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 	}
 }
 
+// fleetMetrics is the replication/migration/rebuild family, registered only
+// when the cluster runs with Replication.Factor > 0. The counters mirror
+// the fleet's monotone tallies on every scrape.
+type fleetMetrics struct {
+	up *metrics.GaugeVec // {shard} 1 = alive, 0 = dead/rebuilding/retired
+
+	epoch           *metrics.Gauge
+	migrationActive *metrics.Gauge
+	ringMembers     *metrics.Gauge
+	deadMembers     *metrics.Gauge
+
+	quorumFailures *metrics.Counter
+	readFallbacks  *metrics.Counter
+	readRepairs    *metrics.Counter
+	migratedKeys   *metrics.Counter
+	migratedBytes  *metrics.Counter
+	cleanupDeletes *metrics.Counter
+	rebuilds       *metrics.Counter
+	rebuiltKeys    *metrics.Counter
+}
+
+func newFleetMetrics(r *metrics.Registry) *fleetMetrics {
+	return &fleetMetrics{
+		up: r.NewGaugeVec("anykey_shard_up", "1 while the member serves (alive), 0 while dead, rebuilding or retired.", "shard"),
+
+		epoch:           r.NewGauge("anykey_fleet_epoch", "Committed topology-migration epochs."),
+		migrationActive: r.NewGauge("anykey_fleet_migration_active", "1 while a topology change is streaming keys."),
+		ringMembers:     r.NewGauge("anykey_fleet_ring_members", "Members on the committed ring."),
+		deadMembers:     r.NewGauge("anykey_fleet_dead_members", "Members currently dead."),
+
+		quorumFailures: r.NewCounter("anykey_fleet_quorum_failures_total", "Writes acknowledged by fewer than WriteQuorum alive replicas."),
+		readFallbacks:  r.NewCounter("anykey_fleet_read_fallbacks_total", "Reads served by an owner past the first alive one tried."),
+		readRepairs:    r.NewCounter("anykey_fleet_read_repairs_total", "Divergent replicas re-written by read-repair reads."),
+		migratedKeys:   r.NewCounter("anykey_fleet_migrated_keys_total", "Keys streamed by topology migrations."),
+		migratedBytes:  r.NewCounter("anykey_fleet_migrated_bytes_total", "Bytes streamed by topology migrations."),
+		cleanupDeletes: r.NewCounter("anykey_fleet_cleanup_deletes_total", "Stale copies deleted off ex-owners at epoch commits."),
+		rebuilds:       r.NewCounter("anykey_fleet_rebuilds_total", "Completed device rebuilds."),
+		rebuiltKeys:    r.NewCounter("anykey_fleet_rebuilt_keys_total", "Keys re-filled onto replacement hardware."),
+	}
+}
+
 // touchShard pre-registers every per-shard series so a scrape taken before
 // traffic still shows each shard at zero.
 func (m *serverMetrics) touchShard(s int) {
@@ -167,11 +208,12 @@ func (m *serverMetrics) touchShard(s int) {
 // Server is a running anykeyserver: a RESP front end, its bridge, and the
 // metrics endpoint.
 type Server struct {
-	cfg Config
-	cl  *anykey.Cluster
-	br  *Bridge
-	reg *metrics.Registry
-	met *serverMetrics
+	cfg  Config
+	cl   *anykey.Cluster
+	br   *Bridge
+	reg  *metrics.Registry
+	met  *serverMetrics
+	fmet *fleetMetrics // nil unless the cluster replicates
 
 	ln  net.Listener
 	mln net.Listener
@@ -215,6 +257,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	for i := 0; i < cl.Shards(); i++ {
 		met.touchShard(i)
+	}
+	if cl.Replication().Factor > 0 {
+		s.fmet = newFleetMetrics(reg)
+		for i := 0; i < cl.Shards(); i++ {
+			s.fmet.up.With(strconv.Itoa(i)).Set(1)
+		}
 	}
 	reg.OnScrape(s.refreshClusterMetrics)
 	s.br = newBridge(cl, cfg.TimeScale, anykey.Duration(cfg.Timeout.Nanoseconds()),
@@ -286,6 +334,39 @@ func (s *Server) refreshClusterMetrics() {
 		s.met.gcRuns.With(sh).Set(float64(ss.GCRuns))
 		s.met.gcRelocs.With(sh).Set(float64(ss.GCRelocations))
 	}
+	if s.fmet == nil {
+		return
+	}
+	fs, err := s.cl.FleetStats()
+	if err != nil {
+		return
+	}
+	for _, m := range fs.Members {
+		var up float64
+		if m.State == "alive" {
+			up = 1
+		}
+		s.fmet.up.With(strconv.Itoa(m.Shard)).Set(up)
+	}
+	s.fmet.epoch.Set(float64(fs.Repl.Epoch))
+	s.fmet.migrationActive.Set(b2f(fs.Repl.MigrationActive))
+	s.fmet.ringMembers.Set(float64(fs.Repl.RingMembers))
+	s.fmet.deadMembers.Set(float64(fs.Repl.DeadMembers))
+	s.fmet.quorumFailures.Set(float64(fs.Repl.QuorumFailures))
+	s.fmet.readFallbacks.Set(float64(fs.Repl.ReadFallbacks))
+	s.fmet.readRepairs.Set(float64(fs.Repl.ReadRepairs))
+	s.fmet.migratedKeys.Set(float64(fs.Repl.MigratedKeys))
+	s.fmet.migratedBytes.Set(float64(fs.Repl.MigratedBytes))
+	s.fmet.cleanupDeletes.Set(float64(fs.Repl.CleanupDeletes))
+	s.fmet.rebuilds.Set(float64(fs.Repl.Rebuilds))
+	s.fmet.rebuiltKeys.Set(float64(fs.Repl.RebuiltKeys))
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Serve runs the HTTP endpoint (if configured) and the RESP accept loop.
@@ -481,10 +562,128 @@ func (s *Server) dispatch(w *respWriter, args [][]byte) bool {
 			return false
 		}
 		s.dispatchScan(w, args[1], n)
+	case "FLEET":
+		s.dispatchFleet(w, args)
 	default:
 		w.WriteError("ERR unknown command '" + sanitizeLine(string(args[0])) + "'")
 	}
 	return false
+}
+
+// dispatchFleet handles FLEET STATUS | KILL <id> [powercut|grownbad] |
+// REBUILD <id> | RMSHARD <id>. Topology commands run on the connection
+// goroutine, concurrent with the shard loops — the fleet's member and
+// topology locks make that safe — so traffic keeps flowing while a rebuild
+// or a removal streams keys. AddShard is deliberately not exposed over the
+// wire: the bridge pins one loop per member at startup, and a member born
+// mid-flight would have no loop to serve it.
+func (s *Server) dispatchFleet(w *respWriter, args [][]byte) {
+	if s.cl.Replication().Factor == 0 {
+		w.WriteError("ERR fleet commands need a replicated cluster (start anykeyserver with -replication)")
+		return
+	}
+	if len(args) < 2 {
+		w.WriteError("ERR wrong number of arguments for 'fleet' command")
+		return
+	}
+	memberArg := func() (int, bool) {
+		if len(args) < 3 {
+			w.WriteError("ERR fleet " + strings.ToLower(string(args[1])) + " needs a member id")
+			return 0, false
+		}
+		id, err := strconv.Atoi(string(args[2]))
+		if err != nil {
+			w.WriteError("ERR invalid member id " + sanitizeLine(string(args[2])))
+			return 0, false
+		}
+		return id, true
+	}
+	switch strings.ToUpper(string(args[1])) {
+	case "STATUS":
+		fs, err := s.cl.FleetStats()
+		if err != nil {
+			w.WriteError("ERR " + err.Error())
+			return
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "factor:%d\r\nwrite_quorum:%d\r\nread_mode:%s\r\n",
+			fs.Repl.Factor, fs.Repl.WriteQuorum, fs.Repl.ReadMode)
+		fmt.Fprintf(&sb, "epoch:%d\r\nmigration_active:%d\r\nring_members:%d\r\ndead_members:%d\r\n",
+			fs.Repl.Epoch, int(b2f(fs.Repl.MigrationActive)), fs.Repl.RingMembers, fs.Repl.DeadMembers)
+		fmt.Fprintf(&sb, "quorum_failures:%d\r\nread_fallbacks:%d\r\nread_repairs:%d\r\n",
+			fs.Repl.QuorumFailures, fs.Repl.ReadFallbacks, fs.Repl.ReadRepairs)
+		fmt.Fprintf(&sb, "migrated_keys:%d\r\nmigrated_bytes:%d\r\ncleanup_deletes:%d\r\n",
+			fs.Repl.MigratedKeys, fs.Repl.MigratedBytes, fs.Repl.CleanupDeletes)
+		fmt.Fprintf(&sb, "rebuilds:%d\r\nrebuilt_keys:%d\r\n", fs.Repl.Rebuilds, fs.Repl.RebuiltKeys)
+		for _, m := range fs.Members {
+			state := m.State
+			if m.Cause != "" {
+				state += "(" + m.Cause + ")"
+			}
+			fmt.Fprintf(&sb, "member%d:%s\r\n", m.Shard, state)
+		}
+		w.WriteBulk([]byte(sb.String()))
+	case "KILL":
+		id, ok := memberArg()
+		if !ok {
+			return
+		}
+		cause := anykey.KillPowerCut
+		if len(args) == 4 {
+			switch strings.ToLower(string(args[3])) {
+			case "powercut":
+				cause = anykey.KillPowerCut
+			case "grownbad":
+				cause = anykey.KillGrownBad
+			default:
+				w.WriteError("ERR unknown kill cause " + sanitizeLine(string(args[3])) + " (powercut | grownbad)")
+				return
+			}
+		}
+		if err := s.cl.KillShard(id, cause); err != nil {
+			w.WriteError("ERR " + err.Error())
+			return
+		}
+		w.WriteSimple("OK")
+	case "REBUILD":
+		id, ok := memberArg()
+		if !ok {
+			return
+		}
+		rb, err := s.cl.RebuildShard(id)
+		if err != nil {
+			w.WriteError("ERR " + err.Error())
+			return
+		}
+		if err := rb.Run(); err != nil {
+			w.WriteError("ERR " + err.Error())
+			return
+		}
+		_, _, keys := rb.Progress()
+		w.WriteInt(keys)
+	case "RMSHARD":
+		id, ok := memberArg()
+		if !ok {
+			return
+		}
+		mig, err := s.cl.RemoveShard(id)
+		if err != nil {
+			w.WriteError("ERR " + err.Error())
+			return
+		}
+		if err := mig.Run(); err != nil {
+			w.WriteError("ERR " + err.Error())
+			return
+		}
+		fs, err := s.cl.FleetStats()
+		if err != nil {
+			w.WriteError("ERR " + err.Error())
+			return
+		}
+		w.WriteInt(fs.Repl.MigratedKeys)
+	default:
+		w.WriteError("ERR unknown fleet subcommand '" + sanitizeLine(string(args[1])) + "'")
+	}
 }
 
 // doStorage stamps one wall arrival for the batch, fans each request out to
@@ -604,6 +803,19 @@ func (s *Server) info() string {
 	fmt.Fprintf(&sb, "live_bytes:%d\r\n", st.LiveBytes)
 	fmt.Fprintf(&sb, "flash_writes:%d\r\n", st.Flash.TotalWrites())
 	fmt.Fprintf(&sb, "gc_runs:%d\r\n", st.GCRuns)
+	if fs, err := s.cl.FleetStats(); err == nil {
+		fmt.Fprintf(&sb, "# Replication\r\n")
+		fmt.Fprintf(&sb, "replication_factor:%d\r\n", fs.Repl.Factor)
+		fmt.Fprintf(&sb, "write_quorum:%d\r\n", fs.Repl.WriteQuorum)
+		fmt.Fprintf(&sb, "read_mode:%s\r\n", fs.Repl.ReadMode)
+		fmt.Fprintf(&sb, "epoch:%d\r\n", fs.Repl.Epoch)
+		fmt.Fprintf(&sb, "ring_members:%d\r\n", fs.Repl.RingMembers)
+		fmt.Fprintf(&sb, "dead_members:%d\r\n", fs.Repl.DeadMembers)
+		fmt.Fprintf(&sb, "quorum_failures:%d\r\n", fs.Repl.QuorumFailures)
+		fmt.Fprintf(&sb, "read_fallbacks:%d\r\n", fs.Repl.ReadFallbacks)
+		fmt.Fprintf(&sb, "migrated_keys:%d\r\n", fs.Repl.MigratedKeys)
+		fmt.Fprintf(&sb, "rebuilds:%d\r\n", fs.Repl.Rebuilds)
+	}
 	for _, ss := range st.PerShard {
 		fmt.Fprintf(&sb, "# Shard%d\r\n", ss.Shard)
 		fmt.Fprintf(&sb, "ops:%d\r\n", ss.Ops)

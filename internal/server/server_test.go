@@ -367,6 +367,105 @@ func metricValue(t *testing.T, body, series string) float64 {
 	return 0
 }
 
+// TestServerFleet drives the elastic-fleet surface over the wire: INFO's
+// replication section, FLEET KILL with replicas serving every acked key,
+// FLEET REBUILD bringing the member back, FLEET RMSHARD shrinking the ring
+// under the same data, and the anykey_fleet_* metrics moving.
+func TestServerFleet(t *testing.T) {
+	cfg := testConfig()
+	cfg.Cluster.Replication = anykey.ReplicationOptions{Factor: 2}
+	s, addr := startServer(t, cfg)
+	c := dialT(t, addr)
+
+	rp, err := c.Do("INFO")
+	if err != nil || !strings.Contains(string(rp.Bulk), "# Replication") ||
+		!strings.Contains(string(rp.Bulk), "replication_factor:2") {
+		t.Fatalf("INFO missing replication section: %s, %v", rp.Text(), err)
+	}
+
+	const keys = 40
+	for i := 0; i < keys; i++ {
+		if rp, err := c.Do("SET", fmt.Sprintf("fleet:%03d", i), "v"+strconv.Itoa(i)); err != nil || rp.Str != "OK" {
+			t.Fatalf("SET %d: %s, %v", i, rp.Text(), err)
+		}
+	}
+
+	if rp, err := c.Do("FLEET", "KILL", "1", "grownbad"); err != nil || rp.Str != "OK" {
+		t.Fatalf("FLEET KILL: %s, %v", rp.Text(), err)
+	}
+	rp, err = c.Do("FLEET", "STATUS")
+	if err != nil || !strings.Contains(string(rp.Bulk), "member1:dead(grown-bad)") {
+		t.Fatalf("FLEET STATUS after kill: %s, %v", rp.Text(), err)
+	}
+	// Every acknowledged key must still read back through surviving replicas.
+	for i := 0; i < keys; i++ {
+		rp, err := c.Do("GET", fmt.Sprintf("fleet:%03d", i))
+		if err != nil || string(rp.Bulk) != "v"+strconv.Itoa(i) {
+			t.Fatalf("GET %d with member 1 dead: %s, %v", i, rp.Text(), err)
+		}
+	}
+
+	rp, err = c.Do("FLEET", "REBUILD", "1")
+	if err != nil || rp.Kind != ':' {
+		t.Fatalf("FLEET REBUILD: %s, %v", rp.Text(), err)
+	}
+	if rp.Int == 0 {
+		t.Error("rebuild refilled no keys")
+	}
+	rp, err = c.Do("FLEET", "STATUS")
+	if err != nil || !strings.Contains(string(rp.Bulk), "member1:alive") {
+		t.Fatalf("FLEET STATUS after rebuild: %s, %v", rp.Text(), err)
+	}
+	// The member is back in the write quorum: writes acknowledge again.
+	if rp, err := c.Do("SET", "fleet:post-rebuild", "pr"); err != nil || rp.Str != "OK" {
+		t.Fatalf("SET after rebuild: %s, %v", rp.Text(), err)
+	}
+
+	rp, err = c.Do("FLEET", "RMSHARD", "2")
+	if err != nil || rp.Kind != ':' || rp.Int == 0 {
+		t.Fatalf("FLEET RMSHARD: %s, %v", rp.Text(), err)
+	}
+	rp, err = c.Do("FLEET", "STATUS")
+	if err != nil || !strings.Contains(string(rp.Bulk), "member2:retired") ||
+		!strings.Contains(string(rp.Bulk), "ring_members:3") {
+		t.Fatalf("FLEET STATUS after rmshard: %s, %v", rp.Text(), err)
+	}
+	// The data survived both the rebuild and the reshard.
+	for i := 0; i < keys; i++ {
+		rp, err := c.Do("GET", fmt.Sprintf("fleet:%03d", i))
+		if err != nil || string(rp.Bulk) != "v"+strconv.Itoa(i) {
+			t.Fatalf("GET %d after rmshard: %s, %v", i, rp.Text(), err)
+		}
+	}
+
+	body := scrapeMetrics(t, s)
+	if v := metricValue(t, body, "anykey_fleet_rebuilds_total"); v != 1 {
+		t.Errorf("anykey_fleet_rebuilds_total = %v, want 1", v)
+	}
+	if v := metricValue(t, body, "anykey_fleet_epoch"); v != 1 {
+		t.Errorf("anykey_fleet_epoch = %v, want 1", v)
+	}
+	if v := metricValue(t, body, "anykey_fleet_migrated_keys_total"); v == 0 {
+		t.Error("anykey_fleet_migrated_keys_total did not move")
+	}
+	if v := metricValue(t, body, `anykey_shard_up{shard="1"}`); v != 1 {
+		t.Errorf(`anykey_shard_up{shard="1"} = %v, want 1 after rebuild`, v)
+	}
+	if v := metricValue(t, body, `anykey_shard_up{shard="2"}`); v != 0 {
+		t.Errorf(`anykey_shard_up{shard="2"} = %v, want 0 after rmshard`, v)
+	}
+}
+
+// Fleet commands on a non-replicated server must refuse, not crash.
+func TestServerFleetUnsupported(t *testing.T) {
+	_, addr := startServer(t, testConfig())
+	c := dialT(t, addr)
+	rp, err := c.Do("FLEET", "STATUS")
+	if err != nil || rp.Kind != '-' || !strings.Contains(rp.Str, "replicated") {
+		t.Fatalf("FLEET on non-replicated server: %s, %v", rp.Text(), err)
+	}
+}
+
 func TestServerHealthz(t *testing.T) {
 	s, _ := startServer(t, testConfig())
 	resp, err := http.Get("http://" + s.MetricsAddr().String() + "/healthz")
