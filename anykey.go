@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sync"
 
+	"anykey/internal/cache"
 	"anykey/internal/core"
 	"anykey/internal/device"
 	"anykey/internal/fault"
@@ -75,6 +76,29 @@ type (
 	BlameOptions = trace.BlameOptions
 	// BlameReport attributes above-percentile op time to named causes.
 	BlameReport = trace.BlameReport
+	// MemoryMode selects how the flash array retains programmed pages; see
+	// Options.Memory.
+	MemoryMode = nand.MemoryMode
+	// StoreFootprint is the flash payload store's memory accounting, from
+	// Device.Footprint.
+	StoreFootprint = nand.StoreFootprint
+	// CacheOptions configures the optional host-side DRAM cache; see
+	// Options.Cache.
+	CacheOptions = cache.Config
+	// CacheStats counts the host cache's traffic, from Device.CacheStats.
+	CacheStats = cache.Stats
+)
+
+// Payload store representations for Options.Memory.
+const (
+	// MemoryAuto (the default) picks MemoryRaw below 1 GiB of capacity and
+	// MemoryFlyweight at or above it.
+	MemoryAuto = nand.MemoryAuto
+	// MemoryRaw retains every programmed page as its full byte image.
+	MemoryRaw = nand.MemoryRaw
+	// MemoryFlyweight stores pages compactly, regenerating workload bytes on
+	// demand; reads are byte-identical to MemoryRaw, at a small CPU cost.
+	MemoryFlyweight = nand.MemoryFlyweight
 )
 
 // Errors returned by device operations.
@@ -172,6 +196,20 @@ type Options struct {
 
 	// NoHashLists disables AnyKey's per-group hash lists (ablation).
 	NoHashLists bool
+
+	// Memory selects the flash array's payload representation. The default
+	// MemoryAuto keeps the historical raw images below 1 GiB of capacity and
+	// switches to the flyweight store at or above, letting full-scale
+	// geometries (64 GB and up) simulate in bounded host memory. Reads are
+	// byte-identical across modes; simulation results do not change.
+	Memory MemoryMode
+
+	// Cache, when non-nil, puts a host-side DRAM read/write cache with
+	// Flashield-style admission control in front of the device. Hits are
+	// served at DRAM latency with no flash traffic. Being host DRAM, the
+	// cache's contents — and, under write-back, its unsynced writes — do
+	// not survive PowerCycle.
+	Cache *CacheOptions
 
 	// Faults, when non-nil, injects NAND failure modes per the plan: seeded,
 	// deterministic read errors, program/erase failures and an optional
@@ -308,6 +346,14 @@ func (o Options) check() error {
 	if o.Trace != nil && (o.Trace.EventBuffer < 0 || o.Trace.OpBuffer < 0) {
 		return fmt.Errorf("%w: negative trace buffer size %+v", ErrInvalidOptions, *o.Trace)
 	}
+	if o.Memory < MemoryAuto || o.Memory > MemoryFlyweight {
+		return fmt.Errorf("%w: unknown memory mode %d", ErrInvalidOptions, int(o.Memory))
+	}
+	if c := o.Cache; c != nil {
+		if c.CapacityBytes < 0 || c.AdmitAfter < 0 || c.GhostSlots < 0 || c.HitLatency < 0 {
+			return fmt.Errorf("%w: negative cache parameter %+v", ErrInvalidOptions, *c)
+		}
+	}
 	return nil
 }
 
@@ -382,17 +428,19 @@ func openImpl(opts *Options) (device.KVSSD, error) {
 	if err != nil {
 		return nil, err
 	}
+	var impl device.KVSSD
 	switch opts.Design {
 	case DesignPinK:
-		return pink.New(pink.Config{
+		impl, err = pink.New(pink.Config{
 			Geometry:      geo,
 			DRAMBytes:     opts.DRAMBytes,
 			MemtableBytes: opts.MemtableBytes,
 			GrowthFactor:  opts.GrowthFactor,
+			Memory:        opts.Memory,
 			Seed:          opts.Seed,
 		})
 	case DesignAnyKey, DesignAnyKeyPlus, DesignAnyKeyMinus:
-		return core.New(core.Config{
+		impl, err = core.New(core.Config{
 			Geometry:      geo,
 			DRAMBytes:     opts.DRAMBytes,
 			MemtableBytes: opts.MemtableBytes,
@@ -402,11 +450,19 @@ func openImpl(opts *Options) (device.KVSSD, error) {
 			Plus:          opts.Design == DesignAnyKeyPlus,
 			NoValueLog:    opts.Design == DesignAnyKeyMinus,
 			NoHashLists:   opts.NoHashLists,
+			Memory:        opts.Memory,
 			Seed:          opts.Seed,
 		})
 	default:
 		return nil, fmt.Errorf("%w: unknown design %v", ErrInvalidOptions, opts.Design)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if opts.Cache != nil {
+		impl = cache.Wrap(impl, *opts.Cache)
+	}
+	return impl, nil
 }
 
 // Open builds a device running the selected design.
@@ -445,12 +501,21 @@ func (d *Device) attachTracer(tr *trace.Tracer) {
 // (engines are wired separately, as a cluster runs one per shard).
 func attachTracerTo(impl device.KVSSD, tr *trace.Tracer) {
 	arrayOf(impl).SetTracer(tr)
-	switch impl := impl.(type) {
+	switch impl := unwrap(impl).(type) {
 	case *core.Device:
 		impl.SetTracer(tr)
 	case *pink.Device:
 		impl.SetTracer(tr)
 	}
+}
+
+// unwrap peels the host cache (which has no flash of its own) off a firmware
+// instance.
+func unwrap(impl device.KVSSD) device.KVSSD {
+	if c, ok := impl.(*cache.Cache); ok {
+		return c.Inner()
+	}
+	return impl
 }
 
 // Trace returns the device's tracer, or nil when tracing is off. A nil
@@ -482,7 +547,7 @@ func (d *Device) array() *nand.Array { return arrayOf(d.impl) }
 
 // arrayOf returns the flash array beneath a firmware instance.
 func arrayOf(impl device.KVSSD) *nand.Array {
-	switch impl := impl.(type) {
+	switch impl := unwrap(impl).(type) {
 	case *core.Device:
 		return impl.Array()
 	case *pink.Device:
@@ -517,15 +582,26 @@ func (d *Device) NewEngine(depth int) (*Engine, error) {
 	return eng, nil
 }
 
-// Close marks the device closed; further operations return ErrClosed. It
-// is idempotent. The simulation holds no external resources, so Close
-// never fails — it exists so callers have a lifecycle hook and misuse
-// after shutdown is caught.
+// Close marks the device closed and eagerly releases the flash payload
+// store — the dominant memory of a simulated device — so fleets that cycle
+// shards do not accumulate dead flash images until the garbage collector
+// notices. Further operations return ErrClosed; statistics stay readable.
+// It is idempotent and never fails.
 func (d *Device) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.closed = true
+	if !d.closed {
+		d.closed = true
+		releaseMemoryOf(d.impl)
+	}
 	return nil
+}
+
+// releaseMemoryOf eagerly frees a firmware instance's page payload store.
+func releaseMemoryOf(impl device.KVSSD) {
+	if r, ok := unwrap(impl).(interface{ ReleaseMemory() }); ok {
+		r.ReleaseMemory()
+	}
 }
 
 // gate rejects operations on a closed or powered-off device.
@@ -632,7 +708,7 @@ func (d *Device) PowerCycle() error {
 	if d.closed {
 		return ErrClosed
 	}
-	c, ok := d.impl.(*core.Device)
+	c, ok := unwrap(d.impl).(*core.Device)
 	if !ok {
 		return fmt.Errorf("%w: power-cycle recovery is only modelled for AnyKey designs", ErrUnsupported)
 	}
@@ -656,13 +732,19 @@ func (d *Device) PowerCycle() error {
 	if err != nil {
 		return err
 	}
+	// A host cache is DRAM: the power cut emptied it. The remount starts
+	// with a cold one.
+	var impl device.KVSSD = reopened
+	if d.opts.Cache != nil {
+		impl = cache.Wrap(reopened, *d.opts.Cache)
+	}
 	// The remounted firmware starts fresh, but time keeps flowing: the new
 	// engine's clocks resume where the old device's left off.
-	eng, err := host.NewAt(reopened, 1, d.eng.Now())
+	eng, err := host.NewAt(impl, 1, d.eng.Now())
 	if err != nil {
 		return err
 	}
-	d.impl = reopened
+	d.impl = impl
 	d.eng = eng
 	d.dead = false
 	// The tracer, like the injector, spans the cycle: the new engine keeps
@@ -737,3 +819,18 @@ func (d *Device) Metadata() []MetaStructure { return d.impl.Metadata() }
 // Flash returns the flash operation counters (reads/writes by cause,
 // erases).
 func (d *Device) Flash() FlashCounters { return d.impl.Stats().Flash() }
+
+// Footprint returns the flash payload store's memory accounting: what a
+// raw store would retain versus what the configured store actually does.
+func (d *Device) Footprint() StoreFootprint { return d.array().Footprint() }
+
+// CacheStats returns the host cache's counters; ok is false when the device
+// was opened without Options.Cache.
+func (d *Device) CacheStats() (st CacheStats, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, isCache := d.impl.(*cache.Cache); isCache {
+		return c.CacheStats(), true
+	}
+	return CacheStats{}, false
+}

@@ -49,3 +49,4 @@ func BenchmarkMulti(b *testing.B)            { benchExperiment(b, "multi") }
 func BenchmarkAblationMinus(b *testing.B)    { benchExperiment(b, "ablation-minus") }
 func BenchmarkAblationGroup(b *testing.B)    { benchExperiment(b, "ablation-group") }
 func BenchmarkAblationHashlist(b *testing.B) { benchExperiment(b, "ablation-hashlist") }
+func BenchmarkFullscale(b *testing.B)        { benchExperiment(b, "fullscale") }

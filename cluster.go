@@ -613,10 +613,34 @@ func (c *Cluster) WriteChromeTrace(w io.Writer) error {
 	return trace.WriteChromeTraceCluster(w, trs)
 }
 
+// Footprint sums the flash payload-store memory accounting across shards:
+// what a raw store would retain versus what the configured stores do.
+func (c *Cluster) Footprint() StoreFootprint {
+	return c.Stats().Store
+}
+
+// CacheStats sums the shards' host-cache counters; ok is false when the
+// cluster was opened without Device.Cache.
+func (c *Cluster) CacheStats() (CacheStats, bool) {
+	st := c.Stats().Cache
+	if st == nil {
+		return CacheStats{}, false
+	}
+	return *st, true
+}
+
 // Close marks the cluster closed; further operations return ErrClosed. It
-// is idempotent and never fails (the simulation holds no external
-// resources).
+// also eagerly frees every shard's page-payload memory (each shard under its
+// own lock), so harnesses that open fleets in sequence keep only the live
+// one's pages in the heap. It is idempotent and never fails (the simulation
+// holds no other external resources).
 func (c *Cluster) Close() error {
-	c.closed.Store(true)
+	if c.closed.CompareAndSwap(false, true) {
+		if c.f != nil {
+			c.f.ReleaseMemory()
+		} else {
+			c.c.ReleaseMemory()
+		}
+	}
 	return nil
 }

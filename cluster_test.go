@@ -408,3 +408,66 @@ func TestDeviceStatsSnapshotConcurrent(t *testing.T) {
 		t.Fatal("writer made no progress")
 	}
 }
+
+func TestClusterCacheAndFootprintRollup(t *testing.T) {
+	// Uncached cluster: footprint present, cache absent.
+	plain, err := OpenCluster(smallClusterOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if _, ok := plain.CacheStats(); ok {
+		t.Fatal("uncached cluster reports cache stats")
+	}
+
+	opts := smallClusterOpts()
+	opts.Device.Cache = &CacheOptions{CapacityBytes: 1 << 20, AdmitAfter: 1}
+	c, err := OpenCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var keys, vals [][]byte
+	for i := 0; i < 200; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("cc-%05d", i)))
+		vals = append(vals, bytes.Repeat([]byte{byte('a' + i%26)}, 64))
+	}
+	if _, err := c.MultiPut(keys, vals); err != nil {
+		t.Fatal(err)
+	}
+	// Two read rounds: the first admits (AdmitAfter=1), the second hits DRAM.
+	for round := 0; round < 2; round++ {
+		br, err := c.MultiGet(keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := br.FirstErr(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs, ok := c.CacheStats()
+	if !ok || cs.Hits == 0 || cs.Admitted == 0 {
+		t.Fatalf("cluster cache rollup = %+v (ok=%v)", cs, ok)
+	}
+	st := c.Stats()
+	if st.Cache == nil {
+		t.Fatal("Stats().Cache nil on a cached cluster")
+	}
+	var perShardHits int64
+	for _, ss := range st.PerShard {
+		if ss.Cache == nil {
+			t.Fatalf("shard %d missing cache stats", ss.Shard)
+		}
+		perShardHits += ss.Cache.Hits
+	}
+	if perShardHits != st.Cache.Hits {
+		t.Fatalf("per-shard hits %d != rollup %d", perShardHits, st.Cache.Hits)
+	}
+	if _, err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fp := c.Footprint()
+	if fp.LivePages == 0 || fp.ResidentBytes == 0 {
+		t.Fatalf("cluster footprint empty after writes: %+v", fp)
+	}
+}

@@ -12,6 +12,7 @@
 //	anykeybench -workload ZippyDB -shards 4               # sharded cluster run
 //	anykeybench -exp cluster                              # shards × QD × skew sweep
 //	anykeybench -exp fig12 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	anykeybench -exp fullscale -bench-mem     # print the run's peak heap
 //
 // Experiment cells (one simulated device each) are independent, so by
 // default they are fanned across one worker per CPU; -parallel 1 restores
@@ -41,6 +42,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"anykey"
@@ -67,6 +69,7 @@ func main() {
 
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
+		benchMem   = flag.Bool("bench-mem", false, "sample runtime.ReadMemStats through the run and print the peak heap at the end")
 
 		doTrace  = flag.Bool("trace", false, "attach an event tracer to every experiment cell (reports are unchanged; tracing only observes)")
 		traceOut = flag.String("trace-out", "", "single-run mode: save the event trace here (Chrome trace_event JSON; CSV when the path ends in .csv)")
@@ -160,6 +163,11 @@ func main() {
 		}()
 	}
 
+	if *benchMem {
+		s := startMemSampler()
+		defer s.print()
+	}
+
 	if *list {
 		for _, e := range harness.Experiments() {
 			fmt.Printf("%-16s %s\n", e.ID, e.Paper)
@@ -237,6 +245,63 @@ func main() {
 		}
 		fmt.Printf("(%s completed in %v wall time)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// memSampler tracks the peak live heap for -bench-mem: a goroutine samples
+// runtime.ReadMemStats on a short period, bounding how far the heap can grow
+// between observations. Virtual-time runs are CPU-bound for seconds to
+// minutes, so a 20 ms period catches the high-water mark closely.
+type memSampler struct {
+	stop chan struct{}
+	done chan struct{}
+
+	mu   sync.Mutex
+	peak uint64 // max HeapAlloc observed
+	sys  uint64 // max runtime Sys observed
+}
+
+func startMemSampler() *memSampler {
+	s := &memSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(20 * time.Millisecond)
+		defer t.Stop()
+		for {
+			s.sample()
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+	return s
+}
+
+func (s *memSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.mu.Lock()
+	if ms.HeapAlloc > s.peak {
+		s.peak = ms.HeapAlloc
+	}
+	if ms.Sys > s.sys {
+		s.sys = ms.Sys
+	}
+	s.mu.Unlock()
+}
+
+// print stops the sampler and emits the machine-greppable peak line
+// (scripts/bench.sh mem gates on peak-heap-bytes).
+func (s *memSampler) print() {
+	close(s.stop)
+	<-s.done
+	s.sample()
+	s.mu.Lock()
+	peak, sys := s.peak, s.sys
+	s.mu.Unlock()
+	fmt.Printf("mem: peak-heap-bytes=%d (%.1f MB) runtime-sys-bytes=%d (%.1f MB)\n",
+		peak, float64(peak)/(1<<20), sys, float64(sys)/(1<<20))
 }
 
 // openOpts carries the parsed open-loop flag group into the single-run

@@ -47,6 +47,14 @@ var designs = map[string]anykey.Design{
 	"anykey-": anykey.DesignAnyKeyMinus,
 }
 
+// cacheOpts maps the -cache-mb flag onto a per-shard cache config.
+func cacheOpts(mb int) *anykey.CacheOptions {
+	if mb <= 0 {
+		return nil
+	}
+	return &anykey.CacheOptions{CapacityBytes: int64(mb) << 20}
+}
+
 func main() {
 	var (
 		addr        = flag.String("addr", ":6380", "RESP listen address")
@@ -55,6 +63,7 @@ func main() {
 		shards      = flag.Int("shards", 4, "member devices in the cluster")
 		design      = flag.String("design", "anykey+", "device design: pink | anykey | anykey+ | anykey-")
 		capacity    = flag.Int("capacity", 64, "capacity per shard in MiB")
+		cacheMB     = flag.Int("cache-mb", 0, "host-side DRAM read cache per shard in MiB (0 disables; stats in INFO and /metrics)")
 		qd          = flag.Int("qd", 64, "submission queue depth per shard")
 		router      = flag.String("router", "consistent", "routing policy: consistent | modulo")
 		replication = flag.Int("replication", 0, "replicate each key to this many ring members (0 = no replication; enables FLEET commands)")
@@ -91,7 +100,7 @@ func main() {
 			QueueDepth:  *qd,
 			Router:      pol,
 			Replication: anykey.ReplicationOptions{Factor: *replication, WriteQuorum: *wquorum},
-			Device:      anykey.Options{Design: d, CapacityMB: *capacity},
+			Device:      anykey.Options{Design: d, CapacityMB: *capacity, Cache: cacheOpts(*cacheMB)},
 		},
 		Inflight:   *inflight,
 		Timeout:    *timeout,

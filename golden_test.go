@@ -102,3 +102,106 @@ func TestGoldenEndStateDeterminism(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenMemoryModeEquivalence is the flyweight store's contract test:
+// forcing MemoryFlyweight must produce the exact end state of MemoryRaw —
+// same surviving pairs, same clock, same flash-op counts — on every design.
+// The golden workload's values are arbitrary bytes the payload registry
+// cannot regenerate, so this pins the conservative path (unresolvable
+// records stay in the skeleton verbatim); the fault plan additionally covers
+// torn pages and grown-bad retirement under the compact representation.
+func TestGoldenMemoryModeEquivalence(t *testing.T) {
+	base := Options{CapacityMB: 32, Channels: 2, ChipsPerChannel: 2, Seed: 17}
+	modes := func(t *testing.T, opts Options) {
+		t.Helper()
+		raw, fly := opts, opts
+		raw.Memory = MemoryRaw
+		fly.Memory = MemoryFlyweight
+		if a, b := goldenState(t, raw), goldenState(t, fly); a != b {
+			t.Fatalf("flyweight end state diverged from raw: %#x vs %#x", b, a)
+		}
+	}
+	for _, d := range []Design{DesignPinK, DesignAnyKey, DesignAnyKeyPlus, DesignAnyKeyMinus} {
+		t.Run(d.String(), func(t *testing.T) {
+			opts := base
+			opts.Design = d
+			modes(t, opts)
+		})
+	}
+	for _, d := range []Design{DesignAnyKey, DesignAnyKeyPlus, DesignAnyKeyMinus} {
+		t.Run(d.String()+"/faults", func(t *testing.T) {
+			opts := base
+			opts.Design = d
+			opts.Faults = &FaultPlan{Seed: 5, ReadErrorRate: 0.02, ProgramFailRate: 0.001, EraseFailRate: 0.001}
+			modes(t, opts)
+		})
+	}
+}
+
+// TestGoldenCacheWriteThroughEquivalence pins that a write-through host
+// cache changes host-observed latencies but not the device's durable state:
+// the surviving pairs scanned after Sync are identical with and without it.
+func TestGoldenCacheWriteThroughEquivalence(t *testing.T) {
+	run := func(t *testing.T, opts Options) []Pair {
+		t.Helper()
+		dev, err := Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dev.Close()
+		rng := rand.New(rand.NewSource(314159))
+		for op := 0; op < 1500; op++ {
+			i := rng.Intn(200)
+			k := []byte(fmt.Sprintf("c-%05d", i))
+			switch r := rng.Intn(100); {
+			case r < 10:
+				if _, err := dev.Delete(k); err != nil {
+					t.Fatal(err)
+				}
+			case r < 40:
+				if _, _, err := dev.Get(k); err != nil && err != ErrNotFound {
+					t.Fatal(err)
+				}
+			default:
+				v := make([]byte, 32+rng.Intn(96))
+				for j := range v {
+					v[j] = byte('A' + (i+j)%26)
+				}
+				if _, err := dev.Put(k, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if _, err := dev.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		pairs, _, err := dev.Scan([]byte("c-00000"), 201)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Detach the pairs from device-owned buffers before Close.
+		out := make([]Pair, len(pairs))
+		for i, p := range pairs {
+			out[i] = Pair{Key: append([]byte(nil), p.Key...), Value: append([]byte(nil), p.Value...)}
+		}
+		if opts.Cache != nil {
+			if st, ok := dev.CacheStats(); !ok || st.Hits == 0 {
+				t.Fatalf("cache saw no hits over 1500 ops: %+v", st)
+			}
+		}
+		return out
+	}
+	base := Options{CapacityMB: 32, Channels: 2, ChipsPerChannel: 2, Seed: 17}
+	bare := run(t, base)
+	cached := base
+	cached.Cache = &CacheOptions{CapacityBytes: 1 << 20}
+	withCache := run(t, cached)
+	if len(bare) != len(withCache) {
+		t.Fatalf("pair counts diverge: %d without cache, %d with", len(bare), len(withCache))
+	}
+	for i := range bare {
+		if string(bare[i].Key) != string(withCache[i].Key) || string(bare[i].Value) != string(withCache[i].Value) {
+			t.Fatalf("pair %d diverges with cache: %q vs %q", i, bare[i].Key, withCache[i].Key)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"anykey/internal/device"
+	"anykey/internal/kv"
+	"anykey/internal/sim"
+)
+
+// stubDev is a map-backed KVSSD with a fixed per-op latency, counting calls.
+type stubDev struct {
+	m          map[string][]byte
+	lat        sim.Duration
+	gets, puts int
+	dels       int
+	syncs      int
+}
+
+func newStub() *stubDev {
+	return &stubDev{m: make(map[string][]byte), lat: 100 * sim.Microsecond}
+}
+
+func (s *stubDev) Put(at sim.Time, key, value []byte) (sim.Time, error) {
+	s.puts++
+	s.m[string(key)] = append([]byte(nil), value...)
+	return at.Add(s.lat), nil
+}
+
+func (s *stubDev) Delete(at sim.Time, key []byte) (sim.Time, error) {
+	s.dels++
+	delete(s.m, string(key))
+	return at.Add(s.lat), nil
+}
+
+func (s *stubDev) Get(at sim.Time, key []byte) ([]byte, sim.Time, error) {
+	s.gets++
+	v, ok := s.m[string(key)]
+	if !ok {
+		return nil, at.Add(s.lat), kv.ErrNotFound
+	}
+	return v, at.Add(s.lat), nil
+}
+
+func (s *stubDev) Scan(at sim.Time, start []byte, n int) ([]kv.Pair, sim.Time, error) {
+	return nil, at.Add(s.lat), nil
+}
+
+func (s *stubDev) Sync(at sim.Time) (sim.Time, error) {
+	s.syncs++
+	return at.Add(s.lat), nil
+}
+
+func (s *stubDev) Stats() *device.Stats             { return device.NewStats() }
+func (s *stubDev) Metadata() []device.MetaStructure { return nil }
+
+func TestAdmissionAfterSecondAccess(t *testing.T) {
+	dev := newStub()
+	c := Wrap(dev, Config{CapacityBytes: 1 << 20})
+	key, val := []byte("k1"), []byte("value-one")
+	if _, err := dev.Put(0, key, val); err != nil {
+		t.Fatal(err)
+	}
+
+	// First access: miss, registers in the ghost filter, not admitted.
+	if _, _, err := c.Get(0, key); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.CacheStats(); st.Hits != 0 || st.Misses != 1 || st.Admitted != 0 {
+		t.Fatalf("after first access: %+v", st)
+	}
+	// Second access: miss, crosses the bar, admitted.
+	if _, _, err := c.Get(0, key); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.CacheStats(); st.Misses != 2 || st.Admitted != 1 || st.Entries != 1 {
+		t.Fatalf("after second access: %+v", st)
+	}
+	// Third access: DRAM hit, no device call, DRAM latency.
+	devGets := dev.gets
+	v, done, err := c.Get(1000, key)
+	if err != nil || !bytes.Equal(v, val) {
+		t.Fatalf("hit returned (%q, %v)", v, err)
+	}
+	if dev.gets != devGets {
+		t.Fatal("hit reached the device")
+	}
+	if done != sim.Time(1000).Add(c.cfg.HitLatency) {
+		t.Fatalf("hit latency = %v", done)
+	}
+	if st := c.CacheStats(); st.Hits != 1 {
+		t.Fatalf("hit not counted: %+v", st)
+	}
+}
+
+func TestGetHitPathDoesNotAllocate(t *testing.T) {
+	dev := newStub()
+	c := Wrap(dev, Config{CapacityBytes: 1 << 20, AdmitAfter: 1})
+	key := []byte("hot-key")
+	if _, err := dev.Put(0, key, []byte("hot-value")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get(0, key); err != nil { // admit
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := c.Get(0, key); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("GET hit path allocates %v times per op", allocs)
+	}
+}
+
+func TestWriteThroughRefreshesResidentCopy(t *testing.T) {
+	dev := newStub()
+	c := Wrap(dev, Config{CapacityBytes: 1 << 20, AdmitAfter: 1})
+	key := []byte("k")
+	if _, err := c.Put(0, key, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get(0, key); err != nil { // admit v1
+		t.Fatal(err)
+	}
+	// The overwrite goes to the device AND refreshes the cached copy; the
+	// caller's buffer is copied, not aliased.
+	buf := []byte("v2")
+	if _, err := c.Put(0, key, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	v, _, err := c.Get(0, key)
+	if err != nil || string(v) != "v2" {
+		t.Fatalf("after overwrite Get = (%q, %v), want v2", v, err)
+	}
+	if dev.puts != 2 {
+		t.Fatalf("device puts = %d, want 2 (write-through)", dev.puts)
+	}
+}
+
+func TestDeleteInvalidatesResidentCopy(t *testing.T) {
+	dev := newStub()
+	c := Wrap(dev, Config{CapacityBytes: 1 << 20, AdmitAfter: 1})
+	key := []byte("k")
+	if _, err := c.Put(0, key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get(0, key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete(0, key); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get(0, key); err != kv.ErrNotFound {
+		t.Fatalf("Get after Delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestEvictionHonoursBudget(t *testing.T) {
+	dev := newStub()
+	c := Wrap(dev, Config{CapacityBytes: 400, AdmitAfter: 1})
+	for i := 0; i < 10; i++ {
+		key := []byte(fmt.Sprintf("key-%02d", i))
+		if _, err := dev.Put(0, key, bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.Get(0, key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.CacheStats()
+	if st.Bytes > 400+200 { // one oversized resident entry is tolerated
+		t.Fatalf("resident bytes %d far exceed budget", st.Bytes)
+	}
+	if st.Evicted == 0 {
+		t.Fatalf("no evictions under pressure: %+v", st)
+	}
+}
+
+func TestWriteBackDefersAndFlushes(t *testing.T) {
+	dev := newStub()
+	c := Wrap(dev, Config{CapacityBytes: 1 << 20, WriteBack: true})
+	key := []byte("k")
+	done, err := c.Put(0, key, []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.puts != 0 {
+		t.Fatal("write-back Put reached the device before Sync")
+	}
+	if done != sim.Time(0).Add(c.cfg.HitLatency) {
+		t.Fatalf("write-back ack latency = %v", done)
+	}
+	// The unsynced write is visible through the cache.
+	if v, _, err := c.Get(0, key); err != nil || string(v) != "v1" {
+		t.Fatalf("Get before Sync = (%q, %v)", v, err)
+	}
+	if _, err := c.Sync(0); err != nil {
+		t.Fatal(err)
+	}
+	if dev.puts != 1 || dev.syncs != 1 {
+		t.Fatalf("after Sync: device puts=%d syncs=%d", dev.puts, dev.syncs)
+	}
+	if string(dev.m["k"]) != "v1" {
+		t.Fatal("flushed value wrong")
+	}
+	// A second Sync flushes nothing new.
+	if _, err := c.Sync(0); err != nil {
+		t.Fatal(err)
+	}
+	if dev.puts != 1 {
+		t.Fatal("clean entry re-flushed")
+	}
+}
+
+func TestWriteBackDeleteFlushes(t *testing.T) {
+	dev := newStub()
+	c := Wrap(dev, Config{CapacityBytes: 1 << 20, WriteBack: true})
+	key := []byte("k")
+	if _, err := dev.Put(0, key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete(0, key); err != nil {
+		t.Fatal(err)
+	}
+	if dev.dels != 0 {
+		t.Fatal("write-back Delete reached the device before Sync")
+	}
+	if _, _, err := c.Get(0, key); err != kv.ErrNotFound {
+		t.Fatalf("Get after buffered Delete = %v, want ErrNotFound", err)
+	}
+	if _, err := c.Sync(0); err != nil {
+		t.Fatal(err)
+	}
+	if dev.dels != 1 {
+		t.Fatal("buffered tombstone not flushed")
+	}
+	if _, ok := dev.m["k"]; ok {
+		t.Fatal("device still holds the deleted key")
+	}
+}
+
+func TestMetadataReportsCacheTier(t *testing.T) {
+	c := Wrap(newStub(), Config{CapacityBytes: 1 << 20, AdmitAfter: 1})
+	ms := c.Metadata()
+	if len(ms) == 0 || ms[len(ms)-1].Name != "host-cache" || !ms[len(ms)-1].InDRAM {
+		t.Fatalf("metadata missing host-cache tier: %+v", ms)
+	}
+}

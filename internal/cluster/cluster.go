@@ -49,6 +49,7 @@ import (
 	"slices"
 	"sync"
 
+	"anykey/internal/cache"
 	"anykey/internal/device"
 	"anykey/internal/host"
 	"anykey/internal/kv"
@@ -658,6 +659,12 @@ type ShardStats struct {
 	ChainedCompactions int64
 	GCRuns             int64
 	GCRelocations      int64
+
+	// Store is the shard's flash payload-store memory accounting.
+	Store nand.StoreFootprint
+	// Cache holds the shard's host-cache counters; nil when the shard runs
+	// uncached.
+	Cache *cache.Stats
 }
 
 // Stats is the merged statistics view of a cluster: fleet-wide rollups plus
@@ -672,6 +679,12 @@ type Stats struct {
 
 	TreeCompactions, LogCompactions, ChainedCompactions int64
 	GCRuns, GCRelocations                               int64
+
+	// Store sums the shards' payload-store footprints.
+	Store nand.StoreFootprint
+	// Cache sums the shards' host-cache counters; nil when no shard runs a
+	// host cache.
+	Cache *cache.Stats
 
 	// ReadAccesses merges every shard's flash-accesses-per-read histogram.
 	ReadAccesses *stats.IntHist
@@ -711,6 +724,8 @@ func (c *Cluster) CollectStats() Stats {
 			ChainedCompactions: st.ChainedCompactions,
 			GCRuns:             st.GCRuns,
 			GCRelocations:      st.GCRelocations,
+			Store:              device.FootprintOf(sh.dev),
+			Cache:              CacheStatsOf(sh.dev),
 		}
 		if st.ReadAccesses != nil {
 			out.ReadAccesses.Merge(st.ReadAccesses)
@@ -730,10 +745,39 @@ func (c *Cluster) CollectStats() Stats {
 		out.ChainedCompactions += ss.ChainedCompactions
 		out.GCRuns += ss.GCRuns
 		out.GCRelocations += ss.GCRelocations
+		out.Store = out.Store.Add(ss.Store)
+		if ss.Cache != nil {
+			if out.Cache == nil {
+				out.Cache = &cache.Stats{}
+			}
+			*out.Cache = out.Cache.Add(*ss.Cache)
+		}
 		out.QueueWait.Merge(&qw)
 		out.Service.Merge(&sv)
 	}
 	return out
+}
+
+// CacheStatsOf snapshots the host-cache counters of a (possibly wrapped)
+// shard device; nil when the shard runs uncached.
+func CacheStatsOf(dev device.KVSSD) *cache.Stats {
+	if c, ok := dev.(*cache.Cache); ok {
+		st := c.CacheStats()
+		return &st
+	}
+	return nil
+}
+
+// ReleaseMemory eagerly frees every shard's page-payload memory (cluster
+// close), each shard under its mutex so any in-flight operation on it
+// finishes first. Sequential multi-fleet harness runs rely on this to keep
+// only the live fleet's pages in the heap.
+func (c *Cluster) ReleaseMemory() {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		device.ReleaseMemory(sh.dev)
+		sh.mu.Unlock()
+	}
 }
 
 // Metadata merges the shards' metadata reports: structures with the same

@@ -699,6 +699,20 @@ func (f *Fleet) ResetBreakdowns() {
 	}
 }
 
+// ReleaseMemory eagerly frees every member's page-payload memory (fleet
+// close), each member under its mutex. Dead members were already released at
+// kill time; release is idempotent.
+func (f *Fleet) ReleaseMemory() {
+	f.mu.Lock()
+	members := f.members
+	f.mu.Unlock()
+	for _, m := range members {
+		m.mu.Lock()
+		device.ReleaseMemory(m.dev)
+		m.mu.Unlock()
+	}
+}
+
 // Engine returns member id's host engine (tests and advanced drivers).
 func (f *Fleet) Engine(id int) *host.Engine { return f.members[id].eng }
 

@@ -445,3 +445,47 @@ func TestScanAtSingleMember(t *testing.T) {
 		t.Fatalf("scan on dead member: %v, want ErrShardDown", err)
 	}
 }
+
+func TestKillReleasesDeadMemberMemory(t *testing.T) {
+	f := freshFleet(t, 4, Replication{Factor: 2, WriteQuorum: 2})
+	for i := 0; i < 300; i++ {
+		if res := f.Put(fkey(i), fval(i)); !res.Acked {
+			t.Fatalf("put %d: %v", i, res.Err)
+		}
+	}
+	if _, err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if before := device.FootprintOf(f.Device(1)); before.ResidentBytes == 0 {
+		t.Fatal("member 1 holds no pages before the kill")
+	}
+	if err := f.KillShard(1, KillGrownBad); err != nil {
+		t.Fatal(err)
+	}
+	// The kill frees the dead hardware's payload store eagerly: a long-lived
+	// fleet must not retain dead shards' pages.
+	if after := device.FootprintOf(f.Device(1)); after.ResidentBytes != 0 || after.LivePages != 0 {
+		t.Fatalf("dead member still resident: %+v", after)
+	}
+	if fp := device.FootprintOf(f.Device(0)); fp.ResidentBytes == 0 {
+		t.Fatal("kill released a surviving member's store")
+	}
+	// Survivors keep serving; a rebuild gets fresh hardware with a live store.
+	rb, err := f.RebuildShard(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if fp := device.FootprintOf(f.Device(1)); fp.ResidentBytes == 0 {
+		t.Fatal("rebuilt member's replacement store is empty")
+	}
+	st := f.CollectStats()
+	if st.Store.LivePages == 0 {
+		t.Fatalf("fleet stats carry no store footprint: %+v", st.Store)
+	}
+}

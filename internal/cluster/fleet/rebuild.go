@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"anykey/internal/cluster"
+	"anykey/internal/device"
 	"anykey/internal/host"
 	"anykey/internal/kv"
 )
@@ -30,6 +31,12 @@ func (f *Fleet) KillShard(id int, cause KillCause) error {
 	}
 	m.state = stateDead
 	m.cause = cause
+	// The hardware's contents are unreachable from this instant, so free the
+	// payload store eagerly — a long-lived fleet must not retain dead shards'
+	// pages. Every fleet path checks the member state under this same mutex
+	// before touching the device, so nothing reads it after the kill; a
+	// rebuild replaces the device outright.
+	device.ReleaseMemory(m.dev)
 	return nil
 }
 

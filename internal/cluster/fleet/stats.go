@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"anykey/internal/cache"
 	"anykey/internal/cluster"
 	"anykey/internal/device"
 	"anykey/internal/nand"
@@ -123,6 +124,8 @@ func (f *Fleet) CollectStats() Stats {
 			ms.ChainedCompactions = st.ChainedCompactions
 			ms.GCRuns = st.GCRuns
 			ms.GCRelocations = st.GCRelocations
+			ms.Store = device.FootprintOf(m.dev)
+			ms.Cache = cluster.CacheStatsOf(m.dev)
 			if st.ReadAccesses != nil {
 				out.ReadAccesses.Merge(st.ReadAccesses)
 			}
@@ -143,6 +146,13 @@ func (f *Fleet) CollectStats() Stats {
 		out.ChainedCompactions += ms.ChainedCompactions
 		out.GCRuns += ms.GCRuns
 		out.GCRelocations += ms.GCRelocations
+		out.Store = out.Store.Add(ms.Store)
+		if ms.Cache != nil {
+			if out.Cache == nil {
+				out.Cache = new(cache.Stats)
+			}
+			*out.Cache = out.Cache.Add(*ms.Cache)
+		}
 		out.QueueWait.Merge(&qw)
 		out.Service.Merge(&sv)
 	}

@@ -505,12 +505,14 @@ func (d *Device) writeLevel(at sim.Time, dst int, ents []kv.Entity) (sim.Time, [
 			if cut < 1 {
 				cut = 1
 			}
+			d.gsc.releasePages(bg.pages) // abandoned before programming
 			bg = buildGroup(remaining[:cut], d.cfg.Geometry.PageSize, &d.gsc)
 		}
 		t, err := d.installGroup(dispatch, dst, bg, index, cut == len(remaining), nand.CauseCompaction)
 		if err != nil {
 			return t, remaining, err
 		}
+		d.gsc.releasePages(bg.pages) // the array copied what it keeps
 		remaining = remaining[cut:]
 		index++
 		now = sim.Max(now, t)

@@ -76,6 +76,12 @@ type Config struct {
 	// other LSM designs without filters.
 	NoHashLists bool
 
+	// Memory selects the flash array's payload store: raw full images or the
+	// flyweight representation that regenerates workload bytes on demand
+	// (nand.MemoryAuto resolves by capacity). Reopen keeps the array's
+	// existing store; the mode is fixed at device creation.
+	Memory nand.MemoryMode
+
 	// RequestOverhead, FreeBlockReserve and Seed are as in pink.Config.
 	RequestOverhead  sim.Duration
 	FreeBlockReserve int
@@ -246,6 +252,7 @@ func New(cfg Config) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
+	arr.ConfigureMemory(cfg.Memory)
 	pool := ftl.NewPool(arr)
 	d := &Device{
 		cfg:          cfg,
@@ -265,6 +272,9 @@ func New(cfg Config) (*Device, error) {
 		d.vlog = newVlog(d, maxLogBlocks)
 	}
 	d.mem.MustReserve("memtable", cfg.MemtableBytes)
+	// Recycle group build buffers only against a non-retaining (flyweight)
+	// store; against the raw store the arena degrades to plain allocation.
+	d.gsc.arena = nand.NewPageArena(cfg.Geometry.PageSize, 2*cfg.GroupPages, !arr.Retains())
 	d.st.Flash = func() nand.Counters { return arr.Counters() }
 	d.st.DRAMCapacity = func() int64 { return d.mem.Capacity() }
 	d.st.DRAMUsed = func() int64 { return d.mem.Used() }
@@ -291,6 +301,14 @@ func (d *Device) Stats() *device.Stats { return d.st }
 
 // Array exposes the flash array for tests and the harness.
 func (d *Device) Array() *nand.Array { return d.arr }
+
+// ReleaseMemory eagerly drops every retained page payload. The device is
+// unusable afterwards; callers release only devices they are discarding
+// (closed handles, dead fleet shards).
+func (d *Device) ReleaseMemory() { d.arr.Release() }
+
+// Footprint returns the flash payload store's memory accounting.
+func (d *Device) Footprint() nand.StoreFootprint { return d.arr.Footprint() }
 
 // Plus reports whether the device runs the AnyKey+ compaction policy.
 func (d *Device) Plus() bool { return d.cfg.Plus }

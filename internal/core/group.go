@@ -282,6 +282,27 @@ type groupScratch struct {
 	firstHash []uint32
 	lastHash  []uint32
 	locs      []locEntry // readLocationTableInto output
+
+	// arena recycles page-image buffers through build → program → release
+	// when the flash array copies rather than retains programmed images.
+	arena *nand.PageArena
+}
+
+// newPage returns a zeroed page image for buildGroup, recycled through the
+// arena when one is attached.
+func (sc *groupScratch) newPage(pageSize int) []byte {
+	if sc.arena != nil {
+		return sc.arena.Acquire()
+	}
+	return make([]byte, pageSize)
+}
+
+// releasePages hands images whose contents the flash array has copied (or
+// that were abandoned before programming) back to the arena.
+func (sc *groupScratch) releasePages(imgs [][]byte) {
+	if sc.arena != nil {
+		sc.arena.Release(imgs...)
+	}
 }
 
 // pagePos is an entity's {page, record} slot within a group.
@@ -323,7 +344,7 @@ func buildGroup(ents []kv.Entity, pageSize int, sc *groupScratch) *builtGroup {
 		sc.pageOf = make([]int, count)
 	}
 	positions := sc.positions[:count] // indexed by key order
-	pageOf := sc.pageOf[:count]      // indexed by hash order
+	pageOf := sc.pageOf[:count]       // indexed by hash order
 	entityPages := 0
 	free := 0
 	rec := 0
@@ -370,7 +391,7 @@ func buildGroup(ents []kv.Entity, pageSize int, sc *groupScratch) *builtGroup {
 		if end > len(table) {
 			end = len(table)
 		}
-		img := make([]byte, pageSize)
+		img := sc.newPage(pageSize)
 		if n := groupHdrSize + end - off; cap(sc.extra) < n {
 			sc.extra = make([]byte, n)
 		}
@@ -417,7 +438,7 @@ func buildGroup(ents []kv.Entity, pageSize int, sc *groupScratch) *builtGroup {
 		if pageOf[hi] != curPage {
 			finishPage()
 			curPage = pageOf[hi]
-			img = make([]byte, pageSize)
+			img = sc.newPage(pageSize)
 			w = kv.NewPageWriter(img, nil)
 			pageFirst = e.Hash
 			firstHash[curPage] = e.Hash

@@ -78,6 +78,9 @@ func Reopen(cfg Config, arr *nand.Array) (*Device, error) {
 		d.vlog = newVlog(d, maxLogBlocks)
 	}
 	d.mem.MustReserve("memtable", cfg.MemtableBytes)
+	// The array keeps the payload store it was created with (cfg.Memory is
+	// fixed at device creation); only the arena policy is re-derived.
+	d.gsc.arena = nand.NewPageArena(cfg.Geometry.PageSize, 2*cfg.GroupPages, !arr.Retains())
 	d.st.Flash = func() nand.Counters { return arr.Counters() }
 	d.st.DRAMCapacity = func() int64 { return d.mem.Capacity() }
 	d.st.DRAMUsed = func() int64 { return d.mem.Used() }

@@ -105,8 +105,8 @@ type scanCursor struct {
 	// level source
 	d         *Device
 	lv        *level
-	gi        int // current group index
-	ki        int // key index within group (location-table order)
+	gi        int                          // current group index
+	ki        int                          // key index within group (location-table order)
 	table     []struct{ Page, Rec uint16 } // reused across group crossings
 	loaded    bool                         // table holds gi's location table
 	pagesRead map[nand.PPA]bool

@@ -100,6 +100,36 @@ func NewStats() *Stats {
 	return &Stats{ReadAccesses: stats.NewIntHist(8)}
 }
 
+// Unwrap peels host-side wrappers (the DRAM cache) off a device via their
+// Inner method, returning the firmware that owns flash.
+func Unwrap(d KVSSD) KVSSD {
+	for {
+		w, ok := d.(interface{ Inner() KVSSD })
+		if !ok {
+			return d
+		}
+		d = w.Inner()
+	}
+}
+
+// ReleaseMemory eagerly frees a device's page-payload memory when the
+// firmware beneath any wrappers supports it (device close, shard death).
+// Safe on every KVSSD; devices without release support are untouched.
+func ReleaseMemory(d KVSSD) {
+	if r, ok := Unwrap(d).(interface{ ReleaseMemory() }); ok {
+		r.ReleaseMemory()
+	}
+}
+
+// FootprintOf reads the flash payload store's memory accounting beneath any
+// wrappers; zero for devices without one.
+func FootprintOf(d KVSSD) nand.StoreFootprint {
+	if f, ok := Unwrap(d).(interface{ Footprint() nand.StoreFootprint }); ok {
+		return f.Footprint()
+	}
+	return nand.StoreFootprint{}
+}
+
 // MetaStructure is one row of the metadata-size report: a named structure,
 // its byte footprint, and whether it currently resides in DRAM or flash.
 type MetaStructure struct {

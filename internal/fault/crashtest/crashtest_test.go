@@ -120,6 +120,62 @@ func TestCrashMatrix(t *testing.T) {
 	}
 }
 
+// TestCrashTrialMemoryModeEquivalence cuts the power at the same flash-op
+// boundary with the raw and the flyweight payload store: every observable
+// trial outcome — ops applied before the cut, fault counters, recovery
+// report — must be bit-identical, proving the compact representation holds
+// exactly the bytes recovery reads back after a crash.
+func TestCrashTrialMemoryModeEquivalence(t *testing.T) {
+	raw := sweepConfig(anykey.DesignAnyKeyPlus)
+	raw.Opts.Memory = anykey.MemoryRaw
+	fly := sweepConfig(anykey.DesignAnyKeyPlus)
+	fly.Opts.Memory = anykey.MemoryFlyweight
+	for _, cut := range []int64{300, 700, 1100} {
+		a, err := crashtest.RunTrial(raw, cut)
+		if err != nil {
+			t.Fatalf("raw trial cut@%d: %v", cut, err)
+		}
+		b, err := crashtest.RunTrial(fly, cut)
+		if err != nil {
+			t.Fatalf("flyweight trial cut@%d: %v", cut, err)
+		}
+		if a != b {
+			t.Fatalf("cut@%d diverged across memory modes:\nraw:       %+v\nflyweight: %+v", cut, a, b)
+		}
+	}
+}
+
+// TestCrashSweepFlyweightFullScaleGeometry is the fullscale cell of the
+// matrix: a geometry past the MemoryAuto threshold (so the flyweight store
+// engages by default, as it does at 64 GB scale) swept with power cuts and
+// grown-bad retirement layered on.
+func TestCrashSweepFlyweightFullScaleGeometry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale geometry cell is the slow cell")
+	}
+	cfg := sweepConfig(anykey.DesignAnyKeyPlus)
+	cfg.Opts.CapacityMB = 2048 // ≥ 1 GiB: MemoryAuto resolves to flyweight
+	cfg.Opts.Channels = 4
+	cfg.Opts.ChipsPerChannel = 4
+	cfg.Rates = fault.Plan{ProgramFailRate: 0.002, EraseFailRate: 0.002}
+	res, err := crashtest.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for _, tr := range res.Trials {
+		if tr.CutFired {
+			fired++
+			if !tr.Recovery.Recovered {
+				t.Errorf("trial cut@%d: recovery did not run", tr.CutAtOp)
+			}
+		}
+	}
+	if fired == 0 {
+		t.Fatal("no trial fired its cut")
+	}
+}
+
 // TestTrialDeterministic runs the identical trial twice and requires
 // bit-for-bit identical outcomes — fault counters, recovery report, cut
 // position — which is the property that makes crash bugs replayable.

@@ -1,0 +1,39 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFullscaleReportGoldenDeterminism pins the fullscale report to the
+// repo-wide contract: byte-identical across runs and at every -parallel.
+// fullscale is registry-Serial (its cells share the process-global payload
+// intern registry, whose eviction pattern concurrent cells would perturb),
+// so the -parallel run must take the serial path and print the same bytes.
+func TestFullscaleReportGoldenDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick fullscale experiment three times")
+	}
+	first, err := RunExperiment("fullscale", ExpOptions{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := RunExperiment("fullscale", ExpOptions{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunExperiment("fullscale", ExpOptions{Quick: true, Seed: 1, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := first.String(), again.String(), parallel.String()
+	if a != b {
+		t.Fatalf("two serial runs diverged\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	if a != c {
+		t.Fatalf("serial and -parallel reports differ\n--- serial ---\n%s\n--- parallel ---\n%s", a, c)
+	}
+	if !strings.Contains(a, "equivalence: raw and flyweight ran identical schedules") {
+		t.Fatalf("equivalence note missing — raw and flyweight cells diverged:\n%s", a)
+	}
+}

@@ -270,6 +270,15 @@ type Result struct {
 	// process.
 	Open *OpenStats
 
+	// Store is the flash payload store's memory accounting at the end of
+	// the run, captured before the device closes. Under the flyweight store
+	// (the default past the MemoryAuto threshold) ResidentBytes stays far
+	// below LogicalBytes; raw mode keeps the two equal.
+	Store nand.StoreFootprint
+	// Cache holds the host cache's counters, present only when the run's
+	// device was opened with Options.Cache.
+	Cache *anykey.CacheStats
+
 	Verified int64 // reads whose payload was checked
 }
 
@@ -399,6 +408,10 @@ func Run(cfg RunConfig) (*Result, error) {
 	res.ChainedCompactions = st.ChainedCompactions
 	res.GCRuns = st.GCRuns
 	res.GCRelocations = st.GCRelocations
+	res.Store = dev.Footprint()
+	if cs, ok := dev.CacheStats(); ok {
+		res.Cache = &cs
+	}
 	if st.Faults != nil {
 		c := st.Faults()
 		res.Faults = &c

@@ -132,6 +132,22 @@ func (r PageReader) EntityInto(e *Entity, i int) error {
 	return err
 }
 
+// RecordOffset returns the page-relative byte offset of record i. Record
+// lengths are self-describing; record i ends where record i+1 starts (or
+// earlier, for the final record).
+func (r PageReader) RecordOffset(i int) int {
+	return int(get16(r.buf[len(r.buf)-crcSize-2*(i+1):]))
+}
+
+// PayloadBounds returns the record region's page-relative bounds: lo is the
+// first byte after the extra region, hi the start of the offset table.
+// Callers inspecting raw page images (the flyweight payload store) use the
+// bounds to validate record offsets without re-deriving the layout.
+func (r PageReader) PayloadBounds() (lo, hi int) {
+	n := int(get16(r.buf[4:]))
+	return pageHeaderSize + n, len(r.buf) - crcSize - 2*r.Count()
+}
+
 // EntityHash returns record i's key hash without decoding the full entity:
 // the hash sits right after the key, so only the key-length varint is
 // parsed. This is the probe of AnyKey's in-page binary search — the full

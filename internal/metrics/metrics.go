@@ -55,7 +55,7 @@ type family struct {
 	name    string
 	help    string
 	kind    Kind
-	labels  []string // label names shared by every child
+	labels  []string  // label names shared by every child
 	buckets []float64 // histogram upper bounds (histograms only)
 
 	mu       sync.Mutex

@@ -1,0 +1,251 @@
+package nand
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"anykey/internal/kv"
+	"anykey/internal/payload"
+)
+
+func flyGeo() Geometry {
+	return Geometry{Channels: 2, ChipsPerChannel: 2, BlocksPerChip: 4, PagesPerBlock: 6, PageSize: 512}
+}
+
+func flyArray(t *testing.T) *Array {
+	t.Helper()
+	a, err := New(flyGeo(), TLCTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.ConfigureMemory(MemoryFlyweight)
+	return a
+}
+
+// buildEntityPage builds a sealed kv data page of entities whose values come
+// from the payload generator (and are registered, as the workload layer
+// does), returning the image.
+func buildEntityPage(t *testing.T, pageSize int, seeds []uint64, valueLen int) []byte {
+	t.Helper()
+	img := make([]byte, pageSize)
+	w := kv.NewPageWriter(img, nil)
+	for i, seed := range seeds {
+		v := make([]byte, valueLen)
+		payload.Fill(v, seed)
+		payload.Note(v, seed)
+		key := []byte{byte(i), 1, 2, 3, 4, 5, 6, 7}
+		e := kv.Entity{Key: key, Hash: uint32(seed), Value: v}
+		if !w.AppendEntity(&e) {
+			t.Fatalf("entity %d does not fit", i)
+		}
+	}
+	w.Seal()
+	return img
+}
+
+func TestFlyweightEntityPageByteIdentity(t *testing.T) {
+	a := flyArray(t)
+	img := buildEntityPage(t, a.Geometry().PageSize, []uint64{101, 102, 103}, 96)
+	orig := append([]byte(nil), img...)
+
+	mustProgram(t, a, 0, 0, img, CauseFlush)
+	// The flyweight store must not retain the programmed buffer: clobbering
+	// it afterwards (arena recycling) must not change what reads return.
+	for i := range img {
+		img[i] = 0xEE
+	}
+	if got := a.PageData(0); !bytes.Equal(got, orig) {
+		t.Fatal("flyweight page diverges from programmed bytes")
+	}
+
+	fp := a.Footprint()
+	if fp.Mode != MemoryFlyweight {
+		t.Fatalf("mode = %v, want flyweight", fp.Mode)
+	}
+	if fp.RawFallbackPages != 0 {
+		t.Fatalf("entity page fell back to raw storage (%d raw pages)", fp.RawFallbackPages)
+	}
+	// Three 96-byte values plus the trailing zero gap are excised; the
+	// skeleton must be well under half the page.
+	if skel := fp.ResidentBytes - flyPageOverhead; skel > int64(a.Geometry().PageSize)/2 {
+		t.Fatalf("skeleton too large: %d bytes of a %d-byte page", skel, a.Geometry().PageSize)
+	}
+}
+
+func TestFlyweightRawFallbackCopies(t *testing.T) {
+	a := flyArray(t)
+	// Arbitrary unsealed bytes (no valid CRC): kept raw, still byte-exact,
+	// and copied rather than retained.
+	img := page(a, 0x5A)
+	orig := append([]byte(nil), img...)
+	mustProgram(t, a, 0, 0, img, CauseFlush)
+	img[0] = 0xFF
+	if !bytes.Equal(a.PageData(0), orig) {
+		t.Fatal("raw-fallback page diverges from programmed bytes")
+	}
+	if fp := a.Footprint(); fp.RawFallbackPages != 1 {
+		t.Fatalf("RawFallbackPages = %d, want 1", fp.RawFallbackPages)
+	}
+}
+
+func TestFlyweightEraseAndRewrite(t *testing.T) {
+	a := flyArray(t)
+	mustProgram(t, a, 0, 0, buildEntityPage(t, a.Geometry().PageSize, []uint64{7}, 64), CauseFlush)
+	if _, err := a.Erase(0, 0, CauseGC); err != nil {
+		t.Fatal(err)
+	}
+	if a.Written(0) {
+		t.Fatal("page survives erase")
+	}
+	if fp := a.Footprint(); fp.LivePages != 0 || fp.ResidentBytes != 0 {
+		t.Fatalf("footprint not empty after erase: %+v", fp)
+	}
+	img := buildEntityPage(t, a.Geometry().PageSize, []uint64{8, 9}, 48)
+	orig := append([]byte(nil), img...)
+	mustProgram(t, a, 0, 0, img, CauseFlush)
+	if !bytes.Equal(a.PageData(0), orig) {
+		t.Fatal("rewrite after erase diverges")
+	}
+}
+
+// buildLogPages builds two sealed value-log pages in core/vlog.go's format:
+// a value split across them as a first fragment (chunk < total) continued by
+// record 0 of the next page in seq order.
+func buildLogPages(t *testing.T, pageSize int, seed uint64, total, firstChunk int) (p0, p1 []byte, want []byte) {
+	t.Helper()
+	v := make([]byte, total)
+	payload.Fill(v, seed)
+	payload.Note(v, seed)
+
+	hdr := func(seq uint64) []byte {
+		h := make([]byte, flyLogHdrLen)
+		binary.LittleEndian.PutUint16(h[0:], flyLogMagic)
+		binary.LittleEndian.PutUint64(h[2:], seq)
+		binary.LittleEndian.PutUint64(h[10:], uint64(seq)) // logical PPA, opaque here
+		return h
+	}
+	frag := func(kind byte, tot int, chunk []byte) []byte {
+		rec := []byte{kind}
+		if kind == flyFragFirst {
+			rec = binary.AppendUvarint(rec, uint64(tot))
+		}
+		rec = binary.AppendUvarint(rec, uint64(len(chunk)))
+		return append(rec, chunk...)
+	}
+
+	p0 = make([]byte, pageSize)
+	w0 := kv.NewPageWriter(p0, hdr(0))
+	if !w0.AppendRaw(frag(flyFragFirst, total, v[:firstChunk])) {
+		t.Fatal("first fragment does not fit")
+	}
+	w0.Seal()
+
+	p1 = make([]byte, pageSize)
+	w1 := kv.NewPageWriter(p1, hdr(1))
+	if !w1.AppendRaw(frag(flyFragCont, 0, v[firstChunk:])) {
+		t.Fatal("continuation fragment does not fit")
+	}
+	w1.Seal()
+	return p0, p1, v
+}
+
+func TestFlyweightLogFragmentContinuation(t *testing.T) {
+	a := flyArray(t)
+	ps := a.Geometry().PageSize
+	p0, p1, _ := buildLogPages(t, ps, 0xC0FFEE, 300, 180)
+	o0 := append([]byte(nil), p0...)
+	o1 := append([]byte(nil), p1...)
+
+	mustProgram(t, a, 0, 0, p0, CauseLog)
+	mustProgram(t, a, 0, 1, p1, CauseLog)
+	if !bytes.Equal(a.PageData(0), o0) || !bytes.Equal(a.PageData(1), o1) {
+		t.Fatal("log pages diverge from programmed bytes")
+	}
+	fp := a.Footprint()
+	if fp.RawFallbackPages != 0 {
+		t.Fatalf("log pages fell back to raw storage (%d raw)", fp.RawFallbackPages)
+	}
+	// Both chunks excised: resident well below the two raw pages.
+	if fp.ResidentBytes >= fp.LogicalBytes {
+		t.Fatalf("no compression on log pages: resident %d >= logical %d", fp.ResidentBytes, fp.LogicalBytes)
+	}
+}
+
+func TestFlyweightMaterializationCache(t *testing.T) {
+	a := flyArray(t)
+	mustProgram(t, a, 0, 0, buildEntityPage(t, a.Geometry().PageSize, []uint64{21, 22}, 80), CauseFlush)
+	first := a.PageData(0)
+	second := a.PageData(0)
+	if &first[0] != &second[0] {
+		t.Fatal("repeated PageData did not hit the materialisation cache")
+	}
+	if fp := a.Footprint(); fp.CacheHits == 0 {
+		t.Fatalf("no cache hits recorded: %+v", fp)
+	}
+}
+
+func TestFlyweightReleaseDropsPayloads(t *testing.T) {
+	a := flyArray(t)
+	mustProgram(t, a, 0, 0, buildEntityPage(t, a.Geometry().PageSize, []uint64{31}, 64), CauseFlush)
+	a.Release()
+	if fp := a.Footprint(); fp.LivePages != 0 || fp.ResidentBytes != 0 {
+		t.Fatalf("footprint not empty after release: %+v", fp)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("data access after Release did not panic")
+		}
+	}()
+	a.PageData(0)
+}
+
+func TestConfigureMemoryAuto(t *testing.T) {
+	small, err := New(flyGeo(), TLCTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	small.ConfigureMemory(MemoryAuto)
+	if small.Footprint().Mode != MemoryRaw {
+		t.Fatalf("small geometry resolved to %v, want raw", small.Footprint().Mode)
+	}
+	if !small.Retains() {
+		t.Fatal("raw store must retain programmed buffers")
+	}
+
+	big, err := New(Geometry{Channels: 2, ChipsPerChannel: 2, BlocksPerChip: 512, PagesPerBlock: 64, PageSize: 8192}, TLCTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Geometry().Capacity() < flyweightAutoBytes {
+		t.Fatal("test geometry below the auto threshold")
+	}
+	big.ConfigureMemory(MemoryAuto)
+	if big.Footprint().Mode != MemoryFlyweight {
+		t.Fatalf("large geometry resolved to %v, want flyweight", big.Footprint().Mode)
+	}
+	if big.Retains() {
+		t.Fatal("flyweight store must not retain programmed buffers")
+	}
+}
+
+func TestPageArenaRecycles(t *testing.T) {
+	ar := NewPageArena(64, 4, true)
+	b := ar.Acquire()
+	b[0] = 0xFF
+	ar.Release(b)
+	c := ar.Acquire()
+	if &b[0] != &c[0] {
+		t.Fatal("recycling arena did not reuse the released buffer")
+	}
+	if c[0] != 0 {
+		t.Fatal("Acquire returned a non-zeroed buffer")
+	}
+
+	noRecycle := NewPageArena(64, 4, false)
+	d := noRecycle.Acquire()
+	noRecycle.Release(d)
+	if e := noRecycle.Acquire(); &d[0] == &e[0] {
+		t.Fatal("non-recycling arena reused a buffer")
+	}
+}

@@ -210,8 +210,8 @@ type Array struct {
 	// ever scheduled before it (see sim.Timeline), enabling exact pruning.
 	watermark sim.Time
 
-	pages    [][]byte // payloads by global page index; nil = unwritten
-	nextPage []int32  // per block: next programmable page index
+	store    payloadStore // programmed page payloads (raw or flyweight)
+	nextPage []int32      // per block: next programmable page index
 	// bad marks grown-bad blocks: a failed program or erase retires the
 	// block for the remainder of the device's life. Bad blocks stay
 	// readable (their already-programmed pages are intact) but reject
@@ -233,12 +233,51 @@ func New(geo Geometry, timing Timing) (*Array, error) {
 		timing:   timing,
 		chips:    make([]sim.Timeline, geo.Chips()),
 		channels: make([]sim.Timeline, geo.Channels),
-		pages:    make([][]byte, geo.Pages()),
+		store:    newRawStore(geo),
 		nextPage: make([]int32, geo.Blocks()),
 		bad:      make([]bool, geo.Blocks()),
 	}
 	return a, nil
 }
+
+// ConfigureMemory selects the payload store representation. MemoryAuto
+// resolves by capacity: flyweight at or above flyweightAutoBytes, raw below.
+// Must be called before any page is programmed (the FTL configures the array
+// it just built); switching a written array panics.
+func (a *Array) ConfigureMemory(mode MemoryMode) {
+	if mode == MemoryAuto {
+		if a.geo.Capacity() >= flyweightAutoBytes {
+			mode = MemoryFlyweight
+		} else {
+			mode = MemoryRaw
+		}
+	}
+	if mode == a.store.footprint().Mode {
+		return
+	}
+	if a.store.footprint().LivePages != 0 {
+		panic("nand: ConfigureMemory on an array with programmed pages")
+	}
+	switch mode {
+	case MemoryRaw:
+		a.store = newRawStore(a.geo)
+	case MemoryFlyweight:
+		a.store = newFlyweightStore(a.geo, defaultMatCacheBytes(a.geo))
+	}
+}
+
+// Retains reports whether the array keeps a reference to programmed buffers
+// (raw store) or copies what it needs (flyweight), letting FTLs decide
+// whether recycling build buffers through a PageArena is sound.
+func (a *Array) Retains() bool { return a.store.retains() }
+
+// Footprint returns the payload store's memory accounting.
+func (a *Array) Footprint() StoreFootprint { return a.store.footprint() }
+
+// Release eagerly drops every retained page payload. The array is unusable
+// for data access afterwards (reads panic); callers release only devices
+// they are discarding — dead fleet shards, closed handles.
+func (a *Array) Release() { a.store.release() }
 
 // SetInjector attaches a fault injector (nil detaches). The injector is
 // part of the array, so it — and the grown-bad state it caused — survives a
@@ -297,7 +336,7 @@ func (a *Array) pageType(ppa PPA) int { return a.PageInBlock(ppa) % 3 }
 // bug and panics.
 func (a *Array) Read(at sim.Time, ppa PPA, cause Cause) sim.Time {
 	a.checkPPA(ppa)
-	if a.pages[ppa] == nil {
+	if !a.store.written(ppa) {
 		panic(fmt.Sprintf("nand: read of unwritten page %d", ppa))
 	}
 	chip := a.chipOf(ppa)
@@ -379,7 +418,7 @@ func (a *Array) Program(at sim.Time, ppa PPA, data []byte, cause Cause) (sim.Tim
 					torn := make([]byte, len(data))
 					copy(torn, data[:len(data)/2])
 					a.nextPage[b]++
-					a.pages[ppa] = torn
+					a.store.set(ppa, torn)
 					panic(r)
 				}
 			}()
@@ -388,7 +427,7 @@ func (a *Array) Program(at sim.Time, ppa PPA, data []byte, cause Cause) (sim.Tim
 	}
 	if !failed {
 		a.nextPage[b]++
-		a.pages[ppa] = data
+		a.store.set(ppa, data)
 	}
 
 	chip := a.chipOf(ppa)
@@ -434,10 +473,7 @@ func (a *Array) Erase(at sim.Time, b BlockID, cause Cause) (sim.Time, error) {
 		return at, fmt.Errorf("nand: erase of grown-bad block %d", b)
 	}
 	failed := a.inj != nil && a.inj.OnErase(b, cause)
-	first := int(b) * a.geo.PagesPerBlock
-	for i := 0; i < a.geo.PagesPerBlock; i++ {
-		a.pages[first+i] = nil
-	}
+	a.store.clear(PPA(int(b)*a.geo.PagesPerBlock), a.geo.PagesPerBlock)
 	a.nextPage[b] = 0
 	a.counters.Erases++
 	chip := a.eraseChipOf(b)
@@ -461,7 +497,7 @@ func (a *Array) Erase(at sim.Time, b BlockID, cause Cause) (sim.Time, error) {
 // nothing, keeping data access and timing orthogonal.
 func (a *Array) PageData(ppa PPA) []byte {
 	a.checkPPA(ppa)
-	d := a.pages[ppa]
+	d := a.store.get(ppa)
 	if d == nil {
 		panic(fmt.Sprintf("nand: data access to unwritten page %d", ppa))
 	}
@@ -471,7 +507,7 @@ func (a *Array) PageData(ppa PPA) []byte {
 // Written reports whether ppa has been programmed since its last erase.
 func (a *Array) Written(ppa PPA) bool {
 	a.checkPPA(ppa)
-	return a.pages[ppa] != nil
+	return a.store.written(ppa)
 }
 
 // FreePagesIn returns how many pages remain programmable in block b.

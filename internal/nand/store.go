@@ -1,0 +1,204 @@
+package nand
+
+// MemoryMode selects how the array retains programmed page payloads.
+type MemoryMode int
+
+const (
+	// MemoryAuto picks raw below flyweightAutoBytes of capacity and
+	// flyweight at or above it: small geometries keep the zero-overhead
+	// representation the benchmarks are tuned for, paper-scale ones get the
+	// compact store that makes them fit in host memory at all.
+	MemoryAuto MemoryMode = iota
+	// MemoryRaw retains every programmed page as its full []byte image.
+	MemoryRaw
+	// MemoryFlyweight stores pages as skeletons with regenerable byte
+	// ranges excised (see flyweight.go). Reads are byte-identical to raw.
+	MemoryFlyweight
+)
+
+func (m MemoryMode) String() string {
+	switch m {
+	case MemoryRaw:
+		return "raw"
+	case MemoryFlyweight:
+		return "flyweight"
+	default:
+		return "auto"
+	}
+}
+
+// flyweightAutoBytes is the MemoryAuto capacity threshold.
+const flyweightAutoBytes = 1 << 30
+
+// StoreFootprint reports the payload store's memory accounting.
+type StoreFootprint struct {
+	Mode MemoryMode
+
+	// LivePages counts pages currently programmed (written, not erased).
+	LivePages int64
+	// LogicalBytes is what a raw store would retain: LivePages × page size.
+	LogicalBytes int64
+	// ResidentBytes is what this store actually retains for page payloads
+	// (raw images, or skeletons + splice records + per-page overhead).
+	ResidentBytes int64
+	// RawFallbackPages counts flyweight pages kept as full images because
+	// nothing in them was regenerable (torn pages, meta-only pages, or
+	// values the intern registry could not resolve).
+	RawFallbackPages int64
+
+	// Materialisation cache occupancy and traffic (flyweight only).
+	CacheBytes  int64
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// Add merges another footprint into this one (cluster and fleet rollups).
+// The merged Mode is MemoryFlyweight when any member runs compact — the
+// interesting fleet-level fact is whether flyweighting is active anywhere.
+func (f StoreFootprint) Add(o StoreFootprint) StoreFootprint {
+	if o.Mode == MemoryFlyweight {
+		f.Mode = MemoryFlyweight
+	} else if f.LivePages == 0 && f.LogicalBytes == 0 {
+		f.Mode = o.Mode
+	}
+	f.LivePages += o.LivePages
+	f.LogicalBytes += o.LogicalBytes
+	f.ResidentBytes += o.ResidentBytes
+	f.RawFallbackPages += o.RawFallbackPages
+	f.CacheBytes += o.CacheBytes
+	f.CacheHits += o.CacheHits
+	f.CacheMisses += o.CacheMisses
+	return f
+}
+
+// payloadStore abstracts where programmed page payloads live. The Array owns
+// exactly one; all methods run on the device's simulation goroutine.
+//
+// The ownership contract differs by implementation and is exposed through
+// retains(): a retaining store (raw) keeps the exact buffer passed to set,
+// so callers must never reuse programmed images; a non-retaining store
+// (flyweight) copies what it needs, allowing callers to recycle build
+// buffers through a page arena.
+type payloadStore interface {
+	// set records the payload of a freshly programmed page. data is exactly
+	// one page long.
+	set(ppa PPA, data []byte)
+	// get returns the page's payload, byte-identical to what was set. The
+	// returned slice must never be mutated by callers and stays valid until
+	// the device is released (flyweight buffers are immutable and dropped
+	// only by the garbage collector once callers let go).
+	get(ppa PPA) []byte
+	// written reports whether the page holds data.
+	written(ppa PPA) bool
+	// clear erases n consecutive pages starting at first.
+	clear(first PPA, n int)
+	// release drops every retained payload eagerly (device close).
+	release()
+	// retains reports whether set keeps a reference to its argument.
+	retains() bool
+	footprint() StoreFootprint
+}
+
+// rawStore is the historical representation: one live []byte per programmed
+// page, taking ownership of the programmed buffer.
+type rawStore struct {
+	pages    [][]byte
+	pageSize int
+	live     int64
+	released bool
+}
+
+func newRawStore(geo Geometry) *rawStore {
+	return &rawStore{pages: make([][]byte, geo.Pages()), pageSize: geo.PageSize}
+}
+
+func (s *rawStore) set(ppa PPA, data []byte) {
+	if s.released {
+		panic("nand: page store used after release")
+	}
+	if s.pages[ppa] == nil {
+		s.live++
+	}
+	s.pages[ppa] = data
+}
+
+func (s *rawStore) get(ppa PPA) []byte {
+	if s.released {
+		panic("nand: page store used after release")
+	}
+	return s.pages[ppa]
+}
+
+func (s *rawStore) written(ppa PPA) bool {
+	return !s.released && s.pages[ppa] != nil
+}
+
+func (s *rawStore) clear(first PPA, n int) {
+	for i := PPA(0); i < PPA(n); i++ {
+		if s.pages[first+i] != nil {
+			s.live--
+			s.pages[first+i] = nil
+		}
+	}
+}
+
+func (s *rawStore) release() {
+	s.pages = nil
+	s.live = 0
+	s.released = true
+}
+
+func (s *rawStore) retains() bool { return true }
+
+func (s *rawStore) footprint() StoreFootprint {
+	return StoreFootprint{
+		Mode:          MemoryRaw,
+		LivePages:     s.live,
+		LogicalBytes:  s.live * int64(s.pageSize),
+		ResidentBytes: s.live * int64(s.pageSize+24), // images + slice headers
+	}
+}
+
+// PageArena recycles page-image buffers for callers that build pages to
+// program. Recycling is only sound against a non-retaining payload store
+// (the flash array copies what it keeps); against a retaining store the
+// arena degrades to plain allocation, preserving the historical "programmed
+// buffers are never reused" contract.
+type PageArena struct {
+	free     [][]byte
+	pageSize int
+	max      int
+	recycle  bool
+}
+
+// NewPageArena builds an arena of pageSize buffers keeping at most max free
+// buffers when recycling is enabled.
+func NewPageArena(pageSize, max int, recycle bool) *PageArena {
+	return &PageArena{pageSize: pageSize, max: max, recycle: recycle}
+}
+
+// Acquire returns a zero-filled page image (PageWriter requires zeroed
+// buffers).
+func (a *PageArena) Acquire() []byte {
+	if n := len(a.free); n > 0 {
+		img := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		clear(img)
+		return img
+	}
+	return make([]byte, a.pageSize)
+}
+
+// Release returns images whose contents have been handed to the flash array
+// (or abandoned). No-op unless recycling.
+func (a *PageArena) Release(imgs ...[]byte) {
+	if !a.recycle {
+		return
+	}
+	for _, img := range imgs {
+		if len(img) == a.pageSize && len(a.free) < a.max {
+			a.free = append(a.free, img)
+		}
+	}
+}

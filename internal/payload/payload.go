@@ -1,0 +1,172 @@
+// Package payload is the seed-deterministic value-byte generator shared by
+// the workload layer and the flash array's flyweight page store.
+//
+// Every value the benchmark workloads write is a pure function of a 64-bit
+// seed (an xorshift64* stream), so retaining the bytes of a programmed page
+// is redundant: a page image can be stored as a skeleton with the recognised
+// value ranges excised, and the excised bytes regenerated on demand. This
+// package provides the two halves of that contract:
+//
+//   - Fill/State: the PRNG itself. State supports resuming mid-stream, which
+//     lets a value that spans flash pages (value-log fragment chains) be
+//     excised from each page independently.
+//
+//   - the intern registry: a bounded, content-keyed table mapping a value's
+//     first bytes to the seed that generates it. The workload generator
+//     Notes every value it emits; the flyweight store Looks candidate ranges
+//     up at program time. Every lookup is verified by full regeneration
+//     (VerifyFrom), so hash collisions, evicted entries or misparsed pages
+//     can only cost memory (the range stays in the skeleton), never bytes.
+//
+// The registry is process-global and safe for concurrent use. It stays
+// completely inert (one atomic load per Note) until a flyweight store calls
+// Enable, so raw-mode simulations pay nothing.
+package payload
+
+import (
+	"sync/atomic"
+
+	"anykey/internal/xxhash"
+)
+
+// State is a point in an xorshift64* byte stream. The zero State is invalid;
+// streams start at Start(seed).
+type State uint64
+
+// Start returns the stream state for seed. Note that Start(uint64(Start(s)))
+// == Start(s): a state at the beginning of a stream is itself a valid seed
+// for the same stream, which lets materialised values re-register under
+// their resumed state.
+func Start(seed uint64) State { return State(seed | 1) }
+
+// Fill writes the next len(dst) bytes of the stream into dst and returns the
+// advanced state. The byte recurrence is exactly the workload generator's
+// historical fillDeterministic, so pre-existing golden checksums are
+// unchanged.
+func (s State) Fill(dst []byte) State {
+	x := uint64(s)
+	for i := range dst {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		dst[i] = byte((x * 0x2545F4914F6CDD1D) >> 56)
+	}
+	return State(x)
+}
+
+// Skip advances the stream by n bytes without emitting them.
+func (s State) Skip(n int) State {
+	x := uint64(s)
+	for ; n > 0; n-- {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+	}
+	return State(x)
+}
+
+// VerifyFrom reports whether b is exactly the next len(b) bytes of the
+// stream at s, and returns the state after them. It allocates nothing and
+// exits on the first mismatch.
+func (s State) VerifyFrom(b []byte) (State, bool) {
+	x := uint64(s)
+	for _, c := range b {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		if byte((x*0x2545F4914F6CDD1D)>>56) != c {
+			return 0, false
+		}
+	}
+	return State(x), true
+}
+
+// Fill writes the deterministic byte string of seed into dst (the historical
+// workload.fillDeterministic).
+func Fill(dst []byte, seed uint64) { Start(seed).Fill(dst) }
+
+// --- intern registry ------------------------------------------------------
+
+// PrefixLen is the number of leading value bytes that key the registry.
+// Keying on a short prefix (rather than the whole value) lets a value-log
+// first fragment — a strict prefix of the full value — resolve to the same
+// entry the full value registered. Collisions are harmless: lookups hand out
+// candidate seeds that callers must verify by regeneration.
+const PrefixLen = 16
+
+// MinLookup is the shortest byte range worth interning: ranges shorter than
+// PrefixLen cannot be keyed, and excising a range much smaller than a splice
+// record would grow the flyweight representation.
+const MinLookup = 24
+
+// regBits sizes the direct-mapped registry: 1<<regBits entries of 16 bytes.
+// The registry only has to cover the window between a value's generation
+// (Note) and its landing on flash (Lookup at program time) — bounded by the
+// write buffer — plus values re-registered when a page is materialised for
+// compaction. 2^20 entries make collisions within that window negligible at
+// any geometry while costing 16 MiB once enabled.
+const regBits = 20
+
+var (
+	enabled atomic.Bool
+
+	// Direct-mapped table, two parallel word arrays accessed with atomics.
+	// A torn (hash from one writer, seed from another) entry is indistin-
+	// guishable from a collision and fails verification downstream, so no
+	// locking is needed.
+	regHash [1 << regBits]atomic.Uint64
+	regSeed [1 << regBits]atomic.Uint64
+)
+
+// Enable turns the registry on. Called by the first flyweight store; never
+// turned off (a raw-mode device opened later is unaffected by a live
+// registry).
+func Enable() { enabled.Store(true) }
+
+// Enabled reports whether any flyweight store has enabled interning.
+func Enabled() bool { return enabled.Load() }
+
+// prefixKey hashes the first PrefixLen bytes of v. Callers guarantee
+// len(v) >= PrefixLen. The hash must be process-independent (no per-process
+// seed): which prefixes collide decides which registry entries evict each
+// other, and an evicted entry means the flyweight store keeps those value
+// bytes verbatim — harmless for correctness, but it would make reported
+// resident bytes vary across otherwise identical runs.
+func prefixKey(v []byte) uint64 {
+	p := v[:PrefixLen]
+	h := uint64(xxhash.Sum32Seed(p, 0x9E3779B9))<<32 | uint64(xxhash.Sum32Seed(p, 0x85EBCA77))
+	// Never store the reserved empty-slot hash.
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// Note registers v as the byte string generated by seed. It is a cheap no-op
+// while no flyweight store exists. Callers pass the full value; short values
+// are not worth interning and are skipped.
+func Note(v []byte, seed uint64) {
+	if len(v) < MinLookup || !enabled.Load() {
+		return
+	}
+	h := prefixKey(v)
+	i := h & (1<<regBits - 1)
+	regSeed[i].Store(seed)
+	regHash[i].Store(h)
+}
+
+// Lookup returns the candidate seed registered for a byte range starting
+// with v's prefix. The candidate is exactly that — callers MUST verify it
+// with State.VerifyFrom before trusting it. ok is false when no candidate is
+// registered (or the range is too short to have been Noted).
+func Lookup(v []byte) (seed uint64, ok bool) {
+	if len(v) < MinLookup || !enabled.Load() {
+		return 0, false
+	}
+	h := prefixKey(v)
+	i := h & (1<<regBits - 1)
+	if regHash[i].Load() != h {
+		return 0, false
+	}
+	return regSeed[i].Load(), true
+}

@@ -1,0 +1,115 @@
+package payload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fillReference is the historical workload.fillDeterministic, kept verbatim
+// as the compatibility oracle: Fill must reproduce it bit for bit or every
+// committed golden checksum breaks.
+func fillReference(dst []byte, seed uint64) {
+	x := seed | 1
+	for i := range dst {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		dst[i] = byte((x * 0x2545F4914F6CDD1D) >> 56)
+	}
+}
+
+func TestFillMatchesReference(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 2, 0x9E3779B97F4A7C15, 1<<64 - 1, 424242} {
+		for _, n := range []int{0, 1, 7, 16, 43, 4096} {
+			want := make([]byte, n)
+			got := make([]byte, n)
+			fillReference(want, seed)
+			Fill(got, seed)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("Fill(seed=%#x, n=%d) diverges from reference", seed, n)
+			}
+		}
+	}
+}
+
+func TestStateResume(t *testing.T) {
+	const seed = 77
+	full := make([]byte, 300)
+	Fill(full, seed)
+
+	// Fill in three chunks through the returned states.
+	got := make([]byte, 300)
+	st := Start(seed)
+	st = st.Fill(got[:100])
+	st = st.Fill(got[100:250])
+	st.Fill(got[250:])
+	if !bytes.Equal(got, full) {
+		t.Fatal("chunked Fill diverges from one-shot Fill")
+	}
+
+	// Skip is equivalent to filling and discarding.
+	tail := make([]byte, 50)
+	Start(seed).Skip(250).Fill(tail)
+	if !bytes.Equal(tail, full[250:]) {
+		t.Fatal("Skip+Fill diverges from the stream tail")
+	}
+}
+
+func TestStartIdempotentOnState(t *testing.T) {
+	st := Start(12345)
+	if Start(uint64(st)) != st {
+		t.Fatal("a stream-start state must be reusable as its own seed")
+	}
+}
+
+func TestVerifyFrom(t *testing.T) {
+	const seed = 991
+	v := make([]byte, 128)
+	Fill(v, seed)
+
+	st, ok := Start(seed).VerifyFrom(v[:64])
+	if !ok {
+		t.Fatal("prefix failed verification against its own stream")
+	}
+	if _, ok := st.VerifyFrom(v[64:]); !ok {
+		t.Fatal("continuation failed verification from the resumed state")
+	}
+	bad := append([]byte(nil), v...)
+	bad[100] ^= 1
+	if _, ok := Start(seed).VerifyFrom(bad); ok {
+		t.Fatal("corrupted bytes passed verification")
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	Enable()
+	v := make([]byte, 256)
+	const seed = 0xDEADBEEF
+	Fill(v, seed)
+	Note(v, seed)
+
+	got, ok := Lookup(v)
+	if !ok || got != seed {
+		t.Fatalf("Lookup = (%#x, %v), want (%#x, true)", got, ok, uint64(seed))
+	}
+	// A strict prefix of the value (a log first-fragment chunk) resolves to
+	// the same entry.
+	if got, ok := Lookup(v[:40]); !ok || got != seed {
+		t.Fatalf("prefix Lookup = (%#x, %v), want (%#x, true)", got, ok, uint64(seed))
+	}
+	// Below MinLookup nothing is registered or returned.
+	if _, ok := Lookup(v[:MinLookup-1]); ok {
+		t.Fatal("Lookup succeeded below MinLookup")
+	}
+	// The candidate must verify; a different byte string colliding into the
+	// slot must fail VerifyFrom (the caller-side safety net).
+	other := append([]byte(nil), v...)
+	other[200] ^= 0xFF
+	cand, ok := Lookup(other) // same prefix, same slot
+	if !ok {
+		t.Fatal("prefix-matched lookup should return the candidate")
+	}
+	if _, ok := Start(cand).VerifyFrom(other); ok {
+		t.Fatal("VerifyFrom accepted bytes the stream did not generate")
+	}
+}

@@ -116,7 +116,7 @@ func (d *Device) flushBlockEstimate() int {
 // their meta records in key order.
 func (d *Device) writeDataPages(at sim.Time, entries []memtable.Entry) ([]record, sim.Time, error) {
 	recs := make([]record, 0, len(entries))
-	pageBuf := make([]byte, d.cfg.Geometry.PageSize)
+	pageBuf := d.arena.Acquire()
 	w := kv.NewPageWriter(pageBuf, nil)
 	var pending []int // indices in recs whose loc awaits the page's PPA
 	now := at
@@ -148,7 +148,8 @@ func (d *Device) writeDataPages(at sim.Time, entries []memtable.Entry) ([]record
 			recs[ri].loc = makeLoc(seq, slotIdx)
 		}
 		pending = pending[:0]
-		pageBuf = make([]byte, d.cfg.Geometry.PageSize)
+		d.arena.Release(pageBuf) // programmed: the array copied what it keeps
+		pageBuf = d.arena.Acquire()
 		w = kv.NewPageWriter(pageBuf, nil)
 		return nil
 	}
@@ -329,7 +330,7 @@ func (d *Device) writeLevel(at sim.Time, dst int, recs []record) (sim.Time, erro
 		panic("pink: writeLevel into non-empty level")
 	}
 	now := at
-	pageBuf := make([]byte, d.cfg.Geometry.PageSize)
+	pageBuf := d.arena.Acquire()
 	w := kv.NewPageWriter(pageBuf, nil)
 	var first []byte
 	var segBytes int64
@@ -350,7 +351,8 @@ func (d *Device) writeLevel(at sim.Time, dst int, recs []record) (sim.Time, erro
 		now = sim.Max(now, t)
 		lv.segs = append(lv.segs, seg)
 		lv.bytes += segBytes
-		pageBuf = make([]byte, d.cfg.Geometry.PageSize)
+		d.arena.Release(pageBuf) // programmed: the array copied what it keeps
+		pageBuf = d.arena.Acquire()
 		w = kv.NewPageWriter(pageBuf, nil)
 		first = nil
 		segBytes = 0

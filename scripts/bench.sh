@@ -4,6 +4,10 @@
 # Usage:
 #   scripts/bench.sh                 # full suite, 1 iteration per benchmark
 #   scripts/bench.sh -count 3        # extra go test args pass through
+#   scripts/bench.sh mem             # quick fullscale run, gate peak heap
+#                                    # against BENCH_fullscale.json budget
+#   scripts/bench.sh fullscale       # full-length fullscale run (slow) with
+#                                    # -bench-mem reporting, no gate
 #   BENCH='Fig12|Fig14' scripts/bench.sh   # subset via regex
 #   PROFILE=1 scripts/bench.sh       # also write cpu.pprof / mem.pprof
 #
@@ -11,9 +15,47 @@
 # checksum tests pin those reports byte-for-byte — so any optimization this
 # script measures is behavior-preserving by construction (run `go test .`
 # to check). BENCH_baseline.json records the before/after numbers of the
-# recorded optimization pass.
+# recorded optimization pass; BENCH_fullscale.json records the fullscale
+# memory footprint and the heap budgets the `mem` mode enforces.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# json_int FILE KEY — pull an integer field out of a flat JSON file without
+# depending on jq (the CI runners and the dev container both lack it).
+json_int() {
+  awk -v key="\"$2\"" '$0 ~ key { gsub(/[^0-9]/, "", $2); print $2; exit }' FS=': ' "$1"
+}
+
+case "${1:-}" in
+mem)
+  # Quick-mode fullscale with the memory sampler; fail if peak heap exceeds
+  # the committed budget. This is the CI heap-regression gate.
+  BUDGET="$(json_int BENCH_fullscale.json quick_peak_heap_budget_bytes)"
+  if [[ -z "$BUDGET" ]]; then
+    echo "bench.sh mem: no quick_peak_heap_budget_bytes in BENCH_fullscale.json" >&2
+    exit 1
+  fi
+  OUT="$(go run ./cmd/anykeybench -exp fullscale -quick -bench-mem -quiet | tee /dev/stderr)"
+  PEAK="$(echo "$OUT" | awk -F'[= ]' '/^mem: peak-heap-bytes=/ { print $3 }')"
+  if [[ -z "$PEAK" ]]; then
+    echo "bench.sh mem: no 'mem: peak-heap-bytes=' line in output" >&2
+    exit 1
+  fi
+  echo "peak heap: $PEAK bytes (budget: $BUDGET)"
+  if (( PEAK > BUDGET )); then
+    echo "bench.sh mem: FAIL — peak heap $PEAK exceeds budget $BUDGET" >&2
+    exit 1
+  fi
+  echo "bench.sh mem: OK"
+  exit 0
+  ;;
+fullscale)
+  # Full-length fullscale experiment (64 GB-class sweep; minutes of wall
+  # time). Reports memory at exit; compare by hand against
+  # BENCH_fullscale.json.
+  exec go run ./cmd/anykeybench -exp fullscale -bench-mem
+  ;;
+esac
 
 BENCH="${BENCH:-.}"
 ARGS=(-run '^$' -bench "$BENCH" -benchtime 1x -timeout 1800s)
