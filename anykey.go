@@ -36,6 +36,7 @@ import (
 	"anykey/internal/sim"
 	"anykey/internal/stats"
 	"anykey/internal/trace"
+	"anykey/internal/txn"
 )
 
 // Re-exported simulation and data types.
@@ -123,6 +124,25 @@ var (
 	// example PowerCycle on a PinK device, whose recovery the simulator does
 	// not model. Test with errors.Is.
 	ErrUnsupported = errors.New("anykey: unsupported operation")
+
+	// ErrTxnConflict reports an OCC validation failure: a key read by the
+	// transaction changed before commit. Cluster.Txn/Incr/Append retry these
+	// under TxnOptions' bounded-retry policy; a CompareAndSwap whose expected
+	// value no longer matches reports it directly. Test with errors.Is.
+	ErrTxnConflict = txn.ErrConflict
+
+	// ErrTxnAborted reports a transaction given up for good — the retry
+	// budget was exhausted (the error also matches ErrTxnConflict) or a 2PC
+	// phase failed before the commit record was durable. Test with errors.Is.
+	ErrTxnAborted = txn.ErrAborted
+
+	// ErrAtomicUnsupported rejects atomic cross-shard batches on a replicated
+	// fleet whose configuration cannot make the commit record decisive: with
+	// Factor > 1, read-one reads plus WriteQuorum < Factor would let a lagging
+	// replica serve a pre-commit view of a key another replica has applied.
+	// Require WriteQuorum == Factor (or ReadRepair) for atomic batches. Test
+	// with errors.Is.
+	ErrAtomicUnsupported = errors.New("anykey: atomic batches unsupported by this replication configuration")
 )
 
 // Design selects which KV-SSD firmware the device runs.

@@ -9,6 +9,7 @@ import (
 	"anykey/internal/cluster/fleet"
 	"anykey/internal/device"
 	"anykey/internal/trace"
+	"anykey/internal/txn"
 )
 
 // Cluster-facing re-exports.
@@ -63,6 +64,12 @@ type ClusterOptions struct {
 	// (Device.Faults) is not supported on clusters. Device.Trace enables
 	// one tracer per shard, merged by WriteChromeTrace and Blame.
 	Device Options
+
+	// Txn tunes the transaction layer behind BeginTxn/Txn/Incr/Append/
+	// CompareAndSwap and the Atomic* batch calls: the OCC retry budget and
+	// virtual backoff, and the hot-key split-phase thresholds. The zero
+	// value enables transactions with the documented defaults.
+	Txn TxnOptions
 
 	// Replication, when Factor ≥ 1, turns the cluster into an elastic
 	// replicated fleet: every key lives on Factor distinct shards from the
@@ -153,6 +160,9 @@ func (o *ClusterOptions) Validate() error {
 	} else if o.Replication.WriteQuorum > 0 {
 		return fmt.Errorf("%w: Replication.WriteQuorum %d without Factor", ErrInvalidOptions, o.Replication.WriteQuorum)
 	}
+	if err := o.Txn.Validate(); err != nil {
+		return fmt.Errorf("%w: Txn: %v", ErrInvalidOptions, err)
+	}
 	return o.Device.Validate()
 }
 
@@ -175,6 +185,7 @@ func (o *ClusterOptions) Validate() error {
 type Cluster struct {
 	c      *cluster.Cluster // single-copy backend (Replication.Factor == 0)
 	f      *fleet.Fleet     // replicated fleet backend (Factor ≥ 1)
+	co     *txn.Coordinator // transaction layer over whichever backend is live
 	opts   ClusterOptions
 	closed atomic.Bool
 }
@@ -215,7 +226,9 @@ func OpenCluster(opts ClusterOptions) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Cluster{f: f, opts: opts}, nil
+		cl := &Cluster{f: f, opts: opts}
+		cl.co = txn.New(fleetTxnBackend{f: f}, opts.Txn)
+		return cl, nil
 	}
 	c, err := cluster.New(devs, cluster.Config{
 		QueueDepth:   opts.QueueDepth,
@@ -227,7 +240,9 @@ func OpenCluster(opts ClusterOptions) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{c: c, opts: opts}, nil
+	cl := &Cluster{c: c, opts: opts}
+	cl.co = txn.New(clusterTxnBackend{c: c}, opts.Txn)
+	return cl, nil
 }
 
 // memberFactory builds fleet replacement/expansion devices: the same
@@ -525,10 +540,14 @@ func (c *Cluster) ScanShardAt(shard int, arrival Time, start []byte, n int) (Com
 }
 
 // Sync flushes every shard (a fleet-wide FLUSH) and returns the merged
-// completion time.
+// completion time. An open split phase merges first, so hot-key deltas the
+// transaction layer is still batching become durable too.
 func (c *Cluster) Sync() (Time, error) {
 	if err := c.gate(); err != nil {
 		return 0, err
+	}
+	if err := c.co.Flush(); err != nil {
+		return 0, fmt.Errorf("anykey: split-phase flush: %w", err)
 	}
 	if c.f != nil {
 		return c.f.Sync()

@@ -13,6 +13,7 @@
 //	anykeybench -exp cluster                              # shards × QD × skew sweep
 //	anykeybench -exp fig12 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	anykeybench -exp fullscale -bench-mem     # print the run's peak heap
+//	anykeybench -txn-mode split -txn-theta 0.99 -txn-writes 0.5   # one txn cell
 //
 // Experiment cells (one simulated device each) are independent, so by
 // default they are fanned across one worker per CPU; -parallel 1 restores
@@ -61,6 +62,14 @@ func main() {
 		parallel = flag.Int("parallel", runtime.NumCPU(), "fan experiment cells across this many workers (1 = serial); reports are identical either way")
 		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
 		outDir   = flag.String("out", "", "also save each report as .txt and per-table .csv under this directory")
+
+		txnMode    = flag.String("txn-mode", "", "run one transaction cell instead of an experiment: occ | split | atomic | besteffort")
+		txnTheta   = flag.Float64("txn-theta", 0, "txn cell: Zipfian skew over the counter population (default 0.99)")
+		txnWrites  = flag.Float64("txn-writes", 0, "txn cell: per-op increment probability (default 0.2)")
+		txnClients = flag.Int("txn-clients", 0, "txn cell: concurrent transactions per wave (default 8)")
+		txnWaves   = flag.Int("txn-waves", 0, "txn cell: waves to run (default 400)")
+		txnOps     = flag.Int("txn-ops", 0, "txn cell: operations per transaction (default 2)")
+		txnBatch   = flag.Int("txn-batch", 0, "txn cell: atomic/besteffort batch size (default 16)")
 
 		faultSeed   = flag.Int64("fault-seed", 0, "fault-injection seed (defaults to -seed when any fault rate is set)")
 		readErrRate = flag.Float64("fault-read-err", 0, "per-read transient error probability [0,1)")
@@ -176,6 +185,34 @@ func main() {
 	}
 	if *replication > 0 && *shards == 0 {
 		fmt.Fprintln(os.Stderr, "anykeybench: -replication needs a -shards cluster run")
+		os.Exit(2)
+	}
+	if *txnMode != "" {
+		cfg := harness.TxnRunConfig{
+			Mode:       *txnMode,
+			Theta:      *txnTheta,
+			WriteRatio: *txnWrites,
+			Seed:       *seed,
+			Clients:    *txnClients,
+			TxOps:      *txnOps,
+			Waves:      *txnWaves,
+			BatchOps:   *txnBatch,
+		}
+		cfg.Cluster.Shards = *shards
+		cfg.Cluster.Replication = anykey.ReplicationOptions{Factor: *replication, WriteQuorum: *wquorum}
+		if pol, ok := routers[strings.ToLower(*router)]; ok {
+			cfg.Cluster.Router = pol
+		} else {
+			fmt.Fprintf(os.Stderr, "anykeybench: unknown router %q (consistent | modulo)\n", *router)
+			os.Exit(2)
+		}
+		if err := runTxnCell(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "anykeybench:", err)
+			os.Exit(1)
+		}
+		return
+	} else if *txnTheta != 0 || *txnWrites != 0 || *txnClients != 0 || *txnWaves != 0 || *txnOps != 0 || *txnBatch != 0 {
+		fmt.Fprintln(os.Stderr, "anykeybench: the -txn-* group needs -txn-mode (occ | split | atomic | besteffort)")
 		os.Exit(2)
 	}
 	if *wl != "" {
@@ -434,6 +471,33 @@ func runCluster(wl, design string, shards int, router string, repl anykey.Replic
 		}
 		fmt.Printf("fleet trace saved to %s (shard ids on the track labels)\n", traceOut)
 	}
+	fmt.Printf("(completed in %v wall time)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runTxnCell runs one transaction measurement cell (-txn-mode) and prints
+// its scorecard: outcome tallies, goodput, and the coordinator's own
+// counters (conflict retries, 2PC prepares, split-phase merges).
+func runTxnCell(cfg harness.TxnRunConfig) error {
+	start := time.Now()
+	res, err := harness.RunTxn(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s txn cell (%s): theta=%.2f writes=%.2f\n",
+		res.System, res.Mode, res.Theta, res.WriteRatio)
+	fmt.Printf("txns: %d offered, %d committed, %d aborted (%d conflicts, %d retries)\n",
+		res.Txns, res.Committed, res.Aborted, res.Conflicts, res.Retries)
+	fmt.Printf("goodput: %.0f txn/s (%.0f ops/s) over %.3f simulated seconds\n",
+		res.GoodTxnPerSec, res.OpsPerSec, res.SimSeconds)
+	fmt.Printf("layer: %d prepares, %d atomic batches, %d split merges (%d ops absorbed), %d hot keys\n",
+		res.Layer.Prepares, res.Layer.AtomicBatches, res.Layer.SplitMerges,
+		res.Layer.SplitOps, res.Layer.HotKeys)
+	if res.Batches > 0 {
+		fmt.Printf("batch span: p50=%v p99=%v over %d batches\n",
+			res.BatchLat.Percentile(50), res.BatchLat.Percentile(99), res.Batches)
+	}
+	fmt.Printf("oracle: %d checks passed\n", res.Verified)
 	fmt.Printf("(completed in %v wall time)\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -42,6 +42,10 @@
 //	put/get/del <key> ...  single-key ops (each line shows the shard)
 //	mput <k>=<v> ...       one batch across the fleet
 //	mget <k> ...           one batched read
+//	incr <k> [delta]       transactional counter add (OCC retry; hot keys split)
+//	append <k> <suffix>    transactional append
+//	cas <k> <old|-> <new>  compare-and-swap ('-' expects the key absent)
+//	txn <k>=<v>|del:<k> .. one atomic cross-shard commit (2PC)
 //	shard <key>            which shard a key routes to
 //	stats                  merged rollup plus the per-shard breakdown
 //	addshard               grow the ring by one member (starts a migration)
@@ -191,6 +195,7 @@ func clusterRepl(c *anykey.Cluster, in io.Reader, out io.Writer) {
 			return
 		case "help":
 			fmt.Println("put <k> <v> | get <k> | del <k> | mput <k>=<v>... | mget <k>... | shard <k> | stats | meta | sync | quit")
+			fmt.Println("txn: incr <k> [delta] | append <k> <suffix> | cas <k> <old|-> <new> | txn <k>=<v>|del:<k> ...")
 			fmt.Println("fleet: addshard | rmshard <id> | rebalance [n] | rebalance-status | kill <id> [powercut|grownbad] | rebuild <id>")
 		case "addshard":
 			m, err := c.AddShard()
@@ -355,6 +360,81 @@ func clusterRepl(c *anykey.Cluster, in io.Reader, out io.Writer) {
 			lat, err := c.Delete([]byte(fields[1]))
 			fmt.Printf("[shard %d] ", c.ShardFor([]byte(fields[1])))
 			report(fmt, lat, err)
+		case "incr":
+			if len(fields) != 2 && len(fields) != 3 {
+				fmt.Println("usage: incr <key> [delta]")
+				continue
+			}
+			delta := int64(1)
+			if len(fields) == 3 {
+				d, err := strconv.ParseInt(fields[2], 10, 64)
+				if err != nil {
+					fmt.Println("usage: incr <key> [delta]")
+					continue
+				}
+				delta = d
+			}
+			v, lat, err := c.Incr([]byte(fields[1]), delta)
+			fmt.Printf("[shard %d] ", c.ShardFor([]byte(fields[1])))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("%d  (%v)\n", v, lat)
+		case "append":
+			if len(fields) != 3 {
+				fmt.Println("usage: append <key> <suffix>")
+				continue
+			}
+			lat, err := c.Append([]byte(fields[1]), []byte(fields[2]))
+			fmt.Printf("[shard %d] ", c.ShardFor([]byte(fields[1])))
+			report(fmt, lat, err)
+		case "cas":
+			if len(fields) != 4 {
+				fmt.Println("usage: cas <key> <old|-> <new>   ('-' expects the key absent)")
+				continue
+			}
+			old := []byte(fields[2])
+			if fields[2] == "-" {
+				old = nil
+			}
+			lat, err := c.CompareAndSwap([]byte(fields[1]), old, []byte(fields[3]))
+			fmt.Printf("[shard %d] ", c.ShardFor([]byte(fields[1])))
+			if errors.Is(err, anykey.ErrTxnConflict) && !errors.Is(err, anykey.ErrTxnAborted) {
+				fmt.Printf("conflict: %v\n", err)
+				continue
+			}
+			report(fmt, lat, err)
+		case "txn":
+			if len(fields) < 2 {
+				fmt.Println("usage: txn <key>=<value> | del:<key> ...   (one atomic cross-shard commit)")
+				continue
+			}
+			var ops []anykey.TxnOp
+			bad := false
+			for _, f := range fields[1:] {
+				if k, ok := strings.CutPrefix(f, "del:"); ok && k != "" {
+					ops = append(ops, anykey.TxnOp{Key: []byte(k), Delete: true})
+					continue
+				}
+				k, v, ok := strings.Cut(f, "=")
+				if !ok || k == "" {
+					fmt.Printf("malformed op %q (want key=value or del:key)\n", f)
+					bad = true
+					break
+				}
+				ops = append(ops, anykey.TxnOp{Key: []byte(k), Value: []byte(v)})
+			}
+			if bad {
+				continue
+			}
+			br, err := c.AtomicExec(ops)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("committed txn %d: %d ops over shards %v (%v span)\n",
+				br.TxnID, len(ops), br.Shards, br.Latency())
 		case "mput":
 			if len(fields) < 2 {
 				fmt.Println("usage: mput <key>=<value> ...")
@@ -421,6 +501,10 @@ func clusterRepl(c *anykey.Cluster, in io.Reader, out io.Writer) {
 				st.Flash.TotalReads(), st.Flash.TotalWrites(), st.Flash.Erases)
 			fmt.Printf("compactions: %d tree, %d log, %d chained; GC: %d runs, %d relocations\n",
 				st.TreeCompactions, st.LogCompactions, st.ChainedCompactions, st.GCRuns, st.GCRelocations)
+			if ts := c.TxnStats(); ts.Commits+ts.Aborts > 0 {
+				fmt.Printf("txn: %d commits, %d aborts (%d conflicts, %d retries), %d atomic batches, %d split merges over %d hot keys\n",
+					ts.Commits, ts.Aborts, ts.Conflicts, ts.Retries, ts.AtomicBatches, ts.SplitMerges, ts.HotKeys)
+			}
 			for _, ss := range st.PerShard {
 				fmt.Printf("  shard %d: %d ops, %d live keys, clock %v\n", ss.Shard, ss.Ops, ss.LiveKeys, ss.Now)
 			}

@@ -405,6 +405,13 @@ type BatchResult struct {
 	// whole "completes" at Done — the semantics of a scatter-gather
 	// submission that acknowledges when its last shard does.
 	Start, Done sim.Time
+
+	// Atomic marks a batch that committed (or aborted) as one unit through
+	// the transaction layer's 2PC path rather than best-effort per shard;
+	// TxnID is then the commit's transaction identifier. Both are zero on
+	// plain Multi* batches.
+	Atomic bool
+	TxnID  uint64
 }
 
 // Latency returns the merged batch span Done − Start.
@@ -539,6 +546,54 @@ func (c *Cluster) MultiDelete(keys [][]byte) (*BatchResult, error) {
 		func(sh *shard, i int) (host.Completion, error) {
 			return sh.eng.Delete(keys[i])
 		}), nil
+}
+
+// BatchOp is one operation of a mixed put/delete batch: a Put of Key →
+// Value, or — when Delete is set — a Delete of Key (Value ignored). The
+// transaction layer expresses intent stamping, commits and cleanups as
+// BatchOp batches so a single code path carries them.
+type BatchOp struct {
+	Key    []byte
+	Value  []byte
+	Delete bool
+}
+
+// Apply runs a mixed put/delete batch, routed by key with batch order
+// preserved within each shard — MultiPut semantics for a batch whose
+// operations aren't all the same verb.
+func (c *Cluster) Apply(ops []BatchOp) (*BatchResult, error) {
+	return c.runBatch(len(ops), func(i int) []byte { return ops[i].Key },
+		func(sh *shard, i int) (host.Completion, error) {
+			if ops[i].Delete {
+				return sh.eng.Delete(ops[i].Key)
+			}
+			return sh.eng.Put(ops[i].Key, ops[i].Value)
+		}), nil
+}
+
+// SyncShards flushes only the listed shards and returns the merged
+// completion time — the transaction layer's targeted durability barrier
+// (a commit needs its involved shards synced, not the whole fleet).
+func (c *Cluster) SyncShards(shards []int) (sim.Time, error) {
+	var done sim.Time
+	var firstErr error
+	for _, s := range shards {
+		if s < 0 || s >= len(c.shards) {
+			return done, fmt.Errorf("cluster: SyncShards: shard %d of %d", s, len(c.shards))
+		}
+		sh := c.shards[s]
+		sh.mu.Lock()
+		comp, err := sh.eng.Sync()
+		sh.ops++
+		sh.mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: shard %d sync: %w", s, err)
+		}
+		if comp.Done > done {
+			done = comp.Done
+		}
+	}
+	return done, firstErr
 }
 
 // Put routes one pair to its shard.
@@ -811,6 +866,9 @@ func (c *Cluster) Engine(i int) *host.Engine { return c.shards[i].eng }
 
 // Device returns shard i's underlying KVSSD.
 func (c *Cluster) Device(i int) device.KVSSD { return c.shards[i].dev }
+
+// Tracer returns shard i's tracer (nil when the cluster is untraced).
+func (c *Cluster) Tracer(i int) *trace.Tracer { return c.shards[i].tr }
 
 // Tracers returns the per-shard tracers (nil when the cluster is untraced).
 func (c *Cluster) Tracers() []*trace.Tracer {

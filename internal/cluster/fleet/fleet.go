@@ -575,6 +575,25 @@ func toInts(ids []int32) []int {
 // Put stores one pair on every alive owner (closed loop).
 func (f *Fleet) Put(key, value []byte) OpResult { return f.write(nil, key, value, false) }
 
+// Apply runs a mixed put/delete batch through the replicated write path —
+// every op fans out to its full replica set and must meet WriteQuorum. The
+// first failed op aborts the batch (later ops are not attempted), so the
+// transaction layer's sync-before-advance ordering holds per phase.
+func (f *Fleet) Apply(ops []cluster.BatchOp) error {
+	for i, op := range ops {
+		var res OpResult
+		if op.Delete {
+			res = f.write(nil, op.Key, nil, true)
+		} else {
+			res = f.write(nil, op.Key, op.Value, false)
+		}
+		if res.Err != nil {
+			return fmt.Errorf("fleet: apply op %d: %w", i, res.Err)
+		}
+	}
+	return nil
+}
+
 // Delete removes one key on every alive owner (closed loop).
 func (f *Fleet) Delete(key []byte) OpResult { return f.write(nil, key, nil, true) }
 
@@ -661,6 +680,13 @@ func (f *Fleet) Barrier() sim.Time {
 	return mx
 }
 
+// SyncShards flushes the fleet for the transaction layer's durability
+// barriers. Replica sets overlap arbitrarily under the ring walk, so a
+// targeted per-shard flush would have to chase owner sets through live
+// migrations; the fleet keeps the simpler invariant — sync everything —
+// which is strictly stronger than what the barrier needs.
+func (f *Fleet) SyncShards(shards []int) (sim.Time, error) { return f.Sync() }
+
 // Sync flushes every live member and returns the merged completion time.
 func (f *Fleet) Sync() (sim.Time, error) {
 	var done sim.Time
@@ -718,6 +744,15 @@ func (f *Fleet) Engine(id int) *host.Engine { return f.members[id].eng }
 
 // Device returns member id's underlying device.
 func (f *Fleet) Device(id int) device.KVSSD { return f.members[id].dev }
+
+// Tracer returns member id's tracer (nil when untraced or unknown).
+func (f *Fleet) Tracer(id int) *trace.Tracer {
+	m, err := f.memberByID(int32(id))
+	if err != nil {
+		return nil
+	}
+	return m.tr
+}
 
 // Tracers returns the per-member tracers (nil when any member is untraced).
 func (f *Fleet) Tracers() []*trace.Tracer {

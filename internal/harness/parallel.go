@@ -35,6 +35,7 @@ type cellRunner interface {
 	fill(fc fillConfig) (*FillResult, error)
 	clusterMeasure(cfg ClusterRunConfig) (*ClusterResult, error)
 	fleetMeasure(cfg FleetRunConfig) (*FleetResult, error)
+	txnMeasure(cfg TxnRunConfig) (*TxnResult, error)
 }
 
 // fillConfig identifies one fill-to-full cell.
@@ -52,18 +53,21 @@ type cellKey struct {
 	fill      fillConfig
 	cluster   ClusterRunConfig
 	fleet     FleetRunConfig
+	txn       TxnRunConfig
 	isFill    bool
 	isCluster bool
 	isFleet   bool
+	isTxn     bool
 }
 
-// cellOutcome is a completed cell: exactly one of res/fr/cres/fres set, or
-// err.
+// cellOutcome is a completed cell: exactly one of res/fr/cres/fres/tres set,
+// or err.
 type cellOutcome struct {
 	res  *Result
 	fr   *FillResult
 	cres *ClusterResult
 	fres *FleetResult
+	tres *TxnResult
 	err  error
 }
 
@@ -126,6 +130,20 @@ func fleetProgress(res *FleetResult) string {
 		res.System, res.Workload, res.AckedIDs, res.LostAcked, res.ReadLat.Percentile(99))
 }
 
+func (s serialRunner) txnMeasure(cfg TxnRunConfig) (*TxnResult, error) {
+	res, err := RunTxn(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.o.progress("%s", txnProgress(res))
+	return res, nil
+}
+
+func txnProgress(res *TxnResult) string {
+	return fmt.Sprintf("  %-11s %-10s θ=%-4g wf=%-4g committed=%-7d aborts=%-5d good=%s/s",
+		res.System, res.Mode, res.Theta, res.WriteRatio, res.Committed, res.Aborted, fiops(res.GoodTxnPerSec))
+}
+
 // planRunner records each distinct cell in first-use order and returns
 // placeholders. The placeholder Result carries allocated histograms so
 // bodies can format percentiles and fractions from it without caring that
@@ -182,6 +200,15 @@ func (p *planRunner) clusterMeasure(cfg ClusterRunConfig) (*ClusterResult, error
 	return res, nil
 }
 
+func (p *planRunner) txnMeasure(cfg TxnRunConfig) (*TxnResult, error) {
+	p.add(cellKey{txn: cfg, isTxn: true})
+	return &TxnResult{
+		System: fmt.Sprintf("%s x%d", cfg.Cluster.Device.Design, cfg.Cluster.Shards),
+		Mode:   cfg.Mode,
+		Theta:  cfg.Theta, WriteRatio: cfg.WriteRatio,
+	}, nil
+}
+
 func (p *planRunner) fleetMeasure(cfg FleetRunConfig) (*FleetResult, error) {
 	p.add(cellKey{fleet: cfg, isFleet: true})
 	repl := cfg.Cluster.Replication
@@ -233,6 +260,15 @@ func (r *replayRunner) fleetMeasure(cfg FleetRunConfig) (*FleetResult, error) {
 			cfg.Cluster.Device.Design, cfg.Cluster.Shards, cfg.Cluster.Replication.Factor, cfg.Workload.Name)
 	}
 	return out.fres, out.err
+}
+
+func (r *replayRunner) txnMeasure(cfg TxnRunConfig) (*TxnResult, error) {
+	out, ok := r.outcomes[cellKey{txn: cfg, isTxn: true}]
+	if !ok {
+		return nil, fmt.Errorf("harness: replay asked for an unplanned txn cell %s θ=%g wf=%g",
+			cfg.Mode, cfg.Theta, cfg.WriteRatio)
+	}
+	return out.tres, out.err
 }
 
 // runParallel plans an experiment's cells, executes them on opt.Parallel
@@ -293,6 +329,11 @@ func executeCells(o *ExpOptions, cells []cellKey) map[cellKey]*cellOutcome {
 					out.fres, out.err = RunFleet(k.fleet)
 					if out.err == nil {
 						line = fleetProgress(out.fres)
+					}
+				case k.isTxn:
+					out.tres, out.err = RunTxn(k.txn)
+					if out.err == nil {
+						line = txnProgress(out.tres)
 					}
 				default:
 					out.res, out.err = Run(k.run)

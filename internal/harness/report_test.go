@@ -76,8 +76,8 @@ func TestLatRowShape(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 23 {
-		t.Fatalf("registry has %d experiments, want 23", len(exps))
+	if len(exps) != 24 {
+		t.Fatalf("registry has %d experiments, want 24", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

@@ -35,6 +35,14 @@ func FuzzReadCommand(f *testing.F) {
 		[]byte("$5\r\nhello\r\n"),
 		[]byte("*1\r\n$0x3\r\nabc\r\n"),
 		bytes.Repeat([]byte("a"), 70000), // inline line over the cap, no newline
+		[]byte("*1\r\n$5\r\nMULTI\r\n"),
+		[]byte("*2\r\n$4\r\nINCR\r\n$3\r\nctr\r\n"),
+		[]byte("*3\r\n$6\r\nINCRBY\r\n$3\r\nctr\r\n$3\r\n-17\r\n"),
+		[]byte("*4\r\n$3\r\nCAS\r\n$1\r\nk\r\n$0\r\n\r\n$4\r\ninit\r\n"),
+		[]byte("*3\r\n$6\r\nAPPEND\r\n$3\r\nlog\r\n$2\r\nab\r\n"),
+		[]byte("*1\r\n$4\r\nEXEC\r\n"),
+		[]byte("*1\r\n$7\r\nDISCARD\r\n"),
+		[]byte("MULTI\r\nSET a 1\r\nSET b 2\r\nEXEC\r\n"),
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -122,6 +122,11 @@ type serverMetrics struct {
 	cacheAdmitted *metrics.Counter
 	cacheEvicted  *metrics.Counter
 	cacheBytes    *metrics.Gauge
+
+	txnCommits     *metrics.Counter
+	txnAborts      *metrics.Counter
+	txnRetries     *metrics.Counter
+	txnSplitMerges *metrics.Counter
 }
 
 func newServerMetrics(r *metrics.Registry) *serverMetrics {
@@ -162,6 +167,11 @@ func newServerMetrics(r *metrics.Registry) *serverMetrics {
 		cacheAdmitted: r.NewCounter("anykey_cache_admitted_total", "Values admitted into the host caches."),
 		cacheEvicted:  r.NewCounter("anykey_cache_evicted_total", "Values evicted from the host caches."),
 		cacheBytes:    r.NewGauge("anykey_cache_bytes", "Bytes resident across the host caches."),
+
+		txnCommits:     r.NewCounter("anykey_txn_commits_total", "Committed transactions (closures, RMW primitives and atomic batches)."),
+		txnAborts:      r.NewCounter("anykey_txn_aborts_total", "Transactions abandoned after exhausting the retry budget."),
+		txnRetries:     r.NewCounter("anykey_txn_retries_total", "Transaction attempts re-run after a validation conflict."),
+		txnSplitMerges: r.NewCounter("anykey_txn_split_merges_total", "Hot-key split phases merged back into the keyspace."),
 	}
 }
 
@@ -372,6 +382,11 @@ func (s *Server) refreshClusterMetrics() {
 		s.met.cacheEvicted.Set(float64(cs.Evicted))
 		s.met.cacheBytes.Set(float64(cs.Bytes))
 	}
+	ts := s.cl.TxnStats()
+	s.met.txnCommits.Set(float64(ts.Commits))
+	s.met.txnAborts.Set(float64(ts.Aborts))
+	s.met.txnRetries.Set(float64(ts.Retries))
+	s.met.txnSplitMerges.Set(float64(ts.SplitMerges))
 	if s.fmet == nil {
 		return
 	}
@@ -443,6 +458,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	}()
 	r := newRespReader(conn)
 	w := newRespWriter(conn)
+	cs := &connState{}
 	for {
 		args, err := r.ReadCommand()
 		if err != nil {
@@ -452,7 +468,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			return
 		}
-		closing := s.dispatch(w, args)
+		closing := s.dispatch(w, args, cs)
 		// Pipelining: flush only when the client has no further command
 		// already buffered, so a burst of N commands costs one write.
 		if r.buffered() == 0 || closing {
@@ -466,10 +482,59 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
+// connState is the per-connection command state: an open MULTI block queues
+// write operations until EXEC commits them as one atomic cross-shard batch.
+type connState struct {
+	multi    bool
+	queue    []anykey.TxnOp
+	multiErr bool // a queue-time error poisons the block: EXEC answers -EXECABORT
+}
+
 // dispatch executes one command and writes its reply (unflushed). It
 // returns true when the connection should close.
-func (s *Server) dispatch(w *respWriter, args [][]byte) bool {
+func (s *Server) dispatch(w *respWriter, args [][]byte, cs *connState) bool {
 	cmd := strings.ToUpper(string(args[0]))
+	if cs.multi {
+		switch cmd {
+		case "EXEC", "DISCARD", "QUIT":
+			// Resolved by the main switch below.
+		case "MULTI":
+			w.WriteError("ERR MULTI calls can not be nested")
+			return false
+		case "SET":
+			if len(args) != 3 {
+				cs.multiErr = true
+				w.WriteError("ERR wrong number of arguments for 'set' command")
+				return false
+			}
+			cs.queue = append(cs.queue, anykey.TxnOp{
+				Key:   append([]byte(nil), args[1]...),
+				Value: append([]byte(nil), args[2]...),
+			})
+			w.WriteSimple("QUEUED")
+			return false
+		case "DEL":
+			if len(args) < 2 {
+				cs.multiErr = true
+				w.WriteError("ERR wrong number of arguments for 'del' command")
+				return false
+			}
+			for _, k := range args[1:] {
+				cs.queue = append(cs.queue, anykey.TxnOp{
+					Key:    append([]byte(nil), k...),
+					Delete: true,
+				})
+			}
+			w.WriteSimple("QUEUED")
+			return false
+		default:
+			// The atomic batch is put/delete-shaped; anything else cannot
+			// queue. The poisoned block aborts at EXEC, like Redis.
+			cs.multiErr = true
+			w.WriteError("ERR command '" + sanitizeLine(string(args[0])) + "' not allowed in MULTI (only SET and DEL queue)")
+			return false
+		}
+	}
 	switch cmd {
 	case "PING":
 		if len(args) > 2 {
@@ -600,6 +665,90 @@ func (s *Server) dispatch(w *respWriter, args [][]byte) bool {
 			return false
 		}
 		s.dispatchScan(w, args[1], n)
+	case "INCR", "INCRBY":
+		// INCR key | INCRBY key delta: atomic counter add through the OCC
+		// layer, with hot keys absorbed by the split phase. The reply is the
+		// new value (on a split hot key: the exact phase-local running total).
+		delta := int64(1)
+		if cmd == "INCRBY" {
+			if len(args) != 3 {
+				w.WriteError("ERR wrong number of arguments for 'incrby' command")
+				return false
+			}
+			var err error
+			delta, err = strconv.ParseInt(string(args[2]), 10, 64)
+			if err != nil {
+				w.WriteError("ERR value is not an integer or out of range")
+				return false
+			}
+		} else if len(args) != 2 {
+			w.WriteError("ERR wrong number of arguments for 'incr' command")
+			return false
+		}
+		v, _, err := s.cl.Incr(args[1], delta)
+		if err != nil {
+			w.WriteError(txnErrReply(err))
+			return false
+		}
+		w.WriteInt(v)
+	case "APPEND":
+		if len(args) != 3 {
+			w.WriteError("ERR wrong number of arguments for 'append' command")
+			return false
+		}
+		if _, err := s.cl.Append(args[1], args[2]); err != nil {
+			w.WriteError(txnErrReply(err))
+			return false
+		}
+		w.WriteSimple("OK")
+	case "CAS":
+		// CAS key old new: write new iff the current value equals old; an
+		// empty old means "expect absent". A mismatch answers -CONFLICT and
+		// hands the race back to the client.
+		if len(args) != 4 {
+			w.WriteError("ERR wrong number of arguments for 'cas' command")
+			return false
+		}
+		if _, err := s.cl.CompareAndSwap(args[1], args[2], args[3]); err != nil {
+			w.WriteError(txnErrReply(err))
+			return false
+		}
+		w.WriteSimple("OK")
+	case "MULTI":
+		cs.multi = true
+		cs.queue = cs.queue[:0]
+		cs.multiErr = false
+		w.WriteSimple("OK")
+	case "EXEC":
+		if !cs.multi {
+			w.WriteError("ERR EXEC without MULTI")
+			return false
+		}
+		ops := cs.queue
+		poisoned := cs.multiErr
+		cs.multi, cs.queue, cs.multiErr = false, nil, false
+		switch {
+		case poisoned:
+			w.WriteError("EXECABORT Transaction discarded because of previous errors.")
+		case len(ops) == 0:
+			w.WriteArrayHeader(0)
+		default:
+			if _, err := s.cl.AtomicExec(ops); err != nil {
+				w.WriteError(txnErrReply(err))
+				return false
+			}
+			w.WriteArrayHeader(len(ops))
+			for range ops {
+				w.WriteSimple("OK")
+			}
+		}
+	case "DISCARD":
+		if !cs.multi {
+			w.WriteError("ERR DISCARD without MULTI")
+			return false
+		}
+		cs.multi, cs.queue, cs.multiErr = false, nil, false
+		w.WriteSimple("OK")
 	case "FLEET":
 		s.dispatchFleet(w, args)
 	default:
@@ -724,6 +873,20 @@ func (s *Server) dispatchFleet(w *respWriter, args [][]byte) {
 	}
 }
 
+// txnErrReply maps a transaction-layer error to its RESP error line: retry
+// exhaustion answers -TXNABORT (it wraps both sentinels — checked first),
+// a validation or compare failure -CONFLICT, anything else -ERR.
+func txnErrReply(err error) string {
+	switch {
+	case errors.Is(err, anykey.ErrTxnAborted):
+		return "TXNABORT " + err.Error()
+	case errors.Is(err, anykey.ErrTxnConflict):
+		return "CONFLICT " + err.Error()
+	default:
+		return "ERR " + err.Error()
+	}
+}
+
 // doStorage stamps one wall arrival for the batch, fans each request out to
 // its shard loop and gathers the responses in order. The second return is a
 // non-empty RESP error line when the whole command should fail.
@@ -841,6 +1004,19 @@ func (s *Server) info() string {
 	fmt.Fprintf(&sb, "live_bytes:%d\r\n", st.LiveBytes)
 	fmt.Fprintf(&sb, "flash_writes:%d\r\n", st.Flash.TotalWrites())
 	fmt.Fprintf(&sb, "gc_runs:%d\r\n", st.GCRuns)
+	ts := s.cl.TxnStats()
+	fmt.Fprintf(&sb, "# Transactions\r\n")
+	fmt.Fprintf(&sb, "txn_commits:%d\r\n", ts.Commits)
+	fmt.Fprintf(&sb, "txn_aborts:%d\r\n", ts.Aborts)
+	fmt.Fprintf(&sb, "txn_conflicts:%d\r\n", ts.Conflicts)
+	fmt.Fprintf(&sb, "txn_retries:%d\r\n", ts.Retries)
+	fmt.Fprintf(&sb, "txn_atomic_batches:%d\r\n", ts.AtomicBatches)
+	fmt.Fprintf(&sb, "txn_prepares:%d\r\n", ts.Prepares)
+	fmt.Fprintf(&sb, "txn_split_merges:%d\r\n", ts.SplitMerges)
+	fmt.Fprintf(&sb, "txn_split_ops:%d\r\n", ts.SplitOps)
+	fmt.Fprintf(&sb, "txn_hot_keys:%d\r\n", ts.HotKeys)
+	fmt.Fprintf(&sb, "txn_rolled_forward:%d\r\n", ts.RolledForward)
+	fmt.Fprintf(&sb, "txn_rolled_back:%d\r\n", ts.RolledBack)
 	fmt.Fprintf(&sb, "# Memory\r\n")
 	fmt.Fprintf(&sb, "store_mode:%s\r\n", st.Store.Mode)
 	fmt.Fprintf(&sb, "store_live_pages:%d\r\n", st.Store.LivePages)

@@ -1,0 +1,247 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"anykey"
+)
+
+func TestServerTxnCommands(t *testing.T) {
+	s, addr := startServer(t, testConfig())
+	c := dialT(t, addr)
+
+	// INCR / INCRBY: counter semantics from absent.
+	if rp, err := c.Do("INCR", "ctr"); err != nil || rp.Int != 1 {
+		t.Fatalf("INCR: %+v, %v", rp, err)
+	}
+	if rp, err := c.Do("INCRBY", "ctr", "41"); err != nil || rp.Int != 42 {
+		t.Fatalf("INCRBY: %+v, %v", rp, err)
+	}
+	if rp, err := c.Do("INCRBY", "ctr", "-2"); err != nil || rp.Int != 40 {
+		t.Fatalf("INCRBY negative: %+v, %v", rp, err)
+	}
+	if rp, err := c.Do("INCRBY", "ctr", "nope"); err != nil || rp.Kind != '-' {
+		t.Fatalf("INCRBY bad delta: %+v, %v", rp, err)
+	}
+	if rp, err := c.Do("SET", "text", "abc"); err != nil || rp.Str != "OK" {
+		t.Fatalf("SET: %+v, %v", rp, err)
+	}
+	if rp, err := c.Do("INCR", "text"); err != nil || rp.Kind != '-' {
+		t.Fatalf("INCR non-numeric: %+v, %v", rp, err)
+	}
+
+	// APPEND builds up a value.
+	if rp, err := c.Do("APPEND", "log", "ab"); err != nil || rp.Str != "OK" {
+		t.Fatalf("APPEND: %+v, %v", rp, err)
+	}
+	if rp, err := c.Do("APPEND", "log", "cd"); err != nil || rp.Str != "OK" {
+		t.Fatalf("APPEND 2: %+v, %v", rp, err)
+	}
+	if rp, err := c.Do("GET", "log"); err != nil || string(rp.Bulk) != "abcd" {
+		t.Fatalf("GET log: %+v, %v", rp, err)
+	}
+
+	// CAS: expect-absent, then swap, then a mismatch answers -CONFLICT.
+	if rp, err := c.Do("CAS", "cas", "", "init"); err != nil || rp.Str != "OK" {
+		t.Fatalf("CAS absent: %+v, %v", rp, err)
+	}
+	if rp, err := c.Do("CAS", "cas", "init", "next"); err != nil || rp.Str != "OK" {
+		t.Fatalf("CAS swap: %+v, %v", rp, err)
+	}
+	rp, err := c.Do("CAS", "cas", "init", "never")
+	if err != nil || rp.Kind != '-' || !strings.HasPrefix(rp.Str, "CONFLICT") {
+		t.Fatalf("CAS mismatch: %+v, %v", rp, err)
+	}
+	if rp, err := c.Do("GET", "cas"); err != nil || string(rp.Bulk) != "next" {
+		t.Fatalf("GET cas: %+v, %v", rp, err)
+	}
+
+	// MULTI … EXEC commits an atomic cross-shard batch.
+	if rp, err := c.Do("MULTI"); err != nil || rp.Str != "OK" {
+		t.Fatalf("MULTI: %+v, %v", rp, err)
+	}
+	if rp, err := c.Do("SET", "ma", "1"); err != nil || rp.Str != "QUEUED" {
+		t.Fatalf("queued SET: %+v, %v", rp, err)
+	}
+	if rp, err := c.Do("SET", "mb", "2"); err != nil || rp.Str != "QUEUED" {
+		t.Fatalf("queued SET 2: %+v, %v", rp, err)
+	}
+	if rp, err := c.Do("DEL", "text"); err != nil || rp.Str != "QUEUED" {
+		t.Fatalf("queued DEL: %+v, %v", rp, err)
+	}
+	rp, err = c.Do("EXEC")
+	if err != nil || rp.Kind != '*' || len(rp.Array) != 3 {
+		t.Fatalf("EXEC: %+v, %v", rp, err)
+	}
+	if rp, err := c.Do("GET", "mb"); err != nil || string(rp.Bulk) != "2" {
+		t.Fatalf("GET after EXEC: %+v, %v", rp, err)
+	}
+	if rp, err := c.Do("GET", "text"); err != nil || !rp.Null {
+		t.Fatalf("deleted key after EXEC: %+v, %v", rp, err)
+	}
+
+	// DISCARD abandons the queue.
+	c.Do("MULTI")
+	c.Do("SET", "discarded", "x")
+	if rp, err := c.Do("DISCARD"); err != nil || rp.Str != "OK" {
+		t.Fatalf("DISCARD: %+v, %v", rp, err)
+	}
+	if rp, err := c.Do("GET", "discarded"); err != nil || !rp.Null {
+		t.Fatalf("discarded write landed: %+v, %v", rp, err)
+	}
+
+	// Block hygiene: EXEC/DISCARD without MULTI, nested MULTI, a poisoned
+	// block answering -EXECABORT, and an empty block.
+	if rp, _ := c.Do("EXEC"); rp.Kind != '-' {
+		t.Fatalf("EXEC without MULTI: %+v", rp)
+	}
+	if rp, _ := c.Do("DISCARD"); rp.Kind != '-' {
+		t.Fatalf("DISCARD without MULTI: %+v", rp)
+	}
+	c.Do("MULTI")
+	if rp, _ := c.Do("MULTI"); rp.Kind != '-' {
+		t.Fatalf("nested MULTI: %+v", rp)
+	}
+	if rp, _ := c.Do("GET", "ma"); rp.Kind != '-' {
+		t.Fatalf("GET inside MULTI should refuse to queue: %+v", rp)
+	}
+	rp, _ = c.Do("EXEC")
+	if rp.Kind != '-' || !strings.HasPrefix(rp.Str, "EXECABORT") {
+		t.Fatalf("poisoned EXEC: %+v", rp)
+	}
+	c.Do("MULTI")
+	if rp, _ := c.Do("EXEC"); rp.Kind != '*' || len(rp.Array) != 0 {
+		t.Fatalf("empty EXEC: %+v", rp)
+	}
+
+	// INFO carries the # Transactions section; /metrics the txn families.
+	rp, err = c.Do("INFO")
+	if err != nil || !strings.Contains(string(rp.Bulk), "# Transactions") {
+		t.Fatalf("INFO missing transactions section: %v", err)
+	}
+	if !strings.Contains(string(rp.Bulk), "txn_commits:") {
+		t.Fatalf("INFO missing txn_commits:\n%s", rp.Bulk)
+	}
+	resp, err := http.Get("http://" + s.MetricsAddr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, family := range []string{
+		"anykey_txn_commits_total",
+		"anykey_txn_aborts_total",
+		"anykey_txn_retries_total",
+		"anykey_txn_split_merges_total",
+	} {
+		if !strings.Contains(string(body), family) {
+			t.Fatalf("/metrics missing %s", family)
+		}
+	}
+}
+
+// TestServerTxnSoak drives MULTI/EXEC batches and shared-counter INCRs from
+// concurrent clients against a replicated fleet, kills a member mid-run, and
+// checks the survivors' invariants: every acknowledged batch is fully
+// visible, and the shared counter ends between the acknowledged and the
+// attempted increment totals.
+func TestServerTxnSoak(t *testing.T) {
+	cfg := testConfig()
+	cfg.Cluster.Replication = anykey.ReplicationOptions{Factor: 2, WriteQuorum: 2}
+	_, addr := startServer(t, cfg)
+
+	const clients = 4
+	const rounds = 60
+	type batchRec struct {
+		keys []string
+		val  string
+	}
+	ackedIncr := make([]int64, clients)
+	ackedBatches := make([][]batchRec, clients)
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			c := dialT(t, addr)
+			for r := 0; r < rounds; r++ {
+				if cl == 0 && r == rounds/2 {
+					if rp, err := c.Do("FLEET", "KILL", "1", "powercut"); err != nil || rp.Kind == '-' {
+						t.Errorf("FLEET KILL: %+v, %v", rp, err)
+					}
+				}
+				if rp, err := c.Do("INCR", "soak:ctr"); err != nil {
+					t.Errorf("client %d INCR transport: %v", cl, err)
+					return
+				} else if rp.Kind == ':' {
+					ackedIncr[cl]++
+				}
+				if r%3 != 0 {
+					continue
+				}
+				rec := batchRec{val: fmt.Sprintf("v%02d-%03d", cl, r)}
+				for k := 0; k < 3; k++ {
+					rec.keys = append(rec.keys, fmt.Sprintf("soak:%02d:%03d:%d", cl, r, k))
+				}
+				c.Do("MULTI")
+				for _, k := range rec.keys {
+					c.Do("SET", k, rec.val)
+				}
+				if rp, err := c.Do("EXEC"); err != nil {
+					t.Errorf("client %d EXEC transport: %v", cl, err)
+					return
+				} else if rp.Kind == '*' {
+					ackedBatches[cl] = append(ackedBatches[cl], rec)
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	c := dialT(t, addr)
+	var acked, attempts int64
+	for cl := 0; cl < clients; cl++ {
+		acked += ackedIncr[cl]
+		attempts += rounds
+	}
+	if acked == 0 {
+		t.Fatal("no increment was ever acknowledged")
+	}
+	rp, err := c.Do("INCRBY", "soak:ctr", "0")
+	if err != nil || rp.Kind != ':' {
+		t.Fatalf("final INCRBY 0: %+v, %v", rp, err)
+	}
+	// Acknowledged increments are quorum-durable and survive the kill; an
+	// unacknowledged attempt may still have landed on a survivor, so the
+	// final value is bounded by attempts, not equal to acked.
+	if rp.Int < acked || rp.Int > attempts {
+		t.Fatalf("counter %d outside [acked %d, attempts %d]", rp.Int, acked, attempts)
+	}
+
+	// Every acknowledged batch is fully visible — replica fallback serves
+	// the dead member's share.
+	for cl := 0; cl < clients; cl++ {
+		for _, rec := range ackedBatches[cl] {
+			for _, k := range rec.keys {
+				rp, err := c.Do("GET", k)
+				if err != nil || string(rp.Bulk) != rec.val {
+					t.Fatalf("acked batch key %s: %+v, %v", k, rp, err)
+				}
+			}
+		}
+	}
+
+	// The transaction counters made it into INFO.
+	rp, err = c.Do("INFO")
+	if err != nil || !strings.Contains(string(rp.Bulk), "# Transactions") {
+		t.Fatalf("INFO after soak: %v", err)
+	}
+}

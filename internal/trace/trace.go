@@ -44,6 +44,9 @@ type Cause uint8
 // Timeout and Retry are the open-loop client's buckets: time an attempt ran
 // past its client deadline, and queue wait incurred by a re-submitted
 // (retried) attempt — the signature of retry amplification under overload.
+// TxnPrepare, TxnValidateAbort and SplitMerge are the transaction layer's
+// buckets: 2PC intent stamping, work thrown away by an OCC validation
+// failure, and split-phase merges of batched commutative ops on hot keys.
 //
 // Ordering is load-bearing twice over: the first six values are pinned to
 // internal/nand's flash-cause ordinals (see CauseFromFlash), and
@@ -64,6 +67,9 @@ const (
 	CauseWriteStall
 	CauseCPU
 	CauseSelf
+	CauseTxnPrepare
+	CauseTxnValidateAbort
+	CauseSplitMerge
 	CauseTimeout
 	CauseRetry
 	CauseUnknown
@@ -73,7 +79,8 @@ const (
 var causeNames = [NumCauses]string{
 	"host-read", "host-write", "flush", "compaction", "gc", "meta", "log",
 	"recovery", "fault-retry", "host-queue", "write-stall", "controller-cpu",
-	"self", "timeout", "retry", "unknown",
+	"self", "txn-prepare", "txn-validate-abort", "split-merge",
+	"timeout", "retry", "unknown",
 }
 
 // String returns the cause's lowercase name.
@@ -135,6 +142,9 @@ const (
 	EvEraseFail
 	EvTimeout
 	EvRetry
+	EvTxnPrepare
+	EvTxnAbort
+	EvSplitMerge
 	numNames
 )
 
@@ -142,6 +152,7 @@ var eventNames = [numNames]string{
 	"cell-read", "read-xfer", "write-xfer", "program", "erase", "read-retry",
 	"cpu", "flush", "compaction", "gc", "recovery", "write-stall",
 	"power-cut", "program-fail", "erase-fail", "timeout", "retry",
+	"txn-prepare", "txn-abort", "split-merge",
 }
 
 // String returns the event name.
