@@ -136,6 +136,14 @@ var (
 	// phase failed before the commit record was durable. Test with errors.Is.
 	ErrTxnAborted = txn.ErrAborted
 
+	// ErrTxnInDoubt reports an atomic batch whose commit point is undecided:
+	// the commit record was written but syncing it failed, so it may or may
+	// not be durable. The batch is neither committed nor aborted until
+	// RecoverTxns resolves it — forward if the record survived, back
+	// otherwise. Deliberately does not match ErrTxnAborted. Test with
+	// errors.Is.
+	ErrTxnInDoubt = txn.ErrInDoubt
+
 	// ErrAtomicUnsupported rejects atomic cross-shard batches on a replicated
 	// fleet whose configuration cannot make the commit record decisive: with
 	// Factor > 1, read-one reads plus WriteQuorum < Factor would let a lagging

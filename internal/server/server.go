@@ -566,7 +566,7 @@ func (s *Server) dispatch(w *respWriter, args [][]byte, cs *connState) bool {
 			w.WriteError("ERR wrong number of arguments for 'set' command")
 			return false
 		}
-		resps, errReply := s.doStorage([]*request{{op: opSet, key: args[1], value: args[2]}})
+		resps, errReply := s.doRawWrite([]*request{{op: opSet, key: args[1], value: args[2]}})
 		switch {
 		case errReply != "":
 			w.WriteError(errReply)
@@ -600,7 +600,7 @@ func (s *Server) dispatch(w *respWriter, args [][]byte, cs *connState) bool {
 		for _, k := range args[1:] {
 			reqs = append(reqs, &request{op: opDel, key: k})
 		}
-		resps, errReply := s.doStorage(reqs)
+		resps, errReply := s.doRawWrite(reqs)
 		if errReply != "" {
 			w.WriteError(errReply)
 			return false
@@ -645,7 +645,7 @@ func (s *Server) dispatch(w *respWriter, args [][]byte, cs *connState) bool {
 		for i := 1; i < len(args); i += 2 {
 			reqs = append(reqs, &request{op: opSet, key: args[i], value: args[i+1]})
 		}
-		_, errReply := s.doStorage(reqs)
+		_, errReply := s.doRawWrite(reqs)
 		if errReply != "" {
 			w.WriteError(errReply)
 			return false
@@ -873,11 +873,15 @@ func (s *Server) dispatchFleet(w *respWriter, args [][]byte) {
 	}
 }
 
-// txnErrReply maps a transaction-layer error to its RESP error line: retry
-// exhaustion answers -TXNABORT (it wraps both sentinels — checked first),
-// a validation or compare failure -CONFLICT, anything else -ERR.
+// txnErrReply maps a transaction-layer error to its RESP error line: an
+// undecided 2PC commit answers -INDOUBT (the client must not assume either
+// outcome), retry exhaustion -TXNABORT (it wraps both retry sentinels —
+// checked next), a validation or compare failure -CONFLICT, anything else
+// -ERR.
 func txnErrReply(err error) string {
 	switch {
+	case errors.Is(err, anykey.ErrTxnInDoubt):
+		return "INDOUBT " + err.Error()
 	case errors.Is(err, anykey.ErrTxnAborted):
 		return "TXNABORT " + err.Error()
 	case errors.Is(err, anykey.ErrTxnConflict):
@@ -885,6 +889,33 @@ func txnErrReply(err error) string {
 	default:
 		return "ERR " + err.Error()
 	}
+}
+
+// doRawWrite runs a raw write batch (SET/DEL/MSET) through the transaction
+// layer's write barrier: the cluster merges any split-phase buffer covering
+// the keys, holds the coordinator quiesced while the shard loops execute
+// the writes, and bumps the keys' OCC versions — so an INCR/CAS/EXEC racing
+// a raw write conflicts and retries instead of committing a value derived
+// from the pre-write state. Raw reads (GET/MGET/SCAN) take no barrier: they
+// cannot lose updates, but they observe shard state directly and may see a
+// MULTI/EXEC batch mid-apply — clients that need atomic visibility read
+// through the transactional commands.
+func (s *Server) doRawWrite(reqs []*request) ([]response, string) {
+	keys := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		keys[i] = r.key
+	}
+	var resps []response
+	var errReply string
+	if err := s.cl.RawWrite(keys, func() error {
+		resps, errReply = s.doStorage(reqs)
+		return nil
+	}); err != nil {
+		// Only the pre-write split-phase merge can fail here; the writes
+		// themselves never ran.
+		return resps, "ERR " + err.Error()
+	}
+	return resps, errReply
 }
 
 // doStorage stamps one wall arrival for the batch, fans each request out to

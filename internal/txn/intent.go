@@ -134,9 +134,13 @@ func encodeShards(shards []int) []byte {
 
 // Atomic applies ops as one all-or-nothing cross-shard batch and returns
 // its transaction id. On success every op is applied and durable; on an
-// error wrapping ErrAborted none will survive recovery. An error that does
-// NOT wrap ErrAborted reports a batch committed but not yet fully applied
-// (a backend failure after the commit point); Recover rolls it forward.
+// error wrapping ErrAborted none will survive recovery. An error wrapping
+// ErrInDoubt means the commit point itself is undecided — the commit
+// record's sync failed, so after a crash Recover rolls the batch forward
+// if the record proved durable and back otherwise; callers must not assume
+// either. Any other error reports a batch committed but not yet fully
+// applied (a backend failure after the commit point); Recover rolls it
+// forward.
 func (co *Coordinator) Atomic(ops []Op) (uint64, error) {
 	co.mu.Lock()
 	defer co.mu.Unlock()
@@ -207,23 +211,27 @@ func (co *Coordinator) atomicLocked(ops []Op) (uint64, error) {
 	// shard.
 	coord := shards[0]
 	crec := Op{Key: co.recordKey(markerCommit, id, coord), Value: encodeShards(shards)}
-	abortCommit := func(stage string, cause error) (uint64, error) {
+	abortCommit := func(stage string, verdict, cause error) (uint64, error) {
 		dels := make([]Op, 0, len(intents)+1)
 		dels = append(dels, Op{Key: crec.Key, Delete: true})
 		for i := range intents {
 			dels = append(dels, Op{Key: intents[i].Key, Delete: true})
 		}
 		_ = co.be.Apply(dels)
-		return id, fmt.Errorf("txn: atomic batch %d %s: %w (%w)", id, stage, ErrAborted, cause)
+		return id, fmt.Errorf("txn: atomic batch %d %s: %w (%w)", id, stage, verdict, cause)
 	}
 	if err := co.be.Apply([]Op{crec}); err != nil {
-		return abortCommit("commit record", err)
+		// The record never reached the device: nothing can surface the
+		// batch, so this is a clean abort.
+		return abortCommit("commit record", ErrAborted, err)
 	}
 	if err := co.be.SyncShards([]int{coord}); err != nil {
 		// In doubt: the record may or may not be durable. Attempt to erase
 		// it; if the erase is lost too, recovery resolves whichever state
-		// flash kept — all (roll forward) or nothing (roll back).
-		return abortCommit("commit sync", err)
+		// flash kept — all (roll forward) or nothing (roll back). The
+		// caller must not be told "aborted": ErrInDoubt says the outcome
+		// belongs to Recover.
+		return abortCommit("commit sync", ErrInDoubt, err)
 	}
 
 	// Committed. Readers must re-read whatever happens next.

@@ -32,9 +32,10 @@
 // Recover resolves whatever a crash left behind: batches with a durable
 // commit record roll forward, batches without one roll back by discarding
 // their intents. Rollback never touches user data, because user keys are
-// only written after the commit record is durable. One consequence to note:
-// a batch cut down mid-step 2 may surface as committed after recovery even
-// though the caller saw an error — standard in-doubt 2PC semantics.
+// only written after the commit record is durable. When the commit record's
+// own sync fails the batch is genuinely undecided — standard in-doubt 2PC
+// semantics — and Atomic reports that with an error wrapping ErrInDoubt,
+// never ErrAborted: recovery may roll such a batch forward.
 //
 // # OCC read-modify-write
 //
@@ -50,7 +51,9 @@
 // the process; keys mutated behind the coordinator's back (raw cluster
 // writes) are not conflict-checked. All transactional keys should be
 // managed through one coordinator, the same single-caller rule the
-// cluster's Multi* batches already impose.
+// cluster's Multi* batches already impose. A front end that must mix raw
+// writes and transactions on one keyspace routes the raw writes through
+// RawWrite, which keeps the version table honest.
 //
 // # Split phase for hot keys
 //
@@ -59,7 +62,11 @@
 // coordinator counts validation conflicts per key, and once a key crosses
 // Options.HotThreshold it moves into the split phase: commutative ops
 // (Incr, Append) on hot keys buffer their deltas in the coordinator instead
-// of reading and validating, so they cannot conflict with each other. The
+// of reading and validating, so they cannot conflict with each other. A
+// buffered op still bumps its key's version the moment its commit absorbs
+// it into the phase — buffering defers the write, not the conflict: any
+// transaction that read the key earlier validates against the moved
+// version and aborts, exactly as if the op had applied directly. The
 // phase closes — buffered deltas merge into one write per hot key — after
 // Options.SplitOps buffered ops, at an explicit Flush, or as soon as any
 // transaction reads or non-commutatively writes a buffered key (reads must
@@ -88,6 +95,13 @@ var (
 	// ErrAborted reports a transaction that gave up after exhausting its
 	// retry budget. Errors carrying it also carry ErrConflict.
 	ErrAborted = errors.New("txn: aborted")
+
+	// ErrInDoubt reports an atomic batch whose fate is undecided: the
+	// commit record was written but its sync failed, so the record may or
+	// may not be durable. The caller must not assume either outcome —
+	// Recover resolves the batch (forward if the record survived, back
+	// otherwise). Deliberately does NOT wrap ErrAborted.
+	ErrInDoubt = errors.New("txn: commit in doubt")
 )
 
 // Options tunes the coordinator. The zero value means "use the defaults";
@@ -236,6 +250,7 @@ type Coordinator struct {
 	pend      map[string]*pending
 	pendKeys  []string // buffer-creation order, for deterministic merges
 	phaseOps  int
+	phaseGen  uint64 // bumped by every flush; detects mid-commit merges
 
 	stats Stats
 }
@@ -540,9 +555,19 @@ func (tx *Tx) Commit() error {
 	}
 
 	// Partition the write set: commutative ops on hot keys buffer into the
-	// split phase; everything else applies now.
+	// split phase; everything else applies now. A flush inside this
+	// partition (cold write to a buffered key, a kind mismatch, or the
+	// atomic path landing the phase) merges the ops buffered so far —
+	// sync() notices via the phase generation and stops counting them
+	// toward the still-open phase's close trigger.
 	var apply []Op
-	buffered := 0
+	buffered, absorbed := 0, 0
+	gen := co.phaseGen
+	sync := func() {
+		if co.phaseGen != gen {
+			gen, buffered = co.phaseGen, 0
+		}
+	}
 	for i := range tx.writes {
 		w := &tx.writes[i]
 		if w.hot && co.hotLocked(w.key) {
@@ -550,13 +575,21 @@ func (tx *Tx) Commit() error {
 			if err != nil {
 				return err
 			}
+			sync() // a kind mismatch inside pendingFor closed the phase
 			if w.kind == 'i' {
 				p.sum += w.delta
 			} else {
 				p.suf = append(p.suf, w.val...)
 			}
 			p.ops++
+			// The key's logical value moved the instant the delta joined
+			// the phase — not at the eventual merge. Bumping here keeps
+			// buffered commits visible to OCC validation: a transaction
+			// that read the key before this commit must abort, or its
+			// write would overwrite the merge and lose this op.
+			co.versions[w.key]++
 			buffered++
+			absorbed++
 			continue
 		}
 		// A cold (or demoted-path) write to a key with a live buffer must
@@ -565,6 +598,7 @@ func (tx *Tx) Commit() error {
 			if err := co.flushLocked(); err != nil {
 				return err
 			}
+			sync()
 		}
 		apply = append(apply, Op{Key: []byte(w.key), Value: w.absolute(), Delete: w.kind == 'd'})
 	}
@@ -572,6 +606,7 @@ func (tx *Tx) Commit() error {
 		if _, err := co.atomicLocked(apply); err != nil {
 			return err
 		}
+		sync() // atomicLocked lands any open phase before preparing
 	} else if len(apply) == 1 {
 		if err := co.be.Apply(apply); err != nil {
 			return err
@@ -579,8 +614,8 @@ func (tx *Tx) Commit() error {
 		co.versions[string(apply[0].Key)]++
 	}
 	co.stats.Commits++
-	if buffered > 0 {
-		co.stats.SplitOps += int64(buffered)
+	if absorbed > 0 {
+		co.stats.SplitOps += int64(absorbed)
 		co.phaseOps += buffered
 		if co.phaseOps >= co.opts.SplitOps {
 			return co.flushLocked()
@@ -608,6 +643,34 @@ func (co *Coordinator) Flush() error {
 	return co.flushLocked()
 }
 
+// RawWrite coordinates a non-transactional write with the OCC state, for
+// front ends that serve raw puts/deletes and transactional commands over
+// one coordinator. It lands any split-phase buffer holding one of the keys
+// (a later merge would otherwise clobber the raw write), runs write while
+// holding the coordinator mutex — so no transaction can validate or apply
+// against a half-landed state — and bumps every key's version so
+// transactions that read the pre-write values conflict instead of
+// committing stale derivations. Versions are bumped even when write fails:
+// a failed batch may still have applied some of its ops, and a spurious
+// conflict is safe where a missed one is not.
+func (co *Coordinator) RawWrite(keys [][]byte, write func() error) error {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for _, k := range keys {
+		if _, live := co.pend[string(k)]; live {
+			if err := co.flushLocked(); err != nil {
+				return err
+			}
+			break
+		}
+	}
+	err := write()
+	for _, k := range keys {
+		co.versions[string(k)]++
+	}
+	return err
+}
+
 // flushLocked is Flush with the lock held: one merged write per buffered
 // key, in buffer-creation order, then a phase close (conflict counters
 // decay by half; the hot set is sticky).
@@ -622,11 +685,14 @@ func (co *Coordinator) flushLocked() error {
 	shards := co.shardsOf(ops)
 	starts := co.nows(shards)
 	// Reset phase state before touching the backend: Apply on these keys
-	// must not re-enter the flush.
-	merged := co.pendKeys
+	// must not re-enter the flush. Versions are NOT bumped here — each
+	// buffered op already bumped its key when it joined the phase, so the
+	// merge materializes values whose version moves readers have already
+	// been charged for.
 	co.pend = make(map[string]*pending)
 	co.pendKeys = nil
 	co.phaseOps = 0
+	co.phaseGen++
 	for k, n := range co.conflicts {
 		if n /= 2; n == 0 {
 			delete(co.conflicts, k)
@@ -636,9 +702,6 @@ func (co *Coordinator) flushLocked() error {
 	}
 	if err := co.be.Apply(ops); err != nil {
 		return fmt.Errorf("txn: split-phase merge: %w", err)
-	}
-	for _, k := range merged {
-		co.versions[k]++
 	}
 	co.stats.SplitMerges++
 	for i, s := range shards {

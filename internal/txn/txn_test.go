@@ -27,6 +27,8 @@ type fakeBE struct {
 
 	applyOps   int // ops applied so far, across batches
 	panicAfter int // panic BEFORE applying op #panicAfter (1-based); 0 = never
+	syncCalls  int // SyncShards invocations so far
+	failSyncAt int // fail SyncShards call #failSyncAt (1-based) without syncing; 0 = never
 }
 
 type fakeCut struct{ op int }
@@ -85,6 +87,10 @@ func (f *fakeBE) Apply(ops []Op) error {
 }
 
 func (f *fakeBE) SyncShards(shards []int) error {
+	f.syncCalls++
+	if f.failSyncAt > 0 && f.syncCalls == f.failSyncAt {
+		return fmt.Errorf("injected sync failure (call %d)", f.syncCalls)
+	}
 	for _, s := range shards {
 		f.clock[s] += 5000
 		for k := range f.uns[s] {
@@ -372,6 +378,133 @@ func TestSplitPhaseReadFlushes(t *testing.T) {
 	}
 	if co.Stats().SplitMerges != 1 {
 		t.Fatalf("read should have closed the phase: %+v", co.Stats())
+	}
+}
+
+// TestBufferedCommitConflictsStaleReader is the lost-update regression: a
+// buffered split-phase commit must bump its key's version the moment the op
+// joins the phase, so a transaction that read the key earlier aborts instead
+// of overwriting the merge with a stale derivation.
+func TestBufferedCommitConflictsStaleReader(t *testing.T) {
+	be := newFake(4)
+	co := New(be, opts(t, Options{HotThreshold: 1, SplitOps: 1000, MaxRetries: 1}))
+	key := []byte("hot")
+	if _, _, err := co.Incr(key, 0); err != nil {
+		t.Fatal(err)
+	}
+	// One manufactured conflict promotes the key at threshold 1.
+	tx := co.Begin()
+	if _, err := tx.Incr(key, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := co.Incr(key, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("promotion commit = %v; want conflict", err)
+	}
+
+	// tx1 reads the hot key; tx2 then commits a buffered Incr. The merge has
+	// not landed yet, but tx1's blind overwrite must already be doomed.
+	tx1 := co.Begin()
+	if _, err := tx1.Get(key); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := co.Begin()
+	if _, err := tx2.Incr(key, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatalf("buffered commit: %v", err)
+	}
+	tx1.Put(key, []byte("overwrite"))
+	if err := tx1.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("stale Put over buffered Incr = %v; want ErrConflict", err)
+	}
+	if err := co.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := be.lookup("hot"); got != "11" {
+		t.Fatalf("merged value = %q; want 11 (buffered increment lost)", got)
+	}
+}
+
+// TestCommitSyncInDoubt fails the commit record's sync and checks the verdict:
+// ErrInDoubt, not ErrAborted — the outcome belongs to Recover, which rolls
+// the batch back here because the record never became durable.
+func TestCommitSyncInDoubt(t *testing.T) {
+	be := newFake(4)
+	co := New(be, opts(t, Options{HotThreshold: -1}))
+	ops := []Op{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("b"), Value: []byte("2")},
+	}
+	be.failSyncAt = 2 // call 1 is the prepare sync, call 2 the commit-record sync
+	_, err := co.Atomic(ops)
+	if !errors.Is(err, ErrInDoubt) {
+		t.Fatalf("commit-sync failure = %v; want ErrInDoubt", err)
+	}
+	if errors.Is(err, ErrAborted) {
+		t.Fatalf("in-doubt commit must not claim aborted: %v", err)
+	}
+
+	// Crash dropping everything unsynced: the best-effort record erasures are
+	// lost, the durable intents reappear, the commit record does not — so
+	// Recover must roll the batch back and leave no user data.
+	be.crash(func(int, string) bool { return false })
+	forward, back, err := co.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forward != 0 || back != 1 {
+		t.Fatalf("recover = %d forward, %d back; want 0, 1", forward, back)
+	}
+	for _, k := range []string{"a", "b"} {
+		if v, ok := be.lookup(k); ok {
+			t.Fatalf("rolled-back key %q survived with %q", k, v)
+		}
+	}
+	if n := be.reservedCount(); n != 0 {
+		t.Fatalf("%d reserved records left after recover", n)
+	}
+}
+
+// TestPhaseOpsResetAfterMidCommitFlush: when one commit both buffers a hot op
+// and triggers a mid-commit flush (here via a cold Put to a buffered key),
+// the merged ops must not be recounted toward the next phase's close trigger.
+func TestPhaseOpsResetAfterMidCommitFlush(t *testing.T) {
+	be := newFake(4)
+	co := New(be, opts(t, Options{HotThreshold: 100, SplitOps: 2, MaxRetries: 1}))
+	co.hot["a"], co.hot["b"] = true, true
+
+	// Open a phase holding one buffered delta on b.
+	if _, _, err := co.Incr([]byte("b"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if co.phaseOps != 1 {
+		t.Fatalf("phaseOps = %d; want 1", co.phaseOps)
+	}
+
+	tx := co.Begin()
+	if _, err := tx.Incr([]byte("a"), 5); err != nil {
+		t.Fatal(err)
+	}
+	tx.Put([]byte("b"), []byte("x")) // cold write to the buffered key: flushes mid-commit
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if co.phaseOps != 0 {
+		t.Fatalf("phaseOps after mid-commit flush = %d; want 0 (merged ops recounted)", co.phaseOps)
+	}
+	if len(co.pendKeys) != 0 {
+		t.Fatalf("phase still holds %d buffers", len(co.pendKeys))
+	}
+	if got, _ := be.lookup("a"); got != "5" {
+		t.Fatalf("a = %q; want 5", got)
+	}
+	if got, _ := be.lookup("b"); got != "x" {
+		t.Fatalf("b = %q; want x", got)
 	}
 }
 

@@ -143,10 +143,11 @@ func copyPairs(in []kv.Pair) []kv.Pair {
 	return out
 }
 
-// atomicGate rejects atomic batches when replication cannot make the commit
-// record decisive: Factor > 1 with read-one reads and WriteQuorum < Factor
-// would let a lagging replica serve a pre-commit view of a key another
-// replica already applied.
+// atomicGate rejects atomic batches — and the OCC transactions whose
+// multi-key commits take the same 2PC path — when replication cannot make
+// the commit record decisive: Factor > 1 with read-one reads and
+// WriteQuorum < Factor would let a lagging replica serve a pre-commit view
+// of a key another replica already applied.
 func (c *Cluster) atomicGate() error {
 	r := c.opts.Replication
 	if c.f != nil && r.Factor > 1 && r.ReadMode == ReadOne && r.WriteQuorum < r.Factor {
@@ -160,9 +161,15 @@ func (c *Cluster) atomicGate() error {
 // key at first read; Commit validates every read version and applies the
 // write set — through the atomic 2PC path when it spans more than one write.
 // A validation failure reports ErrTxnConflict; retry by rebuilding the
-// transaction (or use Txn, which retries a closure for you).
+// transaction (or use Txn, which retries a closure for you). Because a
+// transaction's write set may span shards and commit through 2PC, the same
+// replication configurations AtomicExec rejects are rejected here too
+// (ErrAtomicUnsupported), up front rather than at commit.
 func (c *Cluster) BeginTxn() (*Tx, error) {
 	if err := c.gate(); err != nil {
+		return nil, err
+	}
+	if err := c.atomicGate(); err != nil {
 		return nil, err
 	}
 	return c.co.Begin(), nil
@@ -172,9 +179,14 @@ func (c *Cluster) BeginTxn() (*Tx, error) {
 // to TxnOptions.MaxRetries times with capped-doubling virtual backoff. The
 // returned duration is the simulated span: the merged cluster clock advance
 // plus the virtual backoff the retries waited out. When the budget is
-// exhausted the error matches both ErrTxnAborted and ErrTxnConflict.
+// exhausted the error matches both ErrTxnAborted and ErrTxnConflict. Like
+// BeginTxn, replication configurations that cannot make a multi-key commit
+// decisive are rejected with ErrAtomicUnsupported.
 func (c *Cluster) Txn(fn func(*Tx) error) (Duration, error) {
 	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	if err := c.atomicGate(); err != nil {
 		return 0, err
 	}
 	before := c.Now()
@@ -216,6 +228,27 @@ func (c *Cluster) CompareAndSwap(key, old, new []byte) (Duration, error) {
 	before := c.Now()
 	backoff, err := c.co.CompareAndSwap(key, old, new)
 	return c.Now().Sub(before) + backoff, err
+}
+
+// RawWrite coordinates a non-transactional write of keys with the
+// transaction layer: it merges any split-phase buffer covering one of the
+// keys, runs write while the coordinator is quiesced — no transaction can
+// validate or apply against a half-landed state — and bumps each key's OCC
+// version, so an in-flight transaction that read a pre-write value aborts
+// with ErrTxnConflict instead of committing a stale derivation over the
+// write. Front ends that expose both raw puts/deletes and transactional
+// commands on one keyspace (anykeyserver's SET/DEL next to INCR/CAS/EXEC)
+// must route the raw writes through here; raw writes issued behind the
+// coordinator's back are invisible to OCC validation. Versions are bumped
+// even when write returns an error, since a failed batch may have applied
+// some operations. Reads need no barrier — they cannot lose updates — but
+// note that plain Get/MultiGet observe shard state directly and may see an
+// atomic batch mid-apply; use a transaction when that matters.
+func (c *Cluster) RawWrite(keys [][]byte, write func() error) error {
+	if err := c.gate(); err != nil {
+		return err
+	}
+	return c.co.RawWrite(keys, write)
 }
 
 // AtomicMultiPut is MultiPut with all-or-nothing semantics: the batch

@@ -70,6 +70,20 @@ func TestAtomicUnsupportedGate(t *testing.T) {
 		t.Fatalf("R=2 W=1 ReadOne: want ErrAtomicUnsupported, got %v", err)
 	}
 
+	// OCC transactions take the same 2PC path for multi-key commits, so the
+	// gate must reject them too — up front, not at commit.
+	if _, err := c.BeginTxn(); !errors.Is(err, ErrAtomicUnsupported) {
+		t.Fatalf("BeginTxn under R=2 W=1: want ErrAtomicUnsupported, got %v", err)
+	}
+	ran := false
+	_, err = c.Txn(func(tx *Tx) error { ran = true; return nil })
+	if !errors.Is(err, ErrAtomicUnsupported) {
+		t.Fatalf("Txn under R=2 W=1: want ErrAtomicUnsupported, got %v", err)
+	}
+	if ran {
+		t.Fatal("Txn body ran despite the gate")
+	}
+
 	// Full write quorum makes the commit record decisive: allowed.
 	opts2 := smallClusterOpts()
 	opts2.Replication = ReplicationOptions{Factor: 2, WriteQuorum: 2}
@@ -87,6 +101,54 @@ func TestAtomicUnsupportedGate(t *testing.T) {
 	}
 	if v, _, err := c2.Get([]byte("b")); err != nil || string(v) != "2" {
 		t.Fatalf("Get b after atomic put: %q, %v", v, err)
+	}
+}
+
+// TestRawWriteInvalidatesReads: a raw (non-transactional) write routed
+// through RawWrite bumps the OCC versions, so an open transaction that read
+// the key before the write conflicts instead of committing a stale
+// derivation over it.
+func TestRawWriteInvalidatesReads(t *testing.T) {
+	c, err := OpenCluster(smallClusterOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Put([]byte("k"), []byte("v0")); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := c.BeginTxn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Get([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RawWrite([][]byte{[]byte("k")}, func() error {
+		_, err := c.Put([]byte("k"), []byte("raw"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Put([]byte("k"), []byte("stale"))
+	if err := tx.Commit(); !errors.Is(err, ErrTxnConflict) {
+		t.Fatalf("commit after raw write = %v; want ErrTxnConflict", err)
+	}
+	if v, _, err := c.Get([]byte("k")); err != nil || string(v) != "raw" {
+		t.Fatalf("k = %q, %v; want raw", v, err)
+	}
+}
+
+// TestTxnInDoubtSentinel pins the contract that an in-doubt commit is not an
+// abort: code switching on ErrTxnAborted to mean "nothing survived" must not
+// match an undecided batch.
+func TestTxnInDoubtSentinel(t *testing.T) {
+	if errors.Is(ErrTxnInDoubt, ErrTxnAborted) {
+		t.Fatal("ErrTxnInDoubt must not match ErrTxnAborted")
+	}
+	if errors.Is(ErrTxnAborted, ErrTxnInDoubt) {
+		t.Fatal("ErrTxnAborted must not match ErrTxnInDoubt")
 	}
 }
 
